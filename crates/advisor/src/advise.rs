@@ -1,0 +1,167 @@
+//! The Advisor façade: profile → placement report.
+
+use crate::bandwidth::{rebalance, BwThresholds, Classification};
+use crate::config::AdvisorConfig;
+use crate::knapsack::{self, Assignment};
+use memtrace::{
+    PlacementReport, ReportEntry, ReportStack, StackFormat, TraceError,
+};
+use profiler::ProfileSet;
+
+/// Which placement algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The §IV-B greedy density knapsack.
+    Base,
+    /// The §VII bandwidth-aware pipeline (base + classification +
+    /// Algorithm 1).
+    BandwidthAware,
+}
+
+/// The HMem Advisor.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    config: AdvisorConfig,
+    thresholds: BwThresholds,
+}
+
+impl Advisor {
+    /// Creates an Advisor with the paper's default thresholds.
+    pub fn new(config: AdvisorConfig) -> Self {
+        config.validate().expect("invalid advisor configuration");
+        Advisor { config, thresholds: BwThresholds::default() }
+    }
+
+    /// Overrides the bandwidth-aware thresholds (for the ablation benches).
+    pub fn with_thresholds(mut self, thresholds: BwThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// Computes the placement assignment (and, for the bandwidth-aware
+    /// algorithm, the classification — useful for Tables II–IV).
+    pub fn assign(
+        &self,
+        profile: &ProfileSet,
+        algorithm: Algorithm,
+    ) -> (Assignment, Option<Classification>) {
+        let base = knapsack::assign(profile, &self.config);
+        match algorithm {
+            Algorithm::Base => (base, None),
+            Algorithm::BandwidthAware => {
+                let (out, class) = rebalance(profile, &base, &self.config, &self.thresholds);
+                (out, Some(class))
+            }
+        }
+    }
+
+    /// Produces the placement report FlexMalloc will consume, in the
+    /// requested call-stack format. Human-readable reports require debug
+    /// info (the profile's binary map) and fail if any frame cannot be
+    /// translated — the situation the paper had to fix by hand for
+    /// HPCToolkit-derived stacks.
+    pub fn advise(
+        &self,
+        profile: &ProfileSet,
+        algorithm: Algorithm,
+        format: StackFormat,
+    ) -> Result<PlacementReport, TraceError> {
+        let (assignment, _) = self.assign(profile, algorithm);
+        let mut report = PlacementReport::new(StackFormat::Bom, self.config.fallback);
+        for site in &profile.sites {
+            let tier = assignment.tier_of(site.site);
+            report.push(ReportEntry {
+                stack: ReportStack::Bom(site.stack.clone()),
+                tier,
+                max_size: site.max_size,
+            });
+        }
+        report.validate()?;
+        match format {
+            StackFormat::Bom => Ok(report),
+            StackFormat::HumanReadable => report.to_human_readable(&profile.binmap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{ExecMode, FixedTier, MachineConfig};
+    use memtrace::{SiteId, TierId};
+    use profiler::{profile_run, ProfilerConfig};
+
+    fn minife_profile() -> ProfileSet {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        profiler::analyze(&trace).unwrap()
+    }
+
+    #[test]
+    fn minife_vectors_go_to_dram() {
+        // The CG vectors (sites 3–6) are the hot, small, miss-dense set;
+        // the matrix (sites 0–1) is too big for any budget.
+        let profile = minife_profile();
+        let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+        let (a, _) = advisor.assign(&profile, Algorithm::Base);
+        assert_eq!(a.tier_of(SiteId(3)), TierId::DRAM, "x vector");
+        assert_eq!(a.tier_of(SiteId(4)), TierId::DRAM, "p vector");
+        assert_eq!(a.tier_of(SiteId(0)), TierId::PMEM, "matrix values");
+    }
+
+    #[test]
+    fn even_4gib_budget_keeps_the_hot_vectors() {
+        // The paper's "wins even at 4 GB" behaviour: the hottest vectors
+        // still fit the smallest budget.
+        let profile = minife_profile();
+        let advisor = Advisor::new(AdvisorConfig::loads_only(4));
+        let (a, _) = advisor.assign(&profile, Algorithm::Base);
+        assert_eq!(a.tier_of(SiteId(4)), TierId::DRAM, "p vector survives at 4 GiB");
+    }
+
+    #[test]
+    fn report_round_trips_and_covers_all_sites() {
+        let profile = minife_profile();
+        let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+        let report = advisor
+            .advise(&profile, Algorithm::Base, StackFormat::Bom)
+            .unwrap();
+        assert_eq!(report.len(), profile.sites.len());
+        report.validate().unwrap();
+        let j = report.to_json().unwrap();
+        assert_eq!(PlacementReport::from_json(&j).unwrap(), report);
+    }
+
+    #[test]
+    fn human_readable_report_translates() {
+        let profile = minife_profile();
+        let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+        let hr = advisor
+            .advise(&profile, Algorithm::Base, StackFormat::HumanReadable)
+            .unwrap();
+        assert_eq!(hr.format, StackFormat::HumanReadable);
+        hr.validate().unwrap();
+    }
+
+    #[test]
+    fn bandwidth_aware_is_a_superset_pipeline() {
+        let profile = minife_profile();
+        let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+        let (_, class) = advisor.assign(&profile, Algorithm::BandwidthAware);
+        assert!(class.is_some(), "bandwidth-aware returns the classification");
+        let (_, none) = advisor.assign(&profile, Algorithm::Base);
+        assert!(none.is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Advisor configuration: the paper's per-system configuration file.
+//!
+//! §IV-B: "Each memory subsystem features its own coefficients representing
+//! read latencies, specified in a configuration file, which enables the use
+//! of the framework in systems with different heterogeneous memory
+//! configurations." §V extends it with separate load and store coefficients
+//! per subsystem.
+
+use memtrace::TierId;
+use serde::{Deserialize, Serialize};
+
+/// Budget and cost coefficients for one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierBudget {
+    /// The tier.
+    pub tier: TierId,
+    /// Capacity the Advisor may plan into this tier, bytes. For DRAM this
+    /// is deliberately below the physical size (12 GB of the 16 GB node in
+    /// the paper) to leave room for stacks, static data and the OS.
+    pub capacity: u64,
+    /// Weight of LLC load misses in the site value.
+    pub load_coeff: f64,
+    /// Weight of L1D store misses in the site value (0 reproduces the
+    /// paper's `Loads` configuration).
+    pub store_coeff: f64,
+}
+
+/// Full Advisor configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdvisorConfig {
+    /// Tiers in descending performance order (knapsack fill order). The
+    /// *last* tier is treated as effectively unbounded capacity-wise if its
+    /// capacity covers the workload (PMEM on the paper's machine).
+    pub tiers: Vec<TierBudget>,
+    /// Fallback tier for unlisted sites and spills.
+    pub fallback: TierId,
+}
+
+impl AdvisorConfig {
+    const GIB: u64 = 1 << 30;
+
+    /// The paper's `Loads` configuration: only LLC load misses contribute
+    /// to site value. `dram_limit_gib` is the swept DRAM budget.
+    pub fn loads_only(dram_limit_gib: u64) -> Self {
+        AdvisorConfig {
+            tiers: vec![
+                TierBudget {
+                    tier: TierId::DRAM,
+                    capacity: dram_limit_gib * Self::GIB,
+                    load_coeff: 1.0,
+                    store_coeff: 0.0,
+                },
+                TierBudget {
+                    tier: TierId::PMEM,
+                    capacity: 3072 * Self::GIB,
+                    load_coeff: 1.0,
+                    store_coeff: 0.0,
+                },
+            ],
+            fallback: TierId::PMEM,
+        }
+    }
+
+    /// The paper's `Loads+stores` configuration (§V): L1D store misses are
+    /// weighted alongside load misses. Stores are weighted *more* for
+    /// placement toward DRAM because PMem penalizes writes far more than
+    /// reads (write bandwidth ≈ 1/4 of read).
+    pub fn loads_and_stores(dram_limit_gib: u64) -> Self {
+        let mut cfg = Self::loads_only(dram_limit_gib);
+        cfg.tiers[0].store_coeff = 1.5;
+        cfg.tiers[1].store_coeff = 1.5;
+        cfg
+    }
+
+    /// The budget entry for one tier.
+    pub fn budget(&self, tier: TierId) -> Option<&TierBudget> {
+        self.tiers.iter().find(|t| t.tier == tier)
+    }
+
+    /// The fastest (first) tier's budget — the DRAM budget on the paper's
+    /// machine.
+    pub fn primary(&self) -> &TierBudget {
+        &self.tiers[0]
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("no tiers configured".into());
+        }
+        if self.budget(self.fallback).is_none() {
+            return Err("fallback tier not among configured tiers".into());
+        }
+        for t in &self.tiers {
+            if t.load_coeff < 0.0 || t.store_coeff < 0.0 {
+                return Err("negative coefficient".into());
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.tiers {
+            if !seen.insert(t.tier) {
+                return Err(format!("tier {} configured twice", t.tier));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the on-disk JSON configuration format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialization is infallible")
+    }
+
+    /// Parses the on-disk JSON configuration format.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let cfg: AdvisorConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for gib in [4, 8, 12] {
+            AdvisorConfig::loads_only(gib).validate().unwrap();
+            AdvisorConfig::loads_and_stores(gib).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn loads_only_zeroes_store_coeff() {
+        let c = AdvisorConfig::loads_only(12);
+        assert_eq!(c.primary().store_coeff, 0.0);
+        assert_eq!(c.primary().capacity, 12 << 30);
+        let s = AdvisorConfig::loads_and_stores(12);
+        assert!(s.primary().store_coeff > 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = AdvisorConfig::loads_and_stores(8);
+        let j = c.to_json();
+        assert_eq!(AdvisorConfig::from_json(&j).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = AdvisorConfig::loads_only(12);
+        c.fallback = TierId(9);
+        assert!(c.validate().is_err());
+        let mut c = AdvisorConfig::loads_only(12);
+        c.tiers[0].load_coeff = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = AdvisorConfig::loads_only(12);
+        c.tiers[1].tier = TierId::DRAM;
+        assert!(c.validate().is_err());
+        assert!(AdvisorConfig::from_json("{not json").is_err());
+    }
+}

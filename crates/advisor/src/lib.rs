@@ -1,0 +1,33 @@
+//! # advisor — the HMem Advisor
+//!
+//! Computes optimized object distributions across memory subsystems from a
+//! [`profiler::ProfileSet`]:
+//!
+//! * [`knapsack`] — the base algorithm (§IV-B): a greedy relaxation of the
+//!   0/1 multiple-knapsack problem. Tiers are filled in descending
+//!   performance order; each site's value is its weighted miss density
+//!   (`(c_load · load_misses + c_store · store_misses) / bytes`), with
+//!   separate per-tier load and store coefficients (contribution §V).
+//! * [`bandwidth`] — the bandwidth-aware second pass (contribution §VII):
+//!   classifies sites into *Fitting*, *Streaming-D* and *Thrashing*
+//!   (Table IV) using allocation counts and allocation-time bandwidth, then
+//!   runs Algorithm 1 to swap bandwidth-hungry PMem residents into DRAM
+//!   against low-value Fitting occupants.
+//! * [`config`] — the Advisor configuration file: per-tier capacity limits
+//!   and load/store coefficients, mirroring the paper's setup where the
+//!   DRAM limit is varied (4/8/12 GB in Fig. 6; 11–16 GB in Table VIII).
+//!
+//! The Advisor emits a [`memtrace::PlacementReport`] in either call-stack
+//! format of Table I, which FlexMalloc consumes at runtime.
+
+pub mod advise;
+pub mod bandwidth;
+pub mod config;
+pub mod knapsack;
+pub mod optimal;
+
+pub use advise::{Advisor, Algorithm};
+pub use bandwidth::{BwThresholds, Category, Classification};
+pub use config::{AdvisorConfig, TierBudget};
+pub use knapsack::{Assignment, ValueFunction};
+pub use optimal::{assign_optimal_first_tier, first_tier_value};

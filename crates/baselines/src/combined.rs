@@ -1,0 +1,120 @@
+//! Combined proactive + reactive placement — the paper's stated future
+//! work (§III): "Kernel-level page migration approaches are orthogonal to
+//! our application-level design, and may be combined to leverage an
+//! initial proactive object placement provided by the latter along with
+//! reactive runtime page migration capabilities provided by the former."
+//!
+//! The combination wraps FlexMalloc (report-driven initial placement) and
+//! layers the kernel-tiering migration logic on top, so objects start
+//! where the Advisor put them and may still be migrated if the observed
+//! behaviour diverges from the profile.
+
+use crate::tiering::KernelTiering;
+use flexmalloc::FlexMalloc;
+use memsim::policy::{AllocContext, Migration, PhaseObservation, PlacementPolicy};
+use memtrace::{BinaryMap, PlacementReport, TierId, TraceError};
+
+/// FlexMalloc initial placement + kernel-tiering reactive migration.
+#[derive(Debug)]
+pub struct ProactiveReactive {
+    interposer: FlexMalloc,
+    tiering: KernelTiering,
+}
+
+impl ProactiveReactive {
+    /// Builds the combined policy from an Advisor report and the machine.
+    pub fn new(
+        report: &PlacementReport,
+        binmap: &BinaryMap,
+        machine: &memsim::MachineConfig,
+        aslr_seed: u64,
+        ranks: u32,
+    ) -> Result<Self, TraceError> {
+        Ok(ProactiveReactive {
+            interposer: FlexMalloc::new(report, binmap, aslr_seed, ranks)?,
+            tiering: KernelTiering::new(machine),
+        })
+    }
+
+    /// The wrapped interposer (for matching statistics).
+    pub fn interposer(&self) -> &FlexMalloc {
+        &self.interposer
+    }
+}
+
+impl PlacementPolicy for ProactiveReactive {
+    fn name(&self) -> &str {
+        "ecohmem+tiering"
+    }
+
+    fn place(&mut self, ctx: &AllocContext<'_>) -> TierId {
+        // Proactive: the Advisor report decides the initial tier.
+        self.interposer.place(ctx)
+    }
+
+    fn fallback(&self) -> TierId {
+        self.interposer.fallback()
+    }
+
+    fn overhead_seconds_per_alloc(&self) -> f64 {
+        self.interposer.overhead_seconds_per_alloc()
+    }
+
+    fn resident_dram_bytes(&self) -> u64 {
+        // Both costs apply: matcher debug info (if any) and kernel page
+        // metadata.
+        self.interposer.resident_dram_bytes() + self.tiering.resident_dram_bytes()
+    }
+
+    fn observe_phase(&mut self, obs: &PhaseObservation) -> Vec<Migration> {
+        // Reactive: the tiering heuristics may still move objects whose
+        // observed heat contradicts the profile.
+        self.tiering.observe_phase(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advisor::{Advisor, AdvisorConfig, Algorithm};
+    use memsim::{run, ExecMode, FixedTier, MachineConfig};
+    use memtrace::StackFormat;
+    use profiler::{analyze, profile_run, ProfilerConfig};
+
+    fn advise(app: &memsim::AppModel, machine: &MachineConfig) -> PlacementReport {
+        let (trace, _) = profile_run(
+            app,
+            machine,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let profile = analyze(&trace).unwrap();
+        Advisor::new(AdvisorConfig::loads_only(12))
+            .advise(&profile, Algorithm::Base, StackFormat::Bom)
+            .unwrap()
+    }
+
+    #[test]
+    fn combined_policy_runs_and_beats_memory_mode_on_minife() {
+        let app = workloads::minife::model();
+        let machine = MachineConfig::optane_pmem6();
+        let report = advise(&app, &machine);
+        let mut policy =
+            ProactiveReactive::new(&report, &app.binmap, &machine, 202, app.ranks).unwrap();
+        let combined = run(&app, &machine, ExecMode::AppDirect, &mut policy);
+        let mm = crate::memory_mode::run_memory_mode(&app, &machine);
+        assert!(combined.total_time < mm.total_time);
+        assert!(policy.interposer().stats().matched > 0);
+    }
+
+    #[test]
+    fn combined_policy_pays_the_metadata_cost() {
+        let app = workloads::minife::model();
+        let machine = MachineConfig::optane_pmem6();
+        let report = advise(&app, &machine);
+        let policy =
+            ProactiveReactive::new(&report, &app.binmap, &machine, 202, app.ranks).unwrap();
+        assert!(policy.resident_dram_bytes() > 3 << 30, "kernel metadata charged");
+    }
+}

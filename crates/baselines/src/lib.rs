@@ -1,0 +1,27 @@
+//! # baselines — the comparison points of the paper's evaluation
+//!
+//! * [`memory_mode`] — the primary baseline: Optane Memory Mode, where the
+//!   DRAM acts as a hardware-managed direct-mapped write-back cache in
+//!   front of PMem (§II).
+//! * [`tiering`] — a kernel-level reactive page-migration baseline
+//!   modelling Intel's experimental `tiering-0.71` kernels: hot data is
+//!   promoted to the DRAM NUMA node and cold data demoted, based on
+//!   per-window observations, at the cost of migration traffic and a DRAM
+//!   reservation for page-management metadata (§VIII-A).
+//! * [`combined`] — the paper's stated future work: ecoHMEM's proactive
+//!   initial placement layered with reactive kernel migration.
+//! * [`profdp`] — ProfDP (Wen et al., ICS'18): differential profiling over
+//!   *three* runs derives per-object latency and bandwidth sensitivities
+//!   that rank objects for placement; following the paper's §VIII
+//!   methodology we compute all four metric/aggregation variants
+//!   (latency/bandwidth × sum/average) and report the best-performing one.
+
+pub mod combined;
+pub mod memory_mode;
+pub mod profdp;
+pub mod tiering;
+
+pub use combined::ProactiveReactive;
+pub use memory_mode::run_memory_mode;
+pub use profdp::{ProfDp, ProfDpVariant};
+pub use tiering::KernelTiering;

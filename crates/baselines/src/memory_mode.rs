@@ -1,0 +1,35 @@
+//! The Memory Mode baseline.
+
+use memsim::{run, AppModel, ExecMode, FixedTier, MachineConfig, RunResult};
+
+/// Runs an application in Memory Mode: all data in PMem, DRAM as the
+/// hardware cache. This is the paper's "baseline" against which every
+/// speedup is reported.
+pub fn run_memory_mode(app: &AppModel, machine: &MachineConfig) -> RunResult {
+    let mut policy = FixedTier::new(machine.largest_tier());
+    run(app, machine, ExecMode::MemoryMode, &mut policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_mode_reports_cache_statistics() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let r = run_memory_mode(&app, &mach);
+        assert_eq!(r.mode, "memory-mode");
+        assert!(r.dram_cache_hit_ratio().is_some());
+        assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn pmem2_memory_mode_is_slower() {
+        // One third of the PMem bandwidth must hurt the cache-miss path.
+        let app = workloads::minife::model();
+        let m6 = run_memory_mode(&app, &MachineConfig::optane_pmem6());
+        let m2 = run_memory_mode(&app, &MachineConfig::optane_pmem2());
+        assert!(m2.total_time > m6.total_time);
+    }
+}

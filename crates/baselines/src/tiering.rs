@@ -1,0 +1,210 @@
+//! Kernel-level reactive page-migration tiering (Intel `tiering-0.71`).
+//!
+//! Since Linux 5.5, PMem devdax devices can be exposed as NUMA nodes, and
+//! Intel's experimental tiering kernels migrate pages between the DRAM and
+//! PMem nodes based on observed access activity. The paper (§VIII-A) finds
+//! this reactive approach better than Memory Mode for MiniFE and HPCG but
+//! below ecoHMEM, and notes a structural cost: enabling the PMem node
+//! consumes DRAM for page-management metadata proportionally to the PMem
+//! size, shrinking what is left for the application.
+//!
+//! The model: allocations start in PMem (first-touch lands there because
+//! DRAM is scarce and the kernel reserves headroom); after every phase the
+//! policy observes per-object LLC-miss heat and requests migrations —
+//! promote the hottest PMem objects into whatever DRAM remains, demote
+//! DRAM objects that went cold. Migrations cost real time in the engine
+//! (bytes over the slower of the two links). Reactivity means each
+//! decision helps only *subsequent* phases — exactly why a proactive
+//! profile-guided placement can beat it.
+
+use memsim::policy::{AllocContext, Migration, PhaseObservation, PlacementPolicy};
+use memtrace::{ObjectId, TierId};
+use std::collections::HashMap;
+
+/// Reactive page-migration policy.
+#[derive(Debug)]
+pub struct KernelTiering {
+    dram: TierId,
+    pmem: TierId,
+    /// DRAM the kernel may fill with promoted pages, bytes.
+    dram_budget: u64,
+    /// DRAM reserved for page metadata (struct page et al.).
+    metadata_bytes: u64,
+    /// Exponentially-averaged heat per object.
+    heat: HashMap<ObjectId, f64>,
+    /// Promotion threshold: an object must beat the coldest resident by
+    /// this factor to be worth a migration.
+    hysteresis: f64,
+    /// Max bytes migrated per phase boundary (migration rate limit).
+    migration_quota: u64,
+}
+
+impl KernelTiering {
+    /// Metadata cost per byte of PMem (64 B of `struct page` per 4 KiB
+    /// page ≈ 1.6%, of which the tiering kernels keep a portion resident
+    /// in DRAM; we charge 0.13% ≈ 4 GB for the paper's 3 TB node — enough
+    /// to visibly shrink the application's DRAM as §VIII-A describes,
+    /// while leaving the baseline functional).
+    const METADATA_FRACTION: f64 = 0.0013;
+
+    /// Creates the policy for a machine's DRAM/PMem pair.
+    pub fn new(machine: &memsim::MachineConfig) -> Self {
+        let dram = machine.tiers_by_performance()[0];
+        let pmem = machine.largest_tier();
+        let pmem_bytes = machine.tier(pmem).capacity as f64;
+        let metadata_bytes = (pmem_bytes * Self::METADATA_FRACTION) as u64;
+        let dram_capacity = machine.tier(dram).capacity;
+        KernelTiering {
+            dram,
+            pmem,
+            dram_budget: dram_capacity.saturating_sub(metadata_bytes),
+            metadata_bytes,
+            heat: HashMap::new(),
+            hysteresis: 3.0,
+            migration_quota: 2 << 30,
+        }
+    }
+
+    /// DRAM consumed by page metadata.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.metadata_bytes
+    }
+}
+
+impl PlacementPolicy for KernelTiering {
+    fn name(&self) -> &str {
+        "kernel-tiering"
+    }
+
+    fn place(&mut self, _ctx: &AllocContext<'_>) -> TierId {
+        // First-touch lands in the capacity tier; promotion is reactive.
+        self.pmem
+    }
+
+    fn fallback(&self) -> TierId {
+        self.pmem
+    }
+
+    fn resident_dram_bytes(&self) -> u64 {
+        self.metadata_bytes
+    }
+
+    fn observe_phase(&mut self, obs: &PhaseObservation) -> Vec<Migration> {
+        // Exponential decay so stale heat fades.
+        for h in self.heat.values_mut() {
+            *h *= 0.5;
+        }
+        for (obj, _site, _size, _tier, misses) in &obs.objects {
+            *self.heat.entry(*obj).or_insert(0.0) += misses;
+        }
+        self.heat.retain(|_, h| *h > 1.0);
+
+        // Current DRAM residents and their coldness.
+        let mut dram_used = 0u64;
+        let mut residents: Vec<(ObjectId, u64, f64)> = Vec::new();
+        let mut candidates: Vec<(ObjectId, u64, f64)> = Vec::new();
+        for (obj, _site, size, tier, _misses) in &obs.objects {
+            let heat = self.heat.get(obj).copied().unwrap_or(0.0);
+            if *tier == self.dram {
+                dram_used += size;
+                residents.push((*obj, *size, heat));
+            } else {
+                candidates.push((*obj, *size, heat));
+            }
+        }
+        residents.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap()); // coldest first
+        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap()); // hottest first
+
+        let mut migrations = Vec::new();
+        let mut moved = 0u64;
+        let mut res_idx = 0;
+        for (obj, size, heat) in candidates {
+            if heat <= 0.0 {
+                break; // candidates are sorted: the rest are cold too
+            }
+            if moved + size > self.migration_quota {
+                // Too big for this window's budget; smaller hot objects may
+                // still fit.
+                continue;
+            }
+            if dram_used + size <= self.dram_budget {
+                migrations.push(Migration { object: obj, to: self.dram });
+                dram_used += size;
+                moved += size;
+                continue;
+            }
+            // Evict colder residents to make room, if clearly colder.
+            let mut freed = 0u64;
+            let mut evictions = Vec::new();
+            while res_idx < residents.len() && dram_used + size - freed > self.dram_budget {
+                let (cold_obj, cold_size, cold_heat) = residents[res_idx];
+                if cold_heat * self.hysteresis >= heat {
+                    break;
+                }
+                evictions.push(Migration { object: cold_obj, to: self.pmem });
+                freed += cold_size;
+                res_idx += 1;
+            }
+            if dram_used + size - freed <= self.dram_budget {
+                dram_used = dram_used + size - freed;
+                moved += size + freed;
+                migrations.extend(evictions);
+                migrations.push(Migration { object: obj, to: self.dram });
+            }
+        }
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{run, ExecMode, MachineConfig};
+
+    #[test]
+    fn metadata_shrinks_application_dram() {
+        let mach = MachineConfig::optane_pmem6();
+        let t = KernelTiering::new(&mach);
+        assert!(t.metadata_bytes() > 3 << 30, "≈4 GB on the 3 TB node");
+        assert!(t.metadata_bytes() < 6 << 30);
+        assert_eq!(t.resident_dram_bytes(), t.metadata_bytes());
+    }
+
+    #[test]
+    fn promotes_hot_objects_over_time() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let mut policy = KernelTiering::new(&mach);
+        let r = run(&app, &mach, ExecMode::AppDirect, &mut policy);
+        let migrated: u64 = r.phases.iter().map(|p| p.migrated_bytes).sum();
+        assert!(migrated > 0, "reactive policy must migrate something");
+        // Eventually some objects live in DRAM.
+        assert!(r.tier_peak_bytes[0] > 0);
+    }
+
+    #[test]
+    fn beats_all_pmem_for_a_hot_small_working_set() {
+        // MiniFE's hot vectors should get promoted, beating a static
+        // all-PMem placement.
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let tiering = run(
+            &app,
+            &mach,
+            ExecMode::AppDirect,
+            &mut KernelTiering::new(&mach),
+        );
+        let pmem_only = run(
+            &app,
+            &mach,
+            ExecMode::AppDirect,
+            &mut memsim::FixedTier::new(memtrace::TierId::PMEM),
+        );
+        assert!(
+            tiering.total_time < pmem_only.total_time,
+            "tiering {:.1}s vs all-pmem {:.1}s",
+            tiering.total_time,
+            pmem_only.total_time
+        );
+    }
+}

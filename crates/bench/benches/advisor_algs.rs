@@ -1,0 +1,68 @@
+//! Criterion: HMem Advisor algorithm costs — the greedy density knapsack
+//! (§IV-B) and the bandwidth-aware classification + Algorithm 1 (§VII) as
+//! the number of allocation sites grows.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memtrace::{BinaryMap, CallStack, Frame, ModuleId, ObjectId, SiteId};
+use profiler::{ObjectLifetime, ProfileSet, SiteProfile};
+
+fn synthetic_profile(n: usize) -> ProfileSet {
+    let sites = (0..n)
+        .map(|i| {
+            let bytes = 1u64 << (18 + (i % 12));
+            let alloc_count = if i % 4 == 0 { 50 } else { 1 };
+            SiteProfile {
+                site: SiteId(i as u32),
+                stack: CallStack::new(vec![Frame::new(ModuleId(0), 64 * i as u64)]),
+                alloc_count,
+                max_size: bytes / alloc_count,
+                total_bytes: bytes,
+                peak_live_bytes: bytes / alloc_count,
+                load_misses_est: (i as f64 * 7919.0) % 1e9,
+                store_misses_est: (i as f64 * 104729.0) % 1e8,
+                has_stores: i % 3 == 0,
+                first_alloc: (i % 50) as f64,
+                last_free: 100.0,
+                bw_at_alloc: ((i as f64 * 31.0) % 10.0) * 1e9,
+                avg_bw: ((i as f64 * 17.0) % 5.0) * 1e9,
+                objects: vec![ObjectLifetime {
+                    object: ObjectId(i as u64),
+                    size: bytes / alloc_count,
+                    alloc_time: 0.0,
+                    free_time: 100.0,
+                    load_samples: 1,
+                    store_samples: 0,
+                    store_l1d_miss_samples: 0,
+                    bw_at_alloc: 0.0,
+                }],
+            }
+        })
+        .collect();
+    ProfileSet {
+        app_name: "bench".into(),
+        duration: 100.0,
+        sites,
+        bw_series: vec![(0.0, 1e10)],
+        peak_bw: 1e10,
+        binmap: BinaryMap::default(),
+    }
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor");
+    for n in [100usize, 1000, 10_000] {
+        let profile = synthetic_profile(n);
+        let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(advisor.assign(&profile, Algorithm::Base)))
+        });
+        group.bench_with_input(BenchmarkId::new("bandwidth_aware", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(advisor.assign(&profile, Algorithm::BandwidthAware)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

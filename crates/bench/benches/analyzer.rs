@@ -1,0 +1,47 @@
+//! Criterion: trace pipeline throughput — sampling-profiler trace
+//! generation and Paramedir-style analysis (address-interval sample
+//! matching dominates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::{ExecMode, FixedTier, MachineConfig};
+use memtrace::TierId;
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn bench_analyzer(c: &mut Criterion) {
+    let machine = MachineConfig::optane_pmem6();
+    let app = workloads::lulesh::model();
+    let (trace, _) = profile_run(
+        &app,
+        &machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(TierId::PMEM),
+        &ProfilerConfig::default(),
+    );
+    let events = trace.events.len();
+    let mut group = c.benchmark_group("trace_pipeline");
+    group.sample_size(20);
+    group.bench_function(format!("analyze_lulesh_{events}_events"), |b| {
+        b.iter(|| std::hint::black_box(analyze(&trace).unwrap()))
+    });
+    group.bench_function("profile_run_lulesh", |b| {
+        b.iter(|| {
+            std::hint::black_box(profile_run(
+                &app,
+                &machine,
+                ExecMode::MemoryMode,
+                &mut FixedTier::new(TierId::PMEM),
+                &ProfilerConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("trace_json_round_trip", |b| {
+        b.iter(|| {
+            let json = trace.to_json().unwrap();
+            std::hint::black_box(memtrace::TraceFile::from_json(&json).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: phase-engine throughput — a full application execution under
+//! each mode, per workload model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::TierId;
+
+fn bench_engine(c: &mut Criterion) {
+    let machine = MachineConfig::optane_pmem6();
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(20);
+    for name in ["minife", "lulesh", "openfoam"] {
+        let app = workloads::model_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("memory_mode", name), &app, |b, app| {
+            b.iter(|| {
+                std::hint::black_box(run(
+                    app,
+                    &machine,
+                    ExecMode::MemoryMode,
+                    &mut FixedTier::new(TierId::PMEM),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("app_direct", name), &app, |b, app| {
+            b.iter(|| {
+                std::hint::black_box(run(
+                    app,
+                    &machine,
+                    ExecMode::AppDirect,
+                    &mut FixedTier::new(TierId::PMEM),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    c.bench_function("build_all_models", |b| {
+        b.iter(|| std::hint::black_box(workloads::all_models()))
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_model_construction);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion: FlexMalloc call-stack matching — the §VI claim that BOM
+//! reduces per-allocation matching to a handful of address comparisons
+//! while human-readable matching pays an addr2line-style translation.
+//!
+//! These measure the *actual implementation cost* of our matcher (the
+//! simulated application-level overhead is a separate, modelled quantity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexmalloc::Matcher;
+use memtrace::{
+    BinaryMapBuilder, CallStack, Frame, LoadMap, ModuleId, PlacementReport, ReportEntry,
+    ReportStack, StackFormat, TierId,
+};
+
+fn setup(entries: usize) -> (memtrace::BinaryMap, PlacementReport, LoadMap, Vec<Vec<u64>>) {
+    let mut b = BinaryMapBuilder::new();
+    b.add_module("a.out", 1 << 20, 16 << 20, vec!["main.c".into()]);
+    b.add_module("libsolver.so", 4 << 20, 64 << 20, vec!["solver.c".into()]);
+    let map = b.build();
+    let mut report = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+    let mut stacks = Vec::new();
+    for i in 0..entries {
+        let stack = CallStack::new(vec![
+            Frame::new(ModuleId(1), (i as u64 * 192) % ((4 << 20) - 64)),
+            Frame::new(ModuleId(0), (i as u64 * 320) % ((1 << 20) - 64)),
+            Frame::new(ModuleId(0), 0x40),
+        ]);
+        report.push(ReportEntry {
+            stack: ReportStack::Bom(stack.clone()),
+            tier: if i % 2 == 0 { TierId::DRAM } else { TierId::PMEM },
+            max_size: 4096,
+        });
+        stacks.push(stack);
+    }
+    let layout = LoadMap::randomize(&map, 42);
+    let captured = stacks.iter().map(|s| layout.absolutize(s).unwrap()).collect();
+    (map, report, layout, captured)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_matching");
+    for entries in [16usize, 128, 1024] {
+        let (map, report, layout, captured) = setup(entries);
+        let bom = Matcher::new(&report, &map, &layout).unwrap();
+        group.bench_with_input(BenchmarkId::new("bom", entries), &entries, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let hit = bom.match_stack(&captured[i % captured.len()], &map, &layout);
+                i += 1;
+                std::hint::black_box(hit)
+            })
+        });
+
+        let hr_report = report.to_human_readable(&map).unwrap();
+        let hr = Matcher::new(&hr_report, &map, &layout).unwrap();
+        group.bench_with_input(BenchmarkId::new("human_readable", entries), &entries, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let hit = hr.match_stack(&captured[i % captured.len()], &map, &layout);
+                i += 1;
+                std::hint::black_box(hit)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matcher_init(c: &mut Criterion) {
+    // §VI: BOM precomputes absolute addresses once at process init.
+    let (map, report, layout, _) = setup(1024);
+    c.bench_function("matcher_init_1024_entries", |b| {
+        b.iter(|| std::hint::black_box(Matcher::new(&report, &map, &layout).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_matcher_init);
+criterion_main!(benches);

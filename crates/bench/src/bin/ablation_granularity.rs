@@ -1,0 +1,48 @@
+//! Extension experiment: object- vs page/chunk-granularity placement (the
+//! §III object-vs-page design question).
+//!
+//! Each application is re-expressed with its large allocations split into
+//! fixed-size chunks (each with its own call-stack identity), and the same
+//! profile→advise→deploy pipeline runs on the chunked model. Finer
+//! granularity lets the Advisor put *part* of a big object in DRAM —
+//! the capacity-packing benefit page-level systems get — at the cost of
+//! many more sites to profile and match. (Intra-object heat is uniform in
+//! our models, so the skew benefit of page systems is out of scope; see
+//! the module docs of `workloads::granularity`.)
+
+use bench::Table;
+use ecohmem_core::{run_pipeline, PipelineConfig};
+use workloads::paginate_model;
+
+fn main() {
+    let mut t = Table::new(&["app", "granularity", "sites", "speedup", "pipeline_ms"]);
+    for name in ["minife", "hpcg", "cloverleaf3d"] {
+        let base = workloads::model_by_name(name).unwrap();
+        let variants: Vec<(String, memsim::AppModel)> = vec![
+            ("object".into(), base.clone()),
+            ("1 GiB chunks".into(), paginate_model(&base, 1 << 30)),
+            ("256 MiB chunks".into(), paginate_model(&base, 256 << 20)),
+            ("64 MiB chunks".into(), paginate_model(&base, 64 << 20)),
+        ];
+        for (label, app) in variants {
+            let cfg = PipelineConfig::paper_default();
+            let t0 = std::time::Instant::now();
+            let out = run_pipeline(&app, &cfg).unwrap();
+            let elapsed = t0.elapsed().as_millis();
+            t.row(vec![
+                name.into(),
+                label,
+                app.sites.len().to_string(),
+                format!("{:.3}", out.speedup()),
+                elapsed.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "\nfiner chunks allow partial placement of large objects (capacity \
+         packing) but multiply the sites the profiler must attribute and the \
+         interposer must match — the trade the paper's object-granularity \
+         choice navigates."
+    );
+}

@@ -1,0 +1,69 @@
+//! Extension experiment: how much does the greedy knapsack relaxation
+//! (§IV-B) leave on the table versus an exact 0/1 solution?
+//!
+//! At object granularity the paper's applications have tens of sites, so
+//! the exact DP is tractable; we compare both the knapsack objective
+//! (planned first-tier value) and the resulting end-to-end runtime.
+
+use advisor::{assign_optimal_first_tier, first_tier_value, knapsack, AdvisorConfig};
+use bench::Table;
+use flexmalloc::FlexMalloc;
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::{PlacementReport, ReportEntry, ReportStack, StackFormat, TierId};
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    let mut t = Table::new(&[
+        "app", "dram_gib", "value_gap_%", "greedy_speedup", "optimal_speedup",
+    ]);
+    for name in ["minife", "hpcg", "cloverleaf3d", "lulesh", "openfoam"] {
+        let app = workloads::model_by_name(name).unwrap();
+        let (trace, _) = profile_run(
+            &app,
+            &machine,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let profile = analyze(&trace).unwrap();
+        for gib in [4u64, 12] {
+            let cfg = AdvisorConfig::loads_only(gib);
+            let greedy = knapsack::assign(&profile, &cfg);
+            let optimal = assign_optimal_first_tier(&profile, &cfg, 64 << 20, 128);
+            let gv = first_tier_value(&profile, &cfg, &greedy);
+            let ov = first_tier_value(&profile, &cfg, &optimal);
+            let gap = if ov > 0.0 { 100.0 * (ov - gv) / ov } else { 0.0 };
+
+            let speedup_of = |assignment: &advisor::Assignment| -> f64 {
+                let mut report = PlacementReport::new(StackFormat::Bom, cfg.fallback);
+                for s in &profile.sites {
+                    report.push(ReportEntry {
+                        stack: ReportStack::Bom(s.stack.clone()),
+                        tier: assignment.tier_of(s.site),
+                        max_size: s.max_size,
+                    });
+                }
+                let mut fm = FlexMalloc::new(&report, &app.binmap, 202, app.ranks).unwrap();
+                let placed = run(&app, &machine, ExecMode::AppDirect, &mut fm);
+                let mm = baselines::run_memory_mode(&app, &machine);
+                mm.total_time / placed.total_time
+            };
+            t.row(vec![
+                name.into(),
+                gib.to_string(),
+                format!("{gap:.2}"),
+                format!("{:.3}", speedup_of(&greedy)),
+                format!("{:.3}", speedup_of(&optimal)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "\nvalue_gap: planned first-tier miss value the greedy relaxation \
+         forfeits vs the exact DP (negative = the DP lost to byte-exact \
+         greedy because it must quantize capacities to 64 MiB units). \
+         Near-zero gaps justify the paper's greedy choice at object-site \
+         counts."
+    );
+}

@@ -1,0 +1,65 @@
+//! Extension experiment: input-size sensitivity (the paper's explicit
+//! future work, §VIII). Profile once at the nominal size, then deploy the
+//! *same report* at other problem sizes, comparing against re-profiling at
+//! each size.
+//!
+//! Call stacks are size-invariant, so the report always matches; what
+//! changes is whether the profiled ranking and the DRAM budget still suit
+//! the scaled footprint.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm};
+use bench::Table;
+use flexmalloc::FlexMalloc;
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::{PlacementReport, StackFormat, TierId};
+use profiler::{analyze, profile_run, ProfilerConfig};
+use workloads::scale_model;
+
+fn report_for(app: &memsim::AppModel, machine: &MachineConfig) -> PlacementReport {
+    let (trace, _) = profile_run(
+        app,
+        machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(TierId::PMEM),
+        &ProfilerConfig::default(),
+    );
+    let profile = analyze(&trace).unwrap();
+    Advisor::new(AdvisorConfig::loads_only(12))
+        .advise(&profile, Algorithm::Base, StackFormat::Bom)
+        .unwrap()
+}
+
+fn speedup_with(report: &PlacementReport, app: &memsim::AppModel, machine: &MachineConfig) -> f64 {
+    let mut fm = FlexMalloc::new(report, &app.binmap, 202, app.ranks).unwrap();
+    let placed = run(app, machine, ExecMode::AppDirect, &mut fm);
+    let mm = baselines::run_memory_mode(app, machine);
+    mm.total_time / placed.total_time
+}
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    let mut t = Table::new(&["app", "deploy_scale", "stale_report", "fresh_report", "gap_%"]);
+    for name in ["minife", "hpcg", "cloverleaf3d"] {
+        let nominal = workloads::model_by_name(name).unwrap();
+        let stale = report_for(&nominal, &machine);
+        for scale in [0.6f64, 0.8, 1.0, 1.2, 1.4] {
+            let scaled = scale_model(&nominal, scale);
+            let s_stale = speedup_with(&stale, &scaled, &machine);
+            let fresh = report_for(&scaled, &machine);
+            let s_fresh = speedup_with(&fresh, &scaled, &machine);
+            t.row(vec![
+                name.into(),
+                format!("{scale:.1}"),
+                format!("{s_stale:.3}"),
+                format!("{s_fresh:.3}"),
+                format!("{:+.1}", 100.0 * (s_fresh - s_stale) / s_fresh),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "\nstale_report: profiled at scale 1.0, deployed at the listed scale;\n\
+         fresh_report: profiled at the deployed scale (the paper's methodology).\n\
+         Small gaps mean the placement transfers across problem sizes."
+    );
+}

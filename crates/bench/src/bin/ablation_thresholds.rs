@@ -1,0 +1,53 @@
+//! Ablation: sensitivity of the bandwidth-aware algorithm to its three
+//! thresholds (§VII-B1 sets T_ALLOC = 2, T_PMEMLOW = 20%, T_PMEMHIGH = 40%
+//! "based on empirical observations" — this sweep shows how much that
+//! choice matters on the two applications the algorithm rescues).
+
+use advisor::{Algorithm, BwThresholds};
+use bench::Table;
+use ecohmem_core::{run_pipeline, PipelineConfig};
+
+fn speedup(app: &memsim::AppModel, gib: u64, thresholds: BwThresholds) -> f64 {
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.advisor = advisor::AdvisorConfig::loads_only(gib);
+    cfg.algorithm = Algorithm::BandwidthAware;
+    cfg.thresholds = thresholds;
+    run_pipeline(app, &cfg).unwrap().speedup()
+}
+
+fn main() {
+    for (name, gib) in [("lulesh", 12u64), ("openfoam", 11u64)] {
+        let app = workloads::model_by_name(name).unwrap();
+        println!("== {name} (bandwidth-aware speedup vs memory mode) ==");
+
+        let mut t = Table::new(&["t_alloc", "speedup"]);
+        for t_alloc in [1u64, 2, 4, 8, 32] {
+            let s = speedup(&app, gib, BwThresholds { t_alloc, ..Default::default() });
+            t.row(vec![t_alloc.to_string(), format!("{s:.3}")]);
+        }
+        println!("{}", t.render());
+
+        let mut t = Table::new(&["t_pmemhigh_frac", "speedup"]);
+        for high in [0.2f64, 0.3, 0.4, 0.6, 0.8] {
+            let s = speedup(
+                &app,
+                gib,
+                BwThresholds { high_frac: high, ..Default::default() },
+            );
+            t.row(vec![format!("{high:.1}"), format!("{s:.3}")]);
+        }
+        println!("{}", t.render());
+
+        let mut t = Table::new(&["t_pmemlow_frac", "speedup"]);
+        for low in [0.05f64, 0.1, 0.2, 0.35] {
+            let s = speedup(
+                &app,
+                gib,
+                BwThresholds { low_frac: low, ..Default::default() },
+            );
+            t.row(vec![format!("{low:.2}"), format!("{s:.3}")]);
+        }
+        println!("{}\n", t.render());
+    }
+    println!("paper defaults: T_ALLOC=2, T_PMEMLOW=0.2, T_PMEMHIGH=0.4");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: knapsack value-function ablation (§IV-B design
+//! choice). Compares the paper's miss *density* against raw misses and a
+//! temporal (byte-second) density, across the applications.
+//!
+//! The temporal variant is interesting: it prices short-lived scratch by
+//! its true occupancy, recovering part of the bandwidth-aware algorithm's
+//! win *within* the base knapsack — but only the part that comes from
+//! capacity packing, not the bandwidth-burst awareness.
+
+use advisor::{knapsack, Advisor, AdvisorConfig, ValueFunction};
+use bench::Table;
+use flexmalloc::FlexMalloc;
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::{PlacementReport, ReportEntry, ReportStack, StackFormat, TierId};
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    let mut t = Table::new(&["app", "miss_density(paper)", "raw_misses", "temporal_density"]);
+    for name in ["minife", "hpcg", "cloverleaf3d", "lulesh", "openfoam"] {
+        let app = workloads::model_by_name(name).unwrap();
+        let gib = if name == "openfoam" { 11 } else { 12 };
+        let (trace, _) = profile_run(
+            &app,
+            &machine,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let profile = analyze(&trace).unwrap();
+        let cfg = AdvisorConfig::loads_only(gib);
+        let _ = Advisor::new(cfg.clone()); // validates
+
+        let mut row = vec![name.to_string()];
+        for vf in [
+            ValueFunction::MissDensity,
+            ValueFunction::RawMisses,
+            ValueFunction::MissesPerByteSecond,
+        ] {
+            let assignment = knapsack::assign_with(&profile, &cfg, vf);
+            let mut report = PlacementReport::new(StackFormat::Bom, cfg.fallback);
+            for s in &profile.sites {
+                report.push(ReportEntry {
+                    stack: ReportStack::Bom(s.stack.clone()),
+                    tier: assignment.tier_of(s.site),
+                    max_size: s.max_size,
+                });
+            }
+            let mut fm = FlexMalloc::new(&report, &app.binmap, 202, app.ranks).unwrap();
+            let placed = run(&app, &machine, ExecMode::AppDirect, &mut fm);
+            let mm = baselines::run_memory_mode(&app, &machine);
+            row.push(format!("{:.3}", mm.total_time / placed.total_time));
+        }
+        t.row(row);
+    }
+    println!("speedups vs memory mode (base knapsack, varying value function):\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,85 @@
+//! Calibration diagnostic: per-application engine statistics under the
+//! trivial placements, used while tuning the workload models. Not a paper
+//! experiment, but kept as a debugging aid.
+
+use bench::Table;
+use memsim::policy::SiteMapPolicy;
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::TierId;
+
+fn main() {
+    let mach = MachineConfig::optane_pmem6();
+    let mut t = Table::new(&[
+        "app", "mm_time", "mm_membound", "mm_hit", "pmem_time", "dramfirst_time", "mm/pmem",
+    ]);
+    for app in workloads::all_models() {
+        let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let pmem = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let dram = run(
+            &app,
+            &mach,
+            ExecMode::AppDirect,
+            &mut FixedTier::with_fallback(TierId::DRAM, TierId::PMEM),
+        );
+        t.row(vec![
+            app.name.clone(),
+            format!("{:.1}", mm.total_time),
+            format!("{:.3}", mm.memory_bound_fraction()),
+            format!("{:.3}", mm.dram_cache_hit_ratio().unwrap_or(f64::NAN)),
+            format!("{:.1}", pmem.total_time),
+            format!("{:.1}", dram.total_time),
+            format!("{:.2}", mm.total_time / pmem.total_time),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Oracle checks used by the workload docs.
+    let app = workloads::openfoam::model();
+    let bad = run(
+        &app,
+        &mach,
+        ExecMode::AppDirect,
+        &mut SiteMapPolicy::new(
+            workloads::openfoam::ledger_sites().into_iter().map(|s| (s, TierId::DRAM)),
+            TierId::PMEM,
+        ),
+    );
+    let good = run(
+        &app,
+        &mach,
+        ExecMode::AppDirect,
+        &mut SiteMapPolicy::new(
+            workloads::openfoam::work_sites().into_iter().map(|s| (s, TierId::DRAM)),
+            TierId::PMEM,
+        ),
+    );
+    let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+    println!(
+        "\nopenfoam: density-like {:.1}s  bw-like {:.1}s  memory-mode {:.1}s",
+        bad.total_time, good.total_time, mm.total_time
+    );
+
+    let app = workloads::lulesh::model();
+    let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+    let pm = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+    println!("lulesh: memory-mode {:.1}s  all-pmem {:.1}s", mm.total_time, pm.total_time);
+    for label in ["lagrange_nodal", "lagrange_elems", "calc_constraints"] {
+        let (bw, n) = pm
+            .phases
+            .iter()
+            .filter(|p| p.label.as_deref() == Some(label))
+            .map(|p| p.tier_read_bw[1] + p.tier_write_bw[1])
+            .fold((0.0, 0), |(s, n), b| (s + b, n + 1));
+        let (dur, _) = pm
+            .phases
+            .iter()
+            .filter(|p| p.label.as_deref() == Some(label))
+            .map(|p| p.duration)
+            .fold((0.0, 0), |(s, n), d| (s + d, n + 1));
+        println!(
+            "  {label}: avg pmem bw {:.2} GB/s, avg dur {:.2}s",
+            bw / n as f64 / 1e9,
+            dur / n as f64
+        );
+    }
+}

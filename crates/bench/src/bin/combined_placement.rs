@@ -1,0 +1,56 @@
+//! Future-work experiment (§III): combine ecoHMEM's proactive initial
+//! placement with reactive kernel page migration, and compare against each
+//! mechanism alone.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm};
+use baselines::{run_memory_mode, KernelTiering, ProactiveReactive};
+use bench::Table;
+use flexmalloc::FlexMalloc;
+use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memtrace::{StackFormat, TierId};
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    let mut t = Table::new(&["app", "ecohmem", "tiering", "combined"]);
+    for name in ["minife", "hpcg", "lulesh", "cloverleaf3d"] {
+        let app = workloads::model_by_name(name).unwrap();
+        let mm = run_memory_mode(&app, &machine);
+
+        // Profile once, advise once.
+        let (trace, _) = profile_run(
+            &app,
+            &machine,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let profile = analyze(&trace).unwrap();
+        let report = Advisor::new(AdvisorConfig::loads_only(12))
+            .advise(&profile, Algorithm::Base, StackFormat::Bom)
+            .unwrap();
+
+        let mut eco = FlexMalloc::new(&report, &app.binmap, 202, app.ranks).unwrap();
+        let eco_run = run(&app, &machine, ExecMode::AppDirect, &mut eco);
+
+        let mut tiering = KernelTiering::new(&machine);
+        let tiering_run = run(&app, &machine, ExecMode::AppDirect, &mut tiering);
+
+        let mut combined =
+            ProactiveReactive::new(&report, &app.binmap, &machine, 202, app.ranks).unwrap();
+        let combined_run = run(&app, &machine, ExecMode::AppDirect, &mut combined);
+
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", mm.total_time / eco_run.total_time),
+            format!("{:.3}", mm.total_time / tiering_run.total_time),
+            format!("{:.3}", mm.total_time / combined_run.total_time),
+        ]);
+    }
+    println!("speedups vs memory mode:\n{}", t.render());
+    println!(
+        "\nthe combination keeps the proactive placement and may refine it \
+         reactively, at the cost of the kernel's page-metadata DRAM reservation \
+         (the paper's §III future-work direction)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Diagnostic: dump the bandwidth-aware classification for an app.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm, BwThresholds};
+use memsim::{ExecMode, FixedTier, MachineConfig};
+use memtrace::TierId;
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "openfoam".into());
+    let gib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let app = workloads::model_by_name(&name).expect("known app");
+    let mach = MachineConfig::optane_pmem6();
+    let (trace, _) = profile_run(
+        &app,
+        &mach,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(TierId::PMEM),
+        &ProfilerConfig::default(),
+    );
+    let profile = analyze(&trace).unwrap();
+    println!("peak_bw = {:.2e} B/s; thresholds low={:.2e} high={:.2e}",
+        profile.peak_bw, 0.2 * profile.peak_bw, 0.4 * profile.peak_bw);
+
+    let advisor = Advisor::new(AdvisorConfig::loads_only(gib));
+    let (base, _) = advisor.assign(&profile, Algorithm::Base);
+    let (bw, class) = advisor.assign(&profile, Algorithm::BandwidthAware);
+    let class = class.unwrap();
+    println!("{:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "site", "base", "bwa", "allocs", "totGB", "liveGB", "density", "bw@alloc", "category");
+    for s in &profile.sites {
+        println!(
+            "{:>6} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>10.4} {:>12.3e} {:>12?}",
+            s.site.0,
+            base.tier_of(s.site).0,
+            bw.tier_of(s.site).0,
+            s.alloc_count,
+            s.total_bytes as f64 / 1e9,
+            s.peak_live_bytes as f64 / 1e9,
+            s.density(1.0, 0.0),
+            s.bw_at_alloc,
+            class.category(s.site),
+        );
+    }
+    let t = BwThresholds::default();
+    let _ = t;
+}

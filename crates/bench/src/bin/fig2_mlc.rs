@@ -1,0 +1,36 @@
+//! Figure 2: loaded latency vs bandwidth for DDR4 DRAM and Intel PMem,
+//! read-only (R) and 1-read-1-write (1R1W) traffic, 8–22 GB/s.
+//!
+//! Paper reference points: DRAM 90 → 117 ns, PMem 185 → 239 ns (read-only);
+//! at 22 GB/s PMem costs ≈ 2.3× DRAM.
+
+use bench::Table;
+use memsim::{mlc_sweep, MachineConfig, TrafficMix};
+use memtrace::TierId;
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    let steps = 15;
+    let (lo, hi) = (8e9, 22e9);
+
+    let mut t = Table::new(&["bw_gb_s", "dram_R_ns", "dram_1R1W_ns", "pmem_R_ns", "pmem_1R1W_ns"]);
+    let dram_r = mlc_sweep(&machine, TierId::DRAM, TrafficMix::ReadOnly, lo, hi, steps);
+    let dram_rw = mlc_sweep(&machine, TierId::DRAM, TrafficMix::OneReadOneWrite, lo, hi, steps);
+    let pmem_r = mlc_sweep(&machine, TierId::PMEM, TrafficMix::ReadOnly, lo, hi, steps);
+    let pmem_rw = mlc_sweep(&machine, TierId::PMEM, TrafficMix::OneReadOneWrite, lo, hi, steps);
+    for i in 0..steps {
+        t.row(vec![
+            format!("{:.1}", dram_r[i].bandwidth / 1e9),
+            format!("{:.1}", dram_r[i].latency_ns),
+            format!("{:.1}", dram_rw[i].latency_ns),
+            format!("{:.1}", pmem_r[i].latency_ns),
+            format!("{:.1}", pmem_rw[i].latency_ns),
+        ]);
+    }
+    println!("{}", t.render());
+    let last = steps - 1;
+    println!(
+        "\npmem/dram read-latency ratio at 22 GB/s: {:.2} (paper: 2.3x)",
+        pmem_r[last].latency_ns / dram_r[last].latency_ns
+    );
+}

@@ -1,0 +1,156 @@
+//! Renders the paper's key figures as SVG files into `figures/`.
+//!
+//!     cargo run -p bench --release --bin render_figures [outdir]
+
+use advisor::Algorithm;
+use ecohmem_core::experiments::{run_cell, Metrics, SweepSpec};
+use ecohmem_core::{run_pipeline, PipelineConfig};
+use memsim::{mlc_sweep, MachineConfig, TrafficMix};
+use memtrace::TierId;
+use viz::{BarChart, BarGroup, LineChart, Series};
+
+fn main() {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| "figures".into());
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+    let machine = MachineConfig::optane_pmem6();
+
+    // Fig. 2 — loaded latency curves.
+    let sweep = |tier, mix| -> Vec<(f64, f64)> {
+        mlc_sweep(&machine, tier, mix, 8e9, 22e9, 15)
+            .into_iter()
+            .map(|p| (p.bandwidth / 1e9, p.latency_ns))
+            .collect()
+    };
+    let fig2 = LineChart {
+        title: "Fig. 2 — loaded latency vs bandwidth".into(),
+        x_label: "injected bandwidth (GB/s)".into(),
+        y_label: "read latency (ns)".into(),
+        series: vec![
+            Series { label: "DRAM (R)".into(), points: sweep(TierId::DRAM, TrafficMix::ReadOnly) },
+            Series {
+                label: "DRAM (1R1W)".into(),
+                points: sweep(TierId::DRAM, TrafficMix::OneReadOneWrite),
+            },
+            Series { label: "PMem (R)".into(), points: sweep(TierId::PMEM, TrafficMix::ReadOnly) },
+            Series {
+                label: "PMem (1R1W)".into(),
+                points: sweep(TierId::PMEM, TrafficMix::OneReadOneWrite),
+            },
+        ],
+        size: (680, 420),
+    };
+    write(&outdir, "fig2_mlc.svg", &fig2.render());
+
+    // Fig. 6 — speedups at 12 GB, both metric configs.
+    let mut groups = Vec::new();
+    for app in workloads::miniapp_models() {
+        let mut values = Vec::new();
+        for metrics in [Metrics::Loads, Metrics::LoadsStores] {
+            values.push(
+                run_cell(
+                    &app,
+                    &machine,
+                    SweepSpec { dram_gib: 12, metrics, algorithm: Algorithm::Base },
+                )
+                .speedup,
+            );
+        }
+        groups.push(BarGroup { label: app.name.clone(), values });
+    }
+    let fig6 = BarChart {
+        title: "Fig. 6 — speedup vs memory mode (PMem-6, 12 GB)".into(),
+        y_label: "speedup".into(),
+        series_labels: vec!["loads".into(), "loads+stores".into()],
+        groups,
+        baseline: Some(1.0),
+        size: (680, 420),
+    };
+    write(&outdir, "fig6_speedups.svg", &fig6.render());
+
+    // Fig. 3 — LULESH PMem bandwidth across phases (density placement).
+    let app = workloads::lulesh::model();
+    let mut cfg = PipelineConfig::paper_default();
+    let base = run_pipeline(&app, &cfg).unwrap();
+    let window: Vec<(f64, f64)> = base
+        .placed
+        .phases
+        .iter()
+        .skip(2)
+        .take(18)
+        .map(|p| (p.start, (p.tier_read_bw[1] + p.tier_write_bw[1]) / 1e9))
+        .collect();
+    let fig3 = LineChart {
+        title: "Fig. 3 — LULESH PMem bandwidth (density placement)".into(),
+        x_label: "time (s)".into(),
+        y_label: "PMem bandwidth (GB/s)".into(),
+        series: vec![Series { label: "PMem bw".into(), points: window }],
+        size: (680, 360),
+    };
+    write(&outdir, "fig3_lulesh_bw.svg", &fig3.render());
+
+    // Fig. 7 — main vs bandwidth-aware PMem bandwidth (LULESH).
+    cfg.algorithm = Algorithm::BandwidthAware;
+    let bwa = run_pipeline(&app, &cfg).unwrap();
+    let series_of = |r: &memsim::RunResult, label: &str| -> Series {
+        Series {
+            label: label.into(),
+            points: r
+                .phases
+                .iter()
+                .skip(2)
+                .take(18)
+                .map(|p| (p.start, (p.tier_read_bw[1] + p.tier_write_bw[1]) / 1e9))
+                .collect(),
+        }
+    };
+    let fig7 = LineChart {
+        title: "Fig. 7 — LULESH PMem bandwidth: main vs bandwidth-aware".into(),
+        x_label: "time (s)".into(),
+        y_label: "PMem bandwidth (GB/s)".into(),
+        series: vec![series_of(&base.placed, "main"), series_of(&bwa.placed, "bandwidth-aware")],
+        size: (680, 360),
+    };
+    write(&outdir, "fig7_bw_aware.svg", &fig7.render());
+
+    // Table VIII as a bar chart (production apps).
+    let mut groups = Vec::new();
+    for (name, main_gib, bw_gib) in
+        [("openfoam", 11u64, 11u64), ("lammps", 14, 16), ("lulesh", 12, 12)]
+    {
+        let app = workloads::model_by_name(name).unwrap();
+        let main = run_cell(
+            &app,
+            &machine,
+            SweepSpec { dram_gib: main_gib, metrics: Metrics::Loads, algorithm: Algorithm::Base },
+        )
+        .speedup;
+        let bwa = run_cell(
+            &app,
+            &machine,
+            SweepSpec {
+                dram_gib: bw_gib,
+                metrics: Metrics::Loads,
+                algorithm: Algorithm::BandwidthAware,
+            },
+        )
+        .speedup;
+        groups.push(BarGroup { label: name.into(), values: vec![main, bwa] });
+    }
+    let t8 = BarChart {
+        title: "Table VIII — main vs bandwidth-aware".into(),
+        y_label: "speedup vs memory mode".into(),
+        series_labels: vec!["main".into(), "bandwidth-aware".into()],
+        groups,
+        baseline: Some(1.0),
+        size: (680, 420),
+    };
+    write(&outdir, "table8_production.svg", &t8.render());
+
+    eprintln!("figures written to {outdir}/");
+}
+
+fn write(dir: &str, name: &str, content: &str) {
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, content).expect("write svg");
+    eprintln!("  {path}");
+}

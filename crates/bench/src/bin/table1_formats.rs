@@ -1,0 +1,38 @@
+//! Table I: the two supported call-stack formats of a placement report
+//! (human-readable `file:line` pairs vs binary-object-matching
+//! `module!offset` pairs), rendered from the same MiniFE placement.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm};
+use memsim::{ExecMode, FixedTier, MachineConfig};
+use memtrace::{StackFormat, TierId};
+use profiler::{analyze, profile_run, ProfilerConfig};
+
+fn main() {
+    let app = workloads::minife::model();
+    let machine = MachineConfig::optane_pmem6();
+    let (trace, _) = profile_run(
+        &app,
+        &machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(TierId::PMEM),
+        &ProfilerConfig::default(),
+    );
+    let profile = analyze(&trace).unwrap();
+    let advisor = Advisor::new(AdvisorConfig::loads_only(12));
+    let tier_name = |t: TierId| machine.tier(t).name.clone();
+
+    let bom = advisor.advise(&profile, Algorithm::Base, StackFormat::Bom).unwrap();
+    println!("== BOM format (contribution VI) ==");
+    for line in bom.render_text(&profile.binmap, tier_name).lines().take(6) {
+        println!("{line}");
+    }
+
+    let hr = advisor
+        .advise(&profile, Algorithm::Base, StackFormat::HumanReadable)
+        .unwrap();
+    println!("\n== human-readable format ==");
+    let tier_name = |t: TierId| machine.tier(t).name.clone();
+    for line in hr.render_text(&profile.binmap, tier_name).lines().take(6) {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Table V: characteristics of the applications used in the evaluation,
+//! from the workload models (version, ranks/threads, input, memory
+//! high-water mark).
+
+use bench::Table;
+
+fn main() {
+    let mut t = Table::new(&[
+        "app", "version", "ranks/threads", "input", "hwm_mb_rank(paper)", "hwm_mb_rank(model)",
+    ]);
+    for (spec, model) in workloads::all_specs().iter().zip(workloads::all_models()) {
+        let model_hwm = model.high_water_mark() / 1_000_000 / spec.ranks as u64;
+        t.row(vec![
+            spec.name.into(),
+            spec.version.into(),
+            format!("{}/{}", spec.ranks, spec.threads),
+            spec.input.into(),
+            spec.hwm_mb_per_rank.to_string(),
+            model_hwm.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,64 @@
+//! Table VII: CloverLeaf3D per-function IPC and average load latency of the
+//! FlexMalloc execution, relative to memory mode.
+//!
+//! Paper shape: functions whose data landed in DRAM show >100% relative IPC
+//! and <100% relative latency (advec_cell, calc_dt, flux_calc, pdv,
+//! viscosity); functions stuck on PMem-resident data show the inverse
+//! (ideal_gas, pack_message, reset_field, update_halo).
+
+use bench::Table;
+use ecohmem_core::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let app = workloads::cloverleaf3d::model();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.advisor = advisor::AdvisorConfig::loads_and_stores(12);
+    let out = run_pipeline(&app, &cfg).unwrap();
+
+    let mut t = Table::new(&["function", "rel_ipc_%", "rel_latency_%"]);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (fid, placed_stats) in &out.placed.functions {
+        let Some(mm_stats) = out.memory_mode.function(*fid) else { continue };
+        if placed_stats.instructions <= 0.0 || mm_stats.ipc() <= 0.0 {
+            continue;
+        }
+        let rel_ipc = 100.0 * placed_stats.ipc() / mm_stats.ipc();
+        let rel_lat = if mm_stats.avg_load_latency_ns() > 0.0 {
+            100.0 * placed_stats.avg_load_latency_ns() / mm_stats.avg_load_latency_ns()
+        } else {
+            f64::NAN
+        };
+        rows.push((app.function_name(*fid).to_string(), rel_ipc, rel_lat));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, ipc, lat) in &rows {
+        t.row(vec![name.clone(), format!("{ipc:.1}"), format!("{lat:.1}")]);
+    }
+    println!("{}", t.render());
+
+    // The paper's observation is the inverse correlation between relative
+    // IPC and relative latency across the promoted vs demoted function
+    // groups. (Our analytic loaded-latency model saturates DRAM during
+    // bandwidth-bound placed phases, so absolute latency ratios compress;
+    // the group *ordering* is the preserved signal — see EXPERIMENTS.md.)
+    let promoted = ["advec_cell_kernel", "calc_dt_kernel", "flux_calc_kernel", "pdv_kernel", "viscosity_kernel"];
+    let demoted = ["ideal_gas_kernel", "clover_pack_message_top", "clover_pack_message_front", "reset_field_kernel", "update_halo_kernel"];
+    let group = |names: &[&str], idx: usize| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|(n, ..)| names.contains(&n.as_str()))
+            .map(|r| if idx == 0 { r.1 } else { r.2 })
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!(
+        "\npromoted group: rel IPC {:.1}%, rel latency {:.1}%\n\
+         demoted group:  rel IPC {:.1}%, rel latency {:.1}%\n\
+         inverse correlation holds: {} (paper: promoted IPC 122-212%, latency 44-78%)",
+        group(&promoted, 0),
+        group(&promoted, 1),
+        group(&demoted, 0),
+        group(&demoted, 1),
+        group(&promoted, 0) > group(&demoted, 0) && group(&promoted, 1) < group(&demoted, 1),
+    );
+}

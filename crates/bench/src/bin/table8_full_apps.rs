@@ -1,0 +1,43 @@
+//! Table VIII: speedup of OpenFOAM and LAMMPS w.r.t. memory mode, for the
+//! main (density) and bandwidth-aware HMem Advisor algorithms under both
+//! metric configurations — plus the §VIII-C LULESH numbers (7% → 19%).
+//!
+//! Paper reference points: OpenFOAM main ≈ 0.50/0.52, bandwidth-aware ≈
+//! 1.056/1.061; LAMMPS ≈ 0.96–0.97 everywhere; LULESH base 1.07 →
+//! bandwidth-aware 1.19.
+
+use advisor::Algorithm;
+use bench::Table;
+use ecohmem_core::experiments::{run_cell, Metrics, SweepSpec};
+use memsim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::optane_pmem6();
+    // DRAM limits per the paper: OpenFOAM 11 GB; LAMMPS 14 GB (main) /
+    // 16 GB (bw-aware); LULESH 12 GB.
+    let apps: Vec<(memsim::AppModel, u64, u64)> = vec![
+        (workloads::openfoam::model(), 11, 11),
+        (workloads::lammps::model(), 14, 16),
+        (workloads::lulesh::model(), 12, 12),
+    ];
+
+    let mut t = Table::new(&["app", "algorithm", "metrics", "dram_gib", "speedup"]);
+    for (app, main_gib, bw_gib) in &apps {
+        for &(algorithm, gib, alg_label) in &[
+            (Algorithm::Base, *main_gib, "main"),
+            (Algorithm::BandwidthAware, *bw_gib, "bw-aware"),
+        ] {
+            for &metrics in &[Metrics::Loads, Metrics::LoadsStores] {
+                let cell = run_cell(app, &machine, SweepSpec { dram_gib: gib, metrics, algorithm });
+                t.row(vec![
+                    app.name.clone(),
+                    alg_label.into(),
+                    metrics.label().into(),
+                    gib.to_string(),
+                    format!("{:.3}", cell.speedup),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,8 @@
+//! # bench — experiment harness for the ecoHMEM reproduction
+//!
+//! One binary per paper table/figure (see `src/bin/`), plus shared table
+//! formatting helpers here.
+
+pub mod table;
+
+pub use table::Table;

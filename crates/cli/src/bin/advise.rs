@@ -1,0 +1,71 @@
+//! `ecohmem-advise` — the HMem Advisor stage: trace file in, placement
+//! report out (JSON for the toolchain, or the Table I text format with
+//! `--text`).
+//!
+//! ```text
+//! ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json]
+//!                [--stores] [--bw-aware] [--format bom|hr]
+//!                [--text] [--out FILE]
+//! ```
+
+use advisor::{Advisor, AdvisorConfig, Algorithm};
+use cli::{ok_or_die, usage_error, Args};
+use memtrace::{StackFormat, TierId};
+
+const USAGE: &str = "ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json] \
+                     [--stores] [--bw-aware] [--format bom|hr] [--text] [--out FILE]";
+
+fn main() {
+    let args = Args::from_env();
+    let Some(path) = args.positional.first() else {
+        usage_error("ecohmem-advise", "missing trace file", USAGE);
+    };
+    let trace = ok_or_die("ecohmem-advise", cli::load_trace(path));
+    let profile = ok_or_die("ecohmem-advise", profiler::analyze(&trace));
+
+    let config = if let Some(cfg_path) = args.opt("config") {
+        let text = ok_or_die("ecohmem-advise", std::fs::read_to_string(cfg_path));
+        ok_or_die("ecohmem-advise", AdvisorConfig::from_json(&text))
+    } else {
+        let gib = args.opt_or("dram-gib", 12u64);
+        if args.has("stores") {
+            AdvisorConfig::loads_and_stores(gib)
+        } else {
+            AdvisorConfig::loads_only(gib)
+        }
+    };
+    let algorithm = if args.has("bw-aware") {
+        Algorithm::BandwidthAware
+    } else {
+        Algorithm::Base
+    };
+    let format = match args.opt("format").unwrap_or("bom") {
+        "bom" => StackFormat::Bom,
+        "hr" | "human-readable" => StackFormat::HumanReadable,
+        other => usage_error("ecohmem-advise", &format!("unknown format `{other}`"), USAGE),
+    };
+
+    let advisor = Advisor::new(config);
+    let report = ok_or_die("ecohmem-advise", advisor.advise(&profile, algorithm, format));
+
+    let out = args
+        .opt("out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{}.report.json", profile.app_name));
+    if args.has("text") {
+        let text = report.render_text(&profile.binmap, |t| {
+            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
+        });
+        ok_or_die("ecohmem-advise", std::fs::write(&out, text + "\n"));
+    } else {
+        ok_or_die("ecohmem-advise", report.save(&out));
+    }
+    eprintln!(
+        "wrote {out}: {} sites ({} dram, {} pmem), algorithm {:?}, format {}",
+        report.len(),
+        report.count_for_tier(TierId::DRAM),
+        report.count_for_tier(TierId::PMEM),
+        algorithm,
+        format,
+    );
+}

@@ -1,0 +1,64 @@
+//! `ecohmem-profile` — the Extrae stage: run an application under the
+//! sampling profiler and write the trace file.
+//!
+//! ```text
+//! ecohmem-profile <app> [--machine pmem6|pmem2|hbm] [--rate HZ]
+//!                 [--seed N] [--out FILE]
+//! ```
+
+use cli::{machine_by_name, ok_or_die, usage_error, Args};
+use memsim::{ExecMode, FixedTier};
+use profiler::{profile_run, ProfilerConfig};
+
+const USAGE: &str = "ecohmem-profile <app> [--machine pmem6|pmem2|hbm] [--rate HZ] \
+                     [--seed N] [--out FILE] [--binary]";
+
+fn main() {
+    let args = Args::from_env();
+    let Some(app_name) = args.positional.first() else {
+        usage_error("ecohmem-profile", "missing application name", USAGE);
+    };
+    let Some(app) = workloads::model_by_name(app_name) else {
+        usage_error("ecohmem-profile", &format!("unknown application `{app_name}`"), USAGE);
+    };
+    let machine_name = args.opt("machine").unwrap_or("pmem6");
+    let Some(machine) = machine_by_name(machine_name) else {
+        usage_error("ecohmem-profile", &format!("unknown machine `{machine_name}`"), USAGE);
+    };
+    let cfg = ProfilerConfig {
+        sampling_hz: args.opt_or("rate", 100.0),
+        seed: args.opt_or("seed", ProfilerConfig::default().seed),
+    };
+    let out = args
+        .opt("out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{app_name}.trace.json"));
+
+    eprintln!(
+        "profiling {app_name} on {} at {} Hz (memory mode, as a user would)...",
+        machine.name, cfg.sampling_hz
+    );
+    let backing = machine.largest_tier();
+    let (trace, result) = profile_run(
+        &app,
+        &machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(backing),
+        &cfg,
+    );
+    if args.has("binary") {
+        let f = ok_or_die("ecohmem-profile", std::fs::File::create(&out));
+        ok_or_die(
+            "ecohmem-profile",
+            memtrace::write_trace(&trace, std::io::BufWriter::new(f)),
+        );
+    } else {
+        ok_or_die("ecohmem-profile", trace.save(&out));
+    }
+    eprintln!(
+        "wrote {out}: {} allocation events, {} samples, {:.1}s profiled run",
+        trace.alloc_count(),
+        trace.sample_count(),
+        result.total_time
+    );
+}

@@ -1,0 +1,63 @@
+//! `ecohmem-run` — the FlexMalloc stage: execute an application with its
+//! allocations placed per a report, and compare against Memory Mode.
+//!
+//! ```text
+//! ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm]
+//!             [--aslr N] [--no-baseline]
+//! ```
+
+use cli::{machine_by_name, ok_or_die, usage_error, Args};
+use flexmalloc::FlexMalloc;
+use memsim::{run, ExecMode};
+use memtrace::PlacementReport;
+
+const USAGE: &str =
+    "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] [--no-baseline]";
+
+fn main() {
+    let args = Args::from_env();
+    let Some(app_name) = args.positional.first() else {
+        usage_error("ecohmem-run", "missing application name", USAGE);
+    };
+    let Some(app) = workloads::model_by_name(app_name) else {
+        usage_error("ecohmem-run", &format!("unknown application `{app_name}`"), USAGE);
+    };
+    let Some(report_path) = args.opt("report") else {
+        usage_error("ecohmem-run", "missing --report", USAGE);
+    };
+    let machine_name = args.opt("machine").unwrap_or("pmem6");
+    let Some(machine) = machine_by_name(machine_name) else {
+        usage_error("ecohmem-run", &format!("unknown machine `{machine_name}`"), USAGE);
+    };
+    let report = ok_or_die("ecohmem-run", PlacementReport::load(report_path));
+    ok_or_die("ecohmem-run", report.validate());
+
+    // A production run gets a fresh ASLR layout — matching must survive it.
+    let aslr = args.opt_or("aslr", 0xec0_u64);
+    let mut interposer = ok_or_die(
+        "ecohmem-run",
+        FlexMalloc::new(&report, &app.binmap, aslr, app.ranks),
+    );
+    let placed = run(&app, &machine, ExecMode::AppDirect, &mut interposer);
+    println!(
+        "{app_name} under flexmalloc ({}): {:.2}s wall, {} matched / {} fallback allocations",
+        interposer.matcher().format(),
+        placed.total_time,
+        interposer.stats().matched,
+        interposer.stats().unmatched,
+    );
+    println!(
+        "tier peaks: dram {:.2} GB, pmem {:.2} GB; interposer overhead {:.3}s",
+        placed.tier_peak_bytes[0] as f64 / 1e9,
+        placed.tier_peak_bytes.get(1).copied().unwrap_or(0) as f64 / 1e9,
+        placed.alloc_overhead,
+    );
+    if !args.has("no-baseline") {
+        let mm = baselines::run_memory_mode(&app, &machine);
+        println!(
+            "memory mode: {:.2}s  →  speedup {:.3}x",
+            mm.total_time,
+            mm.total_time / placed.total_time
+        );
+    }
+}

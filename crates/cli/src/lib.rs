@@ -1,0 +1,159 @@
+//! # cli — the ecoHMEM command-line toolchain
+//!
+//! The original ecoHMEM release is a *toolchain*, not a library: users run
+//! a profiling launcher, explore the trace, run the Advisor on it, and
+//! launch the application under FlexMalloc with the resulting report. This
+//! crate mirrors that workflow with on-disk artifacts:
+//!
+//! ```text
+//! ecohmem-profile minife -o minife.trace.json        # Extrae
+//! ecohmem-inspect minife.trace.json                  # Paramedir
+//! ecohmem-advise  minife.trace.json --dram-gib 12 \
+//!                 -o minife.report.json              # HMem Advisor
+//! ecohmem-run     minife --report minife.report.json # FlexMalloc
+//! ```
+//!
+//! Applications are the built-in workload models (`minife`, `minimd`,
+//! `lulesh`, `hpcg`, `cloverleaf3d`, `lammps`, `openfoam`); machines are
+//! the built-in presets (`pmem6`, `pmem2`, `hbm`).
+
+use memsim::MachineConfig;
+use memtrace::{TraceError, TraceFile};
+use std::collections::HashMap;
+
+/// Minimal flag parser: positional arguments plus `--key value` /
+/// `--switch` options. No external dependency needed for four tools.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` options (last occurrence wins).
+    pub options: HashMap<String, String>,
+    /// Bare `--switch` flags.
+    pub switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list. A token starting with `--` consumes the
+    /// next token as its value unless the next token also starts with `--`
+    /// (or is absent), in which case it is a switch.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(key.to_string(), value);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Parses the process's own arguments (skipping `argv[0]`).
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// An option value, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An option parsed into any `FromStr` type, with a default.
+    pub fn opt_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.opt(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// True if a bare switch was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+/// Loads a trace file in either encoding, sniffing the binary magic.
+pub fn load_trace(path: &str) -> Result<TraceFile, TraceError> {
+    let data = std::fs::read(path)?;
+    if data.starts_with(b"ECOHMEM\0") {
+        memtrace::read_trace(&data[..])
+    } else {
+        TraceFile::from_json(std::str::from_utf8(&data).map_err(|e| {
+            TraceError::Malformed(format!("trace is neither binary nor UTF-8 JSON: {e}"))
+        })?)
+    }
+}
+
+/// Resolves a machine preset name.
+pub fn machine_by_name(name: &str) -> Option<MachineConfig> {
+    match name {
+        "pmem6" | "optane-pmem6" => Some(MachineConfig::optane_pmem6()),
+        "pmem2" | "optane-pmem2" => Some(MachineConfig::optane_pmem2()),
+        "hbm" | "hbm-ddr" => Some(MachineConfig::hbm_ddr()),
+        _ => None,
+    }
+}
+
+/// Prints a message to stderr and exits with status 2 (usage error).
+pub fn usage_error(tool: &str, msg: &str, usage: &str) -> ! {
+    eprintln!("{tool}: {msg}\n\nusage: {usage}");
+    std::process::exit(2);
+}
+
+/// Unwraps a result or exits with status 1 and the error on stderr.
+pub fn ok_or_die<T, E: std::fmt::Display>(tool: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{tool}: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_options_and_switches() {
+        let a = Args::parse(
+            ["minife", "--dram-gib", "12", "--stores", "--out", "r.json", "extra"]
+                .map(String::from),
+        );
+        assert_eq!(a.positional, vec!["minife", "extra"]);
+        assert_eq!(a.opt("dram-gib"), Some("12"));
+        assert_eq!(a.opt("out"), Some("r.json"));
+        assert!(a.has("stores"));
+        assert!(!a.has("bw-aware"));
+        assert_eq!(a.opt_or("dram-gib", 0u64), 12);
+        assert_eq!(a.opt_or("missing", 7u64), 7);
+    }
+
+    #[test]
+    fn trailing_switch_has_no_value() {
+        let a = Args::parse(["--fast"].map(String::from));
+        assert!(a.has("fast"));
+        assert!(a.opt("fast").is_none());
+    }
+
+    #[test]
+    fn double_dash_value_becomes_switch_pair() {
+        let a = Args::parse(["--a", "--b"].map(String::from));
+        assert!(a.has("a"));
+        assert!(a.has("b"));
+    }
+
+    #[test]
+    fn machine_presets_resolve() {
+        assert!(machine_by_name("pmem6").is_some());
+        assert!(machine_by_name("pmem2").is_some());
+        assert!(machine_by_name("hbm").is_some());
+        assert!(machine_by_name("knl").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests driving the actual CLI binaries end to end through
+//! temp files, the way a user runs the toolchain.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecohmem-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bin(name: &str) -> Command {
+    let path = match name {
+        "profile" => env!("CARGO_BIN_EXE_ecohmem-profile"),
+        "inspect" => env!("CARGO_BIN_EXE_ecohmem-inspect"),
+        "advise" => env!("CARGO_BIN_EXE_ecohmem-advise"),
+        "run" => env!("CARGO_BIN_EXE_ecohmem-run"),
+        _ => unreachable!(),
+    };
+    Command::new(path)
+}
+
+#[test]
+fn full_toolchain_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let trace = dir.join("minife.trace.json");
+    let report = dir.join("minife.report.json");
+
+    let out = bin("profile")
+        .args(["minife", "--out", trace.to_str().unwrap(), "--rate", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = bin("inspect")
+        .args([trace.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("application minife"), "{stdout}");
+
+    let out = bin("advise")
+        .args([trace.to_str().unwrap(), "--dram-gib", "12", "--out", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(report.exists());
+
+    let out = bin("run")
+        .args(["minife", "--report", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("speedup"), "{stdout}");
+    // MiniFE's win must survive the file round trip.
+    let speedup: f64 = stdout
+        .split("speedup ")
+        .nth(1)
+        .and_then(|s| s.split('x').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("speedup in output");
+    assert!(speedup > 1.5, "speedup {speedup}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn advise_emits_parseable_text_reports() {
+    let dir = tmpdir("text");
+    let trace = dir.join("t.json");
+    let report_txt = dir.join("r.txt");
+
+    assert!(bin("profile")
+        .args(["minife", "--out", trace.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(bin("advise")
+        .args([
+            trace.to_str().unwrap(),
+            "--dram-gib",
+            "8",
+            "--text",
+            "--out",
+            report_txt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // The emitted text parses back with the library parser.
+    let text = std::fs::read_to_string(&report_txt).unwrap();
+    let tracefile = memtrace::TraceFile::load(&trace).unwrap();
+    let parsed = memtrace::parse_report(&text, &tracefile.binmap, &|name| match name {
+        "dram" => Some(memtrace::TierId::DRAM),
+        "pmem" => Some(memtrace::TierId::PMEM),
+        _ => None,
+    })
+    .unwrap();
+    assert!(!parsed.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_traces_round_trip_through_the_toolchain() {
+    let dir = tmpdir("binary");
+    let trace = dir.join("t.bin");
+    let report = dir.join("r.json");
+    assert!(bin("profile")
+        .args(["minife", "--out", trace.to_str().unwrap(), "--binary"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    // The file really is binary.
+    let head = std::fs::read(&trace).unwrap();
+    assert_eq!(&head[..8], b"ECOHMEM\0");
+    // advise and inspect sniff the format.
+    assert!(bin("inspect").args([trace.to_str().unwrap()]).output().unwrap().status.success());
+    assert!(bin("advise")
+        .args([trace.to_str().unwrap(), "--out", report.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_with_status_2() {
+    let out = bin("profile").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin("advise").args(["nonexistent-app"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing file is a runtime error");
+    let out = bin("run").args(["minife"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing --report");
+}

@@ -1,0 +1,156 @@
+//! Experiment sweeps: the grids behind Fig. 6 and Table VIII.
+
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use advisor::{AdvisorConfig, Algorithm};
+use memsim::{AppModel, MachineConfig};
+use memtrace::StackFormat;
+use profiler::ProfilerConfig;
+
+/// Which metric configuration a sweep cell uses (Fig. 6's two bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metrics {
+    /// LLC load misses only.
+    Loads,
+    /// LLC load misses + L1D store misses (§V).
+    LoadsStores,
+}
+
+impl Metrics {
+    /// Builds the matching Advisor configuration for a DRAM budget.
+    pub fn advisor_config(self, dram_gib: u64) -> AdvisorConfig {
+        match self {
+            Metrics::Loads => AdvisorConfig::loads_only(dram_gib),
+            Metrics::LoadsStores => AdvisorConfig::loads_and_stores(dram_gib),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metrics::Loads => "loads",
+            Metrics::LoadsStores => "loads+stores",
+        }
+    }
+}
+
+/// One cell of a sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSpec {
+    /// DRAM budget in GiB.
+    pub dram_gib: u64,
+    /// Metric configuration.
+    pub metrics: Metrics,
+    /// Placement algorithm.
+    pub algorithm: Algorithm,
+}
+
+/// A computed sweep cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Application name.
+    pub app: String,
+    /// Machine name.
+    pub machine: String,
+    /// The sweep parameters.
+    pub spec: SweepSpec,
+    /// Speedup of ecoHMEM over Memory Mode.
+    pub speedup: f64,
+    /// Placed run wall time, seconds.
+    pub placed_time: f64,
+    /// Memory Mode wall time, seconds.
+    pub memory_mode_time: f64,
+}
+
+/// Runs a grid of pipeline configurations over a set of applications,
+/// parallelized across cells with scoped threads.
+pub fn sweep(
+    apps: &[AppModel],
+    machine: &MachineConfig,
+    specs: &[SweepSpec],
+) -> Vec<SweepCell> {
+    let jobs: Vec<(usize, &AppModel, SweepSpec)> = apps
+        .iter()
+        .flat_map(|app| specs.iter().map(move |s| (*s, app)))
+        .enumerate()
+        .map(|(i, (s, app))| (i, app, s))
+        .collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (_, app, spec) = &jobs[i];
+                let cell = run_cell(app, machine, *spec);
+                results.lock()[i] = Some(cell);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|c| c.expect("every job ran"))
+        .collect()
+}
+
+/// Runs one sweep cell.
+pub fn run_cell(app: &AppModel, machine: &MachineConfig, spec: SweepSpec) -> SweepCell {
+    let cfg = PipelineConfig {
+        machine: machine.clone(),
+        advisor: spec.metrics.advisor_config(spec.dram_gib),
+        algorithm: spec.algorithm,
+        stack_format: StackFormat::Bom,
+        profiler: ProfilerConfig::default(),
+        thresholds: Default::default(),
+        profile_aslr_seed: 101,
+        deploy_aslr_seed: 202,
+    };
+    let out = run_pipeline(app, &cfg).expect("pipeline runs on valid models");
+    SweepCell {
+        app: app.name.clone(),
+        machine: machine.name.clone(),
+        spec,
+        speedup: out.speedup(),
+        placed_time: out.placed.total_time,
+        memory_mode_time: out.memory_mode.total_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let apps = vec![workloads::minife::model()];
+        let mach = MachineConfig::optane_pmem6();
+        let specs = vec![
+            SweepSpec { dram_gib: 4, metrics: Metrics::Loads, algorithm: Algorithm::Base },
+            SweepSpec { dram_gib: 12, metrics: Metrics::Loads, algorithm: Algorithm::Base },
+        ];
+        let cells = sweep(&apps, &mach, &specs);
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert_eq!(c.app, "minife");
+            assert!(c.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_map_to_configs() {
+        assert_eq!(Metrics::Loads.advisor_config(8).primary().store_coeff, 0.0);
+        assert!(Metrics::LoadsStores.advisor_config(8).primary().store_coeff > 0.0);
+        assert_eq!(Metrics::Loads.label(), "loads");
+    }
+}

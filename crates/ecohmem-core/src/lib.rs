@@ -1,0 +1,27 @@
+//! # ecohmem-core — the ecoHMEM pipeline
+//!
+//! Ties the whole workflow of Fig. 1 together:
+//!
+//! ```text
+//! production binary ──► Extrae-like profiler ──► trace file
+//!                                                   │
+//!                                              Paramedir-like
+//!                                                analyzer
+//!                                                   │
+//!                                             HMem Advisor ──► placement report
+//!                                                                    │
+//! same binary, new run ───────────────► FlexMalloc interposer ◄──────┘
+//!                                              │
+//!                                       placed execution
+//! ```
+//!
+//! [`pipeline`] runs the five steps end to end for one application on one
+//! machine; [`experiments`] sweeps pipelines across applications, DRAM
+//! budgets, metric configurations and machines (the Fig. 6 / Table VIII
+//! grids), optionally in parallel.
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use experiments::{sweep, SweepCell, SweepSpec};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutcome};

@@ -1,0 +1,161 @@
+//! The end-to-end ecoHMEM pipeline for one application.
+
+use advisor::{Advisor, AdvisorConfig, Algorithm, BwThresholds, Classification};
+use flexmalloc::{FlexMalloc, MatchStats};
+use memsim::{run, AppModel, ExecMode, FixedTier, MachineConfig, RunResult};
+use memtrace::{PlacementReport, StackFormat, TraceError, TraceFile};
+use profiler::{analyze, profile_run, ProfileSet, ProfilerConfig};
+
+/// Everything a pipeline run needs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The machine to run on.
+    pub machine: MachineConfig,
+    /// Advisor configuration (tier budgets + coefficients).
+    pub advisor: AdvisorConfig,
+    /// Placement algorithm.
+    pub algorithm: Algorithm,
+    /// Call-stack format of the placement report (BOM unless reproducing
+    /// the §VIII-D comparison).
+    pub stack_format: StackFormat,
+    /// Profiler settings (rate + sampling seed).
+    pub profiler: ProfilerConfig,
+    /// Bandwidth-aware thresholds.
+    pub thresholds: BwThresholds,
+    /// ASLR seed of the profiling execution.
+    pub profile_aslr_seed: u64,
+    /// ASLR seed of the production (deployed) execution — deliberately
+    /// different: matching must survive relocation.
+    pub deploy_aslr_seed: u64,
+}
+
+impl PipelineConfig {
+    /// The paper's main setup: PMem-6 machine, 12 GB DRAM budget,
+    /// loads-only metrics, base algorithm, BOM stacks, 100 Hz sampling.
+    pub fn paper_default() -> Self {
+        PipelineConfig {
+            machine: MachineConfig::optane_pmem6(),
+            advisor: AdvisorConfig::loads_only(12),
+            algorithm: Algorithm::Base,
+            stack_format: StackFormat::Bom,
+            profiler: ProfilerConfig::default(),
+            thresholds: BwThresholds::default(),
+            profile_aslr_seed: 101,
+            deploy_aslr_seed: 202,
+        }
+    }
+}
+
+/// The artifacts and results of one pipeline run.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The profiling trace (what Extrae wrote).
+    pub trace: TraceFile,
+    /// The analyzed profile (what Paramedir extracted).
+    pub profile: ProfileSet,
+    /// The Advisor's placement report.
+    pub report: PlacementReport,
+    /// Bandwidth-aware classification, when that algorithm ran.
+    pub classification: Option<Classification>,
+    /// The placed (FlexMalloc) execution.
+    pub placed: RunResult,
+    /// The Memory Mode baseline execution.
+    pub memory_mode: RunResult,
+    /// FlexMalloc matching statistics of the placed run.
+    pub match_stats: MatchStats,
+}
+
+impl PipelineOutcome {
+    /// Speedup of the placed run over the Memory Mode baseline — the
+    /// number every paper figure reports.
+    pub fn speedup(&self) -> f64 {
+        self.placed.speedup_vs(&self.memory_mode)
+    }
+}
+
+/// Runs the full pipeline for one application.
+pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutcome, TraceError> {
+    // 1. Profile: the paper profiles the production-ready binary on the
+    // target machine; the memory mode it runs under does not change the
+    // LLC-miss statistics the Advisor consumes.
+    let backing = cfg.machine.largest_tier();
+    let (trace, _profiling_run) = profile_run(
+        app,
+        &cfg.machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(backing),
+        &cfg.profiler,
+    );
+
+    // 2. Analyze (Paramedir).
+    let profile = analyze(&trace)?;
+
+    // 3. Advise.
+    let advisor = Advisor::new(cfg.advisor.clone()).with_thresholds(cfg.thresholds);
+    let (_, classification) = advisor.assign(&profile, cfg.algorithm);
+    let report = advisor.advise(&profile, cfg.algorithm, cfg.stack_format)?;
+
+    // 4. Deploy: same binary, new execution, new ASLR layout, FlexMalloc
+    // interposing with the report.
+    let mut interposer =
+        FlexMalloc::new(&report, &app.binmap, cfg.deploy_aslr_seed, app.ranks)?;
+    let placed = run(app, &cfg.machine, ExecMode::AppDirect, &mut interposer);
+    let match_stats = interposer.stats();
+
+    // 5. Baseline for comparison.
+    let memory_mode = baselines::run_memory_mode(app, &cfg.machine);
+
+    Ok(PipelineOutcome {
+        trace,
+        profile,
+        report,
+        classification,
+        placed,
+        memory_mode,
+        match_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minife_pipeline_reproduces_the_headline_win() {
+        let app = workloads::minife::model();
+        let cfg = PipelineConfig::paper_default();
+        let out = run_pipeline(&app, &cfg).unwrap();
+        let s = out.speedup();
+        assert!(s > 1.6, "MiniFE speedup {s:.2} (paper: up to 2.22x)");
+        // Every allocation matched: profiling and deployment use the same
+        // binary.
+        assert_eq!(out.match_stats.unmatched, 0);
+        assert!(out.match_stats.matched > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let app = workloads::hpcg::model();
+        let cfg = PipelineConfig::paper_default();
+        let a = run_pipeline(&app, &cfg).unwrap();
+        let b = run_pipeline(&app, &cfg).unwrap();
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn bandwidth_aware_never_collapses_lammps() {
+        // §VIII-C: "even in this unfavorable case, the bandwidth-aware
+        // algorithm does not introduce any performance penalty, and the
+        // slowdown of our framework is kept below 4%". The paper runs the
+        // bandwidth-aware algorithm with a 16 GB limit (it is "less
+        // aggressive trying to utilize all the DRAM available").
+        let app = workloads::lammps::model();
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.advisor = AdvisorConfig::loads_only(16);
+        cfg.algorithm = Algorithm::BandwidthAware;
+        let out = run_pipeline(&app, &cfg).unwrap();
+        let s = out.speedup();
+        assert!(s > 0.9, "LAMMPS bandwidth-aware speedup {s:.3}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # flexmalloc — the runtime allocation interposer
+//!
+//! FlexMalloc (§IV-C) is an LD_PRELOAD interposition library that reads the
+//! Advisor's placement report at process initialization and, on every heap
+//! allocation, captures the call stack, matches it against the report, and
+//! forwards the request to the heap manager of the assigned memory tier
+//! (memkind for PMem, POSIX malloc for DRAM on the paper's machine), with a
+//! fallback tier for unlisted stacks and out-of-space conditions.
+//!
+//! The crate models both Table I matching modes with their real cost
+//! structure (contribution §VI):
+//!
+//! * **BOM** — at init, the library computes the absolute address of every
+//!   frame of every report entry under the current ASLR layout; at each
+//!   allocation it compares raw captured addresses — a handful of integer
+//!   comparisons.
+//! * **Human-readable** — the library must keep the binaries' debug
+//!   information resident (a per-rank DRAM footprint) and translate every
+//!   captured frame to `file:line` before string-comparing against the
+//!   report — a per-allocation cost that grows with binary size.
+
+pub mod interposer;
+pub mod matching;
+
+pub use interposer::FlexMalloc;
+pub use matching::{MatchStats, Matcher};

@@ -1,0 +1,264 @@
+//! Call-stack matching against the placement report, in both Table I
+//! formats, with the §VI cost model.
+
+use memtrace::{
+    BinaryMap, CallStack, LoadMap, PlacementReport, ReportStack, StackFormat, TierId,
+    TraceError,
+};
+use std::collections::HashMap;
+
+/// Matching statistics maintained by the interposer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Allocations whose stack matched a report entry.
+    pub matched: u64,
+    /// Allocations that fell back (unlisted stack).
+    pub unmatched: u64,
+}
+
+/// A report matcher bound to one process image (ASLR layout).
+#[derive(Debug)]
+pub struct Matcher {
+    format: StackFormat,
+    fallback: TierId,
+    /// BOM mode: absolute frame addresses (computed once at init, as the
+    /// real library does) → tier.
+    by_address: HashMap<Vec<u64>, TierId>,
+    /// HR mode: rendered `file:line` stacks → tier.
+    by_location: HashMap<String, TierId>,
+    /// Per-allocation matching cost, seconds.
+    cost_per_alloc: f64,
+    /// Resident debug-information bytes (HR mode only), per rank.
+    debug_info_bytes: u64,
+}
+
+/// BOM: a few address comparisons plus a hash — ~100 ns per allocation.
+const BOM_COST_PER_FRAME: f64 = 40e-9;
+/// HR: an addr2line-style lookup in the (binutils-parsed) line tables plus
+/// string comparison; dominated by debug-info parsing state proportional to
+/// the binary's size.
+const HR_BASE_COST_PER_FRAME: f64 = 2e-6;
+const HR_COST_PER_TEXT_MIB: f64 = 0.4e-6;
+
+impl Matcher {
+    /// Builds a matcher for a report under a concrete ASLR layout.
+    ///
+    /// BOM reports absolutize every entry's frames once here (§VI: "during
+    /// the process initialization the library obtains the base address
+    /// where each shared-library is loaded ... and calculates the absolute
+    /// addresses for each frame of every call-stack").
+    pub fn new(
+        report: &PlacementReport,
+        binmap: &BinaryMap,
+        layout: &LoadMap,
+    ) -> Result<Self, TraceError> {
+        report.validate()?;
+        let mut by_address = HashMap::new();
+        let mut by_location = HashMap::new();
+        let mut avg_depth = 0.0;
+        for entry in &report.entries {
+            avg_depth += entry.stack.depth() as f64;
+            match &entry.stack {
+                ReportStack::Bom(stack) => {
+                    let abs = layout
+                        .absolutize(stack)
+                        .ok_or(TraceError::Malformed(
+                            "report references a module absent from this process".into(),
+                        ))?;
+                    by_address.insert(abs, entry.tier);
+                }
+                ReportStack::Human(h) => {
+                    by_location.insert(h.render(), entry.tier);
+                }
+            }
+        }
+        if !report.entries.is_empty() {
+            avg_depth /= report.entries.len() as f64;
+        }
+
+        let (cost_per_alloc, debug_info_bytes) = match report.format {
+            StackFormat::Bom => (BOM_COST_PER_FRAME * avg_depth.max(1.0), 0),
+            StackFormat::HumanReadable => {
+                let text_mib: f64 = binmap
+                    .modules()
+                    .iter()
+                    .map(|m| m.text_size as f64 / (1 << 20) as f64)
+                    .sum();
+                (
+                    (HR_BASE_COST_PER_FRAME + HR_COST_PER_TEXT_MIB * text_mib)
+                        * avg_depth.max(1.0),
+                    binmap.total_debug_info_bytes(),
+                )
+            }
+        };
+
+        Ok(Matcher {
+            format: report.format,
+            fallback: report.fallback,
+            by_address,
+            by_location,
+            cost_per_alloc,
+            debug_info_bytes,
+        })
+    }
+
+    /// The report's stack format.
+    pub fn format(&self) -> StackFormat {
+        self.format
+    }
+
+    /// The report's fallback tier.
+    pub fn fallback(&self) -> TierId {
+        self.fallback
+    }
+
+    /// Modelled per-allocation matching cost, seconds.
+    pub fn cost_per_alloc(&self) -> f64 {
+        self.cost_per_alloc
+    }
+
+    /// Debug-info bytes the matcher keeps resident per rank (0 in BOM).
+    pub fn debug_info_bytes(&self) -> u64 {
+        self.debug_info_bytes
+    }
+
+    /// Matches a captured call stack. `captured` is the raw absolute
+    /// addresses FlexMalloc collected from the stack walk; `binmap` and
+    /// `layout` describe the running process. Returns the assigned tier,
+    /// or `None` for unlisted (→ fallback) stacks.
+    pub fn match_stack(
+        &self,
+        captured: &[u64],
+        binmap: &BinaryMap,
+        layout: &LoadMap,
+    ) -> Option<TierId> {
+        match self.format {
+            StackFormat::Bom => self.by_address.get(captured).copied(),
+            StackFormat::HumanReadable => {
+                // Translate each captured address via debug info, then
+                // compare the rendered human-readable stack.
+                let canonical: CallStack = layout.canonicalize(captured)?;
+                let human = binmap.translate(&canonical).ok()?;
+                self.by_location.get(&human.render()).copied()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{BinaryMapBuilder, Frame, ModuleId, ReportEntry};
+
+    fn image() -> BinaryMap {
+        let mut b = BinaryMapBuilder::new();
+        b.add_module("a.out", 128 * 1024, 4 << 20, vec!["main.c".into()]);
+        b.add_module("libsolver.so", 512 * 1024, 16 << 20, vec!["solver.c".into()]);
+        b.build()
+    }
+
+    fn bom_report() -> PlacementReport {
+        let mut r = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+        r.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![
+                Frame::new(ModuleId(1), 0x400),
+                Frame::new(ModuleId(0), 0x80),
+            ])),
+            tier: TierId::DRAM,
+            max_size: 4096,
+        });
+        r
+    }
+
+    #[test]
+    fn bom_matching_is_aslr_invariant() {
+        let map = image();
+        let report = bom_report();
+        let stack = CallStack::new(vec![
+            Frame::new(ModuleId(1), 0x400),
+            Frame::new(ModuleId(0), 0x80),
+        ]);
+        for seed in [1, 2, 3] {
+            let layout = LoadMap::randomize(&map, seed);
+            let m = Matcher::new(&report, &map, &layout).unwrap();
+            let captured = layout.absolutize(&stack).unwrap();
+            assert_eq!(
+                m.match_stack(&captured, &map, &layout),
+                Some(TierId::DRAM),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unlisted_stacks_do_not_match() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 9);
+        let m = Matcher::new(&bom_report(), &map, &layout).unwrap();
+        let other = CallStack::new(vec![Frame::new(ModuleId(0), 0x100)]);
+        let captured = layout.absolutize(&other).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), None);
+        assert_eq!(m.fallback(), TierId::PMEM);
+    }
+
+    #[test]
+    fn hr_matching_translates_and_matches() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let hr = bom_report().to_human_readable(&map).unwrap();
+        let m = Matcher::new(&hr, &map, &layout).unwrap();
+        let stack = CallStack::new(vec![
+            Frame::new(ModuleId(1), 0x400),
+            Frame::new(ModuleId(0), 0x80),
+        ]);
+        let captured = layout.absolutize(&stack).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+    }
+
+    #[test]
+    fn hr_costs_more_and_pins_debug_info() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let bom = Matcher::new(&bom_report(), &map, &layout).unwrap();
+        let hr_report = bom_report().to_human_readable(&map).unwrap();
+        let hr = Matcher::new(&hr_report, &map, &layout).unwrap();
+        assert!(
+            hr.cost_per_alloc() > 10.0 * bom.cost_per_alloc(),
+            "HR {} vs BOM {}",
+            hr.cost_per_alloc(),
+            bom.cost_per_alloc()
+        );
+        assert_eq!(bom.debug_info_bytes(), 0);
+        assert_eq!(hr.debug_info_bytes(), 20 << 20);
+    }
+
+    #[test]
+    fn hr_offsets_in_same_line_range_still_match() {
+        // Two offsets within the same 64-byte line-table range translate to
+        // the same file:line — HR matching is coarser than BOM, exactly as
+        // with real debug info.
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let hr_report = bom_report().to_human_readable(&map).unwrap();
+        let m = Matcher::new(&hr_report, &map, &layout).unwrap();
+        let nearby = CallStack::new(vec![
+            Frame::new(ModuleId(1), 0x410), // same 64 B range as 0x400
+            Frame::new(ModuleId(0), 0x90),  // same range as 0x80
+        ]);
+        let captured = layout.absolutize(&nearby).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+    }
+
+    #[test]
+    fn rejects_report_for_foreign_image() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let mut r = bom_report();
+        r.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![Frame::new(ModuleId(7), 0)])),
+            tier: TierId::DRAM,
+            max_size: 1,
+        });
+        assert!(Matcher::new(&r, &map, &layout).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Run results: everything the profilers, baselines, and experiment
+//! harness read off an execution.
+
+use memtrace::{FuncId, ObjectId, SiteId, TierId};
+use serde::{Deserialize, Serialize};
+
+/// Lifetime record of one dynamic allocation, with its accumulated access
+/// counts — the per-object data behind Figs. 4/5 and the bandwidth-aware
+/// Advisor inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// Instance id.
+    pub object: ObjectId,
+    /// Allocation site.
+    pub site: SiteId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Simulated virtual address.
+    pub address: u64,
+    /// Tier the object finally resided in (last tier if migrated).
+    pub tier: TierId,
+    /// Allocation time, seconds.
+    pub alloc_time: f64,
+    /// Free time, seconds (end of run for objects alive at exit).
+    pub free_time: f64,
+    /// Phase ordinal of the allocation.
+    pub alloc_phase: u32,
+    /// Loads issued against the object over its lifetime.
+    pub loads: f64,
+    /// Stores issued against the object.
+    pub stores: f64,
+    /// LLC load misses served from memory for this object.
+    pub load_misses: f64,
+    /// L1D store misses (write-back producers) for this object.
+    pub store_misses: f64,
+    /// Per-phase activity: `(phase, load_misses, store_misses, stores)`
+    /// increments, in phase order. Lets the profiler place samples in the
+    /// phases where the accesses actually happened.
+    #[serde(default)]
+    pub phase_activity: Vec<(u32, f64, f64, f64)>,
+}
+
+impl ObjectRecord {
+    /// Object lifetime in seconds.
+    pub fn lifetime(&self) -> f64 {
+        (self.free_time - self.alloc_time).max(0.0)
+    }
+
+    /// Average memory bandwidth the object consumed over its lifetime,
+    /// bytes/second (misses × cache line / lifetime).
+    pub fn avg_bandwidth(&self, cacheline: u64) -> f64 {
+        let lt = self.lifetime();
+        if lt <= 0.0 {
+            return 0.0;
+        }
+        (self.load_misses + self.store_misses) * cacheline as f64 / lt
+    }
+}
+
+/// Aggregated statistics for one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase ordinal.
+    pub index: u32,
+    /// Optional model label.
+    pub label: Option<String>,
+    /// Phase start time, seconds.
+    pub start: f64,
+    /// Phase duration, seconds.
+    pub duration: f64,
+    /// Pure-compute time of the phase (no memory stalls), seconds.
+    pub compute_time: f64,
+    /// Achieved read bandwidth per tier, bytes/second.
+    pub tier_read_bw: Vec<f64>,
+    /// Achieved write bandwidth per tier, bytes/second.
+    pub tier_write_bw: Vec<f64>,
+    /// DRAM-cache hit ratio (Memory Mode phases only).
+    pub dram_cache_hit_ratio: Option<f64>,
+    /// Bytes migrated between tiers at this phase's start.
+    pub migrated_bytes: u64,
+}
+
+/// Per-function accumulators for Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FunctionStats {
+    /// Instructions retired by the function.
+    pub instructions: f64,
+    /// Cycle-slots attributed to the function.
+    pub cycles: f64,
+    /// LLC load misses issued by the function.
+    pub load_misses: f64,
+    /// Σ (miss × latency_ns), for the average-load-latency column.
+    pub latency_ns_weighted: f64,
+}
+
+impl FunctionStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.instructions / self.cycles
+    }
+
+    /// Average load-miss latency in nanoseconds.
+    pub fn avg_load_latency_ns(&self) -> f64 {
+        if self.load_misses <= 0.0 {
+            return 0.0;
+        }
+        self.latency_ns_weighted / self.load_misses
+    }
+}
+
+/// The complete result of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Application name.
+    pub app: String,
+    /// Machine configuration name.
+    pub machine: String,
+    /// Execution mode label (`app-direct` / `memory-mode`).
+    pub mode: String,
+    /// Placement policy name.
+    pub policy: String,
+    /// Total wall-clock time, seconds (includes allocator overhead).
+    pub total_time: f64,
+    /// Total pure-compute time, seconds.
+    pub compute_time: f64,
+    /// Total instructions retired.
+    pub instructions: f64,
+    /// Seconds spent in allocation interception/matching overhead.
+    pub alloc_overhead: f64,
+    /// Aggregate cycle-slots of the run (cores × freq × time).
+    pub cycles: f64,
+    /// Per-phase statistics, in order.
+    pub phases: Vec<PhaseStats>,
+    /// Per-function statistics.
+    pub functions: Vec<(FuncId, FunctionStats)>,
+    /// Per-object lifetime records.
+    pub objects: Vec<ObjectRecord>,
+    /// Peak heap bytes per tier.
+    pub tier_peak_bytes: Vec<u64>,
+    /// Allocations that could not be served by the policy's preferred tier
+    /// and spilled to another.
+    pub fallback_allocs: u64,
+    /// Allocations that exceeded every tier's capacity (overcommitted into
+    /// the largest tier; zero in all paper configurations).
+    pub oom_events: u64,
+}
+
+impl RunResult {
+    /// Overall instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.instructions / self.cycles
+    }
+
+    /// Fraction of time the pipeline was bound on memory — the analogue of
+    /// VTune's "Memory Bound pipeline slots" of Table VI.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.compute_time / self.total_time).clamp(0.0, 1.0)
+    }
+
+    /// Load-miss-weighted DRAM-cache hit ratio over all Memory Mode phases.
+    pub fn dram_cache_hit_ratio(&self) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in &self.phases {
+            if let Some(h) = p.dram_cache_hit_ratio {
+                // Weight by the phase's total off-LLC read traffic.
+                let w: f64 = p.tier_read_bw.iter().sum::<f64>() * p.duration;
+                num += h * w;
+                den += w;
+            }
+        }
+        if den > 0.0 {
+            Some(num / den)
+        } else {
+            None
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same model
+    /// (baseline_time / this_time, so >1 means faster).
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        baseline.total_time / self.total_time
+    }
+
+    /// Time series of a tier's total (read + write) bandwidth:
+    /// `(phase_start_seconds, bytes_per_second)` — Figs. 3 and 7.
+    pub fn tier_bw_series(&self, tier: TierId) -> Vec<(f64, f64)> {
+        self.phases
+            .iter()
+            .map(|p| {
+                let i = tier.0 as usize;
+                let bw = p.tier_read_bw.get(i).copied().unwrap_or(0.0)
+                    + p.tier_write_bw.get(i).copied().unwrap_or(0.0);
+                (p.start, bw)
+            })
+            .collect()
+    }
+
+    /// Peak total bandwidth seen on a tier across phases.
+    pub fn tier_peak_bw(&self, tier: TierId) -> f64 {
+        self.tier_bw_series(tier)
+            .into_iter()
+            .map(|(_, bw)| bw)
+            .fold(0.0, f64::max)
+    }
+
+    /// Stats for one function.
+    pub fn function(&self, f: FuncId) -> Option<&FunctionStats> {
+        self.functions.iter().find(|(id, _)| *id == f).map(|(_, s)| s)
+    }
+
+    /// Objects that lived in a given tier.
+    pub fn objects_in_tier(&self, tier: TierId) -> Vec<&ObjectRecord> {
+        self.objects.iter().filter(|o| o.tier == tier).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(tier: TierId, misses: f64, lifetime: f64) -> ObjectRecord {
+        ObjectRecord {
+            object: ObjectId(1),
+            site: SiteId(0),
+            size: 1024,
+            address: 0,
+            tier,
+            alloc_time: 1.0,
+            free_time: 1.0 + lifetime,
+            alloc_phase: 0,
+            loads: misses * 10.0,
+            stores: 0.0,
+            load_misses: misses,
+            store_misses: 0.0,
+            phase_activity: vec![(0, misses, 0.0, 0.0)],
+        }
+    }
+
+    #[test]
+    fn object_lifetime_and_bandwidth() {
+        let o = obj(TierId::PMEM, 1e9, 10.0);
+        assert!((o.lifetime() - 10.0).abs() < 1e-12);
+        assert!((o.avg_bandwidth(64) - 6.4e9).abs() < 1.0);
+        let degenerate = obj(TierId::PMEM, 1e9, 0.0);
+        assert_eq!(degenerate.avg_bandwidth(64), 0.0);
+    }
+
+    #[test]
+    fn function_stats_derivations() {
+        let f = FunctionStats {
+            instructions: 100.0,
+            cycles: 50.0,
+            load_misses: 10.0,
+            latency_ns_weighted: 2000.0,
+        };
+        assert!((f.ipc() - 2.0).abs() < 1e-12);
+        assert!((f.avg_load_latency_ns() - 200.0).abs() < 1e-12);
+        assert_eq!(FunctionStats::default().ipc(), 0.0);
+    }
+
+    fn result(total: f64, compute: f64) -> RunResult {
+        RunResult {
+            app: "t".into(),
+            machine: "m".into(),
+            mode: "app-direct".into(),
+            policy: "p".into(),
+            total_time: total,
+            compute_time: compute,
+            instructions: 1e9,
+            alloc_overhead: 0.0,
+            cycles: 2e9,
+            phases: vec![],
+            functions: vec![],
+            objects: vec![],
+            tier_peak_bytes: vec![],
+            fallback_allocs: 0,
+            oom_events: 0,
+        }
+    }
+
+    #[test]
+    fn memory_bound_fraction_and_speedup() {
+        let fast = result(10.0, 5.0);
+        let slow = result(20.0, 5.0);
+        assert!((fast.memory_bound_fraction() - 0.5).abs() < 1e-12);
+        assert!((slow.memory_bound_fraction() - 0.75).abs() < 1e-12);
+        assert!((fast.speedup_vs(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bw_series_sums_read_and_write() {
+        let mut r = result(1.0, 0.5);
+        r.phases.push(PhaseStats {
+            index: 0,
+            label: None,
+            start: 0.0,
+            duration: 1.0,
+            compute_time: 0.5,
+            tier_read_bw: vec![1e9, 2e9],
+            tier_write_bw: vec![0.5e9, 0.25e9],
+            dram_cache_hit_ratio: None,
+            migrated_bytes: 0,
+        });
+        let s = r.tier_bw_series(TierId::PMEM);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].1 - 2.25e9).abs() < 1.0);
+        assert!((r.tier_peak_bw(TierId::DRAM) - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn hit_ratio_weighted_over_phases() {
+        let mut r = result(2.0, 1.0);
+        for (hit, bw) in [(0.9, 3e9), (0.3, 1e9)] {
+            r.phases.push(PhaseStats {
+                index: 0,
+                label: None,
+                start: 0.0,
+                duration: 1.0,
+                compute_time: 0.5,
+                tier_read_bw: vec![bw],
+                tier_write_bw: vec![0.0],
+                dram_cache_hit_ratio: Some(hit),
+                migrated_bytes: 0,
+            });
+        }
+        let h = r.dram_cache_hit_ratio().unwrap();
+        assert!((h - (0.9 * 3.0 + 0.3 * 1.0) / 4.0).abs() < 1e-9);
+        assert_eq!(result(1.0, 1.0).dram_cache_hit_ratio(), None);
+    }
+}

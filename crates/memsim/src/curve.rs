@@ -1,0 +1,104 @@
+//! Loaded-latency curves: access latency as a function of bandwidth
+//! utilization.
+//!
+//! Fig. 2 of the paper (measured with Intel MLC) shows that both DRAM and
+//! PMem latencies are flat at low bandwidth and grow quickly as traffic
+//! approaches the device's peak — and that the gap *widens*: at 22 GB/s,
+//! PMem read latency is 2.3× DRAM's. This queueing behaviour is the whole
+//! reason a bandwidth-unaware placement can lose (§VII's A/B example), so
+//! the model must capture the shape, not just two endpoints.
+//!
+//! We use a polynomial loading model, `lat(u) = base + span·u^alpha` with
+//! `u` the device utilization (demand/peak, clamped), which matches the
+//! convex "hockey stick" of measured loaded-latency curves and is cheap and
+//! smooth for the fixed-point solve in the engine.
+
+use serde::{Deserialize, Serialize};
+
+/// A loaded-latency curve for one access direction of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurve {
+    /// Unloaded (idle) latency in nanoseconds.
+    pub base_ns: f64,
+    /// Additional latency at full utilization, nanoseconds.
+    pub span_ns: f64,
+    /// Convexity exponent; larger keeps the curve flat longer before the
+    /// knee (measured DRAM curves are flatter than PMem's).
+    pub alpha: f64,
+}
+
+impl LatencyCurve {
+    /// Creates a curve. `base_ns` and `span_ns` must be non-negative and
+    /// `alpha` at least 1 (concave curves are not physical here).
+    pub fn new(base_ns: f64, span_ns: f64, alpha: f64) -> Self {
+        assert!(base_ns >= 0.0 && span_ns >= 0.0 && alpha >= 1.0);
+        LatencyCurve { base_ns, span_ns, alpha }
+    }
+
+    /// Latency in nanoseconds at a given utilization. Utilization is
+    /// clamped to `[0, 1.25]`: beyond saturation latency keeps growing a
+    /// little, but throughput (handled by the engine's bandwidth term) is
+    /// what actually limits progress there.
+    pub fn latency_ns(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.25);
+        self.base_ns + self.span_ns * u.powf(self.alpha)
+    }
+
+    /// Latency at zero load.
+    pub fn idle_ns(&self) -> f64 {
+        self.base_ns
+    }
+
+    /// Latency at exactly full utilization.
+    pub fn saturated_ns(&self) -> f64 {
+        self.base_ns + self.span_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_and_saturated_endpoints() {
+        let c = LatencyCurve::new(90.0, 38.0, 4.0);
+        assert_eq!(c.idle_ns(), 90.0);
+        assert!((c.saturated_ns() - 128.0).abs() < 1e-9);
+        assert_eq!(c.latency_ns(0.0), 90.0);
+    }
+
+    #[test]
+    fn monotone_in_utilization() {
+        let c = LatencyCurve::new(185.0, 190.0, 4.0);
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let u = i as f64 / 40.0; // goes past saturation
+            let l = c.latency_ns(u);
+            assert!(l >= prev, "latency must be nondecreasing");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn clamps_beyond_saturation() {
+        let c = LatencyCurve::new(100.0, 100.0, 2.0);
+        assert_eq!(c.latency_ns(10.0), c.latency_ns(1.25));
+        assert_eq!(c.latency_ns(-3.0), c.latency_ns(0.0));
+    }
+
+    #[test]
+    fn convexity_keeps_low_load_flat() {
+        // At 1/3 utilization a quartic curve should have added well under
+        // 10% of its span — the "not noticeable at low bandwidth" property
+        // of Fig. 2.
+        let c = LatencyCurve::new(90.0, 38.0, 4.0);
+        let added = c.latency_ns(0.33) - c.idle_ns();
+        assert!(added < 0.1 * 38.0, "added={added}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_concave_alpha() {
+        LatencyCurve::new(90.0, 38.0, 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! A memkind-like heap-manager facade.
+//!
+//! On the paper's machine FlexMalloc forwards each allocation to "a number
+//! of heap managers (each targeting a specific memory subsystem)": memkind
+//! (`MEMKIND_DAX_KMEM`) for PMem, POSIX malloc for DRAM (§IV-C). This
+//! module provides that interface shape over the simulator's
+//! [`TierHeap`]s: named *kinds* bound to tiers, `malloc`/`free` entry
+//! points, per-kind statistics, and the memkind quirk the paper calls out —
+//! allocation-time NUMA binding (the whole object's tier is fixed at
+//! `malloc`, unlike first-touch DRAM pages).
+
+use crate::heap::TierHeap;
+use memtrace::TierId;
+use std::collections::HashMap;
+
+/// A named allocator kind bound to one memory tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// POSIX malloc on the default (DRAM) NUMA node.
+    Default,
+    /// `MEMKIND_DAX_KMEM`: PMem exposed as a kernel NUMA node.
+    DaxKmem,
+    /// `MEMKIND_HBW`: high-bandwidth memory (for HBM machines).
+    Hbw,
+}
+
+impl Kind {
+    /// Display name matching memkind's constants.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Default => "MEMKIND_DEFAULT",
+            Kind::DaxKmem => "MEMKIND_DAX_KMEM",
+            Kind::Hbw => "MEMKIND_HBW",
+        }
+    }
+}
+
+/// The set of kinds available in a process, each bound to a tier heap.
+#[derive(Debug)]
+pub struct KindRegistry {
+    kinds: Vec<(Kind, TierHeap)>,
+    /// Live blocks: address → (kind index, aligned size). `free` must work
+    /// from the pointer alone, as `memkind_free(NULL, ptr)` does.
+    live: HashMap<u64, (usize, u64)>,
+}
+
+impl KindRegistry {
+    /// Builds a registry binding kinds to tiers with the given capacities.
+    pub fn new(bindings: Vec<(Kind, TierId, u64)>) -> Self {
+        let kinds = bindings
+            .into_iter()
+            .map(|(k, tier, capacity)| (k, TierHeap::new(tier, capacity)))
+            .collect();
+        KindRegistry { kinds, live: HashMap::new() }
+    }
+
+    /// The standard two-kind setup of the paper's machine.
+    pub fn paper_default(dram_capacity: u64, pmem_capacity: u64) -> Self {
+        Self::new(vec![
+            (Kind::Default, TierId::DRAM, dram_capacity),
+            (Kind::DaxKmem, TierId::PMEM, pmem_capacity),
+        ])
+    }
+
+    /// `memkind_malloc(kind, size)`: allocates from the kind's tier.
+    /// Returns `None` when the kind is unknown or its tier is full.
+    pub fn malloc(&mut self, kind: Kind, size: u64) -> Option<u64> {
+        let idx = self.kinds.iter().position(|(k, _)| *k == kind)?;
+        let addr = self.kinds[idx].1.alloc(size)?;
+        let aligned = size.div_ceil(64) * 64;
+        self.live.insert(addr, (idx, aligned));
+        Some(addr)
+    }
+
+    /// `memkind_free(NULL, ptr)`: frees by pointer alone — the registry
+    /// recovers the owning kind, as memkind does from the page mapping.
+    pub fn free(&mut self, address: u64) -> bool {
+        match self.live.remove(&address) {
+            Some((idx, size)) => {
+                self.kinds[idx].1.free(address, size);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The kind owning an address, if live.
+    pub fn kind_of(&self, address: u64) -> Option<Kind> {
+        self.live.get(&address).map(|&(idx, _)| self.kinds[idx].0)
+    }
+
+    /// The tier a kind is bound to.
+    pub fn tier_of(&self, kind: Kind) -> Option<TierId> {
+        self.kinds.iter().find(|(k, _)| *k == kind).map(|(_, h)| h.tier())
+    }
+
+    /// Used bytes per kind.
+    pub fn stats(&self) -> Vec<(Kind, u64, u64)> {
+        self.kinds.iter().map(|(k, h)| (*k, h.used(), h.capacity())).collect()
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KindRegistry {
+        KindRegistry::paper_default(16 << 30, 64 << 30)
+    }
+
+    #[test]
+    fn malloc_routes_by_kind() {
+        let mut r = registry();
+        let d = r.malloc(Kind::Default, 4096).unwrap();
+        let p = r.malloc(Kind::DaxKmem, 4096).unwrap();
+        assert_eq!(TierHeap::tier_of_address(d), Some(TierId::DRAM));
+        assert_eq!(TierHeap::tier_of_address(p), Some(TierId::PMEM));
+        assert_eq!(r.kind_of(d), Some(Kind::Default));
+        assert_eq!(r.kind_of(p), Some(Kind::DaxKmem));
+    }
+
+    #[test]
+    fn free_recovers_the_kind_from_the_pointer() {
+        let mut r = registry();
+        let p = r.malloc(Kind::DaxKmem, 1 << 20).unwrap();
+        assert_eq!(r.live_blocks(), 1);
+        assert!(r.free(p));
+        assert_eq!(r.live_blocks(), 0);
+        assert_eq!(r.stats()[1].1, 0, "pmem kind back to zero");
+        assert!(!r.free(p), "double free reports failure");
+    }
+
+    #[test]
+    fn unknown_kind_and_exhaustion_fail_cleanly() {
+        let mut r = KindRegistry::new(vec![(Kind::Default, TierId::DRAM, 4096)]);
+        assert!(r.malloc(Kind::Hbw, 64).is_none(), "unbound kind");
+        assert!(r.malloc(Kind::Default, 4096).is_some());
+        assert!(r.malloc(Kind::Default, 64).is_none(), "kind exhausted");
+    }
+
+    #[test]
+    fn kind_names_match_memkind() {
+        assert_eq!(Kind::DaxKmem.name(), "MEMKIND_DAX_KMEM");
+        assert_eq!(Kind::Default.name(), "MEMKIND_DEFAULT");
+        assert_eq!(Kind::Hbw.name(), "MEMKIND_HBW");
+    }
+
+    #[test]
+    fn stats_track_usage_per_kind() {
+        let mut r = registry();
+        r.malloc(Kind::Default, 1000).unwrap();
+        r.malloc(Kind::DaxKmem, 5000).unwrap();
+        let stats = r.stats();
+        assert_eq!(stats[0].1, 1024, "1000 B aligned up to 16 lines");
+        assert_eq!(stats[1].1, 5056, "5000 B aligned up to 79 lines");
+    }
+}

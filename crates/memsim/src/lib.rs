@@ -1,0 +1,46 @@
+//! # memsim — hybrid-memory machine performance model
+//!
+//! The paper evaluates on a dual-socket Cascade Lake node with DDR4 DRAM and
+//! Intel Optane PMem DIMMs. We have no such hardware, so this crate models
+//! the *performance economics* the placement algorithms react to:
+//!
+//! * per-tier capacity and peak read/write bandwidth;
+//! * loaded-latency curves (latency grows with bandwidth utilization — the
+//!   effect of Fig. 2 that motivates contribution VII);
+//! * the Memory Mode DRAM cache (direct-mapped, write-back, managed by the
+//!   memory controller) used as the paper's baseline;
+//! * per-tier heap managers (memkind / POSIX malloc stand-ins) with
+//!   capacity accounting and fallback;
+//! * a phase-based execution engine that turns an application model plus a
+//!   placement policy into wall-clock time, per-tier bandwidth time series,
+//!   per-function IPC/latency, and per-object access records.
+//!
+//! Applications are *models* ([`model::AppModel`]): sequences of phases that
+//! allocate/free objects and describe, per allocation site, the loads,
+//! stores, LLC-miss density and access pattern of that phase. The engine is
+//! deterministic: the same model, machine, and policy always produce the
+//! same result bit-for-bit.
+
+pub mod cache;
+pub mod counters;
+pub mod curve;
+pub mod engine;
+pub mod heap;
+pub mod kinds;
+pub mod machine;
+pub mod mlc;
+pub mod model;
+pub mod policy;
+pub mod tier;
+
+pub use cache::{CacheModelCfg, CacheSplit};
+pub use counters::{FunctionStats, ObjectRecord, PhaseStats, RunResult};
+pub use curve::LatencyCurve;
+pub use engine::{run, ExecMode};
+pub use heap::TierHeap;
+pub use kinds::{Kind, KindRegistry};
+pub use machine::MachineConfig;
+pub use mlc::{mlc_sweep, MlcPoint, TrafficMix};
+pub use model::{AccessPattern, AccessSpec, AllocOp, AppModel, FreeOp, PhaseSpec};
+pub use policy::{AllocContext, FixedTier, PlacementPolicy};
+pub use tier::{TierKind, TierSpec};

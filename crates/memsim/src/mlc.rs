@@ -1,0 +1,102 @@
+//! MLC-like loaded-latency sweeps — the generator behind Fig. 2.
+//!
+//! Intel's Memory Latency Checker injects a configurable read or
+//! read:write traffic mix and measures latency as the injected bandwidth
+//! grows. The paper uses MLC to show the widening DRAM/PMem latency gap
+//! that motivates bandwidth-aware placement. This module reproduces the
+//! sweep analytically on the machine model's tier curves.
+
+use crate::machine::MachineConfig;
+use memtrace::TierId;
+use serde::{Deserialize, Serialize};
+
+/// Traffic mix of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficMix {
+    /// Read-only traffic (MLC `-R`).
+    ReadOnly,
+    /// One read per write (MLC `-W5`-style 1R1W mix).
+    OneReadOneWrite,
+}
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlcPoint {
+    /// Total injected bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Observed (modelled) read latency, nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Sweeps a tier's read latency over `[from_bw, to_bw]` (bytes/second) in
+/// `steps` uniform steps under the given traffic mix.
+pub fn mlc_sweep(
+    machine: &MachineConfig,
+    tier: TierId,
+    mix: TrafficMix,
+    from_bw: f64,
+    to_bw: f64,
+    steps: usize,
+) -> Vec<MlcPoint> {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    assert!(to_bw > from_bw && from_bw >= 0.0);
+    let spec = machine.tier(tier);
+    (0..steps)
+        .map(|i| {
+            let bw = from_bw + (to_bw - from_bw) * i as f64 / (steps - 1) as f64;
+            let (read_bw, write_bw) = match mix {
+                TrafficMix::ReadOnly => (bw, 0.0),
+                TrafficMix::OneReadOneWrite => (bw / 2.0, bw / 2.0),
+            };
+            MlcPoint { bandwidth: bw, latency_ns: spec.read_latency_ns(read_bw, write_bw) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone() {
+        let m = MachineConfig::optane_pmem6();
+        for tier in [TierId::DRAM, TierId::PMEM] {
+            for mix in [TrafficMix::ReadOnly, TrafficMix::OneReadOneWrite] {
+                let pts = mlc_sweep(&m, tier, mix, 8e9, 22e9, 15);
+                assert_eq!(pts.len(), 15);
+                for w in pts.windows(2) {
+                    assert!(w[1].latency_ns >= w[0].latency_ns);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_gap_widens_with_bandwidth() {
+        let m = MachineConfig::optane_pmem6();
+        let dram = mlc_sweep(&m, TierId::DRAM, TrafficMix::ReadOnly, 8e9, 22e9, 8);
+        let pmem = mlc_sweep(&m, TierId::PMEM, TrafficMix::ReadOnly, 8e9, 22e9, 8);
+        let gap_low = pmem[0].latency_ns - dram[0].latency_ns;
+        let gap_high = pmem[7].latency_ns - dram[7].latency_ns;
+        assert!(gap_high > gap_low, "gap must widen: {gap_low} → {gap_high}");
+        // And the ratio at 22 GB/s is ≈ 2x or more (paper quotes 2.3×).
+        assert!(pmem[7].latency_ns / dram[7].latency_ns > 1.9);
+    }
+
+    #[test]
+    fn mixed_traffic_is_slower_than_read_only() {
+        let m = MachineConfig::optane_pmem6();
+        let r = mlc_sweep(&m, TierId::PMEM, TrafficMix::ReadOnly, 8e9, 22e9, 5);
+        let rw = mlc_sweep(&m, TierId::PMEM, TrafficMix::OneReadOneWrite, 8e9, 22e9, 5);
+        // PMem writes saturate early, so the 1R1W mix loads the device more
+        // at the same total bandwidth.
+        assert!(rw[4].latency_ns > r[4].latency_ns);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_range() {
+        let m = MachineConfig::optane_pmem6();
+        mlc_sweep(&m, TierId::DRAM, TrafficMix::ReadOnly, 10e9, 5e9, 5);
+    }
+}

@@ -1,0 +1,356 @@
+//! Application models: the phase-structured workload description the engine
+//! executes.
+//!
+//! ecoHMEM treats applications as black boxes observed through their
+//! allocation calls and hardware-sampled memory accesses. An [`AppModel`]
+//! is therefore exactly that observable surface: allocation sites (with
+//! call stacks into a synthetic binary map) and, per phase, which sites are
+//! allocated/freed and how each site's live objects are accessed (loads,
+//! stores, LLC-miss density, pattern). The workloads crate builds one model
+//! per paper application, calibrated to Tables V/VI and Figs. 3–5.
+
+use memtrace::{BinaryMap, CallStack, FuncId, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Spatial/temporal access pattern of a stream. Determines the effective
+/// memory-level parallelism (prefetchers hide sequential-miss latency; pointer
+/// chasing exposes it) and how badly a direct-mapped DRAM cache conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Unit-stride streaming (prefetch-friendly, bandwidth-bound).
+    Sequential,
+    /// Fixed non-unit stride (partially prefetchable).
+    Strided,
+    /// Irregular/indirect (latency-bound, conflict-prone).
+    Random,
+}
+
+impl AccessPattern {
+    /// Multiplier on the machine's per-core MLP for this pattern.
+    pub fn mlp_factor(self) -> f64 {
+        match self {
+            AccessPattern::Sequential => 3.0,
+            AccessPattern::Strided => 1.5,
+            AccessPattern::Random => 0.5,
+        }
+    }
+
+    /// Conflict-miss survival factor in a direct-mapped DRAM cache: the
+    /// fraction of capacity-hits that are *not* lost to conflicts.
+    pub fn cache_conflict_factor(self) -> f64 {
+        match self {
+            AccessPattern::Sequential => 0.95,
+            AccessPattern::Strided => 0.85,
+            AccessPattern::Random => 0.62,
+        }
+    }
+}
+
+/// How one allocation site's live objects are accessed during one phase.
+/// Counts are aggregate across all ranks/threads of the job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessSpec {
+    /// The accessed site; applies to all its live objects, split evenly.
+    pub site: SiteId,
+    /// Function performing the accesses (Table VII attribution).
+    pub function: FuncId,
+    /// Loads issued this phase.
+    pub loads: f64,
+    /// Stores issued this phase.
+    pub stores: f64,
+    /// Fraction of loads that miss the LLC (placement-independent: the LLC
+    /// is on-chip SRAM, so profiling in any mode sees the same misses).
+    pub llc_miss_rate: f64,
+    /// Fraction of stores that miss the L1D — the §V store-cost proxy; the
+    /// same fraction eventually produces write-back traffic to memory.
+    pub store_l1d_miss_rate: f64,
+    /// Access pattern of the stream.
+    pub pattern: AccessPattern,
+    /// Non-memory instructions retired by this stream's function this
+    /// phase (for per-function IPC).
+    pub instructions: f64,
+    /// Override for the DRAM-cache reuse estimate (touches per line).
+    /// `0.0` (the default) lets the engine derive reuse from the phase's
+    /// own traffic; a positive value models *cross-phase* reuse the
+    /// per-phase view cannot see (e.g. a neighbor list rebuilt every five
+    /// steps but read every step).
+    #[serde(default)]
+    pub reuse_hint: f64,
+}
+
+impl AccessSpec {
+    /// LLC load misses this spec generates.
+    pub fn load_misses(&self) -> f64 {
+        self.loads * self.llc_miss_rate
+    }
+
+    /// L1D store misses (→ write-back traffic) this spec generates.
+    pub fn store_misses(&self) -> f64 {
+        self.stores * self.store_l1d_miss_rate
+    }
+
+    /// Total instructions retired by the stream (loads + stores + other).
+    pub fn total_instructions(&self) -> f64 {
+        self.loads + self.stores + self.instructions
+    }
+}
+
+/// An allocation operation: allocate `count` objects of `size` bytes at
+/// `site` at the start of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocOp {
+    /// Allocation site.
+    pub site: SiteId,
+    /// Size per object, bytes.
+    pub size: u64,
+    /// Number of objects to allocate.
+    pub count: u32,
+}
+
+/// A free operation: free the `count` oldest live objects of `site` at the
+/// end of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreeOp {
+    /// Allocation site whose objects are freed.
+    pub site: SiteId,
+    /// How many of its oldest live objects to free.
+    pub count: u32,
+}
+
+/// One application phase (an iteration, a solver stage, a communication
+/// step...). Allocations happen at phase start, frees at phase end.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Optional label (e.g. the recurring LULESH phase of Fig. 3).
+    pub label: Option<String>,
+    /// Compute instructions not attributed to any access stream.
+    pub compute_instructions: f64,
+    /// Allocations performed at phase start.
+    pub allocs: Vec<AllocOp>,
+    /// Frees performed at phase end.
+    pub frees: Vec<FreeOp>,
+    /// Access streams active during the phase.
+    pub accesses: Vec<AccessSpec>,
+}
+
+/// A complete application model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Application name (matches the paper's Table V rows).
+    pub name: String,
+    /// MPI ranks the model aggregates.
+    pub ranks: u32,
+    /// OpenMP threads per rank.
+    pub threads_per_rank: u32,
+    /// Input description (Table V).
+    pub input_desc: String,
+    /// Allocation sites with their call stacks.
+    pub sites: Vec<(SiteId, CallStack)>,
+    /// The synthetic program image the call stacks point into.
+    pub binmap: BinaryMap,
+    /// Function names for reporting, indexed by `FuncId`.
+    pub function_names: Vec<String>,
+    /// Phases, executed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl AppModel {
+    /// Call stack of a site.
+    pub fn stack_of(&self, site: SiteId) -> Option<&CallStack> {
+        self.sites.iter().find(|(s, _)| *s == site).map(|(_, st)| st)
+    }
+
+    /// Function name for reporting.
+    pub fn function_name(&self, f: FuncId) -> &str {
+        self.function_names
+            .get(f.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("unknown")
+    }
+
+    /// Total number of allocations performed over the whole run.
+    pub fn total_allocations(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| p.allocs.iter())
+            .map(|a| a.count as u64)
+            .sum()
+    }
+
+    /// Memory high-water mark in bytes: the maximum total live heap over
+    /// the run (Table V's "Memory High-Water Mark" aggregated over ranks).
+    pub fn high_water_mark(&self) -> u64 {
+        let mut live: std::collections::HashMap<SiteId, Vec<u64>> = Default::default();
+        let mut cur: u64 = 0;
+        let mut peak: u64 = 0;
+        for phase in &self.phases {
+            for a in &phase.allocs {
+                for _ in 0..a.count {
+                    live.entry(a.site).or_default().push(a.size);
+                    cur += a.size;
+                }
+            }
+            peak = peak.max(cur);
+            for f in &phase.frees {
+                let v = live.entry(f.site).or_default();
+                for _ in 0..f.count {
+                    if let Some(sz) = v.first().copied() {
+                        v.remove(0);
+                        cur -= sz;
+                    }
+                }
+            }
+        }
+        peak
+    }
+
+    /// Structural validation: sites used by phases exist, rates are in
+    /// `[0,1]`, counts are sane, frees never exceed live objects.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let known: std::collections::HashSet<SiteId> =
+            self.sites.iter().map(|(s, _)| *s).collect();
+        let mut live: HashMap<SiteId, i64> = HashMap::new();
+        for (pi, phase) in self.phases.iter().enumerate() {
+            for a in &phase.allocs {
+                if !known.contains(&a.site) {
+                    return Err(format!("phase {pi} allocates unknown {}", a.site));
+                }
+                if a.size == 0 || a.count == 0 {
+                    return Err(format!("phase {pi} has empty alloc at {}", a.site));
+                }
+                *live.entry(a.site).or_insert(0) += a.count as i64;
+            }
+            for acc in &phase.accesses {
+                if !known.contains(&acc.site) {
+                    return Err(format!("phase {pi} accesses unknown {}", acc.site));
+                }
+                if !(0.0..=1.0).contains(&acc.llc_miss_rate)
+                    || !(0.0..=1.0).contains(&acc.store_l1d_miss_rate)
+                {
+                    return Err(format!("phase {pi} has out-of-range miss rate"));
+                }
+                if acc.loads < 0.0 || acc.stores < 0.0 || acc.instructions < 0.0 {
+                    return Err(format!("phase {pi} has negative access counts"));
+                }
+            }
+            for f in &phase.frees {
+                let n = live.entry(f.site).or_insert(0);
+                *n -= f.count as i64;
+                if *n < 0 {
+                    return Err(format!(
+                        "phase {pi} frees more objects of {} than live",
+                        f.site
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{BinaryMapBuilder, Frame, ModuleId};
+
+    fn toy_model() -> AppModel {
+        let mut b = BinaryMapBuilder::new();
+        b.add_module("a.out", 4096, 1024, vec!["main.c".into()]);
+        AppModel {
+            name: "toy".into(),
+            ranks: 1,
+            threads_per_rank: 1,
+            input_desc: "n=1".into(),
+            sites: vec![
+                (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x40)])),
+                (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x80)])),
+            ],
+            binmap: b.build(),
+            function_names: vec!["kernel".into()],
+            phases: vec![
+                PhaseSpec {
+                    label: None,
+                    compute_instructions: 1e6,
+                    allocs: vec![
+                        AllocOp { site: SiteId(0), size: 1 << 20, count: 1 },
+                        AllocOp { site: SiteId(1), size: 1 << 10, count: 4 },
+                    ],
+                    frees: vec![FreeOp { site: SiteId(1), count: 2 }],
+                    accesses: vec![AccessSpec {
+                        site: SiteId(0),
+                        function: FuncId(0),
+                        loads: 1e6,
+                        stores: 1e5,
+                        llc_miss_rate: 0.1,
+                        store_l1d_miss_rate: 0.2,
+                        pattern: AccessPattern::Sequential,
+                        instructions: 5e5,
+                        reuse_hint: 0.0,
+                    }],
+                },
+                PhaseSpec {
+                    label: None,
+                    compute_instructions: 1e6,
+                    allocs: vec![],
+                    frees: vec![
+                        FreeOp { site: SiteId(0), count: 1 },
+                        FreeOp { site: SiteId(1), count: 2 },
+                    ],
+                    accesses: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validates_and_counts() {
+        let m = toy_model();
+        m.validate().unwrap();
+        assert_eq!(m.total_allocations(), 5);
+    }
+
+    #[test]
+    fn hwm_tracks_peak_live_bytes() {
+        let m = toy_model();
+        assert_eq!(m.high_water_mark(), (1 << 20) + 4 * (1 << 10));
+    }
+
+    #[test]
+    fn rejects_unknown_site_access() {
+        let mut m = toy_model();
+        m.phases[0].accesses[0].site = SiteId(9);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_over_free() {
+        let mut m = toy_model();
+        m.phases[1].frees.push(FreeOp { site: SiteId(0), count: 1 });
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_miss_rate() {
+        let mut m = toy_model();
+        m.phases[0].accesses[0].llc_miss_rate = 1.5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn access_spec_derived_counts() {
+        let a = &toy_model().phases[0].accesses[0];
+        assert!((a.load_misses() - 1e5).abs() < 1e-6);
+        assert!((a.store_misses() - 2e4).abs() < 1e-6);
+        assert!((a.total_instructions() - 1.6e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pattern_factors_are_ordered() {
+        assert!(AccessPattern::Sequential.mlp_factor() > AccessPattern::Random.mlp_factor());
+        assert!(
+            AccessPattern::Sequential.cache_conflict_factor()
+                > AccessPattern::Random.cache_conflict_factor()
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Memory tier (subsystem) specifications.
+
+use crate::curve::LatencyCurve;
+use crate::model::AccessPattern;
+use memtrace::TierId;
+use serde::{Deserialize, Serialize};
+
+/// The technology behind a tier. Only used for labeling and defaults; all
+/// algorithmic behaviour flows from the numeric parameters, which is what
+/// lets the same framework target KNL MCDRAM, Optane, HBM, or CXL pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Conventional DDR DRAM.
+    Dram,
+    /// Byte-addressable persistent memory (Optane PMem).
+    Pmem,
+    /// On-package high-bandwidth memory.
+    Hbm,
+    /// CXL-attached memory pool.
+    Cxl,
+}
+
+/// One memory subsystem: capacity plus its bandwidth/latency behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Tier identifier; must equal the tier's index in the machine config.
+    pub id: TierId,
+    /// Human name used in reports ("dram", "pmem", ...).
+    pub name: String,
+    /// Technology label.
+    pub kind: TierKind,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Peak sustained read bandwidth, bytes/second.
+    pub peak_read_bw: f64,
+    /// Peak sustained write bandwidth, bytes/second. For Optane this is
+    /// several times lower than read — the reason §V adds store weighting.
+    pub peak_write_bw: f64,
+    /// Loaded-latency curve for reads.
+    pub read_curve: LatencyCurve,
+    /// Loaded-latency curve for writes.
+    pub write_curve: LatencyCurve,
+    /// Media traffic amplification for strided access. DRAM ≈ 1; Optane
+    /// reads whole 256-byte XPLines, so non-unit strides waste media
+    /// bandwidth — the paper's "large access block sizes" penalty.
+    pub amp_strided: f64,
+    /// Media traffic amplification for random access (up to 4× on Optane:
+    /// one 64 B line per 256 B XPLine).
+    pub amp_random: f64,
+}
+
+impl TierSpec {
+    /// Media-bandwidth amplification factor for an access pattern.
+    pub fn amplification(&self, pattern: AccessPattern) -> f64 {
+        match pattern {
+            AccessPattern::Sequential => 1.0,
+            AccessPattern::Strided => self.amp_strided,
+            AccessPattern::Random => self.amp_random,
+        }
+    }
+
+    /// Combined utilization of the tier given read and write demand in
+    /// bytes/second. Reads and writes share device resources, so
+    /// utilizations add.
+    pub fn utilization(&self, read_bw: f64, write_bw: f64) -> f64 {
+        read_bw / self.peak_read_bw + write_bw / self.peak_write_bw
+    }
+
+    /// Read latency at the given traffic level.
+    pub fn read_latency_ns(&self, read_bw: f64, write_bw: f64) -> f64 {
+        self.read_curve.latency_ns(self.utilization(read_bw, write_bw))
+    }
+
+    /// Write latency at the given traffic level.
+    pub fn write_latency_ns(&self, read_bw: f64, write_bw: f64) -> f64 {
+        self.write_curve.latency_ns(self.utilization(read_bw, write_bw))
+    }
+
+    /// Minimum time (seconds) the tier needs to move the given volumes —
+    /// the bandwidth bound on a phase.
+    pub fn transfer_time(&self, read_bytes: f64, write_bytes: f64) -> f64 {
+        read_bytes / self.peak_read_bw + write_bytes / self.peak_write_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> TierSpec {
+        TierSpec {
+            id: TierId::DRAM,
+            name: "dram".into(),
+            kind: TierKind::Dram,
+            capacity: 16 << 30,
+            peak_read_bw: 24e9,
+            peak_write_bw: 20e9,
+            read_curve: LatencyCurve::new(90.0, 38.0, 4.0),
+            write_curve: LatencyCurve::new(95.0, 45.0, 4.0),
+            amp_strided: 1.0,
+            amp_random: 1.0,
+        }
+    }
+
+    #[test]
+    fn amplification_by_pattern() {
+        let mut t = dram();
+        t.amp_strided = 1.6;
+        t.amp_random = 4.0;
+        assert_eq!(t.amplification(AccessPattern::Sequential), 1.0);
+        assert_eq!(t.amplification(AccessPattern::Strided), 1.6);
+        assert_eq!(t.amplification(AccessPattern::Random), 4.0);
+    }
+
+    #[test]
+    fn utilization_adds_reads_and_writes() {
+        let t = dram();
+        let u = t.utilization(12e9, 10e9);
+        assert!((u - (0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loaded_latency_exceeds_idle() {
+        let t = dram();
+        assert!(t.read_latency_ns(20e9, 0.0) > t.read_latency_ns(1e9, 0.0));
+        assert!(t.write_latency_ns(0.0, 18e9) > t.write_latency_ns(0.0, 1e9));
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_volume() {
+        let t = dram();
+        let one = t.transfer_time(24e9, 0.0);
+        assert!((one - 1.0).abs() < 1e-9);
+        assert!((t.transfer_time(48e9, 0.0) - 2.0).abs() < 1e-9);
+    }
+}

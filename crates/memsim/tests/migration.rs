@@ -1,0 +1,167 @@
+//! Integration tests for reactive migrations through the engine: the
+//! policy-driven object movement the kernel-tiering baseline relies on.
+
+use memsim::policy::{AllocContext, Migration, PhaseObservation, PlacementPolicy};
+use memsim::{
+    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FreeOp, MachineConfig,
+    PhaseSpec,
+};
+use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, ObjectId, SiteId, TierId};
+
+/// Promotes every observed object to DRAM after the first phase.
+struct PromoteAll {
+    fired: bool,
+}
+
+impl PlacementPolicy for PromoteAll {
+    fn name(&self) -> &str {
+        "promote-all"
+    }
+    fn place(&mut self, _: &AllocContext<'_>) -> TierId {
+        TierId::PMEM
+    }
+    fn fallback(&self) -> TierId {
+        TierId::PMEM
+    }
+    fn observe_phase(&mut self, obs: &PhaseObservation) -> Vec<Migration> {
+        if self.fired {
+            return Vec::new();
+        }
+        self.fired = true;
+        obs.objects
+            .iter()
+            .map(|&(object, ..)| Migration { object, to: TierId::DRAM })
+            .collect()
+    }
+}
+
+fn hot_model(phases: usize) -> AppModel {
+    let mut b = BinaryMapBuilder::new();
+    b.add_module("m.x", 64 * 1024, 1 << 20, vec!["m.c".into()]);
+    let site = SiteId(0);
+    let mut ps = vec![PhaseSpec {
+        label: None,
+        compute_instructions: 1e8,
+        allocs: vec![AllocOp { site, size: 1 << 30, count: 2 }],
+        frees: vec![],
+        accesses: vec![],
+    }];
+    for _ in 0..phases {
+        ps.push(PhaseSpec {
+            label: None,
+            compute_instructions: 1e8,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![AccessSpec {
+                site,
+                function: FuncId(0),
+                loads: 2e9,
+                stores: 2e8,
+                llc_miss_rate: 0.4,
+                store_l1d_miss_rate: 0.3,
+                pattern: AccessPattern::Random,
+                instructions: 1e8,
+                reuse_hint: 0.0,
+            }],
+        });
+    }
+    ps.push(PhaseSpec {
+        label: None,
+        compute_instructions: 1e6,
+        allocs: vec![],
+        frees: vec![FreeOp { site, count: 2 }],
+        accesses: vec![],
+    });
+    AppModel {
+        name: "mig".into(),
+        ranks: 1,
+        threads_per_rank: 1,
+        input_desc: String::new(),
+        sites: vec![(site, CallStack::new(vec![Frame::new(ModuleId(0), 0x40)]))],
+        binmap: b.build(),
+        function_names: vec!["f".into()],
+        phases: ps,
+    }
+}
+
+#[test]
+fn migration_moves_objects_and_speeds_up_subsequent_phases() {
+    let machine = MachineConfig::optane_pmem6();
+    let app = hot_model(6);
+    let static_run = run(
+        &app,
+        &machine,
+        ExecMode::AppDirect,
+        &mut memsim::FixedTier::new(TierId::PMEM),
+    );
+    let migrated_run = run(
+        &app,
+        &machine,
+        ExecMode::AppDirect,
+        &mut PromoteAll { fired: false },
+    );
+    // Objects end up recorded in DRAM after promotion.
+    assert!(migrated_run.objects.iter().all(|o| o.tier == TierId::DRAM));
+    let moved: u64 = migrated_run.phases.iter().map(|p| p.migrated_bytes).sum();
+    assert_eq!(moved, 2 << 30, "both objects migrated once");
+    // The migrated run wins despite the migration cost (5 hot phases on
+    // DRAM beat 6 on PMem).
+    assert!(
+        migrated_run.total_time < static_run.total_time,
+        "migrated {:.2}s vs static {:.2}s",
+        migrated_run.total_time,
+        static_run.total_time
+    );
+}
+
+#[test]
+fn migration_to_a_full_tier_is_skipped_not_fatal() {
+    /// Requests migration of a specific object into DRAM every phase.
+    struct PromoteOne(ObjectId);
+    impl PlacementPolicy for PromoteOne {
+        fn name(&self) -> &str {
+            "promote-one"
+        }
+        fn place(&mut self, _: &AllocContext<'_>) -> TierId {
+            TierId::PMEM
+        }
+        fn fallback(&self) -> TierId {
+            TierId::PMEM
+        }
+        fn observe_phase(&mut self, _: &PhaseObservation) -> Vec<Migration> {
+            vec![Migration { object: self.0, to: TierId::DRAM }]
+        }
+    }
+    let machine = MachineConfig::optane_pmem6();
+    // One 20 GiB object: bigger than all of DRAM.
+    let mut app = hot_model(2);
+    app.phases[0].allocs[0] = AllocOp { site: SiteId(0), size: 20 << 30, count: 1 };
+    app.phases.last_mut().unwrap().frees[0].count = 1;
+    let r = run(&app, &machine, ExecMode::AppDirect, &mut PromoteOne(ObjectId(1)));
+    assert_eq!(r.objects[0].tier, TierId::PMEM, "stayed where it fit");
+    assert_eq!(r.phases.iter().map(|p| p.migrated_bytes).sum::<u64>(), 0);
+}
+
+#[test]
+fn migration_of_dead_objects_is_ignored() {
+    struct PromoteGhost;
+    impl PlacementPolicy for PromoteGhost {
+        fn name(&self) -> &str {
+            "ghost"
+        }
+        fn place(&mut self, _: &AllocContext<'_>) -> TierId {
+            TierId::PMEM
+        }
+        fn fallback(&self) -> TierId {
+            TierId::PMEM
+        }
+        fn observe_phase(&mut self, _: &PhaseObservation) -> Vec<Migration> {
+            vec![Migration { object: ObjectId(999), to: TierId::DRAM }]
+        }
+    }
+    let machine = MachineConfig::optane_pmem6();
+    let app = hot_model(2);
+    let r = run(&app, &machine, ExecMode::AppDirect, &mut PromoteGhost);
+    assert!(r.total_time > 0.0);
+    assert_eq!(r.phases.iter().map(|p| p.migrated_bytes).sum::<u64>(), 0);
+}

@@ -1,0 +1,169 @@
+//! Property tests over the engine: physical sanity for arbitrary small
+//! application models.
+
+use memsim::{
+    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FixedTier, FreeOp,
+    MachineConfig, PhaseSpec,
+};
+use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, SiteId, TierId};
+use proptest::prelude::*;
+
+/// A small random-but-valid application model.
+fn arb_model() -> impl Strategy<Value = AppModel> {
+    let phase = (
+        1e6f64..1e11,                                     // compute instructions
+        proptest::collection::vec((0u64..24, 1e5f64..5e9, 0.01f64..0.9, 0u8..3), 0..5),
+    );
+    proptest::collection::vec(phase, 1..8).prop_map(|phases| {
+        let mut b = BinaryMapBuilder::new();
+        b.add_module("p.x", 64 * 1024, 1 << 20, vec!["p.c".into()]);
+        let n_sites = 24u32;
+        let sites: Vec<(SiteId, CallStack)> = (0..n_sites)
+            .map(|i| {
+                (
+                    SiteId(i),
+                    CallStack::new(vec![Frame::new(ModuleId(0), 64 * u64::from(i) + 64)]),
+                )
+            })
+            .collect();
+        let mut out_phases = Vec::new();
+        // Allocate every site up front so accesses always have live objects.
+        out_phases.push(PhaseSpec {
+            label: None,
+            compute_instructions: 1e8,
+            allocs: (0..n_sites)
+                .map(|i| AllocOp {
+                    site: SiteId(i),
+                    size: 1 << (18 + i % 10),
+                    count: 1 + i % 3,
+                })
+                .collect(),
+            frees: vec![],
+            accesses: vec![],
+        });
+        for (compute, accesses) in phases {
+            out_phases.push(PhaseSpec {
+                label: None,
+                compute_instructions: compute,
+                allocs: vec![],
+                frees: vec![],
+                accesses: accesses
+                    .into_iter()
+                    .map(|(site, loads, miss, pat)| AccessSpec {
+                        site: SiteId((site % u64::from(n_sites)) as u32),
+                        function: FuncId(0),
+                        loads,
+                        stores: loads * 0.2,
+                        llc_miss_rate: miss,
+                        store_l1d_miss_rate: miss * 0.5,
+                        pattern: match pat {
+                            0 => AccessPattern::Sequential,
+                            1 => AccessPattern::Strided,
+                            _ => AccessPattern::Random,
+                        },
+                        instructions: loads * 0.5,
+                        reuse_hint: 0.0,
+                    })
+                    .collect(),
+            });
+        }
+        out_phases.push(PhaseSpec {
+            label: None,
+            compute_instructions: 1e6,
+            allocs: vec![],
+            frees: (0..n_sites)
+                .map(|i| FreeOp { site: SiteId(i), count: 1 + i % 3 })
+                .collect(),
+            accesses: vec![],
+        });
+        AppModel {
+            name: "prop".into(),
+            ranks: 1,
+            threads_per_rank: 1,
+            input_desc: String::new(),
+            sites,
+            binmap: b.build(),
+            function_names: vec!["f".into()],
+            phases: out_phases,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine is deterministic and produces physically sane results:
+    /// positive finite times, compute ≤ total, per-tier bandwidth below the
+    /// device peaks (with the saturation clamp's slack), conserved objects.
+    #[test]
+    fn engine_results_are_sane(app in arb_model()) {
+        let machine = MachineConfig::optane_pmem6();
+        let a = run(&app, &machine, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let b = run(&app, &machine, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        prop_assert_eq!(&a, &b, "deterministic");
+
+        prop_assert!(a.total_time.is_finite() && a.total_time > 0.0);
+        prop_assert!(a.compute_time <= a.total_time * (1.0 + 1e-9));
+        prop_assert_eq!(a.objects.len() as u64, app.total_allocations());
+        for p in &a.phases {
+            for (i, tier) in machine.tiers.iter().enumerate() {
+                prop_assert!(
+                    p.tier_read_bw[i] <= tier.peak_read_bw * 1.05,
+                    "read bw within peak"
+                );
+                prop_assert!(
+                    p.tier_write_bw[i] <= tier.peak_write_bw * 1.05,
+                    "write bw within peak"
+                );
+            }
+        }
+        for o in &a.objects {
+            prop_assert!(o.free_time >= o.alloc_time);
+        }
+    }
+
+    /// Memory mode never loses to the same model run entirely from PMem
+    /// with the cache disabled... is NOT a theorem (fill traffic costs), but
+    /// it must stay within a bounded factor — and placing everything in
+    /// DRAM must never be slower than everything in PMem.
+    #[test]
+    fn placement_ordering_holds(app in arb_model()) {
+        let machine = MachineConfig::optane_pmem6();
+        let pmem = run(&app, &machine, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let dram = run(
+            &app,
+            &machine,
+            ExecMode::AppDirect,
+            &mut FixedTier::with_fallback(TierId::DRAM, TierId::PMEM),
+        );
+        prop_assert!(
+            dram.total_time <= pmem.total_time * 1.01,
+            "DRAM-first {:.3}s must not lose to all-PMem {:.3}s",
+            dram.total_time,
+            pmem.total_time
+        );
+        let mm = run(&app, &machine, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        prop_assert!(
+            mm.total_time <= pmem.total_time * 1.6,
+            "the cache can cost fill traffic but not multiples: mm {:.3}s vs pmem {:.3}s",
+            mm.total_time,
+            pmem.total_time
+        );
+    }
+
+    /// Scaling every access stream up never makes the run faster.
+    #[test]
+    fn more_traffic_is_never_faster(app in arb_model(), factor in 1.1f64..4.0) {
+        let machine = MachineConfig::optane_pmem6();
+        let mut heavier = app.clone();
+        for p in &mut heavier.phases {
+            for a in &mut p.accesses {
+                a.loads *= factor;
+                a.stores *= factor;
+            }
+        }
+        let base = run(&app, &machine, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let heavy = run(&heavier, &machine, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        prop_assert!(heavy.total_time >= base.total_time * 0.999);
+    }
+}

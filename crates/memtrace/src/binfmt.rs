@@ -1,0 +1,322 @@
+//! Compact binary trace encoding.
+//!
+//! Real Extrae traces are binary — a JSON trace of a 100 Hz × minutes run
+//! is an order of magnitude larger than it needs to be. This module
+//! provides a compact, versioned binary encoding of [`TraceFile`]:
+//! a magic/version header, the metadata and site/binary tables encoded via
+//! JSON (they are tiny), and the event stream as a tagged, varint-packed
+//! record sequence with delta-coded timestamps.
+//!
+//! Timestamps are stored as `u64` microseconds, delta-coded against the
+//! previous event — a lossy (µs-granular) but faithful representation of
+//! what a real tracer records. [`read_trace`] rejects wrong magics, wrong
+//! versions, and truncated streams.
+
+use crate::error::TraceError;
+use crate::events::TraceEvent;
+use crate::ids::{FuncId, ObjectId, SiteId};
+use crate::trace::TraceFile;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"ECOHMEM\0";
+const VERSION: u32 = 1;
+
+/// Writes a varint (LEB128).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint.
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| TraceError::Malformed("truncated varint".into()))?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::Malformed("oversized varint".into()));
+        }
+    }
+}
+
+fn micros(t: f64) -> u64 {
+    (t.max(0.0) * 1e6).round() as u64
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+const TAG_ALLOC: u8 = 1;
+const TAG_FREE: u8 = 2;
+const TAG_LOAD: u8 = 3;
+const TAG_STORE_HIT: u8 = 4;
+const TAG_STORE_MISS: u8 = 5;
+const TAG_PHASE: u8 = 6;
+
+/// Serializes a trace to the binary format.
+pub fn write_trace<W: Write>(trace: &TraceFile, mut w: W) -> Result<(), TraceError> {
+    let mut out = Vec::with_capacity(trace.events.len() * 8 + 4096);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+
+    // Header: everything but the events, as length-prefixed JSON (small).
+    let header = TraceFile { events: Vec::new(), ..trace.clone() };
+    let header_json = serde_json::to_vec(&header)?;
+    put_varint(&mut out, header_json.len() as u64);
+    out.extend_from_slice(&header_json);
+
+    // Events: tagged records with delta-coded µs timestamps.
+    put_varint(&mut out, trace.events.len() as u64);
+    let mut last_us = 0u64;
+    for e in &trace.events {
+        let t_us = micros(e.time());
+        let delta = t_us.saturating_sub(last_us);
+        last_us = t_us;
+        match e {
+            TraceEvent::Alloc { object, site, size, address, .. } => {
+                out.push(TAG_ALLOC);
+                put_varint(&mut out, delta);
+                put_varint(&mut out, object.0);
+                put_varint(&mut out, u64::from(site.0));
+                put_varint(&mut out, *size);
+                put_varint(&mut out, *address);
+            }
+            TraceEvent::Free { object, .. } => {
+                out.push(TAG_FREE);
+                put_varint(&mut out, delta);
+                put_varint(&mut out, object.0);
+            }
+            TraceEvent::LoadMissSample { address, latency_cycles, function, .. } => {
+                out.push(TAG_LOAD);
+                put_varint(&mut out, delta);
+                put_varint(&mut out, *address);
+                put_varint(&mut out, latency_cycles.round() as u64);
+                put_varint(&mut out, u64::from(function.0));
+            }
+            TraceEvent::StoreSample { address, l1d_miss, function, .. } => {
+                out.push(if *l1d_miss { TAG_STORE_MISS } else { TAG_STORE_HIT });
+                put_varint(&mut out, delta);
+                put_varint(&mut out, *address);
+                put_varint(&mut out, u64::from(function.0));
+            }
+            TraceEvent::PhaseMarker { phase, .. } => {
+                out.push(TAG_PHASE);
+                put_varint(&mut out, delta);
+                put_varint(&mut out, u64::from(*phase));
+            }
+        }
+    }
+    w.write_all(&out)?;
+    Ok(())
+}
+
+/// Deserializes a trace from the binary format.
+pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() < 12 || &data[..8] != MAGIC {
+        return Err(TraceError::Malformed("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("length checked"));
+    if version != VERSION {
+        return Err(TraceError::Malformed(format!("unsupported version {version}")));
+    }
+    let mut pos = 12usize;
+    let header_len = get_varint(&data, &mut pos)? as usize;
+    let header_end = pos
+        .checked_add(header_len)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| TraceError::Malformed("truncated header".into()))?;
+    let mut trace: TraceFile = serde_json::from_slice(&data[pos..header_end])?;
+    pos = header_end;
+
+    let n_events = get_varint(&data, &mut pos)? as usize;
+    let mut events = Vec::with_capacity(n_events);
+    let mut last_us = 0u64;
+    for _ in 0..n_events {
+        let tag = *data
+            .get(pos)
+            .ok_or_else(|| TraceError::Malformed("truncated event stream".into()))?;
+        pos += 1;
+        let delta = get_varint(&data, &mut pos)?;
+        last_us += delta;
+        let time = seconds(last_us);
+        let event = match tag {
+            TAG_ALLOC => TraceEvent::Alloc {
+                time,
+                object: ObjectId(get_varint(&data, &mut pos)?),
+                site: SiteId(get_varint(&data, &mut pos)? as u32),
+                size: get_varint(&data, &mut pos)?,
+                address: get_varint(&data, &mut pos)?,
+            },
+            TAG_FREE => TraceEvent::Free { time, object: ObjectId(get_varint(&data, &mut pos)?) },
+            TAG_LOAD => TraceEvent::LoadMissSample {
+                time,
+                address: get_varint(&data, &mut pos)?,
+                latency_cycles: get_varint(&data, &mut pos)? as f64,
+                function: FuncId(get_varint(&data, &mut pos)? as u16),
+            },
+            TAG_STORE_HIT | TAG_STORE_MISS => TraceEvent::StoreSample {
+                time,
+                address: get_varint(&data, &mut pos)?,
+                l1d_miss: tag == TAG_STORE_MISS,
+                function: FuncId(get_varint(&data, &mut pos)? as u16),
+            },
+            TAG_PHASE => TraceEvent::PhaseMarker {
+                time,
+                phase: get_varint(&data, &mut pos)? as u32,
+            },
+            other => return Err(TraceError::Malformed(format!("unknown event tag {other}"))),
+        };
+        events.push(event);
+    }
+    trace.events = events;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binmap::BinaryMap;
+    use crate::callstack::{CallStack, Frame};
+    use crate::ids::ModuleId;
+
+    fn sample_trace() -> TraceFile {
+        TraceFile {
+            app_name: "bin".into(),
+            seed: 9,
+            ranks: 2,
+            sampling_hz: 100.0,
+            load_sample_period: 10.0,
+            store_sample_period: 20.0,
+            duration: 3.0,
+            stacks: vec![(SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x40)]))],
+            binmap: BinaryMap::default(),
+            events: vec![
+                TraceEvent::PhaseMarker { time: 0.0, phase: 0 },
+                TraceEvent::Alloc {
+                    time: 0.25,
+                    object: ObjectId(1),
+                    site: SiteId(0),
+                    size: 1 << 20,
+                    address: 1 << 44,
+                },
+                TraceEvent::LoadMissSample {
+                    time: 0.5,
+                    address: (1 << 44) + 128,
+                    latency_cycles: 412.0,
+                    function: FuncId(3),
+                },
+                TraceEvent::StoreSample {
+                    time: 1.0,
+                    address: (1 << 44) + 256,
+                    l1d_miss: true,
+                    function: FuncId(3),
+                },
+                TraceEvent::StoreSample {
+                    time: 1.5,
+                    address: (1 << 44) + 320,
+                    l1d_miss: false,
+                    function: FuncId(3),
+                },
+                TraceEvent::Free { time: 2.5, object: ObjectId(1) },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_with_microsecond_fidelity() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.app_name, t.app_name);
+        assert_eq!(back.events.len(), t.events.len());
+        for (a, b) in t.events.iter().zip(&back.events) {
+            assert!((a.time() - b.time()).abs() < 1e-6, "µs fidelity");
+        }
+        back.validate().unwrap();
+        // Event payloads survive exactly.
+        match (&t.events[1], &back.events[1]) {
+            (
+                TraceEvent::Alloc { object: a, size: sa, address: aa, .. },
+                TraceEvent::Alloc { object: b, size: sb, address: ab, .. },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+                assert_eq!(aa, ab);
+            }
+            _ => panic!("event kind changed"),
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        // Build a trace with many samples and compare encodings.
+        let mut t = sample_trace();
+        for i in 0..20_000u64 {
+            t.events.push(TraceEvent::LoadMissSample {
+                time: 2.5 + i as f64 * 1e-5,
+                address: (1 << 44) + i * 64,
+                latency_cycles: 300.0,
+                function: FuncId(1),
+            });
+        }
+        t.duration = 3.5;
+        let json = t.to_json().unwrap();
+        let mut bin = Vec::new();
+        write_trace(&t, &mut bin).unwrap();
+        let ratio = json.len() as f64 / bin.len() as f64;
+        assert!(ratio > 5.0, "binary must be much denser: {ratio:.1}x");
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(read_trace(&bad[..]).is_err());
+        let mut bad = buf.clone();
+        bad[8] = 99;
+        assert!(read_trace(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        for cut in [10, 13, buf.len() / 2, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn varints_round_trip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

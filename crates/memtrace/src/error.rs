@@ -1,0 +1,69 @@
+//! Error type shared by trace producers and consumers.
+
+use crate::ids::{ModuleId, SiteId};
+use std::fmt;
+
+/// Errors raised while building, translating, serializing or validating
+/// trace artifacts.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A call-stack frame referenced a module not present in the binary map.
+    UnknownModule(ModuleId),
+    /// A frame offset fell outside its module's debug line table, so it
+    /// cannot be translated to human-readable form.
+    UnmappedOffset {
+        /// Module the offset was looked up in.
+        module: ModuleId,
+        /// The unmappable offset.
+        offset: u64,
+    },
+    /// A trace event referenced an allocation site with no recorded stack.
+    UnknownSite(SiteId),
+    /// The trace file failed structural validation (e.g. free before alloc).
+    Malformed(String),
+    /// An I/O or (de)serialization failure.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownModule(m) => write!(f, "unknown module {m}"),
+            TraceError::UnmappedOffset { module, offset } => {
+                write!(f, "offset {offset:#x} not mapped in module {module}")
+            }
+            TraceError::UnknownSite(s) => write!(f, "unknown allocation site {s}"),
+            TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
+            TraceError::Io(msg) => write!(f, "trace i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let e = TraceError::UnmappedOffset { module: ModuleId(3), offset: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        assert!(TraceError::UnknownSite(SiteId(9)).to_string().contains("site9"));
+        assert!(TraceError::Malformed("free before alloc".into())
+            .to_string()
+            .contains("free before alloc"));
+    }
+}

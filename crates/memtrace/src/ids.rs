@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Every identifier is a thin newtype over a small integer so that hot maps
+//! (site → stats, object → placement) stay cheap, while the type system
+//! prevents mixing, say, a [`SiteId`] with an [`ObjectId`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an *allocation site*: a unique call stack that reaches a heap
+/// allocation routine. Every dynamic allocation made from the same call
+/// stack shares one `SiteId`. This is the granularity at which the paper's
+/// Advisor reasons ("memory object" in the paper means allocation site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// Identifies one dynamic allocation instance (one `malloc` return value).
+/// A site with `N` allocations over a run produces `N` distinct `ObjectId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// Identifies a loaded binary object (the main executable or a shared
+/// library) within the simulated process image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub u16);
+
+/// Identifies a source-level function, used to attribute memory accesses for
+/// the per-function breakdowns of Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u16);
+
+/// Identifies a memory tier (subsystem). By convention in this workspace,
+/// tier 0 is DRAM and tier 1 is PMEM, but nothing in the algorithms depends
+/// on that: tier *order* always comes from the machine or advisor
+/// configuration (descending performance), which is how the paper supports
+/// arbitrary heterogeneous memory configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// Conventional DRAM tier id used by the built-in machine presets.
+    pub const DRAM: TierId = TierId(0);
+    /// Conventional PMEM tier id used by the built-in machine presets.
+    pub const PMEM: TierId = TierId(1);
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mod{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tier{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_constants() {
+        assert_eq!(TierId::DRAM, TierId(0));
+        assert_eq!(TierId::PMEM, TierId(1));
+        assert_ne!(TierId::DRAM, TierId::PMEM);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(SiteId(1) < SiteId(2));
+        assert!(ObjectId(10) > ObjectId(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+        assert_eq!(ObjectId(7).to_string(), "obj7");
+        assert_eq!(TierId(1).to_string(), "tier1");
+        assert_eq!(ModuleId(2).to_string(), "mod2");
+        assert_eq!(FuncId(4).to_string(), "fn4");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SiteId(42);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: SiteId = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Table I *text* report format: parser side.
+//!
+//! FlexMalloc's real input is a plain-text file, one allocation point per
+//! line, `<tier> # <size> # <call stack>`, with the stack in either of the
+//! two supported encodings:
+//!
+//! ```text
+//! dram # 4096 # libfoo.so!0x2e43 > a.out!0x11d0
+//! pmem # 1048576 # solver.cpp:120 > main.cpp:12
+//! fallback # pmem
+//! ```
+//!
+//! [`PlacementReport::render_text`](crate::report::PlacementReport::render_text)
+//! produces this shape; this module parses it back, so reports can be
+//! hand-edited (as the paper's authors did when fixing HPCToolkit's
+//! call-stack frames, §VIII) and round-tripped through the toolchain.
+
+use crate::binmap::BinaryMap;
+use crate::callstack::{CallStack, CodeLocation, Frame, HumanStack, StackFormat};
+use crate::error::TraceError;
+use crate::ids::TierId;
+use crate::report::{PlacementReport, ReportEntry, ReportStack};
+
+/// Resolves tier names to ids while parsing (the inverse of the renderer's
+/// `tier_name` closure). Returns `None` for unknown names.
+pub type TierResolver<'a> = dyn Fn(&str) -> Option<TierId> + 'a;
+
+/// Parses one frame in BOM text form: `module!0xOFFSET`.
+fn parse_bom_frame(text: &str, binmap: &BinaryMap) -> Result<Frame, TraceError> {
+    let (module_name, offset) = text
+        .rsplit_once('!')
+        .ok_or_else(|| TraceError::Malformed(format!("bad BOM frame `{text}`")))?;
+    let module = binmap
+        .modules()
+        .iter()
+        .find(|m| m.name == module_name)
+        .map(|m| m.id)
+        .ok_or_else(|| TraceError::Malformed(format!("unknown module `{module_name}`")))?;
+    let offset = offset
+        .strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| TraceError::Malformed(format!("bad offset in `{text}`")))?;
+    Ok(Frame::new(module, offset))
+}
+
+/// Parses one frame in human-readable form: `file:line`.
+fn parse_hr_frame(text: &str) -> Result<CodeLocation, TraceError> {
+    let (file, line) = text
+        .rsplit_once(':')
+        .ok_or_else(|| TraceError::Malformed(format!("bad HR frame `{text}`")))?;
+    let line: u32 = line
+        .parse()
+        .map_err(|_| TraceError::Malformed(format!("bad line number in `{text}`")))?;
+    Ok(CodeLocation::new(file, line))
+}
+
+/// Parses the text report format. The stack encoding is auto-detected per
+/// report (the first entry decides; mixed files are rejected, matching the
+/// library's one-format-per-report rule).
+pub fn parse_report(
+    text: &str,
+    binmap: &BinaryMap,
+    resolve_tier: &TierResolver<'_>,
+) -> Result<PlacementReport, TraceError> {
+    let mut entries: Vec<ReportEntry> = Vec::new();
+    let mut fallback: Option<TierId> = None;
+    let mut format: Option<StackFormat> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '#').map(str::trim);
+        let head = parts.next().unwrap_or_default();
+
+        if head.eq_ignore_ascii_case("fallback") {
+            let name = parts
+                .next()
+                .ok_or_else(|| TraceError::Malformed(format!("line {}: fallback needs a tier", lineno + 1)))?;
+            fallback = Some(resolve_tier(name).ok_or_else(|| {
+                TraceError::Malformed(format!("line {}: unknown tier `{name}`", lineno + 1))
+            })?);
+            continue;
+        }
+
+        let tier = resolve_tier(head).ok_or_else(|| {
+            TraceError::Malformed(format!("line {}: unknown tier `{head}`", lineno + 1))
+        })?;
+        let size: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| TraceError::Malformed(format!("line {}: bad size", lineno + 1)))?;
+        let stack_text = parts
+            .next()
+            .ok_or_else(|| TraceError::Malformed(format!("line {}: missing stack", lineno + 1)))?;
+
+        // Auto-detect the encoding from the first frame: BOM frames contain
+        // `!0x`, HR frames end in `:<digits>`.
+        let line_format = if stack_text.contains("!0x") {
+            StackFormat::Bom
+        } else {
+            StackFormat::HumanReadable
+        };
+        match format {
+            None => format = Some(line_format),
+            Some(f) if f != line_format => {
+                return Err(TraceError::Malformed(format!(
+                    "line {}: mixed stack formats in one report",
+                    lineno + 1
+                )))
+            }
+            _ => {}
+        }
+
+        let stack = match line_format {
+            StackFormat::Bom => {
+                let frames: Result<Vec<Frame>, _> = stack_text
+                    .split('>')
+                    .map(|f| parse_bom_frame(f.trim(), binmap))
+                    .collect();
+                ReportStack::Bom(CallStack::new(frames?))
+            }
+            StackFormat::HumanReadable => {
+                let locs: Result<Vec<CodeLocation>, _> =
+                    stack_text.split('>').map(|f| parse_hr_frame(f.trim())).collect();
+                ReportStack::Human(HumanStack::new(locs?))
+            }
+        };
+        entries.push(ReportEntry { stack, tier, max_size: size });
+    }
+
+    let mut report = PlacementReport::new(
+        format.unwrap_or(StackFormat::Bom),
+        fallback.ok_or_else(|| TraceError::Malformed("report has no fallback line".into()))?,
+    );
+    for e in entries {
+        report.push(e);
+    }
+    report.validate()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binmap::BinaryMapBuilder;
+    use crate::ids::ModuleId;
+
+    fn image() -> BinaryMap {
+        let mut b = BinaryMapBuilder::new();
+        b.add_module("a.out", 64 * 1024, 1 << 20, vec!["main.c".into()]);
+        b.add_module("libfoo.so", 64 * 1024, 1 << 20, vec!["foo.c".into()]);
+        b.build()
+    }
+
+    fn resolver(name: &str) -> Option<TierId> {
+        match name {
+            "dram" => Some(TierId::DRAM),
+            "pmem" => Some(TierId::PMEM),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn bom_report_round_trips_through_text() {
+        let map = image();
+        let mut report = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+        report.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![
+                Frame::new(ModuleId(1), 0x2e40),
+                Frame::new(ModuleId(0), 0x11c0),
+            ])),
+            tier: TierId::DRAM,
+            max_size: 4096,
+        });
+        report.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![Frame::new(ModuleId(0), 0x80)])),
+            tier: TierId::PMEM,
+            max_size: 1 << 20,
+        });
+        let text = report.render_text(&map, |t| {
+            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
+        });
+        let parsed = parse_report(&text, &map, &resolver).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn hr_report_round_trips_through_text() {
+        let map = image();
+        let mut report = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+        report.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![Frame::new(ModuleId(0), 0x40)])),
+            tier: TierId::DRAM,
+            max_size: 128,
+        });
+        let hr = report.to_human_readable(&map).unwrap();
+        let text = hr.render_text(&map, |t| {
+            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
+        });
+        let parsed = parse_report(&text, &map, &resolver).unwrap();
+        assert_eq!(parsed, hr);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let map = image();
+        let text = "\n# a comment\n  \ndram # 64 # a.out!0x40\nfallback # pmem\n";
+        let parsed = parse_report(text, &map, &resolver).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.fallback, TierId::PMEM);
+    }
+
+    #[test]
+    fn missing_fallback_is_rejected() {
+        let map = image();
+        assert!(parse_report("dram # 64 # a.out!0x40\n", &map, &resolver).is_err());
+    }
+
+    #[test]
+    fn unknown_tier_and_module_are_rejected() {
+        let map = image();
+        assert!(parse_report("hbm # 64 # a.out!0x40\nfallback # pmem\n", &map, &resolver).is_err());
+        assert!(
+            parse_report("dram # 64 # libnope.so!0x40\nfallback # pmem\n", &map, &resolver)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn mixed_formats_are_rejected() {
+        let map = image();
+        let text = "dram # 64 # a.out!0x40\npmem # 64 # main.c:12\nfallback # pmem\n";
+        let err = parse_report(text, &map, &resolver).unwrap_err().to_string();
+        assert!(err.contains("mixed"), "{err}");
+    }
+
+    #[test]
+    fn hand_edited_reports_parse() {
+        // The §VIII workflow: a user edits a tier by hand.
+        let map = image();
+        let text = "pmem # 4096 # libfoo.so!0x2e40 > a.out!0x11c0\nfallback # pmem\n";
+        let parsed = parse_report(text, &map, &resolver).unwrap();
+        assert_eq!(parsed.entries[0].tier, TierId::PMEM);
+    }
+
+    #[test]
+    fn garbage_lines_error_with_line_numbers() {
+        let map = image();
+        let err = parse_report("dram # notanumber # a.out!0x40\nfallback # pmem\n", &map, &resolver)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

@@ -1,0 +1,268 @@
+//! The trace file: the artifact a profiling run writes and the analyzer
+//! (Paramedir in the paper) reads.
+
+use crate::binmap::BinaryMap;
+use crate::callstack::CallStack;
+use crate::error::TraceError;
+use crate::events::TraceEvent;
+use crate::ids::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serde default for the sample-period fields (legacy traces omit them).
+fn one() -> f64 {
+    1.0
+}
+
+/// A complete profiling trace: run metadata, the site table mapping
+/// allocation sites to their call stacks, the program image description,
+/// and the time-ordered event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Application name, e.g. `lulesh`.
+    pub app_name: String,
+    /// Seed used for the profiled run (for reproducibility bookkeeping).
+    pub seed: u64,
+    /// Number of MPI ranks the model represents.
+    pub ranks: u32,
+    /// PEBS sampling rate in Hz that produced the sample events.
+    pub sampling_hz: f64,
+    /// LLC load misses represented by each load-miss sample (the effective
+    /// PEBS period). Consumers multiply sample counts by this to estimate
+    /// absolute miss counts.
+    #[serde(default = "one")]
+    pub load_sample_period: f64,
+    /// Stores represented by each store sample.
+    #[serde(default = "one")]
+    pub store_sample_period: f64,
+    /// Wall-clock duration of the profiled run, seconds.
+    pub duration: f64,
+    /// Call stack of each allocation site, indexed by `SiteId`.
+    pub stacks: Vec<(SiteId, CallStack)>,
+    /// The program image (modules + debug metadata).
+    pub binmap: BinaryMap,
+    /// Events ordered by time (ties broken by emission order).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceFile {
+    /// Looks up the call stack recorded for a site.
+    pub fn stack_of(&self, site: SiteId) -> Option<&CallStack> {
+        self.stacks
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|(_, st)| st)
+    }
+
+    /// Site table as a map.
+    pub fn stack_map(&self) -> HashMap<SiteId, &CallStack> {
+        self.stacks.iter().map(|(s, st)| (*s, st)).collect()
+    }
+
+    /// Number of sample events in the trace.
+    pub fn sample_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_sample()).count()
+    }
+
+    /// Number of allocation events in the trace.
+    pub fn alloc_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
+            .count()
+    }
+
+    /// Structural validation: events are time-ordered, every `Alloc`
+    /// references a known site, every `Free` follows a matching `Alloc`,
+    /// and no object is freed twice. The analyzer calls this before
+    /// aggregating so that truncated or corrupted traces are rejected
+    /// loudly instead of silently producing a bad placement.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let sites: HashSet<SiteId> = self.stacks.iter().map(|(s, _)| *s).collect();
+        let mut live = HashSet::new();
+        let mut freed = HashSet::new();
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, e) in self.events.iter().enumerate() {
+            let t = e.time();
+            if t < last_t {
+                return Err(TraceError::Malformed(format!(
+                    "event {i} at t={t} precedes previous event at t={last_t}"
+                )));
+            }
+            last_t = t;
+            match e {
+                TraceEvent::Alloc { object, site, size, .. } => {
+                    if !sites.contains(site) {
+                        return Err(TraceError::UnknownSite(*site));
+                    }
+                    if *size == 0 {
+                        return Err(TraceError::Malformed(format!(
+                            "zero-size allocation for {object}"
+                        )));
+                    }
+                    if !live.insert(*object) {
+                        return Err(TraceError::Malformed(format!(
+                            "object {object} allocated twice without free"
+                        )));
+                    }
+                }
+                TraceEvent::Free { object, .. } => {
+                    if !live.remove(object) {
+                        if freed.contains(object) {
+                            return Err(TraceError::Malformed(format!(
+                                "double free of {object}"
+                            )));
+                        }
+                        return Err(TraceError::Malformed(format!(
+                            "free of never-allocated {object}"
+                        )));
+                    }
+                    freed.insert(*object);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the trace to JSON.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deserializes a trace from JSON.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the trace to a writer as JSON.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        let json = self.to_json()?;
+        w.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a trace from a reader.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, TraceError> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        Self::from_json(&buf)
+    }
+
+    /// Writes the trace to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Loads a trace from a file path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let f = std::fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::Frame;
+    use crate::ids::{ModuleId, ObjectId};
+
+    fn minimal_trace() -> TraceFile {
+        TraceFile {
+            app_name: "toy".into(),
+            seed: 1,
+            ranks: 1,
+            sampling_hz: 100.0,
+            load_sample_period: 1.0,
+            store_sample_period: 1.0,
+            duration: 2.0,
+            stacks: vec![(SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)]))],
+            binmap: BinaryMap::default(),
+            events: vec![
+                TraceEvent::Alloc {
+                    time: 0.0,
+                    object: ObjectId(1),
+                    site: SiteId(0),
+                    size: 128,
+                    address: 0x1000,
+                },
+                TraceEvent::Free { time: 1.0, object: ObjectId(1) },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        minimal_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn counts() {
+        let t = minimal_trace();
+        assert_eq!(t.alloc_count(), 1);
+        assert_eq!(t.sample_count(), 0);
+        assert!(t.stack_of(SiteId(0)).is_some());
+        assert!(t.stack_of(SiteId(9)).is_none());
+    }
+
+    #[test]
+    fn rejects_unordered_events() {
+        let mut t = minimal_trace();
+        t.events.swap(0, 1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_site() {
+        let mut t = minimal_trace();
+        t.stacks.clear();
+        assert!(matches!(t.validate(), Err(TraceError::UnknownSite(_))));
+    }
+
+    #[test]
+    fn rejects_double_free() {
+        let mut t = minimal_trace();
+        t.events.push(TraceEvent::Free { time: 1.5, object: ObjectId(1) });
+        let err = t.validate().unwrap_err().to_string();
+        assert!(err.contains("double free"), "{err}");
+    }
+
+    #[test]
+    fn rejects_free_of_unallocated() {
+        let mut t = minimal_trace();
+        t.events = vec![TraceEvent::Free { time: 0.5, object: ObjectId(7) }];
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_size_alloc() {
+        let mut t = minimal_trace();
+        t.events = vec![TraceEvent::Alloc {
+            time: 0.0,
+            object: ObjectId(2),
+            site: SiteId(0),
+            size: 0,
+            address: 0x2000,
+        }];
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = minimal_trace();
+        let j = t.to_json().unwrap();
+        let back = TraceFile::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn truncated_json_is_an_error() {
+        let t = minimal_trace();
+        let j = t.to_json().unwrap();
+        let truncated = &j[..j.len() / 2];
+        assert!(TraceFile::from_json(truncated).is_err());
+    }
+}

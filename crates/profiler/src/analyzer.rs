@@ -1,0 +1,352 @@
+//! The trace analyzer — our Paramedir.
+//!
+//! Consumes a [`TraceFile`] with no access to the engine internals: every
+//! statistic is recovered from the events alone, the way the real toolchain
+//! recovers them from an Extrae trace. In particular, samples carry only a
+//! data linear address, so the analyzer rebuilds the address → object
+//! mapping from the allocation events and interval-searches each sample —
+//! the same object-matching job Paramedir performs (§IV-A).
+
+use crate::profile::{ObjectLifetime, ProfileSet, SiteProfile};
+use memtrace::{ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
+use std::collections::HashMap;
+
+/// Analyzes a trace into per-site profiles. Fails on malformed traces.
+pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
+    trace.validate()?;
+
+    // Pass 1: object table from allocation events.
+    let mut objects: HashMap<ObjectId, Obj> = HashMap::new();
+    for e in &trace.events {
+        match e {
+            TraceEvent::Alloc { time, object, site, size, address } => {
+                objects.insert(
+                    *object,
+                    Obj {
+                        site: *site,
+                        size: *size,
+                        address: *address,
+                        alloc_time: *time,
+                        free_time: trace.duration,
+                        load_samples: 0,
+                        store_samples: 0,
+                        store_l1d_miss_samples: 0,
+                    },
+                );
+            }
+            TraceEvent::Free { time, object } => {
+                if let Some(o) = objects.get_mut(object) {
+                    o.free_time = *time;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Address interval index: sorted (start, end, object). Heap addresses
+    // are unique per object in the simulated process (freed blocks may be
+    // reused, so matching must also check liveness at the sample time).
+    let mut intervals: Vec<(u64, u64, ObjectId)> = objects
+        .iter()
+        .map(|(id, o)| (o.address, o.address + o.size, *id))
+        .collect();
+    intervals.sort_unstable();
+
+    let find = |address: u64, time: f64, objects: &HashMap<ObjectId, Obj>| -> Option<ObjectId> {
+        // Candidates share a start ≤ address; scan back from the partition
+        // point checking range + liveness.
+        let idx = intervals.partition_point(|&(start, _, _)| start <= address);
+        intervals[..idx]
+            .iter()
+            .rev()
+            .take_while(|&&(start, _, _)| start + (1 << 44) > address) // same-tier guard
+            .find(|&&(start, end, id)| {
+                address >= start && address < end && {
+                    let o = &objects[&id];
+                    time >= o.alloc_time && time <= o.free_time
+                }
+            })
+            .map(|&(_, _, id)| id)
+    };
+
+    // Pass 2: attribute samples.
+    let mut unmatched_samples = 0u64;
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, address, .. } => {
+                if let Some(id) = find(*address, *time, &objects) {
+                    objects.get_mut(&id).unwrap().load_samples += 1;
+                } else {
+                    unmatched_samples += 1;
+                }
+            }
+            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+                if let Some(id) = find(*address, *time, &objects) {
+                    let o = objects.get_mut(&id).unwrap();
+                    o.store_samples += 1;
+                    o.store_l1d_miss_samples += u64::from(*l1d_miss);
+                } else {
+                    unmatched_samples += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = unmatched_samples; // kept for debugging; not fatal
+
+    // Pass 3: system bandwidth series binned by phase markers.
+    let mut bins: Vec<f64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseMarker { time, .. } => Some(*time),
+            _ => None,
+        })
+        .collect();
+    if bins.is_empty() {
+        bins.push(0.0);
+    }
+    bins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut bin_bytes = vec![0.0_f64; bins.len()];
+    let bin_of = |t: f64| -> usize { bins.partition_point(|&b| b <= t).saturating_sub(1) };
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, .. } => {
+                bin_bytes[bin_of(*time)] += trace.load_sample_period * 64.0;
+            }
+            TraceEvent::StoreSample { time, l1d_miss: true, .. } => {
+                bin_bytes[bin_of(*time)] += trace.store_sample_period * 64.0;
+            }
+            _ => {}
+        }
+    }
+    let mut bw_series = Vec::with_capacity(bins.len());
+    for (i, &start) in bins.iter().enumerate() {
+        let end = bins.get(i + 1).copied().unwrap_or(trace.duration);
+        let width = (end - start).max(1e-9);
+        bw_series.push((start, bin_bytes[i] / width));
+    }
+    let peak_bw = bw_series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+    let bw_at = |t: f64| -> f64 {
+        let i = bin_of(t);
+        bw_series.get(i).map(|&(_, bw)| bw).unwrap_or(0.0)
+    };
+
+    // Pass 4: aggregate per site.
+    let mut per_site: HashMap<SiteId, Vec<(&ObjectId, &Obj)>> = HashMap::new();
+    for (id, o) in &objects {
+        per_site.entry(o.site).or_default().push((id, o));
+    }
+    let mut sites = Vec::with_capacity(per_site.len());
+    for (site, stack) in &trace.stacks {
+        let Some(mut objs) = per_site.remove(site) else { continue };
+        objs.sort_by_key(|(id, _)| **id);
+        let alloc_count = objs.len() as u64;
+        let max_size = objs.iter().map(|(_, o)| o.size).max().unwrap_or(0);
+        let total_bytes: u64 = objs.iter().map(|(_, o)| o.size).sum();
+        let peak_live_bytes = peak_live(&objs);
+        let load_samples: u64 = objs.iter().map(|(_, o)| o.load_samples).sum();
+        let store_miss_samples: u64 =
+            objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
+        let store_samples: u64 = objs.iter().map(|(_, o)| o.store_samples).sum();
+        let load_misses_est = load_samples as f64 * trace.load_sample_period;
+        let store_misses_est = store_miss_samples as f64 * trace.store_sample_period;
+        let first_alloc = objs
+            .iter()
+            .map(|(_, o)| o.alloc_time)
+            .fold(f64::INFINITY, f64::min);
+        let last_free = objs.iter().map(|(_, o)| o.free_time).fold(0.0, f64::max);
+        let total_lifetime: f64 = objs
+            .iter()
+            .map(|(_, o)| (o.free_time - o.alloc_time).max(0.0))
+            .sum();
+        let bw_at_alloc = objs.iter().map(|(_, o)| bw_at(o.alloc_time)).sum::<f64>()
+            / alloc_count.max(1) as f64;
+        let avg_bw = if total_lifetime > 0.0 {
+            (load_misses_est + store_misses_est) * 64.0 / total_lifetime
+        } else {
+            0.0
+        };
+        let object_lifetimes = objs
+            .iter()
+            .map(|(id, o)| ObjectLifetime {
+                object: **id,
+                size: o.size,
+                alloc_time: o.alloc_time,
+                free_time: o.free_time,
+                load_samples: o.load_samples,
+                store_samples: o.store_samples,
+                store_l1d_miss_samples: o.store_l1d_miss_samples,
+                bw_at_alloc: bw_at(o.alloc_time),
+            })
+            .collect();
+        sites.push(SiteProfile {
+            site: *site,
+            stack: stack.clone(),
+            alloc_count,
+            max_size,
+            total_bytes,
+            peak_live_bytes,
+            load_misses_est,
+            store_misses_est,
+            has_stores: store_samples > 0,
+            first_alloc,
+            last_free,
+            bw_at_alloc,
+            avg_bw,
+            objects: object_lifetimes,
+        });
+    }
+    sites.sort_by_key(|s| s.site);
+
+    Ok(ProfileSet {
+        app_name: trace.app_name.clone(),
+        duration: trace.duration,
+        sites,
+        bw_series,
+        peak_bw,
+        binmap: trace.binmap.clone(),
+    })
+}
+
+/// Object accumulator built from the allocation events.
+struct Obj {
+    site: SiteId,
+    size: u64,
+    address: u64,
+    alloc_time: f64,
+    free_time: f64,
+    load_samples: u64,
+    store_samples: u64,
+    store_l1d_miss_samples: u64,
+}
+
+/// Peak simultaneously-live bytes among one site's objects.
+fn peak_live(objs: &[(&ObjectId, &Obj)]) -> u64 {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(objs.len() * 2);
+    for (_, o) in objs {
+        edges.push((o.alloc_time, o.size as i64));
+        edges.push((o.free_time, -(o.size as i64)));
+    }
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{profile_run, ProfilerConfig};
+    use memsim::{ExecMode, FixedTier, MachineConfig};
+    use memtrace::TierId;
+
+    fn profiled() -> ProfileSet {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        analyze(&trace).unwrap()
+    }
+
+    #[test]
+    fn all_sites_recovered() {
+        let p = profiled();
+        let app = workloads::minife::model();
+        assert_eq!(p.sites.len(), app.sites.len());
+    }
+
+    #[test]
+    fn miss_estimates_track_truth_for_hot_sites() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, result) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let p = analyze(&trace).unwrap();
+        // For each site with substantial true misses, the sampled estimate
+        // should be within 25%.
+        let mut truth: HashMap<SiteId, f64> = HashMap::new();
+        for o in &result.objects {
+            *truth.entry(o.site).or_insert(0.0) += o.load_misses;
+        }
+        let total: f64 = truth.values().sum();
+        for s in &p.sites {
+            let t = truth[&s.site];
+            if t > 0.02 * total {
+                let rel = (s.load_misses_est - t).abs() / t;
+                assert!(rel < 0.25, "{}: est {:.3e} vs true {:.3e}", s.site, s.load_misses_est, t);
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_series_has_a_peak() {
+        let p = profiled();
+        assert!(p.peak_bw > 0.0);
+        assert!(!p.bw_series.is_empty());
+        assert!(p.bw_at(p.duration * 0.5) >= 0.0);
+    }
+
+    #[test]
+    fn store_only_sites_flagged() {
+        let p = profiled();
+        // MiniFE's q vector receives stores.
+        let q = p.site(SiteId(5)).unwrap();
+        assert!(q.has_stores);
+    }
+
+    #[test]
+    fn rejects_malformed_trace() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (mut trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        trace.stacks.clear();
+        assert!(analyze(&trace).is_err());
+    }
+
+    #[test]
+    fn lifetime_and_peak_live_consistency() {
+        let app = workloads::lulesh::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::AppDirect,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let p = analyze(&trace).unwrap();
+        for site in workloads::lulesh::temp_sites() {
+            let s = p.site(site).unwrap();
+            assert_eq!(s.alloc_count, 200, "Table III");
+            assert!(s.peak_live_bytes < s.total_bytes, "temps never all coexist");
+            // Temps allocate in the high-bandwidth region.
+            assert!(
+                s.bw_at_alloc > 0.3 * p.peak_bw,
+                "temps allocate at high bw: {:.2e} vs peak {:.2e}",
+                s.bw_at_alloc,
+                p.peak_bw
+            );
+        }
+    }
+}

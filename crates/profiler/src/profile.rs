@@ -1,0 +1,212 @@
+//! Aggregated profiling results — the analyzer's output and the Advisor's
+//! input.
+
+use memtrace::{BinaryMap, CallStack, ObjectId, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// One dynamic allocation's observed lifetime and sampled activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectLifetime {
+    /// The allocation instance.
+    pub object: ObjectId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Allocation timestamp, seconds.
+    pub alloc_time: f64,
+    /// Free timestamp, seconds (end of trace if never freed).
+    pub free_time: f64,
+    /// LLC load-miss samples attributed to the object.
+    pub load_samples: u64,
+    /// Store samples attributed to the object.
+    pub store_samples: u64,
+    /// Store samples that missed the L1D.
+    pub store_l1d_miss_samples: u64,
+    /// System off-chip bandwidth (bytes/s, sample-estimated) in the window
+    /// right after the allocation — the "Allocation BW" axis of Table II.
+    pub bw_at_alloc: f64,
+}
+
+impl ObjectLifetime {
+    /// Lifetime in seconds.
+    pub fn lifetime(&self) -> f64 {
+        (self.free_time - self.alloc_time).max(0.0)
+    }
+}
+
+/// Per-allocation-site aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// The allocation site.
+    pub site: SiteId,
+    /// Its call stack (canonical form).
+    pub stack: CallStack,
+    /// Number of allocations observed.
+    pub alloc_count: u64,
+    /// Largest single allocation observed, bytes (the Advisor's reported
+    /// size, §IV-A).
+    pub max_size: u64,
+    /// Total bytes allocated across all the site's allocations. The base
+    /// algorithm, having no temporal information, must budget DRAM with
+    /// this conservative figure — it cannot know that the 200 instances of
+    /// a scratch buffer never coexist. The bandwidth-aware pass, which has
+    /// timestamps, can use the true peak live footprint instead.
+    pub total_bytes: u64,
+    /// Peak simultaneously-live bytes of the site (from timestamps).
+    pub peak_live_bytes: u64,
+    /// Estimated LLC load misses over the run (samples × period).
+    pub load_misses_est: f64,
+    /// Estimated L1D store misses over the run.
+    pub store_misses_est: f64,
+    /// True if any store sample was attributed to the site.
+    pub has_stores: bool,
+    /// First allocation timestamp.
+    pub first_alloc: f64,
+    /// Last free timestamp.
+    pub last_free: f64,
+    /// Mean system bandwidth at the site's allocations, bytes/s.
+    pub bw_at_alloc: f64,
+    /// The site's own average bandwidth demand while alive: estimated
+    /// misses × cacheline / aggregate lifetime (§VII's per-object metric).
+    pub avg_bw: f64,
+    /// Per-object lifetimes.
+    pub objects: Vec<ObjectLifetime>,
+}
+
+impl SiteProfile {
+    /// Aggregate lifetime (sum over objects), seconds.
+    pub fn total_lifetime(&self) -> f64 {
+        self.objects.iter().map(|o| o.lifetime()).sum()
+    }
+
+    /// The base Advisor's value density under load/store coefficients:
+    /// weighted estimated misses per byte of (conservatively budgeted)
+    /// capacity.
+    pub fn density(&self, load_coeff: f64, store_coeff: f64) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        (load_coeff * self.load_misses_est + store_coeff * self.store_misses_est)
+            / self.total_bytes as f64
+    }
+}
+
+/// The analyzer's complete output for one profiled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSet {
+    /// Application name from the trace.
+    pub app_name: String,
+    /// Run duration, seconds.
+    pub duration: f64,
+    /// Per-site statistics, ordered by site id.
+    pub sites: Vec<SiteProfile>,
+    /// Sample-estimated system off-chip bandwidth time series,
+    /// `(bin_start_seconds, bytes_per_second)`.
+    pub bw_series: Vec<(f64, f64)>,
+    /// Peak of [`Self::bw_series`] — the reference for the bandwidth-aware
+    /// thresholds (T_PMEMLOW / T_PMEMHIGH are fractions of this).
+    pub peak_bw: f64,
+    /// The program image carried over from the trace (needed to emit
+    /// human-readable reports and to cost HR matching).
+    pub binmap: BinaryMap,
+}
+
+impl ProfileSet {
+    /// Looks up one site's profile.
+    pub fn site(&self, site: SiteId) -> Option<&SiteProfile> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+
+    /// Total estimated load misses across sites.
+    pub fn total_load_misses(&self) -> f64 {
+        self.sites.iter().map(|s| s.load_misses_est).sum()
+    }
+
+    /// System bandwidth (bytes/s) at a given time, from the series.
+    pub fn bw_at(&self, time: f64) -> f64 {
+        let mut last = 0.0;
+        for &(t, bw) in &self.bw_series {
+            if t > time {
+                break;
+            }
+            last = bw;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{CallStack, Frame, ModuleId};
+
+    fn site_profile() -> SiteProfile {
+        SiteProfile {
+            site: SiteId(0),
+            stack: CallStack::new(vec![Frame::new(ModuleId(0), 0x10)]),
+            alloc_count: 2,
+            max_size: 1000,
+            total_bytes: 2000,
+            peak_live_bytes: 1000,
+            load_misses_est: 4000.0,
+            store_misses_est: 1000.0,
+            has_stores: true,
+            first_alloc: 0.0,
+            last_free: 10.0,
+            bw_at_alloc: 1e9,
+            avg_bw: 2e8,
+            objects: vec![
+                ObjectLifetime {
+                    object: ObjectId(1),
+                    size: 1000,
+                    alloc_time: 0.0,
+                    free_time: 4.0,
+                    load_samples: 3,
+                    store_samples: 1,
+                    store_l1d_miss_samples: 1,
+                    bw_at_alloc: 1e9,
+                },
+                ObjectLifetime {
+                    object: ObjectId(2),
+                    size: 1000,
+                    alloc_time: 5.0,
+                    free_time: 10.0,
+                    load_samples: 2,
+                    store_samples: 0,
+                    store_l1d_miss_samples: 0,
+                    bw_at_alloc: 1e9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn density_uses_total_bytes_and_coefficients() {
+        let s = site_profile();
+        assert!((s.density(1.0, 0.0) - 2.0).abs() < 1e-12);
+        assert!((s.density(1.0, 2.0) - 3.0).abs() < 1e-12);
+        let mut z = site_profile();
+        z.total_bytes = 0;
+        assert_eq!(z.density(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lifetimes_sum() {
+        let s = site_profile();
+        assert!((s.total_lifetime() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bw_at_steps_through_series() {
+        let p = ProfileSet {
+            app_name: "t".into(),
+            duration: 3.0,
+            sites: vec![],
+            bw_series: vec![(0.0, 1e9), (1.0, 5e9), (2.0, 2e9)],
+            peak_bw: 5e9,
+            binmap: BinaryMap::default(),
+        };
+        assert_eq!(p.bw_at(0.5), 1e9);
+        assert_eq!(p.bw_at(1.5), 5e9);
+        assert_eq!(p.bw_at(9.0), 2e9);
+    }
+}

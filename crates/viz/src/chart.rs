@@ -1,0 +1,246 @@
+//! Line and grouped-bar charts.
+
+use crate::scale::{nice_ticks, tick_label, Scale};
+use crate::svg::Svg;
+
+/// Default categorical palette (colorblind-safe-ish).
+pub const PALETTE: [&str; 6] = ["#3b6fb6", "#d1495b", "#66a182", "#edae49", "#8d6cab", "#5f6a72"];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// One line-chart series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Canvas size in pixels.
+    pub size: (u32, u32),
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG document.
+    pub fn render(&self) -> String {
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+        let mut svg = Svg::new(self.size.0, self.size.1);
+
+        let xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let ys: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+        let (x0, x1) = bounds(&xs);
+        let (_, y1) = bounds(&ys);
+        let y0 = 0.0f64.min(ys.iter().copied().fold(f64::INFINITY, f64::min));
+        let sx = Scale::new(x0, x1, MARGIN_L, w - MARGIN_R);
+        let yticks = nice_ticks(y0, y1, 6);
+        let sy = Scale::new(
+            yticks[0],
+            *yticks.last().unwrap(),
+            h - MARGIN_B,
+            MARGIN_T,
+        );
+
+        // Gridlines + y ticks.
+        for &t in &yticks {
+            let y = sy.map(t);
+            svg.dashed_line(MARGIN_L, y, w - MARGIN_R, y, "#dddddd");
+            svg.text(MARGIN_L - 6.0, y + 3.0, "end", 10, &tick_label(t));
+        }
+        // X ticks.
+        for &t in &nice_ticks(x0, x1, 7) {
+            if t < x0 - 1e-9 || t > x1 + 1e-9 {
+                continue;
+            }
+            let x = sx.map(t);
+            svg.line(x, h - MARGIN_B, x, h - MARGIN_B + 4.0, "#000000", 1.0);
+            svg.text(x, h - MARGIN_B + 16.0, "middle", 10, &tick_label(t));
+        }
+        // Axes.
+        svg.line(MARGIN_L, MARGIN_T, MARGIN_L, h - MARGIN_B, "#000000", 1.0);
+        svg.line(MARGIN_L, h - MARGIN_B, w - MARGIN_R, h - MARGIN_B, "#000000", 1.0);
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> =
+                s.points.iter().map(|&(x, y)| (sx.map(x), sy.map(y))).collect();
+            svg.polyline(&pts, color, 2.0);
+            // Legend.
+            let lx = MARGIN_L + 10.0;
+            let ly = MARGIN_T + 14.0 * i as f64 + 4.0;
+            svg.line(lx, ly - 3.0, lx + 18.0, ly - 3.0, color, 3.0);
+            svg.text(lx + 24.0, ly, "start", 10, &s.label);
+        }
+
+        svg.text(w / 2.0, 18.0, "middle", 13, &self.title);
+        svg.text(w / 2.0, h - 10.0, "middle", 11, &self.x_label);
+        svg.vtext(16.0, h / 2.0, 11, &self.y_label);
+        svg.finish()
+    }
+}
+
+/// One group of bars (e.g. one application).
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label on the x axis.
+    pub label: String,
+    /// One value per configured series.
+    pub values: Vec<f64>,
+}
+
+/// A grouped bar chart with an optional horizontal baseline rule
+/// (speedup = 1 in the paper's figures).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Legend label per series (bar within each group).
+    pub series_labels: Vec<String>,
+    /// The groups.
+    pub groups: Vec<BarGroup>,
+    /// Horizontal rule (e.g. 1.0 for "memory mode").
+    pub baseline: Option<f64>,
+    /// Canvas size in pixels.
+    pub size: (u32, u32),
+}
+
+impl BarChart {
+    /// Renders the chart to an SVG document.
+    pub fn render(&self) -> String {
+        let (w, h) = (self.size.0 as f64, self.size.1 as f64);
+        let mut svg = Svg::new(self.size.0, self.size.1);
+        let values: Vec<f64> = self.groups.iter().flat_map(|g| g.values.iter().copied()).collect();
+        let y_max = values.iter().copied().fold(0.0f64, f64::max).max(self.baseline.unwrap_or(0.0));
+        let yticks = nice_ticks(0.0, y_max * 1.05, 6);
+        let sy = Scale::new(0.0, *yticks.last().unwrap(), h - MARGIN_B, MARGIN_T);
+
+        for &t in &yticks {
+            let y = sy.map(t);
+            svg.dashed_line(MARGIN_L, y, w - MARGIN_R, y, "#dddddd");
+            svg.text(MARGIN_L - 6.0, y + 3.0, "end", 10, &tick_label(t));
+        }
+
+        let n_groups = self.groups.len().max(1) as f64;
+        let n_series = self.series_labels.len().max(1) as f64;
+        let group_w = (w - MARGIN_L - MARGIN_R) / n_groups;
+        let bar_w = (group_w * 0.8) / n_series;
+
+        for (gi, g) in self.groups.iter().enumerate() {
+            let gx = MARGIN_L + group_w * gi as f64 + group_w * 0.1;
+            for (si, &v) in g.values.iter().enumerate() {
+                let x = gx + bar_w * si as f64;
+                let y = sy.map(v);
+                let base = sy.map(0.0);
+                svg.rect(x, y.min(base), bar_w * 0.92, (base - y).abs(), PALETTE[si % PALETTE.len()]);
+            }
+            svg.text(gx + group_w * 0.4, h - MARGIN_B + 16.0, "middle", 10, &g.label);
+        }
+
+        if let Some(b) = self.baseline {
+            let y = sy.map(b);
+            svg.line(MARGIN_L, y, w - MARGIN_R, y, "#000000", 1.5);
+        }
+        svg.line(MARGIN_L, MARGIN_T, MARGIN_L, h - MARGIN_B, "#000000", 1.0);
+        svg.line(MARGIN_L, h - MARGIN_B, w - MARGIN_R, h - MARGIN_B, "#000000", 1.0);
+
+        for (si, label) in self.series_labels.iter().enumerate() {
+            let lx = MARGIN_L + 10.0 + 130.0 * si as f64;
+            svg.rect(lx, MARGIN_T - 12.0, 10.0, 10.0, PALETTE[si % PALETTE.len()]);
+            svg.text(lx + 14.0, MARGIN_T - 3.0, "start", 10, label);
+        }
+        svg.text(w / 2.0, 18.0, "middle", 13, &self.title);
+        svg.vtext(16.0, h / 2.0, 11, &self.y_label);
+        svg.finish()
+    }
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let c = LineChart {
+            title: "Fig 2".into(),
+            x_label: "bw".into(),
+            y_label: "ns".into(),
+            series: vec![
+                Series { label: "dram".into(), points: vec![(8.0, 90.0), (22.0, 117.0)] },
+                Series { label: "pmem".into(), points: vec![(8.0, 186.0), (22.0, 239.0)] },
+            ],
+            size: (640, 400),
+        };
+        let doc = c.render();
+        assert_eq!(doc.matches("<polyline").count(), 2);
+        assert!(doc.contains("Fig 2"));
+        assert!(doc.contains("dram"));
+        assert!(doc.contains("pmem"));
+    }
+
+    #[test]
+    fn bar_chart_renders_groups_and_baseline() {
+        let c = BarChart {
+            title: "Fig 6".into(),
+            y_label: "speedup".into(),
+            series_labels: vec!["loads".into(), "loads+stores".into()],
+            groups: vec![
+                BarGroup { label: "minife".into(), values: vec![2.16, 2.16] },
+                BarGroup { label: "hpcg".into(), values: vec![1.6, 1.6] },
+            ],
+            baseline: Some(1.0),
+            size: (640, 400),
+        };
+        let doc = c.render();
+        // 4 bars + 2 legend swatches + background.
+        assert_eq!(doc.matches("<rect").count(), 4 + 2 + 1);
+        assert!(doc.contains("minife"));
+    }
+
+    #[test]
+    fn empty_charts_do_not_panic() {
+        let c = LineChart {
+            title: "t".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![],
+            size: (100, 100),
+        };
+        assert!(c.render().contains("</svg>"));
+        let b = BarChart {
+            title: "t".into(),
+            y_label: String::new(),
+            series_labels: vec![],
+            groups: vec![],
+            baseline: None,
+            size: (100, 100),
+        };
+        assert!(b.render().contains("</svg>"));
+    }
+}

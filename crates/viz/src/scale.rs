@@ -1,0 +1,124 @@
+//! Linear scales and "nice" tick generation.
+
+/// A linear mapping from data space to pixel space.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Data-space minimum.
+    pub d0: f64,
+    /// Data-space maximum.
+    pub d1: f64,
+    /// Pixel-space start.
+    pub p0: f64,
+    /// Pixel-space end.
+    pub p1: f64,
+}
+
+impl Scale {
+    /// Builds a scale; degenerate domains are widened slightly so the map
+    /// stays defined.
+    pub fn new(d0: f64, d1: f64, p0: f64, p1: f64) -> Scale {
+        let (d0, d1) = if (d1 - d0).abs() < 1e-12 { (d0 - 0.5, d1 + 0.5) } else { (d0, d1) };
+        Scale { d0, d1, p0, p1 }
+    }
+
+    /// Maps a data value to pixels.
+    pub fn map(&self, v: f64) -> f64 {
+        self.p0 + (v - self.d0) / (self.d1 - self.d0) * (self.p1 - self.p0)
+    }
+}
+
+/// Returns ~`n` round-valued ticks covering `[lo, hi]` (the classic
+/// nice-numbers loop).
+pub fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    if hi <= lo {
+        return vec![lo, lo + 1.0];
+    }
+    let span = hi - lo;
+    let raw_step = span / (n - 1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 0.5 {
+        if t >= lo - step * 0.5 {
+            // Snap -0.0 to 0.0 for stable labels.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        }
+        t += step;
+    }
+    ticks
+}
+
+/// Formats a tick label compactly (no trailing zeros, SI-free).
+pub fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(String::from).unwrap_or(s)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_endpoints() {
+        let s = Scale::new(0.0, 10.0, 100.0, 200.0);
+        assert!((s.map(0.0) - 100.0).abs() < 1e-9);
+        assert!((s.map(10.0) - 200.0).abs() < 1e-9);
+        assert!((s.map(5.0) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_pixel_ranges_work() {
+        // SVG y grows downward; charts use p0 > p1.
+        let s = Scale::new(0.0, 1.0, 300.0, 20.0);
+        assert!(s.map(1.0) < s.map(0.0));
+    }
+
+    #[test]
+    fn ticks_cover_the_domain_with_round_steps() {
+        let t = nice_ticks(0.0, 23.0, 6);
+        assert!(t.len() >= 4 && t.len() <= 8, "{t:?}");
+        assert!(t[0] <= 0.0 + 1e-9);
+        assert!(*t.last().unwrap() >= 20.0);
+        let step = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9, "uniform steps");
+        }
+    }
+
+    #[test]
+    fn ticks_handle_degenerate_ranges() {
+        let t = nice_ticks(5.0, 5.0, 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(2.0), "2");
+        assert_eq!(tick_label(2.5), "2.5");
+        assert_eq!(tick_label(0.25), "0.25");
+        assert_eq!(tick_label(250.0), "250");
+    }
+}

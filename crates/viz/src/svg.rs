@@ -1,0 +1,110 @@
+//! Tiny SVG element builder.
+
+/// Accumulates SVG markup.
+#[derive(Debug, Default)]
+pub struct Svg {
+    body: String,
+    width: u32,
+    height: u32,
+}
+
+/// Escapes text content for XML.
+pub fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl Svg {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> Svg {
+        Svg { body: String::new(), width, height }
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.body.push_str(&format!(
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"/>"#
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a dashed line segment.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        self.body.push_str(&format!(
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="1" stroke-dasharray="4 3"/>"#
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a polyline through the points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        self.body.push_str(&format!(
+            r#"<polyline fill="none" stroke="{stroke}" stroke-width="{width}" points="{}"/>"#,
+            coords.join(" ")
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        self.body.push_str(&format!(
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a text label. `anchor` is `start`/`middle`/`end`.
+    pub fn text(&mut self, x: f64, y: f64, anchor: &str, size: u32, content: &str) {
+        self.body.push_str(&format!(
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="{anchor}" font-size="{size}" font-family="sans-serif">{}</text>"#,
+            esc(content)
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a rotated (vertical) text label.
+    pub fn vtext(&mut self, x: f64, y: f64, size: u32, content: &str) {
+        self.body.push_str(&format!(
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="middle" font-size="{size}" font-family="sans-serif" transform="rotate(-90 {x:.1} {y:.1})">{}</text>"#,
+            esc(content)
+        ));
+        self.body.push('\n');
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let mut s = Svg::new(100, 50);
+        s.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        s.rect(5.0, 5.0, 10.0, 10.0, "#f00");
+        s.text(50.0, 25.0, "middle", 10, "hi & <bye>");
+        let doc = s.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        assert!(doc.contains("&amp;"));
+        assert!(doc.contains("&lt;bye&gt;"));
+        assert_eq!(doc.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn polyline_joins_points() {
+        let mut s = Svg::new(10, 10);
+        s.polyline(&[(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)], "#00f", 2.0);
+        let doc = s.finish();
+        assert!(doc.contains("0.0,0.0 1.0,2.0 3.0,4.0"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Shared scaffolding for building application models.
+
+use memsim::{AccessPattern, AccessSpec, AppModel, PhaseSpec};
+use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, SiteId};
+
+/// One row of Table V: the application characteristics the paper reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableVRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Version string from Table V.
+    pub version: &'static str,
+    /// MPI ranks.
+    pub ranks: u32,
+    /// Threads per rank.
+    pub threads: u32,
+    /// Input description.
+    pub input: &'static str,
+    /// Memory high-water mark per rank, MB.
+    pub hwm_mb_per_rank: u64,
+}
+
+/// Incremental builder for [`AppModel`]s with deterministic synthetic call
+/// stacks.
+pub struct AppBuilder {
+    name: String,
+    ranks: u32,
+    threads: u32,
+    input: String,
+    bm: BinaryMapBuilder,
+    module_sizes: Vec<u64>,
+    sites: Vec<(SiteId, CallStack)>,
+    functions: Vec<String>,
+    phases: Vec<PhaseSpec>,
+    main_module: Option<ModuleId>,
+}
+
+impl AppBuilder {
+    /// Starts a model for `name` with Table V's rank/thread counts.
+    pub fn new(name: &str, ranks: u32, threads: u32, input: &str) -> Self {
+        AppBuilder {
+            name: name.into(),
+            ranks,
+            threads,
+            input: input.into(),
+            bm: BinaryMapBuilder::new(),
+            module_sizes: Vec::new(),
+            sites: Vec::new(),
+            functions: Vec::new(),
+            phases: Vec::new(),
+            main_module: None,
+        }
+    }
+
+    /// Adds a binary object. The first module added is treated as the main
+    /// executable (outermost call-stack frame). `text_kb`/`debug_mb` size
+    /// the text segment and debug information (the §VIII-D footprint).
+    pub fn module(&mut self, name: &str, text_kb: u64, debug_mb: u64, files: &[&str]) -> ModuleId {
+        let id = self.bm.add_module(
+            name,
+            text_kb * 1024,
+            debug_mb * 1024 * 1024,
+            files.iter().map(|s| s.to_string()).collect(),
+        );
+        self.module_sizes.push(text_kb * 1024);
+        if self.main_module.is_none() {
+            self.main_module = Some(id);
+        }
+        id
+    }
+
+    /// Declares an allocation site inside `module`. The call stack is three
+    /// frames deep (allocating function → caller → `main`), with offsets
+    /// derived deterministically from the site index so that every site has
+    /// a distinct, stable stack.
+    pub fn site(&mut self, module: ModuleId) -> SiteId {
+        let id = SiteId(self.sites.len() as u32);
+        let main = self.main_module.expect("add a module before sites");
+        let salt = id.0 as u64;
+        let off = |m: ModuleId, k: u64| -> u64 {
+            let size = self.module_sizes[m.0 as usize];
+            // Cache-line-spaced distinct offsets, wrapped into the text.
+            ((salt * 7 + k) * 192 + 64) % (size - 64)
+        };
+        let stack = CallStack::new(vec![
+            Frame::new(module, off(module, 0)),
+            Frame::new(module, off(module, 3)),
+            Frame::new(main, off(main, 5)),
+        ]);
+        self.sites.push((id, stack));
+        id
+    }
+
+    /// Declares a named function for access attribution.
+    pub fn function(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.functions.len() as u16);
+        self.functions.push(name.into());
+        id
+    }
+
+    /// Appends a phase.
+    pub fn phase(&mut self, phase: PhaseSpec) {
+        self.phases.push(phase);
+    }
+
+    /// Finishes the model and validates it.
+    pub fn build(self) -> AppModel {
+        let model = AppModel {
+            name: self.name,
+            ranks: self.ranks,
+            threads_per_rank: self.threads,
+            input_desc: self.input,
+            sites: self.sites,
+            binmap: self.bm.build(),
+            function_names: self.functions,
+            phases: self.phases,
+        };
+        model
+            .validate()
+            .unwrap_or_else(|e| panic!("{} model invalid: {e}", model.name));
+        model
+    }
+}
+
+/// Shorthand for an [`AccessSpec`].
+#[allow(clippy::too_many_arguments)]
+pub fn access(
+    site: SiteId,
+    function: FuncId,
+    loads: f64,
+    stores: f64,
+    llc_miss_rate: f64,
+    store_l1d_miss_rate: f64,
+    pattern: AccessPattern,
+    instructions: f64,
+) -> AccessSpec {
+    AccessSpec {
+        site,
+        function,
+        loads,
+        stores,
+        llc_miss_rate,
+        store_l1d_miss_rate,
+        pattern,
+        instructions,
+        reuse_hint: 0.0,
+    }
+}
+
+/// [`access`] with an explicit cross-phase reuse hint for the DRAM-cache
+/// model (see [`AccessSpec::reuse_hint`]).
+#[allow(clippy::too_many_arguments)]
+pub fn access_r(
+    site: SiteId,
+    function: FuncId,
+    loads: f64,
+    stores: f64,
+    llc_miss_rate: f64,
+    store_l1d_miss_rate: f64,
+    pattern: AccessPattern,
+    instructions: f64,
+    reuse_hint: f64,
+) -> AccessSpec {
+    AccessSpec { reuse_hint, ..access(site, function, loads, stores, llc_miss_rate, store_l1d_miss_rate, pattern, instructions) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{AllocOp, FreeOp};
+
+    #[test]
+    fn builder_produces_valid_model() {
+        let mut b = AppBuilder::new("demo", 4, 2, "n=8");
+        let m = b.module("demo.x", 512, 4, &["demo.c"]);
+        let s = b.site(m);
+        let f = b.function("kern");
+        b.phase(PhaseSpec {
+            label: None,
+            compute_instructions: 1e6,
+            allocs: vec![AllocOp { site: s, size: 4096, count: 1 }],
+            frees: vec![FreeOp { site: s, count: 1 }],
+            accesses: vec![access(s, f, 1e6, 0.0, 0.1, 0.0, AccessPattern::Sequential, 0.0)],
+        });
+        let model = b.build();
+        assert_eq!(model.ranks, 4);
+        assert_eq!(model.sites.len(), 1);
+        assert_eq!(model.function_name(f), "kern");
+    }
+
+    #[test]
+    fn sites_get_distinct_stacks_within_module_bounds() {
+        let mut b = AppBuilder::new("demo", 1, 1, "");
+        let m = b.module("demo.x", 64, 1, &["demo.c"]);
+        let lib = b.module("libdemo.so", 128, 2, &["lib.c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = b.site(if seen.len() % 2 == 0 { m } else { lib });
+            let stack = b.sites.last().unwrap().1.clone();
+            assert!(seen.insert(stack.clone()), "stack collision at {s}");
+            for fr in stack.frames() {
+                let size = b.module_sizes[fr.module.0 as usize];
+                assert!(fr.offset < size, "offset outside text segment");
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Chunked (page-granularity-like) variants of the workload models.
+//!
+//! The related work the paper positions against (§III) includes
+//! *page-level* placement (refs. 39 and 40 there); ecoHMEM argues for
+//! object granularity.
+//! [`paginate_model`] rewrites a model so that every large allocation is
+//! split into fixed-size chunks, each with its own allocation site (and a
+//! distinct call stack) — giving a placement engine page-like freedom to
+//! put *part* of a big object in DRAM. Access streams split evenly across
+//! the chunks, i.e. intra-object heat is uniform: the comparison isolates
+//! the *capacity packing* benefit of finer granularity from the heat-skew
+//! benefit (which our site-uniform models do not represent).
+
+use memsim::{AccessSpec, AllocOp, AppModel, FreeOp};
+use memtrace::{CallStack, Frame, SiteId};
+use std::collections::HashMap;
+
+/// Splits every allocation larger than `chunk_bytes` into `ceil(size /
+/// chunk)` chunk allocations at fresh sites. Smaller allocations are left
+/// untouched. Access streams of a split site are divided evenly across its
+/// chunk sites.
+pub fn paginate_model(app: &AppModel, chunk_bytes: u64) -> AppModel {
+    assert!(chunk_bytes >= 64, "chunks must be at least a cache line");
+    let mut out = app.clone();
+    out.name = format!("{}@chunk{}M", app.name, chunk_bytes >> 20);
+    out.sites = Vec::new();
+    out.phases.iter_mut().for_each(|p| {
+        p.allocs.clear();
+        p.frees.clear();
+        p.accesses.clear();
+    });
+
+    // Pass 1: decide the chunk sites for every original site (sized by its
+    // largest allocation).
+    let mut max_alloc: HashMap<SiteId, u64> = HashMap::new();
+    for phase in &app.phases {
+        for op in &phase.allocs {
+            let e = max_alloc.entry(op.site).or_insert(0);
+            *e = (*e).max(op.size);
+        }
+    }
+    let mut chunk_sites: HashMap<SiteId, Vec<SiteId>> = HashMap::new();
+    let mut next = 0u32;
+    let mut ordered: Vec<SiteId> = max_alloc.keys().copied().collect();
+    ordered.sort();
+    for orig in ordered {
+        let stack = app.stack_of(orig).expect("valid model");
+        let n_chunks = max_alloc[&orig].div_ceil(chunk_bytes).max(1);
+        let ids: Vec<SiteId> = (0..n_chunks)
+            .map(|i| {
+                let id = SiteId(next);
+                next += 1;
+                // Distinct stack: the original frames plus a synthetic
+                // chunk-index frame (a distinct return address inside the
+                // same allocating function) for split sites; unsplit sites
+                // keep their original stack.
+                if n_chunks == 1 {
+                    out.sites.push((id, stack.clone()));
+                } else {
+                    let mut frames = stack.frames().to_vec();
+                    let base = frames[0];
+                    frames.insert(
+                        0,
+                        Frame::new(base.module, (base.offset + 8 * (i + 1)) % (1 << 16)),
+                    );
+                    out.sites.push((id, CallStack::new(frames)));
+                }
+                id
+            })
+            .collect();
+        chunk_sites.insert(orig, ids);
+    }
+
+    // Pass 2: rewrite the phases against the chunk sites.
+    for (pi, phase) in app.phases.iter().enumerate() {
+        for op in &phase.allocs {
+            let sites = &chunk_sites[&op.site];
+            let n_chunks = (op.size.div_ceil(chunk_bytes).max(1)).min(sites.len() as u64);
+            let chunk_size = op.size.div_ceil(n_chunks);
+            for &s in sites.iter().take(n_chunks as usize) {
+                out.phases[pi].allocs.push(AllocOp { site: s, size: chunk_size, count: op.count });
+            }
+        }
+        for f in &phase.frees {
+            if let Some(sites) = chunk_sites.get(&f.site) {
+                for &s in sites {
+                    out.phases[pi].frees.push(FreeOp { site: s, count: f.count });
+                }
+            }
+        }
+        for a in &phase.accesses {
+            let Some(sites) = chunk_sites.get(&a.site) else { continue };
+            let n = sites.len() as f64;
+            for &s in sites {
+                out.phases[pi].accesses.push(AccessSpec {
+                    site: s,
+                    loads: a.loads / n,
+                    stores: a.stores / n,
+                    instructions: a.instructions / n,
+                    ..a.clone()
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_preserves_totals() {
+        let base = crate::minife::model();
+        let chunked = paginate_model(&base, 256 << 20);
+        chunked.validate().unwrap();
+        let hwm_ratio = chunked.high_water_mark() as f64 / base.high_water_mark() as f64;
+        assert!((hwm_ratio - 1.0).abs() < 0.05, "hwm ratio {hwm_ratio}");
+        let misses = |m: &AppModel| -> f64 {
+            m.phases.iter().flat_map(|p| p.accesses.iter()).map(|a| a.load_misses()).sum()
+        };
+        let miss_ratio = misses(&chunked) / misses(&base);
+        assert!((miss_ratio - 1.0).abs() < 1e-6, "miss ratio {miss_ratio}");
+    }
+
+    #[test]
+    fn big_objects_become_many_sites() {
+        let base = crate::minife::model();
+        let chunked = paginate_model(&base, 1 << 30);
+        assert!(chunked.sites.len() > base.sites.len() * 2);
+        // All stacks remain distinct.
+        let mut seen = std::collections::HashSet::new();
+        for (_, s) in &chunked.sites {
+            assert!(seen.insert(s.clone()), "duplicate chunk stack");
+        }
+    }
+
+    #[test]
+    fn small_chunk_threshold_leaves_small_objects_alone() {
+        let base = crate::minife::model();
+        let chunked = paginate_model(&base, 64 << 30); // bigger than everything
+        assert_eq!(chunked.sites.len(), base.sites.len());
+    }
+}

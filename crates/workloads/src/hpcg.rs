@@ -1,0 +1,153 @@
+//! HPCG: additive-Schwarz symmetric Gauss–Seidel preconditioned CG.
+//!
+//! Table V: v3.1, 6 ranks × 4 threads, input (192,192,192) rt=0, HWM
+//! 6414 MB/rank (≈ 38.5 GB aggregate). Table VI: 80.5% memory-bound,
+//! 54.4% DRAM-cache hit ratio. The paper's second-biggest winner (up to
+//! 1.67×), still improving at a 4 GB DRAM limit.
+//!
+//! Model structure: like MiniFE, a large sparse matrix plus a multigrid
+//! hierarchy are streamed every iteration (too big for the cache), while
+//! the SymGS smoother performs dependency-ordered, poorly-prefetchable
+//! gathers into the solution vector. The vectors and halo buffers are the
+//! small latency-critical set the Advisor pins in DRAM.
+
+use crate::builder::{access, access_r, AppBuilder, TableVRow};
+use memsim::{AccessPattern, AllocOp, AppModel, FreeOp, PhaseSpec};
+
+const ITERS: usize = 30;
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+/// Table V row.
+pub fn spec() -> TableVRow {
+    TableVRow {
+        name: "HPCG",
+        version: "3.1",
+        ranks: 6,
+        threads: 4,
+        input: "(192,192,192) rt=0",
+        hwm_mb_per_rank: 6414,
+    }
+}
+
+/// Builds the calibrated HPCG model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("hpcg", 6, 4, "(192,192,192) rt=0");
+    let x = b.module("xhpcg", 2048, 64, &["ComputeSPMV.cpp", "ComputeSYMGS.cpp", "CG.cpp"]);
+
+    let a_vals = b.site(x); // fine-level matrix values
+    let a_inds = b.site(x); // fine-level indices
+    let mg1 = b.site(x); // multigrid level 1
+    let mg2 = b.site(x); // multigrid level 2
+    let mg3 = b.site(x); // multigrid level 3
+    let vec_x = b.site(x); // solution vector (SymGS gathers)
+    let vec_b = b.site(x); // rhs
+    let vec_p = b.site(x); // direction
+    let vec_ap = b.site(x); // A*p
+    let halo = b.site(x); // halo exchange buffers
+    let work = b.site(x); // MG work vectors
+
+    let f_spmv = b.function("ComputeSPMV");
+    let f_symgs = b.function("ComputeSYMGS");
+    let f_dot = b.function("ComputeDotProduct");
+    let f_waxpby = b.function("ComputeWAXPBY");
+
+    b.phase(PhaseSpec {
+        label: Some("setup".into()),
+        compute_instructions: 4e10,
+        allocs: vec![
+            AllocOp { site: a_vals, size: 18 * GIB, count: 1 },
+            AllocOp { site: a_inds, size: 7 * GIB, count: 1 },
+            AllocOp { site: mg1, size: 2 * GIB + 512 * MIB, count: 1 },
+            AllocOp { site: mg2, size: GIB + 512 * MIB, count: 1 },
+            AllocOp { site: mg3, size: GIB, count: 1 },
+            AllocOp { site: vec_x, size: 1536 * MIB, count: 1 },
+            AllocOp { site: vec_b, size: 1536 * MIB, count: 1 },
+            AllocOp { site: vec_p, size: 1536 * MIB, count: 1 },
+            AllocOp { site: vec_ap, size: 1536 * MIB, count: 1 },
+            AllocOp { site: halo, size: 600 * MIB, count: 1 },
+            AllocOp { site: work, size: 2 * GIB, count: 1 },
+        ],
+        frees: vec![],
+        accesses: vec![],
+    });
+
+    for _ in 0..ITERS {
+        // SpMV + SymGS sweeps: matrix streamed, x gathered irregularly.
+        b.phase(PhaseSpec {
+            label: Some("spmv+symgs".into()),
+            compute_instructions: 2e9,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![
+                access_r(a_vals, f_spmv, 1.1e9, 0.0, 0.26, 0.0, AccessPattern::Sequential, 2.5e9, 2.5),
+                access_r(a_inds, f_spmv, 4.4e8, 0.0, 0.25, 0.0, AccessPattern::Sequential, 0.0, 2.5),
+                access(vec_x, f_symgs, 7.5e8, 1.6e8, 0.26, 0.08, AccessPattern::Random, 1e9),
+                access(halo, f_symgs, 1e8, 4e7, 0.3, 0.15, AccessPattern::Random, 0.0),
+                access(vec_p, f_spmv, 2e8, 0.0, 0.24, 0.0, AccessPattern::Strided, 0.0),
+                access(vec_ap, f_spmv, 5e7, 1.2e8, 0.25, 0.08, AccessPattern::Sequential, 0.0),
+            ],
+        });
+        // Multigrid V-cycle on the coarse levels + vector updates.
+        b.phase(PhaseSpec {
+            label: Some("mg+vecops".into()),
+            compute_instructions: 1.5e9,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![
+                access(mg1, f_symgs, 2.6e8, 6e7, 0.25, 0.08, AccessPattern::Strided, 6e8),
+                access(mg2, f_symgs, 1.3e8, 3e7, 0.25, 0.08, AccessPattern::Strided, 0.0),
+                access(mg3, f_symgs, 7e7, 1.5e7, 0.25, 0.08, AccessPattern::Random, 0.0),
+                access(work, f_waxpby, 2.2e8, 9e7, 0.24, 0.08, AccessPattern::Strided, 0.0),
+                access(vec_b, f_dot, 1.2e8, 0.0, 0.24, 0.0, AccessPattern::Strided, 4e8),
+            ],
+        });
+    }
+
+    b.phase(PhaseSpec {
+        label: Some("teardown".into()),
+        compute_instructions: 1e9,
+        allocs: vec![],
+        frees: vec![
+            FreeOp { site: a_vals, count: 1 },
+            FreeOp { site: a_inds, count: 1 },
+            FreeOp { site: mg1, count: 1 },
+            FreeOp { site: mg2, count: 1 },
+            FreeOp { site: mg3, count: 1 },
+            FreeOp { site: vec_x, count: 1 },
+            FreeOp { site: vec_b, count: 1 },
+            FreeOp { site: vec_p, count: 1 },
+            FreeOp { site: vec_ap, count: 1 },
+            FreeOp { site: halo, count: 1 },
+            FreeOp { site: work, count: 1 },
+        ],
+        accesses: vec![],
+    });
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{run, ExecMode, FixedTier, MachineConfig};
+    use memtrace::TierId;
+
+    #[test]
+    fn hwm_matches_table_v() {
+        let hwm = model().high_water_mark() as f64;
+        let expected = 6414e6 * 6.0;
+        assert!((hwm / expected - 1.0).abs() < 0.15, "hwm={hwm:.3e}");
+    }
+
+    #[test]
+    fn table_vi_profile_shape() {
+        let app = model();
+        let mach = MachineConfig::optane_pmem6();
+        let r = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let mb = r.memory_bound_fraction();
+        let hit = r.dram_cache_hit_ratio().unwrap();
+        assert!(mb > 0.6, "Table VI: 80.5% memory-bound, got {mb:.3}");
+        assert!((0.3..0.75).contains(&hit), "Table VI: 54.4% hit, got {hit:.3}");
+    }
+}

@@ -1,0 +1,365 @@
+//! LULESH: Lagrangian explicit shock hydrodynamics on an unstructured mesh.
+//!
+//! Table V: v2.0.3, 8 ranks × 3 threads, input `-p i=10 s=224`, HWM
+//! 10658 MB/rank (≈ 85.3 GB aggregate). Table VI: 65.5% memory-bound,
+//! 61.7% DRAM-cache hit ratio. ecoHMEM's base algorithm gains a modest 7%
+//! at 12 GB; the bandwidth-aware algorithm (§VII) raises that to 19%.
+//!
+//! LULESH is the paper's case study for bandwidth-aware placement
+//! (Figs. 3–5, Tables II–III), so this model reproduces its *object
+//! population structure*:
+//!
+//! * **Long-lived, low-bandwidth persistent arrays** (the paper's objects
+//!   114–134 and 139–146): allocated once during initialization (at low /
+//!   mid system bandwidth respectively), alive for the whole run. The
+//!   miss-dense ones (nodal gather tables, element connectivity) fill the
+//!   DRAM budget under the density-based algorithm; they are *Fitting*
+//!   material for the classifier.
+//! * **Short-lived, high-bandwidth temporaries** (objects 168–179):
+//!   twelve scratch sites allocated 8× per iteration (= 200 allocations
+//!   over 25 iterations, Table III), living only through the
+//!   high-bandwidth part of each iteration. Their miss *density* is low —
+//!   the density algorithm leaves them in PMem — but their bandwidth
+//!   demand is concentrated in a short window (Fig. 4), which is what the
+//!   bandwidth-aware pass exploits by swapping them against Fitting
+//!   objects (Fig. 7's bandwidth drop).
+//!
+//! Each iteration has three sub-phases — `lagrange_nodal` (low bandwidth),
+//! `lagrange_elems` (the high-bandwidth region where temporaries live) and
+//! `calc_constraints` (tail) — giving the rising/peaking/diminishing PMem
+//! bandwidth curve of Fig. 3.
+
+use crate::builder::{access, access_r, AppBuilder, TableVRow};
+use memsim::{AccessPattern, AllocOp, AppModel, FreeOp, PhaseSpec};
+use memtrace::SiteId;
+
+/// Iterations ("time steps") in the model.
+pub const ITERS: usize = 25;
+/// Temporary allocations per site per iteration (×ITERS = 200, Table III).
+pub const TEMP_ALLOCS_PER_ITER: u32 = 8;
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+const N_GATHER: usize = 8; // hot nodal gather tables (reallocated once)
+const N_DONOR: usize = 7; // sequential lookup tables (cheap Fitting donors)
+const N_CONN: usize = 3; // element connectivity (big, dense-ish)
+const N_NODAL: usize = 10; // big low-density nodal fields
+const N_ELEM: usize = 8; // element-centered fields (streamed in high phase)
+const N_TEMP: usize = 12; // short-lived temporaries (paper objects 168–179)
+
+/// Table V row.
+pub fn spec() -> TableVRow {
+    TableVRow {
+        name: "LULESH",
+        version: "2.0.3",
+        ranks: 8,
+        threads: 3,
+        input: "-p i=10 s=224",
+        hwm_mb_per_rank: 10658,
+    }
+}
+
+/// Site ids of the twelve short-lived temporary sites (the Fig. 4 / "objects
+/// 168–179" population), for tests and analysis binaries.
+pub fn temp_sites() -> Vec<SiteId> {
+    let first = (N_GATHER + N_DONOR + N_CONN + N_NODAL + N_ELEM) as u32;
+    (first..first + N_TEMP as u32).map(SiteId).collect()
+}
+
+/// Site ids of the persistent arrays (everything allocated at init).
+pub fn persistent_sites() -> Vec<SiteId> {
+    (0..(N_GATHER + N_DONOR + N_CONN + N_NODAL + N_ELEM) as u32)
+        .map(SiteId)
+        .collect()
+}
+
+/// Sites of the cheap sequential donor tables (the Fitting pool the
+/// bandwidth-aware pass evicts).
+pub fn donor_sites() -> Vec<SiteId> {
+    (N_GATHER as u32..(N_GATHER + N_DONOR) as u32).map(SiteId).collect()
+}
+
+/// Builds the calibrated LULESH model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("lulesh", 8, 3, "-p i=10 s=224");
+    let x = b.module("lulesh2.0", 2048, 80, &["lulesh.cc", "lulesh-util.cc"]);
+
+    let gather: Vec<_> = (0..N_GATHER).map(|_| b.site(x)).collect();
+    let donor: Vec<_> = (0..N_DONOR).map(|_| b.site(x)).collect();
+    let conn: Vec<_> = (0..N_CONN).map(|_| b.site(x)).collect();
+    let nodal: Vec<_> = (0..N_NODAL).map(|_| b.site(x)).collect();
+    let elem: Vec<_> = (0..N_ELEM).map(|_| b.site(x)).collect();
+    let temp: Vec<_> = (0..N_TEMP).map(|_| b.site(x)).collect();
+
+    let f_nodal = b.function("LagrangeNodal");
+    let f_elems = b.function("LagrangeElements");
+    let f_constr = b.function("CalcTimeConstraints");
+
+    // Init 1 (quiet): nodal-side persistent data → allocation-time
+    // bandwidth region B_low (paper objects 114–134).
+    let mut allocs1 = Vec::new();
+    for &s in gather.iter() {
+        allocs1.push(AllocOp { site: s, size: 380 * MIB, count: 1 });
+    }
+    for &s in donor.iter() {
+        allocs1.push(AllocOp { site: s, size: 310 * MIB, count: 1 });
+    }
+    for &s in conn.iter() {
+        allocs1.push(AllocOp { site: s, size: 2 * GIB + 700 * MIB, count: 1 });
+    }
+    for &s in nodal.iter() {
+        allocs1.push(AllocOp { site: s, size: 2 * GIB + 900 * MIB, count: 1 });
+    }
+    b.phase(PhaseSpec {
+        label: Some("init-nodal".into()),
+        compute_instructions: 2e11,
+        allocs: allocs1,
+        frees: vec![],
+        accesses: vec![],
+    });
+
+    // Init 2 (moderate traffic): element-side arrays are allocated while
+    // the mesh is being filled → allocation-time region B_mid (objects
+    // 139–146 of Table II).
+    let mut init2_access = Vec::new();
+    for &s in gather.iter() {
+        init2_access.push(access(s, f_nodal, 5e7, 2e7, 0.25, 0.2, AccessPattern::Strided, 5e8));
+    }
+    // The gather tables are rebuilt (freed + reallocated) once the mesh is
+    // decomposed — their second allocation keeps them out of the Fitting
+    // pool (alloc_count = 2 is not < T_ALLOC).
+    let mut init2_allocs: Vec<AllocOp> = elem
+        .iter()
+        .map(|&s| AllocOp { site: s, size: 3 * GIB + 200 * MIB, count: 1 })
+        .collect();
+    for &s in gather.iter() {
+        init2_allocs.push(AllocOp { site: s, size: 380 * MIB, count: 1 });
+    }
+    b.phase(PhaseSpec {
+        label: Some("init-elems".into()),
+        compute_instructions: 2e11,
+        allocs: init2_allocs,
+        frees: gather.iter().map(|&s| FreeOp { site: s, count: 1 }).collect(),
+        accesses: init2_access,
+    });
+
+    for _ in 0..ITERS {
+        // Low-bandwidth sub-phase: irregular nodal gathers (the dense small
+        // tables), light traffic on the big arrays, lots of compute.
+        let mut acc = Vec::new();
+        for &s in gather.iter() {
+            acc.push(access_r(s, f_nodal, 2.4e8, 4e7, 0.25, 0.12, AccessPattern::Random, 8e8, 1.6));
+        }
+        for &s in donor.iter() {
+            acc.push(access_r(s, f_nodal, 4e7, 0.0, 0.25, 0.0, AccessPattern::Sequential, 4e8, 1.6));
+        }
+        for &s in conn.iter() {
+            acc.push(access_r(s, f_nodal, 5e7, 0.0, 0.25, 0.0, AccessPattern::Random, 5e8, 4.0));
+        }
+        for &s in nodal.iter() {
+            acc.push(access_r(s, f_nodal, 8e6, 3e6, 0.15, 0.10, AccessPattern::Strided, 1e9, 2.0));
+        }
+        b.phase(PhaseSpec {
+            label: Some("lagrange_nodal".into()),
+            compute_instructions: 2.2e11,
+            allocs: vec![],
+            frees: vec![],
+            accesses: acc,
+        });
+
+        // High-bandwidth sub-phase: temporaries are allocated *here*, at
+        // high system bandwidth (→ B_high at allocation, Table II), and
+        // the element fields are streamed.
+        let mut acc = Vec::new();
+        for &s in elem.iter() {
+            acc.push(access(s, f_elems, 1.4e8, 3.5e7, 0.22, 0.15, AccessPattern::Sequential, 6e8));
+        }
+        for &s in temp.iter() {
+            // Write-then-read scratch: ~2 sweeps of the 800 MiB live set.
+            acc.push(access_r(s, f_elems, 6.5e7, 4e7, 0.25, 0.30, AccessPattern::Strided, 2e8, 1.2));
+        }
+        b.phase(PhaseSpec {
+            label: Some("lagrange_elems".into()),
+            compute_instructions: 1.2e11,
+            allocs: temp
+                .iter()
+                .map(|&s| AllocOp { site: s, size: 64 * MIB, count: TEMP_ALLOCS_PER_ITER })
+                .collect(),
+            frees: vec![],
+            accesses: acc,
+        });
+
+        // Tail sub-phase: constraints computed, bandwidth diminishing;
+        // temporaries die at its end.
+        let mut acc = Vec::new();
+        for &s in elem.iter().take(3) {
+            acc.push(access(s, f_constr, 4e7, 0.0, 0.22, 0.0, AccessPattern::Sequential, 4e8));
+        }
+        for &s in temp.iter().take(4) {
+            acc.push(access(s, f_constr, 3e7, 0.0, 0.25, 0.0, AccessPattern::Strided, 1e8));
+        }
+        b.phase(PhaseSpec {
+            label: Some("calc_constraints".into()),
+            compute_instructions: 1.5e11,
+            allocs: vec![],
+            frees: temp
+                .iter()
+                .map(|&s| FreeOp { site: s, count: TEMP_ALLOCS_PER_ITER })
+                .collect(),
+            accesses: acc,
+        });
+    }
+
+    let mut frees = Vec::new();
+    for &s in gather.iter().chain(&donor).chain(&conn).chain(&nodal).chain(&elem) {
+        frees.push(FreeOp { site: s, count: 1 });
+    }
+    b.phase(PhaseSpec {
+        label: Some("teardown".into()),
+        compute_instructions: 1e9,
+        allocs: vec![],
+        frees,
+        accesses: vec![],
+    });
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{run, ExecMode, FixedTier, MachineConfig};
+    use memtrace::TierId;
+
+    #[test]
+    fn hwm_matches_table_v() {
+        let hwm = model().high_water_mark() as f64;
+        let expected = 10658e6 * 8.0;
+        assert!((hwm / expected - 1.0).abs() < 0.2, "hwm={hwm:.3e}");
+    }
+
+    #[test]
+    fn temp_sites_get_200_allocations() {
+        let m = model();
+        for site in temp_sites() {
+            let n: u64 = m
+                .phases
+                .iter()
+                .flat_map(|p| p.allocs.iter())
+                .filter(|a| a.site == site)
+                .map(|a| a.count as u64)
+                .sum();
+            assert_eq!(n, 200, "Table III: 200 allocations per temporary");
+        }
+    }
+
+    #[test]
+    fn persistent_sites_allocate_at_most_twice() {
+        // Table III: persistent arrays allocate once; the gather tables are
+        // rebuilt once after domain decomposition (2 allocations), which
+        // keeps them below the T_ALLOC Thrashing threshold and outside the
+        // Fitting pool.
+        let m = model();
+        for site in persistent_sites() {
+            let n: u64 = m
+                .phases
+                .iter()
+                .flat_map(|p| p.allocs.iter())
+                .filter(|a| a.site == site)
+                .map(|a| a.count as u64)
+                .sum();
+            let expected = if (site.0 as usize) < N_GATHER { 2 } else { 1 };
+            assert_eq!(n, expected, "{site}");
+        }
+    }
+
+    #[test]
+    fn lifetime_structure_matches_figs_4_and_5() {
+        // All-PMem run: persistent objects live ~the whole run, temps live
+        // a small fraction of it.
+        let app = model();
+        let mach = MachineConfig::optane_pmem6();
+        let r = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let total = r.total_time;
+        let temps: Vec<_> = r
+            .objects
+            .iter()
+            .filter(|o| temp_sites().contains(&o.site))
+            .collect();
+        let persist: Vec<_> = r
+            .objects
+            .iter()
+            .filter(|o| persistent_sites().contains(&o.site))
+            .collect();
+        assert_eq!(temps.len(), 12 * 200);
+        for o in &persist {
+            // The gather tables' first instances die at the mesh rebuild;
+            // every other persistent object spans the run.
+            if (o.site.0 as usize) < N_GATHER && o.alloc_phase == 0 {
+                continue;
+            }
+            assert!(o.lifetime() > 0.9 * total, "persistent objects span the run");
+        }
+        let avg_temp_life: f64 =
+            temps.iter().map(|o| o.lifetime()).sum::<f64>() / temps.len() as f64;
+        assert!(
+            avg_temp_life < 0.1 * total,
+            "temps are short-lived: {avg_temp_life:.1}s of {total:.1}s"
+        );
+    }
+
+    #[test]
+    fn high_phase_carries_the_bandwidth_peak() {
+        // Fig. 3: within an iteration, PMem bandwidth rises into
+        // lagrange_elems and diminishes in the tail. The paper measures
+        // this under the density-based placement (dense gather/connectivity
+        // tables in DRAM, everything else in PMem) — reproduce that setup.
+        let app = model();
+        let mach = MachineConfig::optane_pmem6();
+        let dense: Vec<SiteId> = (0..(N_GATHER + N_DONOR + N_CONN) as u32).map(SiteId).collect();
+        let mut policy = memsim::policy::SiteMapPolicy::new(
+            dense.into_iter().map(|s| (s, TierId::DRAM)),
+            TierId::PMEM,
+        );
+        let r = run(&app, &mach, ExecMode::AppDirect, &mut policy);
+        let bw_of = |label: &str| -> f64 {
+            let (sum, n) = r
+                .phases
+                .iter()
+                .filter(|p| p.label.as_deref() == Some(label))
+                .map(|p| p.tier_read_bw[1] + p.tier_write_bw[1])
+                .fold((0.0, 0u32), |(s, n), bw| (s + bw, n + 1));
+            sum / n as f64
+        };
+        let low = bw_of("lagrange_nodal");
+        let high = bw_of("lagrange_elems");
+        let tail = bw_of("calc_constraints");
+        assert!(high > 1.5 * low, "high={high:.2e} low={low:.2e}");
+        assert!(high > 1.5 * tail, "high={high:.2e} tail={tail:.2e}");
+    }
+
+    #[test]
+    fn temps_are_high_bandwidth_objects() {
+        // Fig. 4 vs Fig. 5: per-object bandwidth of temporaries far exceeds
+        // that of persistent DRAM-style objects.
+        let app = model();
+        let mach = MachineConfig::optane_pmem6();
+        let r = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let avg_bw = |sites: &[SiteId]| -> f64 {
+            let objs: Vec<_> =
+                r.objects.iter().filter(|o| sites.contains(&o.site)).collect();
+            objs.iter().map(|o| o.avg_bandwidth(64)).sum::<f64>() / objs.len() as f64
+        };
+        let temps = avg_bw(&temp_sites());
+        let nodal_sites: Vec<SiteId> = ((N_GATHER + N_DONOR + N_CONN) as u32
+            ..(N_GATHER + N_DONOR + N_CONN + N_NODAL) as u32)
+            .map(SiteId)
+            .collect();
+        let persist = avg_bw(&nodal_sites);
+        assert!(
+            temps > 4.0 * persist,
+            "temps {temps:.2e} B/s vs persistent {persist:.2e} B/s"
+        );
+    }
+}

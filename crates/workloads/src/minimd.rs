@@ -1,0 +1,165 @@
+//! MiniMD: proxy for parallel molecular dynamics (Lennard-Jones / EAM).
+//!
+//! Table V: v2.0, 12 ranks × 2 threads, input `t=2 s=224`, HWM
+//! 2196 MB/rank (≈ 26.4 GB aggregate). Table VI: 41.5% memory-bound and a
+//! 61.5% DRAM-cache hit ratio — force computation dominates, so the paper
+//! reports only a modest 8% ecoHMEM win at 12 GB, shrinking (and with the
+//! stores configuration at 8 GB, inverting to a 2% slowdown).
+//!
+//! Model structure: a large neighbor list streamed with decent locality,
+//! small hot per-atom arrays (positions gathered during force compute),
+//! and a large compute-instruction budget that caps how much any placement
+//! can help.
+
+use crate::builder::{access, access_r, AppBuilder, TableVRow};
+use memsim::{AccessPattern, AllocOp, AppModel, FreeOp, PhaseSpec};
+
+const ITERS: usize = 40;
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+/// Table V row.
+pub fn spec() -> TableVRow {
+    TableVRow {
+        name: "MiniMD",
+        version: "2.0",
+        ranks: 12,
+        threads: 2,
+        input: "t=2 s=224",
+        hwm_mb_per_rank: 2196,
+    }
+}
+
+/// Builds the calibrated MiniMD model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("minimd", 12, 2, "t=2 s=224");
+    let x = b.module("miniMD.x", 768, 24, &["force_lj.cpp", "neighbor.cpp", "atom.cpp"]);
+
+    let neigh = b.site(x); // neighbor list
+    let pos = b.site(x); // positions (gathered in force loop)
+    let force = b.site(x); // forces (read-modify-write)
+    let vel = b.site(x); // velocities
+    let bins = b.site(x); // binning structures
+    let comm = b.site(x); // exchange buffers
+
+    let f_force = b.function("force_compute");
+    let f_neigh = b.function("neighbor_build");
+    let f_integrate = b.function("integrate");
+    let f_comm = b.function("comm_exchange");
+
+    b.phase(PhaseSpec {
+        label: Some("setup".into()),
+        compute_instructions: 1e10,
+        allocs: vec![
+            AllocOp { site: neigh, size: 18 * GIB, count: 1 },
+            AllocOp { site: pos, size: 2 * GIB + 512 * MIB, count: 1 },
+            AllocOp { site: force, size: 2 * GIB + 512 * MIB, count: 1 },
+            AllocOp { site: vel, size: 2 * GIB + 512 * MIB, count: 1 },
+            AllocOp { site: bins, size: GIB, count: 1 },
+            AllocOp { site: comm, size: 256 * MIB, count: 1 },
+        ],
+        frees: vec![],
+        accesses: vec![],
+    });
+
+    for it in 0..ITERS {
+        // Force computation: heavy FLOP work per neighbor entry; the
+        // neighbor list streams with good locality (most of it hits in L2),
+        // positions are gathered.
+        b.phase(PhaseSpec {
+            label: Some("force".into()),
+            compute_instructions: 1.1e11,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![
+                access_r(neigh, f_force, 2.5e9, 0.0, 0.09, 0.0, AccessPattern::Strided, 1.5e10, 8.0),
+                access_r(pos, f_force, 8e8, 0.0, 0.05, 0.0, AccessPattern::Strided, 0.0, 12.0),
+                access_r(force, f_force, 6e8, 4e8, 0.06, 0.06, AccessPattern::Strided, 0.0, 8.0),
+            ],
+        });
+        // Neighbor rebuild every 5 steps; otherwise integrate + comm.
+        if it % 5 == 0 {
+            b.phase(PhaseSpec {
+                label: Some("neighbor".into()),
+                compute_instructions: 1.2e10,
+                allocs: vec![],
+                frees: vec![],
+                accesses: vec![
+                    access_r(neigh, f_neigh, 8e8, 3e8, 0.18, 0.10, AccessPattern::Sequential, 2e9, 2.0),
+                    access_r(bins, f_neigh, 4e8, 2e8, 0.15, 0.08, AccessPattern::Random, 0.0, 6.0),
+                    access(pos, f_neigh, 3e8, 0.0, 0.12, 0.0, AccessPattern::Random, 0.0),
+                ],
+            });
+        }
+        b.phase(PhaseSpec {
+            label: Some("integrate+comm".into()),
+            compute_instructions: 6e9,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![
+                access_r(pos, f_integrate, 3e8, 1.5e8, 0.12, 0.08, AccessPattern::Strided, 1e9, 6.0),
+                access_r(vel, f_integrate, 3e8, 1.5e8, 0.12, 0.08, AccessPattern::Strided, 0.0, 6.0),
+                access_r(force, f_integrate, 3e8, 0.0, 0.1, 0.0, AccessPattern::Strided, 0.0, 6.0),
+                access(comm, f_comm, 6e7, 3e7, 0.25, 0.2, AccessPattern::Random, 5e8),
+            ],
+        });
+    }
+
+    b.phase(PhaseSpec {
+        label: Some("teardown".into()),
+        compute_instructions: 1e9,
+        allocs: vec![],
+        frees: vec![
+            FreeOp { site: neigh, count: 1 },
+            FreeOp { site: pos, count: 1 },
+            FreeOp { site: force, count: 1 },
+            FreeOp { site: vel, count: 1 },
+            FreeOp { site: bins, count: 1 },
+            FreeOp { site: comm, count: 1 },
+        ],
+        accesses: vec![],
+    });
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{run, ExecMode, FixedTier, MachineConfig};
+    use memtrace::TierId;
+
+    #[test]
+    fn hwm_matches_table_v() {
+        let hwm = model().high_water_mark() as f64;
+        let expected = 2196e6 * 12.0;
+        assert!((hwm / expected - 1.0).abs() < 0.15, "hwm={hwm:.3e}");
+    }
+
+    #[test]
+    fn less_memory_bound_than_the_bandwidth_hogs() {
+        let mach = MachineConfig::optane_pmem6();
+        let md = run(&model(), &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let fe = run(
+            &crate::minife::model(),
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+        );
+        assert!(
+            md.memory_bound_fraction() < fe.memory_bound_fraction(),
+            "MiniMD ({:.2}) must be less memory-bound than MiniFE ({:.2})",
+            md.memory_bound_fraction(),
+            fe.memory_bound_fraction()
+        );
+        assert!(md.memory_bound_fraction() < 0.75);
+    }
+
+    #[test]
+    fn memory_mode_caches_it_well() {
+        let mach = MachineConfig::optane_pmem6();
+        let r = run(&model(), &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let hit = r.dram_cache_hit_ratio().unwrap();
+        assert!(hit > 0.4, "Table VI: 61.5% hit, got {hit:.3}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Input-size scaling of workload models.
+//!
+//! The paper profiles with the same inputs it evaluates and leaves input
+//! sensitivity to future work (§VIII: "Applications showing
+//! input-dependent behaviors would require specific profiling runs").
+//! [`scale_model`] produces the same application at a different problem
+//! size — the allocation *sites* (call stacks) are unchanged, so a report
+//! profiled at one size deploys at another, which is exactly the scenario
+//! worth studying.
+
+use memsim::AppModel;
+
+/// Returns the model at `factor` × its nominal problem size: object sizes,
+/// access counts and instruction counts all scale linearly (a weak-scaling
+/// assumption appropriate for the mesh/particle codes modelled here);
+/// allocation counts, lifetimes structure, miss *rates* and patterns are
+/// size-invariant.
+pub fn scale_model(app: &AppModel, factor: f64) -> AppModel {
+    assert!(factor > 0.0, "scale factor must be positive");
+    let mut out = app.clone();
+    out.name = format!("{}@{factor:.2}x", app.name);
+    out.input_desc = format!("{} (scaled {factor:.2}x)", app.input_desc);
+    for phase in &mut out.phases {
+        phase.compute_instructions *= factor;
+        for a in &mut phase.allocs {
+            a.size = ((a.size as f64 * factor) as u64).max(64);
+        }
+        for acc in &mut phase.accesses {
+            acc.loads *= factor;
+            acc.stores *= factor;
+            acc.instructions *= factor;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwm_scales_linearly() {
+        let base = crate::minife::model();
+        let double = scale_model(&base, 2.0);
+        let ratio = double.high_water_mark() as f64 / base.high_water_mark() as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        double.validate().unwrap();
+    }
+
+    #[test]
+    fn sites_and_stacks_are_unchanged() {
+        let base = crate::lulesh::model();
+        let scaled = scale_model(&base, 0.5);
+        assert_eq!(base.sites, scaled.sites);
+        assert_eq!(base.total_allocations(), scaled.total_allocations());
+    }
+
+    #[test]
+    fn identity_scale_preserves_behaviour() {
+        let base = crate::hpcg::model();
+        let same = scale_model(&base, 1.0);
+        assert_eq!(base.high_water_mark(), same.high_water_mark());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factors() {
+        scale_model(&crate::minife::model(), 0.0);
+    }
+}

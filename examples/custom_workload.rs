@@ -1,0 +1,95 @@
+//! Build your own application model and let ecoHMEM place it.
+//!
+//! The scenario is the paper's §VII motivating example: two objects with
+//! identical access density, one spread over the whole run (A) and one
+//! concentrated in a short high-bandwidth burst (B). A density-based
+//! placement cannot tell them apart; the bandwidth-aware pass promotes the
+//! bursty one.
+//!
+//!     cargo run --release --example custom_workload
+
+use ecohmem::prelude::*;
+use ecohmem::workloads::builder::{access, access_r, AppBuilder};
+use memsim::{AccessPattern, AllocOp, FreeOp, PhaseSpec};
+
+fn model() -> AppModel {
+    let mut b = AppBuilder::new("ab-example", 4, 2, "A/B from §VII");
+    let module = b.module("ab.x", 512, 8, &["ab.c"]);
+    let site_a = b.site(module); // long-lived, low-rate
+    let site_b = b.site(module); // short-lived, bursty (reallocated per burst)
+    let filler = b.site(module); // dense filler that wins the density race
+    let f = b.function("kernel");
+
+    const GIB: u64 = 1 << 30;
+    b.phase(PhaseSpec {
+        label: Some("init".into()),
+        compute_instructions: 1e11,
+        allocs: vec![
+            AllocOp { site: site_a, size: 4 * GIB, count: 1 },
+            AllocOp { site: filler, size: 8 * GIB, count: 1 },
+        ],
+        frees: vec![],
+        accesses: vec![],
+    });
+    for _ in 0..20 {
+        // 80% of the time: quiet phase — A trickles, the filler is gathered.
+        b.phase(PhaseSpec {
+            label: Some("quiet".into()),
+            compute_instructions: 4e11,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![
+                access(site_a, f, 6e7, 1e7, 0.3, 0.1, AccessPattern::Strided, 1e9),
+                access_r(filler, f, 5e8, 1e8, 0.3, 0.1, AccessPattern::Random, 1e9, 4.0),
+            ],
+        });
+        // 20% of the time: burst phase — B is allocated, hammered, freed.
+        b.phase(PhaseSpec {
+            label: Some("burst".into()),
+            compute_instructions: 5e10,
+            allocs: vec![AllocOp { site: site_b, size: 4 * GIB, count: 1 }],
+            frees: vec![FreeOp { site: site_b, count: 1 }],
+            accesses: vec![
+                access_r(site_b, f, 1.5e9, 9e8, 0.3, 0.3, AccessPattern::Sequential, 1e9, 1.3),
+                access(site_a, f, 6e7, 1e7, 0.3, 0.1, AccessPattern::Strided, 1e9),
+            ],
+        });
+    }
+    b.phase(PhaseSpec {
+        label: Some("end".into()),
+        compute_instructions: 1e9,
+        allocs: vec![],
+        frees: vec![
+            FreeOp { site: site_a, count: 1 },
+            FreeOp { site: filler, count: 1 },
+        ],
+        accesses: vec![],
+    });
+    b.build()
+}
+
+fn main() {
+    let app = model();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.advisor = AdvisorConfig::loads_only(10);
+
+    cfg.algorithm = Algorithm::Base;
+    let base = run_pipeline(&app, &cfg).expect("base pipeline");
+    cfg.algorithm = Algorithm::BandwidthAware;
+    let bwa = run_pipeline(&app, &cfg).expect("bw-aware pipeline");
+
+    println!("density-based placement:   speedup {:.3} vs memory mode", base.speedup());
+    println!("bandwidth-aware placement: speedup {:.3} vs memory mode", bwa.speedup());
+    if let Some(class) = &bwa.classification {
+        use ecohmem::advisor::Category;
+        println!(
+            "\nclassifier: Fitting {:?}, Thrashing {:?}",
+            class.sites_of(Category::Fitting),
+            class.sites_of(Category::Thrashing),
+        );
+    }
+    println!(
+        "\nthe bursty object B is indistinguishable from A by density alone — \
+         only the timestamps of the bandwidth-aware pass separate them (§VII)."
+    );
+}

@@ -1,0 +1,59 @@
+//! The report-editing workflow: the Advisor's output is a plain-text file
+//! a performance engineer can inspect and override before deployment —
+//! exactly what the paper's authors did when they "manually fixed" some
+//! HPCToolkit call stacks (§VIII), and what the Advisor's report format is
+//! designed to allow ("the output from the Advisor may also be used to
+//! modify the source code manually").
+//!
+//!     cargo run --release --example edit_report
+
+use ecohmem::prelude::*;
+use memtrace::parse_report;
+
+fn main() {
+    let app = ecohmem::workloads::minife::model();
+    let cfg = PipelineConfig::paper_default();
+    let out = run_pipeline(&app, &cfg).expect("pipeline");
+
+    // Render the report as editable text (Table I shape).
+    let machine = cfg.machine.clone();
+    let text = out
+        .report
+        .render_text(&out.profile.binmap, |t| machine.tier(t).name.clone());
+    println!("advisor's report:\n{text}\n");
+
+    // An engineer overrides one decision: force the second DRAM entry to
+    // PMem (maybe they know it is cold in production inputs).
+    let edited: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 1 && line.starts_with("dram") {
+                line.replacen("dram", "pmem", 1)
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    // Parse the edited text back and deploy it.
+    let report = parse_report(&edited, &app.binmap, &|name| {
+        machine.tiers.iter().find(|t| t.name == name).map(|t| t.id)
+    })
+    .expect("edited report parses");
+    let mut fm = FlexMalloc::new(&report, &app.binmap, 303, app.ranks).expect("interposer");
+    let placed = run(&app, &machine, memsim::ExecMode::AppDirect, &mut fm);
+
+    println!(
+        "original placement: {:.2}x vs memory mode",
+        out.speedup()
+    );
+    println!(
+        "edited placement:   {:.2}x vs memory mode ({} dram entries instead of {})",
+        out.memory_mode.total_time / placed.total_time,
+        report.count_for_tier(TierId::DRAM),
+        out.report.count_for_tier(TierId::DRAM),
+    );
+    println!("\nedit → parse → deploy, no recompilation — the report is the interface.");
+}

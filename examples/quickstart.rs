@@ -1,0 +1,63 @@
+//! Quickstart: run the whole ecoHMEM workflow (Fig. 1) on MiniFE and print
+//! what each stage produced.
+//!
+//!     cargo run --release --example quickstart
+
+use ecohmem::prelude::*;
+
+fn main() {
+    // 1. Pick an application. Workload models are trace-equivalent stand-ins
+    // for the paper's binaries: same allocation sites, sizes, lifetimes and
+    // access behaviour.
+    let app = ecohmem::workloads::minife::model();
+    println!(
+        "application: {} ({} ranks x {} threads, HWM {:.1} GB)",
+        app.name,
+        app.ranks,
+        app.threads_per_rank,
+        app.high_water_mark() as f64 / 1e9
+    );
+
+    // 2. Configure the pipeline: the paper's PMem-6 machine, a 12 GB DRAM
+    // budget, loads-only metrics, BOM call stacks.
+    let cfg = PipelineConfig::paper_default();
+
+    // 3. Run: profile -> analyze -> advise -> deploy (+ memory-mode baseline).
+    let out = run_pipeline(&app, &cfg).expect("pipeline");
+
+    println!(
+        "\nprofiling trace: {} allocation events, {} hardware samples over {:.1}s",
+        out.trace.alloc_count(),
+        out.trace.sample_count(),
+        out.trace.duration
+    );
+    println!(
+        "advisor report: {} sites -> DRAM {}, PMEM {} (fallback {})",
+        out.report.len(),
+        out.report.count_for_tier(TierId::DRAM),
+        out.report.count_for_tier(TierId::PMEM),
+        cfg.machine.tier(out.report.fallback).name
+    );
+    println!(
+        "flexmalloc matching: {} matched, {} fell back",
+        out.match_stats.matched, out.match_stats.unmatched
+    );
+    println!(
+        "\nmemory mode: {:.1}s   ecoHMEM: {:.1}s   speedup: {:.2}x (paper: up to 2.22x)",
+        out.memory_mode.total_time,
+        out.placed.total_time,
+        out.speedup()
+    );
+
+    // 4. Inspect the placement like the paper's Table I report.
+    println!("\nplacement report (first entries):");
+    let machine = cfg.machine.clone();
+    for line in out
+        .report
+        .render_text(&out.profile.binmap, |t| machine.tier(t).name.clone())
+        .lines()
+        .take(5)
+    {
+        println!("  {line}");
+    }
+}

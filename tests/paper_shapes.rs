@@ -1,0 +1,165 @@
+//! The paper's evaluation shapes, asserted with generous bands. These are
+//! the repository's ground truth: if a refactor breaks one of these, the
+//! reproduction no longer says what the paper says.
+//!
+//! Absolute numbers are not expected to match (our substrate is an
+//! analytic model, not the authors' testbed); *who wins, by roughly what
+//! factor, and where the crossovers fall* must hold.
+
+use ecohmem::advisor::Algorithm;
+use ecohmem::prelude::*;
+use ecohmem_core::experiments::{run_cell, Metrics, SweepSpec};
+
+fn speedup(app: &str, gib: u64, metrics: Metrics, algorithm: Algorithm) -> f64 {
+    let model = ecohmem::workloads::model_by_name(app).unwrap();
+    let machine = MachineConfig::optane_pmem6();
+    run_cell(&model, &machine, SweepSpec { dram_gib: gib, metrics, algorithm }).speedup
+}
+
+#[test]
+fn fig6_minife_wins_big_even_at_4gib() {
+    // Paper: up to 2.22x, significant improvement even at 4 GB.
+    let s12 = speedup("minife", 12, Metrics::Loads, Algorithm::Base);
+    let s4 = speedup("minife", 4, Metrics::Loads, Algorithm::Base);
+    assert!(s12 > 1.8, "12 GiB: {s12:.2}");
+    assert!(s4 > 1.5, "4 GiB: {s4:.2}");
+}
+
+#[test]
+fn fig6_hpcg_wins_and_scales_with_budget() {
+    // Paper: up to 1.67x; improvement shrinks with the DRAM limit but
+    // stays positive.
+    let s12 = speedup("hpcg", 12, Metrics::Loads, Algorithm::Base);
+    let s8 = speedup("hpcg", 8, Metrics::Loads, Algorithm::Base);
+    let s4 = speedup("hpcg", 4, Metrics::Loads, Algorithm::Base);
+    assert!(s12 > 1.4, "{s12:.2}");
+    assert!(s12 > s8 && s8 > s4, "monotone in budget: {s4:.2} {s8:.2} {s12:.2}");
+    assert!(s4 >= 0.95, "still ≥ baseline at 4 GiB: {s4:.2}");
+}
+
+#[test]
+fn fig6_minimd_and_lulesh_win_modestly() {
+    // Paper: 8% and 7% at 12 GB.
+    let md = speedup("minimd", 12, Metrics::Loads, Algorithm::Base);
+    let lu = speedup("lulesh", 12, Metrics::Loads, Algorithm::Base);
+    assert!((0.98..1.25).contains(&md), "minimd {md:.2}");
+    assert!((1.0..1.25).contains(&lu), "lulesh {lu:.2}");
+}
+
+#[test]
+fn fig6_stores_matter_for_cloverleaf_only() {
+    // Paper: +19% for CloverLeaf3D at 12 GB; negligible for MiniFE/HPCG.
+    let apps = ["minife", "hpcg", "cloverleaf3d"];
+    let mut deltas = Vec::new();
+    for app in apps {
+        let l = speedup(app, 12, Metrics::Loads, Algorithm::Base);
+        let ls = speedup(app, 12, Metrics::LoadsStores, Algorithm::Base);
+        deltas.push(ls / l);
+    }
+    assert!((deltas[0] - 1.0).abs() < 0.05, "minife store delta {:.3}", deltas[0]);
+    assert!((deltas[1] - 1.0).abs() < 0.05, "hpcg store delta {:.3}", deltas[1]);
+    assert!(deltas[2] > 1.08, "cloverleaf store delta {:.3}", deltas[2]);
+}
+
+#[test]
+fn fig6_cloverleaf_wins_at_12gib_loses_at_4gib() {
+    // Paper: 1.39x at 12 GB, ~10% slowdown at 4 GB.
+    let s12 = speedup("cloverleaf3d", 12, Metrics::Loads, Algorithm::Base);
+    let s4 = speedup("cloverleaf3d", 4, Metrics::Loads, Algorithm::Base);
+    assert!(s12 > 1.25, "{s12:.2}");
+    assert!(s4 < 1.0, "crossover below small budgets: {s4:.2}");
+}
+
+#[test]
+fn fig6_pmem2_reduces_every_speedup() {
+    // Paper: "All the results with the PMem-2 configuration show lower
+    // performance due to the reduction of the available bandwidth" — and
+    // MiniFE still wins (1.74x).
+    let m6 = MachineConfig::optane_pmem6();
+    let m2 = MachineConfig::optane_pmem2();
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let spec = SweepSpec { dram_gib: 12, metrics: Metrics::Loads, algorithm: Algorithm::Base };
+    let c6 = run_cell(&app, &m6, spec);
+    let c2 = run_cell(&app, &m2, spec);
+    assert!(c2.placed_time > c6.placed_time, "absolute runtimes degrade");
+    assert!(c2.speedup > 1.3, "MiniFE still wins on PMem-2: {:.2}", c2.speedup);
+}
+
+#[test]
+fn table8_openfoam_base_collapses_bw_aware_wins() {
+    // Paper: main 0.50 → bandwidth-aware 1.056.
+    let base = speedup("openfoam", 11, Metrics::Loads, Algorithm::Base);
+    let bwa = speedup("openfoam", 11, Metrics::Loads, Algorithm::BandwidthAware);
+    assert!(base < 0.75, "base {base:.3}");
+    assert!(bwa > 1.0, "bw-aware {bwa:.3}");
+    assert!(bwa < 1.2, "a modest win, not a blowout: {bwa:.3}");
+}
+
+#[test]
+fn table8_lammps_stays_within_a_few_percent() {
+    // Paper: 0.96–0.97 across all four cells.
+    for (gib, alg) in [(14, Algorithm::Base), (16, Algorithm::BandwidthAware)] {
+        for m in [Metrics::Loads, Metrics::LoadsStores] {
+            let s = speedup("lammps", gib, m, alg);
+            assert!((0.9..1.1).contains(&s), "lammps {alg:?} {m:?}: {s:.3}");
+        }
+    }
+}
+
+#[test]
+fn lulesh_bandwidth_aware_beats_base() {
+    // Paper: 7% → 19%.
+    let base = speedup("lulesh", 12, Metrics::Loads, Algorithm::Base);
+    let bwa = speedup("lulesh", 12, Metrics::Loads, Algorithm::BandwidthAware);
+    assert!(bwa > base + 0.05, "base {base:.3} vs bw-aware {bwa:.3}");
+}
+
+#[test]
+fn baselines_order_as_in_the_paper() {
+    // Tiering beats memory mode for MiniFE and HPCG but stays below
+    // ecoHMEM; ProfDP is on par with ecoHMEM for MiniFE.
+    let machine = MachineConfig::optane_pmem6();
+    for name in ["minife", "hpcg"] {
+        let app = ecohmem::workloads::model_by_name(name).unwrap();
+        let mm = run_memory_mode(&app, &machine);
+        let mut tiering = KernelTiering::new(&machine);
+        let t = run(&app, &machine, memsim::ExecMode::AppDirect, &mut tiering);
+        let tiering_speedup = mm.total_time / t.total_time;
+        let eco = speedup(name, 12, Metrics::Loads, Algorithm::Base);
+        assert!(tiering_speedup > 1.0, "{name}: tiering {tiering_speedup:.2}");
+        assert!(tiering_speedup < eco, "{name}: tiering {tiering_speedup:.2} < eco {eco:.2}");
+    }
+}
+
+#[test]
+fn profdp_is_on_par_for_minife() {
+    let machine = MachineConfig::optane_pmem6();
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let profdp = ProfDp::profile(&app, &machine);
+    let (_, best) = profdp.best_run(&app, &machine, 12 << 30);
+    let mm = run_memory_mode(&app, &machine);
+    let profdp_speedup = mm.total_time / best.total_time;
+    let eco = speedup("minife", 12, Metrics::Loads, Algorithm::Base);
+    assert!((profdp_speedup / eco - 1.0).abs() < 0.15, "profdp {profdp_speedup:.2} vs eco {eco:.2}");
+}
+
+#[test]
+fn secd_human_readable_stacks_cost_openfoam_its_win() {
+    // Paper §VIII-D: 1.061 (BOM) → 0.66 (HR), driven by the debug-info
+    // DRAM footprint shrinking the budget plus translation overhead.
+    let app = ecohmem::workloads::model_by_name("openfoam").unwrap();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.algorithm = Algorithm::BandwidthAware;
+    cfg.advisor = AdvisorConfig::loads_and_stores(11);
+    cfg.stack_format = memtrace::StackFormat::Bom;
+    let bom = run_pipeline(&app, &cfg).unwrap();
+
+    let debug_gib = (app.binmap.total_debug_info_bytes() * app.ranks as u64).div_ceil(1 << 30);
+    cfg.advisor = AdvisorConfig::loads_and_stores(11 - debug_gib);
+    cfg.stack_format = memtrace::StackFormat::HumanReadable;
+    let hr = run_pipeline(&app, &cfg).unwrap();
+
+    assert!(bom.speedup() > 1.0, "BOM {:.3}", bom.speedup());
+    assert!(hr.speedup() < 0.95, "HR {:.3}", hr.speedup());
+    assert!(hr.placed.alloc_overhead > bom.placed.alloc_overhead);
+}

@@ -1,0 +1,113 @@
+//! End-to-end pipeline integration tests across crates: every application
+//! model goes through profile → analyze → advise → deploy, and the
+//! artifacts must be mutually consistent.
+
+use ecohmem::prelude::*;
+use memtrace::StackFormat;
+
+fn outcome_for(name: &str) -> PipelineOutcome {
+    let app = ecohmem::workloads::model_by_name(name).unwrap();
+    let cfg = PipelineConfig::paper_default();
+    run_pipeline(&app, &cfg).unwrap()
+}
+
+#[test]
+fn every_app_completes_the_pipeline() {
+    for name in ["minife", "minimd", "lulesh", "hpcg", "cloverleaf3d", "lammps", "openfoam"] {
+        let out = outcome_for(name);
+        assert!(out.placed.total_time > 0.0, "{name}");
+        assert!(out.memory_mode.total_time > 0.0, "{name}");
+        assert!(out.speedup() > 0.3, "{name}: speedup {}", out.speedup());
+        assert!(out.speedup() < 5.0, "{name}: speedup {}", out.speedup());
+    }
+}
+
+#[test]
+fn all_profiled_stacks_match_at_deployment() {
+    // Profiling and deployment run the same binary, so FlexMalloc must
+    // match every allocation — under a *different* ASLR layout.
+    for name in ["minife", "lulesh", "openfoam"] {
+        let out = outcome_for(name);
+        assert_eq!(out.match_stats.unmatched, 0, "{name}");
+        let app = ecohmem::workloads::model_by_name(name).unwrap();
+        assert_eq!(out.match_stats.matched, app.total_allocations(), "{name}");
+    }
+}
+
+#[test]
+fn report_covers_every_profiled_site_once() {
+    let out = outcome_for("hpcg");
+    let app = ecohmem::workloads::model_by_name("hpcg").unwrap();
+    assert_eq!(out.report.len(), app.sites.len());
+    out.report.validate().unwrap();
+}
+
+#[test]
+fn trace_and_profile_are_consistent() {
+    let out = outcome_for("cloverleaf3d");
+    out.trace.validate().unwrap();
+    let app = ecohmem::workloads::model_by_name("cloverleaf3d").unwrap();
+    assert_eq!(out.trace.alloc_count() as u64, app.total_allocations());
+    assert_eq!(out.profile.sites.len(), app.sites.len());
+    // Sampled misses roughly conserve total traffic.
+    let est = out.profile.total_load_misses();
+    assert!(est > 0.0);
+}
+
+#[test]
+fn placed_run_respects_advisor_dram_budget() {
+    // The planned DRAM content must fit the advisor budget at runtime:
+    // peak DRAM heap ≤ budget (+ a small slack for transient reallocation
+    // overlap at phase boundaries).
+    for name in ["minife", "hpcg", "openfoam"] {
+        let app = ecohmem::workloads::model_by_name(name).unwrap();
+        let cfg = PipelineConfig::paper_default();
+        let out = run_pipeline(&app, &cfg).unwrap();
+        let budget = cfg.advisor.primary().capacity as f64;
+        let peak = out.placed.tier_peak_bytes[0] as f64;
+        assert!(
+            peak <= budget * 1.1,
+            "{name}: DRAM peak {:.2} GB vs budget {:.2} GB",
+            peak / 1e9,
+            budget / 1e9
+        );
+    }
+}
+
+#[test]
+fn pipeline_works_in_human_readable_mode() {
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.stack_format = StackFormat::HumanReadable;
+    let out = run_pipeline(&app, &cfg).unwrap();
+    assert_eq!(out.report.format, StackFormat::HumanReadable);
+    assert_eq!(out.match_stats.unmatched, 0);
+    // HR matching costs more per allocation and pins debug info.
+    assert!(out.placed.alloc_overhead >= 0.0);
+}
+
+#[test]
+fn different_sampling_seeds_give_similar_placements() {
+    // Sampling noise must not flip the headline result (the paper reports
+    // <3% RSD across five runs).
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let mut speedups = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.profiler.seed = seed;
+        speedups.push(run_pipeline(&app, &cfg).unwrap().speedup());
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    for s in &speedups {
+        assert!((s / mean - 1.0).abs() < 0.1, "speedups {speedups:?}");
+    }
+}
+
+#[test]
+fn pmem2_machine_runs_the_pipeline_too() {
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.machine = MachineConfig::optane_pmem2();
+    let out = run_pipeline(&app, &cfg).unwrap();
+    assert!(out.speedup() > 1.0, "MiniFE still wins on PMem-2");
+}

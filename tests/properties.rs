@@ -1,0 +1,233 @@
+//! Property-based tests over the public API: invariants that must hold for
+//! *any* input, not just the paper's workloads.
+
+use ecohmem::prelude::*;
+use memtrace::{
+    BinaryMap, BinaryMapBuilder, CallStack, Frame, LoadMap, ModuleId, ObjectId,
+    ReportEntry, ReportStack, SiteId,
+};
+use proptest::prelude::*;
+
+fn arb_frame(modules: u16) -> impl Strategy<Value = Frame> {
+    (0..modules, 0u64..60_000).prop_map(|(m, off)| Frame::new(ModuleId(m), off & !63))
+}
+
+fn arb_stack(modules: u16) -> impl Strategy<Value = CallStack> {
+    prop::collection::vec(arb_frame(modules), 1..6).prop_map(CallStack::new)
+}
+
+fn image(modules: u16) -> BinaryMap {
+    let mut b = BinaryMapBuilder::new();
+    for i in 0..modules {
+        b.add_module(format!("m{i}.so"), 64 * 1024, 1 << 20, vec![format!("f{i}.c")]);
+    }
+    b.build()
+}
+
+proptest! {
+    /// BOM matching is invariant under ASLR: any stack that resolves under
+    /// one layout resolves to the same tier under every other layout.
+    #[test]
+    fn bom_matching_is_aslr_invariant(
+        stacks in prop::collection::hash_set(arb_stack(3), 1..20),
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+    ) {
+        let map = image(3);
+        let mut report = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+        for (i, s) in stacks.iter().enumerate() {
+            report.push(ReportEntry {
+                stack: ReportStack::Bom(s.clone()),
+                tier: if i % 2 == 0 { TierId::DRAM } else { TierId::PMEM },
+                max_size: 64,
+            });
+        }
+        let la = LoadMap::randomize(&map, seed_a);
+        let lb = LoadMap::randomize(&map, seed_b);
+        let ma = flexmalloc::Matcher::new(&report, &map, &la).unwrap();
+        let mb = flexmalloc::Matcher::new(&report, &map, &lb).unwrap();
+        for s in &stacks {
+            let ra = ma.match_stack(&la.absolutize(s).unwrap(), &map, &la);
+            let rb = mb.match_stack(&lb.absolutize(s).unwrap(), &map, &lb);
+            prop_assert_eq!(ra, rb);
+            prop_assert!(ra.is_some());
+        }
+    }
+
+    /// Address resolution round-trips through any ASLR layout.
+    #[test]
+    fn loadmap_resolution_round_trips(
+        frames in prop::collection::vec(arb_frame(4), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let map = image(4);
+        let lm = LoadMap::randomize(&map, seed);
+        for f in frames {
+            let abs = lm.absolute(f).unwrap();
+            prop_assert_eq!(lm.resolve(abs), Some(f));
+        }
+    }
+
+    /// The heap never hands out overlapping live blocks and never exceeds
+    /// its capacity through any alloc/free sequence.
+    #[test]
+    fn heap_blocks_never_overlap(ops in prop::collection::vec((1u64..100_000, any::<bool>()), 1..200)) {
+        let mut heap = memsim::TierHeap::new(TierId::DRAM, 4 << 20);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (addr, sz) = live.swap_remove(0);
+                heap.free(addr, sz);
+            } else if let Some(addr) = heap.alloc(size) {
+                let aligned = size.div_ceil(64) * 64;
+                for &(a, s) in &live {
+                    prop_assert!(addr + aligned <= a || a + s <= addr, "overlap");
+                }
+                live.push((addr, aligned));
+            }
+            prop_assert!(heap.used() <= heap.capacity());
+        }
+    }
+
+    /// Loaded latency is monotone in utilization for any physical curve.
+    #[test]
+    fn latency_curves_are_monotone(
+        base in 1.0f64..500.0,
+        span in 0.0f64..1000.0,
+        alpha in 1.0f64..8.0,
+        u1 in 0.0f64..1.25,
+        u2 in 0.0f64..1.25,
+    ) {
+        let c = memsim::LatencyCurve::new(base, span, alpha);
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(c.latency_ns(lo) <= c.latency_ns(hi) + 1e-9);
+    }
+
+    /// The knapsack never plans more bytes into a tier than its configured
+    /// capacity, for any profile.
+    #[test]
+    fn knapsack_respects_capacity(
+        sites in prop::collection::vec((1u64..(4u64 << 30), 0.0f64..1e10, 0.0f64..1e9), 1..40),
+        budget_gib in 1u64..16,
+    ) {
+        let profile = synthetic_profile(&sites);
+        let cfg = AdvisorConfig::loads_only(budget_gib);
+        let advisor = Advisor::new(cfg.clone());
+        let (assignment, _) = advisor.assign(&profile, Algorithm::Base);
+        let planned: u64 = profile
+            .sites
+            .iter()
+            .filter(|s| assignment.tier_of(s.site) == TierId::DRAM)
+            .map(|s| s.total_bytes)
+            .sum();
+        prop_assert!(planned <= cfg.primary().capacity);
+    }
+
+    /// The bandwidth-aware pass also respects capacity: DRAM residents
+    /// after Algorithm 1, charged at live footprint for promoted sites and
+    /// total bytes for survivors, stay within budget.
+    #[test]
+    fn bandwidth_aware_respects_capacity(
+        sites in prop::collection::vec((1u64..(4u64 << 30), 0.0f64..1e10, 0.0f64..1e9), 1..40),
+        budget_gib in 1u64..16,
+    ) {
+        let profile = synthetic_profile(&sites);
+        let cfg = AdvisorConfig::loads_only(budget_gib);
+        let advisor = Advisor::new(cfg.clone());
+        let (base, _) = advisor.assign(&profile, Algorithm::Base);
+        let (bwa, _) = advisor.assign(&profile, Algorithm::BandwidthAware);
+        let charge = |s: &profiler::SiteProfile| -> u64 {
+            if base.tier_of(s.site) == TierId::DRAM { s.total_bytes } else { s.peak_live_bytes }
+        };
+        let planned: u64 = profile
+            .sites
+            .iter()
+            .filter(|s| bwa.tier_of(s.site) == TierId::DRAM)
+            .map(charge)
+            .sum();
+        prop_assert!(planned <= cfg.primary().capacity, "planned {planned}");
+    }
+
+    /// Classification categories are mutually exclusive and exhaustive.
+    #[test]
+    fn classification_is_a_partition(
+        sites in prop::collection::vec((1u64..(4u64 << 30), 0.0f64..1e10, 0.0f64..1e9), 1..40),
+    ) {
+        use ecohmem::advisor::Category;
+        let profile = synthetic_profile(&sites);
+        let advisor = Advisor::new(AdvisorConfig::loads_only(8));
+        let (base, _) = advisor.assign(&profile, Algorithm::Base);
+        let class = advisor::bandwidth::classify(
+            &profile,
+            &base,
+            TierId::DRAM,
+            &BwThresholds::default(),
+        );
+        let mut counted = 0;
+        for cat in [Category::Fitting, Category::StreamingD, Category::Thrashing, Category::Unclassified] {
+            counted += class.sites_of(cat).len();
+        }
+        prop_assert_eq!(counted, profile.sites.len());
+    }
+
+    /// Placement reports survive a JSON round trip for any entry set.
+    #[test]
+    fn report_json_round_trips(stacks in prop::collection::hash_set(arb_stack(2), 0..20)) {
+        let mut report = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+        for s in &stacks {
+            report.push(ReportEntry {
+                stack: ReportStack::Bom(s.clone()),
+                tier: TierId::DRAM,
+                max_size: 4096,
+            });
+        }
+        let json = report.to_json().unwrap();
+        prop_assert_eq!(PlacementReport::from_json(&json).unwrap(), report);
+    }
+}
+
+/// Builds a deterministic synthetic profile from `(bytes, load_misses,
+/// bw_at_alloc)` triples, alternating single- and multi-allocation sites.
+fn synthetic_profile(sites: &[(u64, f64, f64)]) -> profiler::ProfileSet {
+    let peak = sites.iter().map(|s| s.2).fold(1.0, f64::max);
+    let profiles = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &(bytes, misses, bw))| {
+            let alloc_count = if i % 3 == 2 { 8 } else { 1 };
+            profiler::SiteProfile {
+                site: SiteId(i as u32),
+                stack: CallStack::new(vec![Frame::new(ModuleId(0), 64 * i as u64)]),
+                alloc_count,
+                max_size: bytes / alloc_count,
+                total_bytes: bytes,
+                peak_live_bytes: bytes / alloc_count,
+                load_misses_est: misses,
+                store_misses_est: misses * 0.1,
+                has_stores: i % 2 == 0,
+                first_alloc: 0.0,
+                last_free: 100.0,
+                bw_at_alloc: bw,
+                avg_bw: bw * 0.5,
+                objects: vec![profiler::ObjectLifetime {
+                    object: ObjectId(i as u64),
+                    size: bytes / alloc_count,
+                    alloc_time: 0.0,
+                    free_time: 100.0,
+                    load_samples: 1,
+                    store_samples: 0,
+                    store_l1d_miss_samples: 0,
+                    bw_at_alloc: bw,
+                }],
+            }
+        })
+        .collect();
+    profiler::ProfileSet {
+        app_name: "prop".into(),
+        duration: 100.0,
+        sites: profiles,
+        bw_series: vec![(0.0, peak)],
+        peak_bw: peak,
+        binmap: BinaryMap::default(),
+    }
+}
