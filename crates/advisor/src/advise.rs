@@ -3,9 +3,7 @@
 use crate::bandwidth::{rebalance, BwThresholds, Classification};
 use crate::config::AdvisorConfig;
 use crate::knapsack::{self, Assignment};
-use memtrace::{
-    PlacementReport, ReportEntry, ReportStack, StackFormat, TraceError,
-};
+use memtrace::{PlacementReport, ReportEntry, ReportStack, StackFormat, TraceError};
 use profiler::ProfileSet;
 
 /// Which placement algorithm to run.
@@ -135,9 +133,7 @@ mod tests {
     fn report_round_trips_and_covers_all_sites() {
         let profile = minife_profile();
         let advisor = Advisor::new(AdvisorConfig::loads_only(12));
-        let report = advisor
-            .advise(&profile, Algorithm::Base, StackFormat::Bom)
-            .unwrap();
+        let report = advisor.advise(&profile, Algorithm::Base, StackFormat::Bom).unwrap();
         assert_eq!(report.len(), profile.sites.len());
         report.validate().unwrap();
         let j = report.to_json().unwrap();
@@ -148,9 +144,7 @@ mod tests {
     fn human_readable_report_translates() {
         let profile = minife_profile();
         let advisor = Advisor::new(AdvisorConfig::loads_only(12));
-        let hr = advisor
-            .advise(&profile, Algorithm::Base, StackFormat::HumanReadable)
-            .unwrap();
+        let hr = advisor.advise(&profile, Algorithm::Base, StackFormat::HumanReadable).unwrap();
         assert_eq!(hr.format, StackFormat::HumanReadable);
         hr.validate().unwrap();
     }

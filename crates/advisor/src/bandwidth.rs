@@ -83,12 +83,8 @@ impl Classification {
 
     /// All sites of one category, sorted.
     pub fn sites_of(&self, cat: Category) -> Vec<SiteId> {
-        let mut v: Vec<SiteId> = self
-            .categories
-            .iter()
-            .filter(|(_, c)| **c == cat)
-            .map(|(s, _)| *s)
-            .collect();
+        let mut v: Vec<SiteId> =
+            self.categories.iter().filter(|(_, c)| **c == cat).map(|(s, _)| *s).collect();
         v.sort();
         v
     }
@@ -107,10 +103,7 @@ pub fn classify(
     for s in &profile.sites {
         let tier = base.tier_of(s.site);
         let in_dram = tier == fast_tier;
-        let cat = if in_dram
-            && s.alloc_count < thresholds.t_alloc
-            && s.bw_at_alloc < low_bw
-        {
+        let cat = if in_dram && s.alloc_count < thresholds.t_alloc && s.bw_at_alloc < low_bw {
             Category::Fitting
         } else if in_dram
             && !s.has_stores

@@ -45,13 +45,21 @@ impl ValueFunction {
         let weighted = load_coeff * s.load_misses_est + store_coeff * s.store_misses_est;
         match self {
             ValueFunction::MissDensity => {
-                if s.total_bytes == 0 { 0.0 } else { weighted / s.total_bytes as f64 }
+                if s.total_bytes == 0 {
+                    0.0
+                } else {
+                    weighted / s.total_bytes as f64
+                }
             }
             ValueFunction::RawMisses => weighted,
             ValueFunction::MissesPerByteSecond => {
                 let occupancy =
                     s.peak_live_bytes as f64 * s.total_lifetime().max(1e-9) / duration.max(1e-9);
-                if occupancy <= 0.0 { 0.0 } else { weighted / occupancy }
+                if occupancy <= 0.0 {
+                    0.0
+                } else {
+                    weighted / occupancy
+                }
             }
         }
     }
@@ -77,12 +85,8 @@ impl Assignment {
 
     /// Sites assigned to a given tier.
     pub fn sites_in(&self, tier: TierId) -> Vec<SiteId> {
-        let mut v: Vec<SiteId> = self
-            .tiers
-            .iter()
-            .filter(|(_, t)| **t == tier)
-            .map(|(s, _)| *s)
-            .collect();
+        let mut v: Vec<SiteId> =
+            self.tiers.iter().filter(|(_, t)| **t == tier).map(|(s, _)| *s).collect();
         v.sort();
         v
     }
@@ -114,10 +118,7 @@ pub fn assign_with(
             .iter()
             .map(|&s| {
                 let p = profile.site(s).expect("site came from the profile");
-                (
-                    value_fn.value(p, budget.load_coeff, budget.store_coeff, profile.duration),
-                    s,
-                )
+                (value_fn.value(p, budget.load_coeff, budget.store_coeff, profile.duration), s)
             })
             .collect();
         ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
@@ -224,11 +225,8 @@ mod tests {
         ]);
         let cfg = AdvisorConfig::loads_only(4);
         let a = assign(&profile, &cfg);
-        let dram_bytes: u64 = a
-            .sites_in(TierId::DRAM)
-            .iter()
-            .map(|s| profile.site(*s).unwrap().total_bytes)
-            .sum();
+        let dram_bytes: u64 =
+            a.sites_in(TierId::DRAM).iter().map(|s| profile.site(*s).unwrap().total_bytes).sum();
         assert!(dram_bytes <= 4 << 30);
         assert_eq!(a.sites_in(TierId::DRAM).len(), 1);
     }
@@ -250,10 +248,8 @@ mod tests {
     #[test]
     fn store_coefficient_changes_the_ranking() {
         // Site 0: read-dense. Site 1: write-dense. Budget fits only one.
-        let profile = mk_profile(vec![
-            mk_site(0, 1 << 30, 5e8, 0.0, 1),
-            mk_site(1, 1 << 30, 1e8, 4e8, 1),
-        ]);
+        let profile =
+            mk_profile(vec![mk_site(0, 1 << 30, 5e8, 0.0, 1), mk_site(1, 1 << 30, 1e8, 4e8, 1)]);
         let loads = assign(&profile, &AdvisorConfig::loads_only(1));
         assert_eq!(loads.tier_of(SiteId(0)), TierId::DRAM);
         assert_eq!(loads.tier_of(SiteId(1)), TierId::PMEM);
@@ -281,10 +277,8 @@ mod tests {
     fn raw_misses_prefers_big_hot_objects() {
         // Site 0: huge, many misses. Site 1: tiny, dense. Budget fits only
         // one of them by total bytes.
-        let profile = mk_profile(vec![
-            mk_site(0, 3 << 30, 5e9, 0.0, 1),
-            mk_site(1, 64 << 20, 1e9, 0.0, 1),
-        ]);
+        let profile =
+            mk_profile(vec![mk_site(0, 3 << 30, 5e9, 0.0, 1), mk_site(1, 64 << 20, 1e9, 0.0, 1)]);
         let cfg = AdvisorConfig::loads_only(3);
         let density = assign_with(&profile, &cfg, ValueFunction::MissDensity);
         assert_eq!(density.tier_of(SiteId(1)), TierId::DRAM, "density likes the small site");

@@ -39,8 +39,7 @@ pub fn assign_optimal_first_tier(
         .iter()
         .map(|s| {
             let w = (s.total_bytes.div_ceil(granularity)) as usize;
-            let v = budget.load_coeff * s.load_misses_est
-                + budget.store_coeff * s.store_misses_est;
+            let v = budget.load_coeff * s.load_misses_est + budget.store_coeff * s.store_misses_est;
             (s.site, w, v)
         })
         .collect();
@@ -76,11 +75,7 @@ pub fn assign_optimal_first_tier(
     for s in &profile.sites {
         tiers.entry(s.site).or_insert(config.fallback);
     }
-    Assignment {
-        tiers,
-        fallback: config.fallback,
-        charged: vec![(budget.tier, charged)],
-    }
+    Assignment { tiers, fallback: config.fallback, charged: vec![(budget.tier, charged)] }
 }
 
 /// Total first-tier value of an assignment under a config (the knapsack
@@ -151,9 +146,9 @@ mod tests {
         // of the budget; optimal takes the two big ones.
         let gib = 1u64 << 30;
         let p = profile(vec![
-            mk_site(0, 1 * gib, 1.2e9),  // density 1.12 — greedy's first pick
-            mk_site(1, 6 * gib, 6.0e9),  // density 0.93
-            mk_site(2, 6 * gib, 6.0e9),  // density 0.93
+            mk_site(0, gib, 1.2e9),     // density 1.12 — greedy's first pick
+            mk_site(1, 6 * gib, 6.0e9), // density 0.93
+            mk_site(2, 6 * gib, 6.0e9), // density 0.93
         ]);
         let cfg = AdvisorConfig::loads_only(12);
         let greedy = knapsack::assign(&p, &cfg);
@@ -172,21 +167,13 @@ mod tests {
             let sites: Vec<SiteProfile> = (0..12)
                 .map(|i| {
                     let x = (seed * 31 + i * 7919) % 97;
-                    mk_site(
-                        i as u32,
-                        ((x % 7 + 1) as f64 * gib) as u64,
-                        (x * x) as f64 * 1e7 + 1e6,
-                    )
+                    mk_site(i as u32, ((x % 7 + 1) as f64 * gib) as u64, (x * x) as f64 * 1e7 + 1e6)
                 })
                 .collect();
             let p = profile(sites);
             let cfg = AdvisorConfig::loads_only(8);
             let gv = first_tier_value(&p, &cfg, &knapsack::assign(&p, &cfg));
-            let ov = first_tier_value(
-                &p,
-                &cfg,
-                &assign_optimal_first_tier(&p, &cfg, 1 << 30, 64),
-            );
+            let ov = first_tier_value(&p, &cfg, &assign_optimal_first_tier(&p, &cfg, 1 << 30, 64));
             assert!(ov + 1e-6 >= gv, "seed {seed}: optimal {ov:.3e} < greedy {gv:.3e}");
         }
     }

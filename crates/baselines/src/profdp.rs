@@ -67,12 +67,8 @@ impl ProfDp {
         let fast = machine.tiers_by_performance()[0];
         let slow = machine.largest_tier();
         // Run 1: everything in the fast tier (spills to slow when full).
-        let run_fast = run(
-            app,
-            machine,
-            ExecMode::AppDirect,
-            &mut FixedTier::with_fallback(fast, slow),
-        );
+        let run_fast =
+            run(app, machine, ExecMode::AppDirect, &mut FixedTier::with_fallback(fast, slow));
         // Run 2: everything in the slow tier.
         let run_slow = run(app, machine, ExecMode::AppDirect, &mut FixedTier::new(slow));
         // Run 3: memory mode (ProfDP's "baseline" run).
@@ -80,8 +76,7 @@ impl ProfDp {
 
         let fast_lat = machine.tier(fast).read_curve.idle_ns();
         let slow_lat = machine.tier(slow).read_curve.idle_ns();
-        let bw_deficit =
-            machine.tier(fast).peak_read_bw / machine.tier(slow).peak_read_bw;
+        let bw_deficit = machine.tier(fast).peak_read_bw / machine.tier(slow).peak_read_bw;
 
         // Aggregate per site from the slow run's object records (every
         // object is in the slow tier there, so its misses are fully
@@ -104,11 +99,7 @@ impl ProfDp {
             *alloc_counts.entry(o.site).or_insert(0) += 1;
         }
         for (site, e) in sites.iter_mut() {
-            e.2 = alloc_counts
-                .get(site)
-                .copied()
-                .unwrap_or(1)
-                .min(app.ranks);
+            e.2 = alloc_counts.get(site).copied().unwrap_or(1).min(app.ranks);
         }
         ProfDp { sites, ranks: app.ranks }
     }
@@ -174,11 +165,7 @@ impl ProfDp {
         for variant in ProfDpVariant::all() {
             let mut policy = self.placement(variant, dram_budget, fast, slow);
             let result = run(app, machine, ExecMode::AppDirect, &mut policy);
-            if best
-                .as_ref()
-                .map(|(_, b)| result.total_time < b.total_time)
-                .unwrap_or(true)
-            {
+            if best.as_ref().map(|(_, b)| result.total_time < b.total_time).unwrap_or(true) {
                 best = Some((variant, result));
             }
         }

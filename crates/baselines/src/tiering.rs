@@ -188,12 +188,7 @@ mod tests {
         // all-PMem placement.
         let app = workloads::minife::model();
         let mach = MachineConfig::optane_pmem6();
-        let tiering = run(
-            &app,
-            &mach,
-            ExecMode::AppDirect,
-            &mut KernelTiering::new(&mach),
-        );
+        let tiering = run(&app, &mach, ExecMode::AppDirect, &mut KernelTiering::new(&mach));
         let pmem_only = run(
             &app,
             &mach,

@@ -14,9 +14,8 @@ use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
     let machine = MachineConfig::optane_pmem6();
-    let mut t = Table::new(&[
-        "app", "dram_gib", "value_gap_%", "greedy_speedup", "optimal_speedup",
-    ]);
+    let mut t =
+        Table::new(&["app", "dram_gib", "value_gap_%", "greedy_speedup", "optimal_speedup"]);
     for name in ["minife", "hpcg", "cloverleaf3d", "lulesh", "openfoam"] {
         let app = workloads::model_by_name(name).unwrap();
         let (trace, _) = profile_run(

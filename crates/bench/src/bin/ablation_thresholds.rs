@@ -29,22 +29,14 @@ fn main() {
 
         let mut t = Table::new(&["t_pmemhigh_frac", "speedup"]);
         for high in [0.2f64, 0.3, 0.4, 0.6, 0.8] {
-            let s = speedup(
-                &app,
-                gib,
-                BwThresholds { high_frac: high, ..Default::default() },
-            );
+            let s = speedup(&app, gib, BwThresholds { high_frac: high, ..Default::default() });
             t.row(vec![format!("{high:.1}"), format!("{s:.3}")]);
         }
         println!("{}", t.render());
 
         let mut t = Table::new(&["t_pmemlow_frac", "speedup"]);
         for low in [0.05f64, 0.1, 0.2, 0.35] {
-            let s = speedup(
-                &app,
-                gib,
-                BwThresholds { low_frac: low, ..Default::default() },
-            );
+            let s = speedup(&app, gib, BwThresholds { low_frac: low, ..Default::default() });
             t.row(vec![format!("{low:.2}"), format!("{s:.3}")]);
         }
         println!("{}\n", t.render());

@@ -10,7 +10,13 @@ use memtrace::TierId;
 fn main() {
     let mach = MachineConfig::optane_pmem6();
     let mut t = Table::new(&[
-        "app", "mm_time", "mm_membound", "mm_hit", "pmem_time", "dramfirst_time", "mm/pmem",
+        "app",
+        "mm_time",
+        "mm_membound",
+        "mm_hit",
+        "pmem_time",
+        "dramfirst_time",
+        "mm/pmem",
     ]);
     for app in workloads::all_models() {
         let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));

@@ -18,15 +18,21 @@ fn main() {
         &ProfilerConfig::default(),
     );
     let profile = analyze(&trace).unwrap();
-    println!("peak_bw = {:.2e} B/s; thresholds low={:.2e} high={:.2e}",
-        profile.peak_bw, 0.2 * profile.peak_bw, 0.4 * profile.peak_bw);
+    println!(
+        "peak_bw = {:.2e} B/s; thresholds low={:.2e} high={:.2e}",
+        profile.peak_bw,
+        0.2 * profile.peak_bw,
+        0.4 * profile.peak_bw
+    );
 
     let advisor = Advisor::new(AdvisorConfig::loads_only(gib));
     let (base, _) = advisor.assign(&profile, Algorithm::Base);
     let (bw, class) = advisor.assign(&profile, Algorithm::BandwidthAware);
     let class = class.unwrap();
-    println!("{:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "site", "base", "bwa", "allocs", "totGB", "liveGB", "density", "bw@alloc", "category");
+    println!(
+        "{:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "site", "base", "bwa", "allocs", "totGB", "liveGB", "density", "bw@alloc", "category"
+    );
     for s in &profile.sites {
         println!(
             "{:>6} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>10.4} {:>12.3e} {:>12?}",

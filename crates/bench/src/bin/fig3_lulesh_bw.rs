@@ -48,10 +48,7 @@ fn main() {
             .iter()
             .map(|a| (a.count, a.size / (1 << 20)))
             .collect();
-        let (n, sz) = allocs
-            .first()
-            .map(|&(c, s)| (allocs.len() as u32 * c, s))
-            .unwrap_or((0, 0));
+        let (n, sz) = allocs.first().map(|&(c, s)| (allocs.len() as u32 * c, s)).unwrap_or((0, 0));
         t.row(vec![
             format!("{:.1}", p.start),
             app.phases[p.index as usize].label.clone().unwrap_or_default(),

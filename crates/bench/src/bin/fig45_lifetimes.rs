@@ -40,7 +40,9 @@ fn main() {
     for o in result
         .objects
         .iter()
-        .filter(|o| temps.contains(&o.site) && o.alloc_time >= window_lo && o.free_time <= window_hi)
+        .filter(|o| {
+            temps.contains(&o.site) && o.alloc_time >= window_lo && o.free_time <= window_hi
+        })
         .take(24)
     {
         let bw = o.avg_bandwidth(64) / 1e6;

@@ -50,12 +50,8 @@ fn main() {
     let mut t = Table::new(&["app", "kernel_tiering", "profdp_best", "profdp_variant"]);
     for app in &apps {
         let mm = baselines::run_memory_mode(app, &machine);
-        let tiering = engine_run(
-            app,
-            &machine,
-            ExecMode::AppDirect,
-            &mut KernelTiering::new(&machine),
-        );
+        let tiering =
+            engine_run(app, &machine, ExecMode::AppDirect, &mut KernelTiering::new(&machine));
         let profdp = ProfDp::profile(app, &machine);
         let (variant, best) = profdp.best_run(app, &machine, 12 << 30);
         t.row(vec![

@@ -1,0 +1,129 @@
+//! Robustness curve: how the end-to-end speedup over Memory Mode decays as
+//! injected fault severity grows, for every injector in `memtrace::fault`.
+//! Severity 0 rows are the clean-pipeline reference for each fault kind.
+//!
+//! ```text
+//! robustness_curve [--app minife] [--machine pmem6|pmem2|hbm]
+//!                  [--policy strict|warn|best-effort] [--seed N]
+//!                  [--inject kind:severity]...
+//! ```
+//!
+//! Without `--inject`, sweeps every fault kind at severities
+//! 0.00/0.25/0.50/0.75/1.00.
+
+use bench::Table;
+use ecohmem_core::{run_pipeline, DegradationPolicy, PipelineConfig};
+use memsim::MachineConfig;
+use memtrace::{FaultKind, FaultSpec};
+
+const USAGE: &str = "robustness_curve [--app NAME] [--machine pmem6|pmem2|hbm] \
+                     [--policy strict|warn|best-effort] [--seed N] [--inject kind:severity]...";
+
+fn die(msg: &str) -> ! {
+    eprintln!("robustness_curve: {msg}\n\nusage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut app_name = "minife".to_string();
+    let mut machine_name = "pmem6".to_string();
+    let mut policy = DegradationPolicy::BestEffort;
+    let mut seed: u64 = 0xFA_017;
+    let mut injects: Vec<FaultSpec> = Vec::new();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let Some(value) = argv.get(i + 1) else {
+            die(&format!("{flag} needs a value"));
+        };
+        match flag {
+            "--app" => app_name = value.clone(),
+            "--machine" => machine_name = value.clone(),
+            "--policy" => {
+                policy = match value.as_str() {
+                    "strict" => DegradationPolicy::Strict,
+                    "warn" => DegradationPolicy::Warn,
+                    "best-effort" => DegradationPolicy::BestEffort,
+                    other => die(&format!("unknown policy `{other}`")),
+                }
+            }
+            "--seed" => seed = value.parse().unwrap_or_else(|_| die("--seed wants an integer")),
+            "--inject" => injects.push(FaultSpec::parse(value).unwrap_or_else(|e| die(&e))),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 2;
+    }
+    for f in &mut injects {
+        f.seed = seed;
+    }
+
+    let Some(app) = workloads::model_by_name(&app_name) else {
+        die(&format!("unknown application `{app_name}`"));
+    };
+    let machine = match machine_name.as_str() {
+        "pmem6" | "optane-pmem6" => MachineConfig::optane_pmem6(),
+        "pmem2" | "optane-pmem2" => MachineConfig::optane_pmem2(),
+        "hbm" | "hbm-ddr" => MachineConfig::hbm_ddr(),
+        other => die(&format!("unknown machine `{other}`")),
+    };
+
+    let sweep: Vec<FaultSpec> = if injects.is_empty() {
+        FaultKind::ALL
+            .iter()
+            .flat_map(|&k| {
+                [0.0, 0.25, 0.5, 0.75, 1.0].iter().map(move |&s| FaultSpec::with_seed(k, s, seed))
+            })
+            .collect()
+    } else {
+        injects
+    };
+
+    let mut t = Table::new(&[
+        "fault",
+        "severity",
+        "status",
+        "degraded",
+        "speedup",
+        "matched",
+        "unmatched",
+        "unresolvable",
+        "warnings",
+    ]);
+    for spec in &sweep {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.machine = machine.clone();
+        cfg.policy = policy;
+        cfg.faults = vec![*spec];
+        match run_pipeline(&app, &cfg) {
+            Ok(out) => t.row(vec![
+                spec.kind.name().into(),
+                format!("{:.2}", spec.severity),
+                "ok".into(),
+                out.degraded.to_string(),
+                format!("{:.3}", out.speedup()),
+                out.match_stats.matched.to_string(),
+                out.match_stats.unmatched.to_string(),
+                out.match_stats.unresolvable.to_string(),
+                out.warnings.len().to_string(),
+            ]),
+            Err(e) => t.row(vec![
+                spec.kind.name().into(),
+                format!("{:.2}", spec.severity),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    println!(
+        "== robustness curve: {app_name} on {}, policy {policy:?}, seed {seed:#x} ==\n{}",
+        machine.name,
+        t.render()
+    );
+}

@@ -17,7 +17,11 @@ fn main() {
     let debug_gib = debug_bytes.div_ceil(1 << 30);
 
     let mut t = Table::new(&[
-        "format", "advisor_dram_gib", "speedup", "match_overhead_s", "resident_debug_gib",
+        "format",
+        "advisor_dram_gib",
+        "speedup",
+        "match_overhead_s",
+        "resident_debug_gib",
     ]);
     for (format, gib) in [
         (StackFormat::Bom, 11u64),
@@ -37,7 +41,8 @@ fn main() {
             format!("{:.3}", out.placed.alloc_overhead),
             format!(
                 "{:.2}",
-                (app.binmap.total_debug_info_bytes() * app.ranks as u64) as f64 / (1u64 << 30) as f64
+                (app.binmap.total_debug_info_bytes() * app.ranks as u64) as f64
+                    / (1u64 << 30) as f64
             ),
         ]);
     }

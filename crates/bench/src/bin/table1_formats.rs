@@ -27,9 +27,7 @@ fn main() {
         println!("{line}");
     }
 
-    let hr = advisor
-        .advise(&profile, Algorithm::Base, StackFormat::HumanReadable)
-        .unwrap();
+    let hr = advisor.advise(&profile, Algorithm::Base, StackFormat::HumanReadable).unwrap();
     println!("\n== human-readable format ==");
     let tier_name = |t: TierId| machine.tier(t).name.clone();
     for line in hr.render_text(&profile.binmap, tier_name).lines().take(6) {

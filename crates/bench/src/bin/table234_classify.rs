@@ -40,13 +40,10 @@ fn main() {
     // Representative groups mirroring the paper's object-id ranges.
     let groups: Vec<(&str, Vec<SiteId>)> = vec![
         ("nodal persistents (paper 114-134)", workloads::lulesh::donor_sites()),
-        (
-            "element arrays (paper 139-146)",
-            {
-                let d = workloads::lulesh::persistent_sites();
-                d[d.len() - 8..].to_vec()
-            },
-        ),
+        ("element arrays (paper 139-146)", {
+            let d = workloads::lulesh::persistent_sites();
+            d[d.len() - 8..].to_vec()
+        }),
         ("temporaries (paper 168-179)", workloads::lulesh::temp_sites()),
     ];
 
@@ -66,11 +63,7 @@ fn main() {
         } else {
             region(exec_bw.max(alloc_bw), profile.peak_bw).to_string()
         };
-        t.row(vec![
-            name.to_string(),
-            region(alloc_bw, profile.peak_bw).into(),
-            exec,
-        ]);
+        t.row(vec![name.to_string(), region(alloc_bw, profile.peak_bw).into(), exec]);
     }
     println!("{}", t.render());
 
@@ -80,18 +73,16 @@ fn main() {
         let profs: Vec<_> = sites.iter().filter_map(|s| profile.site(*s)).collect();
         let n = profs.len() as f64;
         let allocs = profs.iter().map(|p| p.alloc_count as f64).sum::<f64>() / n;
-        let lifetime = profs
-            .iter()
-            .map(|p| p.total_lifetime() / p.alloc_count as f64)
-            .sum::<f64>()
-            / n;
+        let lifetime =
+            profs.iter().map(|p| p.total_lifetime() / p.alloc_count as f64).sum::<f64>() / n;
         t.row(vec![name.to_string(), format!("{allocs:.0}"), format!("{lifetime:.1}")]);
     }
     println!("{}", t.render());
 
     println!("\n== Table IV: classification ==");
     let mut t = Table::new(&["category", "sites", "example_sites"]);
-    for cat in [Category::Fitting, Category::StreamingD, Category::Thrashing, Category::Unclassified]
+    for cat in
+        [Category::Fitting, Category::StreamingD, Category::Thrashing, Category::Unclassified]
     {
         let sites = classification.sites_of(cat);
         let examples: Vec<String> = sites.iter().take(5).map(|s| s.to_string()).collect();

@@ -6,7 +6,12 @@ use bench::Table;
 
 fn main() {
     let mut t = Table::new(&[
-        "app", "version", "ranks/threads", "input", "hwm_mb_rank(paper)", "hwm_mb_rank(model)",
+        "app",
+        "version",
+        "ranks/threads",
+        "input",
+        "hwm_mb_rank(paper)",
+        "hwm_mb_rank(model)",
     ]);
     for (spec, model) in workloads::all_specs().iter().zip(workloads::all_models()) {
         let model_hwm = model.high_water_mark() / 1_000_000 / spec.ranks as u64;

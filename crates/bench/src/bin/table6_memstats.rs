@@ -20,13 +20,8 @@ fn main() {
         ("cloverleaf3d", 93.5, 59.2),
         ("lammps", 29.2, 63.5),
     ];
-    let mut t = Table::new(&[
-        "app",
-        "membound_%",
-        "membound_paper_%",
-        "dram_cache_hit_%",
-        "hit_paper_%",
-    ]);
+    let mut t =
+        Table::new(&["app", "membound_%", "membound_paper_%", "dram_cache_hit_%", "hit_paper_%"]);
     for &(name, p_mb, p_hit) in paper {
         let app = workloads::model_by_name(name).unwrap();
         let r = run_memory_mode(&app, &machine);

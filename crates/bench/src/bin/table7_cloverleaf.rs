@@ -41,8 +41,20 @@ fn main() {
     // groups. (Our analytic loaded-latency model saturates DRAM during
     // bandwidth-bound placed phases, so absolute latency ratios compress;
     // the group *ordering* is the preserved signal — see EXPERIMENTS.md.)
-    let promoted = ["advec_cell_kernel", "calc_dt_kernel", "flux_calc_kernel", "pdv_kernel", "viscosity_kernel"];
-    let demoted = ["ideal_gas_kernel", "clover_pack_message_top", "clover_pack_message_front", "reset_field_kernel", "update_halo_kernel"];
+    let promoted = [
+        "advec_cell_kernel",
+        "calc_dt_kernel",
+        "flux_calc_kernel",
+        "pdv_kernel",
+        "viscosity_kernel",
+    ];
+    let demoted = [
+        "ideal_gas_kernel",
+        "clover_pack_message_top",
+        "clover_pack_message_front",
+        "reset_field_kernel",
+        "update_halo_kernel",
+    ];
     let group = |names: &[&str], idx: usize| -> f64 {
         let v: Vec<f64> = rows
             .iter()

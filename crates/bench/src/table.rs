@@ -50,13 +50,7 @@ impl Table {
         };
         let mut out = Vec::with_capacity(self.rows.len() + 2);
         out.push(fmt_row(&self.header));
-        out.push(
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  "),
-        );
+        out.push(widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         for row in &self.rows {
             out.push(fmt_row(row));
         }

@@ -13,15 +13,24 @@ use cli::{ok_or_die, usage_error, Args};
 use memtrace::{StackFormat, TierId};
 
 const USAGE: &str = "ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json] \
-                     [--stores] [--bw-aware] [--format bom|hr] [--text] [--out FILE]";
+                     [--stores] [--bw-aware] [--format bom|hr] [--text] [--out FILE] \
+                     [--lenient]";
 
 fn main() {
     let args = Args::from_env();
     let Some(path) = args.positional.first() else {
         usage_error("ecohmem-advise", "missing trace file", USAGE);
     };
-    let trace = ok_or_die("ecohmem-advise", cli::load_trace(path));
-    let profile = ok_or_die("ecohmem-advise", profiler::analyze(&trace));
+    let profile = if args.has("lenient") {
+        let (trace, mut warnings) = ok_or_die("ecohmem-advise", cli::load_trace_lenient(path));
+        let (profile, w) = profiler::analyze_lenient(&trace);
+        warnings.extend(w);
+        cli::print_warnings("ecohmem-advise", &warnings);
+        profile
+    } else {
+        let trace = ok_or_die("ecohmem-advise", cli::load_trace(path));
+        ok_or_die("ecohmem-advise", profiler::analyze(&trace))
+    };
 
     let config = if let Some(cfg_path) = args.opt("config") {
         let text = ok_or_die("ecohmem-advise", std::fs::read_to_string(cfg_path));
@@ -34,11 +43,7 @@ fn main() {
             AdvisorConfig::loads_only(gib)
         }
     };
-    let algorithm = if args.has("bw-aware") {
-        Algorithm::BandwidthAware
-    } else {
-        Algorithm::Base
-    };
+    let algorithm = if args.has("bw-aware") { Algorithm::BandwidthAware } else { Algorithm::Base };
     let format = match args.opt("format").unwrap_or("bom") {
         "bom" => StackFormat::Bom,
         "hr" | "human-readable" => StackFormat::HumanReadable,
@@ -54,7 +59,11 @@ fn main() {
         .unwrap_or_else(|| format!("{}.report.json", profile.app_name));
     if args.has("text") {
         let text = report.render_text(&profile.binmap, |t| {
-            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
+            if t == TierId::DRAM {
+                "dram".into()
+            } else {
+                "pmem".into()
+            }
         });
         ok_or_die("ecohmem-advise", std::fs::write(&out, text + "\n"));
     } else {

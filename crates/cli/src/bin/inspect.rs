@@ -7,15 +7,24 @@
 
 use cli::{ok_or_die, usage_error, Args};
 
-const USAGE: &str = "ecohmem-inspect <trace.json> [--top N] [--bw-series] [--timeline]";
+const USAGE: &str = "ecohmem-inspect <trace.json> [--top N] [--bw-series] [--timeline] [--lenient]";
 
 fn main() {
     let args = Args::from_env();
     let Some(path) = args.positional.first() else {
         usage_error("ecohmem-inspect", "missing trace file", USAGE);
     };
-    let trace = ok_or_die("ecohmem-inspect", cli::load_trace(path));
-    let profile = ok_or_die("ecohmem-inspect", profiler::analyze(&trace));
+    let (trace, profile) = if args.has("lenient") {
+        let (trace, mut warnings) = ok_or_die("ecohmem-inspect", cli::load_trace_lenient(path));
+        let (profile, w) = profiler::analyze_lenient(&trace);
+        warnings.extend(w);
+        cli::print_warnings("ecohmem-inspect", &warnings);
+        (trace, profile)
+    } else {
+        let trace = ok_or_die("ecohmem-inspect", cli::load_trace(path));
+        let profile = ok_or_die("ecohmem-inspect", profiler::analyze(&trace));
+        (trace, profile)
+    };
 
     println!(
         "application {} — {} ranks, {:.1}s, {} sites, peak off-chip bw {:.2} GB/s",
@@ -28,7 +37,7 @@ fn main() {
 
     let top = args.opt_or("top", 15usize);
     let mut ranked: Vec<_> = profile.sites.iter().collect();
-    ranked.sort_by(|a, b| b.load_misses_est.partial_cmp(&a.load_misses_est).unwrap());
+    ranked.sort_by(|a, b| b.load_misses_est.total_cmp(&a.load_misses_est));
     println!(
         "\n{:>6} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>12}",
         "site", "allocs", "maxMB", "totalMB", "loadMiss", "storeMiss", "life_s", "bw@alloc"

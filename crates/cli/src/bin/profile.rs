@@ -29,29 +29,18 @@ fn main() {
         sampling_hz: args.opt_or("rate", 100.0),
         seed: args.opt_or("seed", ProfilerConfig::default().seed),
     };
-    let out = args
-        .opt("out")
-        .map(String::from)
-        .unwrap_or_else(|| format!("{app_name}.trace.json"));
+    let out = args.opt("out").map(String::from).unwrap_or_else(|| format!("{app_name}.trace.json"));
 
     eprintln!(
         "profiling {app_name} on {} at {} Hz (memory mode, as a user would)...",
         machine.name, cfg.sampling_hz
     );
     let backing = machine.largest_tier();
-    let (trace, result) = profile_run(
-        &app,
-        &machine,
-        ExecMode::MemoryMode,
-        &mut FixedTier::new(backing),
-        &cfg,
-    );
+    let (trace, result) =
+        profile_run(&app, &machine, ExecMode::MemoryMode, &mut FixedTier::new(backing), &cfg);
     if args.has("binary") {
         let f = ok_or_die("ecohmem-profile", std::fs::File::create(&out));
-        ok_or_die(
-            "ecohmem-profile",
-            memtrace::write_trace(&trace, std::io::BufWriter::new(f)),
-        );
+        ok_or_die("ecohmem-profile", memtrace::write_trace(&trace, std::io::BufWriter::new(f)));
     } else {
         ok_or_die("ecohmem-profile", trace.save(&out));
     }

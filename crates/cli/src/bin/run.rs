@@ -11,8 +11,8 @@ use flexmalloc::FlexMalloc;
 use memsim::{run, ExecMode};
 use memtrace::PlacementReport;
 
-const USAGE: &str =
-    "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] [--no-baseline]";
+const USAGE: &str = "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] \
+                     [--no-baseline] [--lenient]";
 
 fn main() {
     let args = Args::from_env();
@@ -30,14 +30,19 @@ fn main() {
         usage_error("ecohmem-run", &format!("unknown machine `{machine_name}`"), USAGE);
     };
     let report = ok_or_die("ecohmem-run", PlacementReport::load(report_path));
-    ok_or_die("ecohmem-run", report.validate());
 
     // A production run gets a fresh ASLR layout — matching must survive it.
     let aslr = args.opt_or("aslr", 0xec0_u64);
-    let mut interposer = ok_or_die(
-        "ecohmem-run",
-        FlexMalloc::new(&report, &app.binmap, aslr, app.ranks),
-    );
+    let mut interposer = if args.has("lenient") {
+        // Stale or partially unresolvable reports degrade to fallback
+        // placement instead of aborting the run.
+        let (fm, warnings) = FlexMalloc::new_lenient(&report, &app.binmap, aslr, app.ranks);
+        cli::print_warnings("ecohmem-run", &warnings);
+        fm
+    } else {
+        ok_or_die("ecohmem-run", report.validate());
+        ok_or_die("ecohmem-run", FlexMalloc::new(&report, &app.binmap, aslr, app.ranks))
+    };
     let placed = run(&app, &machine, ExecMode::AppDirect, &mut interposer);
     println!(
         "{app_name} under flexmalloc ({}): {:.2}s wall, {} matched / {} fallback allocations",

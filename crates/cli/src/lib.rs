@@ -18,7 +18,7 @@
 //! the built-in presets (`pmem6`, `pmem2`, `hbm`).
 
 use memsim::MachineConfig;
-use memtrace::{TraceError, TraceFile};
+use memtrace::{TraceError, TraceFile, Warning};
 use std::collections::HashMap;
 
 /// Minimal flag parser: positional arguments plus `--key value` /
@@ -86,6 +86,30 @@ pub fn load_trace(path: &str) -> Result<TraceFile, TraceError> {
         TraceFile::from_json(std::str::from_utf8(&data).map_err(|e| {
             TraceError::Malformed(format!("trace is neither binary nor UTF-8 JSON: {e}"))
         })?)
+    }
+}
+
+/// Loads a trace file leniently, sniffing the binary magic like
+/// [`load_trace`]: a truncated JSON tail is repaired when possible, and
+/// malformed events are dropped with warnings instead of failing the load.
+pub fn load_trace_lenient(path: &str) -> Result<(TraceFile, Vec<Warning>), TraceError> {
+    let data = std::fs::read(path)?;
+    if data.starts_with(b"ECOHMEM\0") {
+        let mut trace = memtrace::read_trace(&data[..])?;
+        let warnings = trace.sanitize();
+        Ok((trace, warnings))
+    } else {
+        let (mut trace, mut warnings) =
+            TraceFile::from_json_lenient(&String::from_utf8_lossy(&data))?;
+        warnings.extend(trace.sanitize());
+        Ok((trace, warnings))
+    }
+}
+
+/// Prints accumulated warnings to stderr, one per line.
+pub fn print_warnings(tool: &str, warnings: &[Warning]) {
+    for w in warnings {
+        eprintln!("{tool}: warning: {w}");
     }
 }
 

@@ -34,10 +34,7 @@ fn full_toolchain_round_trip() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(trace.exists());
 
-    let out = bin("inspect")
-        .args([trace.to_str().unwrap(), "--top", "3"])
-        .output()
-        .unwrap();
+    let out = bin("inspect").args([trace.to_str().unwrap(), "--top", "3"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("application minife"), "{stdout}");
@@ -49,10 +46,7 @@ fn full_toolchain_round_trip() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(report.exists());
 
-    let out = bin("run")
-        .args(["minife", "--report", report.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = bin("run").args(["minife", "--report", report.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("speedup"), "{stdout}");

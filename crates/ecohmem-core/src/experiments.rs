@@ -1,6 +1,6 @@
 //! Experiment sweeps: the grids behind Fig. 6 and Table VIII.
 
-use crate::pipeline::{run_pipeline, PipelineConfig};
+use crate::pipeline::{run_pipeline, DegradationPolicy, PipelineConfig};
 use advisor::{AdvisorConfig, Algorithm};
 use memsim::{AppModel, MachineConfig};
 use memtrace::StackFormat;
@@ -63,11 +63,7 @@ pub struct SweepCell {
 
 /// Runs a grid of pipeline configurations over a set of applications,
 /// parallelized across cells with scoped threads.
-pub fn sweep(
-    apps: &[AppModel],
-    machine: &MachineConfig,
-    specs: &[SweepSpec],
-) -> Vec<SweepCell> {
+pub fn sweep(apps: &[AppModel], machine: &MachineConfig, specs: &[SweepSpec]) -> Vec<SweepCell> {
     let jobs: Vec<(usize, &AppModel, SweepSpec)> = apps
         .iter()
         .flat_map(|app| specs.iter().map(move |s| (*s, app)))
@@ -75,10 +71,8 @@ pub fn sweep(
         .map(|(i, (s, app))| (i, app, s))
         .collect();
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
     let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
 
@@ -97,11 +91,7 @@ pub fn sweep(
     })
     .expect("sweep worker panicked");
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|c| c.expect("every job ran"))
-        .collect()
+    results.into_inner().into_iter().map(|c| c.expect("every job ran")).collect()
 }
 
 /// Runs one sweep cell.
@@ -115,6 +105,8 @@ pub fn run_cell(app: &AppModel, machine: &MachineConfig, spec: SweepSpec) -> Swe
         thresholds: Default::default(),
         profile_aslr_seed: 101,
         deploy_aslr_seed: 202,
+        policy: DegradationPolicy::Strict,
+        faults: Vec::new(),
     };
     let out = run_pipeline(app, &cfg).expect("pipeline runs on valid models");
     SweepCell {

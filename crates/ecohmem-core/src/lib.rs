@@ -24,4 +24,4 @@ pub mod experiments;
 pub mod pipeline;
 
 pub use experiments::{sweep, SweepCell, SweepSpec};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineOutcome};
+pub use pipeline::{run_pipeline, DegradationPolicy, PipelineConfig, PipelineOutcome};

@@ -3,8 +3,28 @@
 use advisor::{Advisor, AdvisorConfig, Algorithm, BwThresholds, Classification};
 use flexmalloc::{FlexMalloc, MatchStats};
 use memsim::{run, AppModel, ExecMode, FixedTier, MachineConfig, RunResult};
-use memtrace::{PlacementReport, StackFormat, TraceError, TraceFile};
-use profiler::{analyze, profile_run, ProfileSet, ProfilerConfig};
+use memtrace::{
+    FaultSpec, FaultTarget, PlacementReport, StackFormat, TraceError, TraceFile, Warning,
+    WarningKind,
+};
+use profiler::{analyze, analyze_lenient, profile_run, ProfileSet, ProfilerConfig};
+
+/// How the pipeline reacts to damaged intermediate artifacts — a truncated
+/// or corrupt trace, a stale or unresolvable placement report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Fail fast on the first malformed artifact (today's default — the
+    /// behavior every paper experiment runs under).
+    #[default]
+    Strict,
+    /// Salvage what is recoverable, but still fail when a stage is left
+    /// with nothing usable (all events dropped, no report entry resolves).
+    Warn,
+    /// Never fail: an unusable stage degrades to the empty artifact, which
+    /// places every allocation in the fallback tier — a slower run, never
+    /// an aborted one.
+    BestEffort,
+}
 
 /// Everything a pipeline run needs.
 #[derive(Debug, Clone)]
@@ -27,6 +47,11 @@ pub struct PipelineConfig {
     /// ASLR seed of the production (deployed) execution — deliberately
     /// different: matching must survive relocation.
     pub deploy_aslr_seed: u64,
+    /// How to react to damaged intermediate artifacts.
+    pub policy: DegradationPolicy,
+    /// Deterministic faults injected into the intermediate artifacts
+    /// (robustness experiments only; empty in production use).
+    pub faults: Vec<FaultSpec>,
 }
 
 impl PipelineConfig {
@@ -42,6 +67,8 @@ impl PipelineConfig {
             thresholds: BwThresholds::default(),
             profile_aslr_seed: 101,
             deploy_aslr_seed: 202,
+            policy: DegradationPolicy::Strict,
+            faults: Vec::new(),
         }
     }
 }
@@ -63,6 +90,12 @@ pub struct PipelineOutcome {
     pub memory_mode: RunResult,
     /// FlexMalloc matching statistics of the placed run.
     pub match_stats: MatchStats,
+    /// True when any stage degraded: a lenient path repaired or dropped
+    /// something, or a fault injector mutated an artifact.
+    pub degraded: bool,
+    /// Everything the lenient paths repaired, dropped or fell back on
+    /// (always empty under [`DegradationPolicy::Strict`] with no faults).
+    pub warnings: Vec<Warning>,
 }
 
 impl PipelineOutcome {
@@ -74,37 +107,98 @@ impl PipelineOutcome {
 }
 
 /// Runs the full pipeline for one application.
+///
+/// Under [`DegradationPolicy::Strict`] any malformed artifact aborts the
+/// run, exactly as before. The lenient policies salvage damaged artifacts
+/// stage by stage, collect [`Warning`]s, and set
+/// [`PipelineOutcome::degraded`]; `BestEffort` always completes — in the
+/// worst case with an all-fallback placement, which is a slower run, not a
+/// failed one.
 pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutcome, TraceError> {
+    let mut warnings: Vec<Warning> = Vec::new();
+
     // 1. Profile: the paper profiles the production-ready binary on the
     // target machine; the memory mode it runs under does not change the
     // LLC-miss statistics the Advisor consumes.
     let backing = cfg.machine.largest_tier();
-    let (trace, _profiling_run) = profile_run(
+    let (mut trace, _profiling_run) = profile_run(
         app,
         &cfg.machine,
         ExecMode::MemoryMode,
         &mut FixedTier::new(backing),
         &cfg.profiler,
     );
+    for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Trace) {
+        warnings.extend(f.apply_to_trace(&mut trace));
+    }
 
-    // 2. Analyze (Paramedir).
-    let profile = analyze(&trace)?;
+    // 2. Analyze (Paramedir). Strict fails on the first malformed event;
+    // the lenient policies sanitize the trace and analyze the remainder.
+    let profile = match cfg.policy {
+        DegradationPolicy::Strict => analyze(&trace)?,
+        policy => {
+            let events_before = trace.events.len();
+            warnings.extend(trace.sanitize());
+            if policy == DegradationPolicy::Warn && trace.events.is_empty() && events_before > 0 {
+                return Err(TraceError::Malformed(format!(
+                    "trace unusable after sanitization: all {events_before} events dropped"
+                )));
+            }
+            let (p, w) = analyze_lenient(&trace);
+            warnings.extend(w);
+            p
+        }
+    };
 
     // 3. Advise.
     let advisor = Advisor::new(cfg.advisor.clone()).with_thresholds(cfg.thresholds);
     let (_, classification) = advisor.assign(&profile, cfg.algorithm);
-    let report = advisor.advise(&profile, cfg.algorithm, cfg.stack_format)?;
+    let mut report = match advisor.advise(&profile, cfg.algorithm, cfg.stack_format) {
+        Ok(r) => r,
+        Err(e) if cfg.policy == DegradationPolicy::BestEffort => {
+            warnings.push(Warning::new(
+                WarningKind::UnusableReport,
+                format!("advisor failed ({e}); deploying an all-fallback placement"),
+            ));
+            PlacementReport::new(cfg.stack_format, cfg.advisor.fallback)
+        }
+        Err(e) => return Err(e),
+    };
+    for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Report) {
+        warnings.extend(f.apply_to_report(&mut report));
+    }
 
     // 4. Deploy: same binary, new execution, new ASLR layout, FlexMalloc
-    // interposing with the report.
-    let mut interposer =
-        FlexMalloc::new(&report, &app.binmap, cfg.deploy_aslr_seed, app.ranks)?;
+    // interposing with the report. A stale report aborts Strict runs; the
+    // lenient policies drop unresolvable entries so their allocations take
+    // the fallback tier, and Warn still refuses a report with nothing left.
+    let mut interposer = match cfg.policy {
+        DegradationPolicy::Strict => {
+            FlexMalloc::new(&report, &app.binmap, cfg.deploy_aslr_seed, app.ranks)?
+        }
+        policy => {
+            let (fm, w) =
+                FlexMalloc::new_lenient(&report, &app.binmap, cfg.deploy_aslr_seed, app.ranks);
+            warnings.extend(w);
+            if policy == DegradationPolicy::Warn
+                && !report.is_empty()
+                && fm.stats().unresolvable as usize == report.len()
+            {
+                return Err(TraceError::Malformed(format!(
+                    "placement report unusable: 0 of {} entries resolve in this process image",
+                    report.len()
+                )));
+            }
+            fm
+        }
+    };
     let placed = run(app, &cfg.machine, ExecMode::AppDirect, &mut interposer);
     let match_stats = interposer.stats();
 
     // 5. Baseline for comparison.
     let memory_mode = baselines::run_memory_mode(app, &cfg.machine);
 
+    let degraded = !warnings.is_empty();
     Ok(PipelineOutcome {
         trace,
         profile,
@@ -113,6 +207,8 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
         placed,
         memory_mode,
         match_stats,
+        degraded,
+        warnings,
     })
 }
 
@@ -131,6 +227,61 @@ mod tests {
         // binary.
         assert_eq!(out.match_stats.unmatched, 0);
         assert!(out.match_stats.matched > 0);
+        // A healthy Strict run is never degraded.
+        assert!(!out.degraded);
+        assert!(out.warnings.is_empty());
+    }
+
+    #[test]
+    fn best_effort_completes_under_every_injector_at_full_severity() {
+        use memtrace::FaultKind;
+        let app = workloads::minife::model();
+        for kind in FaultKind::ALL {
+            for severity in [0.5, 1.0] {
+                let mut cfg = PipelineConfig::paper_default();
+                cfg.policy = DegradationPolicy::BestEffort;
+                cfg.faults = vec![FaultSpec::new(kind, severity)];
+                let out = run_pipeline(&app, &cfg)
+                    .unwrap_or_else(|e| panic!("{kind}@{severity} failed BestEffort: {e}"));
+                if severity == 1.0 {
+                    assert!(out.degraded, "{kind}@1.0 should flag degradation");
+                    assert!(!out.warnings.is_empty());
+                }
+                let s = out.speedup();
+                assert!(s.is_finite() && s > 0.0, "{kind}@{severity}: speedup {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_fails_on_faults_that_break_validation() {
+        use memtrace::FaultKind;
+        let app = workloads::hpcg::model();
+        for kind in
+            [FaultKind::CorruptTimestamps, FaultKind::FreeBeforeAlloc, FaultKind::DropModules]
+        {
+            let mut cfg = PipelineConfig::paper_default();
+            cfg.faults = vec![FaultSpec::new(kind, 1.0)];
+            assert!(run_pipeline(&app, &cfg).is_err(), "{kind} should abort a Strict run");
+        }
+    }
+
+    #[test]
+    fn warn_salvages_partial_damage_but_rejects_a_dead_report() {
+        use memtrace::FaultKind;
+        let app = workloads::minife::model();
+
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.policy = DegradationPolicy::Warn;
+        cfg.faults = vec![FaultSpec::new(FaultKind::DropSamples, 0.5)];
+        let out = run_pipeline(&app, &cfg).unwrap();
+        assert!(out.degraded);
+
+        cfg.faults = vec![FaultSpec::new(FaultKind::DropModules, 1.0)];
+        assert!(
+            run_pipeline(&app, &cfg).is_err(),
+            "Warn must reject a report with no resolvable entry"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::matching::{MatchStats, Matcher};
 use memsim::policy::{AllocContext, PlacementPolicy};
-use memtrace::{BinaryMap, LoadMap, PlacementReport, TierId, TraceError};
+use memtrace::{BinaryMap, LoadMap, PlacementReport, TierId, TraceError, Warning};
 
 /// FlexMalloc: intercepts every allocation, matches its call stack against
 /// the Advisor report, and routes it to the assigned tier's heap manager.
@@ -39,6 +39,25 @@ impl FlexMalloc {
             stats: MatchStats::default(),
             name,
         })
+    }
+
+    /// Lenient initialization: never fails. Report entries that cannot be
+    /// resolved in this process image — a stale report after a rebuild —
+    /// are dropped and counted in [`MatchStats::unresolvable`]; their
+    /// allocations take the fallback tier at runtime, the same graceful
+    /// path FlexMalloc has always used for unlisted stacks.
+    pub fn new_lenient(
+        report: &PlacementReport,
+        binmap: &BinaryMap,
+        aslr_seed: u64,
+        ranks: u32,
+    ) -> (Self, Vec<Warning>) {
+        let layout = LoadMap::randomize(binmap, aslr_seed);
+        let (matcher, warnings) = Matcher::new_lenient(report, binmap, &layout);
+        let name = format!("flexmalloc-{}", matcher.format());
+        let stats =
+            MatchStats { unresolvable: matcher.unresolvable_entries(), ..MatchStats::default() };
+        (FlexMalloc { matcher, binmap: binmap.clone(), layout, ranks, stats, name }, warnings)
     }
 
     /// Matching statistics so far.
@@ -95,9 +114,7 @@ impl PlacementPolicy for FlexMalloc {
 mod tests {
     use super::*;
     use memsim::{run, ExecMode, MachineConfig};
-    use memtrace::{
-        CallStack, Frame, ModuleId, ReportEntry, ReportStack, SiteId, StackFormat,
-    };
+    use memtrace::{CallStack, Frame, ModuleId, ReportEntry, ReportStack, SiteId, StackFormat};
 
     fn toy_app() -> memsim::AppModel {
         let mut b = memtrace::BinaryMapBuilder::new();
@@ -156,8 +173,7 @@ mod tests {
         let app = toy_app();
         let mach = MachineConfig::optane_pmem6();
         for seed in [1, 99, 12345] {
-            let mut fm =
-                FlexMalloc::new(&report_for_toy(), &app.binmap, seed, app.ranks).unwrap();
+            let mut fm = FlexMalloc::new(&report_for_toy(), &app.binmap, seed, app.ranks).unwrap();
             let result = run(&app, &mach, ExecMode::AppDirect, &mut fm);
             assert_eq!(result.objects_in_tier(memtrace::TierId::DRAM).len(), 1);
         }
@@ -177,6 +193,26 @@ mod tests {
         let app = toy_app();
         let fm = FlexMalloc::new(&report_for_toy(), &app.binmap, 1, app.ranks).unwrap();
         assert_eq!(fm.resident_dram_bytes(), 0);
+    }
+
+    #[test]
+    fn lenient_init_survives_a_fully_stale_report() {
+        let app = toy_app();
+        let mach = MachineConfig::optane_pmem6();
+        let mut stale = report_for_toy();
+        for e in &mut stale.entries {
+            if let ReportStack::Bom(s) = &mut e.stack {
+                *s = CallStack::new(vec![Frame::new(ModuleId(400), 0x40)]);
+            }
+        }
+        assert!(FlexMalloc::new(&stale, &app.binmap, 42, app.ranks).is_err());
+        let (mut fm, warnings) = FlexMalloc::new_lenient(&stale, &app.binmap, 42, app.ranks);
+        assert!(!warnings.is_empty());
+        assert_eq!(fm.stats().unresolvable, 1);
+        let result = run(&app, &mach, ExecMode::AppDirect, &mut fm);
+        // Everything falls back: degraded placement, completed run.
+        assert_eq!(result.objects_in_tier(memtrace::TierId::PMEM).len(), 4);
+        assert_eq!(fm.stats().matched, 0);
     }
 
     #[test]

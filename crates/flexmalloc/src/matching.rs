@@ -2,10 +2,10 @@
 //! formats, with the §VI cost model.
 
 use memtrace::{
-    BinaryMap, CallStack, LoadMap, PlacementReport, ReportStack, StackFormat, TierId,
-    TraceError,
+    BinaryMap, CallStack, LoadMap, PlacementReport, ReportStack, StackFormat, TierId, TraceError,
+    Warning, WarningKind,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Matching statistics maintained by the interposer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -14,6 +14,10 @@ pub struct MatchStats {
     pub matched: u64,
     /// Allocations that fell back (unlisted stack).
     pub unmatched: u64,
+    /// Report entries dropped at initialization by the lenient
+    /// constructor — stale stacks that do not resolve in this process
+    /// image. Their allocations take the fallback path at runtime.
+    pub unresolvable: u64,
 }
 
 /// A report matcher bound to one process image (ASLR layout).
@@ -30,6 +34,9 @@ pub struct Matcher {
     cost_per_alloc: f64,
     /// Resident debug-information bytes (HR mode only), per rank.
     debug_info_bytes: u64,
+    /// Entries the lenient constructor dropped as unresolvable (0 when the
+    /// strict constructor succeeded).
+    unresolvable_entries: u64,
 }
 
 /// BOM: a few address comparisons plus a hash — ~100 ns per allocation.
@@ -53,53 +60,124 @@ impl Matcher {
         layout: &LoadMap,
     ) -> Result<Self, TraceError> {
         report.validate()?;
+        Self::build(report, binmap, layout, false).map(|(m, _)| m)
+    }
+
+    /// Lenient variant of [`Self::new`]: never fails. Entries that cannot
+    /// be resolved against this process image (stale reports after a
+    /// rebuild), duplicate stacks (first occurrence wins) and entries in
+    /// the wrong format are dropped and reported as warnings; their
+    /// allocations take the fallback path at runtime, exactly as unlisted
+    /// stacks always have.
+    pub fn new_lenient(
+        report: &PlacementReport,
+        binmap: &BinaryMap,
+        layout: &LoadMap,
+    ) -> (Self, Vec<Warning>) {
+        Self::build(report, binmap, layout, true)
+            .expect("lenient matcher construction is infallible")
+    }
+
+    fn build(
+        report: &PlacementReport,
+        binmap: &BinaryMap,
+        layout: &LoadMap,
+        lenient: bool,
+    ) -> Result<(Self, Vec<Warning>), TraceError> {
         let mut by_address = HashMap::new();
         let mut by_location = HashMap::new();
-        let mut avg_depth = 0.0;
+        let mut seen: HashSet<&ReportStack> = HashSet::new();
+        let mut depth_sum = 0.0;
+        let mut used = 0usize;
+        let mut unresolvable = 0u64;
+        let mut duplicates = 0u64;
+        let mut mixed = 0u64;
         for entry in &report.entries {
-            avg_depth += entry.stack.depth() as f64;
+            if entry.stack.format() != report.format {
+                // Strict construction pre-validates, which rejects this.
+                mixed += 1;
+                continue;
+            }
+            if !seen.insert(&entry.stack) {
+                duplicates += 1;
+                continue;
+            }
             match &entry.stack {
-                ReportStack::Bom(stack) => {
-                    let abs = layout
-                        .absolutize(stack)
-                        .ok_or(TraceError::Malformed(
+                ReportStack::Bom(stack) => match layout.absolutize(stack) {
+                    Some(abs) => {
+                        by_address.insert(abs, entry.tier);
+                        depth_sum += entry.stack.depth() as f64;
+                        used += 1;
+                    }
+                    None if lenient => unresolvable += 1,
+                    None => {
+                        return Err(TraceError::Malformed(
                             "report references a module absent from this process".into(),
-                        ))?;
-                    by_address.insert(abs, entry.tier);
-                }
+                        ))
+                    }
+                },
                 ReportStack::Human(h) => {
                     by_location.insert(h.render(), entry.tier);
+                    depth_sum += entry.stack.depth() as f64;
+                    used += 1;
                 }
             }
         }
-        if !report.entries.is_empty() {
-            avg_depth /= report.entries.len() as f64;
-        }
+        let avg_depth = if used > 0 { depth_sum / used as f64 } else { 0.0 };
 
         let (cost_per_alloc, debug_info_bytes) = match report.format {
             StackFormat::Bom => (BOM_COST_PER_FRAME * avg_depth.max(1.0), 0),
             StackFormat::HumanReadable => {
-                let text_mib: f64 = binmap
-                    .modules()
-                    .iter()
-                    .map(|m| m.text_size as f64 / (1 << 20) as f64)
-                    .sum();
+                let text_mib: f64 =
+                    binmap.modules().iter().map(|m| m.text_size as f64 / (1 << 20) as f64).sum();
                 (
-                    (HR_BASE_COST_PER_FRAME + HR_COST_PER_TEXT_MIB * text_mib)
-                        * avg_depth.max(1.0),
+                    (HR_BASE_COST_PER_FRAME + HR_COST_PER_TEXT_MIB * text_mib) * avg_depth.max(1.0),
                     binmap.total_debug_info_bytes(),
                 )
             }
         };
 
-        Ok(Matcher {
-            format: report.format,
-            fallback: report.fallback,
-            by_address,
-            by_location,
-            cost_per_alloc,
-            debug_info_bytes,
-        })
+        let mut warnings = Vec::new();
+        if mixed > 0 {
+            warnings.push(Warning::new(
+                WarningKind::MixedFormatEntry,
+                format!("{mixed} entry(s) in the wrong stack format were ignored"),
+            ));
+        }
+        if duplicates > 0 {
+            warnings.push(Warning::new(
+                WarningKind::DuplicateEntry,
+                format!("{duplicates} duplicate stack(s) ignored; first occurrence wins"),
+            ));
+        }
+        if unresolvable > 0 {
+            warnings.push(Warning::new(
+                WarningKind::UnresolvableEntry,
+                format!(
+                    "{unresolvable} of {} report entries do not resolve in this process \
+                     image; their allocations will fall back",
+                    report.len()
+                ),
+            ));
+        }
+
+        Ok((
+            Matcher {
+                format: report.format,
+                fallback: report.fallback,
+                by_address,
+                by_location,
+                cost_per_alloc,
+                debug_info_bytes,
+                unresolvable_entries: unresolvable,
+            },
+            warnings,
+        ))
+    }
+
+    /// Entries dropped at initialization as unresolvable (lenient mode).
+    pub fn unresolvable_entries(&self) -> u64 {
+        self.unresolvable_entries
     }
 
     /// The report's stack format.
@@ -174,19 +252,13 @@ mod tests {
     fn bom_matching_is_aslr_invariant() {
         let map = image();
         let report = bom_report();
-        let stack = CallStack::new(vec![
-            Frame::new(ModuleId(1), 0x400),
-            Frame::new(ModuleId(0), 0x80),
-        ]);
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(1), 0x400), Frame::new(ModuleId(0), 0x80)]);
         for seed in [1, 2, 3] {
             let layout = LoadMap::randomize(&map, seed);
             let m = Matcher::new(&report, &map, &layout).unwrap();
             let captured = layout.absolutize(&stack).unwrap();
-            assert_eq!(
-                m.match_stack(&captured, &map, &layout),
-                Some(TierId::DRAM),
-                "seed {seed}"
-            );
+            assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM), "seed {seed}");
         }
     }
 
@@ -207,10 +279,8 @@ mod tests {
         let layout = LoadMap::randomize(&map, 5);
         let hr = bom_report().to_human_readable(&map).unwrap();
         let m = Matcher::new(&hr, &map, &layout).unwrap();
-        let stack = CallStack::new(vec![
-            Frame::new(ModuleId(1), 0x400),
-            Frame::new(ModuleId(0), 0x80),
-        ]);
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(1), 0x400), Frame::new(ModuleId(0), 0x80)]);
         let captured = layout.absolutize(&stack).unwrap();
         assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
     }
@@ -260,5 +330,73 @@ mod tests {
             max_size: 1,
         });
         assert!(Matcher::new(&r, &map, &layout).is_err());
+    }
+
+    #[test]
+    fn lenient_drops_foreign_entries_and_keeps_the_rest() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let mut r = bom_report();
+        r.push(ReportEntry {
+            stack: ReportStack::Bom(CallStack::new(vec![Frame::new(ModuleId(7), 0)])),
+            tier: TierId::DRAM,
+            max_size: 1,
+        });
+        let (m, warnings) = Matcher::new_lenient(&r, &map, &layout);
+        assert_eq!(m.unresolvable_entries(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::UnresolvableEntry);
+        // The resolvable entry still matches.
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(1), 0x400), Frame::new(ModuleId(0), 0x80)]);
+        let captured = layout.absolutize(&stack).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+    }
+
+    #[test]
+    fn lenient_keeps_first_of_duplicate_stacks() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let mut r = bom_report();
+        let mut dup = r.entries[0].clone();
+        dup.tier = TierId::PMEM; // conflicting duplicate
+        r.entries.push(dup);
+        assert!(Matcher::new(&r, &map, &layout).is_err(), "strict still rejects");
+        let (m, warnings) = Matcher::new_lenient(&r, &map, &layout);
+        assert!(warnings.iter().any(|w| w.kind == WarningKind::DuplicateEntry));
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(1), 0x400), Frame::new(ModuleId(0), 0x80)]);
+        let captured = layout.absolutize(&stack).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+    }
+
+    #[test]
+    fn lenient_on_a_clean_report_is_warning_free() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let (m, warnings) = Matcher::new_lenient(&bom_report(), &map, &layout);
+        assert!(warnings.is_empty());
+        assert_eq!(m.unresolvable_entries(), 0);
+        let strict = Matcher::new(&bom_report(), &map, &layout).unwrap();
+        assert_eq!(m.cost_per_alloc(), strict.cost_per_alloc());
+    }
+
+    #[test]
+    fn lenient_on_a_fully_stale_report_matches_nothing() {
+        let map = image();
+        let layout = LoadMap::randomize(&map, 5);
+        let mut r = bom_report();
+        for e in &mut r.entries {
+            if let ReportStack::Bom(s) = &mut e.stack {
+                *s = CallStack::new(vec![Frame::new(ModuleId(99), 0)]);
+            }
+        }
+        let (m, warnings) = Matcher::new_lenient(&r, &map, &layout);
+        assert_eq!(m.unresolvable_entries(), r.len() as u64);
+        assert!(!warnings.is_empty());
+        let stack = CallStack::new(vec![Frame::new(ModuleId(0), 0x80)]);
+        let captured = layout.absolutize(&stack).unwrap();
+        assert_eq!(m.match_stack(&captured, &map, &layout), None);
+        assert_eq!(m.fallback(), TierId::PMEM);
     }
 }

@@ -85,16 +85,13 @@ pub fn split_streams(
     let mut coverage = vec![0.0_f64; n];
     let mut remaining = cache;
     for _ in 0..6 {
-        let active: Vec<usize> = (0..n)
-            .filter(|&i| streams[i].footprint > 0.0 && coverage[i] < 1.0 - 1e-9)
-            .collect();
+        let active: Vec<usize> =
+            (0..n).filter(|&i| streams[i].footprint > 0.0 && coverage[i] < 1.0 - 1e-9).collect();
         if active.is_empty() || remaining <= 1.0 {
             break;
         }
-        let total_intensity: f64 = active
-            .iter()
-            .map(|&i| streams[i].load_misses + streams[i].store_misses)
-            .sum();
+        let total_intensity: f64 =
+            active.iter().map(|&i| streams[i].load_misses + streams[i].store_misses).sum();
         if total_intensity <= 0.0 {
             // No intensity information: split evenly.
             let share = remaining / active.len() as f64;
@@ -125,9 +122,7 @@ pub fn split_streams(
         .map(|(i, s)| {
             let cov = if s.footprint > 0.0 { coverage[i].min(1.0) } else { 1.0 };
             let reuse_cap = if s.reuse > 1.0 { 1.0 - 1.0 / s.reuse } else { 0.0 };
-            let hit = (cov * s.pattern.cache_conflict_factor())
-                .min(reuse_cap)
-                .clamp(0.0, 1.0);
+            let hit = (cov * s.pattern.cache_conflict_factor()).min(reuse_cap).clamp(0.0, 1.0);
             let dram_hits = s.load_misses * hit;
             let pmem_misses = s.load_misses - dram_hits;
             // Stores land in the cache; dirty lines belonging to the

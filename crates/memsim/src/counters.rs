@@ -210,10 +210,7 @@ impl RunResult {
 
     /// Peak total bandwidth seen on a tier across phases.
     pub fn tier_peak_bw(&self, tier: TierId) -> f64 {
-        self.tier_bw_series(tier)
-            .into_iter()
-            .map(|(_, bw)| bw)
-            .fold(0.0, f64::max)
+        self.tier_bw_series(tier).into_iter().map(|(_, bw)| bw).fold(0.0, f64::max)
     }
 
     /// Stats for one function.

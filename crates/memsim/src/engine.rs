@@ -86,11 +86,8 @@ pub fn run(
     let cache_tier = machine.tiers_by_performance()[0];
     let backing_tier = machine.largest_tier();
 
-    let mut heaps: Vec<TierHeap> = machine
-        .tiers
-        .iter()
-        .map(|t| TierHeap::new(t.id, t.capacity))
-        .collect();
+    let mut heaps: Vec<TierHeap> =
+        machine.tiers.iter().map(|t| TierHeap::new(t.id, t.capacity)).collect();
     // Policy-resident data (debug info, kernel metadata) pins DRAM.
     let resident = policy.resident_dram_bytes();
     if resident > 0 {
@@ -139,9 +136,7 @@ pub fn run(
 
         // 2. Allocations.
         for op in &phase.allocs {
-            let stack = app
-                .stack_of(op.site)
-                .expect("validated model has stacks for all sites");
+            let stack = app.stack_of(op.site).expect("validated model has stacks for all sites");
             for _ in 0..op.count {
                 let object = ObjectId(next_object);
                 next_object += 1;
@@ -200,7 +195,10 @@ pub fn run(
                     store_misses: 0.0,
                     phase_activity: Vec::new(),
                 });
-                live.insert(object, LiveObject { record, site: op.site, size: op.size, address, tier });
+                live.insert(
+                    object,
+                    LiveObject { record, site: op.site, size: op.size, address, tier },
+                );
                 live_by_site.entry(op.site).or_default().push(object);
             }
         }
@@ -243,11 +241,8 @@ pub fn run(
         let phase_instr: f64 = phase.compute_instructions
             + phase.accesses.iter().map(|a| a.total_instructions()).sum::<f64>();
         total_instructions += phase_instr;
-        let total_misses: f64 = phase
-            .accesses
-            .iter()
-            .map(|a| a.load_misses() + a.store_misses())
-            .sum();
+        let total_misses: f64 =
+            phase.accesses.iter().map(|a| a.load_misses() + a.store_misses()).sum();
         let mem_time = (solution.duration - solution.compute_time).max(0.0);
         // Memory time is attributed by each stream's *latency-weighted*
         // miss volume, so functions whose data sits in the slow tier absorb
@@ -280,8 +275,7 @@ pub fn run(
             let mem_share = if total_weight > 0.0 { weight / total_weight } else { 0.0 };
             let f = functions.entry(spec.function).or_default();
             f.instructions += spec.total_instructions();
-            let stream_time =
-                spec.total_instructions() / machine.peak_ips() + mem_time * mem_share;
+            let stream_time = spec.total_instructions() / machine.peak_ips() + mem_time * mem_share;
             f.cycles += stream_time * machine.cycles_per_second();
             f.load_misses += spec.load_misses();
             f.latency_ns_weighted += spec.load_misses() * lat;
@@ -297,12 +291,7 @@ pub fn run(
             tier_read_bw: solution.tier_read_bw.clone(),
             tier_write_bw: solution.tier_write_bw.clone(),
             dram_cache_hit_ratio: match mode {
-                ExecMode::MemoryMode => Some(phase_hit_ratio(
-                    machine,
-                    phase,
-                    &live,
-                    &live_by_site,
-                )),
+                ExecMode::MemoryMode => Some(phase_hit_ratio(machine, phase, &live, &live_by_site)),
                 ExecMode::AppDirect => None,
             },
             migrated_bytes,
@@ -495,8 +484,7 @@ fn solve_phase(
 ) -> PhaseSolution {
     let _ = app;
     let n = machine.tiers.len();
-    let (read_bytes, write_bytes) =
-        phase_tier_volumes(machine, mode, phase, live, live_by_site);
+    let (read_bytes, write_bytes) = phase_tier_volumes(machine, mode, phase, live, live_by_site);
 
     let phase_instr: f64 = phase.compute_instructions
         + phase.accesses.iter().map(|a| a.total_instructions()).sum::<f64>();
@@ -522,7 +510,12 @@ fn solve_phase(
                 let mlp = machine.mlp_per_core * spec.pattern.mlp_factor();
                 for oid in objs {
                     let tier = live[oid].tier.0 as usize;
-                    terms.push(LatTerm { tier, misses: spec.load_misses() * per, mlp, write: false });
+                    terms.push(LatTerm {
+                        tier,
+                        misses: spec.load_misses() * per,
+                        mlp,
+                        write: false,
+                    });
                     terms.push(LatTerm {
                         tier,
                         misses: spec.store_misses() * per,
@@ -549,7 +542,12 @@ fn solve_phase(
                 .collect();
             for (spec, split) in specs.iter().zip(&splits) {
                 let mlp = machine.mlp_per_core * spec.pattern.mlp_factor();
-                terms.push(LatTerm { tier: cache_tier, misses: split.dram_hits, mlp, write: false });
+                terms.push(LatTerm {
+                    tier: cache_tier,
+                    misses: split.dram_hits,
+                    mlp,
+                    write: false,
+                });
                 terms.push(LatTerm { tier: backing, misses: split.pmem_misses, mlp, write: false });
                 terms.push(LatTerm {
                     tier: backing,
@@ -615,9 +613,7 @@ fn stream_read_latency(
     match mode {
         ExecMode::AppDirect => {
             let per = 1.0 / objs.len() as f64;
-            objs.iter()
-                .map(|o| solution.tier_read_lat[live[o].tier.0 as usize] * per)
-                .sum()
+            objs.iter().map(|o| solution.tier_read_lat[live[o].tier.0 as usize] * per).sum()
         }
         ExecMode::MemoryMode => {
             // Weighted by the stream's cache split.
@@ -670,15 +666,7 @@ fn phase_object_heat(
     }
     let mut out: Vec<_> = live
         .iter()
-        .map(|(oid, lo)| {
-            (
-                *oid,
-                lo.site,
-                lo.size,
-                lo.tier,
-                heat.get(oid).copied().unwrap_or(0.0),
-            )
-        })
+        .map(|(oid, lo)| (*oid, lo.site, lo.size, lo.tier, heat.get(oid).copied().unwrap_or(0.0)))
         .collect();
     out.sort_by_key(|(oid, ..)| *oid);
     out
@@ -784,7 +772,12 @@ mod tests {
         app.phases[0].allocs[0].size = 1 << 30;
         app.phases[0].frees[0].count = 17;
         let m = MachineConfig::optane_pmem6();
-        let r = run(&app, &m, ExecMode::AppDirect, &mut FixedTier::with_fallback(TierId::DRAM, TierId::PMEM));
+        let r = run(
+            &app,
+            &m,
+            ExecMode::AppDirect,
+            &mut FixedTier::with_fallback(TierId::DRAM, TierId::PMEM),
+        );
         assert!(r.fallback_allocs > 0);
         assert_eq!(r.oom_events, 0);
         let in_pmem = r.objects_in_tier(TierId::PMEM).len();
@@ -815,30 +808,18 @@ mod tests {
     #[test]
     fn more_traffic_takes_longer() {
         let m = MachineConfig::optane_pmem6();
-        let small = run(
-            &streaming_model(1e9),
-            &m,
-            ExecMode::AppDirect,
-            &mut FixedTier::new(TierId::PMEM),
-        );
-        let large = run(
-            &streaming_model(4e9),
-            &m,
-            ExecMode::AppDirect,
-            &mut FixedTier::new(TierId::PMEM),
-        );
+        let small =
+            run(&streaming_model(1e9), &m, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+        let large =
+            run(&streaming_model(4e9), &m, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
         assert!(large.total_time > small.total_time);
     }
 
     #[test]
     fn memory_bound_fraction_reflects_traffic() {
         let m = MachineConfig::optane_pmem6();
-        let heavy = run(
-            &streaming_model(5e10),
-            &m,
-            ExecMode::AppDirect,
-            &mut FixedTier::new(TierId::PMEM),
-        );
+        let heavy =
+            run(&streaming_model(5e10), &m, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
         assert!(heavy.memory_bound_fraction() > 0.5);
     }
 }

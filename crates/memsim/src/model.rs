@@ -162,19 +162,12 @@ impl AppModel {
 
     /// Function name for reporting.
     pub fn function_name(&self, f: FuncId) -> &str {
-        self.function_names
-            .get(f.0 as usize)
-            .map(String::as_str)
-            .unwrap_or("unknown")
+        self.function_names.get(f.0 as usize).map(String::as_str).unwrap_or("unknown")
     }
 
     /// Total number of allocations performed over the whole run.
     pub fn total_allocations(&self) -> u64 {
-        self.phases
-            .iter()
-            .flat_map(|p| p.allocs.iter())
-            .map(|a| a.count as u64)
-            .sum()
+        self.phases.iter().flat_map(|p| p.allocs.iter()).map(|a| a.count as u64).sum()
     }
 
     /// Memory high-water mark in bytes: the maximum total live heap over
@@ -208,8 +201,7 @@ impl AppModel {
     /// `[0,1]`, counts are sane, frees never exceed live objects.
     pub fn validate(&self) -> Result<(), String> {
         use std::collections::HashMap;
-        let known: std::collections::HashSet<SiteId> =
-            self.sites.iter().map(|(s, _)| *s).collect();
+        let known: std::collections::HashSet<SiteId> = self.sites.iter().map(|(s, _)| *s).collect();
         let mut live: HashMap<SiteId, i64> = HashMap::new();
         for (pi, phase) in self.phases.iter().enumerate() {
             for a in &phase.allocs {
@@ -238,10 +230,7 @@ impl AppModel {
                 let n = live.entry(f.site).or_insert(0);
                 *n -= f.count as i64;
                 if *n < 0 {
-                    return Err(format!(
-                        "phase {pi} frees more objects of {} than live",
-                        f.site
-                    ));
+                    return Err(format!("phase {pi} frees more objects of {} than live", f.site));
                 }
             }
         }

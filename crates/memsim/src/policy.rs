@@ -127,11 +127,7 @@ pub struct SiteMapPolicy {
 impl SiteMapPolicy {
     /// Builds the policy from `(site, tier)` pairs.
     pub fn new(pairs: impl IntoIterator<Item = (SiteId, TierId)>, fallback: TierId) -> Self {
-        SiteMapPolicy {
-            map: pairs.into_iter().collect(),
-            fallback,
-            name: "site-map".into(),
-        }
+        SiteMapPolicy { map: pairs.into_iter().collect(), fallback, name: "site-map".into() }
     }
 
     /// Renames the policy for reporting.

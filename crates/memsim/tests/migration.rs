@@ -3,8 +3,7 @@
 
 use memsim::policy::{AllocContext, Migration, PhaseObservation, PlacementPolicy};
 use memsim::{
-    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FreeOp, MachineConfig,
-    PhaseSpec,
+    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FreeOp, MachineConfig, PhaseSpec,
 };
 use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, ObjectId, SiteId, TierId};
 
@@ -28,10 +27,7 @@ impl PlacementPolicy for PromoteAll {
             return Vec::new();
         }
         self.fired = true;
-        obs.objects
-            .iter()
-            .map(|&(object, ..)| Migration { object, to: TierId::DRAM })
-            .collect()
+        obs.objects.iter().map(|&(object, ..)| Migration { object, to: TierId::DRAM }).collect()
     }
 }
 
@@ -88,18 +84,9 @@ fn hot_model(phases: usize) -> AppModel {
 fn migration_moves_objects_and_speeds_up_subsequent_phases() {
     let machine = MachineConfig::optane_pmem6();
     let app = hot_model(6);
-    let static_run = run(
-        &app,
-        &machine,
-        ExecMode::AppDirect,
-        &mut memsim::FixedTier::new(TierId::PMEM),
-    );
-    let migrated_run = run(
-        &app,
-        &machine,
-        ExecMode::AppDirect,
-        &mut PromoteAll { fired: false },
-    );
+    let static_run =
+        run(&app, &machine, ExecMode::AppDirect, &mut memsim::FixedTier::new(TierId::PMEM));
+    let migrated_run = run(&app, &machine, ExecMode::AppDirect, &mut PromoteAll { fired: false });
     // Objects end up recorded in DRAM after promotion.
     assert!(migrated_run.objects.iter().all(|o| o.tier == TierId::DRAM));
     let moved: u64 = migrated_run.phases.iter().map(|p| p.migrated_bytes).sum();

@@ -2,8 +2,8 @@
 //! application models.
 
 use memsim::{
-    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FixedTier, FreeOp,
-    MachineConfig, PhaseSpec,
+    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FixedTier, FreeOp, MachineConfig,
+    PhaseSpec,
 };
 use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, SiteId, TierId};
 use proptest::prelude::*;
@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// A small random-but-valid application model.
 fn arb_model() -> impl Strategy<Value = AppModel> {
     let phase = (
-        1e6f64..1e11,                                     // compute instructions
+        1e6f64..1e11, // compute instructions
         proptest::collection::vec((0u64..24, 1e5f64..5e9, 0.01f64..0.9, 0u8..3), 0..5),
     );
     proptest::collection::vec(phase, 1..8).prop_map(|phases| {
@@ -20,10 +20,7 @@ fn arb_model() -> impl Strategy<Value = AppModel> {
         let n_sites = 24u32;
         let sites: Vec<(SiteId, CallStack)> = (0..n_sites)
             .map(|i| {
-                (
-                    SiteId(i),
-                    CallStack::new(vec![Frame::new(ModuleId(0), 64 * u64::from(i) + 64)]),
-                )
+                (SiteId(i), CallStack::new(vec![Frame::new(ModuleId(0), 64 * u64::from(i) + 64)]))
             })
             .collect();
         let mut out_phases = Vec::new();
@@ -32,11 +29,7 @@ fn arb_model() -> impl Strategy<Value = AppModel> {
             label: None,
             compute_instructions: 1e8,
             allocs: (0..n_sites)
-                .map(|i| AllocOp {
-                    site: SiteId(i),
-                    size: 1 << (18 + i % 10),
-                    count: 1 + i % 3,
-                })
+                .map(|i| AllocOp { site: SiteId(i), size: 1 << (18 + i % 10), count: 1 + i % 3 })
                 .collect(),
             frees: vec![],
             accesses: vec![],
@@ -71,9 +64,7 @@ fn arb_model() -> impl Strategy<Value = AppModel> {
             label: None,
             compute_instructions: 1e6,
             allocs: vec![],
-            frees: (0..n_sites)
-                .map(|i| FreeOp { site: SiteId(i), count: 1 + i % 3 })
-                .collect(),
+            frees: (0..n_sites).map(|i| FreeOp { site: SiteId(i), count: 1 + i % 3 }).collect(),
             accesses: vec![],
         });
         AppModel {

@@ -39,9 +39,8 @@ fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *data
-            .get(*pos)
-            .ok_or_else(|| TraceError::Malformed("truncated varint".into()))?;
+        let byte =
+            *data.get(*pos).ok_or_else(|| TraceError::Malformed("truncated varint".into()))?;
         *pos += 1;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -150,9 +149,8 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
     let mut events = Vec::with_capacity(n_events);
     let mut last_us = 0u64;
     for _ in 0..n_events {
-        let tag = *data
-            .get(pos)
-            .ok_or_else(|| TraceError::Malformed("truncated event stream".into()))?;
+        let tag =
+            *data.get(pos).ok_or_else(|| TraceError::Malformed("truncated event stream".into()))?;
         pos += 1;
         let delta = get_varint(&data, &mut pos)?;
         last_us += delta;
@@ -178,10 +176,9 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
                 l1d_miss: tag == TAG_STORE_MISS,
                 function: FuncId(get_varint(&data, &mut pos)? as u16),
             },
-            TAG_PHASE => TraceEvent::PhaseMarker {
-                time,
-                phase: get_varint(&data, &mut pos)? as u32,
-            },
+            TAG_PHASE => {
+                TraceEvent::PhaseMarker { time, phase: get_varint(&data, &mut pos)? as u32 }
+            }
             other => return Err(TraceError::Malformed(format!("unknown event tag {other}"))),
         };
         events.push(event);

@@ -59,9 +59,7 @@ impl ModuleInfo {
     /// binutils' `addr2line`) would. Returns `None` for offsets outside any
     /// line-table range (e.g. compiler-generated padding).
     pub fn lookup_line(&self, offset: u64) -> Option<CodeLocation> {
-        let idx = self
-            .line_table
-            .partition_point(|e| e.end <= offset);
+        let idx = self.line_table.partition_point(|e| e.end <= offset);
         let entry = self.line_table.get(idx)?;
         if offset < entry.start || offset >= entry.end {
             return None;
@@ -97,9 +95,7 @@ impl BinaryMap {
     /// Module name helper (falls back to `mod<N>` for unknown ids, which can
     /// only happen with corrupted input).
     pub fn module_name(&self, id: ModuleId) -> String {
-        self.module(id)
-            .map(|m| m.name.clone())
-            .unwrap_or_else(|| id.to_string())
+        self.module(id).map(|m| m.name.clone()).unwrap_or_else(|| id.to_string())
     }
 
     /// Number of modules.
@@ -125,15 +121,11 @@ impl BinaryMap {
     pub fn translate(&self, stack: &CallStack) -> Result<HumanStack, TraceError> {
         let mut locations = Vec::with_capacity(stack.depth());
         for frame in stack.frames() {
-            let module = self
-                .module(frame.module)
-                .ok_or(TraceError::UnknownModule(frame.module))?;
+            let module =
+                self.module(frame.module).ok_or(TraceError::UnknownModule(frame.module))?;
             let loc = module
                 .lookup_line(frame.offset)
-                .ok_or(TraceError::UnmappedOffset {
-                    module: frame.module,
-                    offset: frame.offset,
-                })?;
+                .ok_or(TraceError::UnmappedOffset { module: frame.module, offset: frame.offset })?;
             locations.push(loc);
         }
         Ok(HumanStack::new(locations))
@@ -222,8 +214,8 @@ impl LoadMap {
     /// the same seed are identical.
     pub fn randomize(map: &BinaryMap, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA51A_51A5_1A51_A51A);
-        let mut cursor = Self::ASLR_LOW
-            + (rng.gen_range(0..Self::ASLR_SPREAD / Self::PAGE)) * Self::PAGE;
+        let mut cursor =
+            Self::ASLR_LOW + (rng.gen_range(0..Self::ASLR_SPREAD / Self::PAGE)) * Self::PAGE;
         let mut bases = Vec::with_capacity(map.len());
         let mut sizes = Vec::with_capacity(map.len());
         for module in map.modules() {
@@ -273,8 +265,7 @@ impl LoadMap {
 
     /// Converts a whole absolute stack back to canonical frames.
     pub fn canonicalize(&self, addresses: &[u64]) -> Option<CallStack> {
-        let frames: Option<Vec<Frame>> =
-            addresses.iter().map(|&a| self.resolve(a)).collect();
+        let frames: Option<Vec<Frame>> = addresses.iter().map(|&a| self.resolve(a)).collect();
         frames.map(CallStack::new)
     }
 }
@@ -314,10 +305,8 @@ mod tests {
     #[test]
     fn translate_round_trips_known_frames() {
         let map = sample_map();
-        let stack = CallStack::new(vec![
-            Frame::new(ModuleId(1), 0x100),
-            Frame::new(ModuleId(0), 0x40),
-        ]);
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(1), 0x100), Frame::new(ModuleId(0), 0x40)]);
         let human = map.translate(&stack).unwrap();
         assert_eq!(human.depth(), 2);
         assert_eq!(human.locations()[0].file, "mesh.cpp");
@@ -327,10 +316,7 @@ mod tests {
     fn translate_rejects_unknown_module() {
         let map = sample_map();
         let stack = CallStack::new(vec![Frame::new(ModuleId(9), 0)]);
-        assert!(matches!(
-            map.translate(&stack),
-            Err(TraceError::UnknownModule(_))
-        ));
+        assert!(matches!(map.translate(&stack), Err(TraceError::UnknownModule(_))));
     }
 
     #[test]
@@ -367,10 +353,8 @@ mod tests {
     fn canonicalize_round_trips_stacks() {
         let map = sample_map();
         let lm = LoadMap::randomize(&map, 99);
-        let stack = CallStack::new(vec![
-            Frame::new(ModuleId(0), 0x11d0),
-            Frame::new(ModuleId(1), 0x2e43),
-        ]);
+        let stack =
+            CallStack::new(vec![Frame::new(ModuleId(0), 0x11d0), Frame::new(ModuleId(1), 0x2e43)]);
         let abs = lm.absolutize(&stack).unwrap();
         let back = lm.canonicalize(&abs).unwrap();
         assert_eq!(stack, back);

@@ -138,11 +138,7 @@ impl HumanStack {
     /// Renders the HR text format of Table I, e.g.
     /// `solver.cpp:120 > driver.cpp:88 > main.cpp:12`.
     pub fn render(&self) -> String {
-        self.locations
-            .iter()
-            .map(|l| l.to_string())
-            .collect::<Vec<_>>()
-            .join(" > ")
+        self.locations.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(" > ")
     }
 }
 
@@ -176,10 +172,7 @@ mod tests {
     use super::*;
 
     fn stack() -> CallStack {
-        CallStack::new(vec![
-            Frame::new(ModuleId(1), 0x2e43),
-            Frame::new(ModuleId(0), 0x11d0),
-        ])
+        CallStack::new(vec![Frame::new(ModuleId(1), 0x2e43), Frame::new(ModuleId(0), 0x11d0)])
     }
 
     #[test]
@@ -194,9 +187,8 @@ mod tests {
     #[test]
     fn bom_rendering_matches_table1_shape() {
         let s = stack();
-        let text = s.render_bom(|m| {
-            if m == ModuleId(0) { "a.out".into() } else { "libfoo.so".into() }
-        });
+        let text =
+            s.render_bom(|m| if m == ModuleId(0) { "a.out".into() } else { "libfoo.so".into() });
         assert_eq!(text, "libfoo.so!0x2e43 > a.out!0x11d0");
     }
 

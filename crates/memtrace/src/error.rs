@@ -21,8 +21,40 @@ pub enum TraceError {
     UnknownSite(SiteId),
     /// The trace file failed structural validation (e.g. free before alloc).
     Malformed(String),
-    /// An I/O or (de)serialization failure.
-    Io(String),
+    /// An I/O failure. The [`std::io::ErrorKind`] is preserved so callers
+    /// can distinguish a missing file from a permission problem without
+    /// string-matching the message.
+    Io {
+        /// The failure category reported by the operating system.
+        kind: std::io::ErrorKind,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A (de)serialization failure: the input was not the expected JSON.
+    Parse {
+        /// 1-based line of the first offending byte (0 when unknown).
+        line: usize,
+        /// 1-based column of the first offending byte (0 when unknown).
+        column: usize,
+        /// The underlying error.
+        source: serde_json::Error,
+    },
+}
+
+impl TraceError {
+    /// The I/O failure category, when this is an I/O error.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            TraceError::Io { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// True when the error is a parse (deserialization) failure — the file
+    /// existed and was readable but its contents were not valid JSON.
+    pub fn is_parse(&self) -> bool {
+        matches!(self, TraceError::Parse { .. })
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -34,28 +66,42 @@ impl fmt::Display for TraceError {
             }
             TraceError::UnknownSite(s) => write!(f, "unknown allocation site {s}"),
             TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
-            TraceError::Io(msg) => write!(f, "trace i/o error: {msg}"),
+            TraceError::Io { kind, source } => {
+                write!(f, "trace i/o error ({kind:?}): {source}")
+            }
+            TraceError::Parse { line, column, source } => {
+                write!(f, "trace parse error at line {line} column {column}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for TraceError {}
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::Parse { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for TraceError {
     fn from(e: std::io::Error) -> Self {
-        TraceError::Io(e.to_string())
+        TraceError::Io { kind: e.kind(), source: e }
     }
 }
 
 impl From<serde_json::Error> for TraceError {
     fn from(e: serde_json::Error) -> Self {
-        TraceError::Io(e.to_string())
+        TraceError::Parse { line: e.line(), column: e.column(), source: e }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_forms_are_informative() {
@@ -65,5 +111,23 @@ mod tests {
         assert!(TraceError::Malformed("free before alloc".into())
             .to_string()
             .contains("free before alloc"));
+    }
+
+    #[test]
+    fn io_errors_preserve_the_kind() {
+        let e: TraceError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no such trace").into();
+        assert_eq!(e.io_kind(), Some(std::io::ErrorKind::NotFound));
+        assert!(e.to_string().contains("NotFound"), "{e}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_position_and_source() {
+        let e: TraceError = serde_json::from_str::<u32>("not json").unwrap_err().into();
+        assert!(e.is_parse());
+        assert!(e.io_kind().is_none());
+        assert!(e.to_string().contains("line 1"), "{e}");
+        assert!(e.source().is_some());
     }
 }

@@ -81,6 +81,18 @@ impl TraceEvent {
         }
     }
 
+    /// Overwrites the event timestamp (used by the fault injectors to model
+    /// clock damage; production code never rewrites times).
+    pub fn set_time(&mut self, t: f64) {
+        match self {
+            TraceEvent::Alloc { time, .. }
+            | TraceEvent::Free { time, .. }
+            | TraceEvent::LoadMissSample { time, .. }
+            | TraceEvent::StoreSample { time, .. }
+            | TraceEvent::PhaseMarker { time, .. } => *time = t,
+        }
+    }
+
     /// True for allocation-routine instrumentation events.
     pub fn is_allocation_event(&self) -> bool {
         matches!(self, TraceEvent::Alloc { .. } | TraceEvent::Free { .. })
@@ -88,10 +100,7 @@ impl TraceEvent {
 
     /// True for hardware-sampling events.
     pub fn is_sample(&self) -> bool {
-        matches!(
-            self,
-            TraceEvent::LoadMissSample { .. } | TraceEvent::StoreSample { .. }
-        )
+        matches!(self, TraceEvent::LoadMissSample { .. } | TraceEvent::StoreSample { .. })
     }
 }
 

@@ -19,17 +19,21 @@ pub mod binmap;
 pub mod callstack;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod ids;
 pub mod report;
 pub mod textfmt;
 pub mod trace;
+pub mod warn;
 
 pub use binfmt::{read_trace, write_trace};
 pub use binmap::{BinaryMap, BinaryMapBuilder, LoadMap, ModuleInfo};
 pub use callstack::{CallStack, CodeLocation, Frame, HumanStack, StackFormat};
 pub use error::TraceError;
 pub use events::TraceEvent;
+pub use fault::{FaultKind, FaultSpec, FaultTarget};
 pub use ids::{FuncId, ModuleId, ObjectId, SiteId, TierId};
 pub use report::{PlacementReport, ReportEntry, ReportStack};
 pub use textfmt::parse_report;
 pub use trace::TraceFile;
+pub use warn::{Warning, WarningKind};

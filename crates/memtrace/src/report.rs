@@ -110,9 +110,7 @@ impl PlacementReport {
                 )));
             }
             if !seen.insert(&e.stack) {
-                return Err(TraceError::Malformed(format!(
-                    "duplicate call stack at entry {i}"
-                )));
+                return Err(TraceError::Malformed(format!("duplicate call stack at entry {i}")));
             }
         }
         Ok(())
@@ -135,11 +133,7 @@ impl PlacementReport {
 
     /// Renders the report in the textual shape of Table I, one line per
     /// entry: `<tier-name> # <max_size> # <stack>`.
-    pub fn render_text(
-        &self,
-        binmap: &BinaryMap,
-        tier_name: impl Fn(TierId) -> String,
-    ) -> String {
+    pub fn render_text(&self, binmap: &BinaryMap, tier_name: impl Fn(TierId) -> String) -> String {
         let mut lines = Vec::with_capacity(self.entries.len() + 1);
         for e in &self.entries {
             let stack = match &e.stack {
@@ -259,9 +253,8 @@ mod tests {
     #[test]
     fn text_rendering_has_one_line_per_entry_plus_fallback() {
         let (r, map) = sample_report();
-        let text = r.render_text(&map, |t| {
-            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
-        });
+        let text =
+            r.render_text(&map, |t| if t == TierId::DRAM { "dram".into() } else { "pmem".into() });
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("dram # 4096 # a.out!0x40"));

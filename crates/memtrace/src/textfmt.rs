@@ -48,9 +48,8 @@ fn parse_hr_frame(text: &str) -> Result<CodeLocation, TraceError> {
     let (file, line) = text
         .rsplit_once(':')
         .ok_or_else(|| TraceError::Malformed(format!("bad HR frame `{text}`")))?;
-    let line: u32 = line
-        .parse()
-        .map_err(|_| TraceError::Malformed(format!("bad line number in `{text}`")))?;
+    let line: u32 =
+        line.parse().map_err(|_| TraceError::Malformed(format!("bad line number in `{text}`")))?;
     Ok(CodeLocation::new(file, line))
 }
 
@@ -75,9 +74,9 @@ pub fn parse_report(
         let head = parts.next().unwrap_or_default();
 
         if head.eq_ignore_ascii_case("fallback") {
-            let name = parts
-                .next()
-                .ok_or_else(|| TraceError::Malformed(format!("line {}: fallback needs a tier", lineno + 1)))?;
+            let name = parts.next().ok_or_else(|| {
+                TraceError::Malformed(format!("line {}: fallback needs a tier", lineno + 1))
+            })?;
             fallback = Some(resolve_tier(name).ok_or_else(|| {
                 TraceError::Malformed(format!("line {}: unknown tier `{name}`", lineno + 1))
             })?);
@@ -97,11 +96,8 @@ pub fn parse_report(
 
         // Auto-detect the encoding from the first frame: BOM frames contain
         // `!0x`, HR frames end in `:<digits>`.
-        let line_format = if stack_text.contains("!0x") {
-            StackFormat::Bom
-        } else {
-            StackFormat::HumanReadable
-        };
+        let line_format =
+            if stack_text.contains("!0x") { StackFormat::Bom } else { StackFormat::HumanReadable };
         match format {
             None => format = Some(line_format),
             Some(f) if f != line_format => {
@@ -115,10 +111,8 @@ pub fn parse_report(
 
         let stack = match line_format {
             StackFormat::Bom => {
-                let frames: Result<Vec<Frame>, _> = stack_text
-                    .split('>')
-                    .map(|f| parse_bom_frame(f.trim(), binmap))
-                    .collect();
+                let frames: Result<Vec<Frame>, _> =
+                    stack_text.split('>').map(|f| parse_bom_frame(f.trim(), binmap)).collect();
                 ReportStack::Bom(CallStack::new(frames?))
             }
             StackFormat::HumanReadable => {
@@ -179,9 +173,17 @@ mod tests {
             tier: TierId::PMEM,
             max_size: 1 << 20,
         });
-        let text = report.render_text(&map, |t| {
-            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
-        });
+        let text =
+            report.render_text(
+                &map,
+                |t| {
+                    if t == TierId::DRAM {
+                        "dram".into()
+                    } else {
+                        "pmem".into()
+                    }
+                },
+            );
         let parsed = parse_report(&text, &map, &resolver).unwrap();
         assert_eq!(parsed, report);
     }
@@ -196,9 +198,8 @@ mod tests {
             max_size: 128,
         });
         let hr = report.to_human_readable(&map).unwrap();
-        let text = hr.render_text(&map, |t| {
-            if t == TierId::DRAM { "dram".into() } else { "pmem".into() }
-        });
+        let text =
+            hr.render_text(&map, |t| if t == TierId::DRAM { "dram".into() } else { "pmem".into() });
         let parsed = parse_report(&text, &map, &resolver).unwrap();
         assert_eq!(parsed, hr);
     }
@@ -222,10 +223,8 @@ mod tests {
     fn unknown_tier_and_module_are_rejected() {
         let map = image();
         assert!(parse_report("hbm # 64 # a.out!0x40\nfallback # pmem\n", &map, &resolver).is_err());
-        assert!(
-            parse_report("dram # 64 # libnope.so!0x40\nfallback # pmem\n", &map, &resolver)
-                .is_err()
-        );
+        assert!(parse_report("dram # 64 # libnope.so!0x40\nfallback # pmem\n", &map, &resolver)
+            .is_err());
     }
 
     #[test]
@@ -248,9 +247,10 @@ mod tests {
     #[test]
     fn garbage_lines_error_with_line_numbers() {
         let map = image();
-        let err = parse_report("dram # notanumber # a.out!0x40\nfallback # pmem\n", &map, &resolver)
-            .unwrap_err()
-            .to_string();
+        let err =
+            parse_report("dram # notanumber # a.out!0x40\nfallback # pmem\n", &map, &resolver)
+                .unwrap_err()
+                .to_string();
         assert!(err.contains("line 1"), "{err}");
     }
 }

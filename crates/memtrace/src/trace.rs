@@ -6,6 +6,7 @@ use crate::callstack::CallStack;
 use crate::error::TraceError;
 use crate::events::TraceEvent;
 use crate::ids::SiteId;
+use crate::warn::{Warning, WarningKind};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
@@ -50,10 +51,7 @@ pub struct TraceFile {
 impl TraceFile {
     /// Looks up the call stack recorded for a site.
     pub fn stack_of(&self, site: SiteId) -> Option<&CallStack> {
-        self.stacks
-            .iter()
-            .find(|(s, _)| *s == site)
-            .map(|(_, st)| st)
+        self.stacks.iter().find(|(s, _)| *s == site).map(|(_, st)| st)
     }
 
     /// Site table as a map.
@@ -68,10 +66,7 @@ impl TraceFile {
 
     /// Number of allocation events in the trace.
     pub fn alloc_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Alloc { .. })).count()
     }
 
     /// Structural validation: events are time-ordered, every `Alloc`
@@ -111,9 +106,7 @@ impl TraceFile {
                 TraceEvent::Free { object, .. } => {
                     if !live.remove(object) {
                         if freed.contains(object) {
-                            return Err(TraceError::Malformed(format!(
-                                "double free of {object}"
-                            )));
+                            return Err(TraceError::Malformed(format!("double free of {object}")));
                         }
                         return Err(TraceError::Malformed(format!(
                             "free of never-allocated {object}"
@@ -162,6 +155,271 @@ impl TraceFile {
         let f = std::fs::File::open(path)?;
         Self::read_from(std::io::BufReader::new(f))
     }
+
+    /// Repairs the trace in place so that [`Self::validate`] passes:
+    /// events strict validation would reject are dropped and broken run
+    /// metadata is reset. Returns one warning per class of repair; the list
+    /// is empty if and only if the trace was left untouched.
+    ///
+    /// A profiler killed mid-run (or a fault injector — see
+    /// [`crate::fault`]) leaves exactly this kind of damage: out-of-order
+    /// or non-finite timestamps, frees of never-allocated objects,
+    /// references to missing sites. Dropping the damaged events degrades
+    /// the eventual placement, which is the graceful half of the contract;
+    /// the loud half is the warning list.
+    pub fn sanitize(&mut self) -> Vec<Warning> {
+        let mut warnings = Vec::new();
+
+        if !self.duration.is_finite() || self.duration < 0.0 {
+            warnings.push(Warning::new(
+                WarningKind::BadMetadata,
+                format!("duration {} reset to 0", self.duration),
+            ));
+            self.duration = 0.0;
+        }
+        if !self.sampling_hz.is_finite() || self.sampling_hz <= 0.0 {
+            warnings.push(Warning::new(
+                WarningKind::BadMetadata,
+                format!("sampling_hz {} reset to 1", self.sampling_hz),
+            ));
+            self.sampling_hz = 1.0;
+        }
+        if !self.load_sample_period.is_finite() || self.load_sample_period <= 0.0 {
+            warnings.push(Warning::new(
+                WarningKind::BadMetadata,
+                format!("load_sample_period {} reset to 1", self.load_sample_period),
+            ));
+            self.load_sample_period = 1.0;
+        }
+        if !self.store_sample_period.is_finite() || self.store_sample_period <= 0.0 {
+            warnings.push(Warning::new(
+                WarningKind::BadMetadata,
+                format!("store_sample_period {} reset to 1", self.store_sample_period),
+            ));
+            self.store_sample_period = 1.0;
+        }
+
+        // Single pass mirroring validate()'s rules; offending events are
+        // dropped instead of aborting. Drops are tallied per kind so a
+        // badly damaged trace yields a handful of warnings, not thousands.
+        let sites: HashSet<SiteId> = self.stacks.iter().map(|(s, _)| *s).collect();
+        let mut live = HashSet::new();
+        let mut freed = HashSet::new();
+        let mut last_t = f64::NEG_INFINITY;
+        let mut tallies: Vec<(WarningKind, u64, usize)> = Vec::new();
+        let mut note =
+            |kind: WarningKind, index: usize| match tallies.iter_mut().find(|(k, _, _)| *k == kind)
+            {
+                Some((_, n, _)) => *n += 1,
+                None => tallies.push((kind, 1, index)),
+            };
+        let events = std::mem::take(&mut self.events);
+        let mut kept = Vec::with_capacity(events.len());
+        for (i, e) in events.into_iter().enumerate() {
+            let t = e.time();
+            if !t.is_finite() {
+                note(WarningKind::NonFiniteTime, i);
+                continue;
+            }
+            if t < last_t {
+                note(WarningKind::OutOfOrderEvent, i);
+                continue;
+            }
+            match &e {
+                TraceEvent::Alloc { object, site, size, .. } => {
+                    if !sites.contains(site) {
+                        note(WarningKind::UnknownSite, i);
+                        continue;
+                    }
+                    if *size == 0 {
+                        note(WarningKind::ZeroSizeAlloc, i);
+                        continue;
+                    }
+                    if live.contains(object) {
+                        note(WarningKind::DuplicateAlloc, i);
+                        continue;
+                    }
+                    live.insert(*object);
+                    freed.remove(object); // realloc after free is legal
+                }
+                TraceEvent::Free { object, .. } => {
+                    if live.remove(object) {
+                        freed.insert(*object);
+                    } else if freed.contains(object) {
+                        note(WarningKind::DoubleFree, i);
+                        continue;
+                    } else {
+                        note(WarningKind::OrphanFree, i);
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            last_t = t;
+            kept.push(e);
+        }
+        self.events = kept;
+        for (kind, n, first) in tallies {
+            warnings
+                .push(Warning::new(kind, format!("dropped {n} event(s), first at index {first}")));
+        }
+        warnings
+    }
+
+    /// Deserializes a trace from JSON, salvaging a valid prefix when the
+    /// input was cut off mid-stream (a torn write). Because `events` is the
+    /// last serialized field, a truncated trace keeps its metadata, site
+    /// table and image and loses only trailing events. Returns the original
+    /// parse error when nothing can be salvaged. The warning list is
+    /// nonempty if and only if repair was needed.
+    pub fn from_json_lenient(json: &str) -> Result<(Self, Vec<Warning>), TraceError> {
+        let original = match Self::from_json(json) {
+            Ok(t) => return Ok((t, Vec::new())),
+            Err(e) => e,
+        };
+        let Some(repaired) = repair_truncated_json(json) else {
+            return Err(original);
+        };
+        match Self::from_json(&repaired) {
+            Ok(t) => Ok((
+                t,
+                vec![Warning::new(
+                    WarningKind::TruncatedInput,
+                    format!(
+                        "input truncated: salvaged a {}-byte valid prefix of {} bytes",
+                        repaired.len(),
+                        json.len()
+                    ),
+                )],
+            )),
+            Err(_) => Err(original),
+        }
+    }
+
+    /// Loads a trace from a file leniently: tolerates non-UTF-8 bytes,
+    /// salvages truncated JSON, and sanitizes the result so it passes
+    /// [`Self::validate`]. The warning list describes every repair.
+    pub fn load_lenient(path: impl AsRef<Path>) -> Result<(Self, Vec<Warning>), TraceError> {
+        let data = std::fs::read(path)?;
+        let text = String::from_utf8_lossy(&data);
+        let (mut trace, mut warnings) = Self::from_json_lenient(&text)?;
+        warnings.extend(trace.sanitize());
+        Ok((trace, warnings))
+    }
+}
+
+/// Repairs JSON cut off mid-stream: scans for the last position at which
+/// the innermost open container had just completed a full element, cuts
+/// there, and closes every open bracket. Returns `None` when the text is
+/// not salvageable this way — including when it is already complete JSON,
+/// in which case the caller's parse failure has some other cause that
+/// truncation repair cannot fix.
+fn repair_truncated_json(s: &str) -> Option<String> {
+    #[derive(Clone, Copy)]
+    enum Ctx {
+        /// An object; `true` while the next string token is a member key.
+        Obj(bool),
+        Arr,
+    }
+    let closers = |stack: &[Ctx]| -> String {
+        stack
+            .iter()
+            .rev()
+            .map(|c| match c {
+                Ctx::Obj(_) => '}',
+                Ctx::Arr => ']',
+            })
+            .collect()
+    };
+
+    let b = s.as_bytes();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut best: Option<(usize, String)> = None;
+    let mut root_done = false;
+    let mut i = 0;
+    // Records that a complete value just ended at byte `end` (exclusive).
+    macro_rules! value_done {
+        ($end:expr) => {
+            if stack.is_empty() {
+                root_done = true;
+            } else {
+                best = Some(($end, closers(&stack)));
+            }
+        };
+    }
+    while i < b.len() {
+        match b[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'"' => {
+                i += 1;
+                let mut closed = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            closed = true;
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                if !closed {
+                    break; // cut mid-string; fall back to the last safe point
+                }
+                if matches!(stack.last(), Some(Ctx::Obj(true))) {
+                    // The string was a member key; a colon and value follow.
+                    if let Some(Ctx::Obj(next_is_key)) = stack.last_mut() {
+                        *next_is_key = false;
+                    }
+                } else {
+                    value_done!(i);
+                }
+            }
+            b'{' => {
+                stack.push(Ctx::Obj(true));
+                i += 1;
+            }
+            b'[' => {
+                stack.push(Ctx::Arr);
+                i += 1;
+            }
+            b'}' | b']' => {
+                stack.pop()?; // unbalanced close: damage beyond truncation
+                i += 1;
+                value_done!(i);
+            }
+            b':' => i += 1,
+            b',' => {
+                if let Some(Ctx::Obj(next_is_key)) = stack.last_mut() {
+                    *next_is_key = true;
+                }
+                i += 1;
+            }
+            _ => {
+                // Primitive token (number / true / false / null). It only
+                // counts as complete if a delimiter follows — a primitive
+                // running into end-of-input may itself be cut short.
+                while i < b.len()
+                    && !matches!(b[i], b',' | b':' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    i += 1;
+                }
+                if i == b.len() {
+                    break;
+                }
+                value_done!(i);
+            }
+        }
+    }
+    if root_done {
+        return None;
+    }
+    let (end, closers) = best?;
+    let mut out = String::with_capacity(end + closers.len());
+    out.push_str(&s[..end]);
+    out.push_str(&closers);
+    Some(out)
 }
 
 #[cfg(test)]
@@ -264,5 +522,113 @@ mod tests {
         let j = t.to_json().unwrap();
         let truncated = &j[..j.len() / 2];
         assert!(TraceFile::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn sanitize_is_identity_on_valid_traces() {
+        let mut t = minimal_trace();
+        let before = t.clone();
+        assert!(t.sanitize().is_empty());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn sanitize_drops_exactly_what_validate_rejects() {
+        let mut t = minimal_trace();
+        t.events.insert(0, TraceEvent::Free { time: 0.0, object: ObjectId(77) });
+        t.events.push(TraceEvent::Free { time: 1.5, object: ObjectId(1) });
+        t.events.push(TraceEvent::PhaseMarker { time: 0.5, phase: 1 });
+        t.events.push(TraceEvent::PhaseMarker { time: f64::NAN, phase: 2 });
+        assert!(t.validate().is_err());
+        let warnings = t.sanitize();
+        t.validate().unwrap();
+        assert_eq!(t.events.len(), 2, "only the original alloc/free survive");
+        let kinds: Vec<_> = warnings.iter().map(|w| w.kind).collect();
+        assert!(kinds.contains(&WarningKind::OrphanFree));
+        assert!(kinds.contains(&WarningKind::DoubleFree));
+        assert!(kinds.contains(&WarningKind::OutOfOrderEvent));
+        assert!(kinds.contains(&WarningKind::NonFiniteTime));
+    }
+
+    #[test]
+    fn sanitize_allows_realloc_after_free() {
+        let mut t = minimal_trace();
+        t.events.push(TraceEvent::Alloc {
+            time: 1.5,
+            object: ObjectId(1),
+            site: SiteId(0),
+            size: 64,
+            address: 0x3000,
+        });
+        t.validate().unwrap();
+        assert!(t.sanitize().is_empty());
+        assert_eq!(t.events.len(), 3);
+    }
+
+    #[test]
+    fn sanitize_repairs_broken_metadata() {
+        let mut t = minimal_trace();
+        t.duration = f64::NAN;
+        t.load_sample_period = -3.0;
+        let warnings = t.sanitize();
+        assert_eq!(t.duration, 0.0);
+        assert_eq!(t.load_sample_period, 1.0);
+        assert!(warnings.iter().all(|w| w.kind == WarningKind::BadMetadata));
+        assert_eq!(warnings.len(), 2);
+    }
+
+    #[test]
+    fn lenient_parse_of_intact_json_is_warning_free() {
+        let t = minimal_trace();
+        let (back, warnings) = TraceFile::from_json_lenient(&t.to_json().unwrap()).unwrap();
+        assert_eq!(back, t);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn lenient_parse_salvages_a_truncated_tail() {
+        let t = minimal_trace();
+        let j = t.to_json().unwrap();
+        // Cutting the closing brackets leaves the last event intact; both
+        // events must survive the repair.
+        let (back, warnings) = TraceFile::from_json_lenient(&j[..j.len() - 2]).unwrap();
+        assert_eq!(back.events.len(), 2);
+        assert_eq!(back.app_name, t.app_name);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::TruncatedInput);
+    }
+
+    #[test]
+    fn lenient_parse_never_panics_at_any_cut_point() {
+        let t = minimal_trace();
+        let j = t.to_json().unwrap();
+        for cut in 0..j.len() {
+            if let Ok((mut back, _)) = TraceFile::from_json_lenient(&j[..cut]) {
+                back.sanitize();
+                back.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_parse_rejects_non_json_garbage() {
+        assert!(TraceFile::from_json_lenient("not a trace at all").is_err());
+        assert!(TraceFile::from_json_lenient("").is_err());
+        // Complete JSON of the wrong shape is a schema problem, not
+        // truncation; repair must not mask it.
+        assert!(TraceFile::from_json_lenient("{\"app_name\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn load_lenient_reads_a_torn_file() {
+        let t = minimal_trace();
+        let j = t.to_json().unwrap();
+        let path = std::env::temp_dir().join(format!("ecohmem-torn-{}.json", std::process::id()));
+        std::fs::write(&path, &j[..j.len() - 10]).unwrap();
+        let (back, warnings) = TraceFile::load_lenient(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        back.validate().unwrap();
+        assert!(!warnings.is_empty());
+        assert_eq!(back.app_name, "toy");
     }
 }

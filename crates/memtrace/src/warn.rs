@@ -1,0 +1,114 @@
+//! Structured warnings for the lenient decode/analyze/match paths.
+//!
+//! The real toolchain runs unattended inside job scripts: a truncated trace
+//! (node crash mid-run), a stale report (binary rebuilt between profiling
+//! and deployment) or a half-written artifact should degrade the placement
+//! — FlexMalloc already falls back for unlisted stacks — rather than abort
+//! the job. Every lenient entry point reports what it salvaged, skipped or
+//! repaired as a list of [`Warning`]s so callers can log, count, or refuse.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of damage a lenient path encountered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarningKind {
+    /// The serialized artifact ended mid-stream; a valid prefix was salvaged.
+    TruncatedInput,
+    /// An event carried a NaN or infinite timestamp.
+    NonFiniteTime,
+    /// An event's timestamp preceded an earlier event's.
+    OutOfOrderEvent,
+    /// An allocation referenced a site absent from the site table.
+    UnknownSite,
+    /// An allocation of zero bytes.
+    ZeroSizeAlloc,
+    /// An object was allocated twice without an intervening free.
+    DuplicateAlloc,
+    /// An object was freed twice.
+    DoubleFree,
+    /// A free of an object that was never allocated.
+    OrphanFree,
+    /// Run metadata (duration, sample periods, …) was repaired.
+    BadMetadata,
+    /// A report entry's stack could not be resolved in this process image.
+    UnresolvableEntry,
+    /// A report listed the same call stack twice; later copies are ignored.
+    DuplicateEntry,
+    /// A report entry's stack format differed from the report's format.
+    MixedFormatEntry,
+    /// Analysis produced no usable profile; placement falls back entirely.
+    EmptyProfile,
+    /// The placement report was unusable; every allocation falls back.
+    UnusableReport,
+    /// A deterministic fault injector mutated this artifact.
+    FaultInjected,
+}
+
+impl WarningKind {
+    /// Stable kebab-case name, used in logs and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarningKind::TruncatedInput => "truncated-input",
+            WarningKind::NonFiniteTime => "non-finite-time",
+            WarningKind::OutOfOrderEvent => "out-of-order-event",
+            WarningKind::UnknownSite => "unknown-site",
+            WarningKind::ZeroSizeAlloc => "zero-size-alloc",
+            WarningKind::DuplicateAlloc => "duplicate-alloc",
+            WarningKind::DoubleFree => "double-free",
+            WarningKind::OrphanFree => "orphan-free",
+            WarningKind::BadMetadata => "bad-metadata",
+            WarningKind::UnresolvableEntry => "unresolvable-entry",
+            WarningKind::DuplicateEntry => "duplicate-entry",
+            WarningKind::MixedFormatEntry => "mixed-format-entry",
+            WarningKind::EmptyProfile => "empty-profile",
+            WarningKind::UnusableReport => "unusable-report",
+            WarningKind::FaultInjected => "fault-injected",
+        }
+    }
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recoverable problem found (and worked around) by a lenient path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// The category of damage.
+    pub kind: WarningKind,
+    /// Human-readable specifics: counts, ids, offsets.
+    pub detail: String,
+}
+
+impl Warning {
+    /// Creates a warning.
+    pub fn new(kind: WarningKind, detail: impl Into<String>) -> Self {
+        Warning { kind, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_kind_prefixed() {
+        let w = Warning::new(WarningKind::OrphanFree, "object obj3 at event 7");
+        assert_eq!(w.to_string(), "orphan-free: object obj3 at event 7");
+    }
+
+    #[test]
+    fn names_are_kebab_case() {
+        assert_eq!(WarningKind::TruncatedInput.name(), "truncated-input");
+        assert_eq!(WarningKind::UnresolvableEntry.to_string(), "unresolvable-entry");
+    }
+}

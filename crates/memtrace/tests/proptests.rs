@@ -2,8 +2,8 @@
 //! report must survive every supported encoding.
 
 use memtrace::{
-    read_trace, write_trace, BinaryMap, BinaryMapBuilder, CallStack, Frame, FuncId,
-    ModuleId, ObjectId, PlacementReport, ReportEntry, ReportStack, SiteId, StackFormat,
+    read_trace, write_trace, BinaryMap, BinaryMapBuilder, CallStack, FaultKind, FaultSpec, Frame,
+    FuncId, ModuleId, ObjectId, PlacementReport, ReportEntry, ReportStack, SiteId, StackFormat,
     TierId, TraceEvent, TraceFile,
 };
 use proptest::prelude::*;
@@ -157,5 +157,57 @@ proptest! {
         })
         .unwrap();
         prop_assert_eq!(parsed, report);
+    }
+
+    /// Lenient JSON loading never panics on a truncated document: it
+    /// either salvages a sanitizable prefix (flagging the truncation) or
+    /// returns the original parse error.
+    #[test]
+    fn lenient_load_survives_truncation(events in arb_events(), keep in 0.0f64..1.0) {
+        let t = trace_with(events);
+        let json = t.to_json().unwrap();
+        let cut = (json.len() as f64 * keep) as usize; // to_json output is ASCII
+        if let Ok((mut tr, warnings)) = TraceFile::from_json_lenient(&json[..cut]) {
+            prop_assert!(!warnings.is_empty(), "a truncated document must be flagged");
+            tr.sanitize();
+            prop_assert!(tr.validate().is_ok());
+        }
+    }
+
+    /// Lenient JSON loading never panics when any byte is corrupted, and
+    /// whatever it salvages sanitizes into a valid trace.
+    #[test]
+    fn lenient_load_survives_byte_corruption(
+        events in arb_events(),
+        flip in 0usize..1 << 20,
+        byte in any::<u8>(),
+    ) {
+        let t = trace_with(events);
+        let mut raw = t.to_json().unwrap().into_bytes();
+        let i = flip % raw.len();
+        raw[i] ^= byte;
+        let text = String::from_utf8_lossy(&raw);
+        if let Ok((mut tr, _)) = TraceFile::from_json_lenient(&text) {
+            tr.sanitize();
+            prop_assert!(tr.validate().is_ok());
+        }
+    }
+
+    /// `sanitize` warns exactly when it changed the trace, and always
+    /// leaves it valid — under every fault injector at any severity.
+    #[test]
+    fn sanitize_warns_iff_it_changed_something(
+        events in arb_events(),
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        severity in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut mutated = trace_with(events);
+        let spec = FaultSpec::with_seed(FaultKind::ALL[kind_idx], severity, seed);
+        spec.apply_to_trace(&mut mutated);
+        let before = mutated.clone();
+        let warnings = mutated.sanitize();
+        prop_assert_eq!(warnings.is_empty(), mutated == before);
+        prop_assert!(mutated.validate().is_ok());
     }
 }

@@ -8,7 +8,7 @@
 //! the same object-matching job Paramedir performs (§IV-A).
 
 use crate::profile::{ObjectLifetime, ProfileSet, SiteProfile};
-use memtrace::{ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
+use memtrace::{ObjectId, SiteId, TraceError, TraceEvent, TraceFile, Warning, WarningKind};
 use std::collections::HashMap;
 
 /// Analyzes a trace into per-site profiles. Fails on malformed traces.
@@ -46,10 +46,8 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
     // Address interval index: sorted (start, end, object). Heap addresses
     // are unique per object in the simulated process (freed blocks may be
     // reused, so matching must also check liveness at the sample time).
-    let mut intervals: Vec<(u64, u64, ObjectId)> = objects
-        .iter()
-        .map(|(id, o)| (o.address, o.address + o.size, *id))
-        .collect();
+    let mut intervals: Vec<(u64, u64, ObjectId)> =
+        objects.iter().map(|(id, o)| (o.address, o.address + o.size, *id)).collect();
     intervals.sort_unstable();
 
     let find = |address: u64, time: f64, objects: &HashMap<ObjectId, Obj>| -> Option<ObjectId> {
@@ -74,19 +72,18 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
     for e in &trace.events {
         match e {
             TraceEvent::LoadMissSample { time, address, .. } => {
-                if let Some(id) = find(*address, *time, &objects) {
-                    objects.get_mut(&id).unwrap().load_samples += 1;
-                } else {
-                    unmatched_samples += 1;
+                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
+                    Some(o) => o.load_samples += 1,
+                    None => unmatched_samples += 1,
                 }
             }
             TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
-                if let Some(id) = find(*address, *time, &objects) {
-                    let o = objects.get_mut(&id).unwrap();
-                    o.store_samples += 1;
-                    o.store_l1d_miss_samples += u64::from(*l1d_miss);
-                } else {
-                    unmatched_samples += 1;
+                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
+                    Some(o) => {
+                        o.store_samples += 1;
+                        o.store_l1d_miss_samples += u64::from(*l1d_miss);
+                    }
+                    None => unmatched_samples += 1,
                 }
             }
             _ => {}
@@ -106,7 +103,9 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
     if bins.is_empty() {
         bins.push(0.0);
     }
-    bins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN phase-marker time must not panic the analyzer (it
+    // sorts last and merely produces a useless bin).
+    bins.sort_by(f64::total_cmp);
     let mut bin_bytes = vec![0.0_f64; bins.len()];
     let bin_of = |t: f64| -> usize { bins.partition_point(|&b| b <= t).saturating_sub(1) };
     for e in &trace.events {
@@ -146,22 +145,16 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
         let total_bytes: u64 = objs.iter().map(|(_, o)| o.size).sum();
         let peak_live_bytes = peak_live(&objs);
         let load_samples: u64 = objs.iter().map(|(_, o)| o.load_samples).sum();
-        let store_miss_samples: u64 =
-            objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
+        let store_miss_samples: u64 = objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
         let store_samples: u64 = objs.iter().map(|(_, o)| o.store_samples).sum();
         let load_misses_est = load_samples as f64 * trace.load_sample_period;
         let store_misses_est = store_miss_samples as f64 * trace.store_sample_period;
-        let first_alloc = objs
-            .iter()
-            .map(|(_, o)| o.alloc_time)
-            .fold(f64::INFINITY, f64::min);
+        let first_alloc = objs.iter().map(|(_, o)| o.alloc_time).fold(f64::INFINITY, f64::min);
         let last_free = objs.iter().map(|(_, o)| o.free_time).fold(0.0, f64::max);
-        let total_lifetime: f64 = objs
-            .iter()
-            .map(|(_, o)| (o.free_time - o.alloc_time).max(0.0))
-            .sum();
-        let bw_at_alloc = objs.iter().map(|(_, o)| bw_at(o.alloc_time)).sum::<f64>()
-            / alloc_count.max(1) as f64;
+        let total_lifetime: f64 =
+            objs.iter().map(|(_, o)| (o.free_time - o.alloc_time).max(0.0)).sum();
+        let bw_at_alloc =
+            objs.iter().map(|(_, o)| bw_at(o.alloc_time)).sum::<f64>() / alloc_count.max(1) as f64;
         let avg_bw = if total_lifetime > 0.0 {
             (load_misses_est + store_misses_est) * 64.0 / total_lifetime
         } else {
@@ -209,6 +202,39 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
     })
 }
 
+/// Lenient analysis: sanitizes a copy of the trace — dropping the events
+/// strict validation would reject — and analyzes the remainder. Never
+/// fails: if analysis is still impossible the result is an empty profile
+/// (which places everything in the fallback tier downstream) plus a
+/// warning saying so. The warning list is nonempty exactly when the trace
+/// needed repair or could not be analyzed.
+pub fn analyze_lenient(trace: &TraceFile) -> (ProfileSet, Vec<Warning>) {
+    let mut clean = trace.clone();
+    let mut warnings = clean.sanitize();
+    match analyze(&clean) {
+        Ok(p) => (p, warnings),
+        Err(e) => {
+            warnings.push(Warning::new(
+                WarningKind::EmptyProfile,
+                format!(
+                    "analysis failed after sanitization: {e}; continuing with an empty profile"
+                ),
+            ));
+            (
+                ProfileSet {
+                    app_name: trace.app_name.clone(),
+                    duration: clean.duration,
+                    sites: Vec::new(),
+                    bw_series: Vec::new(),
+                    peak_bw: 0.0,
+                    binmap: trace.binmap.clone(),
+                },
+                warnings,
+            )
+        }
+    }
+}
+
 /// Object accumulator built from the allocation events.
 struct Obj {
     site: SiteId,
@@ -228,7 +254,7 @@ fn peak_live(objs: &[(&ObjectId, &Obj)]) -> u64 {
         edges.push((o.alloc_time, o.size as i64));
         edges.push((o.free_time, -(o.size as i64)));
     }
-    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut cur = 0i64;
     let mut peak = 0i64;
     for (_, d) in edges {
@@ -322,6 +348,55 @@ mod tests {
         );
         trace.stacks.clear();
         assert!(analyze(&trace).is_err());
+    }
+
+    #[test]
+    fn lenient_analysis_matches_strict_on_clean_traces() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let strict = analyze(&trace).unwrap();
+        let (lenient, warnings) = super::analyze_lenient(&trace);
+        assert!(warnings.is_empty());
+        assert_eq!(strict, lenient);
+    }
+
+    #[test]
+    fn lenient_analysis_survives_injected_faults() {
+        use memtrace::{FaultKind, FaultSpec, FaultTarget};
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        for kind in FaultKind::ALL {
+            if kind.target() != FaultTarget::Trace {
+                continue;
+            }
+            for severity in [0.25, 1.0] {
+                let mut damaged = trace.clone();
+                let injected = FaultSpec::with_seed(kind, severity, 7).apply_to_trace(&mut damaged);
+                let (profile, warnings) = super::analyze_lenient(&damaged);
+                assert!(profile.sites.len() <= trace.stacks.len(), "{kind}@{severity}");
+                // Faults that strict analysis would reject must be
+                // reported; valid-but-lossy damage (dropped samples,
+                // truncation) may analyze silently.
+                if analyze(&damaged).is_err() {
+                    assert!(!warnings.is_empty(), "{kind}@{severity}");
+                }
+                let _ = injected;
+            }
+        }
     }
 
     #[test]

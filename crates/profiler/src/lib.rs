@@ -24,7 +24,7 @@ pub mod profile;
 pub mod sampler;
 pub mod timeline;
 
-pub use analyzer::analyze;
+pub use analyzer::{analyze, analyze_lenient};
 pub use profile::{ObjectLifetime, ProfileSet, SiteProfile};
 pub use sampler::{profile_run, ProfilerConfig};
 pub use timeline::{timeline, to_csv, TimelineRow};

@@ -166,13 +166,8 @@ mod tests {
         let app = workloads::minife::model();
         let mach = MachineConfig::optane_pmem6();
         let cfg = ProfilerConfig { sampling_hz: 100.0, seed };
-        let (trace, _) = profile_run(
-            &app,
-            &mach,
-            ExecMode::MemoryMode,
-            &mut FixedTier::new(TierId::PMEM),
-            &cfg,
-        );
+        let (trace, _) =
+            profile_run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM), &cfg);
         trace
     }
 
@@ -190,10 +185,7 @@ mod tests {
         // ≈ 2 × hz × ranks × duration samples (loads + stores), within 30%.
         let expected = 2.0 * 100.0 * 12.0 * t.duration;
         let got = t.sample_count() as f64;
-        assert!(
-            (got / expected - 1.0).abs() < 0.3,
-            "got {got}, expected ≈ {expected}"
-        );
+        assert!((got / expected - 1.0).abs() < 0.3, "got {got}, expected ≈ {expected}");
     }
 
     #[test]

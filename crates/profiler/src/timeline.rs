@@ -92,9 +92,7 @@ pub fn timeline(trace: &TraceFile) -> Result<Vec<TimelineRow>, TraceError> {
     };
 
     // Accumulate per window.
-    let bin_of = |t: f64| -> usize {
-        marks.partition_point(|&(_, mt)| mt <= t).saturating_sub(1)
-    };
+    let bin_of = |t: f64| -> usize { marks.partition_point(|&(_, mt)| mt <= t).saturating_sub(1) };
     let mut rows: Vec<TimelineRow> = marks
         .iter()
         .enumerate()
@@ -152,17 +150,17 @@ pub fn timeline(trace: &TraceFile) -> Result<Vec<TimelineRow>, TraceError> {
             * 64.0
             / width;
         row.live_bytes = live_at[i].max(0) as u64;
-        row.top_site = site_hits[i]
-            .iter()
-            .max_by_key(|(s, n)| (**n, std::cmp::Reverse(s.0)))
-            .map(|(s, _)| *s);
+        row.top_site =
+            site_hits[i].iter().max_by_key(|(s, n)| (**n, std::cmp::Reverse(s.0))).map(|(s, _)| *s);
     }
     Ok(rows)
 }
 
 /// Renders the timeline as CSV.
 pub fn to_csv(rows: &[TimelineRow]) -> String {
-    let mut out = String::from("phase,start_s,end_s,load_samples,store_samples,est_bw_gbs,live_gb,top_site\n");
+    let mut out = String::from(
+        "phase,start_s,end_s,load_samples,store_samples,est_bw_gbs,live_gb,top_site\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "{},{:.3},{:.3},{},{},{:.3},{:.3},{}\n",
@@ -203,11 +201,8 @@ mod tests {
     fn one_row_per_phase_in_time_order() {
         let trace = trace_and_profile();
         let rows = timeline(&trace).unwrap();
-        let phases = trace
-            .events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::PhaseMarker { .. }))
-            .count();
+        let phases =
+            trace.events.iter().filter(|e| matches!(e, TraceEvent::PhaseMarker { .. })).count();
         assert_eq!(rows.len(), phases);
         for w in rows.windows(2) {
             assert!(w[0].end <= w[1].start + 1e-9);

@@ -48,12 +48,7 @@ impl LineChart {
         let y0 = 0.0f64.min(ys.iter().copied().fold(f64::INFINITY, f64::min));
         let sx = Scale::new(x0, x1, MARGIN_L, w - MARGIN_R);
         let yticks = nice_ticks(y0, y1, 6);
-        let sy = Scale::new(
-            yticks[0],
-            *yticks.last().unwrap(),
-            h - MARGIN_B,
-            MARGIN_T,
-        );
+        let sy = Scale::new(yticks[0], *yticks.last().unwrap(), h - MARGIN_B, MARGIN_T);
 
         // Gridlines + y ticks.
         for &t in &yticks {
@@ -148,7 +143,13 @@ impl BarChart {
                 let x = gx + bar_w * si as f64;
                 let y = sy.map(v);
                 let base = sy.map(0.0);
-                svg.rect(x, y.min(base), bar_w * 0.92, (base - y).abs(), PALETTE[si % PALETTE.len()]);
+                svg.rect(
+                    x,
+                    y.min(base),
+                    bar_w * 0.92,
+                    (base - y).abs(),
+                    PALETTE[si % PALETTE.len()],
+                );
             }
             svg.text(gx + group_w * 0.4, h - MARGIN_B + 16.0, "middle", 10, &g.label);
         }

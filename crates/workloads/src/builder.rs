@@ -115,9 +115,7 @@ impl AppBuilder {
             function_names: self.functions,
             phases: self.phases,
         };
-        model
-            .validate()
-            .unwrap_or_else(|e| panic!("{} model invalid: {e}", model.name));
+        model.validate().unwrap_or_else(|e| panic!("{} model invalid: {e}", model.name));
         model
     }
 }
@@ -161,7 +159,19 @@ pub fn access_r(
     instructions: f64,
     reuse_hint: f64,
 ) -> AccessSpec {
-    AccessSpec { reuse_hint, ..access(site, function, loads, stores, llc_miss_rate, store_l1d_miss_rate, pattern, instructions) }
+    AccessSpec {
+        reuse_hint,
+        ..access(
+            site,
+            function,
+            loads,
+            stores,
+            llc_miss_rate,
+            store_l1d_miss_rate,
+            pattern,
+            instructions,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -178,16 +178,7 @@ pub fn model() -> AppModel {
         }
         for (i, &c) in comm.iter().enumerate() {
             let kern = [f_pack_top, f_pack_front, f_pack_right][i];
-            accesses.push(access(
-                c,
-                kern,
-                2.5e7,
-                1.2e7,
-                0.3,
-                0.2,
-                AccessPattern::Strided,
-                2e8,
-            ));
+            accesses.push(access(c, kern, 2.5e7, 1.2e7, 0.3, 0.2, AccessPattern::Strided, 2e8));
         }
         b.phase(PhaseSpec {
             label: Some("hydro-step".into()),

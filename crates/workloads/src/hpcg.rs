@@ -80,8 +80,28 @@ pub fn model() -> AppModel {
             allocs: vec![],
             frees: vec![],
             accesses: vec![
-                access_r(a_vals, f_spmv, 1.1e9, 0.0, 0.26, 0.0, AccessPattern::Sequential, 2.5e9, 2.5),
-                access_r(a_inds, f_spmv, 4.4e8, 0.0, 0.25, 0.0, AccessPattern::Sequential, 0.0, 2.5),
+                access_r(
+                    a_vals,
+                    f_spmv,
+                    1.1e9,
+                    0.0,
+                    0.26,
+                    0.0,
+                    AccessPattern::Sequential,
+                    2.5e9,
+                    2.5,
+                ),
+                access_r(
+                    a_inds,
+                    f_spmv,
+                    4.4e8,
+                    0.0,
+                    0.25,
+                    0.0,
+                    AccessPattern::Sequential,
+                    0.0,
+                    2.5,
+                ),
                 access(vec_x, f_symgs, 7.5e8, 1.6e8, 0.26, 0.08, AccessPattern::Random, 1e9),
                 access(halo, f_symgs, 1e8, 4e7, 0.3, 0.15, AccessPattern::Random, 0.0),
                 access(vec_p, f_spmv, 2e8, 0.0, 0.24, 0.0, AccessPattern::Strided, 0.0),

@@ -90,23 +90,28 @@ pub fn model() -> AppModel {
                 access_r(atoms, f_pair, 2.5e9, 0.0, 0.03, 0.0, AccessPattern::Random, 0.0, 10.0),
                 access_r(force, f_pair, 1.2e9, 9e8, 0.04, 0.04, AccessPattern::Strided, 0.0, 5.0),
                 access_r(bonded, f_bond, 8e8, 2e8, 0.04, 0.04, AccessPattern::Random, 2.5e10, 4.0),
-                access_r(kspace, f_kspace, 2.2e9, 1.2e9, 0.09, 0.07, AccessPattern::Strided, 1.2e10, 3.0),
+                access_r(
+                    kspace,
+                    f_kspace,
+                    2.2e9,
+                    1.2e9,
+                    0.09,
+                    0.07,
+                    AccessPattern::Strided,
+                    1.2e10,
+                    3.0,
+                ),
             ],
         });
         // Communication: small short-lived buffers, latency-critical.
         b.phase(PhaseSpec {
             label: Some("comm".into()),
             compute_instructions: 2e9,
-            allocs: comm
-                .iter()
-                .map(|&s| AllocOp { site: s, size: 24 * MIB, count: 2 })
-                .collect(),
+            allocs: comm.iter().map(|&s| AllocOp { site: s, size: 24 * MIB, count: 2 }).collect(),
             frees: comm.iter().map(|&s| FreeOp { site: s, count: 2 }).collect(),
             accesses: comm
                 .iter()
-                .map(|&s| {
-                    access(s, f_comm, 1.2e7, 6e6, 0.3, 0.25, AccessPattern::Random, 2e8)
-                })
+                .map(|&s| access(s, f_comm, 1.2e7, 6e6, 0.3, 0.25, AccessPattern::Random, 2e8))
                 .collect(),
         });
         if it % 5 == 0 {
@@ -116,7 +121,16 @@ pub fn model() -> AppModel {
                 allocs: vec![],
                 frees: vec![],
                 accesses: vec![
-                    access(neigh, f_neigh, 1.5e9, 1.4e9, 0.15, 0.12, AccessPattern::Sequential, 5e9),
+                    access(
+                        neigh,
+                        f_neigh,
+                        1.5e9,
+                        1.4e9,
+                        0.15,
+                        0.12,
+                        AccessPattern::Sequential,
+                        5e9,
+                    ),
                     access(atoms, f_neigh, 6e8, 0.0, 0.10, 0.0, AccessPattern::Random, 0.0),
                 ],
             });

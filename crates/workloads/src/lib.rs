@@ -15,8 +15,8 @@
 //! object-lifetime structure of Figs. 3–5 and Tables II/III.
 
 pub mod builder;
-pub mod granularity;
 pub mod cloverleaf3d;
+pub mod granularity;
 pub mod hpcg;
 pub mod lammps;
 pub mod lulesh;
@@ -46,13 +46,7 @@ pub fn all_models() -> Vec<AppModel> {
 
 /// The five mini-applications of Fig. 6.
 pub fn miniapp_models() -> Vec<AppModel> {
-    vec![
-        minife::model(),
-        minimd::model(),
-        lulesh::model(),
-        hpcg::model(),
-        cloverleaf3d::model(),
-    ]
+    vec![minife::model(), minimd::model(), lulesh::model(), hpcg::model(), cloverleaf3d::model()]
 }
 
 /// Table V characteristic rows for every application.

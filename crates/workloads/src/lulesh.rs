@@ -69,9 +69,7 @@ pub fn temp_sites() -> Vec<SiteId> {
 
 /// Site ids of the persistent arrays (everything allocated at init).
 pub fn persistent_sites() -> Vec<SiteId> {
-    (0..(N_GATHER + N_DONOR + N_CONN + N_NODAL + N_ELEM) as u32)
-        .map(SiteId)
-        .collect()
+    (0..(N_GATHER + N_DONOR + N_CONN + N_NODAL + N_ELEM) as u32).map(SiteId).collect()
 }
 
 /// Sites of the cheap sequential donor tables (the Fitting pool the
@@ -129,10 +127,8 @@ pub fn model() -> AppModel {
     // The gather tables are rebuilt (freed + reallocated) once the mesh is
     // decomposed — their second allocation keeps them out of the Fitting
     // pool (alloc_count = 2 is not < T_ALLOC).
-    let mut init2_allocs: Vec<AllocOp> = elem
-        .iter()
-        .map(|&s| AllocOp { site: s, size: 3 * GIB + 200 * MIB, count: 1 })
-        .collect();
+    let mut init2_allocs: Vec<AllocOp> =
+        elem.iter().map(|&s| AllocOp { site: s, size: 3 * GIB + 200 * MIB, count: 1 }).collect();
     for &s in gather.iter() {
         init2_allocs.push(AllocOp { site: s, size: 380 * MIB, count: 1 });
     }
@@ -152,7 +148,17 @@ pub fn model() -> AppModel {
             acc.push(access_r(s, f_nodal, 2.4e8, 4e7, 0.25, 0.12, AccessPattern::Random, 8e8, 1.6));
         }
         for &s in donor.iter() {
-            acc.push(access_r(s, f_nodal, 4e7, 0.0, 0.25, 0.0, AccessPattern::Sequential, 4e8, 1.6));
+            acc.push(access_r(
+                s,
+                f_nodal,
+                4e7,
+                0.0,
+                0.25,
+                0.0,
+                AccessPattern::Sequential,
+                4e8,
+                1.6,
+            ));
         }
         for &s in conn.iter() {
             acc.push(access_r(s, f_nodal, 5e7, 0.0, 0.25, 0.0, AccessPattern::Random, 5e8, 4.0));
@@ -177,7 +183,17 @@ pub fn model() -> AppModel {
         }
         for &s in temp.iter() {
             // Write-then-read scratch: ~2 sweeps of the 800 MiB live set.
-            acc.push(access_r(s, f_elems, 6.5e7, 4e7, 0.25, 0.30, AccessPattern::Strided, 2e8, 1.2));
+            acc.push(access_r(
+                s,
+                f_elems,
+                6.5e7,
+                4e7,
+                0.25,
+                0.30,
+                AccessPattern::Strided,
+                2e8,
+                1.2,
+            ));
         }
         b.phase(PhaseSpec {
             label: Some("lagrange_elems".into()),
@@ -203,10 +219,7 @@ pub fn model() -> AppModel {
             label: Some("calc_constraints".into()),
             compute_instructions: 1.5e11,
             allocs: vec![],
-            frees: temp
-                .iter()
-                .map(|&s| FreeOp { site: s, count: TEMP_ALLOCS_PER_ITER })
-                .collect(),
+            frees: temp.iter().map(|&s| FreeOp { site: s, count: TEMP_ALLOCS_PER_ITER }).collect(),
             accesses: acc,
         });
     }
@@ -282,16 +295,9 @@ mod tests {
         let mach = MachineConfig::optane_pmem6();
         let r = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
         let total = r.total_time;
-        let temps: Vec<_> = r
-            .objects
-            .iter()
-            .filter(|o| temp_sites().contains(&o.site))
-            .collect();
-        let persist: Vec<_> = r
-            .objects
-            .iter()
-            .filter(|o| persistent_sites().contains(&o.site))
-            .collect();
+        let temps: Vec<_> = r.objects.iter().filter(|o| temp_sites().contains(&o.site)).collect();
+        let persist: Vec<_> =
+            r.objects.iter().filter(|o| persistent_sites().contains(&o.site)).collect();
         assert_eq!(temps.len(), 12 * 200);
         for o in &persist {
             // The gather tables' first instances die at the mesh rebuild;
@@ -347,8 +353,7 @@ mod tests {
         let mach = MachineConfig::optane_pmem6();
         let r = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
         let avg_bw = |sites: &[SiteId]| -> f64 {
-            let objs: Vec<_> =
-                r.objects.iter().filter(|o| sites.contains(&o.site)).collect();
+            let objs: Vec<_> = r.objects.iter().filter(|o| sites.contains(&o.site)).collect();
             objs.iter().map(|o| o.avg_bandwidth(64)).sum::<f64>() / objs.len() as f64
         };
         let temps = avg_bw(&temp_sites());
@@ -357,9 +362,6 @@ mod tests {
             .map(SiteId)
             .collect();
         let persist = avg_bw(&nodal_sites);
-        assert!(
-            temps > 4.0 * persist,
-            "temps {temps:.2e} B/s vs persistent {persist:.2e} B/s"
-        );
+        assert!(temps > 4.0 * persist, "temps {temps:.2e} B/s vs persistent {persist:.2e} B/s");
     }
 }

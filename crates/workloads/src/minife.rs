@@ -171,10 +171,8 @@ mod tests {
         let mach = MachineConfig::optane_pmem6();
         let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
         let vectors = [SiteId(3), SiteId(4), SiteId(5), SiteId(6)];
-        let mut oracle = SiteMapPolicy::new(
-            vectors.iter().map(|&s| (s, TierId::DRAM)),
-            TierId::PMEM,
-        );
+        let mut oracle =
+            SiteMapPolicy::new(vectors.iter().map(|&s| (s, TierId::DRAM)), TierId::PMEM);
         let placed = run(&app, &mach, ExecMode::AppDirect, &mut oracle);
         let speedup = mm.total_time / placed.total_time;
         assert!(speedup > 1.5, "expected a MiniFE-sized win, got {speedup:.2}");

@@ -72,7 +72,17 @@ pub fn model() -> AppModel {
             allocs: vec![],
             frees: vec![],
             accesses: vec![
-                access_r(neigh, f_force, 2.5e9, 0.0, 0.09, 0.0, AccessPattern::Strided, 1.5e10, 8.0),
+                access_r(
+                    neigh,
+                    f_force,
+                    2.5e9,
+                    0.0,
+                    0.09,
+                    0.0,
+                    AccessPattern::Strided,
+                    1.5e10,
+                    8.0,
+                ),
                 access_r(pos, f_force, 8e8, 0.0, 0.05, 0.0, AccessPattern::Strided, 0.0, 12.0),
                 access_r(force, f_force, 6e8, 4e8, 0.06, 0.06, AccessPattern::Strided, 0.0, 8.0),
             ],
@@ -85,7 +95,17 @@ pub fn model() -> AppModel {
                 allocs: vec![],
                 frees: vec![],
                 accesses: vec![
-                    access_r(neigh, f_neigh, 8e8, 3e8, 0.18, 0.10, AccessPattern::Sequential, 2e9, 2.0),
+                    access_r(
+                        neigh,
+                        f_neigh,
+                        8e8,
+                        3e8,
+                        0.18,
+                        0.10,
+                        AccessPattern::Sequential,
+                        2e9,
+                        2.0,
+                    ),
                     access_r(bins, f_neigh, 4e8, 2e8, 0.15, 0.08, AccessPattern::Random, 0.0, 6.0),
                     access(pos, f_neigh, 3e8, 0.0, 0.12, 0.0, AccessPattern::Random, 0.0),
                 ],
@@ -97,8 +117,28 @@ pub fn model() -> AppModel {
             allocs: vec![],
             frees: vec![],
             accesses: vec![
-                access_r(pos, f_integrate, 3e8, 1.5e8, 0.12, 0.08, AccessPattern::Strided, 1e9, 6.0),
-                access_r(vel, f_integrate, 3e8, 1.5e8, 0.12, 0.08, AccessPattern::Strided, 0.0, 6.0),
+                access_r(
+                    pos,
+                    f_integrate,
+                    3e8,
+                    1.5e8,
+                    0.12,
+                    0.08,
+                    AccessPattern::Strided,
+                    1e9,
+                    6.0,
+                ),
+                access_r(
+                    vel,
+                    f_integrate,
+                    3e8,
+                    1.5e8,
+                    0.12,
+                    0.08,
+                    AccessPattern::Strided,
+                    0.0,
+                    6.0,
+                ),
                 access_r(force, f_integrate, 3e8, 0.0, 0.1, 0.0, AccessPattern::Strided, 0.0, 6.0),
                 access(comm, f_comm, 6e7, 3e7, 0.25, 0.2, AccessPattern::Random, 5e8),
             ],

@@ -116,10 +116,7 @@ pub fn model() -> AppModel {
         b.phase(PhaseSpec {
             label: Some("assembly".into()),
             compute_instructions: 2.8e11,
-            allocs: table
-                .iter()
-                .map(|&s| AllocOp { site: s, size: 24 * MIB, count: 1 })
-                .collect(),
+            allocs: table.iter().map(|&s| AllocOp { site: s, size: 24 * MIB, count: 1 }).collect(),
             frees: vec![],
             accesses: acc,
         });
@@ -132,10 +129,30 @@ pub fn model() -> AppModel {
             // The reuse hint models the address-space reuse across steps
             // that lets the write-back DRAM cache absorb these in Memory
             // Mode (the freed pages are rewritten before eviction).
-            acc.push(access_r(s, f_solver, 2e8, 3e8, 0.20, 0.30, AccessPattern::Sequential, 1e9, 3.0));
+            acc.push(access_r(
+                s,
+                f_solver,
+                2e8,
+                3e8,
+                0.20,
+                0.30,
+                AccessPattern::Sequential,
+                1e9,
+                3.0,
+            ));
         }
         for &s in field.iter().take(4) {
-            acc.push(access_r(s, f_solver, 1.4e8, 4e7, 0.22, 0.06, AccessPattern::Strided, 3e8, 1.5));
+            acc.push(access_r(
+                s,
+                f_solver,
+                1.4e8,
+                4e7,
+                0.22,
+                0.06,
+                AccessPattern::Strided,
+                3e8,
+                1.5,
+            ));
         }
         b.phase(PhaseSpec {
             label: Some("solver-burst".into()),
@@ -216,14 +233,10 @@ mod tests {
         // the mechanism behind Table VIII's 0.5 → 1.06 swing.
         let app = model();
         let mach = MachineConfig::optane_pmem6();
-        let density_like = SiteMapPolicy::new(
-            ledger_sites().into_iter().map(|s| (s, TierId::DRAM)),
-            TierId::PMEM,
-        );
-        let bw_like = SiteMapPolicy::new(
-            work_sites().into_iter().map(|s| (s, TierId::DRAM)),
-            TierId::PMEM,
-        );
+        let density_like =
+            SiteMapPolicy::new(ledger_sites().into_iter().map(|s| (s, TierId::DRAM)), TierId::PMEM);
+        let bw_like =
+            SiteMapPolicy::new(work_sites().into_iter().map(|s| (s, TierId::DRAM)), TierId::PMEM);
         let bad = run(&app, &mach, ExecMode::AppDirect, &mut density_like.clone());
         let good = run(&app, &mach, ExecMode::AppDirect, &mut bw_like.clone());
         assert!(

@@ -43,8 +43,16 @@ fn main() {
         mm.total_time / profdp_run.total_time,
         profdp_run.total_time,
     );
-    println!("  ecoHMEM base         {:.3}   ({:.1}s)", eco_base.speedup(), eco_base.placed.total_time);
-    println!("  ecoHMEM bw-aware     {:.3}   ({:.1}s)", eco_bwa.speedup(), eco_bwa.placed.total_time);
+    println!(
+        "  ecoHMEM base         {:.3}   ({:.1}s)",
+        eco_base.speedup(),
+        eco_base.placed.total_time
+    );
+    println!(
+        "  ecoHMEM bw-aware     {:.3}   ({:.1}s)",
+        eco_bwa.speedup(),
+        eco_bwa.placed.total_time
+    );
     println!(
         "\necoHMEM needs one profiling run (ProfDP: three) and no relinking \
          or source changes — the paper's workflow claims."

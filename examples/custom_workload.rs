@@ -59,10 +59,7 @@ fn model() -> AppModel {
         label: Some("end".into()),
         compute_instructions: 1e9,
         allocs: vec![],
-        frees: vec![
-            FreeOp { site: site_a, count: 1 },
-            FreeOp { site: filler, count: 1 },
-        ],
+        frees: vec![FreeOp { site: site_a, count: 1 }, FreeOp { site: filler, count: 1 }],
         accesses: vec![],
     });
     b.build()

@@ -17,9 +17,7 @@ fn main() {
 
     // Render the report as editable text (Table I shape).
     let machine = cfg.machine.clone();
-    let text = out
-        .report
-        .render_text(&out.profile.binmap, |t| machine.tier(t).name.clone());
+    let text = out.report.render_text(&out.profile.binmap, |t| machine.tier(t).name.clone());
     println!("advisor's report:\n{text}\n");
 
     // An engineer overrides one decision: force the second DRAM entry to
@@ -45,10 +43,7 @@ fn main() {
     let mut fm = FlexMalloc::new(&report, &app.binmap, 303, app.ranks).expect("interposer");
     let placed = run(&app, &machine, memsim::ExecMode::AppDirect, &mut fm);
 
-    println!(
-        "original placement: {:.2}x vs memory mode",
-        out.speedup()
-    );
+    println!("original placement: {:.2}x vs memory mode", out.speedup());
     println!(
         "edited placement:   {:.2}x vs memory mode ({} dram entries instead of {})",
         out.memory_mode.total_time / placed.total_time,

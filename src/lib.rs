@@ -47,10 +47,12 @@ pub use workloads;
 pub mod prelude {
     pub use advisor::{Advisor, AdvisorConfig, Algorithm, BwThresholds};
     pub use baselines::{run_memory_mode, KernelTiering, ProfDp};
-    pub use ecohmem_core::{run_pipeline, sweep, PipelineConfig, PipelineOutcome};
+    pub use ecohmem_core::{
+        run_pipeline, sweep, DegradationPolicy, PipelineConfig, PipelineOutcome,
+    };
     pub use flexmalloc::FlexMalloc;
     pub use memsim::{run, AppModel, ExecMode, MachineConfig, RunResult};
-    pub use memtrace::{PlacementReport, StackFormat, TierId};
+    pub use memtrace::{FaultKind, FaultSpec, PlacementReport, StackFormat, TierId, Warning};
     pub use profiler::{analyze, profile_run, ProfilerConfig};
 }
 

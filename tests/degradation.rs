@@ -1,0 +1,52 @@
+//! End-to-end degradation behavior: the BestEffort pipeline must complete
+//! under every fault injector at every severity, Strict must keep failing
+//! fast, and losing profile data must never *improve* the outcome.
+
+use ecohmem::prelude::*;
+
+#[test]
+fn best_effort_completes_for_every_fault_and_severity() {
+    let app = ecohmem::workloads::minife::model();
+    for kind in FaultKind::ALL {
+        for severity in [0.25, 1.0] {
+            let mut cfg = PipelineConfig::paper_default();
+            cfg.policy = DegradationPolicy::BestEffort;
+            cfg.faults = vec![FaultSpec::new(kind, severity)];
+            let out = run_pipeline(&app, &cfg)
+                .unwrap_or_else(|e| panic!("{kind}:{severity} must complete: {e}"));
+            let s = out.speedup();
+            assert!(s.is_finite() && s > 0.0, "{kind}:{severity} speedup {s}");
+            assert_eq!(out.degraded, !out.warnings.is_empty(), "{kind}:{severity}");
+            if severity == 1.0 {
+                assert!(out.degraded, "{kind} at full severity must flag degradation");
+            }
+        }
+    }
+}
+
+#[test]
+fn policies_order_by_permissiveness_on_a_damaged_trace() {
+    let app = ecohmem::workloads::minife::model();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.faults = vec![FaultSpec::new(FaultKind::CorruptTimestamps, 1.0)];
+
+    cfg.policy = DegradationPolicy::Strict;
+    assert!(run_pipeline(&app, &cfg).is_err(), "Strict must fail fast");
+
+    cfg.policy = DegradationPolicy::BestEffort;
+    let out = run_pipeline(&app, &cfg).expect("BestEffort must complete");
+    assert!(out.degraded);
+    assert!(!out.warnings.is_empty());
+}
+
+#[test]
+fn losing_every_sample_cannot_beat_the_informed_placement() {
+    let app = ecohmem::workloads::minife::model();
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.policy = DegradationPolicy::BestEffort;
+    let clean = run_pipeline(&app, &cfg).expect("clean run").speedup();
+
+    cfg.faults = vec![FaultSpec::new(FaultKind::DropSamples, 1.0)];
+    let blind = run_pipeline(&app, &cfg).expect("blind run").speedup();
+    assert!(blind <= clean + 0.05, "blind {blind:.3} must not beat clean {clean:.3}");
+}

@@ -5,8 +5,7 @@
 use ecohmem::prelude::*;
 use memsim::{AccessPattern, AllocOp, FreeOp, PhaseSpec};
 use memtrace::{
-    BinaryMapBuilder, CallStack, Frame, ModuleId, ReportEntry, ReportStack, SiteId,
-    TraceEvent,
+    BinaryMapBuilder, CallStack, Frame, ModuleId, ReportEntry, ReportStack, SiteId, TraceEvent,
 };
 
 fn toy_app() -> AppModel {
@@ -30,10 +29,7 @@ fn toy_app() -> AppModel {
                 AllocOp { site: SiteId(0), size: 1 << 26, count: 2 },
                 AllocOp { site: SiteId(1), size: 1 << 26, count: 2 },
             ],
-            frees: vec![
-                FreeOp { site: SiteId(0), count: 2 },
-                FreeOp { site: SiteId(1), count: 2 },
-            ],
+            frees: vec![FreeOp { site: SiteId(0), count: 2 }, FreeOp { site: SiteId(1), count: 2 }],
             accesses: vec![memsim::AccessSpec {
                 site: SiteId(0),
                 function: memtrace::FuncId(0),

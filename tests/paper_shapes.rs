@@ -140,7 +140,10 @@ fn profdp_is_on_par_for_minife() {
     let mm = run_memory_mode(&app, &machine);
     let profdp_speedup = mm.total_time / best.total_time;
     let eco = speedup("minife", 12, Metrics::Loads, Algorithm::Base);
-    assert!((profdp_speedup / eco - 1.0).abs() < 0.15, "profdp {profdp_speedup:.2} vs eco {eco:.2}");
+    assert!(
+        (profdp_speedup / eco - 1.0).abs() < 0.15,
+        "profdp {profdp_speedup:.2} vs eco {eco:.2}"
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use ecohmem::prelude::*;
 use memtrace::{
-    BinaryMap, BinaryMapBuilder, CallStack, Frame, LoadMap, ModuleId, ObjectId,
-    ReportEntry, ReportStack, SiteId,
+    BinaryMap, BinaryMapBuilder, CallStack, Frame, LoadMap, ModuleId, ObjectId, ReportEntry,
+    ReportStack, SiteId,
 };
 use proptest::prelude::*;
 

@@ -48,11 +48,7 @@ fn knapsack_fills_tiers_in_order_of_density() {
     let (assignment, _) = advisor.assign(&profile, Algorithm::Base);
 
     let bytes_in = |tier: TierId| -> u64 {
-        assignment
-            .sites_in(tier)
-            .iter()
-            .map(|s| profile.site(*s).unwrap().total_bytes)
-            .sum()
+        assignment.sites_in(tier).iter().map(|s| profile.site(*s).unwrap().total_bytes).sum()
     };
     // All three tiers get something, and budgets are respected.
     assert!(bytes_in(TierId(0)) > 0, "HBM used");
