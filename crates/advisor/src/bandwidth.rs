@@ -90,6 +90,22 @@ impl Classification {
     }
 }
 
+/// Allocation-time bandwidth made total for classification. A site whose
+/// alloc and dealloc timestamps coincide (zero lifetime) divides zero
+/// samples by zero seconds and reports NaN; every threshold comparison on
+/// NaN is false, so such sites used to silently escape classification. The
+/// convention: a degenerate lifetime exerted no measurable bandwidth
+/// pressure, so it counts as zero demand — in DRAM with few allocations
+/// that makes the site Fitting (a donor), exactly how a zero-traffic site
+/// should be treated.
+fn effective_bw(bw: f64) -> f64 {
+    if bw.is_finite() {
+        bw
+    } else {
+        0.0
+    }
+}
+
 /// Step 1: classify every site (Table IV).
 pub fn classify(
     profile: &ProfileSet,
@@ -103,15 +119,16 @@ pub fn classify(
     for s in &profile.sites {
         let tier = base.tier_of(s.site);
         let in_dram = tier == fast_tier;
-        let cat = if in_dram && s.alloc_count < thresholds.t_alloc && s.bw_at_alloc < low_bw {
+        let bw_at_alloc = effective_bw(s.bw_at_alloc);
+        let cat = if in_dram && s.alloc_count < thresholds.t_alloc && bw_at_alloc < low_bw {
             Category::Fitting
         } else if in_dram
             && !s.has_stores
             && s.alloc_count > thresholds.t_alloc
-            && s.bw_at_alloc < low_bw
+            && bw_at_alloc < low_bw
         {
             Category::StreamingD
-        } else if !in_dram && s.alloc_count > thresholds.t_alloc && s.bw_at_alloc > high_bw {
+        } else if !in_dram && s.alloc_count > thresholds.t_alloc && bw_at_alloc > high_bw {
             Category::Thrashing
         } else {
             Category::Unclassified
@@ -147,11 +164,12 @@ pub fn rebalance(
     thrashing.sort_by(|a, b| {
         let pa = profile.site(*a).unwrap();
         let pb = profile.site(*b).unwrap();
-        pb.avg_bw
-            .partial_cmp(&pa.avg_bw)
-            .unwrap()
-            .then(pa.first_alloc.partial_cmp(&pb.first_alloc).unwrap())
-            .then(pa.last_free.partial_cmp(&pb.last_free).unwrap())
+        // total_cmp: degenerate-lifetime sites carry NaN bandwidths, which
+        // must order deterministically instead of panicking.
+        effective_bw(pb.avg_bw)
+            .total_cmp(&effective_bw(pa.avg_bw))
+            .then(pa.first_alloc.total_cmp(&pb.first_alloc))
+            .then(pa.last_free.total_cmp(&pb.last_free))
     });
 
     // Fitting donors, smallest first ("smallest number in Fitting that can
@@ -299,6 +317,45 @@ mod tests {
         let (out, c) = rebalance(&profile, &base, &cfg, &BwThresholds::default());
         assert!(c.sites_of(Category::Fitting).is_empty());
         assert_eq!(out.tier_of(SiteId(2)), TierId::PMEM, "nothing to evict");
+    }
+
+    #[test]
+    fn degenerate_lifetime_site_is_fitting() {
+        // Regression (satellite 2), mirroring Table IV: a DRAM site whose
+        // alloc and dealloc timestamps coincide reports NaN allocation-time
+        // bandwidth (0 samples / 0 seconds). All NaN comparisons are false,
+        // so it used to fall through to Unclassified; the pinned convention
+        // is that zero-lifetime demand is zero demand → Fitting.
+        let (mut profile, cfg) = scenario();
+        profile.sites[0].bw_at_alloc = f64::NAN;
+        profile.sites[0].avg_bw = f64::NAN;
+        profile.sites[0].last_free = profile.sites[0].first_alloc;
+        let base = knapsack::assign(&profile, &cfg);
+        assert_eq!(base.tier_of(SiteId(0)), TierId::DRAM);
+        let c = classify(&profile, &base, TierId::DRAM, &BwThresholds::default());
+        assert_eq!(c.category(SiteId(0)), Category::Fitting);
+        // The other Table IV rows are unaffected by the convention.
+        assert_eq!(c.category(SiteId(1)), Category::StreamingD);
+        assert_eq!(c.category(SiteId(2)), Category::Thrashing);
+    }
+
+    #[test]
+    fn rebalance_orders_nan_bandwidth_sites_without_panicking() {
+        // Regression (satellite 2): two Thrashing sites where one carries a
+        // NaN average bandwidth used to panic in the promotion sort's
+        // `partial_cmp().unwrap()`. NaN orders as zero demand now, so the
+        // well-measured site is promoted first.
+        let (mut profile, cfg) = scenario();
+        profile.sites[3].alloc_count = 100;
+        profile.sites[3].bw_at_alloc = 9e9;
+        profile.sites[3].avg_bw = f64::NAN;
+        let base = knapsack::assign(&profile, &cfg);
+        assert_eq!(base.tier_of(SiteId(3)), TierId::PMEM);
+        let (out, c) = rebalance(&profile, &base, &cfg, &BwThresholds::default());
+        assert_eq!(c.category(SiteId(2)), Category::Thrashing);
+        assert_eq!(c.category(SiteId(3)), Category::Thrashing);
+        // Site 2 (finite bandwidth) outranks the NaN site for the slack.
+        assert_eq!(out.tier_of(SiteId(2)), TierId::DRAM);
     }
 
     #[test]

@@ -9,34 +9,39 @@
 //! many more sites to profile and match. (Intra-object heat is uniform in
 //! our models, so the skew benefit of page systems is out of scope; see
 //! the module docs of `workloads::granularity`.)
+//!
+//! Usage: `ablation_granularity [--jobs N]`.
 
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 use workloads::paginate_model;
 
 fn main() {
-    let mut t = Table::new(&["app", "granularity", "sites", "speedup", "pipeline_ms"]);
+    let runner = Runner::from_env("ablation_granularity");
+    let mut grid: Vec<(&str, String, memsim::AppModel)> = Vec::new();
     for name in ["minife", "hpcg", "cloverleaf3d"] {
         let base = workloads::model_by_name(name).unwrap();
-        let variants: Vec<(String, memsim::AppModel)> = vec![
-            ("object".into(), base.clone()),
-            ("1 GiB chunks".into(), paginate_model(&base, 1 << 30)),
-            ("256 MiB chunks".into(), paginate_model(&base, 256 << 20)),
-            ("64 MiB chunks".into(), paginate_model(&base, 64 << 20)),
-        ];
-        for (label, app) in variants {
-            let cfg = PipelineConfig::paper_default();
-            let t0 = std::time::Instant::now();
-            let out = run_pipeline(&app, &cfg).unwrap();
-            let elapsed = t0.elapsed().as_millis();
-            t.row(vec![
-                name.into(),
-                label,
-                app.sites.len().to_string(),
-                format!("{:.3}", out.speedup()),
-                elapsed.to_string(),
-            ]);
-        }
+        grid.push((name, "object".into(), base.clone()));
+        grid.push((name, "1 GiB chunks".into(), paginate_model(&base, 1 << 30)));
+        grid.push((name, "256 MiB chunks".into(), paginate_model(&base, 256 << 20)));
+        grid.push((name, "64 MiB chunks".into(), paginate_model(&base, 64 << 20)));
+    }
+    let rows = runner.map(grid, |(name, label, app)| {
+        let cfg = PipelineConfig::paper_default();
+        let t0 = std::time::Instant::now();
+        let out = run_pipeline(&app, &cfg).unwrap();
+        let elapsed = t0.elapsed().as_millis();
+        vec![
+            name.into(),
+            label,
+            app.sites.len().to_string(),
+            format!("{:.3}", out.speedup()),
+            elapsed.to_string(),
+        ]
+    });
+    let mut t = Table::new(&["app", "granularity", "sites", "speedup", "pipeline_ms"]);
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -45,4 +50,5 @@ fn main() {
          interposer must match — the trade the paper's object-granularity \
          choice navigates."
     );
+    runner.report();
 }

@@ -3,33 +3,44 @@
 //! shows how the placement quality degrades as the profile gets sparser —
 //! and that LAMMPS's communication buffers are exactly the kind of site a
 //! sparse profile misranks (§VIII-C).
+//!
+//! Usage: `ablation_sampling [--jobs N]`.
 
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 use profiler::ProfilerConfig;
 
 fn main() {
-    let mut t = Table::new(&["app", "rate_hz", "sampled_sites_%", "speedup"]);
+    let runner = Runner::from_env("ablation_sampling");
+    let mut grid = Vec::new();
     for name in ["minife", "cloverleaf3d", "lammps"] {
-        let app = workloads::model_by_name(name).unwrap();
         for hz in [1.0f64, 10.0, 100.0, 1000.0] {
-            let mut cfg = PipelineConfig::paper_default();
-            cfg.profiler = ProfilerConfig { sampling_hz: hz, seed: 7 };
-            let out = run_pipeline(&app, &cfg).unwrap();
-            let sampled = out
-                .profile
-                .sites
-                .iter()
-                .filter(|s| s.load_misses_est > 0.0 || s.store_misses_est > 0.0)
-                .count();
-            t.row(vec![
-                name.into(),
-                format!("{hz:.0}"),
-                format!("{:.0}", 100.0 * sampled as f64 / out.profile.sites.len() as f64),
-                format!("{:.3}", out.speedup()),
-            ]);
+            grid.push((name, hz));
         }
+    }
+    let rows = runner.map(grid, |(name, hz)| {
+        let app = workloads::model_by_name(name).unwrap();
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.profiler = ProfilerConfig { sampling_hz: hz, seed: 7 };
+        let out = run_pipeline(&app, &cfg).unwrap();
+        let sampled = out
+            .profile
+            .sites
+            .iter()
+            .filter(|s| s.load_misses_est > 0.0 || s.store_misses_est > 0.0)
+            .count();
+        vec![
+            name.into(),
+            format!("{hz:.0}"),
+            format!("{:.0}", 100.0 * sampled as f64 / out.profile.sites.len() as f64),
+            format!("{:.3}", out.speedup()),
+        ]
+    });
+    let mut t = Table::new(&["app", "rate_hz", "sampled_sites_%", "speedup"]);
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("\npaper rate: 100 Hz for both loads and stores");
+    runner.report();
 }

@@ -2,9 +2,11 @@
 //! thresholds (§VII-B1 sets T_ALLOC = 2, T_PMEMLOW = 20%, T_PMEMHIGH = 40%
 //! "based on empirical observations" — this sweep shows how much that
 //! choice matters on the two applications the algorithm rescues).
+//!
+//! Usage: `ablation_thresholds [--jobs N]`.
 
 use advisor::{Algorithm, BwThresholds};
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 
 fn speedup(app: &memsim::AppModel, gib: u64, thresholds: BwThresholds) -> f64 {
@@ -16,30 +18,45 @@ fn speedup(app: &memsim::AppModel, gib: u64, thresholds: BwThresholds) -> f64 {
 }
 
 fn main() {
+    let runner = Runner::from_env("ablation_thresholds");
     for (name, gib) in [("lulesh", 12u64), ("openfoam", 11u64)] {
         let app = workloads::model_by_name(name).unwrap();
         println!("== {name} (bandwidth-aware speedup vs memory mode) ==");
 
+        // One work item per threshold variant; all three sub-tables run in
+        // a single parallel batch (the profiling and Memory-Mode runs they
+        // share are simulated once via the global cache).
+        const T_ALLOC: [u64; 5] = [1, 2, 4, 8, 32];
+        const HIGH: [f64; 5] = [0.2, 0.3, 0.4, 0.6, 0.8];
+        const LOW: [f64; 4] = [0.05, 0.1, 0.2, 0.35];
+        let mut variants: Vec<BwThresholds> = Vec::new();
+        variants
+            .extend(T_ALLOC.iter().map(|&t_alloc| BwThresholds { t_alloc, ..Default::default() }));
+        variants.extend(
+            HIGH.iter().map(|&high| BwThresholds { high_frac: high, ..Default::default() }),
+        );
+        variants
+            .extend(LOW.iter().map(|&low| BwThresholds { low_frac: low, ..Default::default() }));
+        let speedups = runner.map(variants, |thresholds| speedup(&app, gib, thresholds));
+
         let mut t = Table::new(&["t_alloc", "speedup"]);
-        for t_alloc in [1u64, 2, 4, 8, 32] {
-            let s = speedup(&app, gib, BwThresholds { t_alloc, ..Default::default() });
+        for (t_alloc, s) in T_ALLOC.iter().zip(&speedups) {
             t.row(vec![t_alloc.to_string(), format!("{s:.3}")]);
         }
         println!("{}", t.render());
 
         let mut t = Table::new(&["t_pmemhigh_frac", "speedup"]);
-        for high in [0.2f64, 0.3, 0.4, 0.6, 0.8] {
-            let s = speedup(&app, gib, BwThresholds { high_frac: high, ..Default::default() });
+        for (high, s) in HIGH.iter().zip(&speedups[T_ALLOC.len()..]) {
             t.row(vec![format!("{high:.1}"), format!("{s:.3}")]);
         }
         println!("{}", t.render());
 
         let mut t = Table::new(&["t_pmemlow_frac", "speedup"]);
-        for low in [0.05f64, 0.1, 0.2, 0.35] {
-            let s = speedup(&app, gib, BwThresholds { low_frac: low, ..Default::default() });
+        for (low, s) in LOW.iter().zip(&speedups[T_ALLOC.len() + HIGH.len()..]) {
             t.row(vec![format!("{low:.2}"), format!("{s:.3}")]);
         }
         println!("{}\n", t.render());
     }
     println!("paper defaults: T_ALLOC=2, T_PMEMLOW=0.2, T_PMEMHIGH=0.4");
+    runner.report();
 }

@@ -2,13 +2,32 @@
 //! trivial placements, used while tuning the workload models. Not a paper
 //! experiment, but kept as a debugging aid.
 
-use bench::Table;
+use bench::{Runner, Table};
 use memsim::policy::SiteMapPolicy;
-use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memsim::{run, ExecMode, MachineConfig};
 use memtrace::TierId;
 
 fn main() {
+    let runner = Runner::from_env("calib");
     let mach = MachineConfig::optane_pmem6();
+    // The trivial fixed-tier placements are exactly the runs the rest of
+    // the harness shares, so fetch them through the global cache.
+    let rows = runner.map(workloads::all_models(), |app| {
+        let cache = memsim::global_cache();
+        let mm = cache.run_fixed(&app, &mach, ExecMode::MemoryMode, TierId::PMEM, None);
+        let pmem = cache.run_fixed(&app, &mach, ExecMode::AppDirect, TierId::PMEM, None);
+        let dram =
+            cache.run_fixed(&app, &mach, ExecMode::AppDirect, TierId::DRAM, Some(TierId::PMEM));
+        vec![
+            app.name.clone(),
+            format!("{:.1}", mm.total_time),
+            format!("{:.3}", mm.memory_bound_fraction()),
+            format!("{:.3}", mm.dram_cache_hit_ratio()),
+            format!("{:.1}", pmem.total_time),
+            format!("{:.1}", dram.total_time),
+            format!("{:.2}", mm.total_time / pmem.total_time),
+        ]
+    });
     let mut t = Table::new(&[
         "app",
         "mm_time",
@@ -18,24 +37,8 @@ fn main() {
         "dramfirst_time",
         "mm/pmem",
     ]);
-    for app in workloads::all_models() {
-        let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
-        let pmem = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
-        let dram = run(
-            &app,
-            &mach,
-            ExecMode::AppDirect,
-            &mut FixedTier::with_fallback(TierId::DRAM, TierId::PMEM),
-        );
-        t.row(vec![
-            app.name.clone(),
-            format!("{:.1}", mm.total_time),
-            format!("{:.3}", mm.memory_bound_fraction()),
-            format!("{:.3}", mm.dram_cache_hit_ratio().unwrap_or(f64::NAN)),
-            format!("{:.1}", pmem.total_time),
-            format!("{:.1}", dram.total_time),
-            format!("{:.2}", mm.total_time / pmem.total_time),
-        ]);
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -59,15 +62,17 @@ fn main() {
             TierId::PMEM,
         ),
     );
-    let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+    let mm =
+        memsim::global_cache().run_fixed(&app, &mach, ExecMode::MemoryMode, TierId::PMEM, None);
     println!(
         "\nopenfoam: density-like {:.1}s  bw-like {:.1}s  memory-mode {:.1}s",
         bad.total_time, good.total_time, mm.total_time
     );
 
     let app = workloads::lulesh::model();
-    let mm = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
-    let pm = run(&app, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM));
+    let cache = memsim::global_cache();
+    let mm = cache.run_fixed(&app, &mach, ExecMode::MemoryMode, TierId::PMEM, None);
+    let pm = cache.run_fixed(&app, &mach, ExecMode::AppDirect, TierId::PMEM, None);
     println!("lulesh: memory-mode {:.1}s  all-pmem {:.1}s", mm.total_time, pm.total_time);
     for label in ["lagrange_nodal", "lagrange_elems", "calc_constraints"] {
         let (bw, n) = pm
@@ -88,4 +93,5 @@ fn main() {
             dur / n as f64
         );
     }
+    runner.report();
 }

@@ -1,28 +1,31 @@
 //! Future-work experiment (§III): combine ecoHMEM's proactive initial
 //! placement with reactive kernel page migration, and compare against each
 //! mechanism alone.
+//!
+//! Usage: `combined_placement [--jobs N]`.
 
 use advisor::{Advisor, AdvisorConfig, Algorithm};
 use baselines::{run_memory_mode, KernelTiering, ProactiveReactive};
-use bench::Table;
+use bench::{Runner, Table};
 use flexmalloc::FlexMalloc;
-use memsim::{run, ExecMode, FixedTier, MachineConfig};
+use memsim::{run, ExecMode, MachineConfig};
 use memtrace::{StackFormat, TierId};
-use profiler::{analyze, profile_run, ProfilerConfig};
+use profiler::{analyze, profile_run_cached, ProfilerConfig};
 
 fn main() {
+    let runner = Runner::from_env("combined_placement");
     let machine = MachineConfig::optane_pmem6();
-    let mut t = Table::new(&["app", "ecohmem", "tiering", "combined"]);
-    for name in ["minife", "hpcg", "lulesh", "cloverleaf3d"] {
+    let rows = runner.map(vec!["minife", "hpcg", "lulesh", "cloverleaf3d"], |name| {
         let app = workloads::model_by_name(name).unwrap();
         let mm = run_memory_mode(&app, &machine);
 
-        // Profile once, advise once.
-        let (trace, _) = profile_run(
+        // Profile once, advise once. The memoized profiling run shares its
+        // engine execution with the `run_memory_mode` baseline above.
+        let (trace, _) = profile_run_cached(
             &app,
             &machine,
             ExecMode::MemoryMode,
-            &mut FixedTier::new(TierId::PMEM),
+            TierId::PMEM,
             &ProfilerConfig::default(),
         );
         let profile = analyze(&trace).unwrap();
@@ -40,12 +43,16 @@ fn main() {
             ProactiveReactive::new(&report, &app.binmap, &machine, 202, app.ranks).unwrap();
         let combined_run = run(&app, &machine, ExecMode::AppDirect, &mut combined);
 
-        t.row(vec![
+        vec![
             name.into(),
             format!("{:.3}", mm.total_time / eco_run.total_time),
             format!("{:.3}", mm.total_time / tiering_run.total_time),
             format!("{:.3}", mm.total_time / combined_run.total_time),
-        ]);
+        ]
+    });
+    let mut t = Table::new(&["app", "ecohmem", "tiering", "combined"]);
+    for row in rows {
+        t.row(row);
     }
     println!("speedups vs memory mode:\n{}", t.render());
     println!(
@@ -53,4 +60,5 @@ fn main() {
          reactively, at the cost of the kernel's page-metadata DRAM reservation \
          (the paper's §III future-work direction)."
     );
+    runner.report();
 }

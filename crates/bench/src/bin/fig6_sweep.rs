@@ -4,16 +4,19 @@
 //! population (PMem-6 vs PMem-2), plus the kernel-tiering and ProfDP
 //! comparison points at the 12 GB limit.
 //!
-//! Usage: `fig6_sweep [--fast]` (--fast: PMem-6 only, 12 GB only).
+//! Usage: `fig6_sweep [--fast] [--jobs N]` (--fast: PMem-6 only, 12 GB
+//! only). Cells run in parallel on the memoizing runner; the shared
+//! profiling/Memory-Mode simulations are executed once per machine.
 
 use advisor::Algorithm;
 use baselines::{KernelTiering, ProfDp};
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::experiments::{run_cell, Metrics, SweepSpec};
 use memsim::{run as engine_run, ExecMode, MachineConfig};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
+    let runner = Runner::from_env("fig6_sweep");
     let apps = workloads::miniapp_models();
     let machines = if fast {
         vec![MachineConfig::optane_pmem6()]
@@ -24,42 +27,49 @@ fn main() {
 
     for machine in &machines {
         println!("== {} ==", machine.name);
-        let mut t = Table::new(&["app", "metrics", "dram_gib", "speedup_vs_memory_mode"]);
+        let mut grid = Vec::new();
         for app in &apps {
             for &metrics in &[Metrics::Loads, Metrics::LoadsStores] {
                 for &gib in limits {
-                    let cell = run_cell(
-                        app,
-                        machine,
-                        SweepSpec { dram_gib: gib, metrics, algorithm: Algorithm::Base },
-                    );
-                    t.row(vec![
-                        app.name.clone(),
-                        metrics.label().into(),
-                        gib.to_string(),
-                        format!("{:.2}", cell.speedup),
-                    ]);
+                    grid.push((app, metrics, gib));
                 }
             }
+        }
+        let cells = runner.map(grid, |(app, metrics, gib)| {
+            run_cell(app, machine, SweepSpec { dram_gib: gib, metrics, algorithm: Algorithm::Base })
+        });
+
+        let mut t = Table::new(&["app", "metrics", "dram_gib", "speedup_vs_memory_mode"]);
+        for cell in &cells {
+            t.row(vec![
+                cell.app.clone(),
+                cell.spec.metrics.label().into(),
+                cell.spec.dram_gib.to_string(),
+                format!("{:.2}", cell.speedup),
+            ]);
         }
         println!("{}\n", t.render());
     }
 
     // Kernel tiering and ProfDP comparison points (PMem-6, 12 GB).
     let machine = MachineConfig::optane_pmem6();
-    let mut t = Table::new(&["app", "kernel_tiering", "profdp_best", "profdp_variant"]);
-    for app in &apps {
+    let rows = runner.map(apps.iter().collect(), |app| {
         let mm = baselines::run_memory_mode(app, &machine);
         let tiering =
             engine_run(app, &machine, ExecMode::AppDirect, &mut KernelTiering::new(&machine));
         let profdp = ProfDp::profile(app, &machine);
         let (variant, best) = profdp.best_run(app, &machine, 12 << 30);
-        t.row(vec![
+        vec![
             app.name.clone(),
             format!("{:.2}", mm.total_time / tiering.total_time),
             format!("{:.2}", mm.total_time / best.total_time),
             format!("{variant:?}"),
-        ]);
+        ]
+    });
+    let mut t = Table::new(&["app", "kernel_tiering", "profdp_best", "profdp_variant"]);
+    for row in rows {
+        t.row(row);
     }
     println!("== baselines (PMem-6, speedup vs memory mode) ==\n{}", t.render());
+    runner.report();
 }

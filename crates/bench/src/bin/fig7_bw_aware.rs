@@ -5,21 +5,37 @@
 //! Shape to reproduce: the bandwidth-aware curve tracks the main curve but
 //! with the high-bandwidth peaks shaved off — the promoted objects' demand
 //! has moved to DRAM.
+//!
+//! Usage: `fig7_bw_aware [--jobs N]`.
 
 use advisor::Algorithm;
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 use memtrace::TierId;
 
+const APPS: [(&str, u64); 2] = [("lulesh", 12), ("openfoam", 11)];
+
 fn main() {
-    for (name, gib) in [("lulesh", 12u64), ("openfoam", 11u64)] {
+    let runner = Runner::from_env("fig7_bw_aware");
+    // All four pipeline runs (2 apps × 2 algorithms) in one parallel
+    // batch; the per-app profiling/baseline runs are shared via the cache.
+    let mut grid = Vec::new();
+    for (name, gib) in APPS {
+        for algorithm in [Algorithm::Base, Algorithm::BandwidthAware] {
+            grid.push((name, gib, algorithm));
+        }
+    }
+    let outs = runner.map(grid, |(name, gib, algorithm)| {
         let app = workloads::model_by_name(name).unwrap();
         let mut cfg = PipelineConfig::paper_default();
         cfg.advisor = advisor::AdvisorConfig::loads_only(gib);
-        cfg.algorithm = Algorithm::Base;
-        let base = run_pipeline(&app, &cfg).unwrap();
-        cfg.algorithm = Algorithm::BandwidthAware;
-        let bwa = run_pipeline(&app, &cfg).unwrap();
+        cfg.algorithm = algorithm;
+        run_pipeline(&app, &cfg).unwrap()
+    });
+
+    for (i, (name, _)) in APPS.iter().enumerate() {
+        let base = &outs[2 * i];
+        let bwa = &outs[2 * i + 1];
 
         println!("== {name} ==");
         let a = base.placed.tier_bw_series(TierId::PMEM);
@@ -58,4 +74,5 @@ fn main() {
             bwa.speedup(),
         );
     }
+    runner.report();
 }

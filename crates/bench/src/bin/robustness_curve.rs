@@ -5,19 +5,20 @@
 //! ```text
 //! robustness_curve [--app minife] [--machine pmem6|pmem2|hbm]
 //!                  [--policy strict|warn|best-effort] [--seed N]
-//!                  [--inject kind:severity]...
+//!                  [--jobs N] [--inject kind:severity]...
 //! ```
 //!
 //! Without `--inject`, sweeps every fault kind at severities
 //! 0.00/0.25/0.50/0.75/1.00.
 
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, DegradationPolicy, PipelineConfig};
 use memsim::MachineConfig;
 use memtrace::{FaultKind, FaultSpec};
 
 const USAGE: &str = "robustness_curve [--app NAME] [--machine pmem6|pmem2|hbm] \
-                     [--policy strict|warn|best-effort] [--seed N] [--inject kind:severity]...";
+                     [--policy strict|warn|best-effort] [--seed N] [--jobs N] \
+                     [--inject kind:severity]...";
 
 fn die(msg: &str) -> ! {
     eprintln!("robustness_curve: {msg}\n\nusage: {USAGE}");
@@ -50,6 +51,10 @@ fn main() {
                 }
             }
             "--seed" => seed = value.parse().unwrap_or_else(|_| die("--seed wants an integer")),
+            "--jobs" => {
+                // Consumed by Runner::from_env; validated here for usage errors.
+                value.parse::<usize>().unwrap_or_else(|_| die("--jobs wants an integer"));
+            }
             "--inject" => injects.push(FaultSpec::parse(value).unwrap_or_else(|e| die(&e))),
             other => die(&format!("unknown argument `{other}`")),
         }
@@ -80,6 +85,38 @@ fn main() {
         injects
     };
 
+    let runner = Runner::from_env("robustness_curve");
+    let rows = runner.map(sweep, |spec| {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.machine = machine.clone();
+        cfg.policy = policy;
+        cfg.faults = vec![spec];
+        match run_pipeline(&app, &cfg) {
+            Ok(out) => vec![
+                spec.kind.name().into(),
+                format!("{:.2}", spec.severity),
+                "ok".into(),
+                out.degraded.to_string(),
+                format!("{:.3}", out.speedup()),
+                out.match_stats.matched.to_string(),
+                out.match_stats.unmatched.to_string(),
+                out.match_stats.unresolvable.to_string(),
+                out.warnings.len().to_string(),
+            ],
+            Err(e) => vec![
+                spec.kind.name().into(),
+                format!("{:.2}", spec.severity),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        }
+    });
+
     let mut t = Table::new(&[
         "fault",
         "severity",
@@ -91,39 +128,13 @@ fn main() {
         "unresolvable",
         "warnings",
     ]);
-    for spec in &sweep {
-        let mut cfg = PipelineConfig::paper_default();
-        cfg.machine = machine.clone();
-        cfg.policy = policy;
-        cfg.faults = vec![*spec];
-        match run_pipeline(&app, &cfg) {
-            Ok(out) => t.row(vec![
-                spec.kind.name().into(),
-                format!("{:.2}", spec.severity),
-                "ok".into(),
-                out.degraded.to_string(),
-                format!("{:.3}", out.speedup()),
-                out.match_stats.matched.to_string(),
-                out.match_stats.unmatched.to_string(),
-                out.match_stats.unresolvable.to_string(),
-                out.warnings.len().to_string(),
-            ]),
-            Err(e) => t.row(vec![
-                spec.kind.name().into(),
-                format!("{:.2}", spec.severity),
-                format!("error: {e}"),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
+    for row in rows {
+        t.row(row);
     }
     println!(
         "== robustness curve: {app_name} on {}, policy {policy:?}, seed {seed:#x} ==\n{}",
         machine.name,
         t.render()
     );
+    runner.report();
 }

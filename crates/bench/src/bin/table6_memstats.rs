@@ -5,12 +5,15 @@
 //! Paper reference points: MiniFE 90.2%/39.9%, MiniMD 41.5%/61.5%,
 //! LULESH 65.5%/61.7%, HPCG 80.5%/54.4%, CloverLeaf3D 93.5%/59.2%
 //! (plus LAMMPS 29.2%/63.5% from §VIII-C).
+//!
+//! Usage: `table6_memstats [--jobs N]`.
 
 use baselines::run_memory_mode;
-use bench::Table;
+use bench::{Runner, Table};
 use memsim::MachineConfig;
 
 fn main() {
+    let runner = Runner::from_env("table6_memstats");
     let machine = MachineConfig::optane_pmem6();
     let paper: &[(&str, f64, f64)] = &[
         ("minife", 90.2, 39.9),
@@ -20,18 +23,22 @@ fn main() {
         ("cloverleaf3d", 93.5, 59.2),
         ("lammps", 29.2, 63.5),
     ];
-    let mut t =
-        Table::new(&["app", "membound_%", "membound_paper_%", "dram_cache_hit_%", "hit_paper_%"]);
-    for &(name, p_mb, p_hit) in paper {
+    let rows = runner.map(paper.to_vec(), |(name, p_mb, p_hit)| {
         let app = workloads::model_by_name(name).unwrap();
         let r = run_memory_mode(&app, &machine);
-        t.row(vec![
+        vec![
             name.into(),
             format!("{:.1}", 100.0 * r.memory_bound_fraction()),
             format!("{p_mb:.1}"),
-            format!("{:.1}", 100.0 * r.dram_cache_hit_ratio().unwrap_or(f64::NAN)),
+            format!("{:.1}", 100.0 * r.dram_cache_hit_ratio()),
             format!("{p_hit:.1}"),
-        ]);
+        ]
+    });
+    let mut t =
+        Table::new(&["app", "membound_%", "membound_paper_%", "dram_cache_hit_%", "hit_paper_%"]);
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
+    runner.report();
 }

@@ -6,14 +6,17 @@
 //! viscosity); functions stuck on PMem-resident data show the inverse
 //! (ideal_gas, pack_message, reset_field, update_halo).
 
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 
 fn main() {
+    let runner = Runner::from_env("table7_cloverleaf");
     let app = workloads::cloverleaf3d::model();
     let mut cfg = PipelineConfig::paper_default();
     cfg.advisor = advisor::AdvisorConfig::loads_and_stores(12);
-    let out = run_pipeline(&app, &cfg).unwrap();
+    // A single pipeline invocation: the runner still memoizes its profiling
+    // and Memory-Mode runs and reports the cache stats at exit.
+    let out = runner.map(vec![&app], |app| run_pipeline(app, &cfg).unwrap()).remove(0);
 
     let mut t = Table::new(&["function", "rel_ipc_%", "rel_latency_%"]);
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
@@ -73,4 +76,5 @@ fn main() {
         group(&demoted, 1),
         group(&promoted, 0) > group(&demoted, 0) && group(&promoted, 1) < group(&demoted, 1),
     );
+    runner.report();
 }

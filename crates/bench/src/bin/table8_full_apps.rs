@@ -5,13 +5,16 @@
 //! Paper reference points: OpenFOAM main ≈ 0.50/0.52, bandwidth-aware ≈
 //! 1.056/1.061; LAMMPS ≈ 0.96–0.97 everywhere; LULESH base 1.07 →
 //! bandwidth-aware 1.19.
+//!
+//! Usage: `table8_full_apps [--jobs N]`.
 
 use advisor::Algorithm;
-use bench::Table;
+use bench::{Runner, Table};
 use ecohmem_core::experiments::{run_cell, Metrics, SweepSpec};
 use memsim::MachineConfig;
 
 fn main() {
+    let runner = Runner::from_env("table8_full_apps");
     let machine = MachineConfig::optane_pmem6();
     // DRAM limits per the paper: OpenFOAM 11 GB; LAMMPS 14 GB (main) /
     // 16 GB (bw-aware); LULESH 12 GB.
@@ -21,23 +24,32 @@ fn main() {
         (workloads::lulesh::model(), 12, 12),
     ];
 
-    let mut t = Table::new(&["app", "algorithm", "metrics", "dram_gib", "speedup"]);
+    let mut grid = Vec::new();
     for (app, main_gib, bw_gib) in &apps {
         for &(algorithm, gib, alg_label) in &[
             (Algorithm::Base, *main_gib, "main"),
             (Algorithm::BandwidthAware, *bw_gib, "bw-aware"),
         ] {
             for &metrics in &[Metrics::Loads, Metrics::LoadsStores] {
-                let cell = run_cell(app, &machine, SweepSpec { dram_gib: gib, metrics, algorithm });
-                t.row(vec![
-                    app.name.clone(),
-                    alg_label.into(),
-                    metrics.label().into(),
-                    gib.to_string(),
-                    format!("{:.3}", cell.speedup),
-                ]);
+                grid.push((app, algorithm, gib, alg_label, metrics));
             }
         }
     }
+    let rows = runner.map(grid, |(app, algorithm, gib, alg_label, metrics)| {
+        let cell = run_cell(app, &machine, SweepSpec { dram_gib: gib, metrics, algorithm });
+        vec![
+            app.name.clone(),
+            alg_label.into(),
+            metrics.label().into(),
+            gib.to_string(),
+            format!("{:.3}", cell.speedup),
+        ]
+    });
+
+    let mut t = Table::new(&["app", "algorithm", "metrics", "dram_gib", "speedup"]);
+    for row in rows {
+        t.row(row);
+    }
     println!("{}", t.render());
+    runner.report();
 }

@@ -1,8 +1,10 @@
 //! # bench — experiment harness for the ecoHMEM reproduction
 //!
 //! One binary per paper table/figure (see `src/bin/`), plus shared table
-//! formatting helpers here.
+//! formatting helpers and the parallel memoizing experiment runner here.
 
+pub mod runner;
 pub mod table;
 
+pub use runner::Runner;
 pub use table::Table;

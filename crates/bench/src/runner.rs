@@ -1,0 +1,180 @@
+//! The bench experiment runner: one object every `src/bin/` harness drives
+//! its simulations through.
+//!
+//! The runner owns three things:
+//!
+//! * **Worker count.** `Runner::from_env` reads `--jobs N` (or `--jobs=N`)
+//!   from the command line, falling back to the `ECOHMEM_JOBS` environment
+//!   variable and then to the machine's available parallelism (see
+//!   [`memsim::jobs_from_env`]).
+//! * **Parallel mapping.** [`Runner::map`] spreads independent experiment
+//!   cells over [`memsim::parallel_map`]'s work-stealing scoped-thread pool.
+//!   Results come back in submission order, so tables rendered from them
+//!   are byte-identical at any job count; only stderr stats differ.
+//! * **End-of-run stats.** [`Runner::report`] prints cache hits/misses,
+//!   engine invocations, wall time and the estimated speedup over a serial
+//!   run to *stderr*, keeping stdout reserved for table output. Counters
+//!   are snapshotted at construction, so the report shows this process's
+//!   deltas even if earlier code already touched the global cache.
+//!
+//! Memoization itself lives a layer down, in [`memsim::global_cache`]: any
+//! job that routes fixed-tier runs through the cache (directly or via
+//! `baselines::run_memory_mode` / `profiler::profile_run_cached` /
+//! `ecohmem_core::run_pipeline`) shares those simulations with every other
+//! job in the process, across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Parallel experiment driver with end-of-run statistics.
+pub struct Runner {
+    label: String,
+    jobs: usize,
+    started: Instant,
+    /// Total nanoseconds spent inside jobs, summed over all workers — the
+    /// serial-time estimate the speedup figure is computed from.
+    busy_nanos: AtomicU64,
+    hits_at_start: u64,
+    misses_at_start: u64,
+    engine_runs_at_start: u64,
+}
+
+impl Runner {
+    /// Builds a runner named `label` (shown in the stats line), taking the
+    /// worker count from `--jobs N` / `--jobs=N` on the command line, then
+    /// `ECOHMEM_JOBS`, then the available parallelism.
+    pub fn from_env(label: &str) -> Self {
+        let jobs = jobs_from_args(std::env::args().skip(1)).unwrap_or_else(memsim::jobs_from_env);
+        Self::with_jobs(label, jobs)
+    }
+
+    /// Builds a runner with an explicit worker count (clamped to ≥ 1).
+    pub fn with_jobs(label: &str, jobs: usize) -> Self {
+        Runner {
+            label: label.to_string(),
+            jobs: jobs.max(1),
+            started: Instant::now(),
+            busy_nanos: AtomicU64::new(0),
+            hits_at_start: memsim::global_cache().hits(),
+            misses_at_start: memsim::global_cache().misses(),
+            engine_runs_at_start: memsim::run_invocations(),
+        }
+    }
+
+    /// The worker count this runner maps with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every item on the work-stealing pool and returns the
+    /// results in the items' original order (scheduling never reorders
+    /// output — see [`memsim::parallel_map`]).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let busy = &self.busy_nanos;
+        memsim::parallel_map(items, self.jobs, |item| {
+            let t0 = Instant::now();
+            let out = f(item);
+            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out
+        })
+    }
+
+    /// Cache hits observed since this runner was built.
+    pub fn cache_hits(&self) -> u64 {
+        memsim::global_cache().hits().saturating_sub(self.hits_at_start)
+    }
+
+    /// Cache misses observed since this runner was built.
+    pub fn cache_misses(&self) -> u64 {
+        memsim::global_cache().misses().saturating_sub(self.misses_at_start)
+    }
+
+    /// Engine invocations since this runner was built.
+    pub fn engine_runs(&self) -> u64 {
+        memsim::run_invocations().saturating_sub(self.engine_runs_at_start)
+    }
+
+    /// Prints the end-of-run statistics line to stderr. Call once, after
+    /// the last `map`; stdout stays clean for table output.
+    pub fn report(&self) {
+        let wall = self.started.elapsed().as_secs_f64();
+        let busy = self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let speedup = if wall > 0.0 { busy / wall } else { 1.0 };
+        eprintln!(
+            "[runner] {}: jobs={} engine_runs={} cache_hits={} cache_misses={} \
+             wall={:.2}s serial_est={:.2}s speedup={:.2}x",
+            self.label,
+            self.jobs,
+            self.engine_runs(),
+            self.cache_hits(),
+            self.cache_misses(),
+            wall,
+            busy,
+            speedup,
+        );
+    }
+}
+
+/// Extracts `--jobs N` / `--jobs=N` from an argument stream. Returns `None`
+/// when absent or malformed (the caller falls back to the environment).
+fn jobs_from_args<I: Iterator<Item = String>>(mut args: I) -> Option<usize> {
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args.next().and_then(|v| v.parse::<usize>().ok()).map(|n| n.max(1));
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse::<usize>().ok().map(|n| n.max(1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> impl Iterator<Item = String> {
+        items.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_spellings() {
+        assert_eq!(jobs_from_args(argv(&["--jobs", "4"])), Some(4));
+        assert_eq!(jobs_from_args(argv(&["--fast", "--jobs=7"])), Some(7));
+        assert_eq!(jobs_from_args(argv(&["--jobs", "0"])), Some(1));
+        assert_eq!(jobs_from_args(argv(&["--jobs", "soup"])), None);
+        assert_eq!(jobs_from_args(argv(&["--fast"])), None);
+    }
+
+    #[test]
+    fn map_preserves_order_and_counts_busy_time() {
+        let r = Runner::with_jobs("test", 3);
+        let out = r.map((0..20u64).collect(), |x| x * x);
+        assert_eq!(out, (0..20u64).map(|x| x * x).collect::<Vec<_>>());
+        // report() must not panic even with trivial jobs.
+        r.report();
+    }
+
+    #[test]
+    fn runner_observes_cache_and_engine_deltas() {
+        let app = workloads::minife::model();
+        let mach = memsim::MachineConfig::optane_pmem6();
+        let r = Runner::with_jobs("delta-test", 2);
+        let results = r.map(vec![(); 4], |()| {
+            memsim::global_cache()
+                .run_fixed(&app, &mach, memsim::ExecMode::MemoryMode, mach.largest_tier(), None)
+                .total_time
+        });
+        assert!(results.iter().all(|&t| t == results[0]));
+        // Four fetches of one key: at most one miss charged to this runner
+        // (another harness may have populated the key already), and the
+        // hit/miss deltas must add up to the four fetches.
+        assert!(r.cache_misses() <= 1);
+        assert_eq!(r.cache_hits() + r.cache_misses(), 4);
+    }
+}

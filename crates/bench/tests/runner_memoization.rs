@@ -1,0 +1,87 @@
+//! Acceptance test for the parallel memoized runner (ISSUE tentpole): at
+//! `--jobs 4`, regenerating a Fig. 6-style sweep plus Table V-style rows in
+//! one process must perform strictly fewer `engine::run` invocations than
+//! the serial seed path (which simulated profiling + placed + Memory-Mode
+//! baseline per cell), must hit the cache, and must render byte-identical
+//! tables to a jobs=1 run.
+//!
+//! This lives in its own integration-test binary: the engine invocation
+//! counter and the global cache are process-wide, so sharing a binary with
+//! other tests would pollute the deltas.
+
+use advisor::Algorithm;
+use bench::{Runner, Table};
+use ecohmem_core::experiments::{sweep_with_jobs, Metrics, SweepCell, SweepSpec};
+use memsim::MachineConfig;
+
+fn render_sweep(cells: &[SweepCell]) -> String {
+    let mut t = Table::new(&["app", "metrics", "dram_gib", "speedup_vs_memory_mode"]);
+    for c in cells {
+        t.row(vec![
+            c.app.clone(),
+            c.spec.metrics.label().into(),
+            c.spec.dram_gib.to_string(),
+            format!("{:.2}", c.speedup),
+        ]);
+    }
+    t.render()
+}
+
+#[test]
+fn jobs4_regeneration_memoizes_and_matches_serial_output() {
+    let apps = workloads::miniapp_models();
+    let machine = MachineConfig::optane_pmem6();
+    let specs = vec![
+        SweepSpec { dram_gib: 4, metrics: Metrics::Loads, algorithm: Algorithm::Base },
+        SweepSpec { dram_gib: 8, metrics: Metrics::Loads, algorithm: Algorithm::Base },
+        SweepSpec { dram_gib: 12, metrics: Metrics::LoadsStores, algorithm: Algorithm::Base },
+    ];
+    let cells = (apps.len() * specs.len()) as u64;
+
+    // --jobs 4 regeneration: fig6-style sweep + table5-style rows, one process.
+    let runner = Runner::with_jobs("acceptance", 4);
+    let parallel_cells = sweep_with_jobs(&apps, &machine, &specs, runner.jobs());
+    let fig6_jobs4 = render_sweep(&parallel_cells);
+
+    let table5_rows = runner.map(workloads::all_specs(), |spec| {
+        let model = workloads::model_by_name(spec.name).unwrap();
+        vec![spec.name.to_string(), (model.high_water_mark() / 1_000_000).to_string()]
+    });
+    let mut t5 = Table::new(&["app", "hwm_mb"]);
+    for row in table5_rows.clone() {
+        t5.row(row);
+    }
+    let table5_jobs4 = t5.render();
+
+    // The serial seed path simulated profiling + placed + Memory-Mode
+    // baseline for every cell: 3 engine runs per cell. The memoized runner
+    // must do strictly fewer (expected: one shared fixed-tier run per app
+    // plus one uncached placed run per cell).
+    let used = runner.engine_runs();
+    assert!(used > 0, "the sweep must actually simulate");
+    assert!(
+        used < 3 * cells,
+        "memoized path used {used} engine runs, serial seed path used {}",
+        3 * cells
+    );
+    assert!(runner.cache_hits() > 0, "shared runs across cells must hit the cache");
+
+    // Byte-identical output at jobs=1 (placed runs re-simulate, shared
+    // runs come from the cache — either way the rendering must match).
+    let serial_cells = sweep_with_jobs(&apps, &machine, &specs, 1);
+    assert_eq!(fig6_jobs4, render_sweep(&serial_cells), "fig6 table must be byte-identical");
+
+    let serial_runner = Runner::with_jobs("acceptance-serial", 1);
+    let serial_rows = serial_runner.map(workloads::all_specs(), |spec| {
+        let model = workloads::model_by_name(spec.name).unwrap();
+        vec![spec.name.to_string(), (model.high_water_mark() / 1_000_000).to_string()]
+    });
+    assert_eq!(table5_rows, serial_rows, "table5 rows must be identical at any job count");
+    assert_eq!(table5_jobs4, {
+        let mut t = Table::new(&["app", "hwm_mb"]);
+        for row in serial_rows {
+            t.row(row);
+        }
+        t.render()
+    });
+}

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm]
-//!             [--aslr N] [--no-baseline]
+//!             [--aslr N] [--no-baseline] [--jobs N]
 //! ```
+//!
+//! With `--jobs` ≥ 2 (or `ECOHMEM_JOBS`), the placed run and the
+//! Memory-Mode baseline execute concurrently; the baseline is additionally
+//! served from the process-wide memoization cache.
 
 use cli::{machine_by_name, ok_or_die, usage_error, Args};
 use flexmalloc::FlexMalloc;
@@ -12,7 +16,7 @@ use memsim::{run, ExecMode};
 use memtrace::PlacementReport;
 
 const USAGE: &str = "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] \
-                     [--no-baseline] [--lenient]";
+                     [--no-baseline] [--lenient] [--jobs N]";
 
 fn main() {
     let args = Args::from_env();
@@ -43,7 +47,19 @@ fn main() {
         ok_or_die("ecohmem-run", report.validate());
         ok_or_die("ecohmem-run", FlexMalloc::new(&report, &app.binmap, aslr, app.ranks))
     };
-    let placed = run(&app, &machine, ExecMode::AppDirect, &mut interposer);
+    // Overlap the placed run with the Memory-Mode baseline when allowed;
+    // the baseline also hits the memoization cache if already simulated.
+    let wants_baseline = !args.has("no-baseline");
+    let (placed, baseline) = std::thread::scope(|s| {
+        let handle = (wants_baseline && args.jobs() > 1)
+            .then(|| s.spawn(|| baselines::run_memory_mode(&app, &machine)));
+        let placed = run(&app, &machine, ExecMode::AppDirect, &mut interposer);
+        let baseline = match handle {
+            Some(h) => Some(h.join().expect("baseline thread panicked")),
+            None => wants_baseline.then(|| baselines::run_memory_mode(&app, &machine)),
+        };
+        (placed, baseline)
+    });
     println!(
         "{app_name} under flexmalloc ({}): {:.2}s wall, {} matched / {} fallback allocations",
         interposer.matcher().format(),
@@ -57,8 +73,7 @@ fn main() {
         placed.tier_peak_bytes.get(1).copied().unwrap_or(0) as f64 / 1e9,
         placed.alloc_overhead,
     );
-    if !args.has("no-baseline") {
-        let mm = baselines::run_memory_mode(&app, &machine);
+    if let Some(mm) = baseline {
         println!(
             "memory mode: {:.2}s  →  speedup {:.3}x",
             mm.total_time,

@@ -75,6 +75,16 @@ impl Args {
     pub fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
+
+    /// Worker count for tools that can overlap simulations: `--jobs N` if
+    /// given (clamped to ≥ 1), else `ECOHMEM_JOBS`, else the machine's
+    /// available parallelism (see [`memsim::jobs_from_env`]).
+    pub fn jobs(&self) -> usize {
+        self.opt("jobs")
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(1))
+            .unwrap_or_else(memsim::jobs_from_env)
+    }
 }
 
 /// Loads a trace file in either encoding, sniffing the binary magic.
@@ -157,6 +167,17 @@ mod tests {
         assert!(!a.has("bw-aware"));
         assert_eq!(a.opt_or("dram-gib", 0u64), 12);
         assert_eq!(a.opt_or("missing", 7u64), 7);
+    }
+
+    #[test]
+    fn jobs_prefers_the_flag_and_clamps() {
+        let a = Args::parse(["--jobs", "3"].map(String::from));
+        assert_eq!(a.jobs(), 3);
+        let a = Args::parse(["--jobs", "0"].map(String::from));
+        assert_eq!(a.jobs(), 1);
+        // Without the flag it falls back to the environment/parallelism
+        // default, which is always at least one worker.
+        assert!(Args::default().jobs() >= 1);
     }
 
     #[test]

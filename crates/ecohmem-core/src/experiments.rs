@@ -61,37 +61,26 @@ pub struct SweepCell {
     pub memory_mode_time: f64,
 }
 
-/// Runs a grid of pipeline configurations over a set of applications,
-/// parallelized across cells with scoped threads.
+/// Runs a grid of pipeline configurations over a set of applications on the
+/// memoizing runner: cells are spread over `ECOHMEM_JOBS` work-stealing
+/// workers (see [`memsim::parallel_map`]), and the profiling and
+/// Memory-Mode baseline runs shared between cells are simulated once via
+/// [`memsim::global_cache`]. Results come back in grid order regardless of
+/// scheduling, so sweep output is identical at any job count.
 pub fn sweep(apps: &[AppModel], machine: &MachineConfig, specs: &[SweepSpec]) -> Vec<SweepCell> {
-    let jobs: Vec<(usize, &AppModel, SweepSpec)> = apps
-        .iter()
-        .flat_map(|app| specs.iter().map(move |s| (*s, app)))
-        .enumerate()
-        .map(|(i, (s, app))| (i, app, s))
-        .collect();
+    sweep_with_jobs(apps, machine, specs, memsim::jobs_from_env())
+}
 
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
-    let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (_, app, spec) = &jobs[i];
-                let cell = run_cell(app, machine, *spec);
-                results.lock()[i] = Some(cell);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    results.into_inner().into_iter().map(|c| c.expect("every job ran")).collect()
+/// [`sweep`] with an explicit worker count (the bench runner's `--jobs`).
+pub fn sweep_with_jobs(
+    apps: &[AppModel],
+    machine: &MachineConfig,
+    specs: &[SweepSpec],
+    jobs: usize,
+) -> Vec<SweepCell> {
+    let grid: Vec<(&AppModel, SweepSpec)> =
+        apps.iter().flat_map(|app| specs.iter().map(move |s| (app, *s))).collect();
+    memsim::parallel_map(grid, jobs, |(app, spec)| run_cell(app, machine, spec))
 }
 
 /// Runs one sweep cell.

@@ -2,12 +2,12 @@
 
 use advisor::{Advisor, AdvisorConfig, Algorithm, BwThresholds, Classification};
 use flexmalloc::{FlexMalloc, MatchStats};
-use memsim::{run, AppModel, ExecMode, FixedTier, MachineConfig, RunResult};
+use memsim::{run, AppModel, ExecMode, MachineConfig, RunResult};
 use memtrace::{
     FaultSpec, FaultTarget, PlacementReport, StackFormat, TraceError, TraceFile, Warning,
     WarningKind,
 };
-use profiler::{analyze, analyze_lenient, profile_run, ProfileSet, ProfilerConfig};
+use profiler::{analyze, analyze_lenient, profile_run_cached, ProfileSet, ProfilerConfig};
 
 /// How the pipeline reacts to damaged intermediate artifacts — a truncated
 /// or corrupt trace, a stale or unresolvable placement report.
@@ -119,15 +119,13 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
 
     // 1. Profile: the paper profiles the production-ready binary on the
     // target machine; the memory mode it runs under does not change the
-    // LLC-miss statistics the Advisor consumes.
+    // LLC-miss statistics the Advisor consumes. The engine run is memoized:
+    // it has the same inputs as the Memory-Mode baseline of step 5, so the
+    // two share a single simulation, and sweeps that vary only the advisor
+    // configuration re-profile for free.
     let backing = cfg.machine.largest_tier();
-    let (mut trace, _profiling_run) = profile_run(
-        app,
-        &cfg.machine,
-        ExecMode::MemoryMode,
-        &mut FixedTier::new(backing),
-        &cfg.profiler,
-    );
+    let (mut trace, _profiling_run) =
+        profile_run_cached(app, &cfg.machine, ExecMode::MemoryMode, backing, &cfg.profiler);
     for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Trace) {
         warnings.extend(f.apply_to_trace(&mut trace));
     }

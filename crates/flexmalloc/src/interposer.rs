@@ -31,14 +31,8 @@ impl FlexMalloc {
         let layout = LoadMap::randomize(binmap, aslr_seed);
         let matcher = Matcher::new(report, binmap, &layout)?;
         let name = format!("flexmalloc-{}", matcher.format());
-        Ok(FlexMalloc {
-            matcher,
-            binmap: binmap.clone(),
-            layout,
-            ranks,
-            stats: MatchStats::default(),
-            name,
-        })
+        let stats = MatchStats { collisions: matcher.colliding_entries(), ..MatchStats::default() };
+        Ok(FlexMalloc { matcher, binmap: binmap.clone(), layout, ranks, stats, name })
     }
 
     /// Lenient initialization: never fails. Report entries that cannot be
@@ -55,8 +49,11 @@ impl FlexMalloc {
         let layout = LoadMap::randomize(binmap, aslr_seed);
         let (matcher, warnings) = Matcher::new_lenient(report, binmap, &layout);
         let name = format!("flexmalloc-{}", matcher.format());
-        let stats =
-            MatchStats { unresolvable: matcher.unresolvable_entries(), ..MatchStats::default() };
+        let stats = MatchStats {
+            unresolvable: matcher.unresolvable_entries(),
+            collisions: matcher.colliding_entries(),
+            ..MatchStats::default()
+        };
         (FlexMalloc { matcher, binmap: binmap.clone(), layout, ranks, stats, name }, warnings)
     }
 

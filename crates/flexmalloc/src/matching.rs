@@ -18,6 +18,10 @@ pub struct MatchStats {
     /// constructor — stale stacks that do not resolve in this process
     /// image. Their allocations take the fallback path at runtime.
     pub unresolvable: u64,
+    /// Distinct report entries that resolved to the same match key at
+    /// initialization (same absolute BOM addresses, or same rendered HR
+    /// location). The entry with the larger `max_size` keeps the key.
+    pub collisions: u64,
 }
 
 /// A report matcher bound to one process image (ASLR layout).
@@ -37,6 +41,9 @@ pub struct Matcher {
     /// Entries the lenient constructor dropped as unresolvable (0 when the
     /// strict constructor succeeded).
     unresolvable_entries: u64,
+    /// Distinct entries that resolved to an already-claimed match key; the
+    /// higher-value (larger `max_size`) entry kept the key.
+    colliding_entries: u64,
 }
 
 /// BOM: a few address comparisons plus a hash — ~100 ns per allocation.
@@ -84,14 +91,28 @@ impl Matcher {
         layout: &LoadMap,
         lenient: bool,
     ) -> Result<(Self, Vec<Warning>), TraceError> {
-        let mut by_address = HashMap::new();
-        let mut by_location = HashMap::new();
+        // Match keys carry `(tier, max_size)` during construction so that
+        // two *distinct* report entries resolving to the same key — BOM
+        // stacks whose offsets absolutize to identical addresses, or HR
+        // stacks rendering to the same location — are detected instead of
+        // silently last-writer-wins. The higher-value entry (larger
+        // `max_size`, the paper's per-site size bound) keeps the key; ties
+        // keep the first occurrence, so resolution is order-independent.
+        let mut by_address: HashMap<Vec<u64>, (TierId, u64)> = HashMap::new();
+        let mut by_location: HashMap<String, (TierId, u64)> = HashMap::new();
         let mut seen: HashSet<&ReportStack> = HashSet::new();
         let mut depth_sum = 0.0;
         let mut used = 0usize;
         let mut unresolvable = 0u64;
         let mut duplicates = 0u64;
         let mut mixed = 0u64;
+        let mut collisions = 0u64;
+        fn claim(slot: &mut (TierId, u64), tier: TierId, max_size: u64, collisions: &mut u64) {
+            *collisions += 1;
+            if max_size > slot.1 {
+                *slot = (tier, max_size);
+            }
+        }
         for entry in &report.entries {
             if entry.stack.format() != report.format {
                 // Strict construction pre-validates, which rejects this.
@@ -104,11 +125,16 @@ impl Matcher {
             }
             match &entry.stack {
                 ReportStack::Bom(stack) => match layout.absolutize(stack) {
-                    Some(abs) => {
-                        by_address.insert(abs, entry.tier);
-                        depth_sum += entry.stack.depth() as f64;
-                        used += 1;
-                    }
+                    Some(abs) => match by_address.entry(abs) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            claim(e.get_mut(), entry.tier, entry.max_size, &mut collisions);
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert((entry.tier, entry.max_size));
+                            depth_sum += entry.stack.depth() as f64;
+                            used += 1;
+                        }
+                    },
                     None if lenient => unresolvable += 1,
                     None => {
                         return Err(TraceError::Malformed(
@@ -116,13 +142,22 @@ impl Matcher {
                         ))
                     }
                 },
-                ReportStack::Human(h) => {
-                    by_location.insert(h.render(), entry.tier);
-                    depth_sum += entry.stack.depth() as f64;
-                    used += 1;
-                }
+                ReportStack::Human(h) => match by_location.entry(h.render()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        claim(e.get_mut(), entry.tier, entry.max_size, &mut collisions);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((entry.tier, entry.max_size));
+                        depth_sum += entry.stack.depth() as f64;
+                        used += 1;
+                    }
+                },
             }
         }
+        let by_address: HashMap<Vec<u64>, TierId> =
+            by_address.into_iter().map(|(k, (t, _))| (k, t)).collect();
+        let by_location: HashMap<String, TierId> =
+            by_location.into_iter().map(|(k, (t, _))| (k, t)).collect();
         let avg_depth = if used > 0 { depth_sum / used as f64 } else { 0.0 };
 
         let (cost_per_alloc, debug_info_bytes) = match report.format {
@@ -160,6 +195,15 @@ impl Matcher {
                 ),
             ));
         }
+        if collisions > 0 {
+            warnings.push(Warning::new(
+                WarningKind::CollidingEntry,
+                format!(
+                    "{collisions} distinct report entry(s) resolved to an already-claimed \
+                     match key; the higher-value entry wins"
+                ),
+            ));
+        }
 
         Ok((
             Matcher {
@@ -170,6 +214,7 @@ impl Matcher {
                 cost_per_alloc,
                 debug_info_bytes,
                 unresolvable_entries: unresolvable,
+                colliding_entries: collisions,
             },
             warnings,
         ))
@@ -178,6 +223,11 @@ impl Matcher {
     /// Entries dropped at initialization as unresolvable (lenient mode).
     pub fn unresolvable_entries(&self) -> u64 {
         self.unresolvable_entries
+    }
+
+    /// Distinct entries that lost a match-key collision at initialization.
+    pub fn colliding_entries(&self) -> u64 {
+        self.colliding_entries
     }
 
     /// The report's stack format.
@@ -368,6 +418,72 @@ mod tests {
             CallStack::new(vec![Frame::new(ModuleId(1), 0x400), Frame::new(ModuleId(0), 0x80)]);
         let captured = layout.absolutize(&stack).unwrap();
         assert_eq!(m.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+    }
+
+    #[test]
+    fn bom_collision_keeps_the_higher_value_entry() {
+        // Regression (satellite 4): two *distinct* BOM stacks can absolutize
+        // to the same addresses when one frames a module directly and the
+        // other overshoots a lower-based module by exactly the base delta.
+        // `validate()` cannot catch this (the stacks differ); the matcher
+        // used to let the last writer win silently.
+        let map = image();
+        for seed in [5, 6, 7] {
+            let layout = LoadMap::randomize(&map, seed);
+            let b0 = layout.base(ModuleId(0)).unwrap();
+            let b1 = layout.base(ModuleId(1)).unwrap();
+            let (lo, hi, delta) = if b0 <= b1 {
+                (ModuleId(0), ModuleId(1), b1 - b0)
+            } else {
+                (ModuleId(1), ModuleId(0), b0 - b1)
+            };
+            let direct = CallStack::new(vec![Frame::new(hi, 0x40)]);
+            let overshoot = CallStack::new(vec![Frame::new(lo, delta + 0x40)]);
+            assert_eq!(
+                layout.absolutize(&direct),
+                layout.absolutize(&overshoot),
+                "construction must collide, seed {seed}"
+            );
+            let mut r = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+            // The high-value entry comes first: pre-fix, the later low-value
+            // entry overwrote it.
+            r.push(ReportEntry {
+                stack: ReportStack::Bom(direct.clone()),
+                tier: TierId::DRAM,
+                max_size: 4096,
+            });
+            r.push(ReportEntry {
+                stack: ReportStack::Bom(overshoot.clone()),
+                tier: TierId::PMEM,
+                max_size: 64,
+            });
+            let m = Matcher::new(&r, &map, &layout).unwrap();
+            assert_eq!(m.colliding_entries(), 1, "seed {seed}");
+            let captured = layout.absolutize(&direct).unwrap();
+            assert_eq!(
+                m.match_stack(&captured, &map, &layout),
+                Some(TierId::DRAM),
+                "higher-value site must keep the colliding key, seed {seed}"
+            );
+
+            // Order independence: pushing the entries the other way round
+            // resolves identically.
+            let mut rev = PlacementReport::new(StackFormat::Bom, TierId::PMEM);
+            rev.push(ReportEntry {
+                stack: ReportStack::Bom(overshoot.clone()),
+                tier: TierId::PMEM,
+                max_size: 64,
+            });
+            rev.push(ReportEntry {
+                stack: ReportStack::Bom(direct.clone()),
+                tier: TierId::DRAM,
+                max_size: 4096,
+            });
+            let (m2, warnings) = Matcher::new_lenient(&rev, &map, &layout);
+            assert_eq!(m2.colliding_entries(), 1);
+            assert!(warnings.iter().any(|w| w.kind == WarningKind::CollidingEntry));
+            assert_eq!(m2.match_stack(&captured, &map, &layout), Some(TierId::DRAM));
+        }
     }
 
     #[test]

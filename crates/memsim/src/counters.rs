@@ -167,7 +167,13 @@ impl RunResult {
     }
 
     /// Load-miss-weighted DRAM-cache hit ratio over all Memory Mode phases.
-    pub fn dram_cache_hit_ratio(&self) -> Option<f64> {
+    ///
+    /// Total by convention: a run with no Memory-Mode phases, or one whose
+    /// Memory-Mode phases carried no off-LLC read traffic, has ratio 0.0 —
+    /// nothing hit the DRAM cache because nothing reached it. (Previously
+    /// returned `Option`, which callers `unwrap()`ed and panicked on
+    /// App-Direct or traffic-free runs.)
+    pub fn dram_cache_hit_ratio(&self) -> f64 {
         let mut num = 0.0;
         let mut den = 0.0;
         for p in &self.phases {
@@ -179,9 +185,9 @@ impl RunResult {
             }
         }
         if den > 0.0 {
-            Some(num / den)
+            num / den
         } else {
-            None
+            0.0
         }
     }
 
@@ -333,8 +339,28 @@ mod tests {
                 migrated_bytes: 0,
             });
         }
-        let h = r.dram_cache_hit_ratio().unwrap();
+        let h = r.dram_cache_hit_ratio();
         assert!((h - (0.9 * 3.0 + 0.3 * 1.0) / 4.0).abs() < 1e-9);
-        assert_eq!(result(1.0, 1.0).dram_cache_hit_ratio(), None);
+    }
+
+    #[test]
+    fn hit_ratio_is_total() {
+        // Regression (satellite 3): runs with no Memory-Mode phases (or no
+        // read traffic in them) report 0.0 instead of forcing callers to
+        // unwrap an Option.
+        assert_eq!(result(1.0, 1.0).dram_cache_hit_ratio(), 0.0);
+        let mut r = result(1.0, 1.0);
+        r.phases.push(PhaseStats {
+            index: 0,
+            label: None,
+            start: 0.0,
+            duration: 1.0,
+            compute_time: 1.0,
+            tier_read_bw: vec![0.0],
+            tier_write_bw: vec![0.0],
+            dram_cache_hit_ratio: Some(1.0),
+            migrated_bytes: 0,
+        });
+        assert_eq!(r.dram_cache_hit_ratio(), 0.0, "zero traffic carries zero weight");
     }
 }

@@ -27,10 +27,12 @@ use crate::machine::MachineConfig;
 use crate::model::{AppModel, PhaseSpec};
 use crate::policy::{AllocContext, Migration, PhaseObservation, PlacementPolicy};
 use memtrace::{FuncId, ObjectId, SiteId, TierId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the machine serves memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecMode {
     /// App Direct: software (the policy) places every allocation in an
     /// explicit tier.
@@ -72,6 +74,16 @@ const FIXED_POINT_ITERS: usize = 12;
 /// higher than demand loads'.
 const STORE_MLP_BONUS: f64 = 4.0;
 
+/// Process-wide count of [`run`] executions, for measuring how much work the
+/// memoizing runner ([`crate::runner`]) actually avoids.
+static RUN_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times [`run`] has executed in this process (cache hits in
+/// [`crate::runner::RunCache`] do not count — they never reach the engine).
+pub fn run_invocations() -> u64 {
+    RUN_INVOCATIONS.load(Ordering::Relaxed)
+}
+
 /// Runs an application model to completion.
 pub fn run(
     app: &AppModel,
@@ -79,6 +91,7 @@ pub fn run(
     mode: ExecMode,
     policy: &mut dyn PlacementPolicy,
 ) -> RunResult {
+    RUN_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     app.validate().expect("invalid application model");
     machine.validate().expect("invalid machine configuration");
 
@@ -559,13 +572,21 @@ fn solve_phase(
         }
     }
 
-    // The bandwidth floor does not depend on the duration.
+    // The bandwidth floor does not depend on the duration. A tier whose
+    // demand cannot be served (zero peak bandwidth — rejected by
+    // `MachineConfig::validate`, but reachable through hand-built configs)
+    // yields an infinite floor; pin the solve to the compute time instead of
+    // letting NaN/inf leak into the fixed point and poison the run totals.
     let bw_time = (0..n)
         .map(|i| machine.tiers[i].transfer_time(read_bytes[i], write_bytes[i]))
         .fold(0.0, f64::max);
+    let bw_time = if bw_time.is_finite() { bw_time } else { 0.0 };
 
     let cores = machine.cores as f64;
     let mut duration = compute_time.max(bw_time).max(1e-12);
+    if !duration.is_finite() {
+        duration = 1e-12;
+    }
     let mut read_lat = vec![0.0; n];
     for _ in 0..FIXED_POINT_ITERS {
         let mut write_lat = vec![0.0; n];
@@ -584,7 +605,11 @@ fn solve_phase(
             .sum();
         let mem_time = lat_time.max(bw_time);
         let next = compute_time.max(mem_time).max(1e-12);
-        duration = 0.5 * duration + 0.5 * next;
+        // A non-finite iterate (degenerate latency curve, zero-duration
+        // phase dividing out) must not contaminate the relaxation.
+        if next.is_finite() {
+            duration = 0.5 * duration + 0.5 * next;
+        }
     }
 
     let tier_read_bw: Vec<f64> = (0..n).map(|i| read_bytes[i] / duration).collect();
@@ -747,8 +772,43 @@ mod tests {
         // Splitting traffic over both controllers can make the cached run
         // slightly faster than all-DRAM, so only require the right ballpark.
         assert!(mm.total_time >= dram.total_time * 0.85);
-        let hit = mm.dram_cache_hit_ratio().unwrap();
+        let hit = mm.dram_cache_hit_ratio();
         assert!(hit > 0.85, "small working set should mostly hit, hit={hit}");
+    }
+
+    #[test]
+    fn zero_compute_zero_access_phase_stays_finite() {
+        // Regression (satellite 1): an empty phase — no compute, no allocs,
+        // no accesses — must not produce NaN/inf durations that poison the
+        // run totals through the fixed-point solve.
+        let mut app = streaming_model(1e9);
+        app.phases.insert(0, PhaseSpec::default());
+        app.phases.push(PhaseSpec::default());
+        let m = MachineConfig::optane_pmem6();
+        for mode in [ExecMode::AppDirect, ExecMode::MemoryMode] {
+            let r = run(&app, &m, mode, &mut FixedTier::new(TierId::DRAM));
+            assert!(r.total_time.is_finite() && r.total_time > 0.0, "total={}", r.total_time);
+            for p in &r.phases {
+                assert!(
+                    p.duration.is_finite() && p.duration >= 0.0,
+                    "phase {} duration {}",
+                    p.index,
+                    p.duration
+                );
+                for bw in p.tier_read_bw.iter().chain(&p.tier_write_bw) {
+                    assert!(bw.is_finite(), "phase {} bandwidth {bw}", p.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_invocation_counter_advances() {
+        let app = streaming_model(1e8);
+        let m = MachineConfig::optane_pmem6();
+        let before = run_invocations();
+        run(&app, &m, ExecMode::AppDirect, &mut FixedTier::new(TierId::DRAM));
+        assert!(run_invocations() > before);
     }
 
     #[test]

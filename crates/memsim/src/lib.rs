@@ -31,16 +31,18 @@ pub mod machine;
 pub mod mlc;
 pub mod model;
 pub mod policy;
+pub mod runner;
 pub mod tier;
 
 pub use cache::{CacheModelCfg, CacheSplit};
 pub use counters::{FunctionStats, ObjectRecord, PhaseStats, RunResult};
 pub use curve::LatencyCurve;
-pub use engine::{run, ExecMode};
+pub use engine::{run, run_invocations, ExecMode};
 pub use heap::TierHeap;
 pub use kinds::{Kind, KindRegistry};
 pub use machine::MachineConfig;
 pub use mlc::{mlc_sweep, MlcPoint, TrafficMix};
 pub use model::{AccessPattern, AccessSpec, AllocOp, AppModel, FreeOp, PhaseSpec};
 pub use policy::{AllocContext, FixedTier, PlacementPolicy};
+pub use runner::{global_cache, jobs_from_env, parallel_map, stable_hash, RunCache, RunKey};
 pub use tier::{TierKind, TierSpec};

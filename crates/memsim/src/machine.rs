@@ -234,11 +234,13 @@ impl MachineConfig {
             if t.capacity == 0 {
                 return Err(format!("tier {} has zero capacity", t.name));
             }
-            if t.peak_read_bw <= 0.0 || t.peak_write_bw <= 0.0 {
-                return Err(format!("tier {} has nonpositive bandwidth", t.name));
+            let bw_ok = |bw: f64| bw > 0.0 && bw.is_finite();
+            if !bw_ok(t.peak_read_bw) || !bw_ok(t.peak_write_bw) {
+                return Err(format!("tier {} has nonpositive or non-finite bandwidth", t.name));
             }
         }
-        if self.cores == 0 || self.freq_ghz <= 0.0 || self.base_ipc <= 0.0 {
+        let param_ok = |v: f64| v > 0.0 && v.is_finite();
+        if self.cores == 0 || !param_ok(self.freq_ghz) || !param_ok(self.base_ipc) {
             return Err("invalid core parameters".into());
         }
         Ok(())
@@ -315,6 +317,23 @@ mod tests {
         let mut m = MachineConfig::optane_pmem6();
         m.tiers[0].capacity = 0;
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_non_finite_parameters() {
+        // Regression (satellite 1): `NaN <= 0.0` is false, so NaN bandwidth
+        // used to sail through validation and poison the phase solve.
+        let mut m = MachineConfig::optane_pmem6();
+        m.tiers[1].peak_write_bw = f64::NAN;
+        assert!(m.validate().is_err(), "NaN bandwidth must not validate");
+
+        let mut m = MachineConfig::optane_pmem6();
+        m.tiers[0].peak_read_bw = f64::INFINITY;
+        assert!(m.validate().is_err(), "infinite bandwidth must not validate");
+
+        let mut m = MachineConfig::optane_pmem6();
+        m.freq_ghz = f64::NAN;
+        assert!(m.validate().is_err(), "NaN frequency must not validate");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Parallel memoized experiment runner core.
+//!
+//! Reproducing the paper's tables means running the same deterministic
+//! simulations over and over: every bench binary re-simulates the
+//! Memory-Mode baseline and the unconstrained-DRAM profiling run for each
+//! sweep cell, even though the engine is a pure function of its inputs. This
+//! module provides the two pieces that remove that redundancy without any
+//! new dependencies (the registry is offline):
+//!
+//! * a content-addressed [`RunCache`]: results are keyed by a stable hash of
+//!   `(AppModel, MachineConfig, ExecMode, policy tag)` ([`RunKey`]), so a
+//!   run shared across tables is simulated exactly once per process;
+//! * a work-stealing [`parallel_map`] built on `std::thread::scope`, used by
+//!   `ecohmem-core::experiments` and the bench runner to spread independent
+//!   sweep cells over `--jobs N` / `ECOHMEM_JOBS` worker threads.
+//!
+//! Determinism guarantees: the engine is a pure deterministic function, so a
+//! cached result is bit-identical to a fresh `engine::run` with the same
+//! inputs, and [`parallel_map`] returns results in submission order no
+//! matter how jobs interleave across workers. Output produced from runner
+//! results is therefore byte-identical to the serial path.
+//!
+//! Only deterministic, stateless-config policies should be cached (the
+//! `FixedTier` family via [`RunCache::run_fixed`]): the policy tag is the
+//! caller's promise that the tag fully determines the policy's behaviour.
+//! Stateful or report-driven policies (FlexMalloc deploy runs, reactive
+//! tiering) must keep calling [`crate::engine::run`] directly.
+
+use crate::counters::RunResult;
+use crate::engine::{self, ExecMode};
+use crate::machine::MachineConfig;
+use crate::model::AppModel;
+use crate::policy::{FixedTier, PlacementPolicy};
+use memtrace::TierId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// The cache shares AppModel/MachineConfig references across worker threads;
+// keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AppModel>();
+    assert_send_sync::<MachineConfig>();
+    assert_send_sync::<ExecMode>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<RunCache>();
+};
+
+/// FNV-1a 64-bit over a byte slice. FNV is tiny, stable across runs and
+/// platforms, and plenty for an in-process cache (collisions only cost a
+/// wrong table cell, and 64 bits over dozens of keys makes that
+/// vanishingly unlikely).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Stable content hash of a value, used to derive cache keys.
+///
+/// The byte form is the derived `Debug` rendering: fields print in
+/// declaration order with deterministic float formatting (shortest
+/// round-trip), giving a canonical, platform-independent representation of
+/// the plain-data model structs without pulling a serializer into the hot
+/// path. `std::hash::Hash` is not an option here — the models carry `f64`
+/// fields — and any change to a field's value changes its rendering.
+pub fn stable_hash<T: std::fmt::Debug>(value: &T) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// Content-addressed identity of one engine run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// `stable_hash` of the application model.
+    pub app: u64,
+    /// `stable_hash` of the machine configuration.
+    pub machine: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Caller-chosen tag that fully determines the policy's behaviour
+    /// (e.g. `fixed:dram`, `fixed:dram>pmem`).
+    pub policy: String,
+}
+
+impl RunKey {
+    /// Derives the key for a `(app, machine, mode, policy)` combination.
+    pub fn new(
+        app: &AppModel,
+        machine: &MachineConfig,
+        mode: ExecMode,
+        policy_tag: impl Into<String>,
+    ) -> Self {
+        RunKey {
+            app: stable_hash(app),
+            machine: stable_hash(machine),
+            mode,
+            policy: policy_tag.into(),
+        }
+    }
+}
+
+type Slot = Arc<OnceLock<Arc<RunResult>>>;
+
+/// In-process memoization table for deterministic engine runs.
+///
+/// Concurrent requests for the same key are collapsed: the first thread to
+/// claim the slot simulates, everyone else blocks on the `OnceLock` and
+/// shares the resulting `Arc`. Hit/miss counters feed the bench runner's
+/// exit stats and the acceptance test that the memoized path performs
+/// strictly fewer `engine::run` invocations than the serial seed path.
+#[derive(Default)]
+pub struct RunCache {
+    slots: Mutex<HashMap<RunKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RunCache::default()
+    }
+
+    /// Returns the cached result for `key`, simulating it on first request.
+    ///
+    /// `make_policy` must construct a policy whose behaviour is fully
+    /// determined by `key.policy` — that is the caching contract.
+    pub fn run_with(
+        &self,
+        key: RunKey,
+        app: &AppModel,
+        machine: &MachineConfig,
+        mode: ExecMode,
+        make_policy: impl FnOnce() -> Box<dyn PlacementPolicy>,
+    ) -> Arc<RunResult> {
+        let slot = { self.slots.lock().unwrap().entry(key).or_default().clone() };
+        let mut ran = false;
+        let result = slot
+            .get_or_init(|| {
+                ran = true;
+                let mut policy = make_policy();
+                Arc::new(engine::run(app, machine, mode, policy.as_mut()))
+            })
+            .clone();
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Cached run under a [`FixedTier`] policy — covers the profiling runs
+    /// and the Memory-Mode / App-Direct fixed-placement baselines shared
+    /// across tables.
+    pub fn run_fixed(
+        &self,
+        app: &AppModel,
+        machine: &MachineConfig,
+        mode: ExecMode,
+        tier: TierId,
+        fallback: Option<TierId>,
+    ) -> Arc<RunResult> {
+        let tag = match fallback {
+            Some(f) if f != tier => format!("fixed:{tier}>{f}"),
+            _ => format!("fixed:{tier}"),
+        };
+        let key = RunKey::new(app, machine, mode, tag);
+        self.run_with(key, app, machine, mode, || match fallback {
+            Some(f) if f != tier => Box::new(FixedTier::with_fallback(tier, f)),
+            _ => Box::new(FixedTier::new(tier)),
+        })
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct runs stored.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-global run cache shared by all bench binaries, pipelines and
+/// baselines in this process.
+pub fn global_cache() -> &'static RunCache {
+    static CACHE: OnceLock<RunCache> = OnceLock::new();
+    CACHE.get_or_init(RunCache::new)
+}
+
+/// Worker count from the `ECOHMEM_JOBS` environment variable, defaulting to
+/// the machine's available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("ECOHMEM_JOBS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on `jobs` worker threads and returns the
+/// results in submission order.
+///
+/// Items are dealt round-robin into per-worker deques; a worker drains its
+/// own deque from the front and steals from the back of its neighbours'
+/// when empty. No work is ever enqueued after the workers start, so an
+/// all-empty scan means done. Results land at the item's original index,
+/// making the output independent of scheduling.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, item));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    {
+        let queues = &queues;
+        let results = &results;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || loop {
+                    let job = queues[w].lock().unwrap().pop_front().or_else(|| {
+                        (1..workers)
+                            .find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
+                    });
+                    let Some((i, item)) = job else { break };
+                    *results[i].lock().unwrap() = Some(f(item));
+                });
+            }
+        });
+    }
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for jobs in [1, 2, 3, 8] {
+            let out = parallel_map((0..100).collect(), jobs, |i: i32| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_edge_sizes() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), 4, |i| i), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], 4, |i| i + 1), vec![8]);
+        // More workers than items must not deadlock or drop work.
+        assert_eq!(parallel_map(vec![1, 2], 16, |i| i), vec![1, 2]);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_and_repeats() {
+        let a = MachineConfig::optane_pmem6();
+        let b = MachineConfig::optane_pmem2();
+        assert_eq!(stable_hash(&a), stable_hash(&a));
+        assert_ne!(stable_hash(&a), stable_hash(&b));
+    }
+
+    #[test]
+    fn run_keys_separate_modes_and_policies() {
+        let m = MachineConfig::optane_pmem6();
+        let mk =
+            |mode, tag: &str| RunKey { app: 1, machine: stable_hash(&m), mode, policy: tag.into() };
+        assert_ne!(mk(ExecMode::AppDirect, "fixed:dram"), mk(ExecMode::MemoryMode, "fixed:dram"));
+        assert_ne!(
+            mk(ExecMode::AppDirect, "fixed:dram"),
+            mk(ExecMode::AppDirect, "fixed:dram>pmem")
+        );
+        assert_eq!(mk(ExecMode::AppDirect, "fixed:dram"), mk(ExecMode::AppDirect, "fixed:dram"));
+    }
+}

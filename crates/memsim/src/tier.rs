@@ -61,9 +61,10 @@ impl TierSpec {
 
     /// Combined utilization of the tier given read and write demand in
     /// bytes/second. Reads and writes share device resources, so
-    /// utilizations add.
+    /// utilizations add. Zero demand contributes zero utilization even on a
+    /// degenerate tier with zero peak bandwidth (0/0 must not yield NaN).
     pub fn utilization(&self, read_bw: f64, write_bw: f64) -> f64 {
-        read_bw / self.peak_read_bw + write_bw / self.peak_write_bw
+        safe_ratio(read_bw, self.peak_read_bw) + safe_ratio(write_bw, self.peak_write_bw)
     }
 
     /// Read latency at the given traffic level.
@@ -77,9 +78,24 @@ impl TierSpec {
     }
 
     /// Minimum time (seconds) the tier needs to move the given volumes —
-    /// the bandwidth bound on a phase.
+    /// the bandwidth bound on a phase. Zero volume costs zero time even on a
+    /// tier with zero peak bandwidth; positive volume on such a tier is
+    /// unservable and reported as infinite (never NaN), which the phase
+    /// solve clamps.
     pub fn transfer_time(&self, read_bytes: f64, write_bytes: f64) -> f64 {
-        read_bytes / self.peak_read_bw + write_bytes / self.peak_write_bw
+        safe_ratio(read_bytes, self.peak_read_bw) + safe_ratio(write_bytes, self.peak_write_bw)
+    }
+}
+
+/// `demand / peak` made total: a zero (or otherwise degenerate) peak with no
+/// demand is free, and with demand is unservable (+inf) rather than NaN.
+fn safe_ratio(demand: f64, peak: f64) -> f64 {
+    if demand <= 0.0 {
+        0.0
+    } else if peak > 0.0 {
+        demand / peak
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -124,6 +140,20 @@ mod tests {
         let t = dram();
         assert!(t.read_latency_ns(20e9, 0.0) > t.read_latency_ns(1e9, 0.0));
         assert!(t.write_latency_ns(0.0, 18e9) > t.write_latency_ns(0.0, 1e9));
+    }
+
+    #[test]
+    fn zero_demand_on_zero_bandwidth_tier_is_free() {
+        // Regression (satellite 1): 0/0 used to evaluate to NaN and poison
+        // the phase fixed point through `transfer_time`/`utilization`.
+        let mut t = dram();
+        t.peak_read_bw = 0.0;
+        t.peak_write_bw = 0.0;
+        assert_eq!(t.utilization(0.0, 0.0), 0.0);
+        assert_eq!(t.transfer_time(0.0, 0.0), 0.0);
+        // Positive demand on a dead tier is unservable, not undefined.
+        assert_eq!(t.transfer_time(1e9, 0.0), f64::INFINITY);
+        assert_eq!(t.utilization(0.0, 1e9), f64::INFINITY);
     }
 
     #[test]

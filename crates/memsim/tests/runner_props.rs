@@ -1,0 +1,136 @@
+//! Property tests for the memoized runner (satellite of the runner PR):
+//! the cache must be invisible — bit-identical to calling the engine
+//! directly — and its hit/miss behaviour must not depend on how jobs are
+//! ordered or interleaved across worker threads.
+
+use memsim::{
+    run, AccessPattern, AccessSpec, AllocOp, AppModel, ExecMode, FixedTier, FreeOp, MachineConfig,
+    PhaseSpec, RunCache,
+};
+use memtrace::{BinaryMapBuilder, CallStack, Frame, FuncId, ModuleId, SiteId, TierId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small deterministic application model, parameterized enough that
+/// different `variant` values produce different cache keys.
+fn model(variant: u32, phases: u32) -> AppModel {
+    let mut b = BinaryMapBuilder::new();
+    b.add_module("p.x", 64 * 1024, 1 << 20, vec!["p.c".into()]);
+    let n_sites = 4u32;
+    let sites: Vec<(SiteId, CallStack)> = (0..n_sites)
+        .map(|i| (SiteId(i), CallStack::new(vec![Frame::new(ModuleId(0), 64 * u64::from(i) + 64)])))
+        .collect();
+    let mut out_phases = vec![PhaseSpec {
+        label: None,
+        compute_instructions: 1e8,
+        allocs: (0..n_sites)
+            .map(|i| AllocOp { site: SiteId(i), size: 1 << (20 + i % 4), count: 1 })
+            .collect(),
+        frees: vec![],
+        accesses: vec![],
+    }];
+    for p in 0..phases {
+        out_phases.push(PhaseSpec {
+            label: None,
+            compute_instructions: 1e9 * f64::from(1 + variant % 5),
+            allocs: vec![],
+            frees: vec![],
+            accesses: (0..n_sites)
+                .map(|i| AccessSpec {
+                    site: SiteId(i),
+                    function: FuncId(0),
+                    loads: 1e8 * f64::from(1 + (variant + i + p) % 7),
+                    stores: 2e7,
+                    llc_miss_rate: 0.05 + 0.1 * f64::from((variant + i) % 5),
+                    store_l1d_miss_rate: 0.1,
+                    pattern: AccessPattern::Sequential,
+                    instructions: 5e7,
+                    reuse_hint: 0.0,
+                })
+                .collect(),
+        });
+    }
+    out_phases.push(PhaseSpec {
+        label: None,
+        compute_instructions: 1e6,
+        allocs: vec![],
+        frees: (0..n_sites).map(|i| FreeOp { site: SiteId(i), count: 1 }).collect(),
+        accesses: vec![],
+    });
+    AppModel {
+        name: format!("prop-{variant}"),
+        ranks: 1,
+        threads_per_rank: 1,
+        input_desc: String::new(),
+        sites,
+        binmap: b.build(),
+        function_names: vec!["f".into()],
+        phases: out_phases,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A memoized fetch is bit-identical to a direct `engine::run` with the
+    /// same inputs, the second fetch shares the same allocation, and the
+    /// hit/miss counters account for both fetches.
+    #[test]
+    fn memoized_run_is_bit_identical_to_direct(
+        variant in 0u32..64,
+        phases in 1u32..5,
+        memory_mode in 0u8..2,
+    ) {
+        let app = model(variant, phases);
+        let mach = MachineConfig::optane_pmem6();
+        let mode = if memory_mode == 1 { ExecMode::MemoryMode } else { ExecMode::AppDirect };
+
+        let direct = run(&app, &mach, mode, &mut FixedTier::new(TierId::PMEM));
+        let cache = RunCache::new();
+        let first = cache.run_fixed(&app, &mach, mode, TierId::PMEM, None);
+        let second = cache.run_fixed(&app, &mach, mode, TierId::PMEM, None);
+
+        prop_assert_eq!(&*first, &direct, "cached result must be bit-identical");
+        prop_assert!(Arc::ptr_eq(&first, &second), "second fetch shares the stored Arc");
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), 1);
+        prop_assert_eq!(cache.len(), 1);
+    }
+
+    /// Hits/misses and results never depend on job ordering: any shuffle of
+    /// a duplicated request list, at any job count, produces exactly one
+    /// miss per distinct key and the same results as the serial reference.
+    #[test]
+    fn cache_hits_are_independent_of_job_ordering(
+        shuffle_seed in 0u64..10_000,
+        jobs in 1usize..5,
+    ) {
+        // 3 distinct request kinds, each duplicated 3 times, in an
+        // arbitrary order (seeded Fisher–Yates keeps the case replayable).
+        let mut order: Vec<u32> = (0..9).map(|i| i % 3).collect();
+        let mut state = shuffle_seed.wrapping_mul(2).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mach = MachineConfig::optane_pmem6();
+        let apps: Vec<AppModel> = (0..3).map(|v| model(v, 2)).collect();
+        let reference: Vec<_> = apps
+            .iter()
+            .map(|a| run(a, &mach, ExecMode::AppDirect, &mut FixedTier::new(TierId::PMEM)))
+            .collect();
+
+        let cache = RunCache::new();
+        let requests: Vec<&AppModel> = order.iter().map(|&i| &apps[i as usize]).collect();
+        let results = memsim::parallel_map(requests, jobs, |app| {
+            cache.run_fixed(app, &mach, ExecMode::AppDirect, TierId::PMEM, None)
+        });
+
+        prop_assert_eq!(cache.misses(), 3, "one simulation per distinct key");
+        prop_assert_eq!(cache.hits(), 6, "every duplicate is a hit");
+        for (got, &kind) in results.iter().zip(order.iter()) {
+            prop_assert_eq!(&**got, &reference[kind as usize]);
+        }
+    }
+}

@@ -35,6 +35,10 @@ pub enum WarningKind {
     UnresolvableEntry,
     /// A report listed the same call stack twice; later copies are ignored.
     DuplicateEntry,
+    /// Two distinct report entries resolved to the same match key (same
+    /// absolute addresses in BOM mode, same rendered location in HR mode);
+    /// the higher-value entry wins.
+    CollidingEntry,
     /// A report entry's stack format differed from the report's format.
     MixedFormatEntry,
     /// Analysis produced no usable profile; placement falls back entirely.
@@ -60,6 +64,7 @@ impl WarningKind {
             WarningKind::BadMetadata => "bad-metadata",
             WarningKind::UnresolvableEntry => "unresolvable-entry",
             WarningKind::DuplicateEntry => "duplicate-entry",
+            WarningKind::CollidingEntry => "colliding-entry",
             WarningKind::MixedFormatEntry => "mixed-format-entry",
             WarningKind::EmptyProfile => "empty-profile",
             WarningKind::UnusableReport => "unusable-report",

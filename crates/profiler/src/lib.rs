@@ -26,5 +26,5 @@ pub mod timeline;
 
 pub use analyzer::{analyze, analyze_lenient};
 pub use profile::{ObjectLifetime, ProfileSet, SiteProfile};
-pub use sampler::{profile_run, ProfilerConfig};
+pub use sampler::{profile_run, profile_run_cached, ProfilerConfig};
 pub use timeline::{timeline, to_csv, TimelineRow};

@@ -14,10 +14,11 @@
 //! matching.
 
 use memsim::{AppModel, ExecMode, MachineConfig, PlacementPolicy, RunResult};
-use memtrace::{FuncId, SiteId, TraceEvent, TraceFile};
+use memtrace::{FuncId, SiteId, TierId, TraceEvent, TraceFile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Profiler configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +46,24 @@ pub fn profile_run(
     cfg: &ProfilerConfig,
 ) -> (TraceFile, RunResult) {
     let result = memsim::run(app, machine, mode, policy);
+    let trace = synthesize_trace(app, &result, cfg);
+    (trace, result)
+}
+
+/// Memoized variant of [`profile_run`] for fixed-tier profiling runs (the
+/// paper's unconstrained profiling execution): the engine run is served
+/// from [`memsim::global_cache`], so sweeps that re-profile the same
+/// `(app, machine, mode, tier)` combination simulate it once per process.
+/// Trace synthesis stays outside the cache — it is deterministic per
+/// `cfg.seed`, so the produced trace is identical either way.
+pub fn profile_run_cached(
+    app: &AppModel,
+    machine: &MachineConfig,
+    mode: ExecMode,
+    tier: TierId,
+    cfg: &ProfilerConfig,
+) -> (TraceFile, Arc<RunResult>) {
+    let result = memsim::global_cache().run_fixed(app, machine, mode, tier, None);
     let trace = synthesize_trace(app, &result, cfg);
     (trace, result)
 }

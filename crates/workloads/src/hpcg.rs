@@ -166,7 +166,7 @@ mod tests {
         let mach = MachineConfig::optane_pmem6();
         let r = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
         let mb = r.memory_bound_fraction();
-        let hit = r.dram_cache_hit_ratio().unwrap();
+        let hit = r.dram_cache_hit_ratio();
         assert!(mb > 0.6, "Table VI: 80.5% memory-bound, got {mb:.3}");
         assert!((0.3..0.75).contains(&hit), "Table VI: 54.4% hit, got {hit:.3}");
     }

@@ -157,7 +157,7 @@ mod tests {
         let r = run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
         let mb = r.memory_bound_fraction();
         assert!(mb > 0.75, "Table VI says 90.2% memory-bound, got {mb:.3}");
-        let hit = r.dram_cache_hit_ratio().unwrap();
+        let hit = r.dram_cache_hit_ratio();
         assert!(hit < 0.6, "Table VI says 39.9% hit ratio, got {hit:.3}");
     }
 

@@ -199,7 +199,7 @@ mod tests {
     fn memory_mode_caches_it_well() {
         let mach = MachineConfig::optane_pmem6();
         let r = run(&model(), &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
-        let hit = r.dram_cache_hit_ratio().unwrap();
+        let hit = r.dram_cache_hit_ratio();
         assert!(hit > 0.4, "Table VI: 61.5% hit, got {hit:.3}");
     }
 }
