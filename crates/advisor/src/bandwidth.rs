@@ -43,9 +43,17 @@ pub struct BwThresholds {
     pub high_frac: f64,
 }
 
+impl BwThresholds {
+    /// The paper's empirically chosen thresholds (§VII-B1): T_ALLOC = 2,
+    /// T_PMEMLOW = 20%, T_PMEMHIGH = 40% of peak bandwidth. The single
+    /// source of truth — `Default` and the threshold ablation bench both
+    /// derive from this constant.
+    pub const PAPER: BwThresholds = BwThresholds { t_alloc: 2, low_frac: 0.2, high_frac: 0.4 };
+}
+
 impl Default for BwThresholds {
     fn default() -> Self {
-        BwThresholds { t_alloc: 2, low_frac: 0.2, high_frac: 0.4 }
+        BwThresholds::PAPER
     }
 }
 
@@ -370,6 +378,7 @@ mod tests {
     #[test]
     fn default_thresholds_match_the_paper() {
         let t = BwThresholds::default();
+        assert_eq!(t, BwThresholds::PAPER);
         assert_eq!(t.t_alloc, 2);
         assert!((t.low_frac - 0.2).abs() < 1e-12);
         assert!((t.high_frac - 0.4).abs() < 1e-12);

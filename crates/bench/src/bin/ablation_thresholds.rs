@@ -57,6 +57,10 @@ fn main() {
         }
         println!("{}\n", t.render());
     }
-    println!("paper defaults: T_ALLOC=2, T_PMEMLOW=0.2, T_PMEMHIGH=0.4");
+    let p = BwThresholds::PAPER;
+    println!(
+        "paper defaults: T_ALLOC={}, T_PMEMLOW={}, T_PMEMHIGH={}",
+        p.t_alloc, p.low_frac, p.high_frac
+    );
     runner.report();
 }

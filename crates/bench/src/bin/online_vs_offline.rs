@@ -1,0 +1,103 @@
+//! Online vs offline placement: what dynamic migration buys and costs.
+//!
+//! The paper's methodology is strictly offline — profile one run, place
+//! the next. The online engine (`ecohmem-online`) plans during the run and
+//! migrates objects at phase boundaries, paying for every move. This
+//! experiment quantifies the trade on both regimes:
+//!
+//! * steady-state applications (MiniFE, LULESH, HPCG): the hot set never
+//!   changes, so offline placement is optimal — online must converge to it
+//!   and land within a few percent after its cold-start phases;
+//! * the phase-shifting adversary (`workloads::phaseshift`): the hot array
+//!   flips mid-run, so *every* static placement strands half the hot
+//!   accesses in PMEM — online migrates across the shift and wins.
+//!
+//! Usage: `online_vs_offline [--jobs N]`.
+
+use advisor::AdvisorConfig;
+use bench::{Runner, Table};
+use ecohmem_core::{run_pipeline, PipelineConfig};
+use ecohmem_online::{OnlineConfig, OnlinePolicy};
+use memsim::{run, ExecMode, RunResult};
+
+struct Row {
+    app: &'static str,
+    memory_mode_s: f64,
+    offline_s: f64,
+    online: RunResult,
+    revisions: usize,
+}
+
+fn measure(app_name: &'static str, gib: u64) -> Row {
+    let app = workloads::model_by_name(app_name).unwrap();
+
+    // Offline: the paper pipeline — profile, analyze, advise, deploy.
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.advisor = AdvisorConfig::loads_only(gib);
+    let offline = run_pipeline(&app, &cfg).unwrap();
+
+    // Online: no prior profile; the incremental advisor plans in-run.
+    let mut policy = OnlinePolicy::new(AdvisorConfig::loads_only(gib), OnlineConfig::reactive());
+    let online = run(&app, &cfg.machine, ExecMode::AppDirect, &mut policy);
+
+    Row {
+        app: app_name,
+        memory_mode_s: offline.memory_mode.total_time,
+        offline_s: offline.placed.total_time,
+        online,
+        revisions: policy.revisions().len(),
+    }
+}
+
+fn main() {
+    let runner = Runner::from_env("online_vs_offline");
+    let apps: Vec<(&'static str, u64)> =
+        vec![("minife", 12), ("lulesh", 12), ("hpcg", 12), ("phaseshift", 12)];
+    let rows = runner.map(apps, |(name, gib)| measure(name, gib));
+
+    let mut t = Table::new(&[
+        "app",
+        "memmode_s",
+        "offline_s",
+        "online_s",
+        "online/offline",
+        "migrations",
+        "moved_gb",
+        "migr_time_s",
+        "revisions",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.app.to_string(),
+            format!("{:.2}", r.memory_mode_s),
+            format!("{:.2}", r.offline_s),
+            format!("{:.2}", r.online.total_time),
+            format!("{:.3}", r.online.total_time / r.offline_s),
+            r.online.migrations.to_string(),
+            format!("{:.2}", r.online.migrated_bytes as f64 / 1e9),
+            format!("{:.3}", r.online.migration_time),
+            r.revisions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for r in &rows {
+        let ratio = r.online.total_time / r.offline_s;
+        if r.app == "phaseshift" {
+            println!(
+                "phaseshift: online {} offline ({:.2}s vs {:.2}s) — dynamic migration {}",
+                if ratio < 1.0 { "beats" } else { "does NOT beat" },
+                r.online.total_time,
+                r.offline_s,
+                if ratio < 1.0 { "pays for itself across the phase shift" } else { "fell short" },
+            );
+        } else if ratio > 1.05 {
+            println!(
+                "{}: online {:.1}% behind offline (expected ≤ 5% on steady state)",
+                r.app,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    runner.report();
+}

@@ -5,31 +5,59 @@
 //! ```text
 //! ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json]
 //!                [--stores] [--bw-aware] [--format bom|hr]
-//!                [--text] [--out FILE]
+//!                [--text] [--out FILE] [--stream]
 //! ```
+//!
+//! `--stream` routes the trace through the online engine's bounded-channel
+//! streaming ingestor (`ecohmem_online::stream_profile`) instead of the
+//! batch analyzer — same profile, same report (the convergence contract),
+//! but constant memory in the number of *live* objects rather than total
+//! events. Degradation follows the toolchain contract: strict by default,
+//! salvage-and-warn with `--lenient`.
 
 use advisor::{Advisor, AdvisorConfig, Algorithm};
 use cli::{ok_or_die, usage_error, Args};
+use ecohmem_online::{stream_profile, DegradationPolicy, OnlineConfig};
 use memtrace::{StackFormat, TierId};
 
 const USAGE: &str = "ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json] \
                      [--stores] [--bw-aware] [--format bom|hr] [--text] [--out FILE] \
-                     [--lenient]";
+                     [--stream] [--lenient]";
 
 fn main() {
     let args = Args::from_env();
     let Some(path) = args.positional.first() else {
         usage_error("ecohmem-advise", "missing trace file", USAGE);
     };
-    let profile = if args.has("lenient") {
-        let (trace, mut warnings) = ok_or_die("ecohmem-advise", cli::load_trace_lenient(path));
-        let (profile, w) = profiler::analyze_lenient(&trace);
-        warnings.extend(w);
-        cli::print_warnings("ecohmem-advise", &warnings);
-        profile
-    } else {
-        let trace = ok_or_die("ecohmem-advise", cli::load_trace(path));
-        ok_or_die("ecohmem-advise", profiler::analyze(&trace))
+    let profile = match (args.has("stream"), args.has("lenient")) {
+        (true, lenient) => {
+            // Streaming ingestion. Load leniently only when asked: the
+            // loader must not mask what the ingestor would catch.
+            let (trace, mut warnings) = if lenient {
+                ok_or_die("ecohmem-advise", cli::load_trace_lenient(path))
+            } else {
+                (ok_or_die("ecohmem-advise", cli::load_trace(path)), Vec::new())
+            };
+            let policy = if lenient { DegradationPolicy::Warn } else { DegradationPolicy::Strict };
+            let (profile, w) = ok_or_die(
+                "ecohmem-advise",
+                stream_profile(&trace, policy, OnlineConfig::default()),
+            );
+            warnings.extend(w);
+            cli::print_warnings("ecohmem-advise", &warnings);
+            profile
+        }
+        (false, true) => {
+            let (trace, mut warnings) = ok_or_die("ecohmem-advise", cli::load_trace_lenient(path));
+            let (profile, w) = profiler::analyze_lenient(&trace);
+            warnings.extend(w);
+            cli::print_warnings("ecohmem-advise", &warnings);
+            profile
+        }
+        (false, false) => {
+            let trace = ok_or_die("ecohmem-advise", cli::load_trace(path));
+            ok_or_die("ecohmem-advise", profiler::analyze(&trace))
+        }
     };
 
     let config = if let Some(cfg_path) = args.opt("config") {

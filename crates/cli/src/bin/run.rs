@@ -4,19 +4,29 @@
 //! ```text
 //! ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm]
 //!             [--aslr N] [--no-baseline] [--jobs N]
+//! ecohmem-run <app> --online [--dram-gib N] [--epoch-phases N]
+//!             [--machine pmem6|pmem2|hbm] [--no-baseline] [--jobs N]
 //! ```
 //!
 //! With `--jobs` ≥ 2 (or `ECOHMEM_JOBS`), the placed run and the
 //! Memory-Mode baseline execute concurrently; the baseline is additionally
 //! served from the process-wide memoization cache.
+//!
+//! `--online` replaces the report-driven FlexMalloc interposer with the
+//! online placement engine: no profiling run, no report file — the
+//! incremental advisor plans placements from phase observations during the
+//! run itself and migrates objects across tiers at phase boundaries, each
+//! migration paying bytes/bandwidth plus a fixed overhead.
 
 use cli::{machine_by_name, ok_or_die, usage_error, Args};
+use ecohmem_online::{OnlineConfig, OnlinePolicy};
 use flexmalloc::FlexMalloc;
 use memsim::{run, ExecMode};
 use memtrace::PlacementReport;
 
 const USAGE: &str = "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] \
-                     [--no-baseline] [--lenient] [--jobs N]";
+                     [--no-baseline] [--lenient] [--jobs N] | ecohmem-run <app> --online \
+                     [--dram-gib N] [--epoch-phases N] [--machine ...] [--no-baseline] [--jobs N]";
 
 fn main() {
     let args = Args::from_env();
@@ -26,12 +36,18 @@ fn main() {
     let Some(app) = workloads::model_by_name(app_name) else {
         usage_error("ecohmem-run", &format!("unknown application `{app_name}`"), USAGE);
     };
-    let Some(report_path) = args.opt("report") else {
-        usage_error("ecohmem-run", "missing --report", USAGE);
-    };
     let machine_name = args.opt("machine").unwrap_or("pmem6");
     let Some(machine) = machine_by_name(machine_name) else {
         usage_error("ecohmem-run", &format!("unknown machine `{machine_name}`"), USAGE);
+    };
+
+    if args.has("online") {
+        run_online(&args, app_name, &app, &machine);
+        return;
+    }
+
+    let Some(report_path) = args.opt("report") else {
+        usage_error("ecohmem-run", "missing --report (or --online)", USAGE);
     };
     let report = ok_or_die("ecohmem-run", PlacementReport::load(report_path));
 
@@ -72,6 +88,59 @@ fn main() {
         placed.tier_peak_bytes[0] as f64 / 1e9,
         placed.tier_peak_bytes.get(1).copied().unwrap_or(0) as f64 / 1e9,
         placed.alloc_overhead,
+    );
+    if let Some(mm) = baseline {
+        println!(
+            "memory mode: {:.2}s  →  speedup {:.3}x",
+            mm.total_time,
+            mm.total_time / placed.total_time
+        );
+    }
+}
+
+/// The `--online` mode: dynamic placement by the incremental advisor, no
+/// prior profiling run and no report file.
+fn run_online(
+    args: &Args,
+    app_name: &str,
+    app: &memsim::AppModel,
+    machine: &memsim::MachineConfig,
+) {
+    let gib = args.opt_or("dram-gib", 12u64);
+    let cfg = advisor::AdvisorConfig::loads_only(gib);
+    let mut online_cfg = OnlineConfig::reactive();
+    online_cfg.epoch_phases = args.opt_or("epoch-phases", online_cfg.epoch_phases);
+    let mut policy = OnlinePolicy::new(cfg, online_cfg);
+
+    let wants_baseline = !args.has("no-baseline");
+    let (placed, baseline) = std::thread::scope(|s| {
+        let handle = (wants_baseline && args.jobs() > 1)
+            .then(|| s.spawn(|| baselines::run_memory_mode(app, machine)));
+        let placed = run(app, machine, ExecMode::AppDirect, &mut policy);
+        let baseline = match handle {
+            Some(h) => Some(h.join().expect("baseline thread panicked")),
+            None => wants_baseline.then(|| baselines::run_memory_mode(app, machine)),
+        };
+        (placed, baseline)
+    });
+
+    println!(
+        "{app_name} under online placement: {:.2}s wall, {} epochs, {} plan revisions",
+        placed.total_time,
+        policy.epochs(),
+        policy.revisions().len(),
+    );
+    println!(
+        "migrations: {} applied of {} requested, {:.2} GB moved, {:.3}s migration time",
+        placed.migrations,
+        policy.migrations_requested(),
+        placed.migrated_bytes as f64 / 1e9,
+        placed.migration_time,
+    );
+    println!(
+        "tier peaks: dram {:.2} GB, pmem {:.2} GB",
+        placed.tier_peak_bytes[0] as f64 / 1e9,
+        placed.tier_peak_bytes.get(1).copied().unwrap_or(0) as f64 / 1e9,
     );
     if let Some(mm) = baseline {
         println!(

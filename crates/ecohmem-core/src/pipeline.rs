@@ -9,22 +9,10 @@ use memtrace::{
 };
 use profiler::{analyze, analyze_lenient, profile_run_cached, ProfileSet, ProfilerConfig};
 
-/// How the pipeline reacts to damaged intermediate artifacts — a truncated
-/// or corrupt trace, a stale or unresolvable placement report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DegradationPolicy {
-    /// Fail fast on the first malformed artifact (today's default — the
-    /// behavior every paper experiment runs under).
-    #[default]
-    Strict,
-    /// Salvage what is recoverable, but still fail when a stage is left
-    /// with nothing usable (all events dropped, no report entry resolves).
-    Warn,
-    /// Never fail: an unusable stage degrades to the empty artifact, which
-    /// places every allocation in the fallback tier — a slower run, never
-    /// an aborted one.
-    BestEffort,
-}
+// The policy is shared with the streaming ingestor (`ecohmem-online`), so
+// it lives with the warning vocabulary in `memtrace`; re-exported here to
+// keep the original API path working.
+pub use memtrace::DegradationPolicy;
 
 /// Everything a pipeline run needs.
 #[derive(Debug, Clone)]
@@ -137,6 +125,15 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
         policy => {
             let events_before = trace.events.len();
             warnings.extend(trace.sanitize());
+            // Sanitize warns per damage class; surface the aggregate data
+            // loss too, so a lenient run can't silently discard events.
+            let dropped = events_before - trace.events.len();
+            if dropped > 0 {
+                warnings.push(Warning::new(
+                    WarningKind::DroppedEvents,
+                    format!("sanitization dropped {dropped} of {events_before} trace events"),
+                ));
+            }
             if policy == DegradationPolicy::Warn && trace.events.is_empty() && events_before > 0 {
                 return Err(TraceError::Malformed(format!(
                     "trace unusable after sanitization: all {events_before} events dropped"

@@ -146,6 +146,16 @@ pub struct RunResult {
     /// Allocations that exceeded every tier's capacity (overcommitted into
     /// the largest tier; zero in all paper configurations).
     pub oom_events: u64,
+    /// Inter-tier migrations applied over the run (dynamic policies only).
+    #[serde(default)]
+    pub migrations: u64,
+    /// Total bytes moved between tiers by those migrations.
+    #[serde(default)]
+    pub migrated_bytes: u64,
+    /// Seconds charged for migrations: Σ (bytes / min(src read bw, dst
+    /// write bw) + per-migration fixed overhead). Included in `total_time`.
+    #[serde(default)]
+    pub migration_time: f64,
 }
 
 impl RunResult {
@@ -291,6 +301,9 @@ mod tests {
             tier_peak_bytes: vec![],
             fallback_allocs: 0,
             oom_events: 0,
+            migrations: 0,
+            migrated_bytes: 0,
+            migration_time: 0.0,
         }
     }
 

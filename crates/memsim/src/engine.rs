@@ -121,6 +121,8 @@ pub fn run(
     let mut total_instructions = 0.0_f64;
     let mut total_compute = 0.0_f64;
     let mut pending_migrations: Vec<Migration> = Vec::new();
+    let mut total_migrations = 0u64;
+    let mut migration_time = 0.0_f64;
 
     for (pi, phase) in app.phases.iter().enumerate() {
         let pi32 = pi as u32;
@@ -140,7 +142,13 @@ pub fn run(
             let src = machine.tier(obj.tier);
             let dst = machine.tier(m.to);
             migrated_bytes += obj.size;
-            t += obj.size as f64 / src.peak_read_bw.min(dst.peak_write_bw);
+            total_migrations += 1;
+            // Cost model: bytes moved at the slower of the two controllers,
+            // plus the policy's fixed per-migration (syscall/remap) latency.
+            let cost = obj.size as f64 / src.peak_read_bw.min(dst.peak_write_bw)
+                + policy.migration_overhead_seconds();
+            t += cost;
+            migration_time += cost;
             obj.tier = m.to;
             obj.address = new_addr;
             records[obj.record].tier = m.to;
@@ -344,6 +352,9 @@ pub fn run(
     let mut functions: Vec<(FuncId, FunctionStats)> = functions.into_iter().collect();
     functions.sort_by_key(|(f, _)| *f);
 
+    // Derived from the per-phase stats so the two can never disagree.
+    let total_migrated_bytes: u64 = phases_out.iter().map(|p| p.migrated_bytes).sum();
+
     RunResult {
         app: app.name.clone(),
         machine: machine.name.clone(),
@@ -360,6 +371,9 @@ pub fn run(
         tier_peak_bytes: heaps.iter().map(|h| h.peak()).collect(),
         fallback_allocs,
         oom_events,
+        migrations: total_migrations,
+        migrated_bytes: total_migrated_bytes,
+        migration_time,
     }
 }
 

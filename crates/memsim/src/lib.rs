@@ -43,6 +43,8 @@ pub use kinds::{Kind, KindRegistry};
 pub use machine::MachineConfig;
 pub use mlc::{mlc_sweep, MlcPoint, TrafficMix};
 pub use model::{AccessPattern, AccessSpec, AllocOp, AppModel, FreeOp, PhaseSpec};
-pub use policy::{AllocContext, FixedTier, PlacementPolicy};
+pub use policy::{
+    AllocContext, FixedTier, Migration, PhaseObservation, PlacementPolicy, SiteMapPolicy,
+};
 pub use runner::{global_cache, jobs_from_env, parallel_map, stable_hash, RunCache, RunKey};
 pub use tier::{TierKind, TierSpec};

@@ -76,6 +76,13 @@ pub trait PlacementPolicy {
     fn observe_phase(&mut self, _obs: &PhaseObservation) -> Vec<Migration> {
         Vec::new()
     }
+
+    /// Fixed time cost per applied migration, on top of the bytes-moved /
+    /// tier-bandwidth transfer term: the syscall + page-table work of a
+    /// `move_pages`-style remap. Zero for policies that never migrate.
+    fn migration_overhead_seconds(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Places everything in one tier. `FixedTier::new(TierId::DRAM)` models an

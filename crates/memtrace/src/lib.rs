@@ -36,4 +36,4 @@ pub use ids::{FuncId, ModuleId, ObjectId, SiteId, TierId};
 pub use report::{PlacementReport, ReportEntry, ReportStack};
 pub use textfmt::parse_report;
 pub use trace::TraceFile;
-pub use warn::{Warning, WarningKind};
+pub use warn::{DegradationPolicy, Warning, WarningKind};

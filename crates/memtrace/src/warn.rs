@@ -10,6 +10,23 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// How a consumer of damaged artifacts reacts — shared by the offline
+/// pipeline (`ecohmem-core`) and the streaming ingestor (`ecohmem-online`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DegradationPolicy {
+    /// Fail fast on the first malformed artifact (the default — the
+    /// behavior every paper experiment runs under).
+    #[default]
+    Strict,
+    /// Salvage what is recoverable, but still fail when a stage is left
+    /// with nothing usable (all events dropped, no report entry resolves).
+    Warn,
+    /// Never fail: an unusable stage degrades to the empty artifact, which
+    /// places every allocation in the fallback tier — a slower run, never
+    /// an aborted one.
+    BestEffort,
+}
+
 /// What kind of damage a lenient path encountered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WarningKind {
@@ -47,6 +64,9 @@ pub enum WarningKind {
     UnusableReport,
     /// A deterministic fault injector mutated this artifact.
     FaultInjected,
+    /// Aggregate data loss: sanitization (or a streaming ingestor) dropped
+    /// events; the detail carries the total dropped / total seen counts.
+    DroppedEvents,
 }
 
 impl WarningKind {
@@ -69,6 +89,7 @@ impl WarningKind {
             WarningKind::EmptyProfile => "empty-profile",
             WarningKind::UnusableReport => "unusable-report",
             WarningKind::FaultInjected => "fault-injected",
+            WarningKind::DroppedEvents => "dropped-events",
         }
     }
 }

@@ -1,0 +1,160 @@
+//! Bounded-channel streaming: the producer/consumer seam of the online
+//! engine.
+//!
+//! A real streaming profiler produces events faster than a planner wants
+//! to consume them in bursts; an unbounded buffer would quietly grow to
+//! the size of the trace and defeat the point of streaming. A
+//! [`StreamSession`] therefore moves events over a *bounded*
+//! `sync_channel`: when the consumer thread (which drives a
+//! [`StreamIngestor`]) falls behind, `send` blocks — backpressure, not
+//! buffering.
+//!
+//! Failure flows in both directions: a `Strict` ingestor error terminates
+//! the consumer, subsequent `send`s report the hangup, and
+//! [`StreamSession::finish`] surfaces the original [`TraceError`].
+
+use crate::config::OnlineConfig;
+use crate::ingest::{StreamIngestor, StreamMeta};
+use memtrace::{DegradationPolicy, TraceError, TraceEvent, TraceFile, Warning};
+use profiler::ProfileSet;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// A live streaming-ingestion session: producer handle on this side, the
+/// ingestor running on its own consumer thread.
+#[derive(Debug)]
+pub struct StreamSession {
+    tx: Option<SyncSender<TraceEvent>>,
+    consumer: JoinHandle<Result<StreamIngestor, TraceError>>,
+}
+
+impl StreamSession {
+    /// Spawns the consumer thread. The channel depth comes from
+    /// `cfg.channel_capacity` (clamped to ≥ 1).
+    pub fn spawn(meta: StreamMeta, policy: DegradationPolicy, cfg: OnlineConfig) -> Self {
+        let (tx, rx) = sync_channel::<TraceEvent>(cfg.channel_capacity.max(1));
+        let consumer = std::thread::spawn(move || {
+            let mut ingestor = StreamIngestor::new(meta, policy, cfg);
+            for event in rx {
+                ingestor.push(event)?;
+            }
+            Ok(ingestor)
+        });
+        StreamSession { tx: Some(tx), consumer }
+    }
+
+    /// Offers one event, blocking while the channel is full. Returns
+    /// `false` when the consumer has hung up (a `Strict` failure) — the
+    /// producer should stop and call [`Self::finish`] for the error.
+    pub fn send(&self, event: TraceEvent) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(event).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the stream and joins the consumer: the final profile (as of
+    /// `duration`) plus warnings, or the error that stopped ingestion.
+    pub fn finish(mut self, duration: f64) -> Result<(ProfileSet, Vec<Warning>), TraceError> {
+        drop(self.tx.take());
+        let ingestor = self
+            .consumer
+            .join()
+            .map_err(|_| TraceError::Malformed("stream consumer thread panicked".into()))??;
+        ingestor.finish(duration)
+    }
+}
+
+/// Streams a whole trace file through a bounded-channel session — the
+/// drop-in streaming replacement for `profiler::analyze` (strict) and
+/// `profiler::analyze_lenient` (with a lenient policy).
+pub fn stream_profile(
+    trace: &TraceFile,
+    policy: DegradationPolicy,
+    cfg: OnlineConfig,
+) -> Result<(ProfileSet, Vec<Warning>), TraceError> {
+    let session = StreamSession::spawn(StreamMeta::of(trace), policy, cfg);
+    for event in &trace.events {
+        if !session.send(event.clone()) {
+            break; // consumer died; finish() reports why
+        }
+    }
+    session.finish(trace.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{BinaryMap, CallStack, Frame, ModuleId, ObjectId, SiteId};
+
+    fn toy_trace(events: Vec<TraceEvent>) -> TraceFile {
+        TraceFile {
+            app_name: "toy".into(),
+            seed: 1,
+            ranks: 1,
+            sampling_hz: 100.0,
+            load_sample_period: 1.0,
+            store_sample_period: 1.0,
+            duration: 2.0,
+            stacks: vec![(SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)]))],
+            binmap: BinaryMap::default(),
+            events,
+        }
+    }
+
+    fn valid_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Alloc {
+                time: 0.0,
+                object: ObjectId(1),
+                site: SiteId(0),
+                size: 128,
+                address: 0x1000,
+            },
+            TraceEvent::LoadMissSample {
+                time: 0.5,
+                address: 0x1040,
+                latency_cycles: 300.0,
+                function: memtrace::FuncId(0),
+            },
+            TraceEvent::Free { time: 1.0, object: ObjectId(1) },
+        ]
+    }
+
+    #[test]
+    fn streams_a_valid_trace() {
+        let trace = toy_trace(valid_events());
+        let (profile, warnings) =
+            stream_profile(&trace, DegradationPolicy::Strict, OnlineConfig::default()).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(profile.sites.len(), 1);
+        assert_eq!(profile.sites[0].load_misses_est, 1.0);
+    }
+
+    #[test]
+    fn capacity_one_still_delivers_everything() {
+        // The smallest possible channel forces a block on every send;
+        // correctness must not depend on the channel depth.
+        let trace = toy_trace(valid_events());
+        let cfg = OnlineConfig { channel_capacity: 1, ..OnlineConfig::default() };
+        let (p1, _) = stream_profile(&trace, DegradationPolicy::Strict, cfg).unwrap();
+        let (p2, _) =
+            stream_profile(&trace, DegradationPolicy::Strict, OnlineConfig::default()).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn strict_failure_propagates_through_the_channel() {
+        let mut events = valid_events();
+        events.push(TraceEvent::Free { time: 1.5, object: ObjectId(1) }); // double free
+        let trace = toy_trace(events);
+        let err =
+            stream_profile(&trace, DegradationPolicy::Strict, OnlineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("double free"), "{err}");
+        // The lenient policies salvage the same stream.
+        let (p, w) =
+            stream_profile(&trace, DegradationPolicy::Warn, OnlineConfig::default()).unwrap();
+        assert_eq!(p.sites.len(), 1);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! The incremental advisor: maintains a greedy-knapsack placement under a
+//! stream of event deltas.
+//!
+//! The offline HMem Advisor ranks every site once over a finished profile.
+//! Online, most sites' statistics are unchanged between consecutive
+//! re-plans, so re-deriving every input would waste the work the dirty-set
+//! makes avoidable: the advisor caches each site's [`SiteProfile`] and, on
+//! an epoch tick, rebuilds only the sites its [`ProfileSource`] reports as
+//! dirtied since the last tick. The greedy pass itself (and the optional
+//! bandwidth-aware rebalance) then re-runs over the assembled profile —
+//! that solve is cheap next to profile reconstruction, and re-using the
+//! offline passes verbatim is what makes online → offline convergence
+//! provable: with aging disabled, a final tick over a fully-ingested trace
+//! ranks exactly the inputs the batch Advisor ranks.
+//!
+//! The value function is pinned to the paper's miss density. (The cached
+//! profiles of *clean* sites keep their last-built lifetime fields, which
+//! density ignores; a lifetime-sensitive value function would need a
+//! rebuild-all tick.)
+//!
+//! Each tick emits the *diff* against the previous plan as
+//! [`PlacementRevision`]s — the stream a dynamic placement layer consumes.
+
+use crate::ingest::StreamIngestor;
+use advisor::{bandwidth, knapsack, AdvisorConfig, Algorithm, Assignment, BwThresholds};
+use memtrace::{BinaryMap, CallStack, SiteId, TierId};
+use profiler::{ProfileSet, SiteProfile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One placement change emitted by an epoch tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRevision {
+    /// Tick ordinal that produced this revision.
+    pub epoch: u64,
+    /// Stream time of the tick, seconds (phases on the policy path).
+    pub time: f64,
+    /// The re-placed site.
+    pub site: SiteId,
+    /// Tier the site was assigned before the tick.
+    pub from: TierId,
+    /// Tier the site is assigned now.
+    pub to: TierId,
+}
+
+/// Where the incremental advisor gets per-site profiles from: the
+/// streaming trace ingestor, or the dynamic policy's phase observations.
+pub trait ProfileSource {
+    /// Sites whose statistics changed since the last call, sorted.
+    fn take_dirty(&mut self) -> Vec<SiteId>;
+    /// One site's profile as of `now` (`None` if the site vanished).
+    fn site_profile(&self, site: SiteId, now: f64) -> Option<SiteProfile>;
+    /// `(bw_series, peak_bw)` as of `now`, for the bandwidth-aware pass.
+    fn bw_state(&self, now: f64) -> (Vec<(f64, f64)>, f64);
+    /// Application name for the assembled profile.
+    fn app_name(&self) -> &str;
+}
+
+impl ProfileSource for StreamIngestor {
+    fn take_dirty(&mut self) -> Vec<SiteId> {
+        StreamIngestor::take_dirty(self)
+    }
+
+    fn site_profile(&self, site: SiteId, now: f64) -> Option<SiteProfile> {
+        self.site_snapshot(site, now)
+    }
+
+    fn bw_state(&self, now: f64) -> (Vec<(f64, f64)>, f64) {
+        let bw = self.bw_context(now);
+        (bw.series, bw.peak)
+    }
+
+    fn app_name(&self) -> &str {
+        &self.meta().app_name
+    }
+}
+
+/// The incremental advisor.
+#[derive(Debug)]
+pub struct IncrementalAdvisor {
+    config: AdvisorConfig,
+    algorithm: Algorithm,
+    thresholds: BwThresholds,
+    hysteresis: f64,
+    cache: HashMap<SiteId, SiteProfile>,
+    assignment: Option<Assignment>,
+    epoch: u64,
+    rebuilt_sites: u64,
+}
+
+impl IncrementalAdvisor {
+    /// Creates an advisor with the paper's bandwidth thresholds and no
+    /// hysteresis (the offline-equivalent setting).
+    pub fn new(config: AdvisorConfig, algorithm: Algorithm) -> Self {
+        config.validate().expect("invalid advisor configuration");
+        IncrementalAdvisor {
+            config,
+            algorithm,
+            thresholds: BwThresholds::PAPER,
+            hysteresis: 0.0,
+            cache: HashMap::new(),
+            assignment: None,
+            epoch: 0,
+            rebuilt_sites: 0,
+        }
+    }
+
+    /// Sets the plan hysteresis (see [`crate::OnlineConfig::hysteresis`]):
+    /// sites currently planned on the primary tier get their miss estimate
+    /// scaled by `1 + h` while ranking, so a challenger must beat the
+    /// incumbent by a real margin — not estimator noise — to displace it.
+    pub fn with_hysteresis(mut self, h: f64) -> Self {
+        self.hysteresis = h.max(0.0);
+        self
+    }
+
+    /// The advisor configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// The current plan, if a tick has run.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        self.assignment.as_ref()
+    }
+
+    /// Tier currently planned for a site (the configured fallback before
+    /// the first tick or for unknown sites).
+    pub fn tier_of(&self, site: SiteId) -> TierId {
+        self.assignment.as_ref().map(|a| a.tier_of(site)).unwrap_or(self.config.fallback)
+    }
+
+    /// Ticks completed.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total per-site profile rebuilds across all ticks — the work the
+    /// dirty-set accounting actually spent (vs. `epochs × total sites` for
+    /// a naive re-derivation).
+    pub fn rebuilt_sites(&self) -> u64 {
+        self.rebuilt_sites
+    }
+
+    /// Runs one epoch tick: refreshes dirtied sites from `source`,
+    /// re-solves the placement, and returns the plan diff (sorted by site).
+    pub fn tick(&mut self, source: &mut dyn ProfileSource, now: f64) -> Vec<PlacementRevision> {
+        for site in source.take_dirty() {
+            match source.site_profile(site, now) {
+                Some(p) => {
+                    self.cache.insert(site, p);
+                }
+                None => {
+                    self.cache.remove(&site);
+                }
+            }
+            self.rebuilt_sites += 1;
+        }
+
+        let (bw_series, peak_bw) = source.bw_state(now);
+        let mut sites: Vec<SiteProfile> = self.cache.values().cloned().collect();
+        sites.sort_by_key(|s| s.site);
+        if self.hysteresis > 0.0 {
+            if let Some(prev) = &self.assignment {
+                let primary = self.config.primary().tier;
+                for s in sites.iter_mut().filter(|s| prev.tier_of(s.site) == primary) {
+                    s.load_misses_est *= 1.0 + self.hysteresis;
+                    s.store_misses_est *= 1.0 + self.hysteresis;
+                }
+            }
+        }
+        let profile = ProfileSet {
+            app_name: source.app_name().to_string(),
+            duration: now,
+            sites,
+            bw_series,
+            peak_bw,
+            // Reports rendered from an online plan use the live process
+            // image; the plan itself never consults it.
+            binmap: BinaryMap::default(),
+        };
+
+        let mut next = knapsack::assign(&profile, &self.config);
+        if self.algorithm == Algorithm::BandwidthAware {
+            next = bandwidth::rebalance(&profile, &next, &self.config, &self.thresholds).0;
+        }
+
+        let revisions = self.diff(&next, now);
+        self.assignment = Some(next);
+        self.epoch += 1;
+        revisions
+    }
+
+    /// Stacks of all cached sites, for rendering a [`memtrace::PlacementReport`].
+    pub fn stacks(&self) -> Vec<(SiteId, CallStack)> {
+        let mut v: Vec<(SiteId, CallStack)> =
+            self.cache.iter().map(|(s, p)| (*s, p.stack.clone())).collect();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
+
+    fn diff(&self, next: &Assignment, now: f64) -> Vec<PlacementRevision> {
+        let mut sites: Vec<SiteId> = next.tiers.keys().copied().collect();
+        if let Some(prev) = &self.assignment {
+            sites.extend(prev.tiers.keys().copied());
+        }
+        sites.sort();
+        sites.dedup();
+        sites
+            .into_iter()
+            .filter_map(|site| {
+                let from = self
+                    .assignment
+                    .as_ref()
+                    .map(|a| a.tier_of(site))
+                    .unwrap_or(self.config.fallback);
+                let to = next.tier_of(site);
+                (from != to).then_some(PlacementRevision {
+                    epoch: self.epoch,
+                    time: now,
+                    site,
+                    from,
+                    to,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{Frame, ModuleId, ObjectId};
+    use profiler::ObjectLifetime;
+
+    /// A hand-driven profile source for unit tests.
+    struct FakeSource {
+        dirty: Vec<SiteId>,
+        profiles: HashMap<SiteId, SiteProfile>,
+    }
+
+    impl ProfileSource for FakeSource {
+        fn take_dirty(&mut self) -> Vec<SiteId> {
+            std::mem::take(&mut self.dirty)
+        }
+        fn site_profile(&self, site: SiteId, _now: f64) -> Option<SiteProfile> {
+            self.profiles.get(&site).cloned()
+        }
+        fn bw_state(&self, _now: f64) -> (Vec<(f64, f64)>, f64) {
+            (vec![(0.0, 1e9)], 1e9)
+        }
+        fn app_name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    fn site(id: u32, gib: u64, misses: f64) -> SiteProfile {
+        SiteProfile {
+            site: SiteId(id),
+            stack: CallStack::new(vec![Frame::new(ModuleId(0), 64 * id as u64)]),
+            alloc_count: 1,
+            max_size: gib << 30,
+            total_bytes: gib << 30,
+            peak_live_bytes: gib << 30,
+            load_misses_est: misses,
+            store_misses_est: 0.0,
+            has_stores: false,
+            first_alloc: 0.0,
+            last_free: 10.0,
+            bw_at_alloc: 0.0,
+            avg_bw: 0.0,
+            objects: vec![ObjectLifetime {
+                object: ObjectId(id as u64),
+                size: gib << 30,
+                alloc_time: 0.0,
+                free_time: 10.0,
+                load_samples: 1,
+                store_samples: 0,
+                store_l1d_miss_samples: 0,
+                bw_at_alloc: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn first_tick_emits_promotions_from_fallback() {
+        let mut src = FakeSource {
+            dirty: vec![SiteId(0), SiteId(1)],
+            profiles: [(SiteId(0), site(0, 4, 1e9)), (SiteId(1), site(1, 4, 1e3))]
+                .into_iter()
+                .collect(),
+        };
+        let mut adv = IncrementalAdvisor::new(AdvisorConfig::loads_only(6), Algorithm::Base);
+        assert_eq!(adv.tier_of(SiteId(0)), TierId::PMEM, "cold start falls back");
+        let revs = adv.tick(&mut src, 1.0);
+        // Only the dense site moves; the sparse one stays on the fallback
+        // (budget fits one 4 GiB site).
+        assert_eq!(revs.len(), 1);
+        assert_eq!(revs[0].site, SiteId(0));
+        assert_eq!(revs[0].from, TierId::PMEM);
+        assert_eq!(revs[0].to, TierId::DRAM);
+        assert_eq!(adv.tier_of(SiteId(0)), TierId::DRAM);
+        assert_eq!(adv.epochs(), 1);
+    }
+
+    #[test]
+    fn quiet_ticks_emit_no_revisions_and_rebuild_nothing() {
+        let mut src = FakeSource {
+            dirty: vec![SiteId(0)],
+            profiles: [(SiteId(0), site(0, 4, 1e9))].into_iter().collect(),
+        };
+        let mut adv = IncrementalAdvisor::new(AdvisorConfig::loads_only(6), Algorithm::Base);
+        adv.tick(&mut src, 1.0);
+        let rebuilt = adv.rebuilt_sites();
+        let revs = adv.tick(&mut src, 2.0);
+        assert!(revs.is_empty(), "nothing dirtied, plan unchanged");
+        assert_eq!(adv.rebuilt_sites(), rebuilt, "clean sites are served from cache");
+    }
+
+    #[test]
+    fn shifting_heat_flips_the_plan() {
+        let mut src = FakeSource {
+            dirty: vec![SiteId(0), SiteId(1)],
+            profiles: [(SiteId(0), site(0, 4, 1e9)), (SiteId(1), site(1, 4, 1e3))]
+                .into_iter()
+                .collect(),
+        };
+        let mut adv = IncrementalAdvisor::new(AdvisorConfig::loads_only(6), Algorithm::Base);
+        adv.tick(&mut src, 1.0);
+        // The workload's hot set flips.
+        src.profiles.get_mut(&SiteId(0)).unwrap().load_misses_est = 1e3;
+        src.profiles.get_mut(&SiteId(1)).unwrap().load_misses_est = 1e9;
+        src.dirty = vec![SiteId(0), SiteId(1)];
+        let revs = adv.tick(&mut src, 2.0);
+        assert_eq!(revs.len(), 2, "demotion and promotion");
+        assert_eq!(adv.tier_of(SiteId(0)), TierId::PMEM);
+        assert_eq!(adv.tier_of(SiteId(1)), TierId::DRAM);
+    }
+
+    #[test]
+    fn vanished_sites_leave_the_cache() {
+        let mut src = FakeSource {
+            dirty: vec![SiteId(0)],
+            profiles: [(SiteId(0), site(0, 4, 1e9))].into_iter().collect(),
+        };
+        let mut adv = IncrementalAdvisor::new(AdvisorConfig::loads_only(6), Algorithm::Base);
+        adv.tick(&mut src, 1.0);
+        src.profiles.clear();
+        src.dirty = vec![SiteId(0)];
+        let revs = adv.tick(&mut src, 2.0);
+        assert_eq!(adv.tier_of(SiteId(0)), TierId::PMEM, "unknown again → fallback");
+        assert_eq!(revs.len(), 1);
+        assert!(adv.stacks().is_empty());
+    }
+}

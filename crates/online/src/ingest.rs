@@ -1,0 +1,799 @@
+//! Streaming trace ingestion: the batch analyzer's job, one event at a
+//! time.
+//!
+//! [`StreamIngestor`] consumes [`TraceEvent`]s incrementally and maintains
+//! the same per-site statistics `profiler::analyze` recovers from a
+//! complete trace — object lifetimes, attributed samples, phase-binned
+//! bandwidth — so a placement can be (re)computed *while the stream is
+//! still running*. With aging disabled (the default [`OnlineConfig`]),
+//! feeding a full valid trace and snapshotting at the end reproduces the
+//! batch analyzer's [`ProfileSet`] exactly; this online → offline
+//! convergence is property-tested in `tests/convergence.rs`.
+//!
+//! Sample → object matching is the streaming version of the analyzer's
+//! interval search: a `BTreeMap` keyed by block start address holds the
+//! *live* heap image, and blocks freed at time `t_f` are kept in a small
+//! grace list until the stream moves past `t_f`, because the analyzer's
+//! liveness test is inclusive (`time <= free_time`). One deliberate
+//! divergence: a stream that re-uses an [`ObjectId`] after free is
+//! attributed *causally* (samples go to the instance live at sample time),
+//! whereas the batch analyzer only ever sees the last instance. The
+//! simulator's profiler never re-uses ids, so the two agree on every trace
+//! it produces.
+//!
+//! Damage handling follows the toolchain's [`DegradationPolicy`] contract:
+//! `Strict` fails fast on exactly what `TraceFile::validate` rejects;
+//! `Warn` and `BestEffort` drop malformed events with per-kind tallies the
+//! way `TraceFile::sanitize` does, and `Warn` still fails at the end if
+//! *nothing* was usable.
+
+use crate::config::OnlineConfig;
+use crate::stats::DecayedWindow;
+use memtrace::{
+    BinaryMap, CallStack, DegradationPolicy, ObjectId, SiteId, TraceError, TraceEvent, TraceFile,
+    Warning, WarningKind,
+};
+use profiler::{ObjectLifetime, ProfileSet, SiteProfile};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Address-space guard mirroring the analyzer's same-tier scan bound.
+const ADDR_GUARD: u64 = 1 << 44;
+
+/// Trace metadata the ingestor needs up front — everything in a
+/// [`TraceFile`] except the event stream itself (a real streaming profiler
+/// emits exactly this as its header).
+#[derive(Debug, Clone)]
+pub struct StreamMeta {
+    /// Application name.
+    pub app_name: String,
+    /// PEBS sampling rate, Hz.
+    pub sampling_hz: f64,
+    /// LLC load misses represented by each load-miss sample.
+    pub load_sample_period: f64,
+    /// Stores represented by each store sample.
+    pub store_sample_period: f64,
+    /// Call stack of each allocation site.
+    pub stacks: Vec<(SiteId, CallStack)>,
+    /// The program image.
+    pub binmap: BinaryMap,
+}
+
+impl StreamMeta {
+    /// Extracts the header of an existing trace file.
+    pub fn of(trace: &TraceFile) -> StreamMeta {
+        StreamMeta {
+            app_name: trace.app_name.clone(),
+            sampling_hz: trace.sampling_hz,
+            load_sample_period: trace.load_sample_period,
+            store_sample_period: trace.store_sample_period,
+            stacks: trace.stacks.clone(),
+            binmap: trace.binmap.clone(),
+        }
+    }
+}
+
+/// One object's accumulating record (the streaming twin of the analyzer's
+/// internal `Obj`).
+#[derive(Debug, Clone)]
+struct ObjAcc {
+    site: SiteId,
+    size: u64,
+    address: u64,
+    alloc_time: f64,
+    /// `None` while live; the free timestamp once freed.
+    free_time: Option<f64>,
+    load_samples: u64,
+    store_samples: u64,
+    store_l1d_miss_samples: u64,
+}
+
+/// Per-site streaming state beyond what the object records carry.
+#[derive(Debug, Clone, Default)]
+struct SiteAcc {
+    /// Object instances of this site, in arrival order.
+    objects: Vec<ObjectId>,
+    /// Aged LLC load-miss sample counter.
+    load_stat: DecayedWindow,
+    /// Aged L1D store-miss sample counter.
+    store_stat: DecayedWindow,
+}
+
+/// Phase-binned bandwidth context, computed on demand from the ingestor's
+/// running bins (the streaming equivalent of the analyzer's pass 3).
+#[derive(Debug, Clone)]
+pub struct BwContext {
+    bins: Vec<f64>,
+    /// `(bin_start_seconds, bytes_per_second)`.
+    pub series: Vec<(f64, f64)>,
+    /// Peak of the series.
+    pub peak: f64,
+}
+
+impl BwContext {
+    /// System bandwidth at a given time.
+    pub fn at(&self, t: f64) -> f64 {
+        let i = self.bins.partition_point(|&b| b <= t).saturating_sub(1);
+        self.series.get(i).map(|&(_, bw)| bw).unwrap_or(0.0)
+    }
+}
+
+/// The streaming trace ingestor.
+#[derive(Debug)]
+pub struct StreamIngestor {
+    meta: StreamMeta,
+    cfg: OnlineConfig,
+    policy: DegradationPolicy,
+
+    // Validation state (mirrors TraceFile::validate / sanitize).
+    known_sites: HashSet<SiteId>,
+    live_ids: HashSet<ObjectId>,
+    freed_ids: HashSet<ObjectId>,
+    last_t: f64,
+    seen: u64,
+    dropped: u64,
+    tallies: Vec<(WarningKind, u64, u64)>,
+
+    // Object store and the streaming address index.
+    objects: HashMap<ObjectId, ObjAcc>,
+    sites: HashMap<SiteId, SiteAcc>,
+    /// Live blocks: start address → (end address, object).
+    live: BTreeMap<u64, (u64, ObjectId)>,
+    /// Blocks freed at `free_time` ≥ the current stream time, kept for the
+    /// analyzer's inclusive `time <= free_time` boundary.
+    grace: Vec<(u64, u64, ObjectId, f64)>,
+    unmatched_samples: u64,
+
+    /// Sites whose statistics changed since the last `take_dirty`.
+    dirty: HashSet<SiteId>,
+
+    // Bandwidth binning (one bin per phase marker, like the analyzer).
+    bins: Vec<f64>,
+    bin_bytes: Vec<f64>,
+    /// Sample bytes seen before the first phase marker.
+    pending_bytes: f64,
+}
+
+impl StreamIngestor {
+    /// Creates an ingestor for a stream with the given header.
+    pub fn new(meta: StreamMeta, policy: DegradationPolicy, cfg: OnlineConfig) -> Self {
+        let known_sites = meta.stacks.iter().map(|(s, _)| *s).collect();
+        StreamIngestor {
+            meta,
+            cfg,
+            policy,
+            known_sites,
+            live_ids: HashSet::new(),
+            freed_ids: HashSet::new(),
+            last_t: f64::NEG_INFINITY,
+            seen: 0,
+            dropped: 0,
+            tallies: Vec::new(),
+            objects: HashMap::new(),
+            sites: HashMap::new(),
+            live: BTreeMap::new(),
+            grace: Vec::new(),
+            unmatched_samples: 0,
+            dirty: HashSet::new(),
+            bins: Vec::new(),
+            bin_bytes: Vec::new(),
+            pending_bytes: 0.0,
+        }
+    }
+
+    /// Stream header.
+    pub fn meta(&self) -> &StreamMeta {
+        &self.meta
+    }
+
+    /// Timestamp of the last accepted event (`-inf` before the first).
+    pub fn now(&self) -> f64 {
+        self.last_t
+    }
+
+    /// Events offered so far (accepted + dropped).
+    pub fn events_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events dropped by the lenient policies.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Samples that matched no object (ignored, like the analyzer).
+    pub fn unmatched_samples(&self) -> u64 {
+        self.unmatched_samples
+    }
+
+    /// Sites whose statistics changed since the last call, sorted. The
+    /// incremental advisor rebuilds exactly these.
+    pub fn take_dirty(&mut self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.dirty.drain().collect();
+        v.sort();
+        v
+    }
+
+    fn note(&mut self, kind: WarningKind) {
+        let index = self.seen - 1;
+        self.dropped += 1;
+        match self.tallies.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some((_, n, _)) => *n += 1,
+            None => self.tallies.push((kind, 1, index)),
+        }
+    }
+
+    /// Offers one event. Returns `Ok(true)` if it was accepted, `Ok(false)`
+    /// if a lenient policy dropped it, and `Err` under
+    /// [`DegradationPolicy::Strict`] on exactly the malformations
+    /// `TraceFile::validate` rejects.
+    pub fn push(&mut self, e: TraceEvent) -> Result<bool, TraceError> {
+        self.seen += 1;
+        let strict = self.policy == DegradationPolicy::Strict;
+        let t = e.time();
+
+        // Strict mirrors validate(), which has no finiteness check; the
+        // lenient policies mirror sanitize(), which drops non-finite times.
+        if !strict && !t.is_finite() {
+            self.note(WarningKind::NonFiniteTime);
+            return Ok(false);
+        }
+        if t < self.last_t {
+            if strict {
+                return Err(TraceError::Malformed(format!(
+                    "event {} at t={t} precedes previous event at t={}",
+                    self.seen - 1,
+                    self.last_t
+                )));
+            }
+            self.note(WarningKind::OutOfOrderEvent);
+            return Ok(false);
+        }
+
+        match &e {
+            TraceEvent::Alloc { time, object, site, size, address } => {
+                if !self.known_sites.contains(site) {
+                    if strict {
+                        return Err(TraceError::UnknownSite(*site));
+                    }
+                    self.note(WarningKind::UnknownSite);
+                    return Ok(false);
+                }
+                if *size == 0 {
+                    if strict {
+                        return Err(TraceError::Malformed(format!(
+                            "zero-size allocation for {object}"
+                        )));
+                    }
+                    self.note(WarningKind::ZeroSizeAlloc);
+                    return Ok(false);
+                }
+                if self.live_ids.contains(object) {
+                    if strict {
+                        return Err(TraceError::Malformed(format!(
+                            "object {object} allocated twice without free"
+                        )));
+                    }
+                    self.note(WarningKind::DuplicateAlloc);
+                    return Ok(false);
+                }
+                self.live_ids.insert(*object);
+                self.freed_ids.remove(object); // realloc after free is legal
+                self.accept_time(t);
+                self.record_alloc(*time, *object, *site, *size, *address);
+            }
+            TraceEvent::Free { time, object } => {
+                if !self.live_ids.remove(object) {
+                    if self.freed_ids.contains(object) {
+                        if strict {
+                            return Err(TraceError::Malformed(format!("double free of {object}")));
+                        }
+                        self.note(WarningKind::DoubleFree);
+                    } else {
+                        if strict {
+                            return Err(TraceError::Malformed(format!(
+                                "free of never-allocated {object}"
+                            )));
+                        }
+                        self.note(WarningKind::OrphanFree);
+                    }
+                    return Ok(false);
+                }
+                self.freed_ids.insert(*object);
+                self.accept_time(t);
+                self.record_free(*time, *object);
+            }
+            TraceEvent::LoadMissSample { time, address, .. } => {
+                self.accept_time(t);
+                self.record_sample(*time, *address, SampleKind::LoadMiss);
+            }
+            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+                self.accept_time(t);
+                self.record_sample(
+                    *time,
+                    *address,
+                    if *l1d_miss { SampleKind::StoreL1dMiss } else { SampleKind::StoreHit },
+                );
+            }
+            TraceEvent::PhaseMarker { time, .. } => {
+                self.accept_time(t);
+                self.bins.push(*time);
+                self.bin_bytes.push(if self.bins.len() == 1 {
+                    std::mem::take(&mut self.pending_bytes)
+                } else {
+                    0.0
+                });
+            }
+        }
+        Ok(true)
+    }
+
+    /// Advances the stream clock and retires grace entries the analyzer's
+    /// inclusive boundary can no longer reach.
+    fn accept_time(&mut self, t: f64) {
+        if t > self.last_t && !self.grace.is_empty() {
+            self.grace.retain(|&(_, _, _, free_time)| free_time >= t);
+        }
+        self.last_t = t;
+    }
+
+    fn record_alloc(&mut self, time: f64, object: ObjectId, site: SiteId, size: u64, address: u64) {
+        // An id re-used after free replaces its previous instance, exactly
+        // like the analyzer's object table; drop the stale index entries so
+        // future samples cannot resolve to the dead record.
+        if let Some(old) = self.objects.remove(&object) {
+            if let Some(&(_, id)) = self.live.get(&old.address) {
+                if id == object {
+                    self.live.remove(&old.address);
+                }
+            }
+            self.grace.retain(|&(_, _, id, _)| id != object);
+            if let Some(acc) = self.sites.get_mut(&old.site) {
+                acc.objects.retain(|&id| id != object);
+                self.dirty.insert(old.site);
+            }
+        }
+        self.objects.insert(
+            object,
+            ObjAcc {
+                site,
+                size,
+                address,
+                alloc_time: time,
+                free_time: None,
+                load_samples: 0,
+                store_samples: 0,
+                store_l1d_miss_samples: 0,
+            },
+        );
+        self.live.insert(address, (address + size, object));
+        self.sites.entry(site).or_default().objects.push(object);
+        self.dirty.insert(site);
+    }
+
+    fn record_free(&mut self, time: f64, object: ObjectId) {
+        let Some(o) = self.objects.get_mut(&object) else { return };
+        o.free_time = Some(time);
+        let (site, start, end) = (o.site, o.address, o.address + o.size);
+        if let Some(&(_, id)) = self.live.get(&start) {
+            if id == object {
+                self.live.remove(&start);
+            }
+        }
+        self.grace.push((start, end, object, time));
+        self.dirty.insert(site);
+    }
+
+    fn record_sample(&mut self, time: f64, address: u64, kind: SampleKind) {
+        // Bandwidth binning (pass 3 of the analyzer, done inline): load
+        // misses and L1D store misses contribute a cacheline per period.
+        let bytes = match kind {
+            SampleKind::LoadMiss => self.meta.load_sample_period * 64.0,
+            SampleKind::StoreL1dMiss => self.meta.store_sample_period * 64.0,
+            SampleKind::StoreHit => 0.0,
+        };
+        if bytes > 0.0 {
+            match self.bin_bytes.last_mut() {
+                Some(b) => *b += bytes,
+                None => self.pending_bytes += bytes,
+            }
+        }
+
+        let Some(id) = self.match_object(address, time) else {
+            self.unmatched_samples += 1;
+            return;
+        };
+        let o = self.objects.get_mut(&id).expect("matched object exists");
+        let site = o.site;
+        let acc = self.sites.entry(site).or_default();
+        match kind {
+            SampleKind::LoadMiss => {
+                o.load_samples += 1;
+                acc.load_stat.push(&self.cfg, time, 1.0);
+            }
+            SampleKind::StoreL1dMiss => {
+                o.store_samples += 1;
+                o.store_l1d_miss_samples += 1;
+                acc.store_stat.push(&self.cfg, time, 1.0);
+            }
+            SampleKind::StoreHit => {
+                o.store_samples += 1;
+            }
+        }
+        self.dirty.insert(site);
+    }
+
+    /// Streaming interval search: the live block with the largest start
+    /// ≤ `address` that contains it, or a just-freed block whose inclusive
+    /// lifetime still covers `time`.
+    fn match_object(&self, address: u64, time: f64) -> Option<ObjectId> {
+        let mut best: Option<(u64, ObjectId)> = None;
+        for (&start, &(end, id)) in self.live.range(..=address).rev() {
+            if start + ADDR_GUARD <= address {
+                break;
+            }
+            if address < end {
+                best = Some((start, id));
+                break;
+            }
+        }
+        for &(start, end, id, free_time) in &self.grace {
+            if start <= address
+                && address < end
+                && time <= free_time
+                && start + ADDR_GUARD > address
+            {
+                // Prefer the larger start; on a tie the younger instance —
+                // the order the analyzer's backward scan visits intervals.
+                let better = best.is_none_or(|(bs, bid)| start > bs || (start == bs && id > bid));
+                if better {
+                    best = Some((start, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// The bandwidth series as of `duration` (the analyzer's pass 3).
+    pub fn bw_context(&self, duration: f64) -> BwContext {
+        let (bins, bytes): (Vec<f64>, Vec<f64>) = if self.bins.is_empty() {
+            (vec![0.0], vec![self.pending_bytes])
+        } else {
+            (self.bins.clone(), self.bin_bytes.clone())
+        };
+        let mut series = Vec::with_capacity(bins.len());
+        for (i, &start) in bins.iter().enumerate() {
+            let end = bins.get(i + 1).copied().unwrap_or(duration);
+            let width = (end - start).max(1e-9);
+            series.push((start, bytes[i] / width));
+        }
+        let peak = series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+        BwContext { bins, series, peak }
+    }
+
+    /// Builds one site's profile as of `duration` (unfreed objects are
+    /// treated as living to `duration`, like the analyzer). Returns `None`
+    /// for sites with no observed allocations.
+    pub fn site_snapshot(&self, site: SiteId, duration: f64) -> Option<SiteProfile> {
+        let bw = self.bw_context(duration);
+        let stack = self.meta.stacks.iter().find(|(s, _)| *s == site)?.1.clone();
+        self.build_site(site, stack, duration, &bw)
+    }
+
+    fn build_site(
+        &self,
+        site: SiteId,
+        stack: CallStack,
+        duration: f64,
+        bw: &BwContext,
+    ) -> Option<SiteProfile> {
+        let acc = self.sites.get(&site)?;
+        if acc.objects.is_empty() {
+            return None;
+        }
+        let mut ids = acc.objects.clone();
+        ids.sort();
+        let objs: Vec<(&ObjectId, &ObjAcc)> =
+            ids.iter().map(|id| (id, &self.objects[id])).collect();
+        let free_of = |o: &ObjAcc| o.free_time.unwrap_or(duration);
+
+        let alloc_count = objs.len() as u64;
+        let max_size = objs.iter().map(|(_, o)| o.size).max().unwrap_or(0);
+        let total_bytes: u64 = objs.iter().map(|(_, o)| o.size).sum();
+        let peak_live_bytes = peak_live(&objs, duration);
+        let load_samples: u64 = objs.iter().map(|(_, o)| o.load_samples).sum();
+        let store_miss_samples: u64 = objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
+        let store_samples: u64 = objs.iter().map(|(_, o)| o.store_samples).sum();
+        // With aging disabled the aged value IS the raw total, so the batch
+        // formula below reproduces the analyzer bit-for-bit; with a window
+        // or decay configured the estimate tracks recent activity instead.
+        let aged = self.cfg.window.is_some() || self.cfg.half_life.is_some();
+        let load_misses_est = if aged {
+            acc.load_stat.value(&self.cfg, duration) * self.meta.load_sample_period
+        } else {
+            load_samples as f64 * self.meta.load_sample_period
+        };
+        let store_misses_est = if aged {
+            acc.store_stat.value(&self.cfg, duration) * self.meta.store_sample_period
+        } else {
+            store_miss_samples as f64 * self.meta.store_sample_period
+        };
+        let first_alloc = objs.iter().map(|(_, o)| o.alloc_time).fold(f64::INFINITY, f64::min);
+        let last_free = objs.iter().map(|(_, o)| free_of(o)).fold(0.0, f64::max);
+        let total_lifetime: f64 =
+            objs.iter().map(|(_, o)| (free_of(o) - o.alloc_time).max(0.0)).sum();
+        let bw_at_alloc =
+            objs.iter().map(|(_, o)| bw.at(o.alloc_time)).sum::<f64>() / alloc_count.max(1) as f64;
+        let avg_bw = if total_lifetime > 0.0 {
+            (load_misses_est + store_misses_est) * 64.0 / total_lifetime
+        } else {
+            0.0
+        };
+        let object_lifetimes = objs
+            .iter()
+            .map(|(id, o)| ObjectLifetime {
+                object: **id,
+                size: o.size,
+                alloc_time: o.alloc_time,
+                free_time: free_of(o),
+                load_samples: o.load_samples,
+                store_samples: o.store_samples,
+                store_l1d_miss_samples: o.store_l1d_miss_samples,
+                bw_at_alloc: bw.at(o.alloc_time),
+            })
+            .collect();
+        Some(SiteProfile {
+            site,
+            stack,
+            alloc_count,
+            max_size,
+            total_bytes,
+            peak_live_bytes,
+            load_misses_est,
+            store_misses_est,
+            has_stores: store_samples > 0,
+            first_alloc,
+            last_free,
+            bw_at_alloc,
+            avg_bw,
+            objects: object_lifetimes,
+        })
+    }
+
+    /// A full profile of everything ingested so far, as of `duration` —
+    /// the streaming equivalent of `profiler::analyze`.
+    pub fn snapshot(&self, duration: f64) -> ProfileSet {
+        let bw = self.bw_context(duration);
+        let mut sites = Vec::new();
+        for (site, stack) in &self.meta.stacks {
+            if let Some(p) = self.build_site(*site, stack.clone(), duration, &bw) {
+                sites.push(p);
+            }
+        }
+        sites.sort_by_key(|s| s.site);
+        ProfileSet {
+            app_name: self.meta.app_name.clone(),
+            duration,
+            sites,
+            bw_series: bw.series,
+            peak_bw: bw.peak,
+            binmap: self.meta.binmap.clone(),
+        }
+    }
+
+    /// Warnings accumulated so far: one per damage kind (like `sanitize`)
+    /// plus an aggregate [`WarningKind::DroppedEvents`] tally.
+    pub fn warnings(&self) -> Vec<Warning> {
+        let mut out: Vec<Warning> = self
+            .tallies
+            .iter()
+            .map(|&(kind, n, first)| {
+                Warning::new(kind, format!("dropped {n} event(s), first at index {first}"))
+            })
+            .collect();
+        if self.dropped > 0 {
+            out.push(Warning::new(
+                WarningKind::DroppedEvents,
+                format!(
+                    "streaming ingestion dropped {} of {} trace events",
+                    self.dropped, self.seen
+                ),
+            ));
+        }
+        out
+    }
+
+    /// Ends the stream: applies the degradation policy's end-of-stream
+    /// contract and returns the final profile plus all warnings. `Warn`
+    /// fails here when every offered event was dropped (nothing usable);
+    /// `BestEffort` never fails; `Strict` failed at the offending event.
+    pub fn finish(self, duration: f64) -> Result<(ProfileSet, Vec<Warning>), TraceError> {
+        if self.policy == DegradationPolicy::Warn && self.seen > 0 && self.dropped == self.seen {
+            return Err(TraceError::Malformed(format!(
+                "streaming ingestion dropped all {} events; nothing usable",
+                self.seen
+            )));
+        }
+        let profile = self.snapshot(duration);
+        let warnings = self.warnings();
+        Ok((profile, warnings))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum SampleKind {
+    LoadMiss,
+    StoreL1dMiss,
+    StoreHit,
+}
+
+/// Peak simultaneously-live bytes among one site's objects — the
+/// analyzer's edge sweep, with unfreed objects closed at `duration`.
+fn peak_live(objs: &[(&ObjectId, &ObjAcc)], duration: f64) -> u64 {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(objs.len() * 2);
+    for (_, o) in objs {
+        edges.push((o.alloc_time, o.size as i64));
+        edges.push((o.free_time.unwrap_or(duration), -(o.size as i64)));
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{Frame, ModuleId};
+
+    fn meta() -> StreamMeta {
+        StreamMeta {
+            app_name: "toy".into(),
+            sampling_hz: 100.0,
+            load_sample_period: 10.0,
+            store_sample_period: 5.0,
+            stacks: vec![
+                (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)])),
+                (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x20)])),
+            ],
+            binmap: BinaryMap::default(),
+        }
+    }
+
+    fn alloc(t: f64, id: u64, site: u32, size: u64, addr: u64) -> TraceEvent {
+        TraceEvent::Alloc { time: t, object: ObjectId(id), site: SiteId(site), size, address: addr }
+    }
+
+    fn load(t: f64, addr: u64) -> TraceEvent {
+        TraceEvent::LoadMissSample {
+            time: t,
+            address: addr,
+            latency_cycles: 300.0,
+            function: memtrace::FuncId(0),
+        }
+    }
+
+    #[test]
+    fn attributes_samples_to_live_objects() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(0.0, 1, 0, 4096, 0x1000)).unwrap();
+        ing.push(load(0.5, 0x1800)).unwrap();
+        ing.push(load(0.6, 0x9000)).unwrap(); // outside any block
+        let p = ing.snapshot(1.0);
+        assert_eq!(p.sites.len(), 1);
+        assert_eq!(p.sites[0].objects[0].load_samples, 1);
+        assert_eq!(p.sites[0].load_misses_est, 10.0);
+        assert_eq!(ing.unmatched_samples(), 1);
+    }
+
+    #[test]
+    fn inclusive_free_boundary_matches_like_the_analyzer() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(0.0, 1, 0, 4096, 0x1000)).unwrap();
+        ing.push(TraceEvent::Free { time: 1.0, object: ObjectId(1) }).unwrap();
+        // Sample exactly at the free time still belongs to the object
+        // (analyzer: time <= free_time); a later one does not.
+        ing.push(load(1.0, 0x1000)).unwrap();
+        ing.push(load(2.0, 0x1000)).unwrap();
+        let p = ing.snapshot(3.0);
+        assert_eq!(p.sites[0].objects[0].load_samples, 1);
+        assert_eq!(ing.unmatched_samples(), 1);
+    }
+
+    #[test]
+    fn address_reuse_resolves_to_the_live_instance() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(0.0, 1, 0, 4096, 0x1000)).unwrap();
+        ing.push(TraceEvent::Free { time: 1.0, object: ObjectId(1) }).unwrap();
+        ing.push(alloc(2.0, 2, 1, 4096, 0x1000)).unwrap();
+        ing.push(load(3.0, 0x1100)).unwrap();
+        let p = ing.snapshot(4.0);
+        let s1 = p.site(SiteId(1)).unwrap();
+        assert_eq!(s1.objects[0].load_samples, 1, "sample belongs to the new owner");
+        assert_eq!(p.site(SiteId(0)).unwrap().objects[0].load_samples, 0);
+    }
+
+    #[test]
+    fn strict_rejects_what_validate_rejects() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        assert!(ing.push(TraceEvent::Free { time: 0.0, object: ObjectId(9) }).is_err());
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(1.0, 1, 0, 64, 0x1000)).unwrap();
+        assert!(ing.push(alloc(0.5, 2, 0, 64, 0x2000)).is_err(), "out of order");
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        assert!(ing.push(alloc(0.0, 1, 7, 64, 0x1000)).is_err(), "unknown site");
+        assert!(ing.push(alloc(0.0, 1, 0, 0, 0x1000)).is_err(), "zero size");
+    }
+
+    #[test]
+    fn lenient_drops_and_tallies() {
+        let mut ing = StreamIngestor::new(meta(), DegradationPolicy::Warn, OnlineConfig::default());
+        assert!(!ing.push(TraceEvent::Free { time: 0.0, object: ObjectId(9) }).unwrap());
+        assert!(ing.push(alloc(1.0, 1, 0, 64, 0x1000)).unwrap());
+        assert!(!ing.push(alloc(0.5, 2, 0, 64, 0x2000)).unwrap());
+        assert!(!ing.push(TraceEvent::PhaseMarker { time: f64::NAN, phase: 0 }).unwrap());
+        assert_eq!(ing.dropped(), 3);
+        let kinds: Vec<WarningKind> = ing.warnings().iter().map(|w| w.kind).collect();
+        assert!(kinds.contains(&WarningKind::OrphanFree));
+        assert!(kinds.contains(&WarningKind::OutOfOrderEvent));
+        assert!(kinds.contains(&WarningKind::NonFiniteTime));
+        assert!(kinds.contains(&WarningKind::DroppedEvents));
+        // Something usable survived, so Warn finishes fine.
+        assert!(ing.finish(2.0).is_ok());
+    }
+
+    #[test]
+    fn warn_fails_when_nothing_is_usable() {
+        let mut ing = StreamIngestor::new(meta(), DegradationPolicy::Warn, OnlineConfig::default());
+        for _ in 0..3 {
+            ing.push(TraceEvent::Free { time: 0.0, object: ObjectId(9) }).unwrap();
+        }
+        assert!(ing.finish(1.0).is_err());
+        // BestEffort degrades to an empty profile instead.
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::BestEffort, OnlineConfig::default());
+        for _ in 0..3 {
+            ing.push(TraceEvent::Free { time: 0.0, object: ObjectId(9) }).unwrap();
+        }
+        let (p, w) = ing.finish(1.0).unwrap();
+        assert!(p.sites.is_empty());
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn dirty_tracking_is_per_site_and_drains() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(0.0, 1, 0, 4096, 0x1000)).unwrap();
+        ing.push(alloc(0.1, 2, 1, 4096, 0x8000)).unwrap();
+        assert_eq!(ing.take_dirty(), vec![SiteId(0), SiteId(1)]);
+        assert!(ing.take_dirty().is_empty());
+        ing.push(load(0.5, 0x1000)).unwrap();
+        assert_eq!(ing.take_dirty(), vec![SiteId(0)], "only the sampled site re-dirties");
+    }
+
+    #[test]
+    fn bandwidth_bins_follow_phase_markers() {
+        let mut ing =
+            StreamIngestor::new(meta(), DegradationPolicy::Strict, OnlineConfig::default());
+        ing.push(alloc(0.0, 1, 0, 1 << 20, 0x1000)).unwrap();
+        ing.push(load(0.5, 0x1000)).unwrap(); // before any marker
+        ing.push(TraceEvent::PhaseMarker { time: 1.0, phase: 0 }).unwrap();
+        ing.push(load(1.5, 0x1000)).unwrap();
+        ing.push(TraceEvent::PhaseMarker { time: 2.0, phase: 1 }).unwrap();
+        let bw = ing.bw_context(3.0);
+        assert_eq!(bw.series.len(), 2);
+        // Pre-marker bytes fold into the first bin, like the analyzer.
+        assert!(bw.series[0].1 > bw.series[1].1);
+        assert!(bw.peak >= bw.series[0].1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Aging miss statistics: a running total, a sliding window and an
+//! exponentially-decayed counter maintained together so the ingestor can
+//! serve whichever estimator the [`OnlineConfig`] selects.
+
+use crate::config::OnlineConfig;
+use std::collections::VecDeque;
+
+/// One site's weighted event counter under all three aging regimes.
+///
+/// `push` must be called with non-decreasing times (the ingestor and the
+/// engine both deliver events in time order).
+#[derive(Debug, Clone, Default)]
+pub struct DecayedWindow {
+    total: f64,
+    decayed: f64,
+    last: f64,
+    /// `(time, weight)` of retained samples; only populated when the
+    /// configuration uses a window, and pruned on every push.
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl DecayedWindow {
+    /// Records `weight` events at time `t`.
+    pub fn push(&mut self, cfg: &OnlineConfig, t: f64, weight: f64) {
+        self.total += weight;
+        if let Some(h) = cfg.half_life {
+            let dt = (t - self.last).max(0.0);
+            self.decayed = self.decayed * 0.5f64.powf(dt / h.max(1e-12)) + weight;
+        } else {
+            self.decayed += weight;
+        }
+        self.last = t;
+        if let Some(w) = cfg.window {
+            self.samples.push_back((t, weight));
+            while self.samples.front().is_some_and(|&(ts, _)| ts < t - w) {
+                self.samples.pop_front();
+            }
+        }
+    }
+
+    /// The effective count at time `now` under the configured estimator:
+    /// decay beats window beats raw total (see [`OnlineConfig`]).
+    pub fn value(&self, cfg: &OnlineConfig, now: f64) -> f64 {
+        if let Some(h) = cfg.half_life {
+            let dt = (now - self.last).max(0.0);
+            self.decayed * 0.5f64.powf(dt / h.max(1e-12))
+        } else if let Some(w) = cfg.window {
+            self.samples.iter().filter(|&&(ts, _)| ts >= now - w).map(|&(_, wt)| wt).sum()
+        } else {
+            self.total
+        }
+    }
+
+    /// The raw running total, independent of the aging configuration.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_total_is_exact() {
+        let cfg = OnlineConfig::default();
+        let mut s = DecayedWindow::default();
+        for i in 0..100 {
+            s.push(&cfg, i as f64, 1.0);
+        }
+        assert_eq!(s.value(&cfg, 1000.0), 100.0);
+        assert_eq!(s.total(), 100.0);
+    }
+
+    #[test]
+    fn window_forgets_old_samples() {
+        let cfg = OnlineConfig { window: Some(10.0), ..OnlineConfig::default() };
+        let mut s = DecayedWindow::default();
+        for i in 0..100 {
+            s.push(&cfg, i as f64, 1.0);
+        }
+        // At t=99 the window [89, 99] holds 11 samples.
+        assert_eq!(s.value(&cfg, 99.0), 11.0);
+        // Idle time empties the window even without new pushes.
+        assert_eq!(s.value(&cfg, 200.0), 0.0);
+        // The raw total is still available.
+        assert_eq!(s.total(), 100.0);
+    }
+
+    #[test]
+    fn decay_halves_per_half_life() {
+        let cfg = OnlineConfig { half_life: Some(5.0), ..OnlineConfig::default() };
+        let mut s = DecayedWindow::default();
+        s.push(&cfg, 0.0, 8.0);
+        assert!((s.value(&cfg, 5.0) - 4.0).abs() < 1e-12);
+        assert!((s.value(&cfg, 15.0) - 1.0).abs() < 1e-12);
+        // New activity stacks on the decayed remnant.
+        s.push(&cfg, 5.0, 4.0);
+        assert!((s.value(&cfg, 5.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_takes_precedence_over_window() {
+        let cfg =
+            OnlineConfig { window: Some(1.0), half_life: Some(1e12), ..OnlineConfig::default() };
+        let mut s = DecayedWindow::default();
+        s.push(&cfg, 0.0, 1.0);
+        s.push(&cfg, 100.0, 1.0);
+        // A huge half-life keeps everything; the 1-second window would not.
+        assert!(s.value(&cfg, 100.0) > 1.9);
+    }
+}

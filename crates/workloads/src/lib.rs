@@ -23,6 +23,7 @@ pub mod lulesh;
 pub mod minife;
 pub mod minimd;
 pub mod openfoam;
+pub mod phaseshift;
 pub mod scaling;
 
 pub use builder::{AppBuilder, TableVRow};
@@ -72,6 +73,9 @@ pub fn model_by_name(name: &str) -> Option<AppModel> {
         "cloverleaf3d" => Some(cloverleaf3d::model()),
         "lammps" => Some(lammps::model()),
         "openfoam" => Some(openfoam::model()),
+        // Synthetic phase-shift adversary for static placement; not part
+        // of the paper's Table V set, so absent from `all_models()`.
+        "phaseshift" => Some(phaseshift::model()),
         _ => None,
     }
 }

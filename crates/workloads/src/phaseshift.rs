@@ -1,0 +1,127 @@
+//! Phase-shift: a synthetic adversary for *static* placement.
+//!
+//! Two 10 GiB arrays on a machine with 16 GiB of DRAM: each fits in DRAM
+//! alone, both together do not. For the first half of the run array A is
+//! gathered randomly (miss-dense, latency-critical) while B is only lightly
+//! touched; at the halfway point the roles flip and B becomes the hot
+//! array. A time-aggregated profile sees the two sites as equally
+//! miss-dense, so any static site → tier placement — including the offline
+//! knapsack oracle — leaves one array's hot half on PMem. An online policy
+//! that migrates at the shift serves both hot halves from DRAM, paying only
+//! one 10 GiB migration: this is the workload where offline placement is
+//! provably suboptimal and the `online_vs_offline` bench shows the online
+//! engine winning (cf. the phase-adaptive guidance of arXiv:2110.02150 and
+//! arXiv:2112.12685).
+//!
+//! Not part of the paper's Table V set — excluded from `all_models()` and
+//! reachable only by name (`model_by_name("phaseshift")`).
+
+use crate::builder::{access, AppBuilder, TableVRow};
+use memsim::{AccessPattern, AllocOp, AppModel, FreeOp, PhaseSpec};
+
+const GIB: u64 = 1 << 30;
+/// Phases per epoch (hot-A epoch, then hot-B epoch).
+const EPOCH_PHASES: usize = 12;
+
+/// Characteristics row (synthetic — no Table V entry).
+pub fn spec() -> TableVRow {
+    TableVRow {
+        name: "PhaseShift",
+        version: "synthetic",
+        ranks: 1,
+        threads: 24,
+        input: "2 x 10 GiB, hot array flips at t/2",
+        hwm_mb_per_rank: 20 * 1024,
+    }
+}
+
+/// Builds the phase-shifting model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("phaseshift", 1, 24, "2 x 10 GiB, hot array flips at t/2");
+    let x = b.module("phaseshift.x", 256, 8, &["phaseshift.c"]);
+
+    let site_a = b.site(x);
+    let site_b = b.site(x);
+    let f_hot = b.function("gather_hot");
+    let f_cold = b.function("sweep_cold");
+
+    b.phase(PhaseSpec {
+        label: Some("setup".into()),
+        compute_instructions: 1e9,
+        allocs: vec![
+            AllocOp { site: site_a, size: 10 * GIB, count: 1 },
+            AllocOp { site: site_b, size: 10 * GIB, count: 1 },
+        ],
+        frees: vec![],
+        accesses: vec![],
+    });
+
+    // The hot array is gathered randomly (the access shape PMem punishes
+    // hardest); the cold one gets a light sequential sweep. The two epochs
+    // are exact mirrors, so a time-aggregated profile cannot tell the
+    // arrays apart.
+    let hot = |site, f| access(site, f, 6e8, 0.0, 0.3, 0.0, AccessPattern::Random, 1e9);
+    let cold = |site, f| access(site, f, 3e7, 0.0, 0.1, 0.0, AccessPattern::Sequential, 2e8);
+    for _ in 0..EPOCH_PHASES {
+        b.phase(PhaseSpec {
+            label: Some("hot-a".into()),
+            compute_instructions: 5e8,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![hot(site_a, f_hot), cold(site_b, f_cold)],
+        });
+    }
+    for _ in 0..EPOCH_PHASES {
+        b.phase(PhaseSpec {
+            label: Some("hot-b".into()),
+            compute_instructions: 5e8,
+            allocs: vec![],
+            frees: vec![],
+            accesses: vec![hot(site_b, f_hot), cold(site_a, f_cold)],
+        });
+    }
+
+    b.phase(PhaseSpec {
+        label: Some("teardown".into()),
+        compute_instructions: 1e8,
+        allocs: vec![],
+        frees: vec![FreeOp { site: site_a, count: 1 }, FreeOp { site: site_b, count: 1 }],
+        accesses: vec![],
+    });
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{run, ExecMode, MachineConfig, SiteMapPolicy};
+    use memtrace::{SiteId, TierId};
+
+    #[test]
+    fn both_arrays_do_not_fit_dram_together() {
+        let m = model();
+        let mach = MachineConfig::optane_pmem6();
+        let dram = mach.tier(TierId::DRAM).capacity;
+        assert!(10 * GIB < dram, "one array must fit DRAM");
+        assert!(m.high_water_mark() > dram, "both must not");
+    }
+
+    #[test]
+    fn static_placements_of_either_array_are_equivalent() {
+        // The model is symmetric under swapping A and B, so the two static
+        // single-array placements must land within a whisker of each other
+        // — the property that makes every static choice equally suboptimal.
+        let m = model();
+        let mach = MachineConfig::optane_pmem6();
+        let times: Vec<f64> = [SiteId(0), SiteId(1)]
+            .iter()
+            .map(|&s| {
+                let mut p = SiteMapPolicy::new([(s, TierId::DRAM)], TierId::PMEM);
+                run(&m, &mach, ExecMode::AppDirect, &mut p).total_time
+            })
+            .collect();
+        let ratio = times[0] / times[1];
+        assert!((0.98..=1.02).contains(&ratio), "asymmetric: {times:?}");
+    }
+}

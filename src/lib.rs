@@ -15,6 +15,7 @@
 //! | [`flexmalloc`] | the runtime allocation interposer with BOM matching (§VI) |
 //! | [`baselines`] | Memory Mode, kernel tiering, ProfDP (§VIII) |
 //! | [`ecohmem_core`] | the end-to-end pipeline (Fig. 1) and experiment sweeps |
+//! | [`ecohmem_online`] | beyond the paper: streaming ingestion, incremental advisor, dynamic migration |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 pub use advisor;
 pub use baselines;
 pub use ecohmem_core;
+pub use ecohmem_online;
 pub use flexmalloc;
 pub use memsim;
 pub use memtrace;
@@ -49,6 +51,10 @@ pub mod prelude {
     pub use baselines::{run_memory_mode, KernelTiering, ProfDp};
     pub use ecohmem_core::{
         run_pipeline, sweep, DegradationPolicy, PipelineConfig, PipelineOutcome,
+    };
+    pub use ecohmem_online::{
+        stream_profile, IncrementalAdvisor, OnlineConfig, OnlinePolicy, PlacementRevision,
+        StreamSession,
     };
     pub use flexmalloc::FlexMalloc;
     pub use memsim::{run, AppModel, ExecMode, MachineConfig, RunResult};
