@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_granularity-14ff3d08860d7f87.d: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_granularity-14ff3d08860d7f87.rmeta: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-a3f0cb1c125ba79e.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-a3f0cb1c125ba79e: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_greedy_optimal-59b56578ff100b13.d: crates/bench/src/bin/ablation_greedy_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_greedy_optimal-59b56578ff100b13.rmeta: crates/bench/src/bin/ablation_greedy_optimal.rs Cargo.toml
+
+crates/bench/src/bin/ablation_greedy_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

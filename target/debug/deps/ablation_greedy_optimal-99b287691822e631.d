@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_greedy_optimal-99b287691822e631.d: crates/bench/src/bin/ablation_greedy_optimal.rs
+
+/root/repo/target/debug/deps/ablation_greedy_optimal-99b287691822e631: crates/bench/src/bin/ablation_greedy_optimal.rs
+
+crates/bench/src/bin/ablation_greedy_optimal.rs:

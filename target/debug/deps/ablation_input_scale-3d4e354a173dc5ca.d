@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_input_scale-3d4e354a173dc5ca.d: crates/bench/src/bin/ablation_input_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_input_scale-3d4e354a173dc5ca.rmeta: crates/bench/src/bin/ablation_input_scale.rs Cargo.toml
+
+crates/bench/src/bin/ablation_input_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

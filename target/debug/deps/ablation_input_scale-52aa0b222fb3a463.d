@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_input_scale-52aa0b222fb3a463.d: crates/bench/src/bin/ablation_input_scale.rs
+
+/root/repo/target/debug/deps/ablation_input_scale-52aa0b222fb3a463: crates/bench/src/bin/ablation_input_scale.rs
+
+crates/bench/src/bin/ablation_input_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_input_scale-e5d7c9b3084c8048.d: crates/bench/src/bin/ablation_input_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_input_scale-e5d7c9b3084c8048.rmeta: crates/bench/src/bin/ablation_input_scale.rs Cargo.toml
+
+crates/bench/src/bin/ablation_input_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sampling-59230b030f057c93.d: crates/bench/src/bin/ablation_sampling.rs
+
+/root/repo/target/debug/deps/ablation_sampling-59230b030f057c93: crates/bench/src/bin/ablation_sampling.rs
+
+crates/bench/src/bin/ablation_sampling.rs:

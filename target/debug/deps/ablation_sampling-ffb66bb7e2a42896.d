@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sampling-ffb66bb7e2a42896.d: crates/bench/src/bin/ablation_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sampling-ffb66bb7e2a42896.rmeta: crates/bench/src/bin/ablation_sampling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

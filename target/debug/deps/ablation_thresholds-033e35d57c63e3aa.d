@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thresholds-033e35d57c63e3aa.d: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thresholds-033e35d57c63e3aa.rmeta: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thresholds-2f2501d5613a2670.d: crates/bench/src/bin/ablation_thresholds.rs
+
+/root/repo/target/debug/deps/ablation_thresholds-2f2501d5613a2670: crates/bench/src/bin/ablation_thresholds.rs
+
+crates/bench/src/bin/ablation_thresholds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thresholds-cd1393a51d85f165.d: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thresholds-cd1393a51d85f165.rmeta: crates/bench/src/bin/ablation_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

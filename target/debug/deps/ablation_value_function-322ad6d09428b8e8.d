@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_value_function-322ad6d09428b8e8.d: crates/bench/src/bin/ablation_value_function.rs
+
+/root/repo/target/debug/deps/ablation_value_function-322ad6d09428b8e8: crates/bench/src/bin/ablation_value_function.rs
+
+crates/bench/src/bin/ablation_value_function.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_value_function-a1b2611a510e2025.d: crates/bench/src/bin/ablation_value_function.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_value_function-a1b2611a510e2025.rmeta: crates/bench/src/bin/ablation_value_function.rs Cargo.toml
+
+crates/bench/src/bin/ablation_value_function.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

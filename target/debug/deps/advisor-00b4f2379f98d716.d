@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/advisor-00b4f2379f98d716.d: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadvisor-00b4f2379f98d716.rmeta: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs Cargo.toml
+
+crates/advisor/src/lib.rs:
+crates/advisor/src/advise.rs:
+crates/advisor/src/bandwidth.rs:
+crates/advisor/src/config.rs:
+crates/advisor/src/knapsack.rs:
+crates/advisor/src/optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

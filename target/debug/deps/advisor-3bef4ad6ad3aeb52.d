@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/advisor-3bef4ad6ad3aeb52.d: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+/root/repo/target/debug/deps/libadvisor-3bef4ad6ad3aeb52.rlib: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+/root/repo/target/debug/deps/libadvisor-3bef4ad6ad3aeb52.rmeta: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+crates/advisor/src/lib.rs:
+crates/advisor/src/advise.rs:
+crates/advisor/src/bandwidth.rs:
+crates/advisor/src/config.rs:
+crates/advisor/src/knapsack.rs:
+crates/advisor/src/optimal.rs:

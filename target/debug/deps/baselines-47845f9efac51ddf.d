@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/baselines-47845f9efac51ddf.d: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-47845f9efac51ddf.rmeta: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/combined.rs:
+crates/baselines/src/memory_mode.rs:
+crates/baselines/src/profdp.rs:
+crates/baselines/src/tiering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-4beb43ce1d84b255.d: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+/root/repo/target/debug/deps/libbaselines-4beb43ce1d84b255.rlib: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+/root/repo/target/debug/deps/libbaselines-4beb43ce1d84b255.rmeta: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/combined.rs:
+crates/baselines/src/memory_mode.rs:
+crates/baselines/src/profdp.rs:
+crates/baselines/src/tiering.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-53f02c83f706a5f3.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-53f02c83f706a5f3.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

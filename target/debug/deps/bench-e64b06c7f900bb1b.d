@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-e64b06c7f900bb1b.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libbench-e64b06c7f900bb1b.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libbench-e64b06c7f900bb1b.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

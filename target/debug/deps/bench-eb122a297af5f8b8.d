@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-eb122a297af5f8b8.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-eb122a297af5f8b8.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

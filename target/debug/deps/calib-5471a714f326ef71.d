@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calib-5471a714f326ef71.d: crates/bench/src/bin/calib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalib-5471a714f326ef71.rmeta: crates/bench/src/bin/calib.rs Cargo.toml
+
+crates/bench/src/bin/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calib-713a7e65bd6a70a9.d: crates/bench/src/bin/calib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalib-713a7e65bd6a70a9.rmeta: crates/bench/src/bin/calib.rs Cargo.toml
+
+crates/bench/src/bin/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

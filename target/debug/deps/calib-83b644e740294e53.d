@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-83b644e740294e53.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-83b644e740294e53: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

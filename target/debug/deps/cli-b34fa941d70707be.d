@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b34fa941d70707be.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcli-b34fa941d70707be.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcli-b34fa941d70707be.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli-ed9b684aff37d64d.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-ed9b684aff37d64d.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

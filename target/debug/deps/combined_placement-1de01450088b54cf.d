@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/combined_placement-1de01450088b54cf.d: crates/bench/src/bin/combined_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcombined_placement-1de01450088b54cf.rmeta: crates/bench/src/bin/combined_placement.rs Cargo.toml
+
+crates/bench/src/bin/combined_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/combined_placement-db32aacb0c3f43bc.d: crates/bench/src/bin/combined_placement.rs
+
+/root/repo/target/debug/deps/combined_placement-db32aacb0c3f43bc: crates/bench/src/bin/combined_placement.rs
+
+crates/bench/src/bin/combined_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-9601d4aa10a2699c.d: crates/online/tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-9601d4aa10a2699c: crates/online/tests/convergence.rs
+
+crates/online/tests/convergence.rs:

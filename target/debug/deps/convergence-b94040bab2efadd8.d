@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-b94040bab2efadd8.d: crates/online/tests/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-b94040bab2efadd8.rmeta: crates/online/tests/convergence.rs Cargo.toml
+
+crates/online/tests/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

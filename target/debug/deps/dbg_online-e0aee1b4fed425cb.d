@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_online-e0aee1b4fed425cb.d: crates/bench/src/bin/dbg_online.rs
+
+/root/repo/target/debug/deps/dbg_online-e0aee1b4fed425cb: crates/bench/src/bin/dbg_online.rs
+
+crates/bench/src/bin/dbg_online.rs:

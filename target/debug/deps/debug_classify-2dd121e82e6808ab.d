@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_classify-2dd121e82e6808ab.d: crates/bench/src/bin/debug_classify.rs
+
+/root/repo/target/debug/deps/debug_classify-2dd121e82e6808ab: crates/bench/src/bin/debug_classify.rs
+
+crates/bench/src/bin/debug_classify.rs:

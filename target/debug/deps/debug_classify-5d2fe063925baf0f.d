@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_classify-5d2fe063925baf0f.d: crates/bench/src/bin/debug_classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_classify-5d2fe063925baf0f.rmeta: crates/bench/src/bin/debug_classify.rs Cargo.toml
+
+crates/bench/src/bin/debug_classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_classify-c5a4cf63096150c8.d: crates/bench/src/bin/debug_classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_classify-c5a4cf63096150c8.rmeta: crates/bench/src/bin/debug_classify.rs Cargo.toml
+
+crates/bench/src/bin/debug_classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-9945bd5ffca0ef29.d: tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-9945bd5ffca0ef29: tests/degradation.rs
+
+tests/degradation.rs:

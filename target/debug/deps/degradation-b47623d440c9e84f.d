@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-b47623d440c9e84f.d: tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-b47623d440c9e84f: tests/degradation.rs
+
+tests/degradation.rs:

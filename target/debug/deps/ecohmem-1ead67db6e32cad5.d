@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem-1ead67db6e32cad5.d: src/lib.rs
+
+/root/repo/target/debug/deps/ecohmem-1ead67db6e32cad5: src/lib.rs
+
+src/lib.rs:

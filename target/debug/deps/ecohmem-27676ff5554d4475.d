@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem-27676ff5554d4475.d: src/lib.rs
+
+/root/repo/target/debug/deps/ecohmem-27676ff5554d4475: src/lib.rs
+
+src/lib.rs:

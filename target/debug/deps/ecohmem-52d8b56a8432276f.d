@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecohmem-52d8b56a8432276f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libecohmem-52d8b56a8432276f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libecohmem-52d8b56a8432276f.rmeta: src/lib.rs
+
+src/lib.rs:

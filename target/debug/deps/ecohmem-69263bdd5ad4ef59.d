@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecohmem-69263bdd5ad4ef59.d: src/lib.rs
+
+/root/repo/target/debug/deps/libecohmem-69263bdd5ad4ef59.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libecohmem-69263bdd5ad4ef59.rmeta: src/lib.rs
+
+src/lib.rs:

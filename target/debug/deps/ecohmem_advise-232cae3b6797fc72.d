@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_advise-232cae3b6797fc72.d: crates/cli/src/bin/advise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_advise-232cae3b6797fc72.rmeta: crates/cli/src/bin/advise.rs Cargo.toml
+
+crates/cli/src/bin/advise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

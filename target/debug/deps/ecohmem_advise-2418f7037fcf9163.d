@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem_advise-2418f7037fcf9163.d: crates/cli/src/bin/advise.rs
+
+/root/repo/target/debug/deps/ecohmem_advise-2418f7037fcf9163: crates/cli/src/bin/advise.rs
+
+crates/cli/src/bin/advise.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecohmem_core-0023b2eb7964011a.d: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_core-0023b2eb7964011a.rmeta: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs Cargo.toml
+
+crates/ecohmem-core/src/lib.rs:
+crates/ecohmem-core/src/experiments.rs:
+crates/ecohmem-core/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

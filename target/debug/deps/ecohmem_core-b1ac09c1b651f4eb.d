@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_core-b1ac09c1b651f4eb.d: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libecohmem_core-b1ac09c1b651f4eb.rlib: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libecohmem_core-b1ac09c1b651f4eb.rmeta: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+crates/ecohmem-core/src/lib.rs:
+crates/ecohmem-core/src/experiments.rs:
+crates/ecohmem-core/src/pipeline.rs:

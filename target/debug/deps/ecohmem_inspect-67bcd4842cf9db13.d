@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_inspect-67bcd4842cf9db13.d: crates/cli/src/bin/inspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_inspect-67bcd4842cf9db13.rmeta: crates/cli/src/bin/inspect.rs Cargo.toml
+
+crates/cli/src/bin/inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem_inspect-8ab382e4b8506838.d: crates/cli/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/ecohmem_inspect-8ab382e4b8506838: crates/cli/src/bin/inspect.rs
+
+crates/cli/src/bin/inspect.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecohmem_online-329f1d2b4a04910d.d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+/root/repo/target/debug/deps/ecohmem_online-329f1d2b4a04910d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+crates/online/src/lib.rs:
+crates/online/src/channel.rs:
+crates/online/src/config.rs:
+crates/online/src/incremental.rs:
+crates/online/src/ingest.rs:
+crates/online/src/policy.rs:
+crates/online/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ecohmem_online-55088270f1b5358c.d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_online-55088270f1b5358c.rmeta: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/channel.rs:
+crates/online/src/config.rs:
+crates/online/src/incremental.rs:
+crates/online/src/ingest.rs:
+crates/online/src/policy.rs:
+crates/online/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

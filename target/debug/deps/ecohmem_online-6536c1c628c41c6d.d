@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ecohmem_online-6536c1c628c41c6d.d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+/root/repo/target/debug/deps/libecohmem_online-6536c1c628c41c6d.rlib: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+/root/repo/target/debug/deps/libecohmem_online-6536c1c628c41c6d.rmeta: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+crates/online/src/lib.rs:
+crates/online/src/channel.rs:
+crates/online/src/config.rs:
+crates/online/src/incremental.rs:
+crates/online/src/ingest.rs:
+crates/online/src/policy.rs:
+crates/online/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ecohmem_online-f79212d4d0c50046.d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_online-f79212d4d0c50046.rmeta: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/channel.rs:
+crates/online/src/config.rs:
+crates/online/src/incremental.rs:
+crates/online/src/ingest.rs:
+crates/online/src/policy.rs:
+crates/online/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_profile-5dbd0cdc0a4c574a.d: crates/cli/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_profile-5dbd0cdc0a4c574a.rmeta: crates/cli/src/bin/profile.rs Cargo.toml
+
+crates/cli/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_profile-7086abc3ab6765c0.d: crates/cli/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_profile-7086abc3ab6765c0.rmeta: crates/cli/src/bin/profile.rs Cargo.toml
+
+crates/cli/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem_profile-be04b04c06b0ef7f.d: crates/cli/src/bin/profile.rs
+
+/root/repo/target/debug/deps/ecohmem_profile-be04b04c06b0ef7f: crates/cli/src/bin/profile.rs
+
+crates/cli/src/bin/profile.rs:

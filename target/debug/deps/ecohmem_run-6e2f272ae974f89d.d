@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_run-6e2f272ae974f89d.d: crates/cli/src/bin/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_run-6e2f272ae974f89d.rmeta: crates/cli/src/bin/run.rs Cargo.toml
+
+crates/cli/src/bin/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecohmem_run-7065c7f52df8f184.d: crates/cli/src/bin/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecohmem_run-7065c7f52df8f184.rmeta: crates/cli/src/bin/run.rs Cargo.toml
+
+crates/cli/src/bin/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

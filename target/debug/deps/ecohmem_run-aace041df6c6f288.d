@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecohmem_run-aace041df6c6f288.d: crates/cli/src/bin/run.rs
+
+/root/repo/target/debug/deps/ecohmem_run-aace041df6c6f288: crates/cli/src/bin/run.rs
+
+crates/cli/src/bin/run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-9551e7575b16c49d.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-9551e7575b16c49d.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-0d3ed1dc7c3331af.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-0d3ed1dc7c3331af: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-fa94e24fcbe97d4b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-fa94e24fcbe97d4b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_mlc-30a9c118b9d5d92c.d: crates/bench/src/bin/fig2_mlc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_mlc-30a9c118b9d5d92c.rmeta: crates/bench/src/bin/fig2_mlc.rs Cargo.toml
+
+crates/bench/src/bin/fig2_mlc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_mlc-7186bd9172694bbe.d: crates/bench/src/bin/fig2_mlc.rs
+
+/root/repo/target/debug/deps/fig2_mlc-7186bd9172694bbe: crates/bench/src/bin/fig2_mlc.rs
+
+crates/bench/src/bin/fig2_mlc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_lulesh_bw-531b66be1bf59c04.d: crates/bench/src/bin/fig3_lulesh_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_lulesh_bw-531b66be1bf59c04.rmeta: crates/bench/src/bin/fig3_lulesh_bw.rs Cargo.toml
+
+crates/bench/src/bin/fig3_lulesh_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

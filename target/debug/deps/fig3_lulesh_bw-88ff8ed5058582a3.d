@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lulesh_bw-88ff8ed5058582a3.d: crates/bench/src/bin/fig3_lulesh_bw.rs
+
+/root/repo/target/debug/deps/fig3_lulesh_bw-88ff8ed5058582a3: crates/bench/src/bin/fig3_lulesh_bw.rs
+
+crates/bench/src/bin/fig3_lulesh_bw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_lulesh_bw-f95fd02cbd96390e.d: crates/bench/src/bin/fig3_lulesh_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_lulesh_bw-f95fd02cbd96390e.rmeta: crates/bench/src/bin/fig3_lulesh_bw.rs Cargo.toml
+
+crates/bench/src/bin/fig3_lulesh_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig45_lifetimes-07ffeece7ab58b17.d: crates/bench/src/bin/fig45_lifetimes.rs
+
+/root/repo/target/debug/deps/fig45_lifetimes-07ffeece7ab58b17: crates/bench/src/bin/fig45_lifetimes.rs
+
+crates/bench/src/bin/fig45_lifetimes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig45_lifetimes-424128d56785f7ea.d: crates/bench/src/bin/fig45_lifetimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig45_lifetimes-424128d56785f7ea.rmeta: crates/bench/src/bin/fig45_lifetimes.rs Cargo.toml
+
+crates/bench/src/bin/fig45_lifetimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig45_lifetimes-ff95ce3bd967971b.d: crates/bench/src/bin/fig45_lifetimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig45_lifetimes-ff95ce3bd967971b.rmeta: crates/bench/src/bin/fig45_lifetimes.rs Cargo.toml
+
+crates/bench/src/bin/fig45_lifetimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

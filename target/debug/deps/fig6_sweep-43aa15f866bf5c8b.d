@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_sweep-43aa15f866bf5c8b.d: crates/bench/src/bin/fig6_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_sweep-43aa15f866bf5c8b.rmeta: crates/bench/src/bin/fig6_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig6_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

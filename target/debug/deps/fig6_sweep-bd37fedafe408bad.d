@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sweep-bd37fedafe408bad.d: crates/bench/src/bin/fig6_sweep.rs
+
+/root/repo/target/debug/deps/fig6_sweep-bd37fedafe408bad: crates/bench/src/bin/fig6_sweep.rs
+
+crates/bench/src/bin/fig6_sweep.rs:

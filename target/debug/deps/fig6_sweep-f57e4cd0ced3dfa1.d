@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_sweep-f57e4cd0ced3dfa1.d: crates/bench/src/bin/fig6_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_sweep-f57e4cd0ced3dfa1.rmeta: crates/bench/src/bin/fig6_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig6_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_bw_aware-117709bf1f657d11.d: crates/bench/src/bin/fig7_bw_aware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_bw_aware-117709bf1f657d11.rmeta: crates/bench/src/bin/fig7_bw_aware.rs Cargo.toml
+
+crates/bench/src/bin/fig7_bw_aware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

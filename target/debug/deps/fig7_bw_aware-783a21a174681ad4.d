@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_bw_aware-783a21a174681ad4.d: crates/bench/src/bin/fig7_bw_aware.rs
+
+/root/repo/target/debug/deps/fig7_bw_aware-783a21a174681ad4: crates/bench/src/bin/fig7_bw_aware.rs
+
+crates/bench/src/bin/fig7_bw_aware.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexmalloc-1b94236bc6bfe39f.d: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexmalloc-1b94236bc6bfe39f.rmeta: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs Cargo.toml
+
+crates/flexmalloc/src/lib.rs:
+crates/flexmalloc/src/interposer.rs:
+crates/flexmalloc/src/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexmalloc-896753ddcaf031ae.d: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+/root/repo/target/debug/deps/libflexmalloc-896753ddcaf031ae.rlib: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+/root/repo/target/debug/deps/libflexmalloc-896753ddcaf031ae.rmeta: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+crates/flexmalloc/src/lib.rs:
+crates/flexmalloc/src/interposer.rs:
+crates/flexmalloc/src/matching.rs:

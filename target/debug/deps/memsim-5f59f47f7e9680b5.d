@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/memsim-5f59f47f7e9680b5.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/counters.rs crates/memsim/src/curve.rs crates/memsim/src/engine.rs crates/memsim/src/heap.rs crates/memsim/src/kinds.rs crates/memsim/src/machine.rs crates/memsim/src/mlc.rs crates/memsim/src/model.rs crates/memsim/src/policy.rs crates/memsim/src/runner.rs crates/memsim/src/tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsim-5f59f47f7e9680b5.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/counters.rs crates/memsim/src/curve.rs crates/memsim/src/engine.rs crates/memsim/src/heap.rs crates/memsim/src/kinds.rs crates/memsim/src/machine.rs crates/memsim/src/mlc.rs crates/memsim/src/model.rs crates/memsim/src/policy.rs crates/memsim/src/runner.rs crates/memsim/src/tier.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/counters.rs:
+crates/memsim/src/curve.rs:
+crates/memsim/src/engine.rs:
+crates/memsim/src/heap.rs:
+crates/memsim/src/kinds.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/mlc.rs:
+crates/memsim/src/model.rs:
+crates/memsim/src/policy.rs:
+crates/memsim/src/runner.rs:
+crates/memsim/src/tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

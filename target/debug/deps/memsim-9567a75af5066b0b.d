@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/memsim-9567a75af5066b0b.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/counters.rs crates/memsim/src/curve.rs crates/memsim/src/engine.rs crates/memsim/src/heap.rs crates/memsim/src/kinds.rs crates/memsim/src/machine.rs crates/memsim/src/mlc.rs crates/memsim/src/model.rs crates/memsim/src/policy.rs crates/memsim/src/runner.rs crates/memsim/src/tier.rs
+
+/root/repo/target/debug/deps/libmemsim-9567a75af5066b0b.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/counters.rs crates/memsim/src/curve.rs crates/memsim/src/engine.rs crates/memsim/src/heap.rs crates/memsim/src/kinds.rs crates/memsim/src/machine.rs crates/memsim/src/mlc.rs crates/memsim/src/model.rs crates/memsim/src/policy.rs crates/memsim/src/runner.rs crates/memsim/src/tier.rs
+
+/root/repo/target/debug/deps/libmemsim-9567a75af5066b0b.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/counters.rs crates/memsim/src/curve.rs crates/memsim/src/engine.rs crates/memsim/src/heap.rs crates/memsim/src/kinds.rs crates/memsim/src/machine.rs crates/memsim/src/mlc.rs crates/memsim/src/model.rs crates/memsim/src/policy.rs crates/memsim/src/runner.rs crates/memsim/src/tier.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/counters.rs:
+crates/memsim/src/curve.rs:
+crates/memsim/src/engine.rs:
+crates/memsim/src/heap.rs:
+crates/memsim/src/kinds.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/mlc.rs:
+crates/memsim/src/model.rs:
+crates/memsim/src/policy.rs:
+crates/memsim/src/runner.rs:
+crates/memsim/src/tier.rs:

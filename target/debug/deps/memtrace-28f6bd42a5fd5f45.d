@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/memtrace-28f6bd42a5fd5f45.d: crates/memtrace/src/lib.rs crates/memtrace/src/binfmt.rs crates/memtrace/src/binmap.rs crates/memtrace/src/callstack.rs crates/memtrace/src/error.rs crates/memtrace/src/events.rs crates/memtrace/src/fault.rs crates/memtrace/src/ids.rs crates/memtrace/src/report.rs crates/memtrace/src/textfmt.rs crates/memtrace/src/trace.rs crates/memtrace/src/warn.rs
+
+/root/repo/target/debug/deps/libmemtrace-28f6bd42a5fd5f45.rlib: crates/memtrace/src/lib.rs crates/memtrace/src/binfmt.rs crates/memtrace/src/binmap.rs crates/memtrace/src/callstack.rs crates/memtrace/src/error.rs crates/memtrace/src/events.rs crates/memtrace/src/fault.rs crates/memtrace/src/ids.rs crates/memtrace/src/report.rs crates/memtrace/src/textfmt.rs crates/memtrace/src/trace.rs crates/memtrace/src/warn.rs
+
+/root/repo/target/debug/deps/libmemtrace-28f6bd42a5fd5f45.rmeta: crates/memtrace/src/lib.rs crates/memtrace/src/binfmt.rs crates/memtrace/src/binmap.rs crates/memtrace/src/callstack.rs crates/memtrace/src/error.rs crates/memtrace/src/events.rs crates/memtrace/src/fault.rs crates/memtrace/src/ids.rs crates/memtrace/src/report.rs crates/memtrace/src/textfmt.rs crates/memtrace/src/trace.rs crates/memtrace/src/warn.rs
+
+crates/memtrace/src/lib.rs:
+crates/memtrace/src/binfmt.rs:
+crates/memtrace/src/binmap.rs:
+crates/memtrace/src/callstack.rs:
+crates/memtrace/src/error.rs:
+crates/memtrace/src/events.rs:
+crates/memtrace/src/fault.rs:
+crates/memtrace/src/ids.rs:
+crates/memtrace/src/report.rs:
+crates/memtrace/src/textfmt.rs:
+crates/memtrace/src/trace.rs:
+crates/memtrace/src/warn.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/memtrace-4512bb37825017ff.d: crates/memtrace/src/lib.rs crates/memtrace/src/binfmt.rs crates/memtrace/src/binmap.rs crates/memtrace/src/callstack.rs crates/memtrace/src/error.rs crates/memtrace/src/events.rs crates/memtrace/src/fault.rs crates/memtrace/src/ids.rs crates/memtrace/src/report.rs crates/memtrace/src/textfmt.rs crates/memtrace/src/trace.rs crates/memtrace/src/warn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemtrace-4512bb37825017ff.rmeta: crates/memtrace/src/lib.rs crates/memtrace/src/binfmt.rs crates/memtrace/src/binmap.rs crates/memtrace/src/callstack.rs crates/memtrace/src/error.rs crates/memtrace/src/events.rs crates/memtrace/src/fault.rs crates/memtrace/src/ids.rs crates/memtrace/src/report.rs crates/memtrace/src/textfmt.rs crates/memtrace/src/trace.rs crates/memtrace/src/warn.rs Cargo.toml
+
+crates/memtrace/src/lib.rs:
+crates/memtrace/src/binfmt.rs:
+crates/memtrace/src/binmap.rs:
+crates/memtrace/src/callstack.rs:
+crates/memtrace/src/error.rs:
+crates/memtrace/src/events.rs:
+crates/memtrace/src/fault.rs:
+crates/memtrace/src/ids.rs:
+crates/memtrace/src/report.rs:
+crates/memtrace/src/textfmt.rs:
+crates/memtrace/src/trace.rs:
+crates/memtrace/src/warn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

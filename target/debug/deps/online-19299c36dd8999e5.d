@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online-19299c36dd8999e5.d: tests/online.rs
+
+/root/repo/target/debug/deps/online-19299c36dd8999e5: tests/online.rs
+
+tests/online.rs:

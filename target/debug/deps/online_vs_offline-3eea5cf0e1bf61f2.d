@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_vs_offline-3eea5cf0e1bf61f2.d: crates/bench/src/bin/online_vs_offline.rs
+
+/root/repo/target/debug/deps/online_vs_offline-3eea5cf0e1bf61f2: crates/bench/src/bin/online_vs_offline.rs
+
+crates/bench/src/bin/online_vs_offline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_vs_offline-77c50d5c22ca5db8.d: crates/bench/src/bin/online_vs_offline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_vs_offline-77c50d5c22ca5db8.rmeta: crates/bench/src/bin/online_vs_offline.rs Cargo.toml
+
+crates/bench/src/bin/online_vs_offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

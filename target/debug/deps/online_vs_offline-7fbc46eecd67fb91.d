@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_vs_offline-7fbc46eecd67fb91.d: crates/bench/src/bin/online_vs_offline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_vs_offline-7fbc46eecd67fb91.rmeta: crates/bench/src/bin/online_vs_offline.rs Cargo.toml
+
+crates/bench/src/bin/online_vs_offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-857dd55ad4a292d6.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-857dd55ad4a292d6: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

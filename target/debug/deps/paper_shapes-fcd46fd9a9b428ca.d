@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-fcd46fd9a9b428ca.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-fcd46fd9a9b428ca: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

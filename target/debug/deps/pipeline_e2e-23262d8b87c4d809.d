@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-23262d8b87c4d809.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-23262d8b87c4d809: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

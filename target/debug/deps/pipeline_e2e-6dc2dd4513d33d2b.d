@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-6dc2dd4513d33d2b.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-6dc2dd4513d33d2b: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/profiler-38951f7b89b05331.d: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+/root/repo/target/debug/deps/libprofiler-38951f7b89b05331.rlib: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+/root/repo/target/debug/deps/libprofiler-38951f7b89b05331.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analyzer.rs:
+crates/profiler/src/profile.rs:
+crates/profiler/src/sampler.rs:
+crates/profiler/src/timeline.rs:

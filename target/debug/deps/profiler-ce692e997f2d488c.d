@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/profiler-ce692e997f2d488c.d: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiler-ce692e997f2d488c.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analyzer.rs:
+crates/profiler/src/profile.rs:
+crates/profiler/src/sampler.rs:
+crates/profiler/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

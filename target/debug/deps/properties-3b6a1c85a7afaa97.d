@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3b6a1c85a7afaa97.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3b6a1c85a7afaa97: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b57b1e1a7e9b3913.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b57b1e1a7e9b3913: tests/properties.rs
+
+tests/properties.rs:

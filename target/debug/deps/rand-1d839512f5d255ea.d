@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-1d839512f5d255ea.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1d839512f5d255ea.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-cda4683fe55958ee.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cda4683fe55958ee.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cda4683fe55958ee.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/render_figures-116f787d709a39e0.d: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/librender_figures-116f787d709a39e0.rmeta: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+crates/bench/src/bin/render_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

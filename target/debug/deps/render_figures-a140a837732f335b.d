@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/render_figures-a140a837732f335b.d: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/librender_figures-a140a837732f335b.rmeta: crates/bench/src/bin/render_figures.rs Cargo.toml
+
+crates/bench/src/bin/render_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/render_figures-cefbedd86daaaa13.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/debug/deps/render_figures-cefbedd86daaaa13: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

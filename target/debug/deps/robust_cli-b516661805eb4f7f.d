@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/robust_cli-b516661805eb4f7f.d: crates/cli/tests/robust_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobust_cli-b516661805eb4f7f.rmeta: crates/cli/tests/robust_cli.rs Cargo.toml
+
+crates/cli/tests/robust_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ecohmem-advise=placeholder:ecohmem-advise
+# env-dep:CARGO_BIN_EXE_ecohmem-inspect=placeholder:ecohmem-inspect
+# env-dep:CARGO_BIN_EXE_ecohmem-profile=placeholder:ecohmem-profile
+# env-dep:CARGO_BIN_EXE_ecohmem-run=placeholder:ecohmem-run
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

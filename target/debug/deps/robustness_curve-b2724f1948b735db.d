@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_curve-b2724f1948b735db.d: crates/bench/src/bin/robustness_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_curve-b2724f1948b735db.rmeta: crates/bench/src/bin/robustness_curve.rs Cargo.toml
+
+crates/bench/src/bin/robustness_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

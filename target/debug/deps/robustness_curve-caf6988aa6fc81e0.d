@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_curve-caf6988aa6fc81e0.d: crates/bench/src/bin/robustness_curve.rs
+
+/root/repo/target/debug/deps/robustness_curve-caf6988aa6fc81e0: crates/bench/src/bin/robustness_curve.rs
+
+crates/bench/src/bin/robustness_curve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_memoization-cd3371c5dafcf13f.d: crates/bench/tests/runner_memoization.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_memoization-cd3371c5dafcf13f.rmeta: crates/bench/tests/runner_memoization.rs Cargo.toml
+
+crates/bench/tests/runner_memoization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secd_callstack_format-59b6c437f1195817.d: crates/bench/src/bin/secd_callstack_format.rs
+
+/root/repo/target/debug/deps/secd_callstack_format-59b6c437f1195817: crates/bench/src/bin/secd_callstack_format.rs
+
+crates/bench/src/bin/secd_callstack_format.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secd_callstack_format-5b938e17ce4afbcd.d: crates/bench/src/bin/secd_callstack_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecd_callstack_format-5b938e17ce4afbcd.rmeta: crates/bench/src/bin/secd_callstack_format.rs Cargo.toml
+
+crates/bench/src/bin/secd_callstack_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secd_callstack_format-6d63b963dede88a8.d: crates/bench/src/bin/secd_callstack_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecd_callstack_format-6d63b963dede88a8.rmeta: crates/bench/src/bin/secd_callstack_format.rs Cargo.toml
+
+crates/bench/src/bin/secd_callstack_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

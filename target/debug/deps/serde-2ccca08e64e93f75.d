@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2ccca08e64e93f75.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2ccca08e64e93f75.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2ccca08e64e93f75.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

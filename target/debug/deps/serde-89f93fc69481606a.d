@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-89f93fc69481606a.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-89f93fc69481606a.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

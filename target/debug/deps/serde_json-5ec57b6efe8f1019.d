@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-5ec57b6efe8f1019.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5ec57b6efe8f1019.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_degradation-9c5403d8c1c0a466.d: crates/online/tests/streaming_degradation.rs
+
+/root/repo/target/debug/deps/streaming_degradation-9c5403d8c1c0a466: crates/online/tests/streaming_degradation.rs
+
+crates/online/tests/streaming_degradation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_degradation-f8cf35d1f6b91910.d: crates/online/tests/streaming_degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_degradation-f8cf35d1f6b91910.rmeta: crates/online/tests/streaming_degradation.rs Cargo.toml
+
+crates/online/tests/streaming_degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

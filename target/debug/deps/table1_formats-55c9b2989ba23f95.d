@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_formats-55c9b2989ba23f95.d: crates/bench/src/bin/table1_formats.rs
+
+/root/repo/target/debug/deps/table1_formats-55c9b2989ba23f95: crates/bench/src/bin/table1_formats.rs
+
+crates/bench/src/bin/table1_formats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_formats-66b5dbc216a6a705.d: crates/bench/src/bin/table1_formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_formats-66b5dbc216a6a705.rmeta: crates/bench/src/bin/table1_formats.rs Cargo.toml
+
+crates/bench/src/bin/table1_formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table234_classify-38f9e8797d43eea8.d: crates/bench/src/bin/table234_classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable234_classify-38f9e8797d43eea8.rmeta: crates/bench/src/bin/table234_classify.rs Cargo.toml
+
+crates/bench/src/bin/table234_classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

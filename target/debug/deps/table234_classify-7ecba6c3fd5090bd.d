@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table234_classify-7ecba6c3fd5090bd.d: crates/bench/src/bin/table234_classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable234_classify-7ecba6c3fd5090bd.rmeta: crates/bench/src/bin/table234_classify.rs Cargo.toml
+
+crates/bench/src/bin/table234_classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

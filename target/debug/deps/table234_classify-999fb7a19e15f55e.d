@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table234_classify-999fb7a19e15f55e.d: crates/bench/src/bin/table234_classify.rs
+
+/root/repo/target/debug/deps/table234_classify-999fb7a19e15f55e: crates/bench/src/bin/table234_classify.rs
+
+crates/bench/src/bin/table234_classify.rs:

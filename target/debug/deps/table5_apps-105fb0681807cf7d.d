@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_apps-105fb0681807cf7d.d: crates/bench/src/bin/table5_apps.rs
+
+/root/repo/target/debug/deps/table5_apps-105fb0681807cf7d: crates/bench/src/bin/table5_apps.rs
+
+crates/bench/src/bin/table5_apps.rs:

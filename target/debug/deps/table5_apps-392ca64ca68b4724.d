@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_apps-392ca64ca68b4724.d: crates/bench/src/bin/table5_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_apps-392ca64ca68b4724.rmeta: crates/bench/src/bin/table5_apps.rs Cargo.toml
+
+crates/bench/src/bin/table5_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

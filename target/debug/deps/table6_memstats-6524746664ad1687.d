@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_memstats-6524746664ad1687.d: crates/bench/src/bin/table6_memstats.rs
+
+/root/repo/target/debug/deps/table6_memstats-6524746664ad1687: crates/bench/src/bin/table6_memstats.rs
+
+crates/bench/src/bin/table6_memstats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_memstats-861a74a040872965.d: crates/bench/src/bin/table6_memstats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_memstats-861a74a040872965.rmeta: crates/bench/src/bin/table6_memstats.rs Cargo.toml
+
+crates/bench/src/bin/table6_memstats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_memstats-89eb001e3321e80b.d: crates/bench/src/bin/table6_memstats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_memstats-89eb001e3321e80b.rmeta: crates/bench/src/bin/table6_memstats.rs Cargo.toml
+
+crates/bench/src/bin/table6_memstats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_cloverleaf-4c76882729175aa9.d: crates/bench/src/bin/table7_cloverleaf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_cloverleaf-4c76882729175aa9.rmeta: crates/bench/src/bin/table7_cloverleaf.rs Cargo.toml
+
+crates/bench/src/bin/table7_cloverleaf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_cloverleaf-b9928b44b6f80da3.d: crates/bench/src/bin/table7_cloverleaf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_cloverleaf-b9928b44b6f80da3.rmeta: crates/bench/src/bin/table7_cloverleaf.rs Cargo.toml
+
+crates/bench/src/bin/table7_cloverleaf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_cloverleaf-e5621e24ae8ed8b8.d: crates/bench/src/bin/table7_cloverleaf.rs
+
+/root/repo/target/debug/deps/table7_cloverleaf-e5621e24ae8ed8b8: crates/bench/src/bin/table7_cloverleaf.rs
+
+crates/bench/src/bin/table7_cloverleaf.rs:

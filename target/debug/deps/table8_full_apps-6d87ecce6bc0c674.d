@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_full_apps-6d87ecce6bc0c674.d: crates/bench/src/bin/table8_full_apps.rs
+
+/root/repo/target/debug/deps/table8_full_apps-6d87ecce6bc0c674: crates/bench/src/bin/table8_full_apps.rs
+
+crates/bench/src/bin/table8_full_apps.rs:

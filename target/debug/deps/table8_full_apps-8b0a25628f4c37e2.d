@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_full_apps-8b0a25628f4c37e2.d: crates/bench/src/bin/table8_full_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_full_apps-8b0a25628f4c37e2.rmeta: crates/bench/src/bin/table8_full_apps.rs Cargo.toml
+
+crates/bench/src/bin/table8_full_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

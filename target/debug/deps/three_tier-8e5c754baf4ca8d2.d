@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/three_tier-8e5c754baf4ca8d2.d: tests/three_tier.rs
+
+/root/repo/target/debug/deps/three_tier-8e5c754baf4ca8d2: tests/three_tier.rs
+
+tests/three_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/three_tier-a6108b25eb8307a3.d: tests/three_tier.rs
+
+/root/repo/target/debug/deps/three_tier-a6108b25eb8307a3: tests/three_tier.rs
+
+tests/three_tier.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/toolchain-19942da04f6bbd0c.d: crates/cli/tests/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolchain-19942da04f6bbd0c.rmeta: crates/cli/tests/toolchain.rs Cargo.toml
+
+crates/cli/tests/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ecohmem-advise=placeholder:ecohmem-advise
+# env-dep:CARGO_BIN_EXE_ecohmem-inspect=placeholder:ecohmem-inspect
+# env-dep:CARGO_BIN_EXE_ecohmem-profile=placeholder:ecohmem-profile
+# env-dep:CARGO_BIN_EXE_ecohmem-run=placeholder:ecohmem-run
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

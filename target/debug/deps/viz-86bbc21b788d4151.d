@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/viz-86bbc21b788d4151.d: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libviz-86bbc21b788d4151.rmeta: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/chart.rs:
+crates/viz/src/scale.rs:
+crates/viz/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/viz-eb2ec1f0708c3223.d: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libviz-eb2ec1f0708c3223.rlib: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libviz-eb2ec1f0708c3223.rmeta: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/chart.rs:
+crates/viz/src/scale.rs:
+crates/viz/src/svg.rs:

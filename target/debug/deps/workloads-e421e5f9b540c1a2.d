@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/workloads-e421e5f9b540c1a2.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+/root/repo/target/debug/deps/libworkloads-e421e5f9b540c1a2.rlib: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+/root/repo/target/debug/deps/libworkloads-e421e5f9b540c1a2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/cloverleaf3d.rs:
+crates/workloads/src/granularity.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minimd.rs:
+crates/workloads/src/openfoam.rs:
+crates/workloads/src/phaseshift.rs:
+crates/workloads/src/scaling.rs:

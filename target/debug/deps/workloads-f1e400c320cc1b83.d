@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/workloads-f1e400c320cc1b83.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-f1e400c320cc1b83.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/cloverleaf3d.rs:
+crates/workloads/src/granularity.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minimd.rs:
+crates/workloads/src/openfoam.rs:
+crates/workloads/src/phaseshift.rs:
+crates/workloads/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

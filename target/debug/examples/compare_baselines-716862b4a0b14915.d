@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_baselines-716862b4a0b14915.d: examples/compare_baselines.rs
+
+/root/repo/target/debug/examples/compare_baselines-716862b4a0b14915: examples/compare_baselines.rs
+
+examples/compare_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_baselines-d8c516bb1f11eade.d: examples/compare_baselines.rs
+
+/root/repo/target/debug/examples/compare_baselines-d8c516bb1f11eade: examples/compare_baselines.rs
+
+examples/compare_baselines.rs:

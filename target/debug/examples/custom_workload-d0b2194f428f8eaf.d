@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-d0b2194f428f8eaf.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-d0b2194f428f8eaf: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-e46639db47098f54.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-e46639db47098f54: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edit_report-38405cca67d69a42.d: examples/edit_report.rs
+
+/root/repo/target/debug/examples/edit_report-38405cca67d69a42: examples/edit_report.rs
+
+examples/edit_report.rs:

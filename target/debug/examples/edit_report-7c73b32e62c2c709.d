@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edit_report-7c73b32e62c2c709.d: examples/edit_report.rs
+
+/root/repo/target/debug/examples/edit_report-7c73b32e62c2c709: examples/edit_report.rs
+
+examples/edit_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hbm_system-09616982a8158432.d: examples/hbm_system.rs
+
+/root/repo/target/debug/examples/hbm_system-09616982a8158432: examples/hbm_system.rs
+
+examples/hbm_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hbm_system-ca029aa1469b0685.d: examples/hbm_system.rs
+
+/root/repo/target/debug/examples/hbm_system-ca029aa1469b0685: examples/hbm_system.rs
+
+examples/hbm_system.rs:

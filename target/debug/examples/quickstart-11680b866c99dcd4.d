@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-11680b866c99dcd4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-11680b866c99dcd4: examples/quickstart.rs
+
+examples/quickstart.rs:

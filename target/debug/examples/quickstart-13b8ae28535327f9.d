@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-13b8ae28535327f9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-13b8ae28535327f9: examples/quickstart.rs
+
+examples/quickstart.rs:

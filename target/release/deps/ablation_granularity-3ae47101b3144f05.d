@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_granularity-3ae47101b3144f05.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/release/deps/ablation_granularity-3ae47101b3144f05: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

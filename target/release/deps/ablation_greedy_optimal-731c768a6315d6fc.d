@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_greedy_optimal-731c768a6315d6fc.d: crates/bench/src/bin/ablation_greedy_optimal.rs
+
+/root/repo/target/release/deps/ablation_greedy_optimal-731c768a6315d6fc: crates/bench/src/bin/ablation_greedy_optimal.rs
+
+crates/bench/src/bin/ablation_greedy_optimal.rs:

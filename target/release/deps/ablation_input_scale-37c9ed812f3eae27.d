@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_input_scale-37c9ed812f3eae27.d: crates/bench/src/bin/ablation_input_scale.rs
+
+/root/repo/target/release/deps/ablation_input_scale-37c9ed812f3eae27: crates/bench/src/bin/ablation_input_scale.rs
+
+crates/bench/src/bin/ablation_input_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sampling-5a4835e3bdaa282a.d: crates/bench/src/bin/ablation_sampling.rs
+
+/root/repo/target/release/deps/ablation_sampling-5a4835e3bdaa282a: crates/bench/src/bin/ablation_sampling.rs
+
+crates/bench/src/bin/ablation_sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_thresholds-947f28981c60267d.d: crates/bench/src/bin/ablation_thresholds.rs
+
+/root/repo/target/release/deps/ablation_thresholds-947f28981c60267d: crates/bench/src/bin/ablation_thresholds.rs
+
+crates/bench/src/bin/ablation_thresholds.rs:

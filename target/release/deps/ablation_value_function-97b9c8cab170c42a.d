@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_value_function-97b9c8cab170c42a.d: crates/bench/src/bin/ablation_value_function.rs
+
+/root/repo/target/release/deps/ablation_value_function-97b9c8cab170c42a: crates/bench/src/bin/ablation_value_function.rs
+
+crates/bench/src/bin/ablation_value_function.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/advisor-ed9e2086bcad2780.d: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+/root/repo/target/release/deps/libadvisor-ed9e2086bcad2780.rlib: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+/root/repo/target/release/deps/libadvisor-ed9e2086bcad2780.rmeta: crates/advisor/src/lib.rs crates/advisor/src/advise.rs crates/advisor/src/bandwidth.rs crates/advisor/src/config.rs crates/advisor/src/knapsack.rs crates/advisor/src/optimal.rs
+
+crates/advisor/src/lib.rs:
+crates/advisor/src/advise.rs:
+crates/advisor/src/bandwidth.rs:
+crates/advisor/src/config.rs:
+crates/advisor/src/knapsack.rs:
+crates/advisor/src/optimal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/baselines-32d329d0593032a1.d: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+/root/repo/target/release/deps/libbaselines-32d329d0593032a1.rlib: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+/root/repo/target/release/deps/libbaselines-32d329d0593032a1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/combined.rs crates/baselines/src/memory_mode.rs crates/baselines/src/profdp.rs crates/baselines/src/tiering.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/combined.rs:
+crates/baselines/src/memory_mode.rs:
+crates/baselines/src/profdp.rs:
+crates/baselines/src/tiering.rs:

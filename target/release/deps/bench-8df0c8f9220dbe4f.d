@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-8df0c8f9220dbe4f.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbench-8df0c8f9220dbe4f.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbench-8df0c8f9220dbe4f.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

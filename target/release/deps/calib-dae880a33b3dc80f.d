@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calib-dae880a33b3dc80f.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/release/deps/calib-dae880a33b3dc80f: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

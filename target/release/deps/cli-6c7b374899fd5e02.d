@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-6c7b374899fd5e02.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libcli-6c7b374899fd5e02.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libcli-6c7b374899fd5e02.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/combined_placement-746de76d305d9d6e.d: crates/bench/src/bin/combined_placement.rs
+
+/root/repo/target/release/deps/combined_placement-746de76d305d9d6e: crates/bench/src/bin/combined_placement.rs
+
+crates/bench/src/bin/combined_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_classify-8be3ecc486be1996.d: crates/bench/src/bin/debug_classify.rs
+
+/root/repo/target/release/deps/debug_classify-8be3ecc486be1996: crates/bench/src/bin/debug_classify.rs
+
+crates/bench/src/bin/debug_classify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecohmem-45264d9eb64f48e6.d: src/lib.rs
+
+/root/repo/target/release/deps/libecohmem-45264d9eb64f48e6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libecohmem-45264d9eb64f48e6.rmeta: src/lib.rs
+
+src/lib.rs:

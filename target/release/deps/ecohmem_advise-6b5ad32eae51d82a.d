@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecohmem_advise-6b5ad32eae51d82a.d: crates/cli/src/bin/advise.rs
+
+/root/repo/target/release/deps/ecohmem_advise-6b5ad32eae51d82a: crates/cli/src/bin/advise.rs
+
+crates/cli/src/bin/advise.rs:

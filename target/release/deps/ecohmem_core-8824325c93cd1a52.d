@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecohmem_core-8824325c93cd1a52.d: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+/root/repo/target/release/deps/libecohmem_core-8824325c93cd1a52.rlib: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+/root/repo/target/release/deps/libecohmem_core-8824325c93cd1a52.rmeta: crates/ecohmem-core/src/lib.rs crates/ecohmem-core/src/experiments.rs crates/ecohmem-core/src/pipeline.rs
+
+crates/ecohmem-core/src/lib.rs:
+crates/ecohmem-core/src/experiments.rs:
+crates/ecohmem-core/src/pipeline.rs:

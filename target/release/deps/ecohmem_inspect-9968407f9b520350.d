@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecohmem_inspect-9968407f9b520350.d: crates/cli/src/bin/inspect.rs
+
+/root/repo/target/release/deps/ecohmem_inspect-9968407f9b520350: crates/cli/src/bin/inspect.rs
+
+crates/cli/src/bin/inspect.rs:

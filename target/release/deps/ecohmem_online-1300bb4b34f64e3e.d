@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ecohmem_online-1300bb4b34f64e3e.d: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+/root/repo/target/release/deps/libecohmem_online-1300bb4b34f64e3e.rlib: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+/root/repo/target/release/deps/libecohmem_online-1300bb4b34f64e3e.rmeta: crates/online/src/lib.rs crates/online/src/channel.rs crates/online/src/config.rs crates/online/src/incremental.rs crates/online/src/ingest.rs crates/online/src/policy.rs crates/online/src/stats.rs
+
+crates/online/src/lib.rs:
+crates/online/src/channel.rs:
+crates/online/src/config.rs:
+crates/online/src/incremental.rs:
+crates/online/src/ingest.rs:
+crates/online/src/policy.rs:
+crates/online/src/stats.rs:

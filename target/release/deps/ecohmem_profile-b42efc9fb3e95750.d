@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecohmem_profile-b42efc9fb3e95750.d: crates/cli/src/bin/profile.rs
+
+/root/repo/target/release/deps/ecohmem_profile-b42efc9fb3e95750: crates/cli/src/bin/profile.rs
+
+crates/cli/src/bin/profile.rs:

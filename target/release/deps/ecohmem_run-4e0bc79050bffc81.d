@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecohmem_run-4e0bc79050bffc81.d: crates/cli/src/bin/run.rs
+
+/root/repo/target/release/deps/ecohmem_run-4e0bc79050bffc81: crates/cli/src/bin/run.rs
+
+crates/cli/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_mlc-28550854d10150f7.d: crates/bench/src/bin/fig2_mlc.rs
+
+/root/repo/target/release/deps/fig2_mlc-28550854d10150f7: crates/bench/src/bin/fig2_mlc.rs
+
+crates/bench/src/bin/fig2_mlc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_lulesh_bw-2a0c80b08b4d99b5.d: crates/bench/src/bin/fig3_lulesh_bw.rs
+
+/root/repo/target/release/deps/fig3_lulesh_bw-2a0c80b08b4d99b5: crates/bench/src/bin/fig3_lulesh_bw.rs
+
+crates/bench/src/bin/fig3_lulesh_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig45_lifetimes-a751751a7fffb4da.d: crates/bench/src/bin/fig45_lifetimes.rs
+
+/root/repo/target/release/deps/fig45_lifetimes-a751751a7fffb4da: crates/bench/src/bin/fig45_lifetimes.rs
+
+crates/bench/src/bin/fig45_lifetimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_sweep-e93e9991d93cbef6.d: crates/bench/src/bin/fig6_sweep.rs
+
+/root/repo/target/release/deps/fig6_sweep-e93e9991d93cbef6: crates/bench/src/bin/fig6_sweep.rs
+
+crates/bench/src/bin/fig6_sweep.rs:

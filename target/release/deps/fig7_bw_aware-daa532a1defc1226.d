@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_bw_aware-daa532a1defc1226.d: crates/bench/src/bin/fig7_bw_aware.rs
+
+/root/repo/target/release/deps/fig7_bw_aware-daa532a1defc1226: crates/bench/src/bin/fig7_bw_aware.rs
+
+crates/bench/src/bin/fig7_bw_aware.rs:

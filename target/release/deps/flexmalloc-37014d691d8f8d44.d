@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexmalloc-37014d691d8f8d44.d: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+/root/repo/target/release/deps/libflexmalloc-37014d691d8f8d44.rlib: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+/root/repo/target/release/deps/libflexmalloc-37014d691d8f8d44.rmeta: crates/flexmalloc/src/lib.rs crates/flexmalloc/src/interposer.rs crates/flexmalloc/src/matching.rs
+
+crates/flexmalloc/src/lib.rs:
+crates/flexmalloc/src/interposer.rs:
+crates/flexmalloc/src/matching.rs:

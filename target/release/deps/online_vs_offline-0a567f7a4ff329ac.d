@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/online_vs_offline-0a567f7a4ff329ac.d: crates/bench/src/bin/online_vs_offline.rs
+
+/root/repo/target/release/deps/online_vs_offline-0a567f7a4ff329ac: crates/bench/src/bin/online_vs_offline.rs
+
+crates/bench/src/bin/online_vs_offline.rs:

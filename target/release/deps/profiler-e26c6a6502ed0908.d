@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/profiler-e26c6a6502ed0908.d: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+/root/repo/target/release/deps/libprofiler-e26c6a6502ed0908.rlib: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+/root/repo/target/release/deps/libprofiler-e26c6a6502ed0908.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analyzer.rs crates/profiler/src/profile.rs crates/profiler/src/sampler.rs crates/profiler/src/timeline.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analyzer.rs:
+crates/profiler/src/profile.rs:
+crates/profiler/src/sampler.rs:
+crates/profiler/src/timeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-052e5f4a2c19b236.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-052e5f4a2c19b236.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-052e5f4a2c19b236.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/render_figures-ab8c2143ddf30a1f.d: crates/bench/src/bin/render_figures.rs
+
+/root/repo/target/release/deps/render_figures-ab8c2143ddf30a1f: crates/bench/src/bin/render_figures.rs
+
+crates/bench/src/bin/render_figures.rs:

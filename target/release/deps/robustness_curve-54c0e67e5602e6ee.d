@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_curve-54c0e67e5602e6ee.d: crates/bench/src/bin/robustness_curve.rs
+
+/root/repo/target/release/deps/robustness_curve-54c0e67e5602e6ee: crates/bench/src/bin/robustness_curve.rs
+
+crates/bench/src/bin/robustness_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/secd_callstack_format-afb719da9dbf1908.d: crates/bench/src/bin/secd_callstack_format.rs
+
+/root/repo/target/release/deps/secd_callstack_format-afb719da9dbf1908: crates/bench/src/bin/secd_callstack_format.rs
+
+crates/bench/src/bin/secd_callstack_format.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-925bdac463136bcd.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-925bdac463136bcd.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-925bdac463136bcd.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4b305e605609dc34.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4b305e605609dc34.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_formats-47c886c05510d5fd.d: crates/bench/src/bin/table1_formats.rs
+
+/root/repo/target/release/deps/table1_formats-47c886c05510d5fd: crates/bench/src/bin/table1_formats.rs
+
+crates/bench/src/bin/table1_formats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table234_classify-a7560096fe13a1d8.d: crates/bench/src/bin/table234_classify.rs
+
+/root/repo/target/release/deps/table234_classify-a7560096fe13a1d8: crates/bench/src/bin/table234_classify.rs
+
+crates/bench/src/bin/table234_classify.rs:

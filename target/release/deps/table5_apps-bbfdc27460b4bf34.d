@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_apps-bbfdc27460b4bf34.d: crates/bench/src/bin/table5_apps.rs
+
+/root/repo/target/release/deps/table5_apps-bbfdc27460b4bf34: crates/bench/src/bin/table5_apps.rs
+
+crates/bench/src/bin/table5_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_memstats-2151c0c85226996a.d: crates/bench/src/bin/table6_memstats.rs
+
+/root/repo/target/release/deps/table6_memstats-2151c0c85226996a: crates/bench/src/bin/table6_memstats.rs
+
+crates/bench/src/bin/table6_memstats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_cloverleaf-9e9f9594d6a67bd3.d: crates/bench/src/bin/table7_cloverleaf.rs
+
+/root/repo/target/release/deps/table7_cloverleaf-9e9f9594d6a67bd3: crates/bench/src/bin/table7_cloverleaf.rs
+
+crates/bench/src/bin/table7_cloverleaf.rs:

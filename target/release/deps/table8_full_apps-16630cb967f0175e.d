@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_full_apps-16630cb967f0175e.d: crates/bench/src/bin/table8_full_apps.rs
+
+/root/repo/target/release/deps/table8_full_apps-16630cb967f0175e: crates/bench/src/bin/table8_full_apps.rs
+
+crates/bench/src/bin/table8_full_apps.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/viz-020d35b361b0fd40.d: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libviz-020d35b361b0fd40.rlib: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libviz-020d35b361b0fd40.rmeta: crates/viz/src/lib.rs crates/viz/src/chart.rs crates/viz/src/scale.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/chart.rs:
+crates/viz/src/scale.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/workloads-8005dab03c7be04b.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+/root/repo/target/release/deps/libworkloads-8005dab03c7be04b.rlib: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+/root/repo/target/release/deps/libworkloads-8005dab03c7be04b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/cloverleaf3d.rs crates/workloads/src/granularity.rs crates/workloads/src/hpcg.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/minife.rs crates/workloads/src/minimd.rs crates/workloads/src/openfoam.rs crates/workloads/src/phaseshift.rs crates/workloads/src/scaling.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/cloverleaf3d.rs:
+crates/workloads/src/granularity.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/minife.rs:
+crates/workloads/src/minimd.rs:
+crates/workloads/src/openfoam.rs:
+crates/workloads/src/phaseshift.rs:
+crates/workloads/src/scaling.rs:
