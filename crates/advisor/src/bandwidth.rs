@@ -143,6 +143,10 @@ pub fn classify(
         };
         categories.insert(s.site, cat);
     }
+    let tally = |cat: Category| categories.values().filter(|c| **c == cat).count() as u64;
+    ecohmem_obs::count("advisor.class.fitting", tally(Category::Fitting));
+    ecohmem_obs::count("advisor.class.streaming_d", tally(Category::StreamingD));
+    ecohmem_obs::count("advisor.class.thrashing", tally(Category::Thrashing));
     Classification { categories, low_bw, high_bw }
 }
 
@@ -154,6 +158,7 @@ pub fn rebalance(
     config: &AdvisorConfig,
     thresholds: &BwThresholds,
 ) -> (Assignment, Classification) {
+    let _span = ecohmem_obs::span("advisor.rebalance");
     let fast_tier = config.primary().tier;
     let classification = classify(profile, base, fast_tier, thresholds);
     let mut out = base.clone();
@@ -199,8 +204,10 @@ pub fn rebalance(
         if slack >= need {
             slack -= need;
             out.tiers.insert(site, fast_tier);
+            ecohmem_obs::incr("advisor.bw.swaps");
             for donor in evicted {
                 out.tiers.insert(donor, config.fallback);
+                ecohmem_obs::incr("advisor.bw.donors_evicted");
             }
         } else {
             // Not enough Fitting capacity left: the site stays in PMEM and

@@ -6,6 +6,7 @@
 //! configurations." §V extends it with separate load and store coefficients
 //! per subsystem.
 
+use ecohmem_obs::json::Json;
 use memtrace::TierId;
 use serde::{Deserialize, Serialize};
 
@@ -107,12 +108,50 @@ impl AdvisorConfig {
 
     /// Serializes to the on-disk JSON configuration format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serialization is infallible")
+        let tiers = Json::Arr(
+            self.tiers
+                .iter()
+                .map(|t| {
+                    Json::obj(vec![
+                        ("tier", Json::U64(u64::from(t.tier.0))),
+                        ("capacity", Json::U64(t.capacity)),
+                        ("load_coeff", Json::f64(t.load_coeff)),
+                        ("store_coeff", Json::f64(t.store_coeff)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![("tiers", tiers), ("fallback", Json::U64(u64::from(self.fallback.0)))])
+            .to_string_pretty()
     }
 
     /// Parses the on-disk JSON configuration format.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let cfg: AdvisorConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let v = Json::parse(json).map_err(|e| e.to_string())?;
+        let mut tiers = Vec::new();
+        for t in v.get("tiers").and_then(Json::as_arr).ok_or("missing `tiers` array")? {
+            tiers.push(TierBudget {
+                tier: TierId(
+                    t.get("tier").and_then(Json::as_u64).ok_or("tier entry missing `tier`")? as u8,
+                ),
+                capacity: t
+                    .get("capacity")
+                    .and_then(Json::as_u64)
+                    .ok_or("tier entry missing `capacity`")?,
+                load_coeff: t
+                    .get("load_coeff")
+                    .and_then(Json::as_f64)
+                    .ok_or("tier entry missing `load_coeff`")?,
+                store_coeff: t
+                    .get("store_coeff")
+                    .and_then(Json::as_f64)
+                    .ok_or("tier entry missing `store_coeff`")?,
+            });
+        }
+        let fallback = TierId(
+            v.get("fallback").and_then(Json::as_u64).ok_or("missing `fallback` tier")? as u8,
+        );
+        let cfg = AdvisorConfig { tiers, fallback };
         cfg.validate()?;
         Ok(cfg)
     }

@@ -106,6 +106,7 @@ pub fn assign_with(
     value_fn: ValueFunction,
 ) -> Assignment {
     config.validate().expect("invalid advisor configuration");
+    let _span = ecohmem_obs::span("advisor.knapsack");
 
     let mut remaining: Vec<SiteId> = profile.sites.iter().map(|s| s.site).collect();
     let mut tiers: HashMap<SiteId, TierId> = HashMap::new();
@@ -125,6 +126,7 @@ pub fn assign_with(
 
         let mut used = 0u64;
         let mut placed = Vec::new();
+        ecohmem_obs::count("advisor.knapsack.evaluations", ranked.len() as u64);
         for (density, site) in ranked {
             let p = profile.site(site).unwrap();
             // Sites with zero observed misses bring no value; leave them to
@@ -138,12 +140,19 @@ pub fn assign_with(
                 placed.push(site);
             }
         }
+        if budget.capacity > 0 {
+            ecohmem_obs::gauge_set(
+                &format!("advisor.{}.fill_pct", budget.tier),
+                100.0 * used as f64 / budget.capacity as f64,
+            );
+        }
         charged.push((budget.tier, used));
         remaining.retain(|s| !placed.contains(s));
     }
 
     // Anything left (zero-value sites, or overflow of every budget) goes to
     // the fallback.
+    ecohmem_obs::count("advisor.sites.fallback", remaining.len() as u64);
     for s in remaining {
         tiers.insert(s, config.fallback);
     }

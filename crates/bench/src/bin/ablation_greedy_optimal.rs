@@ -13,6 +13,7 @@ use memtrace::{PlacementReport, ReportEntry, ReportStack, StackFormat, TierId};
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("ablation_greedy_optimal");
     let machine = MachineConfig::optane_pmem6();
     let mut t =
         Table::new(&["app", "dram_gib", "value_gap_%", "greedy_speedup", "optimal_speedup"]);
@@ -65,4 +66,5 @@ fn main() {
          Near-zero gaps justify the paper's greedy choice at object-site \
          counts."
     );
+    runner.report();
 }

@@ -15,6 +15,7 @@ use memtrace::{PlacementReport, ReportEntry, ReportStack, StackFormat, TierId};
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("ablation_value_function");
     let machine = MachineConfig::optane_pmem6();
     let mut t = Table::new(&["app", "miss_density(paper)", "raw_misses", "temporal_density"]);
     for name in ["minife", "hpcg", "cloverleaf3d", "lulesh", "openfoam"] {
@@ -55,4 +56,5 @@ fn main() {
     }
     println!("speedups vs memory mode (base knapsack, varying value function):\n");
     println!("{}", t.render());
+    runner.report();
 }

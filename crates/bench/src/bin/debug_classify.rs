@@ -6,6 +6,7 @@ use memtrace::TierId;
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("debug_classify");
     let name = std::env::args().nth(1).unwrap_or_else(|| "openfoam".into());
     let gib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(11);
     let app = workloads::model_by_name(&name).expect("known app");
@@ -49,4 +50,5 @@ fn main() {
     }
     let t = BwThresholds::default();
     let _ = t;
+    runner.report();
 }

@@ -9,6 +9,7 @@ use memsim::{mlc_sweep, MachineConfig, TrafficMix};
 use memtrace::TierId;
 
 fn main() {
+    let runner = bench::Runner::from_env("fig2_mlc");
     let machine = MachineConfig::optane_pmem6();
     let steps = 15;
     let (lo, hi) = (8e9, 22e9);
@@ -33,4 +34,5 @@ fn main() {
         "\npmem/dram read-latency ratio at 22 GB/s: {:.2} (paper: 2.3x)",
         pmem_r[last].latency_ns / dram_r[last].latency_ns
     );
+    runner.report();
 }

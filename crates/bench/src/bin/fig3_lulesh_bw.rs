@@ -15,6 +15,7 @@ use memtrace::{StackFormat, TierId};
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("fig3_lulesh_bw");
     let app = workloads::lulesh::model();
     let machine = MachineConfig::optane_pmem6();
 
@@ -75,4 +76,5 @@ fn main() {
         avg("lagrange_elems"),
         avg("calc_constraints")
     );
+    runner.report();
 }

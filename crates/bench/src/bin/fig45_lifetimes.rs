@@ -14,6 +14,7 @@ use memtrace::{StackFormat, TierId};
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("fig45_lifetimes");
     let app = workloads::lulesh::model();
     let machine = MachineConfig::optane_pmem6();
     let (trace, _) = profile_run(
@@ -94,4 +95,5 @@ fn main() {
         avg(&donor_bws),
         avg(&dram_bws)
     );
+    runner.report();
 }

@@ -1,0 +1,47 @@
+//! End-to-end pipeline benchmark: profile → analyze → advise → deploy →
+//! baseline for the three golden workloads, with full observability on.
+//!
+//! This is the bin CI drives to produce `BENCH_pipeline.json`: it forces
+//! metrics collection, runs the paper pipeline for minife, lulesh and
+//! hpcg on the shared worker pool, prints the speedup table, and lets
+//! [`bench::Runner::report`] write the `RunMetrics` document — per-stage
+//! `pipeline.*` span timings plus every counter/gauge/histogram the
+//! toolchain recorded along the way.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pipeline -- --metrics-out BENCH_pipeline.json
+//! ```
+//!
+//! (`ECOHMEM_BENCH_OUT=FILE` aggregates instead of overwriting, merging
+//! this run under its label next to other bench bins' documents.)
+
+use bench::{Runner, Table};
+use ecohmem_core::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let runner = Runner::from_env("pipeline");
+    // The whole point of this bin is the metrics document; collect even
+    // when neither --metrics-out nor ECOHMEM_OBS was given.
+    ecohmem_obs::set_enabled(true);
+
+    let apps = ["minife", "lulesh", "hpcg"];
+    let cfg = PipelineConfig::paper_default();
+    let rows = runner.map(apps.to_vec(), |name| {
+        let app = workloads::model_by_name(name).expect("built-in workload");
+        let out = run_pipeline(&app, &cfg).expect("strict pipeline on a built-in workload");
+        (name, out.placed.total_time, out.memory_mode.total_time, out.speedup(), out.report.len())
+    });
+
+    let mut t = Table::new(&["app", "placed_s", "memory_mode_s", "speedup", "report_sites"]);
+    for (name, placed, baseline, speedup, sites) in rows {
+        t.row(vec![
+            name.into(),
+            format!("{placed:.2}"),
+            format!("{baseline:.2}"),
+            format!("{speedup:.3}"),
+            sites.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    runner.report();
+}

@@ -10,6 +10,7 @@ use memtrace::TierId;
 use viz::{BarChart, BarGroup, LineChart, Series};
 
 fn main() {
+    let runner = bench::Runner::from_env("render_figures");
     let outdir = std::env::args().nth(1).unwrap_or_else(|| "figures".into());
     std::fs::create_dir_all(&outdir).expect("create output dir");
     let machine = MachineConfig::optane_pmem6();
@@ -147,6 +148,7 @@ fn main() {
     write(&outdir, "table8_production.svg", &t8.render());
 
     eprintln!("figures written to {outdir}/");
+    runner.report();
 }
 
 fn write(dir: &str, name: &str, content: &str) {

@@ -12,6 +12,7 @@ use ecohmem_core::{run_pipeline, PipelineConfig};
 use memtrace::StackFormat;
 
 fn main() {
+    let runner = bench::Runner::from_env("secd_callstack_format");
     let app = workloads::openfoam::model();
     let debug_bytes = app.binmap.total_debug_info_bytes() * app.ranks as u64;
     let debug_gib = debug_bytes.div_ceil(1 << 30);
@@ -48,4 +49,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("\npaper: BOM ≈ 1.061, human-readable ≈ 0.66");
+    runner.report();
 }

@@ -8,6 +8,7 @@ use memtrace::{StackFormat, TierId};
 use profiler::{analyze, profile_run, ProfilerConfig};
 
 fn main() {
+    let runner = bench::Runner::from_env("table1_formats");
     let app = workloads::minife::model();
     let machine = MachineConfig::optane_pmem6();
     let (trace, _) = profile_run(
@@ -33,4 +34,5 @@ fn main() {
     for line in hr.render_text(&profile.binmap, tier_name).lines().take(6) {
         println!("{line}");
     }
+    runner.report();
 }

@@ -23,6 +23,7 @@ fn region(bw: f64, peak: f64) -> &'static str {
 }
 
 fn main() {
+    let runner = bench::Runner::from_env("table234_classify");
     let app = workloads::lulesh::model();
     let machine = MachineConfig::optane_pmem6();
     let (trace, _) = profile_run(
@@ -93,4 +94,5 @@ fn main() {
         "\nthresholds: T_ALLOC=2, T_PMEMLOW={:.2e} B/s (20% of peak), T_PMEMHIGH={:.2e} B/s (40% of peak)",
         classification.low_bw, classification.high_bw
     );
+    runner.report();
 }

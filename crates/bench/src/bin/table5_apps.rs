@@ -5,6 +5,7 @@
 use bench::Table;
 
 fn main() {
+    let runner = bench::Runner::from_env("table5_apps");
     let mut t = Table::new(&[
         "app",
         "version",
@@ -25,4 +26,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    runner.report();
 }

@@ -23,6 +23,7 @@
 //! `ecohmem_core::run_pipeline`) shares those simulations with every other
 //! job in the process, across threads.
 
+use ecohmem_obs::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -37,15 +38,23 @@ pub struct Runner {
     hits_at_start: u64,
     misses_at_start: u64,
     engine_runs_at_start: u64,
+    /// Where to write the `RunMetrics` JSON document, if requested.
+    metrics_out: Option<String>,
 }
 
 impl Runner {
     /// Builds a runner named `label` (shown in the stats line), taking the
     /// worker count from `--jobs N` / `--jobs=N` on the command line, then
-    /// `ECOHMEM_JOBS`, then the available parallelism.
+    /// `ECOHMEM_JOBS`, then the available parallelism. `--metrics-out PATH`
+    /// (or `--metrics-out=PATH`) additionally turns observability on and
+    /// makes [`Runner::report`] write the run's `RunMetrics` document there.
     pub fn from_env(label: &str) -> Self {
         let jobs = jobs_from_args(std::env::args().skip(1)).unwrap_or_else(memsim::jobs_from_env);
-        Self::with_jobs(label, jobs)
+        let runner = Self::with_jobs(label, jobs);
+        match metrics_out_from_args(std::env::args().skip(1)) {
+            Some(path) => runner.with_metrics_out(path),
+            None => runner,
+        }
     }
 
     /// Builds a runner with an explicit worker count (clamped to ≥ 1).
@@ -58,7 +67,16 @@ impl Runner {
             hits_at_start: memsim::global_cache().hits(),
             misses_at_start: memsim::global_cache().misses(),
             engine_runs_at_start: memsim::run_invocations(),
+            metrics_out: None,
         }
+    }
+
+    /// Routes the `RunMetrics` document to `path` at [`Runner::report`]
+    /// time. Forces observability on so there is something to report.
+    pub fn with_metrics_out(mut self, path: impl Into<String>) -> Self {
+        ecohmem_obs::set_enabled(true);
+        self.metrics_out = Some(path.into());
+        self
     }
 
     /// The worker count this runner maps with.
@@ -101,6 +119,11 @@ impl Runner {
 
     /// Prints the end-of-run statistics line to stderr. Call once, after
     /// the last `map`; stdout stays clean for table output.
+    ///
+    /// When `--metrics-out` was given, also writes the `RunMetrics` JSON
+    /// document there, and when `ECOHMEM_BENCH_OUT` names an aggregate
+    /// file, merges this run's document into it under the runner's label
+    /// (so a sequence of bench bins builds up one `BENCH_pipeline.json`).
     pub fn report(&self) {
         let wall = self.started.elapsed().as_secs_f64();
         let busy = self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
@@ -117,7 +140,41 @@ impl Runner {
             busy,
             speedup,
         );
+        let doc = ecohmem_obs::run_metrics(&self.label, wall);
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = std::fs::write(path, doc.to_string_pretty() + "\n") {
+                eprintln!("[runner] {}: cannot write {path}: {e}", self.label);
+            }
+        }
+        if let Ok(agg) = std::env::var("ECOHMEM_BENCH_OUT") {
+            if !agg.is_empty() {
+                if let Err(e) = merge_into_aggregate(&agg, &self.label, doc) {
+                    eprintln!("[runner] {}: cannot update {agg}: {e}", self.label);
+                }
+            }
+        }
     }
+}
+
+/// Merges one run's `RunMetrics` document into the aggregate JSON file at
+/// `path`, keyed by the runner label (replacing an earlier entry with the
+/// same label). The aggregate is a plain object so post-processing stays a
+/// one-liner in any language.
+fn merge_into_aggregate(path: &str, label: &str, doc: Json) -> std::io::Result<()> {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(&text).unwrap_or(Json::Null),
+        Err(_) => Json::Null,
+    };
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::obj(vec![("schema", Json::str("ecohmem.bench_aggregate/1"))]);
+    }
+    if let Json::Obj(pairs) = &mut root {
+        match pairs.iter_mut().find(|(k, _)| k == label) {
+            Some(slot) => slot.1 = doc,
+            None => pairs.push((label.to_string(), doc)),
+        }
+    }
+    std::fs::write(path, root.to_string_pretty() + "\n")
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from an argument stream. Returns `None`
@@ -129,6 +186,20 @@ fn jobs_from_args<I: Iterator<Item = String>>(mut args: I) -> Option<usize> {
         }
         if let Some(v) = a.strip_prefix("--jobs=") {
             return v.parse::<usize>().ok().map(|n| n.max(1));
+        }
+    }
+    None
+}
+
+/// Extracts `--metrics-out PATH` / `--metrics-out=PATH` from an argument
+/// stream. Returns `None` when absent or missing its value.
+fn metrics_out_from_args<I: Iterator<Item = String>>(mut args: I) -> Option<String> {
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().filter(|v| !v.is_empty());
+        }
+        if let Some(v) = a.strip_prefix("--metrics-out=") {
+            return Some(v.to_string()).filter(|v| !v.is_empty());
         }
     }
     None
@@ -149,6 +220,50 @@ mod tests {
         assert_eq!(jobs_from_args(argv(&["--jobs", "0"])), Some(1));
         assert_eq!(jobs_from_args(argv(&["--jobs", "soup"])), None);
         assert_eq!(jobs_from_args(argv(&["--fast"])), None);
+    }
+
+    #[test]
+    fn metrics_out_flag_parses_both_spellings() {
+        assert_eq!(
+            metrics_out_from_args(argv(&["--metrics-out", "m.json"])),
+            Some("m.json".into())
+        );
+        assert_eq!(
+            metrics_out_from_args(argv(&["--metrics-out=x/y.json"])),
+            Some("x/y.json".into())
+        );
+        assert_eq!(metrics_out_from_args(argv(&["--metrics-out"])), None);
+        assert_eq!(metrics_out_from_args(argv(&["--metrics-out="])), None);
+        assert_eq!(metrics_out_from_args(argv(&["--jobs", "4"])), None);
+    }
+
+    #[test]
+    fn report_writes_metrics_document_and_aggregate() {
+        let dir = std::env::temp_dir().join(format!("ecohmem-runner-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let agg = dir.join("agg.json");
+
+        let r = Runner::with_jobs("emit-test", 2)
+            .with_metrics_out(metrics.to_string_lossy().into_owned());
+        ecohmem_obs::count("runner.emit.test", 3);
+        std::env::set_var("ECOHMEM_BENCH_OUT", &agg);
+        r.report();
+        // A second runner must merge, not clobber, the aggregate.
+        Runner::with_jobs("emit-test-2", 1)
+            .with_metrics_out(metrics.to_string_lossy().into_owned())
+            .report();
+        std::env::remove_var("ECOHMEM_BENCH_OUT");
+
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ecohmem.run_metrics/1"));
+        let counters = doc.get("metrics").unwrap().get("counters").unwrap();
+        assert!(counters.get("runner.emit.test").and_then(Json::as_u64) >= Some(3));
+
+        let agg_doc = Json::parse(&std::fs::read_to_string(&agg).unwrap()).unwrap();
+        assert!(agg_doc.get("emit-test").is_some(), "first label present");
+        assert!(agg_doc.get("emit-test-2").is_some(), "second label merged in");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,16 +16,17 @@
 //! salvage-and-warn with `--lenient`.
 
 use advisor::{Advisor, AdvisorConfig, Algorithm};
-use cli::{ok_or_die, usage_error, Args};
+use cli::{ok_or_die, usage_error, Args, MetricsOut};
 use ecohmem_online::{stream_profile, DegradationPolicy, OnlineConfig};
 use memtrace::{StackFormat, TierId};
 
 const USAGE: &str = "ecohmem-advise <trace.json> [--dram-gib N] [--config advisor.json] \
                      [--stores] [--bw-aware] [--format bom|hr] [--text] [--out FILE] \
-                     [--stream] [--lenient]";
+                     [--stream] [--lenient] [--metrics-out FILE]";
 
 fn main() {
     let args = Args::from_env();
+    let metrics = MetricsOut::from_args("ecohmem-advise", &args);
     let Some(path) = args.positional.first() else {
         usage_error("ecohmem-advise", "missing trace file", USAGE);
     };
@@ -105,4 +106,5 @@ fn main() {
         algorithm,
         format,
     );
+    metrics.finish();
 }

@@ -5,12 +5,14 @@
 //! ecohmem-inspect <trace.json> [--top N] [--bw-series]
 //! ```
 
-use cli::{ok_or_die, usage_error, Args};
+use cli::{ok_or_die, usage_error, Args, MetricsOut};
 
-const USAGE: &str = "ecohmem-inspect <trace.json> [--top N] [--bw-series] [--timeline] [--lenient]";
+const USAGE: &str = "ecohmem-inspect <trace.json> [--top N] [--bw-series] [--timeline] \
+                     [--lenient] [--metrics-out FILE]";
 
 fn main() {
     let args = Args::from_env();
+    let metrics = MetricsOut::from_args("ecohmem-inspect", &args);
     let Some(path) = args.positional.first() else {
         usage_error("ecohmem-inspect", "missing trace file", USAGE);
     };
@@ -67,4 +69,5 @@ fn main() {
             println!("{t:8.1} {:8.2}", bw / 1e9);
         }
     }
+    metrics.finish();
 }

@@ -6,15 +6,16 @@
 //!                 [--seed N] [--out FILE]
 //! ```
 
-use cli::{machine_by_name, ok_or_die, usage_error, Args};
+use cli::{machine_by_name, ok_or_die, usage_error, Args, MetricsOut};
 use memsim::{ExecMode, FixedTier};
 use profiler::{profile_run, ProfilerConfig};
 
 const USAGE: &str = "ecohmem-profile <app> [--machine pmem6|pmem2|hbm] [--rate HZ] \
-                     [--seed N] [--out FILE] [--binary]";
+                     [--seed N] [--out FILE] [--binary] [--metrics-out FILE]";
 
 fn main() {
     let args = Args::from_env();
+    let metrics = MetricsOut::from_args("ecohmem-profile", &args);
     let Some(app_name) = args.positional.first() else {
         usage_error("ecohmem-profile", "missing application name", USAGE);
     };
@@ -50,4 +51,5 @@ fn main() {
         trace.sample_count(),
         result.total_time
     );
+    metrics.finish();
 }

@@ -18,18 +18,20 @@
 //! run itself and migrates objects across tiers at phase boundaries, each
 //! migration paying bytes/bandwidth plus a fixed overhead.
 
-use cli::{machine_by_name, ok_or_die, usage_error, Args};
+use cli::{machine_by_name, ok_or_die, usage_error, Args, MetricsOut};
 use ecohmem_online::{OnlineConfig, OnlinePolicy};
 use flexmalloc::FlexMalloc;
 use memsim::{run, ExecMode};
 use memtrace::PlacementReport;
 
 const USAGE: &str = "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] \
-                     [--no-baseline] [--lenient] [--jobs N] | ecohmem-run <app> --online \
-                     [--dram-gib N] [--epoch-phases N] [--machine ...] [--no-baseline] [--jobs N]";
+                     [--no-baseline] [--lenient] [--jobs N] [--metrics-out FILE] | ecohmem-run \
+                     <app> --online [--dram-gib N] [--epoch-phases N] [--machine ...] \
+                     [--no-baseline] [--jobs N] [--metrics-out FILE]";
 
 fn main() {
     let args = Args::from_env();
+    let metrics = MetricsOut::from_args("ecohmem-run", &args);
     let Some(app_name) = args.positional.first() else {
         usage_error("ecohmem-run", "missing application name", USAGE);
     };
@@ -43,6 +45,7 @@ fn main() {
 
     if args.has("online") {
         run_online(&args, app_name, &app, &machine);
+        metrics.finish();
         return;
     }
 
@@ -96,6 +99,7 @@ fn main() {
             mm.total_time / placed.total_time
         );
     }
+    metrics.finish();
 }
 
 /// The `--online` mode: dynamic placement by the incremental advisor, no

@@ -87,6 +87,42 @@ impl Args {
     }
 }
 
+/// Handles the shared `--metrics-out PATH` flag: when the flag is present,
+/// construction turns observability on ([`ecohmem_obs::set_enabled`]) so
+/// the run records metrics, and [`MetricsOut::finish`] writes the
+/// `RunMetrics` JSON document (schema `ecohmem.run_metrics/1`) to PATH.
+/// Without the flag both are no-ops, so tools can call this
+/// unconditionally.
+#[derive(Debug)]
+pub struct MetricsOut {
+    label: String,
+    path: Option<String>,
+    started: std::time::Instant,
+}
+
+impl MetricsOut {
+    /// Reads `--metrics-out` from parsed arguments; `label` (the tool
+    /// name) becomes the document's `label` field.
+    pub fn from_args(label: &str, args: &Args) -> MetricsOut {
+        let path = args.opt("metrics-out").map(str::to_string);
+        if path.is_some() {
+            ecohmem_obs::set_enabled(true);
+        }
+        MetricsOut { label: label.to_string(), path, started: std::time::Instant::now() }
+    }
+
+    /// Writes the `RunMetrics` document if `--metrics-out` was given. Call
+    /// once, after the tool's real work.
+    pub fn finish(&self) {
+        let Some(path) = &self.path else { return };
+        let wall = self.started.elapsed().as_secs_f64();
+        let doc = ecohmem_obs::run_metrics(&self.label, wall);
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty() + "\n") {
+            eprintln!("{}: error: cannot write metrics to {path}: {e}", self.label);
+        }
+    }
+}
+
 /// Loads a trace file in either encoding, sniffing the binary magic.
 pub fn load_trace(path: &str) -> Result<TraceFile, TraceError> {
     let data = std::fs::read(path)?;
@@ -192,6 +228,23 @@ mod tests {
         let a = Args::parse(["--a", "--b"].map(String::from));
         assert!(a.has("a"));
         assert!(a.has("b"));
+    }
+
+    #[test]
+    fn metrics_out_writes_a_document_only_when_asked() {
+        // Without the flag, finish() is a no-op.
+        MetricsOut::from_args("unit", &Args::default()).finish();
+
+        let path = std::env::temp_dir().join(format!("ecohmem-cli-metrics-{}", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let a = Args::parse(["--metrics-out", path_str.as_str()].map(String::from));
+        let m = MetricsOut::from_args("unit", &a);
+        ecohmem_obs::incr("cli.metrics.test");
+        m.finish();
+        let doc = ecohmem_obs::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("label").and_then(ecohmem_obs::Json::as_str), Some("unit"));
+        assert!(doc.get("metrics").is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

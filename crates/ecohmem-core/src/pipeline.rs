@@ -103,6 +103,7 @@ impl PipelineOutcome {
 /// worst case with an all-fallback placement, which is a slower run, not a
 /// failed one.
 pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutcome, TraceError> {
+    let _span = ecohmem_obs::span("pipeline.run");
     let mut warnings: Vec<Warning> = Vec::new();
 
     // 1. Profile: the paper profiles the production-ready binary on the
@@ -112,14 +113,17 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
     // two share a single simulation, and sweeps that vary only the advisor
     // configuration re-profile for free.
     let backing = cfg.machine.largest_tier();
-    let (mut trace, _profiling_run) =
-        profile_run_cached(app, &cfg.machine, ExecMode::MemoryMode, backing, &cfg.profiler);
+    let (mut trace, _profiling_run) = {
+        let _span = ecohmem_obs::span("pipeline.profile");
+        profile_run_cached(app, &cfg.machine, ExecMode::MemoryMode, backing, &cfg.profiler)
+    };
     for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Trace) {
         warnings.extend(f.apply_to_trace(&mut trace));
     }
 
     // 2. Analyze (Paramedir). Strict fails on the first malformed event;
     // the lenient policies sanitize the trace and analyze the remainder.
+    let _analyze_span = ecohmem_obs::span("pipeline.analyze");
     let profile = match cfg.policy {
         DegradationPolicy::Strict => analyze(&trace)?,
         policy => {
@@ -145,7 +149,10 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
         }
     };
 
+    drop(_analyze_span);
+
     // 3. Advise.
+    let _advise_span = ecohmem_obs::span("pipeline.advise");
     let advisor = Advisor::new(cfg.advisor.clone()).with_thresholds(cfg.thresholds);
     let (_, classification) = advisor.assign(&profile, cfg.algorithm);
     let mut report = match advisor.advise(&profile, cfg.algorithm, cfg.stack_format) {
@@ -162,6 +169,8 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
     for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Report) {
         warnings.extend(f.apply_to_report(&mut report));
     }
+
+    drop(_advise_span);
 
     // 4. Deploy: same binary, new execution, new ASLR layout, FlexMalloc
     // interposing with the report. A stale report aborts Strict runs; the
@@ -187,11 +196,17 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
             fm
         }
     };
-    let placed = run(app, &cfg.machine, ExecMode::AppDirect, &mut interposer);
+    let placed = {
+        let _span = ecohmem_obs::span("pipeline.deploy");
+        run(app, &cfg.machine, ExecMode::AppDirect, &mut interposer)
+    };
     let match_stats = interposer.stats();
 
     // 5. Baseline for comparison.
-    let memory_mode = baselines::run_memory_mode(app, &cfg.machine);
+    let memory_mode = {
+        let _span = ecohmem_obs::span("pipeline.baseline");
+        baselines::run_memory_mode(app, &cfg.machine)
+    };
 
     let degraded = !warnings.is_empty();
     Ok(PipelineOutcome {

@@ -205,6 +205,9 @@ impl Matcher {
             ));
         }
 
+        ecohmem_obs::count("flexmalloc.entries.unresolvable", unresolvable);
+        ecohmem_obs::count("flexmalloc.entries.collisions", collisions);
+
         Ok((
             Matcher {
                 format: report.format,
@@ -260,16 +263,24 @@ impl Matcher {
         binmap: &BinaryMap,
         layout: &LoadMap,
     ) -> Option<TierId> {
-        match self.format {
+        let hit = match self.format {
             StackFormat::Bom => self.by_address.get(captured).copied(),
             StackFormat::HumanReadable => {
                 // Translate each captured address via debug info, then
                 // compare the rendered human-readable stack.
-                let canonical: CallStack = layout.canonicalize(captured)?;
-                let human = binmap.translate(&canonical).ok()?;
-                self.by_location.get(&human.render()).copied()
+                (|| {
+                    let canonical: CallStack = layout.canonicalize(captured)?;
+                    let human = binmap.translate(&canonical).ok()?;
+                    self.by_location.get(&human.render()).copied()
+                })()
             }
+        };
+        if hit.is_some() {
+            ecohmem_obs::incr("flexmalloc.match.hits");
+        } else {
+            ecohmem_obs::incr("flexmalloc.match.misses");
         }
+        hit
     }
 }
 

@@ -92,6 +92,8 @@ pub fn run(
     policy: &mut dyn PlacementPolicy,
 ) -> RunResult {
     RUN_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let _span = ecohmem_obs::span("memsim.run");
+    ecohmem_obs::incr("memsim.engine.runs");
     app.validate().expect("invalid application model");
     machine.validate().expect("invalid machine configuration");
 
@@ -354,6 +356,14 @@ pub fn run(
 
     // Derived from the per-phase stats so the two can never disagree.
     let total_migrated_bytes: u64 = phases_out.iter().map(|p| p.migrated_bytes).sum();
+
+    ecohmem_obs::count("memsim.engine.migrations", total_migrations);
+    ecohmem_obs::count("memsim.engine.migrated_bytes", total_migrated_bytes);
+    ecohmem_obs::count("memsim.engine.oom_events", oom_events);
+    ecohmem_obs::count("memsim.engine.fallback_allocs", fallback_allocs);
+    for h in &heaps {
+        ecohmem_obs::gauge_raise(&format!("memsim.{}.peak_bytes", h.tier()), h.peak() as f64);
+    }
 
     RunResult {
         app: app.name.clone(),

@@ -150,8 +150,10 @@ impl RunCache {
             .clone();
         if ran {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            ecohmem_obs::incr("memsim.cache.misses");
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ecohmem_obs::incr("memsim.cache.hits");
         }
         result
     }

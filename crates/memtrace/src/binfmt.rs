@@ -76,9 +76,9 @@ pub fn write_trace<W: Write>(trace: &TraceFile, mut w: W) -> Result<(), TraceErr
 
     // Header: everything but the events, as length-prefixed JSON (small).
     let header = TraceFile { events: Vec::new(), ..trace.clone() };
-    let header_json = serde_json::to_vec(&header)?;
+    let header_json = header.to_json()?;
     put_varint(&mut out, header_json.len() as u64);
-    out.extend_from_slice(&header_json);
+    out.extend_from_slice(header_json.as_bytes());
 
     // Events: tagged records with delta-coded µs timestamps.
     put_varint(&mut out, trace.events.len() as u64);
@@ -142,7 +142,9 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
         .checked_add(header_len)
         .filter(|&e| e <= data.len())
         .ok_or_else(|| TraceError::Malformed("truncated header".into()))?;
-    let mut trace: TraceFile = serde_json::from_slice(&data[pos..header_end])?;
+    let header_text = std::str::from_utf8(&data[pos..header_end])
+        .map_err(|_| TraceError::Malformed("header is not utf-8".into()))?;
+    let mut trace = TraceFile::from_json(header_text)?;
     pos = header_end;
 
     let n_events = get_varint(&data, &mut pos)? as usize;

@@ -82,6 +82,12 @@ pub struct BinaryMap {
 }
 
 impl BinaryMap {
+    /// Rebuilds a map from deserialized modules (crate-internal: the JSON
+    /// codec needs it; everyone else goes through [`BinaryMapBuilder`]).
+    pub(crate) fn from_modules(modules: Vec<ModuleInfo>) -> Self {
+        BinaryMap { modules }
+    }
+
     /// All modules, in id order.
     pub fn modules(&self) -> &[ModuleInfo] {
         &self.modules

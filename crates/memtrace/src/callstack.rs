@@ -210,10 +210,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = stack();
-        let j = serde_json::to_string(&s).unwrap();
-        let back: CallStack = serde_json::from_str(&j).unwrap();
+        let j = crate::jsonio::stack_to_json(&s).to_string_compact();
+        let parsed = ecohmem_obs::json::Json::parse(&j).unwrap();
+        let back = crate::jsonio::stack_from_json(&parsed).unwrap();
         assert_eq!(s, back);
     }
 

@@ -37,7 +37,7 @@ pub enum TraceError {
         /// 1-based column of the first offending byte (0 when unknown).
         column: usize,
         /// The underlying error.
-        source: serde_json::Error,
+        source: ecohmem_obs::json::JsonError,
     },
 }
 
@@ -92,9 +92,9 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
-impl From<serde_json::Error> for TraceError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceError::Parse { line: e.line(), column: e.column(), source: e }
+impl From<ecohmem_obs::json::JsonError> for TraceError {
+    fn from(e: ecohmem_obs::json::JsonError) -> Self {
+        TraceError::Parse { line: e.line, column: e.column, source: e }
     }
 }
 
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_position_and_source() {
-        let e: TraceError = serde_json::from_str::<u32>("not json").unwrap_err().into();
+        let e: TraceError = ecohmem_obs::json::Json::parse("not json").unwrap_err().into();
         assert!(e.is_parse());
         assert!(e.io_kind().is_none());
         assert!(e.to_string().contains("line 1"), "{e}");

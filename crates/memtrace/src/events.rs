@@ -142,10 +142,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let e = TraceEvent::PhaseMarker { time: 2.0, phase: 3 };
-        let j = serde_json::to_string(&e).unwrap();
-        let back: TraceEvent = serde_json::from_str(&j).unwrap();
+        let j = crate::jsonio::event_to_json(&e).to_string_compact();
+        let parsed = ecohmem_obs::json::Json::parse(&j).unwrap();
+        let back = crate::jsonio::event_from_json(&parsed).unwrap();
         assert_eq!(e, back);
     }
 }

@@ -21,6 +21,7 @@ pub mod error;
 pub mod events;
 pub mod fault;
 pub mod ids;
+mod jsonio;
 pub mod report;
 pub mod textfmt;
 pub mod trace;

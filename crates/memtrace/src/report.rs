@@ -148,12 +148,13 @@ impl PlacementReport {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> Result<String, TraceError> {
-        Ok(serde_json::to_string(self)?)
+        Ok(crate::jsonio::report_to_json(self).to_string_compact())
     }
 
     /// Deserializes from JSON.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        Ok(serde_json::from_str(json)?)
+        let value = ecohmem_obs::json::Json::parse(json)?;
+        Ok(crate::jsonio::report_from_json(&value)?)
     }
 
     /// Writes the report as JSON.

@@ -12,11 +12,6 @@ use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Serde default for the sample-period fields (legacy traces omit them).
-fn one() -> f64 {
-    1.0
-}
-
 /// A complete profiling trace: run metadata, the site table mapping
 /// allocation sites to their call stacks, the program image description,
 /// and the time-ordered event stream.
@@ -33,10 +28,8 @@ pub struct TraceFile {
     /// LLC load misses represented by each load-miss sample (the effective
     /// PEBS period). Consumers multiply sample counts by this to estimate
     /// absolute miss counts.
-    #[serde(default = "one")]
     pub load_sample_period: f64,
     /// Stores represented by each store sample.
-    #[serde(default = "one")]
     pub store_sample_period: f64,
     /// Wall-clock duration of the profiled run, seconds.
     pub duration: f64,
@@ -81,6 +74,14 @@ impl TraceFile {
         let mut last_t = f64::NEG_INFINITY;
         for (i, e) in self.events.iter().enumerate() {
             let t = e.time();
+            // NaN would sail through the ordering check below (every
+            // comparison against it is false), so reject non-finite times
+            // explicitly — symmetric with what sanitize() drops.
+            if !t.is_finite() {
+                return Err(TraceError::Malformed(format!(
+                    "event {i} has non-finite timestamp {t}"
+                )));
+            }
             if t < last_t {
                 return Err(TraceError::Malformed(format!(
                     "event {i} at t={t} precedes previous event at t={last_t}"
@@ -122,12 +123,13 @@ impl TraceFile {
 
     /// Serializes the trace to JSON.
     pub fn to_json(&self) -> Result<String, TraceError> {
-        Ok(serde_json::to_string(self)?)
+        Ok(crate::jsonio::trace_to_json(self).to_string_compact())
     }
 
     /// Deserializes a trace from JSON.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        Ok(serde_json::from_str(json)?)
+        let value = ecohmem_obs::json::Json::parse(json)?;
+        Ok(crate::jsonio::trace_from_json(&value)?)
     }
 
     /// Writes the trace to a writer as JSON.
@@ -260,9 +262,11 @@ impl TraceFile {
         }
         self.events = kept;
         for (kind, n, first) in tallies {
+            ecohmem_obs::count("memtrace.sanitize.dropped_events", n);
             warnings
                 .push(Warning::new(kind, format!("dropped {n} event(s), first at index {first}")));
         }
+        ecohmem_obs::count("memtrace.sanitize.repairs", warnings.len() as u64);
         warnings
     }
 
@@ -280,19 +284,39 @@ impl TraceFile {
         let Some(repaired) = repair_truncated_json(json) else {
             return Err(original);
         };
+        let truncation_warning = || {
+            vec![Warning::new(
+                WarningKind::TruncatedInput,
+                format!(
+                    "input truncated: salvaged a {}-byte valid prefix of {} bytes",
+                    repaired.len(),
+                    json.len()
+                ),
+            )]
+        };
         match Self::from_json(&repaired) {
-            Ok(t) => Ok((
-                t,
-                vec![Warning::new(
-                    WarningKind::TruncatedInput,
-                    format!(
-                        "input truncated: salvaged a {}-byte valid prefix of {} bytes",
-                        repaired.len(),
-                        json.len()
-                    ),
-                )],
-            )),
-            Err(_) => Err(original),
+            Ok(t) => Ok((t, truncation_warning())),
+            Err(_) => {
+                // Bracket repair can leave the *last* event structurally
+                // closed but missing fields (the cut fell inside it). That
+                // single event is part of the torn tail: drop it and retry
+                // once. If the schema problem is anywhere else, repair
+                // cannot help and the original error stands.
+                let Ok(mut value) = ecohmem_obs::json::Json::parse(&repaired) else {
+                    return Err(original);
+                };
+                let popped = match value.get_mut("events") {
+                    Some(ecohmem_obs::json::Json::Arr(events)) => events.pop().is_some(),
+                    _ => false,
+                };
+                if !popped {
+                    return Err(original);
+                }
+                match crate::jsonio::trace_from_json(&value) {
+                    Ok(t) => Ok((t, truncation_warning())),
+                    Err(_) => Err(original),
+                }
+            }
         }
     }
 

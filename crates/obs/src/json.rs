@@ -1,0 +1,598 @@
+//! A small, dependency-free JSON value model, writer and parser.
+//!
+//! Every artifact the toolchain persists — trace files, placement reports,
+//! advisor configurations, metrics documents, the JSONL event sink — goes
+//! through this module. It exists because the pipeline must keep working on
+//! air-gapped HPC login nodes where we control exactly what ships; the
+//! grammar is RFC 8259 with two deliberate choices:
+//!
+//! * Numbers preserve integer-ness: a literal without `.`/`e` that fits in
+//!   `u64`/`i64` round-trips exactly (addresses and byte sizes exceed 2^53,
+//!   where `f64` starts dropping bits).
+//! * Non-finite floats serialize as `null`; [`Json::as_f64`] reads `null`
+//!   back as NaN. JSON has no NaN literal and the fault injector produces
+//!   NaN timestamps on purpose, so the round-trip must not invent one.
+
+use std::fmt;
+
+/// A parsed JSON value. Objects keep insertion order so that serialized
+/// documents (golden files, metrics reports) are byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    U64(u64),
+    /// A negative integer literal.
+    I64(i64),
+    /// Any literal with a fraction or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs (keeps the given order).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float value; non-finite inputs become `null` (see module docs).
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::F64(v)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup of a key in an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            Json::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(v) => Some(*v),
+            Json::U64(v) => i64::try_from(*v).ok(),
+            Json::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`. `null` reads back as NaN (see module docs).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::with_capacity(64);
+        write_value(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::with_capacity(256);
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+
+    /// Parses a JSON document. Trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// A parse failure with 1-based line/column of the offending byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// 1-based line of the first offending byte.
+    pub line: usize,
+    /// 1-based column of the first offending byte.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {} column {}", self.message, self.line, self.column)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_value(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::U64(n) => {
+            let mut buf = [0u8; 20];
+            out.push_str(fmt_u64(*n, &mut buf));
+        }
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::F64(f) => write_f64(*f, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(out, indent, depth, items.is_empty(), b'[', |out| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                write_value(item, out, indent, depth + 1);
+            }
+        }),
+        Json::Obj(pairs) => write_seq(out, indent, depth, pairs.is_empty(), b'{', |out| {
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: u8,
+    body: impl FnOnce(&mut String),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if empty {
+        out.push(close);
+        return;
+    }
+    body(out);
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ascii")
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display for f64 is the shortest string that round-trips, but
+    // it omits the fraction for integral values ("3") — re-add ".0" so the
+    // parser preserves float-ness on the way back in.
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting deeper than this is rejected rather than risking stack overflow
+/// on adversarial input (the fault injector feeds us damaged files).
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError { line, column: col, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        c => {
+                            return Err(self.err(format!("bad escape '\\{}'", c as char)));
+                        }
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: require the low half.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            Ok(_) => Err(self.err("number out of range")),
+            Err(_) => Err(self.err(format!("invalid number '{text}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for doc in ["null", "true", "false", "0", "-7", "18446744073709551615", "\"hi\""] {
+            let v = Json::parse(doc).unwrap();
+            assert_eq!(v.to_string_compact(), doc, "{doc}");
+        }
+    }
+
+    #[test]
+    fn big_integers_are_exact() {
+        let v = Json::parse("9007199254740993").unwrap(); // 2^53 + 1: f64 would lose it
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+    }
+
+    #[test]
+    fn floats_keep_float_ness() {
+        let v = Json::parse("3.0").unwrap();
+        assert_eq!(v, Json::F64(3.0));
+        assert_eq!(v.to_string_compact(), "3.0");
+        let v = Json::parse("1e3").unwrap();
+        assert_eq!(v.as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null_and_reads_back_nan() {
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY).to_string_compact(), "null");
+        assert!(Json::parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let doc = r#"{"b":[1,2,{"c":null}],"a":"x\n\"y\""}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.to_string_compact(), doc);
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x\n\"y\""));
+        let pretty = v.to_string_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""A😀\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("A😀\t"));
+        let s = Json::str("tab\tctl\u{1}").to_string_compact();
+        assert_eq!(Json::parse(&s).unwrap().as_str(), Some("tab\tctl\u{1}"));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = Json::parse("{\n  \"a\": nope\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.column > 1);
+        assert!(Json::parse("[1,").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

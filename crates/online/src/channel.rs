@@ -17,7 +17,9 @@ use crate::config::OnlineConfig;
 use crate::ingest::{StreamIngestor, StreamMeta};
 use memtrace::{DegradationPolicy, TraceError, TraceEvent, TraceFile, Warning};
 use profiler::ProfileSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A live streaming-ingestion session: producer handle on this side, the
@@ -26,6 +28,8 @@ use std::thread::JoinHandle;
 pub struct StreamSession {
     tx: Option<SyncSender<TraceEvent>>,
     consumer: JoinHandle<Result<StreamIngestor, TraceError>>,
+    /// Events sent but not yet consumed — the observed channel depth.
+    in_flight: Arc<AtomicU64>,
 }
 
 impl StreamSession {
@@ -33,14 +37,17 @@ impl StreamSession {
     /// `cfg.channel_capacity` (clamped to ≥ 1).
     pub fn spawn(meta: StreamMeta, policy: DegradationPolicy, cfg: OnlineConfig) -> Self {
         let (tx, rx) = sync_channel::<TraceEvent>(cfg.channel_capacity.max(1));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let consumer_depth = Arc::clone(&in_flight);
         let consumer = std::thread::spawn(move || {
             let mut ingestor = StreamIngestor::new(meta, policy, cfg);
             for event in rx {
+                consumer_depth.fetch_sub(1, Ordering::Relaxed);
                 ingestor.push(event)?;
             }
             Ok(ingestor)
         });
-        StreamSession { tx: Some(tx), consumer }
+        StreamSession { tx: Some(tx), consumer, in_flight }
     }
 
     /// Offers one event, blocking while the channel is full. Returns
@@ -48,7 +55,16 @@ impl StreamSession {
     /// producer should stop and call [`Self::finish`] for the error.
     pub fn send(&self, event: TraceEvent) -> bool {
         match &self.tx {
-            Some(tx) => tx.send(event).is_ok(),
+            Some(tx) => {
+                let depth = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                ecohmem_obs::gauge_raise("online.channel.depth_hwm", depth as f64);
+                ecohmem_obs::incr("online.events.streamed");
+                let ok = tx.send(event).is_ok();
+                if !ok {
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
+                ok
+            }
             None => false,
         }
     }

@@ -145,6 +145,8 @@ impl IncrementalAdvisor {
     /// Runs one epoch tick: refreshes dirtied sites from `source`,
     /// re-solves the placement, and returns the plan diff (sorted by site).
     pub fn tick(&mut self, source: &mut dyn ProfileSource, now: f64) -> Vec<PlacementRevision> {
+        let _span = ecohmem_obs::span("online.tick");
+        let rebuilt_before = self.rebuilt_sites;
         for site in source.take_dirty() {
             match source.site_profile(site, now) {
                 Some(p) => {
@@ -163,10 +165,13 @@ impl IncrementalAdvisor {
         if self.hysteresis > 0.0 {
             if let Some(prev) = &self.assignment {
                 let primary = self.config.primary().tier;
+                let mut boosted = 0u64;
                 for s in sites.iter_mut().filter(|s| prev.tier_of(s.site) == primary) {
                     s.load_misses_est *= 1.0 + self.hysteresis;
                     s.store_misses_est *= 1.0 + self.hysteresis;
+                    boosted += 1;
                 }
+                ecohmem_obs::count("online.hysteresis.boosted", boosted);
             }
         }
         let profile = ProfileSet {
@@ -186,6 +191,8 @@ impl IncrementalAdvisor {
         }
 
         let revisions = self.diff(&next, now);
+        ecohmem_obs::count("online.sites.rebuilt", self.rebuilt_sites - rebuilt_before);
+        ecohmem_obs::count("online.revisions.emitted", revisions.len() as u64);
         self.assignment = Some(next);
         self.epoch += 1;
         revisions

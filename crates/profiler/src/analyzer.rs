@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 /// Analyzes a trace into per-site profiles. Fails on malformed traces.
 pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
+    let _span = ecohmem_obs::span("analyzer.analyze");
     trace.validate()?;
 
     // Pass 1: object table from allocation events.
@@ -89,7 +90,7 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
             _ => {}
         }
     }
-    let _ = unmatched_samples; // kept for debugging; not fatal
+    ecohmem_obs::count("analyzer.samples.unmatched", unmatched_samples); // not fatal
 
     // Pass 3: system bandwidth series binned by phase markers.
     let mut bins: Vec<f64> = trace
@@ -191,6 +192,7 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
         });
     }
     sites.sort_by_key(|s| s.site);
+    ecohmem_obs::count("analyzer.sites.aggregated", sites.len() as u64);
 
     Ok(ProfileSet {
         app_name: trace.app_name.clone(),
@@ -211,6 +213,7 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
 pub fn analyze_lenient(trace: &TraceFile) -> (ProfileSet, Vec<Warning>) {
     let mut clean = trace.clone();
     let mut warnings = clean.sanitize();
+    ecohmem_obs::count("analyzer.lenient.repairs", warnings.len() as u64);
     match analyze(&clean) {
         Ok(p) => (p, warnings),
         Err(e) => {

@@ -85,6 +85,7 @@ fn site_functions(app: &AppModel) -> HashMap<SiteId, FuncId> {
 
 /// Builds the trace from an engine result.
 fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
+    let _span = ecohmem_obs::span("profiler.synthesize");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let funcs = site_functions(app);
 
@@ -153,6 +154,17 @@ fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) ->
     }
 
     events.sort_by(|a, b| a.time().partial_cmp(&b.time()).unwrap());
+
+    ecohmem_obs::count("profiler.events.emitted", events.len() as u64);
+    ecohmem_obs::count(
+        "profiler.samples.load_miss",
+        events.iter().filter(|e| matches!(e, TraceEvent::LoadMissSample { .. })).count() as u64,
+    );
+    ecohmem_obs::count(
+        "profiler.samples.store",
+        events.iter().filter(|e| matches!(e, TraceEvent::StoreSample { .. })).count() as u64,
+    );
+    ecohmem_obs::count("profiler.allocs.recorded", result.objects.len() as u64);
 
     TraceFile {
         app_name: app.name.clone(),

@@ -1,0 +1,127 @@
+//! Golden snapshot tests: the advisor's placement report and the run's
+//! normalized metrics document for the three reference workloads, pinned
+//! byte-for-byte against `tests/golden/*.json`.
+//!
+//! The pipeline is deterministic (seeded sampling, analytic simulation,
+//! insertion-ordered JSON), so these artifacts must not drift without an
+//! intentional change. When behaviour *does* change on purpose,
+//! regenerate the goldens and review the diff like any other code change:
+//!
+//! ```text
+//! ECOHMEM_BLESS=1 cargo test --test golden
+//! git diff tests/golden/
+//! ```
+//!
+//! The metrics golden is *normalized*: wall-clock and nanosecond span
+//! timings are volatile and excluded; what is pinned are the span counts
+//! per stage, every named counter, and every gauge — the numbers a
+//! placement decision can be audited against.
+//!
+//! Everything runs inside one test function in a fixed order: the obs
+//! registry and the memoization cache are process-global, so ordering is
+//! part of determinism.
+
+use ecohmem::prelude::*;
+use ecohmem_obs::Json;
+use std::path::PathBuf;
+
+const APPS: [&str; 3] = ["minife", "lulesh", "hpcg"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden when
+/// `ECOHMEM_BLESS=1`. A mismatch panics with a line diff, not two blobs.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("ECOHMEM_BLESS").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with ECOHMEM_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut diff = String::new();
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let (e, a) = (exp.get(i).copied(), act.get(i).copied());
+        if e == a {
+            continue;
+        }
+        diff.push_str(&format!("@@ line {}\n", i + 1));
+        if let Some(e) = e {
+            diff.push_str(&format!("- {e}\n"));
+        }
+        if let Some(a) = a {
+            diff.push_str(&format!("+ {a}\n"));
+        }
+        shown += 1;
+        if shown >= 20 {
+            diff.push_str("... (further differences elided)\n");
+            break;
+        }
+    }
+    panic!(
+        "{name} drifted from its golden ({} expected lines, {} actual); \
+         re-bless with ECOHMEM_BLESS=1 if intentional:\n{diff}",
+        exp.len(),
+        act.len(),
+    );
+}
+
+/// The normalized metrics document: span counts per stage, all counters,
+/// all gauges — no wall-clock, no nanoseconds.
+fn normalized_metrics(label: &str) -> String {
+    let snap = ecohmem_obs::snapshot();
+    let stages: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let stage = name.strip_prefix("span.")?.strip_suffix(".ns")?;
+            Some((stage.to_string(), Json::U64(h.count)))
+        })
+        .collect();
+    let counters: Vec<(String, Json)> =
+        snap.counters.iter().map(|(n, v)| (n.clone(), Json::U64(*v))).collect();
+    let gauges: Vec<(String, Json)> =
+        snap.gauges.iter().map(|(n, v)| (n.clone(), Json::f64(*v))).collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("ecohmem.golden_metrics/1")),
+        ("label".into(), Json::str(label)),
+        ("stages".into(), Json::Obj(stages)),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+    ])
+    .to_string_pretty()
+        + "\n"
+}
+
+#[test]
+fn pipeline_artifacts_match_goldens() {
+    for app_name in APPS {
+        let app = ecohmem::workloads::model_by_name(app_name).unwrap();
+        let cfg = PipelineConfig::paper_default();
+
+        ecohmem_obs::reset();
+        ecohmem_obs::set_enabled(true);
+        let out = run_pipeline(&app, &cfg).unwrap();
+
+        let mut report_json = out.report.to_json().expect("report serializes");
+        if !report_json.ends_with('\n') {
+            report_json.push('\n');
+        }
+        assert_matches_golden(&format!("{app_name}.report.json"), &report_json);
+        assert_matches_golden(&format!("{app_name}.metrics.json"), &normalized_metrics(app_name));
+    }
+}

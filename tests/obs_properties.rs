@@ -1,0 +1,118 @@
+//! Property tests for the observability layer under concurrency and
+//! faults: the metrics a placement decision is audited against must stay
+//! exact when recorded from `parallel_map` workers, and spans must stay
+//! balanced even when the pipeline is degrading around injected faults.
+//!
+//! The obs registry is process-global, so every property works on
+//! *deltas* from named metrics unique to this file — no resets, no
+//! cross-test interference even under the default parallel test harness.
+
+use ecohmem::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Counter value right now (0 if never touched).
+fn counter(name: &str) -> u64 {
+    ecohmem_obs::snapshot().counter(name)
+}
+
+proptest! {
+    /// Counter conservation + monotonicity under `parallel_map` with four
+    /// workers: the final value is the exact sum of every worker's
+    /// contributions, and a concurrent observer never sees it decrease —
+    /// no increment is lost, torn, or reordered into visibility twice.
+    #[test]
+    fn counters_conserve_and_stay_monotonic_under_parallel_map(
+        deltas in prop::collection::vec(0u64..1000, 1..50),
+    ) {
+        ecohmem_obs::set_enabled(true);
+        let name = "obsprop.counter.conservation";
+        let before = counter(name);
+        let expected: u64 = deltas.iter().sum();
+
+        let stop = AtomicBool::new(false);
+        let watched = std::thread::scope(|s| {
+            let watcher = s.spawn(|| {
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    seen.push(counter(name));
+                }
+                seen
+            });
+            memsim::parallel_map(deltas.clone(), 4, |d| ecohmem_obs::count(name, d));
+            stop.store(true, Ordering::Relaxed);
+            watcher.join().unwrap()
+        });
+
+        prop_assert_eq!(counter(name), before + expected);
+        prop_assert!(
+            watched.windows(2).all(|w| w[0] <= w[1]),
+            "observer saw the counter decrease: {:?}",
+            watched,
+        );
+    }
+
+    /// Histogram-sum conservation under `parallel_map` with four workers:
+    /// after every worker records its values, the histogram's exact sum
+    /// and observation count advance by exactly the recorded totals.
+    #[test]
+    fn histogram_sums_are_conserved_under_parallel_map(
+        values in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        ecohmem_obs::set_enabled(true);
+        let name = "obsprop.hist.conservation";
+        let snap = ecohmem_obs::snapshot();
+        let (sum0, count0) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| (h.sum, h.count))
+            .unwrap_or((0, 0));
+
+        let expected: u64 = values.iter().sum();
+        let n = values.len() as u64;
+        memsim::parallel_map(values.clone(), 4, |v| ecohmem_obs::observe(name, v));
+
+        let snap = ecohmem_obs::snapshot();
+        let (_, h) = snap.histograms.iter().find(|(nm, _)| nm == name).unwrap();
+        prop_assert_eq!(h.sum, sum0 + expected, "histogram sum must be exact, not sampled");
+        prop_assert_eq!(h.count, count0 + n);
+    }
+}
+
+/// Span begin/end pairing under injected faults: whatever a fault does to
+/// the toolchain — truncated streams, bogus timestamps, stale reports —
+/// every span that opened must close, on every path (including early
+/// returns and salvage branches), and the calling thread must end with an
+/// empty span stack. An imbalance here would mean some stage leaks its
+/// guard and every later timing nests under a stage that already ended.
+#[test]
+fn spans_stay_paired_under_injected_faults() {
+    ecohmem_obs::set_enabled(true);
+    let app = ecohmem::workloads::minife::model();
+    for kind in FaultKind::ALL {
+        for severity in [0.3, 1.0] {
+            let begin0 = counter("obs.span.begin");
+            let end0 = counter("obs.span.end");
+
+            let mut cfg = PipelineConfig::paper_default();
+            cfg.policy = DegradationPolicy::BestEffort;
+            cfg.faults = vec![FaultSpec::new(kind, severity)];
+            let out = run_pipeline(&app, &cfg);
+            assert!(out.is_ok(), "BestEffort must complete under {kind:?}@{severity}");
+
+            let begun = counter("obs.span.begin") - begin0;
+            let ended = counter("obs.span.end") - end0;
+            assert!(begun > 0, "{kind:?}@{severity}: the pipeline must open spans");
+            assert_eq!(
+                begun, ended,
+                "{kind:?}@{severity}: span begin/end imbalance ({begun} begun, {ended} ended)"
+            );
+            assert_eq!(
+                ecohmem_obs::thread_span_depth(),
+                0,
+                "{kind:?}@{severity}: span stack must unwind to empty"
+            );
+        }
+    }
+}

@@ -84,3 +84,67 @@ fn dirty_set_accounting_saves_rebuild_work() {
         naive,
     );
 }
+
+/// Satellite differential contract: ticking the incremental advisor over a
+/// *fully recorded* trace must converge to exactly the tier assignment the
+/// offline advisor derives from the batch-analyzed profile. Hysteresis is
+/// zero (the offline-equivalent setting), so after the final tick at the
+/// trace's end there is no information difference left between the paths.
+#[test]
+fn incremental_advisor_matches_offline_assignment_over_a_recorded_trace() {
+    use ecohmem_online::{StreamIngestor, StreamMeta};
+    use memsim::FixedTier;
+
+    for app_name in ["minife", "lulesh", "hpcg"] {
+        let app = ecohmem::workloads::model_by_name(app_name).unwrap();
+        let machine = MachineConfig::optane_pmem6();
+        let backing = machine.largest_tier();
+        let (trace, _) = profile_run(
+            &app,
+            &machine,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(backing),
+            &ProfilerConfig::default(),
+        );
+
+        // Offline: batch analysis, one knapsack solve over the whole profile.
+        let profile = analyze(&trace).unwrap();
+        let config = AdvisorConfig::loads_only(12);
+        let offline = advisor::knapsack::assign(&profile, &config);
+
+        // Online: the same events pushed through the streaming ingestor,
+        // with periodic mid-stream ticks (which may disagree — information
+        // is still arriving) and one final tick at the recorded duration.
+        let mut ingestor = StreamIngestor::new(
+            StreamMeta::of(&trace),
+            DegradationPolicy::Strict,
+            OnlineConfig::default(),
+        );
+        let mut online = IncrementalAdvisor::new(config, Algorithm::Base);
+        let stride = (trace.events.len() / 7).max(1);
+        for (i, event) in trace.events.iter().enumerate() {
+            ingestor.push(event.clone()).unwrap();
+            if (i + 1) % stride == 0 {
+                let now = ingestor.now();
+                online.tick(&mut ingestor, now);
+            }
+        }
+        online.tick(&mut ingestor, trace.duration);
+        assert!(online.epochs() >= 2, "{app_name}: the stream must tick mid-flight too");
+
+        let mismatches: Vec<_> = profile
+            .sites
+            .iter()
+            .map(|s| s.site)
+            .filter(|&site| online.tier_of(site) != offline.tier_of(site))
+            .map(|site| (site, offline.tier_of(site), online.tier_of(site)))
+            .collect();
+        assert!(
+            mismatches.is_empty(),
+            "{app_name}: online assignment diverged from offline on {} of {} sites \
+             [(site, offline, online)]: {mismatches:?}",
+            mismatches.len(),
+            profile.sites.len(),
+        );
+    }
+}
