@@ -1,0 +1,78 @@
+//! Columnar hot-path throughput: trace synthesis + analysis at 10× the
+//! reference workload scale, measured against the frozen pre-columnar
+//! implementations (`profiler::baseline`).
+//!
+//! The issue's acceptance bar is a ≥3× combined speedup on
+//! synthesize+analyze at this scale with `--jobs 4`. The analysis
+//! comparison runs both analyzers over the *same* trace, so the measured
+//! ratio is pure algorithm, not trace-content noise.
+//!
+//! ```text
+//! cargo run --release -p bench --bin analyzer_throughput -- --jobs 4 \
+//!     --metrics-out BENCH_analyzer_throughput.json
+//! ```
+
+use bench::{Runner, Table};
+use memsim::{ExecMode, FixedTier, MachineConfig};
+use memtrace::TierId;
+use profiler::baseline::{analyze_baseline, synthesize_baseline};
+use profiler::{analyze_with_jobs, synthesize_trace_with_jobs, ProfilerConfig};
+use std::time::Instant;
+
+const SCALE: f64 = 10.0;
+const ITERS: usize = 3;
+
+/// Best-of-N wall time plus the last result (best-of suppresses scheduler
+/// noise without needing a long run).
+fn time<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("ITERS >= 1"))
+}
+
+fn main() {
+    let runner = Runner::from_env("analyzer_throughput");
+    // The point of this bin is the measurement; collect metrics even when
+    // --metrics-out was not given.
+    ecohmem_obs::set_enabled(true);
+    let jobs = runner.jobs();
+
+    let machine = MachineConfig::optane_pmem6();
+    let app = workloads::scale_model(&workloads::lulesh::model(), SCALE);
+    let result =
+        memsim::run(&app, &machine, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+    let cfg = ProfilerConfig::default();
+
+    let (synth_base_s, _baseline_trace) = time(|| synthesize_baseline(&app, &result, &cfg));
+    let (synth_new_s, trace) = time(|| synthesize_trace_with_jobs(&app, &result, &cfg, jobs));
+    eprintln!("trace: {} events at {SCALE}x scale, jobs={jobs}", trace.events.len());
+
+    let (analyze_base_s, _) = time(|| analyze_baseline(&trace).expect("valid trace"));
+    let (analyze_new_s, profile) = time(|| analyze_with_jobs(&trace, jobs).expect("valid trace"));
+    assert!(!profile.sites.is_empty(), "analysis produced no sites");
+
+    let mut t = Table::new(&["stage", "baseline_ms", "columnar_ms", "speedup"]);
+    let mut row = |stage: &str, base: f64, new: f64| {
+        t.row(vec![
+            stage.into(),
+            format!("{:.2}", base * 1e3),
+            format!("{:.2}", new * 1e3),
+            format!("{:.2}x", base / new),
+        ]);
+    };
+    row("synthesize", synth_base_s, synth_new_s);
+    row("analyze", analyze_base_s, analyze_new_s);
+    let combined_base = synth_base_s + analyze_base_s;
+    let combined_new = synth_new_s + analyze_new_s;
+    row("combined", combined_base, combined_new);
+    println!("{}", t.render());
+    println!("combined speedup: {:.2}x (target >= 3x)", combined_base / combined_new);
+
+    runner.report();
+}

@@ -1,0 +1,100 @@
+//! Perf-smoke gate: re-runs the golden pipeline and fails (exit 1) if the
+//! trace hot path regressed more than 2× against the committed baseline.
+//!
+//! The committed `BENCH_pipeline.json` records per-stage `mean_ns` from
+//! the last blessed run of the `pipeline` bin. This bin replays the same
+//! three-workload pipeline with observability on, then compares the
+//! stages the columnar engine owns — `profiler.synthesize` and
+//! `analyzer.analyze` — against that baseline. A 2× bar is deliberately
+//! loose: CI machines vary widely, but an accidental O(n²) or a lost
+//! fast path shows up as 5–50×, never 2×.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_smoke -- --jobs 4
+//! cargo run --release -p bench --bin perf_smoke -- --baseline BENCH_pipeline.json
+//! ```
+
+use bench::{Runner, Table};
+use ecohmem_core::{run_pipeline, PipelineConfig};
+use ecohmem_obs::Json;
+
+/// Stages gated by this bin. Only the analyzer/sampler hot path is held
+/// to the bar: engine simulation time scales with model content, which
+/// other PRs legitimately change.
+const GATED_STAGES: [&str; 2] = ["profiler.synthesize", "analyzer.analyze"];
+const MAX_REGRESSION: f64 = 2.0;
+
+fn baseline_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            if let Some(v) = args.next() {
+                return v;
+            }
+        }
+        if let Some(v) = a.strip_prefix("--baseline=") {
+            return v.to_string();
+        }
+    }
+    "BENCH_pipeline.json".to_string()
+}
+
+/// `mean_ns` of `stage` inside a `RunMetrics` document.
+fn stage_mean_ns(doc: &Json, stage: &str) -> Option<f64> {
+    doc.get("stages")?.get(stage)?.get("mean_ns")?.as_f64()
+}
+
+fn main() {
+    let path = baseline_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            // No baseline means nothing to gate against (fresh checkout,
+            // baseline intentionally regenerated later in the job) — a
+            // skip, not a failure.
+            eprintln!("[perf_smoke] no baseline at {path} ({e}); skipping gate");
+            return;
+        }
+    };
+    let root = Json::parse(&text).expect("baseline file parses as JSON");
+    // The aggregate keys RunMetrics documents by runner label; accept a
+    // bare RunMetrics document too so `--metrics-out` output also works.
+    let baseline = root.get("pipeline").unwrap_or(&root);
+
+    let runner = Runner::from_env("perf_smoke");
+    ecohmem_obs::set_enabled(true);
+    let started = std::time::Instant::now();
+    let cfg = PipelineConfig::paper_default();
+    runner.map(vec!["minife", "lulesh", "hpcg"], |name| {
+        let app = workloads::model_by_name(name).expect("built-in workload");
+        run_pipeline(&app, &cfg).expect("strict pipeline on a built-in workload")
+    });
+    let fresh = ecohmem_obs::run_metrics("perf_smoke", started.elapsed().as_secs_f64());
+
+    let mut t = Table::new(&["stage", "baseline_ms", "fresh_ms", "ratio", "verdict"]);
+    let mut failed = false;
+    for stage in GATED_STAGES {
+        let Some(base) = stage_mean_ns(baseline, stage) else {
+            eprintln!("[perf_smoke] baseline has no stage {stage}; skipping it");
+            continue;
+        };
+        let fresh_ns = stage_mean_ns(&fresh, stage)
+            .unwrap_or_else(|| panic!("pipeline run recorded no {stage} span"));
+        let ratio = fresh_ns / base.max(1.0);
+        let ok = ratio <= MAX_REGRESSION;
+        failed |= !ok;
+        t.row(vec![
+            stage.into(),
+            format!("{:.2}", base / 1e6),
+            format!("{:.2}", fresh_ns / 1e6),
+            format!("{ratio:.2}x"),
+            if ok { "ok" } else { "REGRESSED" }.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    runner.report();
+    if failed {
+        eprintln!("[perf_smoke] hot-path stage regressed more than {MAX_REGRESSION}x vs {path}");
+        std::process::exit(1);
+    }
+}

@@ -27,8 +27,10 @@ pub struct TierHeap {
 impl TierHeap {
     /// Each tier owns a disjoint 16 TiB-aligned slice of the address space,
     /// so an address uniquely identifies its tier (as NUMA-mapped physical
-    /// ranges do on the real machine).
-    const TIER_STRIDE: u64 = 1 << 44;
+    /// ranges do on the real machine). Trace consumers rely on this layout
+    /// to bound address-interval searches; the analyzer-side mirror is
+    /// `memtrace::columns::SAME_TIER_SPAN` (pinned by a test below).
+    pub const TIER_STRIDE: u64 = 1 << 44;
     const ALIGN: u64 = 64;
 
     /// Creates the heap for a tier with the given usable capacity.
@@ -148,6 +150,13 @@ impl TierHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tier_stride_matches_the_trace_side_constant() {
+        // The analyzer bounds its same-tier interval scan with a mirror of
+        // this layout constant; the two must never drift apart.
+        assert_eq!(TierHeap::TIER_STRIDE, memtrace::columns::SAME_TIER_SPAN);
+    }
 
     #[test]
     fn alloc_free_reuse() {

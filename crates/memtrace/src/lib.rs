@@ -17,6 +17,7 @@
 pub mod binfmt;
 pub mod binmap;
 pub mod callstack;
+pub mod columns;
 pub mod error;
 pub mod events;
 pub mod fault;
@@ -30,6 +31,7 @@ pub mod warn;
 pub use binfmt::{read_trace, write_trace};
 pub use binmap::{BinaryMap, BinaryMapBuilder, LoadMap, ModuleInfo};
 pub use callstack::{CallStack, CodeLocation, Frame, HumanStack, StackFormat};
+pub use columns::{EventBatch, ObjectIndex, TraceColumns, SAME_TIER_SPAN};
 pub use error::TraceError;
 pub use events::TraceEvent;
 pub use fault::{FaultKind, FaultSpec, FaultTarget};

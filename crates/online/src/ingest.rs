@@ -29,15 +29,13 @@
 
 use crate::config::OnlineConfig;
 use crate::stats::DecayedWindow;
+use memtrace::columns::{BatchOp, EventBatch, SAME_TIER_SPAN};
 use memtrace::{
     BinaryMap, CallStack, DegradationPolicy, ObjectId, SiteId, TraceError, TraceEvent, TraceFile,
     Warning, WarningKind,
 };
 use profiler::{ObjectLifetime, ProfileSet, SiteProfile};
 use std::collections::{BTreeMap, HashMap, HashSet};
-
-/// Address-space guard mirroring the analyzer's same-tier scan bound.
-const ADDR_GUARD: u64 = 1 << 44;
 
 /// Trace metadata the ingestor needs up front — everything in a
 /// [`TraceFile`] except the event stream itself (a real streaming profiler
@@ -146,11 +144,62 @@ pub struct StreamIngestor {
     /// Sites whose statistics changed since the last `take_dirty`.
     dirty: HashSet<SiteId>,
 
-    // Bandwidth binning (one bin per phase marker, like the analyzer).
+    // Bandwidth binning (one bin per phase marker, like the analyzer):
+    // integer sample counts, converted to bytes/sec on demand by the
+    // shared `profiler::bandwidth_series` helper, so the streaming series
+    // matches the batch analyzer's to the last bit under any event
+    // grouping.
     bins: Vec<f64>,
-    bin_bytes: Vec<f64>,
-    /// Sample bytes seen before the first phase marker.
-    pending_bytes: f64,
+    bin_load: Vec<u64>,
+    bin_store_miss: Vec<u64>,
+    /// Load-miss samples seen before the first phase marker.
+    pending_load: u64,
+    /// L1D store-miss samples seen before the first phase marker.
+    pending_store_miss: u64,
+}
+
+/// Scalar view of one event — the single dispatch point shared by the
+/// enum ([`StreamIngestor::push`]) and columnar
+/// ([`StreamIngestor::push_batch`]) entry points.
+#[derive(Clone, Copy)]
+enum Ev {
+    Alloc { time: f64, object: ObjectId, site: SiteId, size: u64, address: u64 },
+    Free { time: f64, object: ObjectId },
+    Load { time: f64, address: u64 },
+    Store { time: f64, address: u64, l1d_miss: bool },
+    Phase { time: f64 },
+}
+
+impl Ev {
+    fn of(e: &TraceEvent) -> Ev {
+        match e {
+            TraceEvent::Alloc { time, object, site, size, address } => Ev::Alloc {
+                time: *time,
+                object: *object,
+                site: *site,
+                size: *size,
+                address: *address,
+            },
+            TraceEvent::Free { time, object } => Ev::Free { time: *time, object: *object },
+            TraceEvent::LoadMissSample { time, address, .. } => {
+                Ev::Load { time: *time, address: *address }
+            }
+            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+                Ev::Store { time: *time, address: *address, l1d_miss: *l1d_miss }
+            }
+            TraceEvent::PhaseMarker { time, .. } => Ev::Phase { time: *time },
+        }
+    }
+
+    fn time(self) -> f64 {
+        match self {
+            Ev::Alloc { time, .. }
+            | Ev::Free { time, .. }
+            | Ev::Load { time, .. }
+            | Ev::Store { time, .. }
+            | Ev::Phase { time } => time,
+        }
+    }
 }
 
 impl StreamIngestor {
@@ -175,8 +224,10 @@ impl StreamIngestor {
             unmatched_samples: 0,
             dirty: HashSet::new(),
             bins: Vec::new(),
-            bin_bytes: Vec::new(),
-            pending_bytes: 0.0,
+            bin_load: Vec::new(),
+            bin_store_miss: Vec::new(),
+            pending_load: 0,
+            pending_store_miss: 0,
         }
     }
 
@@ -227,6 +278,53 @@ impl StreamIngestor {
     /// [`DegradationPolicy::Strict`] on exactly the malformations
     /// `TraceFile::validate` rejects.
     pub fn push(&mut self, e: TraceEvent) -> Result<bool, TraceError> {
+        self.offer(Ev::of(&e))
+    }
+
+    /// Offers a columnar batch in emission order. Equivalent to pushing
+    /// every event individually — batch boundaries never change the
+    /// resulting profile — but the channel and validation overheads are
+    /// paid once per batch instead of once per event. Returns the number
+    /// of accepted events; under `Strict` the first malformation aborts
+    /// the batch mid-way with the same error `push` would raise.
+    pub fn push_batch(&mut self, batch: &EventBatch) -> Result<u64, TraceError> {
+        let mut accepted = 0u64;
+        for &op in &batch.ops {
+            let ev = match op {
+                BatchOp::Alloc(i) => {
+                    let i = i as usize;
+                    Ev::Alloc {
+                        time: batch.alloc_times[i],
+                        object: batch.alloc_objects[i],
+                        site: batch.alloc_sites[i],
+                        size: batch.alloc_sizes[i],
+                        address: batch.alloc_addresses[i],
+                    }
+                }
+                BatchOp::Free(i) => {
+                    let i = i as usize;
+                    Ev::Free { time: batch.free_times[i], object: batch.free_objects[i] }
+                }
+                BatchOp::Load(i) => {
+                    let i = i as usize;
+                    Ev::Load { time: batch.load_times[i], address: batch.load_addresses[i] }
+                }
+                BatchOp::Store(i) => {
+                    let i = i as usize;
+                    Ev::Store {
+                        time: batch.store_times[i],
+                        address: batch.store_addresses[i],
+                        l1d_miss: batch.store_l1d_miss[i],
+                    }
+                }
+                BatchOp::Phase(i) => Ev::Phase { time: batch.phase_times[i as usize] },
+            };
+            accepted += u64::from(self.offer(ev)?);
+        }
+        Ok(accepted)
+    }
+
+    fn offer(&mut self, e: Ev) -> Result<bool, TraceError> {
         self.seen += 1;
         let strict = self.policy == DegradationPolicy::Strict;
         let t = e.time();
@@ -249,16 +347,16 @@ impl StreamIngestor {
             return Ok(false);
         }
 
-        match &e {
-            TraceEvent::Alloc { time, object, site, size, address } => {
-                if !self.known_sites.contains(site) {
+        match e {
+            Ev::Alloc { time, object, site, size, address } => {
+                if !self.known_sites.contains(&site) {
                     if strict {
-                        return Err(TraceError::UnknownSite(*site));
+                        return Err(TraceError::UnknownSite(site));
                     }
                     self.note(WarningKind::UnknownSite);
                     return Ok(false);
                 }
-                if *size == 0 {
+                if size == 0 {
                     if strict {
                         return Err(TraceError::Malformed(format!(
                             "zero-size allocation for {object}"
@@ -267,7 +365,7 @@ impl StreamIngestor {
                     self.note(WarningKind::ZeroSizeAlloc);
                     return Ok(false);
                 }
-                if self.live_ids.contains(object) {
+                if self.live_ids.contains(&object) {
                     if strict {
                         return Err(TraceError::Malformed(format!(
                             "object {object} allocated twice without free"
@@ -276,14 +374,14 @@ impl StreamIngestor {
                     self.note(WarningKind::DuplicateAlloc);
                     return Ok(false);
                 }
-                self.live_ids.insert(*object);
-                self.freed_ids.remove(object); // realloc after free is legal
+                self.live_ids.insert(object);
+                self.freed_ids.remove(&object); // realloc after free is legal
                 self.accept_time(t);
-                self.record_alloc(*time, *object, *site, *size, *address);
+                self.record_alloc(time, object, site, size, address);
             }
-            TraceEvent::Free { time, object } => {
-                if !self.live_ids.remove(object) {
-                    if self.freed_ids.contains(object) {
+            Ev::Free { time, object } => {
+                if !self.live_ids.remove(&object) {
+                    if self.freed_ids.contains(&object) {
                         if strict {
                             return Err(TraceError::Malformed(format!("double free of {object}")));
                         }
@@ -298,29 +396,31 @@ impl StreamIngestor {
                     }
                     return Ok(false);
                 }
-                self.freed_ids.insert(*object);
+                self.freed_ids.insert(object);
                 self.accept_time(t);
-                self.record_free(*time, *object);
+                self.record_free(time, object);
             }
-            TraceEvent::LoadMissSample { time, address, .. } => {
+            Ev::Load { time, address } => {
                 self.accept_time(t);
-                self.record_sample(*time, *address, SampleKind::LoadMiss);
+                self.record_sample(time, address, SampleKind::LoadMiss);
             }
-            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+            Ev::Store { time, address, l1d_miss } => {
                 self.accept_time(t);
                 self.record_sample(
-                    *time,
-                    *address,
-                    if *l1d_miss { SampleKind::StoreL1dMiss } else { SampleKind::StoreHit },
+                    time,
+                    address,
+                    if l1d_miss { SampleKind::StoreL1dMiss } else { SampleKind::StoreHit },
                 );
             }
-            TraceEvent::PhaseMarker { time, .. } => {
+            Ev::Phase { time } => {
                 self.accept_time(t);
-                self.bins.push(*time);
-                self.bin_bytes.push(if self.bins.len() == 1 {
-                    std::mem::take(&mut self.pending_bytes)
+                self.bins.push(time);
+                let first = self.bins.len() == 1;
+                self.bin_load.push(if first { std::mem::take(&mut self.pending_load) } else { 0 });
+                self.bin_store_miss.push(if first {
+                    std::mem::take(&mut self.pending_store_miss)
                 } else {
-                    0.0
+                    0
                 });
             }
         }
@@ -384,18 +484,18 @@ impl StreamIngestor {
     }
 
     fn record_sample(&mut self, time: f64, address: u64, kind: SampleKind) {
-        // Bandwidth binning (pass 3 of the analyzer, done inline): load
-        // misses and L1D store misses contribute a cacheline per period.
-        let bytes = match kind {
-            SampleKind::LoadMiss => self.meta.load_sample_period * 64.0,
-            SampleKind::StoreL1dMiss => self.meta.store_sample_period * 64.0,
-            SampleKind::StoreHit => 0.0,
-        };
-        if bytes > 0.0 {
-            match self.bin_bytes.last_mut() {
-                Some(b) => *b += bytes,
-                None => self.pending_bytes += bytes,
-            }
+        // Bandwidth binning (pass 3 of the analyzer, done inline): integer
+        // per-kind counts; `bandwidth_series` converts to bytes/sec.
+        match kind {
+            SampleKind::LoadMiss => match self.bin_load.last_mut() {
+                Some(b) => *b += 1,
+                None => self.pending_load += 1,
+            },
+            SampleKind::StoreL1dMiss => match self.bin_store_miss.last_mut() {
+                Some(b) => *b += 1,
+                None => self.pending_store_miss += 1,
+            },
+            SampleKind::StoreHit => {}
         }
 
         let Some(id) = self.match_object(address, time) else {
@@ -428,7 +528,7 @@ impl StreamIngestor {
     fn match_object(&self, address: u64, time: f64) -> Option<ObjectId> {
         let mut best: Option<(u64, ObjectId)> = None;
         for (&start, &(end, id)) in self.live.range(..=address).rev() {
-            if start + ADDR_GUARD <= address {
+            if start + SAME_TIER_SPAN <= address {
                 break;
             }
             if address < end {
@@ -440,7 +540,7 @@ impl StreamIngestor {
             if start <= address
                 && address < end
                 && time <= free_time
-                && start + ADDR_GUARD > address
+                && start + SAME_TIER_SPAN > address
             {
                 // Prefer the larger start; on a tie the younger instance —
                 // the order the analyzer's backward scan visits intervals.
@@ -453,20 +553,22 @@ impl StreamIngestor {
         best.map(|(_, id)| id)
     }
 
-    /// The bandwidth series as of `duration` (the analyzer's pass 3).
+    /// The bandwidth series as of `duration` (the analyzer's pass 3,
+    /// computed by the same shared helper so the two agree bit-for-bit).
     pub fn bw_context(&self, duration: f64) -> BwContext {
-        let (bins, bytes): (Vec<f64>, Vec<f64>) = if self.bins.is_empty() {
-            (vec![0.0], vec![self.pending_bytes])
+        let (bins, loads, misses) = if self.bins.is_empty() {
+            (vec![0.0], vec![self.pending_load], vec![self.pending_store_miss])
         } else {
-            (self.bins.clone(), self.bin_bytes.clone())
+            (self.bins.clone(), self.bin_load.clone(), self.bin_store_miss.clone())
         };
-        let mut series = Vec::with_capacity(bins.len());
-        for (i, &start) in bins.iter().enumerate() {
-            let end = bins.get(i + 1).copied().unwrap_or(duration);
-            let width = (end - start).max(1e-9);
-            series.push((start, bytes[i] / width));
-        }
-        let peak = series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+        let (series, peak) = profiler::bandwidth_series(
+            &bins,
+            &loads,
+            &misses,
+            self.meta.load_sample_period,
+            self.meta.store_sample_period,
+            duration,
+        );
         BwContext { bins, series, peak }
     }
 

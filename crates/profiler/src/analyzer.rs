@@ -6,202 +6,75 @@
 //! data linear address, so the analyzer rebuilds the address → object
 //! mapping from the allocation events and interval-searches each sample —
 //! the same object-matching job Paramedir performs (§IV-A).
+//!
+//! Two implementations share one output contract:
+//!
+//! * the **columnar** engine (default) — transposes the trace into
+//!   [`memtrace::columns::TraceColumns`] once, builds an
+//!   [`memtrace::columns::ObjectIndex`] whose entries inline the liveness
+//!   window (zero hash lookups per sample), and fuses sample attribution
+//!   with bandwidth binning into one pass over the sample columns, sharded
+//!   into fixed-size chunks and run through [`memsim::parallel_map`].
+//!   Every shard accumulates integer sample *counts*; the merge is a sum
+//!   of `u64`s, so the result is bit-identical for any worker count.
+//! * the **scalar** fallback ([`analyze_legacy`]) — the original
+//!   event-at-a-time walk over `Vec<TraceEvent>`, kept as the
+//!   differential-testing partner and reachable in production via
+//!   `ECOHMEM_ANALYZER=legacy`.
+//!
+//! The differential suite (`tests/columnar_differential.rs` and the
+//! workspace-level `tests/columnar.rs`) proves the two produce identical
+//! [`ProfileSet`]s — on the golden workloads, on arbitrary generated
+//! traces, and on fault-injected traces after sanitization.
 
 use crate::profile::{ObjectLifetime, ProfileSet, SiteProfile};
-use memtrace::{ObjectId, SiteId, TraceError, TraceEvent, TraceFile, Warning, WarningKind};
+use memtrace::columns::{ObjectIndex, TraceColumns};
+use memtrace::{CallStack, ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
+use memtrace::{Warning, WarningKind};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Same-tier scan bound for interval search, re-exported from the columns
+/// module (see there for the derivation from the heap layout).
+pub use memtrace::columns::SAME_TIER_SPAN;
+
+/// Samples per scan shard. Fixed — not derived from the worker count — so
+/// the shard layout, the obs counters and (via `u64` merges) the analysis
+/// result are identical no matter what `ECOHMEM_JOBS` says.
+const SAMPLE_SHARD: usize = 1 << 15;
 
 /// Analyzes a trace into per-site profiles. Fails on malformed traces.
+///
+/// Runs the columnar engine with the worker count from
+/// [`memsim::jobs_from_env`]; set `ECOHMEM_ANALYZER=legacy` to fall back
+/// to the scalar path (same output, checked by the differential suite).
 pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
     let _span = ecohmem_obs::span("analyzer.analyze");
-    trace.validate()?;
-
-    // Pass 1: object table from allocation events.
-    let mut objects: HashMap<ObjectId, Obj> = HashMap::new();
-    for e in &trace.events {
-        match e {
-            TraceEvent::Alloc { time, object, site, size, address } => {
-                objects.insert(
-                    *object,
-                    Obj {
-                        site: *site,
-                        size: *size,
-                        address: *address,
-                        alloc_time: *time,
-                        free_time: trace.duration,
-                        load_samples: 0,
-                        store_samples: 0,
-                        store_l1d_miss_samples: 0,
-                    },
-                );
-            }
-            TraceEvent::Free { time, object } => {
-                if let Some(o) = objects.get_mut(object) {
-                    o.free_time = *time;
-                }
-            }
-            _ => {}
-        }
+    if legacy_fallback() {
+        return scalar_analyze(trace);
     }
+    columnar_analyze(trace, memsim::jobs_from_env())
+}
 
-    // Address interval index: sorted (start, end, object). Heap addresses
-    // are unique per object in the simulated process (freed blocks may be
-    // reused, so matching must also check liveness at the sample time).
-    let mut intervals: Vec<(u64, u64, ObjectId)> =
-        objects.iter().map(|(id, o)| (o.address, o.address + o.size, *id)).collect();
-    intervals.sort_unstable();
+/// [`analyze`] with an explicit worker count for the sharded scans. The
+/// result does not depend on `jobs` (property-tested); only wall-clock
+/// does.
+pub fn analyze_with_jobs(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceError> {
+    let _span = ecohmem_obs::span("analyzer.analyze");
+    columnar_analyze(trace, jobs)
+}
 
-    let find = |address: u64, time: f64, objects: &HashMap<ObjectId, Obj>| -> Option<ObjectId> {
-        // Candidates share a start ≤ address; scan back from the partition
-        // point checking range + liveness.
-        let idx = intervals.partition_point(|&(start, _, _)| start <= address);
-        intervals[..idx]
-            .iter()
-            .rev()
-            .take_while(|&&(start, _, _)| start + (1 << 44) > address) // same-tier guard
-            .find(|&&(start, end, id)| {
-                address >= start && address < end && {
-                    let o = &objects[&id];
-                    time >= o.alloc_time && time <= o.free_time
-                }
-            })
-            .map(|&(_, _, id)| id)
-    };
+/// The scalar reference analyzer: event-at-a-time over the AoS event
+/// vector. Kept as the differential partner of the columnar engine and as
+/// the `ECOHMEM_ANALYZER=legacy` escape hatch.
+pub fn analyze_legacy(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
+    let _span = ecohmem_obs::span("analyzer.analyze.legacy");
+    scalar_analyze(trace)
+}
 
-    // Pass 2: attribute samples.
-    let mut unmatched_samples = 0u64;
-    for e in &trace.events {
-        match e {
-            TraceEvent::LoadMissSample { time, address, .. } => {
-                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
-                    Some(o) => o.load_samples += 1,
-                    None => unmatched_samples += 1,
-                }
-            }
-            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
-                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
-                    Some(o) => {
-                        o.store_samples += 1;
-                        o.store_l1d_miss_samples += u64::from(*l1d_miss);
-                    }
-                    None => unmatched_samples += 1,
-                }
-            }
-            _ => {}
-        }
-    }
-    ecohmem_obs::count("analyzer.samples.unmatched", unmatched_samples); // not fatal
-
-    // Pass 3: system bandwidth series binned by phase markers.
-    let mut bins: Vec<f64> = trace
-        .events
-        .iter()
-        .filter_map(|e| match e {
-            TraceEvent::PhaseMarker { time, .. } => Some(*time),
-            _ => None,
-        })
-        .collect();
-    if bins.is_empty() {
-        bins.push(0.0);
-    }
-    // total_cmp: a NaN phase-marker time must not panic the analyzer (it
-    // sorts last and merely produces a useless bin).
-    bins.sort_by(f64::total_cmp);
-    let mut bin_bytes = vec![0.0_f64; bins.len()];
-    let bin_of = |t: f64| -> usize { bins.partition_point(|&b| b <= t).saturating_sub(1) };
-    for e in &trace.events {
-        match e {
-            TraceEvent::LoadMissSample { time, .. } => {
-                bin_bytes[bin_of(*time)] += trace.load_sample_period * 64.0;
-            }
-            TraceEvent::StoreSample { time, l1d_miss: true, .. } => {
-                bin_bytes[bin_of(*time)] += trace.store_sample_period * 64.0;
-            }
-            _ => {}
-        }
-    }
-    let mut bw_series = Vec::with_capacity(bins.len());
-    for (i, &start) in bins.iter().enumerate() {
-        let end = bins.get(i + 1).copied().unwrap_or(trace.duration);
-        let width = (end - start).max(1e-9);
-        bw_series.push((start, bin_bytes[i] / width));
-    }
-    let peak_bw = bw_series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
-    let bw_at = |t: f64| -> f64 {
-        let i = bin_of(t);
-        bw_series.get(i).map(|&(_, bw)| bw).unwrap_or(0.0)
-    };
-
-    // Pass 4: aggregate per site.
-    let mut per_site: HashMap<SiteId, Vec<(&ObjectId, &Obj)>> = HashMap::new();
-    for (id, o) in &objects {
-        per_site.entry(o.site).or_default().push((id, o));
-    }
-    let mut sites = Vec::with_capacity(per_site.len());
-    for (site, stack) in &trace.stacks {
-        let Some(mut objs) = per_site.remove(site) else { continue };
-        objs.sort_by_key(|(id, _)| **id);
-        let alloc_count = objs.len() as u64;
-        let max_size = objs.iter().map(|(_, o)| o.size).max().unwrap_or(0);
-        let total_bytes: u64 = objs.iter().map(|(_, o)| o.size).sum();
-        let peak_live_bytes = peak_live(&objs);
-        let load_samples: u64 = objs.iter().map(|(_, o)| o.load_samples).sum();
-        let store_miss_samples: u64 = objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
-        let store_samples: u64 = objs.iter().map(|(_, o)| o.store_samples).sum();
-        let load_misses_est = load_samples as f64 * trace.load_sample_period;
-        let store_misses_est = store_miss_samples as f64 * trace.store_sample_period;
-        let first_alloc = objs.iter().map(|(_, o)| o.alloc_time).fold(f64::INFINITY, f64::min);
-        let last_free = objs.iter().map(|(_, o)| o.free_time).fold(0.0, f64::max);
-        let total_lifetime: f64 =
-            objs.iter().map(|(_, o)| (o.free_time - o.alloc_time).max(0.0)).sum();
-        let bw_at_alloc =
-            objs.iter().map(|(_, o)| bw_at(o.alloc_time)).sum::<f64>() / alloc_count.max(1) as f64;
-        let avg_bw = if total_lifetime > 0.0 {
-            (load_misses_est + store_misses_est) * 64.0 / total_lifetime
-        } else {
-            0.0
-        };
-        let object_lifetimes = objs
-            .iter()
-            .map(|(id, o)| ObjectLifetime {
-                object: **id,
-                size: o.size,
-                alloc_time: o.alloc_time,
-                free_time: o.free_time,
-                load_samples: o.load_samples,
-                store_samples: o.store_samples,
-                store_l1d_miss_samples: o.store_l1d_miss_samples,
-                bw_at_alloc: bw_at(o.alloc_time),
-            })
-            .collect();
-        sites.push(SiteProfile {
-            site: *site,
-            stack: stack.clone(),
-            alloc_count,
-            max_size,
-            total_bytes,
-            peak_live_bytes,
-            load_misses_est,
-            store_misses_est,
-            has_stores: store_samples > 0,
-            first_alloc,
-            last_free,
-            bw_at_alloc,
-            avg_bw,
-            objects: object_lifetimes,
-        });
-    }
-    sites.sort_by_key(|s| s.site);
-    ecohmem_obs::count("analyzer.sites.aggregated", sites.len() as u64);
-
-    Ok(ProfileSet {
-        app_name: trace.app_name.clone(),
-        duration: trace.duration,
-        sites,
-        bw_series,
-        peak_bw,
-        binmap: trace.binmap.clone(),
-    })
+fn legacy_fallback() -> bool {
+    static LEGACY: OnceLock<bool> = OnceLock::new();
+    *LEGACY.get_or_init(|| std::env::var("ECOHMEM_ANALYZER").ok().as_deref() == Some("legacy"))
 }
 
 /// Lenient analysis: sanitizes a copy of the trace — dropping the events
@@ -238,8 +111,250 @@ pub fn analyze_lenient(trace: &TraceFile) -> (ProfileSet, Vec<Warning>) {
     }
 }
 
+/// Converts per-bin sample counts into the `(bin_start, bytes/sec)`
+/// bandwidth series plus its peak. Shared by both analyzer paths and the
+/// streaming ingestor, so all three derive bit-identical series from the
+/// same counts: load misses and L1D store misses each contribute one
+/// cacheline per sampling period.
+pub fn bandwidth_series(
+    bins: &[f64],
+    load_counts: &[u64],
+    store_miss_counts: &[u64],
+    load_period: f64,
+    store_period: f64,
+    duration: f64,
+) -> (Vec<(f64, f64)>, f64) {
+    let load_bytes = load_period * 64.0;
+    let store_bytes = store_period * 64.0;
+    let mut series = Vec::with_capacity(bins.len());
+    for (i, &start) in bins.iter().enumerate() {
+        let end = bins.get(i + 1).copied().unwrap_or(duration);
+        let width = (end - start).max(1e-9);
+        let bytes = load_counts[i] as f64 * load_bytes + store_miss_counts[i] as f64 * store_bytes;
+        series.push((start, bytes / width));
+    }
+    let peak = series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+    (series, peak)
+}
+
+/// Sorted phase-marker bins (at least one, starting at 0 when the trace
+/// has no markers) and the bin index of a timestamp.
+fn sorted_bins(mut bins: Vec<f64>) -> Vec<f64> {
+    if bins.is_empty() {
+        bins.push(0.0);
+    }
+    // total_cmp: a NaN phase-marker time must not panic the analyzer (it
+    // sorts last and merely produces a useless bin).
+    bins.sort_by(f64::total_cmp);
+    bins
+}
+
+#[inline]
+fn bin_of(bins: &[f64], t: f64) -> usize {
+    bins.partition_point(|&b| b <= t).saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------------
+// Columnar engine
+// ---------------------------------------------------------------------------
+
+/// Per-shard scan accumulator: integer sample counts per dense object and
+/// per bandwidth bin. Merging is elementwise `u64` addition — associative
+/// and order-insensitive, which is what makes the sharded scan
+/// deterministic under any scheduling.
+struct ScanAcc {
+    obj_load: Vec<u64>,
+    obj_store: Vec<u64>,
+    obj_store_miss: Vec<u64>,
+    bin_load: Vec<u64>,
+    bin_store_miss: Vec<u64>,
+    unmatched: u64,
+}
+
+impl ScanAcc {
+    fn new(n_objs: usize, n_bins: usize) -> ScanAcc {
+        ScanAcc {
+            obj_load: vec![0; n_objs],
+            obj_store: vec![0; n_objs],
+            obj_store_miss: vec![0; n_objs],
+            bin_load: vec![0; n_bins],
+            bin_store_miss: vec![0; n_bins],
+            unmatched: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &ScanAcc) {
+        for (a, b) in self.obj_load.iter_mut().zip(&other.obj_load) {
+            *a += b;
+        }
+        for (a, b) in self.obj_store.iter_mut().zip(&other.obj_store) {
+            *a += b;
+        }
+        for (a, b) in self.obj_store_miss.iter_mut().zip(&other.obj_store_miss) {
+            *a += b;
+        }
+        for (a, b) in self.bin_load.iter_mut().zip(&other.bin_load) {
+            *a += b;
+        }
+        for (a, b) in self.bin_store_miss.iter_mut().zip(&other.bin_store_miss) {
+            *a += b;
+        }
+        self.unmatched += other.unmatched;
+    }
+}
+
+/// One fixed-size slice of a sample column.
+#[derive(Clone, Copy)]
+struct ShardTask {
+    store: bool,
+    lo: usize,
+    hi: usize,
+}
+
+fn shard_tasks(n_loads: usize, n_stores: usize) -> Vec<ShardTask> {
+    let mut tasks = Vec::new();
+    let mut lo = 0;
+    while lo < n_loads {
+        tasks.push(ShardTask { store: false, lo, hi: (lo + SAMPLE_SHARD).min(n_loads) });
+        lo += SAMPLE_SHARD;
+    }
+    lo = 0;
+    while lo < n_stores {
+        tasks.push(ShardTask { store: true, lo, hi: (lo + SAMPLE_SHARD).min(n_stores) });
+        lo += SAMPLE_SHARD;
+    }
+    tasks
+}
+
+fn scan_shard(cols: &TraceColumns, index: &ObjectIndex, bins: &[f64], task: ShardTask) -> ScanAcc {
+    let mut acc = ScanAcc::new(cols.objects.len(), bins.len());
+    if task.store {
+        for i in task.lo..task.hi {
+            let t = cols.store_times[i];
+            let miss = cols.store_l1d_miss[i];
+            if miss {
+                acc.bin_store_miss[bin_of(bins, t)] += 1;
+            }
+            match index.lookup(cols.store_addresses[i], t) {
+                Some(d) => {
+                    acc.obj_store[d as usize] += 1;
+                    acc.obj_store_miss[d as usize] += u64::from(miss);
+                }
+                None => acc.unmatched += 1,
+            }
+        }
+    } else {
+        for i in task.lo..task.hi {
+            let t = cols.load_times[i];
+            acc.bin_load[bin_of(bins, t)] += 1;
+            match index.lookup(cols.load_addresses[i], t) {
+                Some(d) => acc.obj_load[d as usize] += 1,
+                None => acc.unmatched += 1,
+            }
+        }
+    }
+    acc
+}
+
+fn columnar_analyze(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceError> {
+    trace.validate()?;
+
+    let cols = {
+        let _span = ecohmem_obs::span("analyzer.columns.build");
+        TraceColumns::build(trace)
+    };
+    ecohmem_obs::count("analyzer.columns.objects", cols.objects.len() as u64);
+    ecohmem_obs::count("analyzer.columns.load_samples", cols.load_times.len() as u64);
+    ecohmem_obs::count("analyzer.columns.store_samples", cols.store_times.len() as u64);
+
+    let index = ObjectIndex::build(&cols.objects);
+    let bins = sorted_bins(cols.phase_times.clone());
+
+    // Fused passes 2+3: attribute samples to objects and bin them for the
+    // bandwidth series, one shard at a time.
+    let tasks = shard_tasks(cols.load_times.len(), cols.store_times.len());
+    ecohmem_obs::count("analyzer.columns.shards", tasks.len() as u64);
+    let total = {
+        let _span = ecohmem_obs::span("analyzer.columns.scan");
+        let (cols_ref, index_ref, bins_ref) = (&cols, &index, &bins[..]);
+        let accs = memsim::parallel_map(tasks, jobs, move |task| {
+            scan_shard(cols_ref, index_ref, bins_ref, task)
+        });
+        let mut total = ScanAcc::new(cols.objects.len(), bins.len());
+        for acc in &accs {
+            total.merge(acc);
+        }
+        total
+    };
+    ecohmem_obs::count("analyzer.samples.unmatched", total.unmatched); // not fatal
+
+    let (bw_series, peak_bw) = bandwidth_series(
+        &bins,
+        &total.bin_load,
+        &total.bin_store_miss,
+        trace.load_sample_period,
+        trace.store_sample_period,
+        trace.duration,
+    );
+    let bw_at =
+        |t: f64| -> f64 { bw_series.get(bin_of(&bins, t)).map(|&(_, bw)| bw).unwrap_or(0.0) };
+
+    // Pass 4: aggregate per site, in stack-table order like the scalar
+    // path (the final sort by SiteId makes the order moot anyway).
+    let o = &cols.objects;
+    let mut sites = Vec::with_capacity(cols.site_ids.len());
+    let mut views: Vec<ObjView> = Vec::new();
+    for (ds, &stack_idx) in cols.site_stacks.iter().enumerate() {
+        if stack_idx == usize::MAX {
+            continue;
+        }
+        let objs = &cols.site_objects[ds];
+        if objs.is_empty() {
+            continue;
+        }
+        views.clear();
+        views.extend(objs.iter().map(|&d| {
+            let d = d as usize;
+            ObjView {
+                id: o.ids[d],
+                size: o.sizes[d],
+                alloc_time: o.alloc_times[d],
+                free_time: o.free_times[d],
+                load_samples: total.obj_load[d],
+                store_samples: total.obj_store[d],
+                store_l1d_miss_samples: total.obj_store_miss[d],
+            }
+        }));
+        let (site, stack) = &trace.stacks[stack_idx];
+        sites.push(site_profile(
+            *site,
+            stack.clone(),
+            &views,
+            trace.load_sample_period,
+            trace.store_sample_period,
+            &bw_at,
+        ));
+    }
+    sites.sort_by_key(|s| s.site);
+    ecohmem_obs::count("analyzer.sites.aggregated", sites.len() as u64);
+
+    Ok(ProfileSet {
+        app_name: trace.app_name.clone(),
+        duration: trace.duration,
+        sites,
+        bw_series,
+        peak_bw,
+        binmap: trace.binmap.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scalar fallback
+// ---------------------------------------------------------------------------
+
 /// Object accumulator built from the allocation events.
 struct Obj {
+    id: ObjectId,
     site: SiteId,
     size: u64,
     address: u64,
@@ -250,12 +365,273 @@ struct Obj {
     store_l1d_miss_samples: u64,
 }
 
+/// An address interval with the owner's liveness window inlined, so the
+/// search closure never chases a hash map per candidate (freed blocks are
+/// recycled at identical addresses, so popular sites produce long
+/// candidate runs).
+struct Interval {
+    start: u64,
+    end: u64,
+    alloc_time: f64,
+    free_time: f64,
+    id: ObjectId,
+    idx: u32,
+}
+
+fn scalar_analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
+    trace.validate()?;
+
+    // Pass 1: object table from allocation events — a dense vector in
+    // allocation order; the map only resolves ids to slots (an id re-used
+    // after free replaces its record, last instance wins).
+    let mut objs: Vec<Obj> = Vec::new();
+    let mut by_id: HashMap<ObjectId, u32> = HashMap::new();
+    for e in &trace.events {
+        match e {
+            TraceEvent::Alloc { time, object, site, size, address } => {
+                let rec = Obj {
+                    id: *object,
+                    site: *site,
+                    size: *size,
+                    address: *address,
+                    alloc_time: *time,
+                    free_time: trace.duration,
+                    load_samples: 0,
+                    store_samples: 0,
+                    store_l1d_miss_samples: 0,
+                };
+                match by_id.get(object) {
+                    Some(&i) => objs[i as usize] = rec,
+                    None => {
+                        by_id.insert(*object, objs.len() as u32);
+                        objs.push(rec);
+                    }
+                }
+            }
+            TraceEvent::Free { time, object } => {
+                if let Some(&i) = by_id.get(object) {
+                    objs[i as usize].free_time = *time;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Address interval index: sorted (start, end, object). Heap addresses
+    // are unique per object in the simulated process (freed blocks may be
+    // reused, so matching must also check liveness at the sample time).
+    let mut intervals: Vec<Interval> = objs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| Interval {
+            start: o.address,
+            end: o.address + o.size,
+            alloc_time: o.alloc_time,
+            free_time: o.free_time,
+            id: o.id,
+            idx: i as u32,
+        })
+        .collect();
+    intervals.sort_unstable_by_key(|iv| (iv.start, iv.end, iv.id));
+
+    let find = |address: u64, time: f64| -> Option<u32> {
+        // Candidates share a start ≤ address; scan back from the partition
+        // point checking range + liveness against the inlined fields.
+        let idx = intervals.partition_point(|iv| iv.start <= address);
+        intervals[..idx]
+            .iter()
+            .rev()
+            .take_while(|iv| iv.start + SAME_TIER_SPAN > address) // same-tier guard
+            .find(|iv| address < iv.end && time >= iv.alloc_time && time <= iv.free_time)
+            .map(|iv| iv.idx)
+    };
+
+    // Pass 2: attribute samples.
+    let mut unmatched_samples = 0u64;
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, address, .. } => match find(*address, *time) {
+                Some(i) => objs[i as usize].load_samples += 1,
+                None => unmatched_samples += 1,
+            },
+            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+                match find(*address, *time) {
+                    Some(i) => {
+                        let o = &mut objs[i as usize];
+                        o.store_samples += 1;
+                        o.store_l1d_miss_samples += u64::from(*l1d_miss);
+                    }
+                    None => unmatched_samples += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    ecohmem_obs::count("analyzer.samples.unmatched", unmatched_samples); // not fatal
+
+    // Pass 3: system bandwidth series binned by phase markers; integer
+    // sample counts per bin, converted by the shared helper so the scalar,
+    // columnar and streaming paths agree to the last bit.
+    let bins = sorted_bins(
+        trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseMarker { time, .. } => Some(*time),
+                _ => None,
+            })
+            .collect(),
+    );
+    let mut bin_load = vec![0u64; bins.len()];
+    let mut bin_store_miss = vec![0u64; bins.len()];
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, .. } => bin_load[bin_of(&bins, *time)] += 1,
+            TraceEvent::StoreSample { time, l1d_miss: true, .. } => {
+                bin_store_miss[bin_of(&bins, *time)] += 1;
+            }
+            _ => {}
+        }
+    }
+    let (bw_series, peak_bw) = bandwidth_series(
+        &bins,
+        &bin_load,
+        &bin_store_miss,
+        trace.load_sample_period,
+        trace.store_sample_period,
+        trace.duration,
+    );
+    let bw_at =
+        |t: f64| -> f64 { bw_series.get(bin_of(&bins, t)).map(|&(_, bw)| bw).unwrap_or(0.0) };
+
+    // Pass 4: aggregate per site.
+    let mut per_site: HashMap<SiteId, Vec<u32>> = HashMap::new();
+    for (i, o) in objs.iter().enumerate() {
+        per_site.entry(o.site).or_default().push(i as u32);
+    }
+    let mut sites = Vec::with_capacity(per_site.len());
+    let mut views: Vec<ObjView> = Vec::new();
+    for (site, stack) in &trace.stacks {
+        let Some(mut list) = per_site.remove(site) else { continue };
+        list.sort_unstable_by_key(|&i| objs[i as usize].id);
+        views.clear();
+        views.extend(list.iter().map(|&i| {
+            let o = &objs[i as usize];
+            ObjView {
+                id: o.id,
+                size: o.size,
+                alloc_time: o.alloc_time,
+                free_time: o.free_time,
+                load_samples: o.load_samples,
+                store_samples: o.store_samples,
+                store_l1d_miss_samples: o.store_l1d_miss_samples,
+            }
+        }));
+        sites.push(site_profile(
+            *site,
+            stack.clone(),
+            &views,
+            trace.load_sample_period,
+            trace.store_sample_period,
+            &bw_at,
+        ));
+    }
+    sites.sort_by_key(|s| s.site);
+    ecohmem_obs::count("analyzer.sites.aggregated", sites.len() as u64);
+
+    Ok(ProfileSet {
+        app_name: trace.app_name.clone(),
+        duration: trace.duration,
+        sites,
+        bw_series,
+        peak_bw,
+        binmap: trace.binmap.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-site aggregation
+// ---------------------------------------------------------------------------
+
+/// One object's contribution to its site profile. Both analyzer paths
+/// materialize these in ObjectId order and fold them through
+/// [`site_profile`], which guarantees their floating-point aggregates are
+/// computed in the same order — the structural core of the differential
+/// guarantee.
+struct ObjView {
+    id: ObjectId,
+    size: u64,
+    alloc_time: f64,
+    free_time: f64,
+    load_samples: u64,
+    store_samples: u64,
+    store_l1d_miss_samples: u64,
+}
+
+fn site_profile(
+    site: SiteId,
+    stack: CallStack,
+    views: &[ObjView],
+    load_period: f64,
+    store_period: f64,
+    bw_at: &dyn Fn(f64) -> f64,
+) -> SiteProfile {
+    let alloc_count = views.len() as u64;
+    let max_size = views.iter().map(|v| v.size).max().unwrap_or(0);
+    let total_bytes: u64 = views.iter().map(|v| v.size).sum();
+    let peak_live_bytes = peak_live(views.iter().map(|v| (v.alloc_time, v.free_time, v.size)));
+    let load_samples: u64 = views.iter().map(|v| v.load_samples).sum();
+    let store_miss_samples: u64 = views.iter().map(|v| v.store_l1d_miss_samples).sum();
+    let store_samples: u64 = views.iter().map(|v| v.store_samples).sum();
+    let load_misses_est = load_samples as f64 * load_period;
+    let store_misses_est = store_miss_samples as f64 * store_period;
+    let first_alloc = views.iter().map(|v| v.alloc_time).fold(f64::INFINITY, f64::min);
+    let last_free = views.iter().map(|v| v.free_time).fold(0.0, f64::max);
+    let total_lifetime: f64 = views.iter().map(|v| (v.free_time - v.alloc_time).max(0.0)).sum();
+    let bw_at_alloc =
+        views.iter().map(|v| bw_at(v.alloc_time)).sum::<f64>() / alloc_count.max(1) as f64;
+    let avg_bw = if total_lifetime > 0.0 {
+        (load_misses_est + store_misses_est) * 64.0 / total_lifetime
+    } else {
+        0.0
+    };
+    let object_lifetimes = views
+        .iter()
+        .map(|v| ObjectLifetime {
+            object: v.id,
+            size: v.size,
+            alloc_time: v.alloc_time,
+            free_time: v.free_time,
+            load_samples: v.load_samples,
+            store_samples: v.store_samples,
+            store_l1d_miss_samples: v.store_l1d_miss_samples,
+            bw_at_alloc: bw_at(v.alloc_time),
+        })
+        .collect();
+    SiteProfile {
+        site,
+        stack,
+        alloc_count,
+        max_size,
+        total_bytes,
+        peak_live_bytes,
+        load_misses_est,
+        store_misses_est,
+        has_stores: store_samples > 0,
+        first_alloc,
+        last_free,
+        bw_at_alloc,
+        avg_bw,
+        objects: object_lifetimes,
+    }
+}
+
 /// Peak simultaneously-live bytes among one site's objects.
-fn peak_live(objs: &[(&ObjectId, &Obj)]) -> u64 {
-    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(objs.len() * 2);
-    for (_, o) in objs {
-        edges.push((o.alloc_time, o.size as i64));
-        edges.push((o.free_time, -(o.size as i64)));
+fn peak_live(spans: impl Iterator<Item = (f64, f64, u64)>) -> u64 {
+    let mut edges: Vec<(f64, i64)> = Vec::new();
+    for (alloc_time, free_time, size) in spans {
+        edges.push((alloc_time, size as i64));
+        edges.push((free_time, -(size as i64)));
     }
     edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut cur = 0i64;
@@ -292,6 +668,35 @@ mod tests {
         let p = profiled();
         let app = workloads::minife::model();
         assert_eq!(p.sites.len(), app.sites.len());
+    }
+
+    #[test]
+    fn columnar_scalar_and_sharded_paths_agree() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let (trace, _) = profile_run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(TierId::PMEM),
+            &ProfilerConfig::default(),
+        );
+        let scalar = analyze_legacy(&trace).unwrap();
+        let serial = analyze_with_jobs(&trace, 1).unwrap();
+        let sharded = analyze_with_jobs(&trace, 4).unwrap();
+        assert_eq!(scalar, serial);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn bandwidth_series_counts_convert_per_period() {
+        let bins = vec![0.0, 1.0];
+        let (series, peak) = bandwidth_series(&bins, &[10, 0], &[0, 5], 2.0, 3.0, 3.0);
+        // Bin 0: 10 load samples × 2 misses × 64B over 1 s.
+        assert_eq!(series[0], (0.0, 10.0 * 2.0 * 64.0));
+        // Bin 1: 5 store-miss samples × 3 stores × 64B over 2 s.
+        assert_eq!(series[1], (1.0, 5.0 * 3.0 * 64.0 / 2.0));
+        assert_eq!(peak, series[0].1);
     }
 
     #[test]
@@ -351,6 +756,7 @@ mod tests {
         );
         trace.stacks.clear();
         assert!(analyze(&trace).is_err());
+        assert!(analyze_legacy(&trace).is_err());
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Frozen pre-columnar implementations, kept verbatim as the performance
+//! reference for `bench --bin analyzer_throughput`.
+//!
+//! These are the seed algorithms the columnar engine replaced: the
+//! event-at-a-time analyzer whose interval search chased a hash map per
+//! candidate, and the single-RNG sequential trace synthesizer. They are
+//! **not** output-compatible with the current paths — the analyzer's
+//! bandwidth bins accumulated floats instead of counts (last-bit
+//! differences), and the synthesizer drew from one sequential ChaCha
+//! stream — so they exist purely to measure the speedup claim against the
+//! genuine before, not as fallbacks. The supported fallback is
+//! [`crate::analyzer::analyze_legacy`].
+
+use crate::profile::{ObjectLifetime, ProfileSet, SiteProfile};
+use crate::sampler::ProfilerConfig;
+use memsim::{AppModel, RunResult};
+use memtrace::{FuncId, ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+struct Obj {
+    site: SiteId,
+    size: u64,
+    address: u64,
+    alloc_time: f64,
+    free_time: f64,
+    load_samples: u64,
+    store_samples: u64,
+    store_l1d_miss_samples: u64,
+}
+
+/// The seed analyzer, byte-for-byte the pre-columnar algorithm (minus
+/// observability hooks, so benchmarking it does not pollute metrics).
+#[doc(hidden)]
+pub fn analyze_baseline(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
+    trace.validate()?;
+
+    let mut objects: HashMap<ObjectId, Obj> = HashMap::new();
+    for e in &trace.events {
+        match e {
+            TraceEvent::Alloc { time, object, site, size, address } => {
+                objects.insert(
+                    *object,
+                    Obj {
+                        site: *site,
+                        size: *size,
+                        address: *address,
+                        alloc_time: *time,
+                        free_time: trace.duration,
+                        load_samples: 0,
+                        store_samples: 0,
+                        store_l1d_miss_samples: 0,
+                    },
+                );
+            }
+            TraceEvent::Free { time, object } => {
+                if let Some(o) = objects.get_mut(object) {
+                    o.free_time = *time;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut intervals: Vec<(u64, u64, ObjectId)> =
+        objects.iter().map(|(id, o)| (o.address, o.address + o.size, *id)).collect();
+    intervals.sort_unstable();
+
+    let find = |address: u64, time: f64, objects: &HashMap<ObjectId, Obj>| -> Option<ObjectId> {
+        let idx = intervals.partition_point(|&(start, _, _)| start <= address);
+        intervals[..idx]
+            .iter()
+            .rev()
+            .take_while(|&&(start, _, _)| start + (1 << 44) > address)
+            .find(|&&(start, end, id)| {
+                address >= start && address < end && {
+                    let o = &objects[&id];
+                    time >= o.alloc_time && time <= o.free_time
+                }
+            })
+            .map(|&(_, _, id)| id)
+    };
+
+    let mut unmatched_samples = 0u64;
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, address, .. } => {
+                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
+                    Some(o) => o.load_samples += 1,
+                    None => unmatched_samples += 1,
+                }
+            }
+            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
+                match find(*address, *time, &objects).and_then(|id| objects.get_mut(&id)) {
+                    Some(o) => {
+                        o.store_samples += 1;
+                        o.store_l1d_miss_samples += u64::from(*l1d_miss);
+                    }
+                    None => unmatched_samples += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = unmatched_samples;
+
+    let mut bins: Vec<f64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseMarker { time, .. } => Some(*time),
+            _ => None,
+        })
+        .collect();
+    if bins.is_empty() {
+        bins.push(0.0);
+    }
+    bins.sort_by(f64::total_cmp);
+    let mut bin_bytes = vec![0.0_f64; bins.len()];
+    let bin_of = |t: f64| -> usize { bins.partition_point(|&b| b <= t).saturating_sub(1) };
+    for e in &trace.events {
+        match e {
+            TraceEvent::LoadMissSample { time, .. } => {
+                bin_bytes[bin_of(*time)] += trace.load_sample_period * 64.0;
+            }
+            TraceEvent::StoreSample { time, l1d_miss: true, .. } => {
+                bin_bytes[bin_of(*time)] += trace.store_sample_period * 64.0;
+            }
+            _ => {}
+        }
+    }
+    let mut bw_series = Vec::with_capacity(bins.len());
+    for (i, &start) in bins.iter().enumerate() {
+        let end = bins.get(i + 1).copied().unwrap_or(trace.duration);
+        let width = (end - start).max(1e-9);
+        bw_series.push((start, bin_bytes[i] / width));
+    }
+    let peak_bw = bw_series.iter().map(|&(_, bw)| bw).fold(0.0, f64::max);
+    let bw_at = |t: f64| -> f64 {
+        let i = bin_of(t);
+        bw_series.get(i).map(|&(_, bw)| bw).unwrap_or(0.0)
+    };
+
+    let mut per_site: HashMap<SiteId, Vec<(&ObjectId, &Obj)>> = HashMap::new();
+    for (id, o) in &objects {
+        per_site.entry(o.site).or_default().push((id, o));
+    }
+    let mut sites = Vec::with_capacity(per_site.len());
+    for (site, stack) in &trace.stacks {
+        let Some(mut objs) = per_site.remove(site) else { continue };
+        objs.sort_by_key(|(id, _)| **id);
+        let alloc_count = objs.len() as u64;
+        let max_size = objs.iter().map(|(_, o)| o.size).max().unwrap_or(0);
+        let total_bytes: u64 = objs.iter().map(|(_, o)| o.size).sum();
+        let peak_live_bytes = peak_live(&objs);
+        let load_samples: u64 = objs.iter().map(|(_, o)| o.load_samples).sum();
+        let store_miss_samples: u64 = objs.iter().map(|(_, o)| o.store_l1d_miss_samples).sum();
+        let store_samples: u64 = objs.iter().map(|(_, o)| o.store_samples).sum();
+        let load_misses_est = load_samples as f64 * trace.load_sample_period;
+        let store_misses_est = store_miss_samples as f64 * trace.store_sample_period;
+        let first_alloc = objs.iter().map(|(_, o)| o.alloc_time).fold(f64::INFINITY, f64::min);
+        let last_free = objs.iter().map(|(_, o)| o.free_time).fold(0.0, f64::max);
+        let total_lifetime: f64 =
+            objs.iter().map(|(_, o)| (o.free_time - o.alloc_time).max(0.0)).sum();
+        let bw_at_alloc =
+            objs.iter().map(|(_, o)| bw_at(o.alloc_time)).sum::<f64>() / alloc_count.max(1) as f64;
+        let avg_bw = if total_lifetime > 0.0 {
+            (load_misses_est + store_misses_est) * 64.0 / total_lifetime
+        } else {
+            0.0
+        };
+        let object_lifetimes = objs
+            .iter()
+            .map(|(id, o)| ObjectLifetime {
+                object: **id,
+                size: o.size,
+                alloc_time: o.alloc_time,
+                free_time: o.free_time,
+                load_samples: o.load_samples,
+                store_samples: o.store_samples,
+                store_l1d_miss_samples: o.store_l1d_miss_samples,
+                bw_at_alloc: bw_at(o.alloc_time),
+            })
+            .collect();
+        sites.push(SiteProfile {
+            site: *site,
+            stack: stack.clone(),
+            alloc_count,
+            max_size,
+            total_bytes,
+            peak_live_bytes,
+            load_misses_est,
+            store_misses_est,
+            has_stores: store_samples > 0,
+            first_alloc,
+            last_free,
+            bw_at_alloc,
+            avg_bw,
+            objects: object_lifetimes,
+        });
+    }
+    sites.sort_by_key(|s| s.site);
+
+    Ok(ProfileSet {
+        app_name: trace.app_name.clone(),
+        duration: trace.duration,
+        sites,
+        bw_series,
+        peak_bw,
+        binmap: trace.binmap.clone(),
+    })
+}
+
+fn peak_live(objs: &[(&ObjectId, &Obj)]) -> u64 {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(objs.len() * 2);
+    for (_, o) in objs {
+        edges.push((o.alloc_time, o.size as i64));
+        edges.push((o.free_time, -(o.size as i64)));
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u64
+}
+
+/// The seed synthesizer: one sequential ChaCha stream across all objects,
+/// AoS event vector, comparator-based stable sort, counter re-scans.
+#[doc(hidden)]
+pub fn synthesize_baseline(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let funcs = crate::sampler::site_functions(app);
+
+    let total_load_misses: f64 = result.objects.iter().map(|o| o.load_misses).sum();
+    let total_stores: f64 = result.objects.iter().map(|o| o.stores).sum();
+    let sample_budget = (cfg.sampling_hz * app.ranks as f64 * result.total_time).max(1.0);
+    let load_period = (total_load_misses / sample_budget).max(1.0);
+    let store_period = (total_stores / sample_budget).max(1.0);
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    for (i, phase) in result.phases.iter().enumerate() {
+        events.push(TraceEvent::PhaseMarker { time: phase.start, phase: i as u32 });
+    }
+
+    for o in &result.objects {
+        events.push(TraceEvent::Alloc {
+            time: o.alloc_time,
+            object: o.object,
+            site: o.site,
+            size: o.size,
+            address: o.address,
+        });
+        events.push(TraceEvent::Free { time: o.free_time, object: o.object });
+
+        let func = funcs.get(&o.site).copied().unwrap_or(FuncId(u16::MAX));
+        let tier_lat_cycles = 300.0;
+
+        for &(phase, load_misses, store_misses, stores) in &o.phase_activity {
+            let p = &result.phases[phase as usize];
+            let (start, dur) = (p.start.max(o.alloc_time), p.duration);
+
+            let n_load = randomized_count(load_misses / load_period, &mut rng);
+            for _ in 0..n_load {
+                let time = start + rng.gen::<f64>() * dur;
+                let address = o.address + rng.gen_range(0..o.size.max(1)) / 64 * 64;
+                events.push(TraceEvent::LoadMissSample {
+                    time,
+                    address,
+                    latency_cycles: tier_lat_cycles * (0.8 + 0.4 * rng.gen::<f64>()),
+                    function: func,
+                });
+            }
+
+            let n_store = randomized_count(stores / store_period, &mut rng);
+            let miss_prob = if stores > 0.0 { store_misses / stores } else { 0.0 };
+            for _ in 0..n_store {
+                let time = start + rng.gen::<f64>() * dur;
+                let address = o.address + rng.gen_range(0..o.size.max(1)) / 64 * 64;
+                events.push(TraceEvent::StoreSample {
+                    time,
+                    address,
+                    l1d_miss: rng.gen::<f64>() < miss_prob,
+                    function: func,
+                });
+            }
+        }
+    }
+
+    events.sort_by(|a, b| a.time().partial_cmp(&b.time()).unwrap());
+    let _ = events.iter().filter(|e| matches!(e, TraceEvent::LoadMissSample { .. })).count();
+    let _ = events.iter().filter(|e| matches!(e, TraceEvent::StoreSample { .. })).count();
+
+    TraceFile {
+        app_name: app.name.clone(),
+        seed: cfg.seed,
+        ranks: app.ranks,
+        sampling_hz: cfg.sampling_hz,
+        load_sample_period: load_period,
+        store_sample_period: store_period,
+        duration: result.total_time,
+        stacks: app.sites.clone(),
+        binmap: app.binmap.clone(),
+        events,
+    }
+}
+
+fn randomized_count(expected: f64, rng: &mut StdRng) -> u64 {
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.gen::<f64>() < frac)
+}

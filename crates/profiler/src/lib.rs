@@ -20,11 +20,14 @@
 //!   lifetimes, bandwidth at allocation vs during execution).
 
 pub mod analyzer;
+pub mod baseline;
 pub mod profile;
 pub mod sampler;
 pub mod timeline;
 
-pub use analyzer::{analyze, analyze_lenient};
+pub use analyzer::{analyze, analyze_legacy, analyze_lenient, analyze_with_jobs, bandwidth_series};
 pub use profile::{ObjectLifetime, ProfileSet, SiteProfile};
-pub use sampler::{profile_run, profile_run_cached, ProfilerConfig};
+pub use sampler::{
+    profile_run, profile_run_cached, synthesize_trace, synthesize_trace_with_jobs, ProfilerConfig,
+};
 pub use timeline::{timeline, to_csv, TimelineRow};

@@ -12,11 +12,19 @@
 //! what makes allocation-time bandwidth recoverable; sampled addresses are
 //! uniform within the object, exercising the analyzer's address-interval
 //! matching.
+//!
+//! Synthesis is batched per object: every object draws from its own
+//! splitmix64 stream seeded from `(cfg.seed, ObjectId)`, so the event
+//! stream for an object is a pure function of the configuration — chunks
+//! of objects can be generated on any number of workers (via
+//! [`memsim::parallel_map`]) and concatenated in submission order without
+//! changing a single byte of the trace. The final time-sort uses a
+//! `(time, emission index)` key vector, which is equivalent to the stable
+//! sort of the event records themselves but never compares 48-byte enums.
 
-use memsim::{AppModel, ExecMode, MachineConfig, PlacementPolicy, RunResult};
+use memsim::RunResult;
+use memsim::{AppModel, ExecMode, MachineConfig, ObjectRecord, PhaseStats, PlacementPolicy};
 use memtrace::{FuncId, SiteId, TierId, TraceEvent, TraceFile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,7 +77,7 @@ pub fn profile_run_cached(
 }
 
 /// Dominant function per site, for sample attribution.
-fn site_functions(app: &AppModel) -> HashMap<SiteId, FuncId> {
+pub(crate) fn site_functions(app: &AppModel) -> HashMap<SiteId, FuncId> {
     let mut best: HashMap<SiteId, (f64, FuncId)> = HashMap::new();
     for phase in &app.phases {
         for a in &phase.accesses {
@@ -83,10 +91,286 @@ fn site_functions(app: &AppModel) -> HashMap<SiteId, FuncId> {
     best.into_iter().map(|(s, (_, f))| (s, f)).collect()
 }
 
+/// A splitmix64 counter stream — the sampler's noise source. Statistically
+/// strong for this purpose (uniform timestamp jitter, address picks,
+/// randomized rounding), an order of magnitude cheaper per draw than a
+/// cryptographic generator, and trivially seedable per object.
+pub(crate) struct SampleRng(u64);
+
+impl SampleRng {
+    pub(crate) fn new(seed: u64) -> SampleRng {
+        SampleRng(seed)
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` by multiply-shift (`n` ≥ 1). The modulo bias is
+    /// ~2⁻⁶⁴ per draw — far below the sampling noise being modeled.
+    #[inline]
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Seed of one object's sample stream: a splitmix64 finalizer over the
+/// run seed and the object id. Object-granularity seeding is what makes
+/// any partition of the object list into generation chunks produce the
+/// identical trace.
+pub(crate) fn object_seed(seed: u64, object: u64) -> u64 {
+    let mut z = seed ^ object.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a (non-NaN) `f64` to a `u64` whose unsigned order is the float's
+/// total order — the classic sign-flip transform. Event timestamps are
+/// never NaN (`validate` enforces finiteness downstream), so sorting by
+/// these bits equals sorting by `partial_cmp`.
+#[inline]
+fn time_bits(t: f64) -> u64 {
+    let b = t.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Time-bucketed event sink: events are generated *straight into*
+/// value-distribution buckets along `[0, duration]`, keyed by
+/// `(time_bits, emission rank)`. Finalizing the trace then costs one
+/// in-cache sort per small bucket plus one concatenation — the full
+/// trace is never materialized in emission order, never globally
+/// sorted, and never gathered through random 48-byte reads.
+///
+/// The bucket map is monotone in time and ranks are globally unique and
+/// monotone in emission order, so the result is the *identical*
+/// permutation a stable sort by timestamp over the emission stream
+/// would produce — independent of how emission was chunked.
+struct TimeSink {
+    scale: f64,
+    parts: Vec<Vec<(u64, u64, TraceEvent)>>,
+}
+
+impl TimeSink {
+    /// `expected` fixes the bucket geometry (all sinks that will be
+    /// folded together must share it); `fill` is the share of `expected`
+    /// this particular sink will receive, used only to pre-size buckets.
+    fn new(expected: usize, fill: usize, duration: f64) -> TimeSink {
+        let buckets = (expected / 64).next_power_of_two().clamp(1, 1 << 14);
+        // An extra 1/4 headroom absorbs bucket-to-bucket imbalance so the
+        // common case never reallocates mid-push.
+        let cap = fill / buckets + fill / buckets / 4 + 4;
+        TimeSink {
+            scale: buckets as f64 / duration.max(f64::MIN_POSITIVE),
+            parts: (0..buckets).map(|_| Vec::with_capacity(cap)).collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rank: u64, e: TraceEvent) {
+        // Samples can trail slightly past `duration` (a phase window
+        // clipped by a late allocation); out-of-range times clamp to
+        // the edge buckets, which only makes those buckets larger.
+        let b = ((e.time() * self.scale) as usize).min(self.parts.len() - 1);
+        self.parts[b].push((time_bits(e.time()), rank, e));
+    }
+
+    /// Folds a sink of identical geometry into this one. Relative order
+    /// within a bucket is irrelevant: `(time_bits, rank)` keys are
+    /// unique, so the per-bucket sort fixes a single total order.
+    fn absorb(&mut self, other: TimeSink) {
+        for (dst, src) in self.parts.iter_mut().zip(other.parts) {
+            dst.extend(src);
+        }
+    }
+
+    /// Sorts every bucket and concatenates, in bucket order. Buckets are
+    /// mutually independent, so with `jobs > 1` contiguous bucket groups
+    /// sort in parallel; group order is restored before concatenation,
+    /// keeping the output independent of `jobs`.
+    fn into_sorted(self, size_hint: usize, jobs: usize) -> Vec<TraceEvent> {
+        let n_buckets = self.parts.len();
+        let mut out = Vec::with_capacity(size_hint);
+        if jobs <= 1 || n_buckets < 64 {
+            // Sort 24-byte keys and gather within the bucket (which fits
+            // in cache) instead of shuffling 64-byte tuples through the
+            // sort network.
+            let mut idx: Vec<(u64, u64, u32)> = Vec::new();
+            for part in self.parts {
+                idx.clear();
+                idx.extend(part.iter().enumerate().map(|(i, t)| (t.0, t.1, i as u32)));
+                idx.sort_unstable();
+                out.extend(idx.iter().map(|&(_, _, i)| part[i as usize].2.clone()));
+            }
+            return out;
+        }
+        let group = n_buckets.div_ceil(jobs * 4);
+        let groups: Vec<Vec<Vec<(u64, u64, TraceEvent)>>> = {
+            let mut parts = self.parts;
+            let mut gs = Vec::with_capacity(n_buckets.div_ceil(group));
+            while !parts.is_empty() {
+                let rest = parts.split_off(parts.len().min(group));
+                gs.push(std::mem::replace(&mut parts, rest));
+            }
+            gs
+        };
+        for chunk in memsim::parallel_map(groups, jobs, |g| {
+            let mut run = Vec::with_capacity(g.iter().map(Vec::len).sum());
+            let mut idx: Vec<(u64, u64, u32)> = Vec::new();
+            for part in g {
+                idx.clear();
+                idx.extend(part.iter().enumerate().map(|(i, t)| (t.0, t.1, i as u32)));
+                idx.sort_unstable();
+                run.extend(idx.iter().map(|&(_, _, i)| part[i as usize].2.clone()));
+            }
+            run
+        }) {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Rounds an expectation to an integer count without bias.
+#[inline]
+fn randomized_count(expected: f64, rng: &mut SampleRng) -> u64 {
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.next_f64() < frac)
+}
+
+/// Objects per generation chunk on the parallel path. Chunking is fixed
+/// (not derived from the worker count), but determinism does not depend
+/// on it: per-object seeding makes any split produce the same events.
+const OBJ_CHUNK: usize = 64;
+
+/// Shared inputs of per-object event generation.
+struct EmitCtx<'a> {
+    seed: u64,
+    load_period: f64,
+    store_period: f64,
+    funcs: &'a HashMap<SiteId, FuncId>,
+    phases: &'a [PhaseStats],
+}
+
+/// Emits alloc/free events and randomized samples for a run of objects
+/// starting at global object index `first`, returning
+/// `(load_samples, store_samples)` counts. Each event's rank encodes
+/// `(global object index + 1, intra-object sequence)`, so ranks from
+/// any chunking interleave into the same total order; rank 0..2³² is
+/// reserved for phase markers, which precede all object events in
+/// emission order.
+fn emit_objects(
+    objs: &[ObjectRecord],
+    first: u64,
+    ctx: &EmitCtx,
+    sink: &mut TimeSink,
+) -> (u64, u64) {
+    let mut n_loads = 0u64;
+    let mut n_stores = 0u64;
+    for (k, o) in objs.iter().enumerate() {
+        let base = (first + k as u64 + 1) << 32;
+        let mut rank = base;
+        sink.push(
+            rank,
+            TraceEvent::Alloc {
+                time: o.alloc_time,
+                object: o.object,
+                site: o.site,
+                size: o.size,
+                address: o.address,
+            },
+        );
+        rank += 1;
+        sink.push(rank, TraceEvent::Free { time: o.free_time, object: o.object });
+        rank += 1;
+
+        let func = ctx.funcs.get(&o.site).copied().unwrap_or(FuncId(u16::MAX));
+        let tier_lat_cycles = 300.0; // nominal; refined by the engine stats
+        let span = o.size.max(1);
+        let mut rng = SampleRng::new(object_seed(ctx.seed, o.object.0));
+
+        // Samples are placed inside the phases where the object's accesses
+        // actually happened — PEBS fires while the code runs, not smeared
+        // over the object's lifetime. This is what makes "bandwidth at
+        // allocation time" (§VII) recoverable from the trace.
+        for &(phase, load_misses, store_misses, stores) in &o.phase_activity {
+            let p = &ctx.phases[phase as usize];
+            let (start, dur) = (p.start.max(o.alloc_time), p.duration);
+
+            // Load-miss samples: expectation = misses / period, randomized
+            // rounding keeps the total unbiased.
+            let n_load = randomized_count(load_misses / ctx.load_period, &mut rng);
+            for _ in 0..n_load {
+                sink.push(
+                    rank,
+                    TraceEvent::LoadMissSample {
+                        time: start + rng.next_f64() * dur,
+                        address: o.address + rng.below(span) / 64 * 64,
+                        latency_cycles: tier_lat_cycles * (0.8 + 0.4 * rng.next_f64()),
+                        function: func,
+                    },
+                );
+                rank += 1;
+            }
+            n_loads += n_load;
+
+            // Store samples: ALL_STORES fires on every store; the L1D-miss
+            // flag is set with the stream's true store-miss probability.
+            let n_store = randomized_count(stores / ctx.store_period, &mut rng);
+            let miss_prob = if stores > 0.0 { store_misses / stores } else { 0.0 };
+            for _ in 0..n_store {
+                sink.push(
+                    rank,
+                    TraceEvent::StoreSample {
+                        time: start + rng.next_f64() * dur,
+                        address: o.address + rng.below(span) / 64 * 64,
+                        l1d_miss: rng.next_f64() < miss_prob,
+                        function: func,
+                    },
+                );
+                rank += 1;
+            }
+            n_stores += n_store;
+        }
+        debug_assert!(rank - base < 1 << 32, "per-object event count exceeds rank field");
+    }
+    (n_loads, n_stores)
+}
+
 /// Builds the trace from an engine result.
-fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
+pub fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
+    synthesize_trace_with_jobs(app, result, cfg, memsim::jobs_from_env())
+}
+
+/// [`synthesize_trace`] with an explicit worker count. The trace does not
+/// depend on `jobs` (unit-tested); only wall-clock does.
+pub fn synthesize_trace_with_jobs(
+    app: &AppModel,
+    result: &RunResult,
+    cfg: &ProfilerConfig,
+    jobs: usize,
+) -> TraceFile {
     let _span = ecohmem_obs::span("profiler.synthesize");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // The chunked path pays a fold pass that only parallelism repays; with
+    // fewer cores than requested jobs it is strictly overhead, and the
+    // trace is jobs-invariant, so clamp to what the machine can run.
+    let jobs = jobs.min(std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
     let funcs = site_functions(app);
 
     let total_load_misses: f64 = result.objects.iter().map(|o| o.load_misses).sum();
@@ -95,75 +379,52 @@ fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) ->
     let load_period = (total_load_misses / sample_budget).max(1.0);
     let store_period = (total_stores / sample_budget).max(1.0);
 
-    let mut events: Vec<TraceEvent> = Vec::new();
+    let expected = result.phases.len() + result.objects.len() * 2 + (2.2 * sample_budget) as usize;
+    assert!(result.objects.len() < u32::MAX as usize, "object count exceeds rank field");
+    let mut sink = TimeSink::new(expected, if jobs <= 1 { expected } else { 0 }, result.total_time);
 
     for (i, phase) in result.phases.iter().enumerate() {
-        events.push(TraceEvent::PhaseMarker { time: phase.start, phase: i as u32 });
+        sink.push(i as u64, TraceEvent::PhaseMarker { time: phase.start, phase: i as u32 });
     }
 
-    for o in &result.objects {
-        events.push(TraceEvent::Alloc {
-            time: o.alloc_time,
-            object: o.object,
-            site: o.site,
-            size: o.size,
-            address: o.address,
+    let ctx = EmitCtx {
+        seed: cfg.seed,
+        load_period,
+        store_period,
+        funcs: &funcs,
+        phases: &result.phases,
+    };
+    let (n_loads, n_stores) = if jobs <= 1 || result.objects.len() <= OBJ_CHUNK {
+        emit_objects(&result.objects, 0, &ctx, &mut sink)
+    } else {
+        // Per-object seeding makes every chunk independent, and ranks
+        // carry the global object index, so *any* chunking folds into
+        // the same total order byte for byte — the chunk size is free to
+        // follow the worker count without affecting the trace (pinned by
+        // the jobs-invariance test).
+        let chunk = (result.objects.len().div_ceil(jobs * 4)).max(OBJ_CHUNK);
+        let n_chunks = result.objects.len().div_ceil(chunk);
+        let chunks: Vec<(usize, &[ObjectRecord])> =
+            result.objects.chunks(chunk).enumerate().collect();
+        let parts = memsim::parallel_map(chunks, jobs, |(ci, objs)| {
+            let mut shard = TimeSink::new(expected, expected / n_chunks, result.total_time);
+            let counts = emit_objects(objs, (ci * chunk) as u64, &ctx, &mut shard);
+            (shard, counts)
         });
-        events.push(TraceEvent::Free { time: o.free_time, object: o.object });
-
-        let func = funcs.get(&o.site).copied().unwrap_or(FuncId(u16::MAX));
-        let tier_lat_cycles = 300.0; // nominal; refined by the engine stats
-
-        // Samples are placed inside the phases where the object's accesses
-        // actually happened — PEBS fires while the code runs, not smeared
-        // over the object's lifetime. This is what makes "bandwidth at
-        // allocation time" (§VII) recoverable from the trace.
-        for &(phase, load_misses, store_misses, stores) in &o.phase_activity {
-            let p = &result.phases[phase as usize];
-            let (start, dur) = (p.start.max(o.alloc_time), p.duration);
-
-            // Load-miss samples: expectation = misses / period, randomized
-            // rounding keeps the total unbiased.
-            let n_load = randomized_count(load_misses / load_period, &mut rng);
-            for _ in 0..n_load {
-                let time = start + rng.gen::<f64>() * dur;
-                let address = o.address + rng.gen_range(0..o.size.max(1)) / 64 * 64;
-                events.push(TraceEvent::LoadMissSample {
-                    time,
-                    address,
-                    latency_cycles: tier_lat_cycles * (0.8 + 0.4 * rng.gen::<f64>()),
-                    function: func,
-                });
-            }
-
-            // Store samples: ALL_STORES fires on every store; the L1D-miss
-            // flag is set with the stream's true store-miss probability.
-            let n_store = randomized_count(stores / store_period, &mut rng);
-            let miss_prob = if stores > 0.0 { store_misses / stores } else { 0.0 };
-            for _ in 0..n_store {
-                let time = start + rng.gen::<f64>() * dur;
-                let address = o.address + rng.gen_range(0..o.size.max(1)) / 64 * 64;
-                events.push(TraceEvent::StoreSample {
-                    time,
-                    address,
-                    l1d_miss: rng.gen::<f64>() < miss_prob,
-                    function: func,
-                });
-            }
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for (shard, (l, s)) in parts {
+            sink.absorb(shard);
+            loads += l;
+            stores += s;
         }
-    }
+        (loads, stores)
+    };
 
-    events.sort_by(|a, b| a.time().partial_cmp(&b.time()).unwrap());
+    let events = sink.into_sorted(expected, jobs);
 
     ecohmem_obs::count("profiler.events.emitted", events.len() as u64);
-    ecohmem_obs::count(
-        "profiler.samples.load_miss",
-        events.iter().filter(|e| matches!(e, TraceEvent::LoadMissSample { .. })).count() as u64,
-    );
-    ecohmem_obs::count(
-        "profiler.samples.store",
-        events.iter().filter(|e| matches!(e, TraceEvent::StoreSample { .. })).count() as u64,
-    );
+    ecohmem_obs::count("profiler.samples.load_miss", n_loads);
+    ecohmem_obs::count("profiler.samples.store", n_stores);
     ecohmem_obs::count("profiler.allocs.recorded", result.objects.len() as u64);
 
     TraceFile {
@@ -178,13 +439,6 @@ fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) ->
         binmap: app.binmap.clone(),
         events,
     }
-}
-
-/// Rounds an expectation to an integer count without bias.
-fn randomized_count(expected: f64, rng: &mut StdRng) -> u64 {
-    let base = expected.floor();
-    let frac = expected - base;
-    base as u64 + u64::from(rng.gen::<f64>() < frac)
 }
 
 #[cfg(test)]
@@ -225,6 +479,20 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_chunking_invariant() {
+        // The same trace must come out whether objects are emitted on one
+        // worker or many — per-object seeding is what guarantees it.
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let cfg = ProfilerConfig { sampling_hz: 100.0, seed: 11 };
+        let result =
+            memsim::run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let serial = synthesize_trace_with_jobs(&app, &result, &cfg, 1);
+        let sharded = synthesize_trace_with_jobs(&app, &result, &cfg, 4);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
     fn seeds_change_sampling_noise() {
         let a = trace_for(1);
         let b = trace_for(2);
@@ -238,6 +506,16 @@ mod tests {
         let t = trace_for(1);
         assert!(t.load_sample_period >= 1.0);
         assert!(t.store_sample_period >= 1.0);
+    }
+
+    #[test]
+    fn sample_rng_is_uniform_enough() {
+        let mut rng = SampleRng::new(42);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let below = (0..n).filter(|_| rng.below(10) < 5).count();
+        assert!((below as f64 / n as f64 - 0.5).abs() < 0.01);
     }
 
     #[test]
