@@ -19,7 +19,9 @@
 //! migration paying bytes/bandwidth plus a fixed overhead.
 
 use cli::{machine_by_name, ok_or_die, usage_error, Args, MetricsOut};
-use ecohmem_online::{OnlineConfig, OnlinePolicy};
+use ecohmem_online::{
+    Admission, DurabilityConfig, OnlineConfig, OnlinePolicy, Supervisor, SupervisorConfig,
+};
 use flexmalloc::FlexMalloc;
 use memsim::{run, ExecMode};
 use memtrace::PlacementReport;
@@ -27,7 +29,8 @@ use memtrace::PlacementReport;
 const USAGE: &str = "ecohmem-run <app> --report FILE [--machine pmem6|pmem2|hbm] [--aslr N] \
                      [--no-baseline] [--lenient] [--jobs N] [--metrics-out FILE] | ecohmem-run \
                      <app> --online [--dram-gib N] [--epoch-phases N] [--machine ...] \
-                     [--no-baseline] [--jobs N] [--metrics-out FILE]";
+                     [--no-baseline] [--jobs N] [--metrics-out FILE] [--journal-dir DIR \
+                     [--checkpoint-every N] [--lenient]]";
 
 fn main() {
     let args = Args::from_env();
@@ -44,7 +47,11 @@ fn main() {
     };
 
     if args.has("online") {
-        run_online(&args, app_name, &app, &machine);
+        if args.opt("journal-dir").is_some() {
+            run_durable(&args, app_name, &app, &machine);
+        } else {
+            run_online(&args, app_name, &app, &machine);
+        }
         metrics.finish();
         return;
     }
@@ -100,6 +107,146 @@ fn main() {
         );
     }
     metrics.finish();
+}
+
+/// The `--online --journal-dir DIR` mode: the crash-safe streaming
+/// replanner. The app's event stream is fed through a supervised
+/// [`ecohmem_online::DurableEngine`] — every batch journaled before it is
+/// applied, checkpoints every `--checkpoint-every N` records — so killing
+/// the process and re-running with the same `--journal-dir` resumes from
+/// the recovered state instead of starting over. `--lenient` selects
+/// `BestEffort` degradation (serve the last good placement, marked stale,
+/// through worker outages) instead of `Strict` fail-fast.
+fn run_durable(
+    args: &Args,
+    app_name: &str,
+    app: &memsim::AppModel,
+    machine: &memsim::MachineConfig,
+) {
+    use ecohmem_online::channel::STREAM_BATCH;
+    use ecohmem_online::StreamMeta;
+    use memsim::FixedTier;
+    use profiler::{profile_run, ProfilerConfig};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    let dir = args.opt("journal-dir").expect("checked by caller");
+    let mut durability = DurabilityConfig::new(dir);
+    durability.checkpoint_every = args.opt_or("checkpoint-every", durability.checkpoint_every);
+    let policy = if args.has("lenient") {
+        ecohmem_online::DegradationPolicy::BestEffort
+    } else {
+        ecohmem_online::DegradationPolicy::Strict
+    };
+    let gib = args.opt_or("dram-gib", 12u64);
+    let mut online_cfg = OnlineConfig::default();
+    online_cfg.epoch_phases = args.opt_or("epoch-phases", online_cfg.epoch_phases);
+
+    // The event source: a profiled run of the app on the large tier (the
+    // stand-in for a live sampling profiler attached to the process).
+    let backing = machine.largest_tier();
+    let (trace, _) = profile_run(
+        app,
+        machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(backing),
+        &ProfilerConfig::default(),
+    );
+
+    // The first recovery callback tells us where the recovered stream
+    // stopped, so a re-fed recorded stream can skip what was already
+    // ingested instead of tripping Strict time-regression checks.
+    let first_open: Arc<(Mutex<Option<Option<f64>>>, Condvar)> =
+        Arc::new((Mutex::new(None), Condvar::new()));
+    let opened = Arc::clone(&first_open);
+    let supervisor = Supervisor::spawn(
+        durability,
+        StreamMeta::of(&trace),
+        policy,
+        online_cfg,
+        advisor::AdvisorConfig::loads_only(gib),
+        advisor::Algorithm::Base,
+        SupervisorConfig::default(),
+        move |report| {
+            if report.resumed {
+                eprintln!(
+                    "ecohmem-run: recovered prior state (checkpoint {:?}, {} journal records \
+                     replayed, {} torn bytes truncated, stream at t={:?})",
+                    report.checkpoint_seq,
+                    report.replayed_records,
+                    report.torn_bytes,
+                    report.stream_time,
+                );
+            }
+            let (slot, cv) = &*opened;
+            let mut guard = slot.lock().unwrap();
+            if guard.is_none() {
+                *guard = Some(report.stream_time);
+                cv.notify_all();
+            }
+        },
+    );
+    let resume_after = {
+        let (slot, cv) = &*first_open;
+        let guard = slot.lock().unwrap();
+        let (guard, timed_out) = cv
+            .wait_timeout_while(guard, std::time::Duration::from_secs(30), |g| g.is_none())
+            .unwrap();
+        if timed_out.timed_out() {
+            None // open failed or is stuck; feed everything, errors surface below
+        } else {
+            guard.flatten()
+        }
+    };
+
+    let events: Vec<memtrace::TraceEvent> = match resume_after {
+        Some(t) => trace.events.iter().filter(|e| e.time() > t).cloned().collect(),
+        None => trace.events.clone(),
+    };
+    let mut shed_batches = 0u64;
+    let stride = (events.len() / 8).max(1);
+    let mut fed = 0usize;
+    'feed: for chunk in events.chunks(STREAM_BATCH) {
+        match supervisor.offer(chunk.to_vec()) {
+            Ok(Admission::Admitted) => {}
+            Ok(Admission::Shed) => shed_batches += 1,
+            Err(e) => {
+                eprintln!("ecohmem-run: stream stopped early: {e}");
+                break 'feed;
+            }
+        }
+        let before = fed / stride;
+        fed += chunk.len();
+        if fed / stride > before {
+            // Mid-stream replan ticks, like a live epoch timer would fire.
+            if let Err(e) = supervisor.tick(chunk.last().map(event_time).unwrap_or(0.0)) {
+                eprintln!("ecohmem-run: tick failed: {e}");
+                break 'feed;
+            }
+        }
+    }
+    let _ = supervisor.tick(trace.duration);
+    let outcome = ok_or_die("ecohmem-run", supervisor.finish());
+    println!(
+        "{app_name} durable online replan: {} plan revisions over {} events, {} recoveries{}",
+        outcome.revisions.len(),
+        events.len(),
+        outcome.recoveries,
+        if outcome.degraded { " (degraded: serving stale state)" } else { "" },
+    );
+    if outcome.shed_events > 0 {
+        println!(
+            "overload: {} events shed in {} batches{}",
+            outcome.shed_events,
+            shed_batches,
+            outcome.shed_window.describe(),
+        );
+    } else {
+        println!("overload: none (0 events shed)");
+    }
+}
+
+fn event_time(e: &memtrace::TraceEvent) -> f64 {
+    e.time()
 }
 
 /// The `--online` mode: dynamic placement by the incremental advisor, no

@@ -128,14 +128,19 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
         DegradationPolicy::Strict => analyze(&trace)?,
         policy => {
             let events_before = trace.events.len();
-            warnings.extend(trace.sanitize());
+            let (sanitize_warnings, window) = trace.sanitize_verbose();
+            warnings.extend(sanitize_warnings);
             // Sanitize warns per damage class; surface the aggregate data
-            // loss too, so a lenient run can't silently discard events.
+            // loss too — with the time window it covered — so a lenient run
+            // can't silently discard events and the blind spot is auditable.
             let dropped = events_before - trace.events.len();
             if dropped > 0 {
                 warnings.push(Warning::new(
                     WarningKind::DroppedEvents,
-                    format!("sanitization dropped {dropped} of {events_before} trace events"),
+                    format!(
+                        "sanitization dropped {dropped} of {events_before} trace events{}",
+                        window.describe()
+                    ),
                 ));
             }
             if policy == DegradationPolicy::Warn && trace.events.is_empty() && events_before > 0 {

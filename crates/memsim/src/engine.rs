@@ -127,6 +127,9 @@ pub fn run(
     let mut migration_time = 0.0_f64;
 
     for (pi, phase) in app.phases.iter().enumerate() {
+        // Chaos-testing probe: a no-op unless a kill point was armed, in
+        // which case the run panics here at a deterministic phase offset.
+        crate::runner::kill_point_tick();
         let pi32 = pi as u32;
 
         // 1. Migrations requested by a reactive policy at the last phase

@@ -46,5 +46,8 @@ pub use model::{AccessPattern, AccessSpec, AllocOp, AppModel, FreeOp, PhaseSpec}
 pub use policy::{
     AllocContext, FixedTier, Migration, PhaseObservation, PlacementPolicy, SiteMapPolicy,
 };
-pub use runner::{global_cache, jobs_from_env, parallel_map, stable_hash, RunCache, RunKey};
+pub use runner::{
+    arm_kill_point, disarm_kill_point, global_cache, jobs_from_env, kill_point_tick, parallel_map,
+    stable_hash, RunCache, RunKey, KILL_POINT_PAYLOAD,
+};
 pub use tier::{TierKind, TierSpec};

@@ -208,6 +208,51 @@ pub fn global_cache() -> &'static RunCache {
     CACHE.get_or_init(RunCache::new)
 }
 
+/// Panic payload used by the kill-point hook; chaos harnesses match on it
+/// to tell an injected crash from a real engine bug.
+pub const KILL_POINT_PAYLOAD: &str = "memsim.kill_point";
+
+/// Disarmed sentinel for the kill-point counter.
+const KILL_DISARMED: i64 = -1;
+
+static KILL_POINT: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(KILL_DISARMED);
+
+/// Arms the process-wide kill point: the `n`-th subsequent
+/// [`kill_point_tick`] (0-based) panics with [`KILL_POINT_PAYLOAD`]. The
+/// engine calls the tick once per simulated phase, so `n` selects a
+/// deterministic crash offset inside a run. Chaos-testing only; the hook
+/// costs one relaxed atomic load per phase when disarmed.
+pub fn arm_kill_point(n: u64) {
+    KILL_POINT.store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+}
+
+/// Disarms the kill point (idempotent). Call from chaos harnesses after a
+/// caught injected crash so later runs proceed normally.
+pub fn disarm_kill_point() {
+    KILL_POINT.store(KILL_DISARMED, Ordering::SeqCst);
+}
+
+/// The kill-point probe. A no-op unless armed; when the armed countdown
+/// reaches zero it disarms itself and panics with [`KILL_POINT_PAYLOAD`].
+pub fn kill_point_tick() {
+    let mut cur = KILL_POINT.load(Ordering::Relaxed);
+    loop {
+        if cur < 0 {
+            return; // disarmed
+        }
+        let next = if cur == 0 { KILL_DISARMED } else { cur - 1 };
+        match KILL_POINT.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                if cur == 0 {
+                    std::panic::panic_any(KILL_POINT_PAYLOAD);
+                }
+                return;
+            }
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
 /// Worker count from the `ECOHMEM_JOBS` environment variable, defaulting to
 /// the machine's available parallelism.
 pub fn jobs_from_env() -> usize {
@@ -311,5 +356,19 @@ mod tests {
             mk(ExecMode::AppDirect, "fixed:dram>pmem")
         );
         assert_eq!(mk(ExecMode::AppDirect, "fixed:dram"), mk(ExecMode::AppDirect, "fixed:dram"));
+    }
+
+    #[test]
+    fn kill_point_fires_once_at_the_armed_offset() {
+        // Serialized with a lock in spirit: this test owns the global
+        // counter; nothing else in this crate arms it.
+        disarm_kill_point();
+        kill_point_tick(); // disarmed: no-op
+        arm_kill_point(2);
+        kill_point_tick();
+        kill_point_tick();
+        let hit = std::panic::catch_unwind(kill_point_tick).expect_err("third tick crashes");
+        assert_eq!(hit.downcast_ref::<&str>(), Some(&KILL_POINT_PAYLOAD));
+        kill_point_tick(); // auto-disarmed after firing
     }
 }

@@ -21,8 +21,9 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 8] = b"ECOHMEM\0";
 const VERSION: u32 = 1;
 
-/// Writes a varint (LEB128).
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Writes a varint (LEB128). Public so downstream binary formats (the
+/// online engine's journal and checkpoints) share one integer encoding.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -35,7 +36,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads a varint.
-fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+pub fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -189,6 +190,120 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
     Ok(trace)
 }
 
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320), the checksum guarding journal
+/// records and checkpoint payloads against torn writes and bit rot.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Exact-time event frames.
+//
+// The trace format above delta-codes timestamps at µs granularity — right
+// for archival traces, wrong for a write-ahead journal whose replay must be
+// *bit-identical* to the run it recovers. Frames encode every `f64` as its
+// raw IEEE-754 bits, so `read_frame(write_frame(events)) == events` exactly.
+
+/// Appends an exact, self-delimiting encoding of `events` to `out`.
+pub fn write_frame(events: &[TraceEvent], out: &mut Vec<u8>) {
+    put_varint(out, events.len() as u64);
+    for e in events {
+        match e {
+            TraceEvent::Alloc { time, object, site, size, address } => {
+                out.push(TAG_ALLOC);
+                put_varint(out, time.to_bits());
+                put_varint(out, object.0);
+                put_varint(out, u64::from(site.0));
+                put_varint(out, *size);
+                put_varint(out, *address);
+            }
+            TraceEvent::Free { time, object } => {
+                out.push(TAG_FREE);
+                put_varint(out, time.to_bits());
+                put_varint(out, object.0);
+            }
+            TraceEvent::LoadMissSample { time, address, latency_cycles, function } => {
+                out.push(TAG_LOAD);
+                put_varint(out, time.to_bits());
+                put_varint(out, *address);
+                put_varint(out, latency_cycles.to_bits());
+                put_varint(out, u64::from(function.0));
+            }
+            TraceEvent::StoreSample { time, address, l1d_miss, function } => {
+                out.push(if *l1d_miss { TAG_STORE_MISS } else { TAG_STORE_HIT });
+                put_varint(out, time.to_bits());
+                put_varint(out, *address);
+                put_varint(out, u64::from(function.0));
+            }
+            TraceEvent::PhaseMarker { time, phase } => {
+                out.push(TAG_PHASE);
+                put_varint(out, time.to_bits());
+                put_varint(out, u64::from(*phase));
+            }
+        }
+    }
+}
+
+/// Decodes one frame written by [`write_frame`], advancing `pos` past it.
+pub fn read_frame(data: &[u8], pos: &mut usize) -> Result<Vec<TraceEvent>, TraceError> {
+    let n = get_varint(data, pos)? as usize;
+    if n > data.len().saturating_sub(*pos) {
+        // Each event costs ≥ 2 bytes; an absurd count means corruption.
+        return Err(TraceError::Malformed(format!("frame claims {n} events in a short buffer")));
+    }
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *data.get(*pos).ok_or_else(|| TraceError::Malformed("truncated frame".into()))?;
+        *pos += 1;
+        let time = f64::from_bits(get_varint(data, pos)?);
+        let event = match tag {
+            TAG_ALLOC => TraceEvent::Alloc {
+                time,
+                object: ObjectId(get_varint(data, pos)?),
+                site: SiteId(get_varint(data, pos)? as u32),
+                size: get_varint(data, pos)?,
+                address: get_varint(data, pos)?,
+            },
+            TAG_FREE => TraceEvent::Free { time, object: ObjectId(get_varint(data, pos)?) },
+            TAG_LOAD => TraceEvent::LoadMissSample {
+                time,
+                address: get_varint(data, pos)?,
+                latency_cycles: f64::from_bits(get_varint(data, pos)?),
+                function: FuncId(get_varint(data, pos)? as u16),
+            },
+            TAG_STORE_HIT | TAG_STORE_MISS => TraceEvent::StoreSample {
+                time,
+                address: get_varint(data, pos)?,
+                l1d_miss: tag == TAG_STORE_MISS,
+                function: FuncId(get_varint(data, pos)? as u16),
+            },
+            TAG_PHASE => TraceEvent::PhaseMarker { time, phase: get_varint(data, pos)? as u32 },
+            other => return Err(TraceError::Malformed(format!("unknown frame tag {other}"))),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +421,62 @@ mod tests {
         for cut in [10, 13, buf.len() / 2, buf.len() - 1] {
             assert!(read_trace(&buf[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_bit_exactly() {
+        // Adversarial times: values µs quantization would destroy.
+        let events = vec![
+            TraceEvent::PhaseMarker { time: 0.1 + 0.2, phase: 7 },
+            TraceEvent::Alloc {
+                time: 1.0 / 3.0,
+                object: ObjectId(u64::MAX),
+                site: SiteId(u32::MAX),
+                size: u64::MAX,
+                address: 1 << 44,
+            },
+            TraceEvent::LoadMissSample {
+                time: f64::MIN_POSITIVE,
+                address: 42,
+                latency_cycles: 412.000_000_001,
+                function: FuncId(u16::MAX),
+            },
+            TraceEvent::StoreSample {
+                time: 2.5e-7,
+                address: 64,
+                l1d_miss: true,
+                function: FuncId(0),
+            },
+            TraceEvent::Free { time: 1e9 + 1e-9, object: ObjectId(3) },
+        ];
+        let mut buf = Vec::new();
+        write_frame(&events, &mut buf);
+        write_frame(&[], &mut buf);
+        let mut pos = 0;
+        assert_eq!(read_frame(&buf, &mut pos).unwrap(), events);
+        assert_eq!(read_frame(&buf, &mut pos).unwrap(), Vec::new());
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn frames_reject_truncation_and_junk() {
+        let events = sample_trace().events;
+        let mut buf = Vec::new();
+        write_frame(&events, &mut buf);
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            let mut pos = 0;
+            assert!(read_frame(&buf[..cut], &mut pos).is_err(), "cut at {cut}");
+        }
+        let mut junk = buf.clone();
+        junk[1] = 99; // first tag byte (after the count varint)
+        let mut pos = 0;
+        assert!(read_frame(&junk, &mut pos).is_err());
     }
 
     #[test]

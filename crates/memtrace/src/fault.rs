@@ -101,6 +101,55 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Process-level faults: failures of the *running* online engine rather
+/// than of an artifact on disk. Artifact faults above mutate bytes; these
+/// describe when and how the engine's process dies or misbehaves, and are
+/// interpreted by the chaos harness (`chaos_soak` in the bench crate) and
+/// the simulator's kill points (`memsim::runner`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessFaultKind {
+    /// Kill the process after N journal records, leaving a torn tail.
+    KillAtOffset,
+    /// Crash between checkpoint tmp-write and rename, leaving a `.tmp`.
+    MidCheckpointCrash,
+    /// The consumer thread stops draining; producers hit admission
+    /// deadlines and must shed.
+    StalledConsumer,
+    /// Event timestamps jump backwards or far forwards mid-stream.
+    ClockSkew,
+}
+
+impl ProcessFaultKind {
+    /// Every process fault kind.
+    pub const ALL: [ProcessFaultKind; 4] = [
+        ProcessFaultKind::KillAtOffset,
+        ProcessFaultKind::MidCheckpointCrash,
+        ProcessFaultKind::StalledConsumer,
+        ProcessFaultKind::ClockSkew,
+    ];
+
+    /// Stable kebab-case name, accepted by [`ProcessFaultKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessFaultKind::KillAtOffset => "kill-at-offset",
+            ProcessFaultKind::MidCheckpointCrash => "mid-checkpoint-crash",
+            ProcessFaultKind::StalledConsumer => "stalled-consumer",
+            ProcessFaultKind::ClockSkew => "clock-skew",
+        }
+    }
+
+    /// Looks a kind up by its kebab-case name.
+    pub fn parse(name: &str) -> Option<ProcessFaultKind> {
+        ProcessFaultKind::ALL.iter().copied().find(|k| k.name() == name.trim())
+    }
+}
+
+impl fmt::Display for ProcessFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One fault to inject: what, how hard, and under which random seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
@@ -480,6 +529,15 @@ mod tests {
                 assert!(s.frames().iter().all(|f| f.module == ModuleId(u16::MAX)));
             }
         }
+    }
+
+    #[test]
+    fn process_fault_names_round_trip() {
+        for kind in ProcessFaultKind::ALL {
+            assert_eq!(ProcessFaultKind::parse(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(ProcessFaultKind::parse("melt-cpu"), None);
     }
 
     #[test]

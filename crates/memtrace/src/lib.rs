@@ -34,9 +34,9 @@ pub use callstack::{CallStack, CodeLocation, Frame, HumanStack, StackFormat};
 pub use columns::{EventBatch, ObjectIndex, TraceColumns, SAME_TIER_SPAN};
 pub use error::TraceError;
 pub use events::TraceEvent;
-pub use fault::{FaultKind, FaultSpec, FaultTarget};
+pub use fault::{FaultKind, FaultSpec, FaultTarget, ProcessFaultKind};
 pub use ids::{FuncId, ModuleId, ObjectId, SiteId, TierId};
 pub use report::{PlacementReport, ReportEntry, ReportStack};
 pub use textfmt::parse_report;
 pub use trace::TraceFile;
-pub use warn::{DegradationPolicy, Warning, WarningKind};
+pub use warn::{DegradationPolicy, DroppedWindow, Warning, WarningKind};

@@ -6,7 +6,7 @@ use crate::callstack::CallStack;
 use crate::error::TraceError;
 use crate::events::TraceEvent;
 use crate::ids::SiteId;
-use crate::warn::{Warning, WarningKind};
+use crate::warn::{DroppedWindow, Warning, WarningKind};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
@@ -170,7 +170,16 @@ impl TraceFile {
     /// the eventual placement, which is the graceful half of the contract;
     /// the loud half is the warning list.
     pub fn sanitize(&mut self) -> Vec<Warning> {
+        self.sanitize_verbose().0
+    }
+
+    /// Like [`Self::sanitize`], but also reports *which window* of the run
+    /// the dropped events covered, so a degraded placement is auditable:
+    /// a profile blind to the first 10 s is a different risk than one
+    /// missing scattered milliseconds.
+    pub fn sanitize_verbose(&mut self) -> (Vec<Warning>, DroppedWindow) {
         let mut warnings = Vec::new();
+        let mut dropped = DroppedWindow::default();
 
         if !self.duration.is_finite() || self.duration < 0.0 {
             warnings.push(Warning::new(
@@ -221,24 +230,29 @@ impl TraceFile {
             let t = e.time();
             if !t.is_finite() {
                 note(WarningKind::NonFiniteTime, i);
+                dropped.note(t);
                 continue;
             }
             if t < last_t {
                 note(WarningKind::OutOfOrderEvent, i);
+                dropped.note(t);
                 continue;
             }
             match &e {
                 TraceEvent::Alloc { object, site, size, .. } => {
                     if !sites.contains(site) {
                         note(WarningKind::UnknownSite, i);
+                        dropped.note(t);
                         continue;
                     }
                     if *size == 0 {
                         note(WarningKind::ZeroSizeAlloc, i);
+                        dropped.note(t);
                         continue;
                     }
                     if live.contains(object) {
                         note(WarningKind::DuplicateAlloc, i);
+                        dropped.note(t);
                         continue;
                     }
                     live.insert(*object);
@@ -249,9 +263,11 @@ impl TraceFile {
                         freed.insert(*object);
                     } else if freed.contains(object) {
                         note(WarningKind::DoubleFree, i);
+                        dropped.note(t);
                         continue;
                     } else {
                         note(WarningKind::OrphanFree, i);
+                        dropped.note(t);
                         continue;
                     }
                 }
@@ -267,7 +283,7 @@ impl TraceFile {
                 .push(Warning::new(kind, format!("dropped {n} event(s), first at index {first}")));
         }
         ecohmem_obs::count("memtrace.sanitize.repairs", warnings.len() as u64);
-        warnings
+        (warnings, dropped)
     }
 
     /// Deserializes a trace from JSON, salvaging a valid prefix when the

@@ -100,6 +100,49 @@ impl fmt::Display for WarningKind {
     }
 }
 
+/// The span of events a lenient path discarded: how many, and the first /
+/// last finite timestamps among them. `DroppedEvents` warnings carry this
+/// so a degraded placement can be audited against *when* the profile went
+/// blind, not just how much of it did.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DroppedWindow {
+    /// Total events discarded (including ones with non-finite times).
+    pub count: u64,
+    /// Earliest finite timestamp among the discarded events.
+    pub first_time: Option<f64>,
+    /// Latest finite timestamp among the discarded events.
+    pub last_time: Option<f64>,
+}
+
+impl DroppedWindow {
+    /// Records one dropped event at time `t` (NaN/inf widen nothing).
+    pub fn note(&mut self, t: f64) {
+        self.count += 1;
+        if t.is_finite() {
+            self.first_time = Some(self.first_time.map_or(t, |f: f64| f.min(t)));
+            self.last_time = Some(self.last_time.map_or(t, |l: f64| l.max(t)));
+        }
+    }
+
+    /// Merges another window into this one.
+    pub fn merge(&mut self, other: &DroppedWindow) {
+        self.count += other.count;
+        for t in [other.first_time, other.last_time].into_iter().flatten() {
+            self.first_time = Some(self.first_time.map_or(t, |f: f64| f.min(t)));
+            self.last_time = Some(self.last_time.map_or(t, |l: f64| l.max(t)));
+        }
+    }
+
+    /// Warning-detail suffix: `" (window 0.125s..3.000s)"`, or `""` when no
+    /// dropped event carried a usable timestamp.
+    pub fn describe(&self) -> String {
+        match (self.first_time, self.last_time) {
+            (Some(first), Some(last)) => format!(" (window {first:.3}s..{last:.3}s)"),
+            _ => String::new(),
+        }
+    }
+}
+
 /// One recoverable problem found (and worked around) by a lenient path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Warning {
@@ -136,5 +179,25 @@ mod tests {
     fn names_are_kebab_case() {
         assert_eq!(WarningKind::TruncatedInput.name(), "truncated-input");
         assert_eq!(WarningKind::UnresolvableEntry.to_string(), "unresolvable-entry");
+    }
+
+    #[test]
+    fn dropped_window_tracks_finite_extremes() {
+        let mut w = DroppedWindow::default();
+        assert_eq!(w.describe(), "");
+        w.note(2.0);
+        w.note(f64::NAN);
+        w.note(0.5);
+        w.note(3.25);
+        assert_eq!(w.count, 4);
+        assert_eq!(w.first_time, Some(0.5));
+        assert_eq!(w.last_time, Some(3.25));
+        assert_eq!(w.describe(), " (window 0.500s..3.250s)");
+
+        let mut other = DroppedWindow::default();
+        other.note(10.0);
+        w.merge(&other);
+        assert_eq!(w.count, 5);
+        assert_eq!(w.last_time, Some(10.0));
     }
 }

@@ -5,24 +5,29 @@
 //! to consume them in bursts; an unbounded buffer would quietly grow to
 //! the size of the trace and defeat the point of streaming. A
 //! [`StreamSession`] therefore moves *columnar batches* ([`EventBatch`])
-//! over a *bounded* `sync_channel`: when the consumer thread (which
-//! drives a [`StreamIngestor`]) falls behind, `send` blocks —
-//! backpressure, not buffering. Batching amortizes the per-message
-//! synchronization over [`STREAM_BATCH`] events without changing the
-//! result: the ingestor's batch entry point is defined as event-at-a-time
-//! ingestion, so batch boundaries are unobservable in the profile.
+//! over the bounded queue from [`crate::durability::queue`]: when the
+//! consumer thread (which drives a [`StreamIngestor`]) falls behind,
+//! `send` blocks — backpressure, not buffering. Batching amortizes the
+//! per-message synchronization over [`STREAM_BATCH`] events without
+//! changing the result: the ingestor's batch entry point is defined as
+//! event-at-a-time ingestion, so batch boundaries are unobservable in
+//! the profile.
 //!
-//! Failure flows in both directions: a `Strict` ingestor error terminates
-//! the consumer, subsequent `send`s report the hangup, and
-//! [`StreamSession::finish`] surfaces the original [`TraceError`].
+//! Failure flows in both directions, and a dead consumer is never a
+//! hang: the queue's senders observe the receiver's death *even while
+//! blocked on a full queue*, so a `Strict` ingestor error terminates the
+//! consumer, in-flight and subsequent `send`s fail with
+//! [`IngestError::ConsumerGone`], and [`StreamSession::finish`] surfaces
+//! the original [`TraceError`].
 
 use crate::config::OnlineConfig;
+use crate::durability::queue::{self, Sender};
+use crate::error::IngestError;
 use crate::ingest::{StreamIngestor, StreamMeta};
 use memtrace::columns::EventBatch;
 use memtrace::{DegradationPolicy, TraceError, TraceEvent, TraceFile, Warning};
 use profiler::ProfileSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -35,7 +40,7 @@ pub const STREAM_BATCH: usize = 256;
 /// ingestor running on its own consumer thread.
 #[derive(Debug)]
 pub struct StreamSession {
-    tx: Option<SyncSender<EventBatch>>,
+    tx: Option<Sender<EventBatch>>,
     consumer: JoinHandle<Result<StreamIngestor, TraceError>>,
     /// Events sent but not yet consumed — the observed channel depth.
     in_flight: Arc<AtomicU64>,
@@ -45,12 +50,12 @@ impl StreamSession {
     /// Spawns the consumer thread. The channel depth comes from
     /// `cfg.channel_capacity` (clamped to ≥ 1), counted in batches.
     pub fn spawn(meta: StreamMeta, policy: DegradationPolicy, cfg: OnlineConfig) -> Self {
-        let (tx, rx) = sync_channel::<EventBatch>(cfg.channel_capacity.max(1));
+        let (tx, rx) = queue::bounded::<EventBatch>(cfg.channel_capacity.max(1));
         let in_flight = Arc::new(AtomicU64::new(0));
         let consumer_depth = Arc::clone(&in_flight);
         let consumer = std::thread::spawn(move || {
             let mut ingestor = StreamIngestor::new(meta, policy, cfg);
-            for batch in rx {
+            while let Some(batch) = rx.recv() {
                 consumer_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
                 ingestor.push_batch(&batch)?;
             }
@@ -59,35 +64,38 @@ impl StreamSession {
         StreamSession { tx: Some(tx), consumer, in_flight }
     }
 
-    /// Offers one event, blocking while the channel is full. Returns
-    /// `false` when the consumer has hung up (a `Strict` failure) — the
-    /// producer should stop and call [`Self::finish`] for the error.
-    pub fn send(&self, event: TraceEvent) -> bool {
+    /// Offers one event, blocking while the channel is full. Fails with
+    /// [`IngestError::ConsumerGone`] when the consumer has hung up (a
+    /// `Strict` failure) — the producer should stop and call
+    /// [`Self::finish`] for the underlying error.
+    pub fn send(&self, event: TraceEvent) -> Result<(), IngestError> {
         self.send_batch(EventBatch::from_events(std::slice::from_ref(&event)))
     }
 
     /// Offers a columnar batch, blocking while the channel is full.
-    /// Returns `false` when the consumer has hung up (a `Strict`
-    /// failure) — the producer should stop and call [`Self::finish`] for
-    /// the error. Empty batches are accepted and ignored.
-    pub fn send_batch(&self, batch: EventBatch) -> bool {
+    /// Fails with [`IngestError::ConsumerGone`] when the consumer has
+    /// hung up (a `Strict` failure), *including* when the hangup happens
+    /// while this call is blocked on a full queue — the producer should
+    /// stop and call [`Self::finish`] for the underlying error. Empty
+    /// batches are accepted and ignored.
+    pub fn send_batch(&self, batch: EventBatch) -> Result<(), IngestError> {
+        let Some(tx) = &self.tx else {
+            return Err(IngestError::ConsumerGone);
+        };
         if batch.is_empty() {
-            return self.tx.is_some();
+            return Ok(());
         }
-        match &self.tx {
-            Some(tx) => {
-                let n = batch.len() as u64;
-                let depth = self.in_flight.fetch_add(n, Ordering::Relaxed) + n;
-                ecohmem_obs::gauge_raise("online.channel.depth_hwm", depth as f64);
-                ecohmem_obs::count("online.events.streamed", n);
-                ecohmem_obs::incr("online.batches.streamed");
-                let ok = tx.send(batch).is_ok();
-                if !ok {
-                    self.in_flight.fetch_sub(n, Ordering::Relaxed);
-                }
-                ok
+        let n = batch.len() as u64;
+        let depth = self.in_flight.fetch_add(n, Ordering::Relaxed) + n;
+        ecohmem_obs::gauge_raise("online.channel.depth_hwm", depth as f64);
+        ecohmem_obs::count("online.events.streamed", n);
+        ecohmem_obs::incr("online.batches.streamed");
+        match tx.send(batch) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.in_flight.fetch_sub(n, Ordering::Relaxed);
+                Err(IngestError::ConsumerGone)
             }
-            None => false,
         }
     }
 
@@ -113,7 +121,7 @@ pub fn stream_profile(
 ) -> Result<(ProfileSet, Vec<Warning>), TraceError> {
     let session = StreamSession::spawn(StreamMeta::of(trace), policy, cfg);
     for chunk in trace.events.chunks(STREAM_BATCH) {
-        if !session.send_batch(EventBatch::from_events(chunk)) {
+        if session.send_batch(EventBatch::from_events(chunk)).is_err() {
             break; // consumer died; finish() reports why
         }
     }
@@ -192,7 +200,7 @@ mod tests {
             OnlineConfig::default(),
         );
         for e in &trace.events {
-            assert!(session.send(e.clone()));
+            session.send(e.clone()).unwrap();
         }
         let (one_by_one, _) = session.finish(trace.duration).unwrap();
         let (chunked, _) =
@@ -213,5 +221,34 @@ mod tests {
             stream_profile(&trace, DegradationPolicy::Warn, OnlineConfig::default()).unwrap();
         assert_eq!(p.sites.len(), 1);
         assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn dead_consumer_unblocks_senders_with_consumer_gone() {
+        // Regression: a producer blocked on a full channel used to hang
+        // forever when the consumer died. The bounded queue now wakes
+        // blocked senders on receiver death, and the session reports the
+        // hangup as a structured error instead of a bare `false`.
+        let trace = toy_trace(valid_events());
+        let cfg = OnlineConfig { channel_capacity: 1, ..OnlineConfig::default() };
+        let session = StreamSession::spawn(StreamMeta::of(&trace), DegradationPolicy::Strict, cfg);
+        // Kill the consumer with a Strict violation: free of an unknown
+        // object. Then keep pushing until the producer observes the death
+        // — every send either lands in the dying queue or fails, but none
+        // may hang.
+        let poison = TraceEvent::Free { time: 0.1, object: ObjectId(999) };
+        let mut saw_gone = None;
+        for _ in 0..1000 {
+            if let Err(e) = session.send(poison.clone()) {
+                saw_gone = Some(e);
+                break;
+            }
+        }
+        let err = saw_gone.expect("producer observed the dead consumer");
+        assert!(matches!(err, IngestError::ConsumerGone), "{err}");
+        assert!(err.to_string().contains("consumer is gone"), "{err}");
+        // The root cause is still reported at finish.
+        let fin = session.finish(trace.duration).unwrap_err();
+        assert!(fin.to_string().contains("never-allocated"), "{fin}");
     }
 }

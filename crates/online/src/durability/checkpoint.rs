@@ -1,0 +1,197 @@
+//! Atomic checkpoint storage: tmp-write + rename, CRC-guarded load with
+//! fallback to the newest intact checkpoint.
+//!
+//! A checkpoint file `ckpt-{seq:016x}.ck` is `magic || version ||
+//! crc32(payload) || payload`, written to a `.tmp` sibling first and
+//! published with an atomic rename — a crash mid-checkpoint leaves
+//! either the previous checkpoint set intact plus a junk `.tmp` (ignored
+//! and swept on open), or the new file fully in place. `load_latest`
+//! walks checkpoints newest-first and skips any that fail the CRC, so a
+//! corrupted latest checkpoint degrades recovery to the previous one
+//! (plus a longer journal replay), never to a crash.
+
+use memtrace::binfmt::crc32;
+use memtrace::TraceError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const CKPT_MAGIC: &[u8; 8] = b"ECOHCKP\0";
+const CKPT_VERSION: u32 = 1;
+
+/// What a checkpoint load found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Sequence number of the checkpoint served, if any.
+    pub seq: Option<u64>,
+    /// Checkpoints skipped because their CRC or header failed.
+    pub corrupt_skipped: u64,
+    /// Leftover `.tmp` files from interrupted checkpoints, swept.
+    pub tmp_swept: u64,
+}
+
+/// Directory-backed checkpoint storage.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:016x}.ck"))
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) the store in `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointStore, TraceError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    fn list(&self) -> Result<Vec<(u64, PathBuf)>, TraceError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if let Some(hex) = name.strip_prefix("ckpt-").and_then(|n| n.strip_suffix(".ck")) {
+                if let Ok(seq) = u64::from_str_radix(hex, 16) {
+                    out.push((seq, path));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Atomically publishes checkpoint `seq`.
+    pub fn save(&self, seq: u64, payload: &[u8]) -> Result<(), TraceError> {
+        let fin = ckpt_path(&self.dir, seq);
+        let tmp = fin.with_extension("ck.tmp");
+        {
+            let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+            f.write_all(CKPT_MAGIC)?;
+            f.write_all(&CKPT_VERSION.to_le_bytes())?;
+            f.write_all(&crc32(payload).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &fin)?;
+        Ok(())
+    }
+
+    /// Loads the newest intact checkpoint, sweeping `.tmp` leftovers and
+    /// skipping corrupt files. Returns `(payload, report)`.
+    pub fn load_latest(&self) -> Result<(Option<Vec<u8>>, LoadReport), TraceError> {
+        let mut report = LoadReport::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                fs::remove_file(&path)?;
+                report.tmp_swept += 1;
+            }
+        }
+        for (seq, path) in self.list()?.into_iter().rev() {
+            let mut data = Vec::new();
+            File::open(&path)?.read_to_end(&mut data)?;
+            let intact = data.len() >= 16
+                && &data[..8] == CKPT_MAGIC
+                && u32::from_le_bytes(data[8..12].try_into().unwrap()) == CKPT_VERSION
+                && u32::from_le_bytes(data[12..16].try_into().unwrap()) == crc32(&data[16..]);
+            if intact {
+                report.seq = Some(seq);
+                return Ok((Some(data[16..].to_vec()), report));
+            }
+            report.corrupt_skipped += 1;
+        }
+        Ok((None, report))
+    }
+
+    /// Removes all checkpoints but the newest `keep`.
+    pub fn prune(&self, keep: usize) -> Result<usize, TraceError> {
+        let list = self.list()?;
+        let mut removed = 0;
+        if list.len() > keep {
+            for (_, path) in &list[..list.len() - keep] {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ecohmem-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trips_and_serves_the_newest() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.load_latest().unwrap().0, None);
+        store.save(0, b"first").unwrap();
+        store.save(1, b"second").unwrap();
+        let (payload, report) = store.load_latest().unwrap();
+        assert_eq!(payload.as_deref(), Some(&b"second"[..]));
+        assert_eq!(report.seq, Some(1));
+        assert_eq!(report.corrupt_skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_the_previous() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(0, b"good").unwrap();
+        store.save(1, b"soon-bad").unwrap();
+        // Corrupt the newest checkpoint's payload.
+        let path = ckpt_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        fs::write(&path, &data).unwrap();
+        let (payload, report) = store.load_latest().unwrap();
+        assert_eq!(payload.as_deref(), Some(&b"good"[..]));
+        assert_eq!(report.seq, Some(0));
+        assert_eq!(report.corrupt_skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_checkpoint_leaves_previous_intact() {
+        let dir = tmpdir("interrupted");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(0, b"stable").unwrap();
+        // Simulate a crash mid-checkpoint: a half-written .tmp never renamed.
+        fs::write(dir.join("ckpt-0000000000000001.ck.tmp"), b"ECOHCKP\0gar").unwrap();
+        let (payload, report) = store.load_latest().unwrap();
+        assert_eq!(payload.as_deref(), Some(&b"stable"[..]));
+        assert_eq!(report.tmp_swept, 1);
+        assert!(!dir.join("ckpt-0000000000000001.ck.tmp").exists(), "tmp junk swept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = tmpdir("prune");
+        let store = CheckpointStore::open(&dir).unwrap();
+        for seq in 0..5 {
+            store.save(seq, format!("p{seq}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.prune(2).unwrap(), 3);
+        let (payload, report) = store.load_latest().unwrap();
+        assert_eq!(payload.as_deref(), Some(&b"p4"[..]));
+        assert_eq!(report.seq, Some(4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,303 @@
+//! A bounded MPSC queue whose senders can always tell that the consumer
+//! is gone.
+//!
+//! `std::sync::mpsc::sync_channel` almost fits the online engine's seam,
+//! but it has two gaps the durability layer cannot live with:
+//!
+//! * **no deadline-aware admission** — a producer facing a full channel
+//!   can only block forever or spin on `try_send`; overload control wants
+//!   "wait this long, then shed";
+//! * **hangup detection depends on destructor order** — the supervisor
+//!   keeps the receiver *outside* the panicking worker closure so queued
+//!   batches survive a restart, which means the receiver is intentionally
+//!   alive while the consumer thread is down, and a plain `send` would
+//!   block with nobody draining.
+//!
+//! This queue is a `Mutex<VecDeque>` + two condvars with an explicit
+//! `rx_alive` flag flipped by the receiver's `Drop` (which runs even
+//! during a panic unwind), so every admission path — blocking, deadline,
+//! non-blocking — reports [`Disconnected`](TrySendError::Disconnected)
+//! the moment the consumer can no longer exist.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A blocking send failed because the receiver was dropped. Carries the
+/// rejected value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// A non-blocking or deadline send failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue stayed full for the whole deadline (or was full right
+    /// now, for `try_send`). The value is returned for explicit shedding.
+    Full(T),
+    /// The receiver was dropped; no send can ever succeed again.
+    Disconnected(T),
+}
+
+/// A deadline receive failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    rx_alive: bool,
+    senders: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Producer handle. Cloneable; the queue disconnects for the receiver
+/// when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer handle. Dropping it — including during a panic unwind —
+/// flips the queue into the disconnected state every sender observes.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded queue holding at most `capacity` items (clamped to
+/// ≥ 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), rx_alive: true, senders: 1 }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the value is admitted or the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        loop {
+            if !inner.rx_alive {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < self.shared.capacity {
+                inner.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Admits the value if it can be done within `deadline`, otherwise
+    /// reports [`TrySendError::Full`] so the caller can shed explicitly.
+    pub fn send_deadline(&self, value: T, deadline: Duration) -> Result<(), TrySendError<T>> {
+        let start = Instant::now();
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        loop {
+            if !inner.rx_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.queue.len() < self.shared.capacity {
+                inner.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(left) = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero()) else {
+                return Err(TrySendError::Full(value));
+            };
+            let (guard, timeout) =
+                self.shared.not_full.wait_timeout(inner, left).expect("queue lock");
+            inner = guard;
+            if timeout.timed_out() && inner.queue.len() >= self.shared.capacity {
+                if !inner.rx_alive {
+                    return Err(TrySendError::Disconnected(value));
+                }
+                return Err(TrySendError::Full(value));
+            }
+        }
+    }
+
+    /// Admits the value only if there is room right now.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.send_deadline(value, Duration::ZERO)
+    }
+
+    /// Items currently queued (racy; for gauges only).
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// Whether the queue holds nothing right now (racy; for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("queue lock").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next item; `None` when every sender is gone and the
+    /// queue is drained (the clean end-of-stream).
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if inner.senders == 0 {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Waits at most `deadline` for the next item.
+    pub fn recv_deadline(&self, deadline: Duration) -> Result<T, RecvTimeoutError> {
+        let start = Instant::now();
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(left) = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, timeout) =
+                self.shared.not_empty.wait_timeout(inner, left).expect("queue lock");
+            inner = guard;
+            if timeout.timed_out() && inner.queue.is_empty() {
+                return Err(if inner.senders == 0 {
+                    RecvTimeoutError::Disconnected
+                } else {
+                    RecvTimeoutError::Timeout
+                });
+            }
+        }
+    }
+
+    /// Pops the next item only if one is queued right now.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        let v = inner.queue.pop_front();
+        if v.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("queue lock");
+        inner.rx_alive = false;
+        inner.queue.clear();
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn delivers_in_order_and_ends_cleanly() {
+        let (tx, rx) = bounded::<u32>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_with_dead_receiver_fails_instead_of_hanging() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        assert_eq!(tx.try_send(1), Err(TrySendError::Full(1)));
+        drop(rx); // the consumer dies while the queue is full
+        assert_eq!(tx.send(2), Err(SendError(2)));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    fn deadline_send_sheds_on_a_stalled_consumer() {
+        let (tx, _rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        // The receiver exists but never drains: admission must give up at
+        // the deadline, not block forever.
+        let r = tx.send_deadline(1, Duration::from_millis(10));
+        assert_eq!(r, Err(TrySendError::Full(1)));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_disconnects() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.recv_deadline(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_deadline(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv_deadline(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+    }
+}

@@ -1,0 +1,46 @@
+//! Structured errors for the online engine's producer-facing surface.
+
+use memtrace::TraceError;
+use std::fmt;
+
+/// Why an event (or batch) could not be admitted into the online engine.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The consumer side of the stream is gone: the ingest thread exited
+    /// (a `Strict` failure, a panic past the restart budget, or a normal
+    /// shutdown) and will never drain the channel again. The producer
+    /// should stop and call the session's `finish` for the root cause.
+    ///
+    /// Before this variant existed, a producer blocked on a *full*
+    /// channel whose consumer had died would wait forever; the queue now
+    /// detects the dropped receiver and fails the send instead.
+    ConsumerGone,
+    /// Ingestion itself failed (a `Strict` malformation).
+    Trace(TraceError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::ConsumerGone => {
+                write!(f, "stream consumer is gone; no further events can be admitted")
+            }
+            IngestError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::ConsumerGone => None,
+            IngestError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for IngestError {
+    fn from(e: TraceError) -> Self {
+        IngestError::Trace(e)
+    }
+}

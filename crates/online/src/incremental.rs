@@ -78,14 +78,16 @@ impl ProfileSource for StreamIngestor {
 /// The incremental advisor.
 #[derive(Debug)]
 pub struct IncrementalAdvisor {
-    config: AdvisorConfig,
-    algorithm: Algorithm,
-    thresholds: BwThresholds,
-    hysteresis: f64,
-    cache: HashMap<SiteId, SiteProfile>,
-    assignment: Option<Assignment>,
-    epoch: u64,
-    rebuilt_sites: u64,
+    // `pub(crate)` so the durability layer's checkpoint codec can capture
+    // and restore the advisor's incremental state bit-for-bit.
+    pub(crate) config: AdvisorConfig,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) thresholds: BwThresholds,
+    pub(crate) hysteresis: f64,
+    pub(crate) cache: HashMap<SiteId, SiteProfile>,
+    pub(crate) assignment: Option<Assignment>,
+    pub(crate) epoch: u64,
+    pub(crate) rebuilt_sites: u64,
 }
 
 impl IncrementalAdvisor {

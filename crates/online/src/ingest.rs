@@ -31,8 +31,8 @@ use crate::config::OnlineConfig;
 use crate::stats::DecayedWindow;
 use memtrace::columns::{BatchOp, EventBatch, SAME_TIER_SPAN};
 use memtrace::{
-    BinaryMap, CallStack, DegradationPolicy, ObjectId, SiteId, TraceError, TraceEvent, TraceFile,
-    Warning, WarningKind,
+    BinaryMap, CallStack, DegradationPolicy, DroppedWindow, ObjectId, SiteId, TraceError,
+    TraceEvent, TraceFile, Warning, WarningKind,
 };
 use profiler::{ObjectLifetime, ProfileSet, SiteProfile};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -73,27 +73,27 @@ impl StreamMeta {
 /// One object's accumulating record (the streaming twin of the analyzer's
 /// internal `Obj`).
 #[derive(Debug, Clone)]
-struct ObjAcc {
-    site: SiteId,
-    size: u64,
-    address: u64,
-    alloc_time: f64,
+pub(crate) struct ObjAcc {
+    pub(crate) site: SiteId,
+    pub(crate) size: u64,
+    pub(crate) address: u64,
+    pub(crate) alloc_time: f64,
     /// `None` while live; the free timestamp once freed.
-    free_time: Option<f64>,
-    load_samples: u64,
-    store_samples: u64,
-    store_l1d_miss_samples: u64,
+    pub(crate) free_time: Option<f64>,
+    pub(crate) load_samples: u64,
+    pub(crate) store_samples: u64,
+    pub(crate) store_l1d_miss_samples: u64,
 }
 
 /// Per-site streaming state beyond what the object records carry.
 #[derive(Debug, Clone, Default)]
-struct SiteAcc {
+pub(crate) struct SiteAcc {
     /// Object instances of this site, in arrival order.
-    objects: Vec<ObjectId>,
+    pub(crate) objects: Vec<ObjectId>,
     /// Aged LLC load-miss sample counter.
-    load_stat: DecayedWindow,
+    pub(crate) load_stat: DecayedWindow,
     /// Aged L1D store-miss sample counter.
-    store_stat: DecayedWindow,
+    pub(crate) store_stat: DecayedWindow,
 }
 
 /// Phase-binned bandwidth context, computed on demand from the ingestor's
@@ -118,44 +118,49 @@ impl BwContext {
 /// The streaming trace ingestor.
 #[derive(Debug)]
 pub struct StreamIngestor {
-    meta: StreamMeta,
-    cfg: OnlineConfig,
-    policy: DegradationPolicy,
+    // Every field is `pub(crate)` so the durability layer's checkpoint
+    // codec (`crate::durability::codec`) can capture and restore the full
+    // ingestion state bit-for-bit.
+    pub(crate) meta: StreamMeta,
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) policy: DegradationPolicy,
 
     // Validation state (mirrors TraceFile::validate / sanitize).
-    known_sites: HashSet<SiteId>,
-    live_ids: HashSet<ObjectId>,
-    freed_ids: HashSet<ObjectId>,
-    last_t: f64,
-    seen: u64,
-    dropped: u64,
-    tallies: Vec<(WarningKind, u64, u64)>,
+    pub(crate) known_sites: HashSet<SiteId>,
+    pub(crate) live_ids: HashSet<ObjectId>,
+    pub(crate) freed_ids: HashSet<ObjectId>,
+    pub(crate) last_t: f64,
+    pub(crate) seen: u64,
+    pub(crate) dropped: u64,
+    pub(crate) tallies: Vec<(WarningKind, u64, u64)>,
+    /// Time window covered by the dropped events (lenient policies).
+    pub(crate) dropped_window: DroppedWindow,
 
     // Object store and the streaming address index.
-    objects: HashMap<ObjectId, ObjAcc>,
-    sites: HashMap<SiteId, SiteAcc>,
+    pub(crate) objects: HashMap<ObjectId, ObjAcc>,
+    pub(crate) sites: HashMap<SiteId, SiteAcc>,
     /// Live blocks: start address → (end address, object).
-    live: BTreeMap<u64, (u64, ObjectId)>,
+    pub(crate) live: BTreeMap<u64, (u64, ObjectId)>,
     /// Blocks freed at `free_time` ≥ the current stream time, kept for the
     /// analyzer's inclusive `time <= free_time` boundary.
-    grace: Vec<(u64, u64, ObjectId, f64)>,
-    unmatched_samples: u64,
+    pub(crate) grace: Vec<(u64, u64, ObjectId, f64)>,
+    pub(crate) unmatched_samples: u64,
 
     /// Sites whose statistics changed since the last `take_dirty`.
-    dirty: HashSet<SiteId>,
+    pub(crate) dirty: HashSet<SiteId>,
 
     // Bandwidth binning (one bin per phase marker, like the analyzer):
     // integer sample counts, converted to bytes/sec on demand by the
     // shared `profiler::bandwidth_series` helper, so the streaming series
     // matches the batch analyzer's to the last bit under any event
     // grouping.
-    bins: Vec<f64>,
-    bin_load: Vec<u64>,
-    bin_store_miss: Vec<u64>,
+    pub(crate) bins: Vec<f64>,
+    pub(crate) bin_load: Vec<u64>,
+    pub(crate) bin_store_miss: Vec<u64>,
     /// Load-miss samples seen before the first phase marker.
-    pending_load: u64,
+    pub(crate) pending_load: u64,
     /// L1D store-miss samples seen before the first phase marker.
-    pending_store_miss: u64,
+    pub(crate) pending_store_miss: u64,
 }
 
 /// Scalar view of one event — the single dispatch point shared by the
@@ -217,6 +222,7 @@ impl StreamIngestor {
             seen: 0,
             dropped: 0,
             tallies: Vec::new(),
+            dropped_window: DroppedWindow::default(),
             objects: HashMap::new(),
             sites: HashMap::new(),
             live: BTreeMap::new(),
@@ -251,6 +257,11 @@ impl StreamIngestor {
         self.dropped
     }
 
+    /// The time window the dropped events covered.
+    pub fn dropped_window(&self) -> DroppedWindow {
+        self.dropped_window
+    }
+
     /// Samples that matched no object (ignored, like the analyzer).
     pub fn unmatched_samples(&self) -> u64 {
         self.unmatched_samples
@@ -264,9 +275,10 @@ impl StreamIngestor {
         v
     }
 
-    fn note(&mut self, kind: WarningKind) {
+    fn note(&mut self, kind: WarningKind, t: f64) {
         let index = self.seen - 1;
         self.dropped += 1;
+        self.dropped_window.note(t);
         match self.tallies.iter_mut().find(|(k, _, _)| *k == kind) {
             Some((_, n, _)) => *n += 1,
             None => self.tallies.push((kind, 1, index)),
@@ -332,7 +344,7 @@ impl StreamIngestor {
         // Strict mirrors validate(), which has no finiteness check; the
         // lenient policies mirror sanitize(), which drops non-finite times.
         if !strict && !t.is_finite() {
-            self.note(WarningKind::NonFiniteTime);
+            self.note(WarningKind::NonFiniteTime, t);
             return Ok(false);
         }
         if t < self.last_t {
@@ -343,7 +355,7 @@ impl StreamIngestor {
                     self.last_t
                 )));
             }
-            self.note(WarningKind::OutOfOrderEvent);
+            self.note(WarningKind::OutOfOrderEvent, t);
             return Ok(false);
         }
 
@@ -353,7 +365,7 @@ impl StreamIngestor {
                     if strict {
                         return Err(TraceError::UnknownSite(site));
                     }
-                    self.note(WarningKind::UnknownSite);
+                    self.note(WarningKind::UnknownSite, t);
                     return Ok(false);
                 }
                 if size == 0 {
@@ -362,7 +374,7 @@ impl StreamIngestor {
                             "zero-size allocation for {object}"
                         )));
                     }
-                    self.note(WarningKind::ZeroSizeAlloc);
+                    self.note(WarningKind::ZeroSizeAlloc, t);
                     return Ok(false);
                 }
                 if self.live_ids.contains(&object) {
@@ -371,7 +383,7 @@ impl StreamIngestor {
                             "object {object} allocated twice without free"
                         )));
                     }
-                    self.note(WarningKind::DuplicateAlloc);
+                    self.note(WarningKind::DuplicateAlloc, t);
                     return Ok(false);
                 }
                 self.live_ids.insert(object);
@@ -385,14 +397,14 @@ impl StreamIngestor {
                         if strict {
                             return Err(TraceError::Malformed(format!("double free of {object}")));
                         }
-                        self.note(WarningKind::DoubleFree);
+                        self.note(WarningKind::DoubleFree, t);
                     } else {
                         if strict {
                             return Err(TraceError::Malformed(format!(
                                 "free of never-allocated {object}"
                             )));
                         }
-                        self.note(WarningKind::OrphanFree);
+                        self.note(WarningKind::OrphanFree, t);
                     }
                     return Ok(false);
                 }
@@ -696,8 +708,10 @@ impl StreamIngestor {
             out.push(Warning::new(
                 WarningKind::DroppedEvents,
                 format!(
-                    "streaming ingestion dropped {} of {} trace events",
-                    self.dropped, self.seen
+                    "streaming ingestion dropped {} of {} trace events{}",
+                    self.dropped,
+                    self.seen,
+                    self.dropped_window.describe()
                 ),
             ));
         }

@@ -25,8 +25,17 @@
 //! it beat any static placement on phase-shifting workloads (see the
 //! `online_vs_offline` bench and `workloads::phaseshift`).
 
+//!
+//! A fourth layer, [`durability`], makes the loop crash-safe: every
+//! ingested batch is journaled (write-ahead) before it is applied,
+//! checkpoints bound replay time, and a [`Supervisor`] restarts the
+//! engine through panics with byte-identical recovered state, shedding
+//! load explicitly under overload instead of stalling producers.
+
 pub mod channel;
 pub mod config;
+pub mod durability;
+pub mod error;
 pub mod incremental;
 pub mod ingest;
 pub mod policy;
@@ -34,6 +43,11 @@ pub mod stats;
 
 pub use channel::{stream_profile, StreamSession};
 pub use config::OnlineConfig;
+pub use durability::{
+    Admission, DurabilityConfig, DurableEngine, PlacementView, RecoveryReport, Supervisor,
+    SupervisorConfig, SupervisorOutcome,
+};
+pub use error::IngestError;
 pub use incremental::{IncrementalAdvisor, PlacementRevision, ProfileSource};
 pub use ingest::{BwContext, StreamIngestor, StreamMeta};
 pub use memtrace::DegradationPolicy;

@@ -11,12 +11,12 @@ use std::collections::VecDeque;
 /// engine both deliver events in time order).
 #[derive(Debug, Clone, Default)]
 pub struct DecayedWindow {
-    total: f64,
-    decayed: f64,
-    last: f64,
+    pub(crate) total: f64,
+    pub(crate) decayed: f64,
+    pub(crate) last: f64,
     /// `(time, weight)` of retained samples; only populated when the
     /// configuration uses a window, and pruned on every push.
-    samples: VecDeque<(f64, f64)>,
+    pub(crate) samples: VecDeque<(f64, f64)>,
 }
 
 impl DecayedWindow {

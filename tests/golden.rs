@@ -107,6 +107,148 @@ fn normalized_metrics(label: &str) -> String {
         + "\n"
 }
 
+/// The durability metrics document: span counts and counters only. The
+/// durability gauges (`online.channel.depth_hwm`, `online.staleness_ms`)
+/// reflect how far the producer raced ahead of the worker — load-dependent
+/// by design — so they are observed live, not pinned.
+fn durability_metrics(label: &str) -> String {
+    let snap = ecohmem_obs::snapshot();
+    let stages: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let stage = name.strip_prefix("span.")?.strip_suffix(".ns")?;
+            Some((stage.to_string(), Json::U64(h.count)))
+        })
+        .collect();
+    let counters: Vec<(String, Json)> =
+        snap.counters.iter().map(|(n, v)| (n.clone(), Json::U64(*v))).collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("ecohmem.golden_metrics/1")),
+        ("label".into(), Json::str(label)),
+        ("stages".into(), Json::Obj(stages)),
+        ("counters".into(), Json::Obj(counters)),
+    ])
+    .to_string_pretty()
+        + "\n"
+}
+
+/// Drives the supervised durable engine through two injected crashes and a
+/// deterministic overload episode, then pins `online.recoveries` and
+/// `online.shed_events` (plus every other counter the episode produced).
+fn durability_scenario() -> String {
+    use advisor::{AdvisorConfig, Algorithm};
+    use ecohmem_online::{Admission, DurabilityConfig, StreamMeta, Supervisor, SupervisorConfig};
+    use memsim::{ExecMode, FixedTier, MachineConfig};
+    use memtrace::{DegradationPolicy, TraceEvent};
+    use profiler::{profile_run, ProfilerConfig};
+    use std::time::Duration;
+
+    let app = ecohmem::workloads::model_by_name("minife").unwrap();
+    let machine = MachineConfig::optane_pmem6();
+    let (trace, _) = profile_run(
+        &app,
+        &machine,
+        ExecMode::MemoryMode,
+        &mut FixedTier::new(machine.largest_tier()),
+        &ProfilerConfig::default(),
+    );
+
+    // Profiling spans stay out of the durability snapshot.
+    ecohmem_obs::reset();
+    ecohmem_obs::set_enabled(true);
+
+    // Two injected crashes inside the stream; the patient deadline rides
+    // out each restart, so nothing sheds and every counter downstream of
+    // the queue is a pure function of the (fixed) envelope order.
+    let dir = std::env::temp_dir().join(format!("ecohmem-golden-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.checkpoint_every = 64;
+    let sup_cfg = SupervisorConfig {
+        backoff_base_ms: 1,
+        backoff_max_ms: 2,
+        admit_deadline: Duration::from_secs(60),
+        ..SupervisorConfig::default()
+    };
+    let s = Supervisor::spawn(
+        durability,
+        StreamMeta::of(&trace),
+        DegradationPolicy::Strict,
+        OnlineConfig::default(),
+        AdvisorConfig::loads_only(12),
+        Algorithm::Base,
+        sup_cfg,
+        |_| {},
+    );
+    let chunks: Vec<&[TraceEvent]> = trace.events.chunks(512).collect();
+    let crashes = [chunks.len() / 3, 2 * chunks.len() / 3];
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i > 0 && crashes.contains(&i) {
+            s.inject_panic("golden chaos").unwrap();
+        }
+        match s.offer(chunk.to_vec()).unwrap() {
+            Admission::Admitted => {}
+            Admission::Shed => panic!("the golden feed must not shed"),
+        }
+        if (i + 1) % 8 == 0 {
+            s.tick(chunk.last().unwrap().time()).unwrap();
+        }
+    }
+    s.tick(trace.duration).unwrap();
+    let out = s.finish().unwrap();
+    assert_eq!(out.recoveries, 2, "both injected crashes recovered");
+    assert_eq!(out.shed_events, 0, "the patient feed never shed");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Deterministic overload: a stalled single-slot queue with a zero
+    // admission deadline, offered identical phase-marker batches until
+    // exactly 3 of them (48 events) shed. How many batches get *admitted*
+    // varies with scheduling, but admitted markers are counter-silent, so
+    // the snapshot stays exact.
+    let dir2 = std::env::temp_dir().join(format!("ecohmem-golden-shed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    let mut durability2 = DurabilityConfig::new(&dir2);
+    durability2.checkpoint_every = 0; // close-only: admitted count must not leak into span counts
+    let sup_cfg2 = SupervisorConfig {
+        queue_capacity: 1,
+        admit_deadline: Duration::ZERO,
+        ..SupervisorConfig::default()
+    };
+    let s2 = Supervisor::spawn(
+        durability2,
+        StreamMeta::of(&trace),
+        DegradationPolicy::BestEffort,
+        OnlineConfig::default(),
+        AdvisorConfig::loads_only(12),
+        Algorithm::Base,
+        sup_cfg2,
+        |_| {},
+    );
+    let markers: Vec<TraceEvent> =
+        (0..16).map(|_| TraceEvent::PhaseMarker { time: 1.0, phase: 0 }).collect();
+    s2.inject_stall(Duration::from_millis(300)).unwrap();
+    let (mut shed, mut admitted_since_stall) = (0u64, 0u64);
+    while shed < 3 {
+        match s2.offer(markers.clone()).unwrap() {
+            Admission::Shed => shed += 1,
+            Admission::Admitted => {
+                admitted_since_stall += 1;
+                if admitted_since_stall >= 64 {
+                    // The worker outran the hot loop; stall it again.
+                    s2.inject_stall(Duration::from_millis(300)).unwrap();
+                    admitted_since_stall = 0;
+                }
+            }
+        }
+    }
+    let out2 = s2.finish().unwrap();
+    assert_eq!(out2.shed_events, 48, "3 shed batches of 16 markers");
+    std::fs::remove_dir_all(&dir2).unwrap();
+
+    durability_metrics("durability")
+}
+
 #[test]
 fn pipeline_artifacts_match_goldens() {
     for app_name in APPS {
@@ -124,4 +266,9 @@ fn pipeline_artifacts_match_goldens() {
         assert_matches_golden(&format!("{app_name}.report.json"), &report_json);
         assert_matches_golden(&format!("{app_name}.metrics.json"), &normalized_metrics(app_name));
     }
+
+    // The crash-recovery and overload counters ride the same snapshot
+    // discipline: supervised restarts and explicit shedding are part of
+    // the audited surface, not best-effort logging.
+    assert_matches_golden("durability.metrics.json", &durability_scenario());
 }
