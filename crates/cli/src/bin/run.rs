@@ -152,10 +152,12 @@ fn run_durable(
         &ProfilerConfig::default(),
     );
 
-    // The first recovery callback tells us where the recovered stream
-    // stopped, so a re-fed recorded stream can skip what was already
-    // ingested instead of tripping Strict time-regression checks.
-    let first_open: Arc<(Mutex<Option<Option<f64>>>, Condvar)> =
+    // The first recovery callback tells us how many events the recovered
+    // state already consumed from the stream, so a re-fed recorded stream
+    // can skip exactly that prefix. A count, not a time cutoff: distinct
+    // events may legally share a timestamp, and a time filter would skip
+    // not-yet-ingested events that tie with the recovered stream time.
+    let first_open: Arc<(Mutex<Option<u64>>, Condvar)> =
         Arc::new((Mutex::new(None), Condvar::new()));
     let opened = Arc::clone(&first_open);
     let supervisor = Supervisor::spawn(
@@ -170,38 +172,41 @@ fn run_durable(
             if report.resumed {
                 eprintln!(
                     "ecohmem-run: recovered prior state (checkpoint {:?}, {} journal records \
-                     replayed, {} torn bytes truncated, stream at t={:?})",
+                     replayed, {} torn bytes truncated, {} events ingested + {} shed, stream at \
+                     t={:?})",
                     report.checkpoint_seq,
                     report.replayed_records,
                     report.torn_bytes,
+                    report.events_seen,
+                    report.shed_events,
                     report.stream_time,
                 );
             }
             let (slot, cv) = &*opened;
             let mut guard = slot.lock().unwrap();
             if guard.is_none() {
-                *guard = Some(report.stream_time);
+                // Shed events never reached the ingestor, but they *were*
+                // consumed from the recorded stream — skip both.
+                *guard = Some(report.events_seen + report.shed_events);
                 cv.notify_all();
             }
         },
     );
-    let resume_after = {
+    let resume_skip = {
         let (slot, cv) = &*first_open;
         let guard = slot.lock().unwrap();
         let (guard, timed_out) = cv
             .wait_timeout_while(guard, std::time::Duration::from_secs(30), |g| g.is_none())
             .unwrap();
         if timed_out.timed_out() {
-            None // open failed or is stuck; feed everything, errors surface below
+            0 // open failed or is stuck; feed everything, errors surface below
         } else {
-            guard.flatten()
+            guard.unwrap_or(0)
         }
     };
 
-    let events: Vec<memtrace::TraceEvent> = match resume_after {
-        Some(t) => trace.events.iter().filter(|e| e.time() > t).cloned().collect(),
-        None => trace.events.clone(),
-    };
+    let events: Vec<memtrace::TraceEvent> =
+        trace.events.iter().skip(resume_skip as usize).cloned().collect();
     let mut shed_batches = 0u64;
     let stride = (events.len() / 8).max(1);
     let mut fed = 0usize;

@@ -1,14 +1,21 @@
 //! Atomic checkpoint storage: tmp-write + rename, CRC-guarded load with
 //! fallback to the newest intact checkpoint.
 //!
-//! A checkpoint file `ckpt-{seq:016x}.ck` is `magic || version ||
-//! crc32(payload) || payload`, written to a `.tmp` sibling first and
-//! published with an atomic rename — a crash mid-checkpoint leaves
-//! either the previous checkpoint set intact plus a junk `.tmp` (ignored
-//! and swept on open), or the new file fully in place. `load_latest`
-//! walks checkpoints newest-first and skips any that fail the CRC, so a
-//! corrupted latest checkpoint degrades recovery to the previous one
-//! (plus a longer journal replay), never to a crash.
+//! A checkpoint file `ckpt-{seq:016x}-{cursor:016x}.ck` is `magic ||
+//! version || crc32(payload) || payload`, written to a `.tmp` sibling
+//! first and published with an atomic rename — a crash mid-checkpoint
+//! leaves either the previous checkpoint set intact plus a junk `.tmp`
+//! (ignored and swept on open), or the new file fully in place.
+//! `load_latest` walks checkpoints newest-first and skips any that fail
+//! the CRC, so a corrupted latest checkpoint degrades recovery to the
+//! previous one (plus a longer journal replay), never to a crash.
+//!
+//! The `cursor` in the filename is the journal position the checkpoint
+//! covers (its `applied` watermark). It lives in the name — readable
+//! without decoding, and trustworthy even when the payload is corrupt —
+//! so the engine can prune the journal only below the *oldest retained*
+//! checkpoint's cursor ([`CheckpointStore::min_retained_cursor`]): the
+//! replay suffix every fallback checkpoint needs stays on disk.
 
 use memtrace::binfmt::crc32;
 use memtrace::TraceError;
@@ -36,8 +43,8 @@ pub struct CheckpointStore {
     dir: PathBuf,
 }
 
-fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
-    dir.join(format!("ckpt-{seq:016x}.ck"))
+fn ckpt_path(dir: &Path, seq: u64, cursor: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:016x}-{cursor:016x}.ck"))
 }
 
 impl CheckpointStore {
@@ -48,14 +55,19 @@ impl CheckpointStore {
         Ok(CheckpointStore { dir })
     }
 
-    fn list(&self) -> Result<Vec<(u64, PathBuf)>, TraceError> {
+    /// `(seq, journal cursor, path)` per checkpoint file, seq-sorted.
+    fn list(&self) -> Result<Vec<(u64, u64, PathBuf)>, TraceError> {
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            if let Some(hex) = name.strip_prefix("ckpt-").and_then(|n| n.strip_suffix(".ck")) {
-                if let Ok(seq) = u64::from_str_radix(hex, 16) {
-                    out.push((seq, path));
+            if let Some(body) = name.strip_prefix("ckpt-").and_then(|n| n.strip_suffix(".ck")) {
+                if let Some((s, c)) = body.split_once('-') {
+                    if let (Ok(seq), Ok(cursor)) =
+                        (u64::from_str_radix(s, 16), u64::from_str_radix(c, 16))
+                    {
+                        out.push((seq, cursor, path));
+                    }
                 }
             }
         }
@@ -63,9 +75,10 @@ impl CheckpointStore {
         Ok(out)
     }
 
-    /// Atomically publishes checkpoint `seq`.
-    pub fn save(&self, seq: u64, payload: &[u8]) -> Result<(), TraceError> {
-        let fin = ckpt_path(&self.dir, seq);
+    /// Atomically publishes checkpoint `seq` covering journal records
+    /// below `cursor` (the engine's `applied` watermark at save time).
+    pub fn save(&self, seq: u64, cursor: u64, payload: &[u8]) -> Result<(), TraceError> {
+        let fin = ckpt_path(&self.dir, seq, cursor);
         let tmp = fin.with_extension("ck.tmp");
         {
             let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
@@ -90,7 +103,7 @@ impl CheckpointStore {
                 report.tmp_swept += 1;
             }
         }
-        for (seq, path) in self.list()?.into_iter().rev() {
+        for (seq, _cursor, path) in self.list()?.into_iter().rev() {
             let mut data = Vec::new();
             File::open(&path)?.read_to_end(&mut data)?;
             let intact = data.len() >= 16
@@ -111,12 +124,21 @@ impl CheckpointStore {
         let list = self.list()?;
         let mut removed = 0;
         if list.len() > keep {
-            for (_, path) in &list[..list.len() - keep] {
+            for (_, _, path) in &list[..list.len() - keep] {
                 fs::remove_file(path)?;
                 removed += 1;
             }
         }
         Ok(removed)
+    }
+
+    /// The smallest journal cursor any retained checkpoint still needs
+    /// its replay suffix from — journal records at or above it must stay
+    /// on disk or falling back to an older checkpoint (after a corrupt
+    /// newest one) would replay across a gap. `None` when no checkpoints
+    /// exist.
+    pub fn min_retained_cursor(&self) -> Result<Option<u64>, TraceError> {
+        Ok(self.list()?.iter().map(|(_, cursor, _)| *cursor).min())
     }
 }
 
@@ -139,8 +161,8 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let store = CheckpointStore::open(&dir).unwrap();
         assert_eq!(store.load_latest().unwrap().0, None);
-        store.save(0, b"first").unwrap();
-        store.save(1, b"second").unwrap();
+        store.save(0, 10, b"first").unwrap();
+        store.save(1, 20, b"second").unwrap();
         let (payload, report) = store.load_latest().unwrap();
         assert_eq!(payload.as_deref(), Some(&b"second"[..]));
         assert_eq!(report.seq, Some(1));
@@ -152,10 +174,10 @@ mod tests {
     fn corrupt_latest_falls_back_to_the_previous() {
         let dir = tmpdir("fallback");
         let store = CheckpointStore::open(&dir).unwrap();
-        store.save(0, b"good").unwrap();
-        store.save(1, b"soon-bad").unwrap();
+        store.save(0, 10, b"good").unwrap();
+        store.save(1, 20, b"soon-bad").unwrap();
         // Corrupt the newest checkpoint's payload.
-        let path = ckpt_path(&dir, 1);
+        let path = ckpt_path(&dir, 1, 20);
         let mut data = fs::read(&path).unwrap();
         let n = data.len();
         data[n - 1] ^= 0xff;
@@ -171,13 +193,17 @@ mod tests {
     fn interrupted_checkpoint_leaves_previous_intact() {
         let dir = tmpdir("interrupted");
         let store = CheckpointStore::open(&dir).unwrap();
-        store.save(0, b"stable").unwrap();
+        store.save(0, 10, b"stable").unwrap();
         // Simulate a crash mid-checkpoint: a half-written .tmp never renamed.
-        fs::write(dir.join("ckpt-0000000000000001.ck.tmp"), b"ECOHCKP\0gar").unwrap();
+        fs::write(dir.join("ckpt-0000000000000001-000000000000000b.ck.tmp"), b"ECOHCKP\0gar")
+            .unwrap();
         let (payload, report) = store.load_latest().unwrap();
         assert_eq!(payload.as_deref(), Some(&b"stable"[..]));
         assert_eq!(report.tmp_swept, 1);
-        assert!(!dir.join("ckpt-0000000000000001.ck.tmp").exists(), "tmp junk swept");
+        assert!(
+            !dir.join("ckpt-0000000000000001-000000000000000b.ck.tmp").exists(),
+            "tmp junk swept"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -186,12 +212,28 @@ mod tests {
         let dir = tmpdir("prune");
         let store = CheckpointStore::open(&dir).unwrap();
         for seq in 0..5 {
-            store.save(seq, format!("p{seq}").as_bytes()).unwrap();
+            store.save(seq, seq * 100, format!("p{seq}").as_bytes()).unwrap();
         }
         assert_eq!(store.prune(2).unwrap(), 3);
         let (payload, report) = store.load_latest().unwrap();
         assert_eq!(payload.as_deref(), Some(&b"p4"[..]));
         assert_eq!(report.seq, Some(4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn min_retained_cursor_tracks_the_oldest_survivor() {
+        let dir = tmpdir("min-cursor");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.min_retained_cursor().unwrap(), None);
+        for seq in 0..4 {
+            store.save(seq, seq * 10, format!("p{seq}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.min_retained_cursor().unwrap(), Some(0));
+        store.prune(2).unwrap();
+        // Survivors are seq 2 (cursor 20) and seq 3 (cursor 30): journal
+        // records >= 20 must stay replayable for the fallback checkpoint.
+        assert_eq!(store.min_retained_cursor().unwrap(), Some(20));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

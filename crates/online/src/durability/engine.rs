@@ -68,9 +68,17 @@ pub struct RecoveryReport {
     /// Whether any prior state existed at all (fresh start when false).
     pub resumed: bool,
     /// Stream time the recovered state reached (`None` when the recovered
-    /// ingestor has not accepted any event yet). A producer re-feeding a
-    /// recorded stream should skip events at or before this point.
+    /// ingestor has not accepted any event yet). Informational — resume
+    /// cursors should use the counts below, since distinct events may
+    /// legally share a timestamp.
     pub stream_time: Option<f64>,
+    /// Events the recovered ingestor had admitted. A producer re-feeding
+    /// a recorded stream should skip exactly `events_seen + shed_events`
+    /// events (both were consumed from the stream before the crash).
+    pub events_seen: u64,
+    /// Events recorded as shed by overload control before the crash —
+    /// consumed from the producer's stream but never ingested.
+    pub shed_events: u64,
 }
 
 /// The crash-safe ingest/advise engine.
@@ -166,13 +174,23 @@ impl DurableEngine {
             Ok(())
         })?;
         for (i, rec) in pending {
-            debug_assert_eq!(i, engine.applied, "journal replay is gap-free");
+            // A gap here (a pruned or manually removed segment, a broken
+            // chain) would apply records at the wrong cursor and silently
+            // diverge from the uninterrupted run — refuse to recover.
+            if i != engine.applied {
+                return Err(TraceError::Malformed(format!(
+                    "journal gap during recovery: expected record {}, found {}",
+                    engine.applied, i
+                )));
+            }
             engine.apply(&rec)?;
             replayed += 1;
         }
         report.replayed_records = replayed;
         let now = engine.ingestor.now();
         report.stream_time = now.is_finite().then_some(now);
+        report.events_seen = engine.events_seen();
+        report.shed_events = engine.shed_events;
         Ok((engine, report))
     }
 
@@ -249,11 +267,16 @@ impl DurableEngine {
         codec::encode_advisor(&self.advisor, &mut payload);
         codec::encode_revisions(&self.revisions, &mut payload);
         self.journal.sync()?;
-        self.store.save(self.next_seq, &payload)?;
+        self.store.save(self.next_seq, self.applied, &payload)?;
         self.next_seq += 1;
         self.checkpointed_at = self.applied;
         self.store.prune(self.cfg.keep_checkpoints.max(1))?;
-        self.journal.prune_below(self.applied)?;
+        // Prune only below the *oldest retained* checkpoint's cursor, not
+        // the newest: if the newest checkpoint later fails its CRC,
+        // recovery falls back to an older one and must still find every
+        // journal record past that older cursor.
+        let keep_from = self.store.min_retained_cursor()?.unwrap_or(self.applied);
+        self.journal.prune_below(keep_from.min(self.applied))?;
         ecohmem_obs::incr("online.checkpoints.taken");
         Ok(())
     }
@@ -402,6 +425,60 @@ mod tests {
             r2.replayed_records
         );
         assert_eq!(e2.ingestor().snapshot(7.0), snapshot);
+        assert_eq!(e2.revisions(), &revisions[..]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_without_a_journal_gap() {
+        let dir = tmpdir("ckpt-fallback");
+        // Tiny segments force rotation nearly every record, so checkpoint
+        // pruning actually removes journal segments; keep_checkpoints=2
+        // means the fallback checkpoint must still find its replay suffix.
+        let cfg = DurabilityConfig {
+            checkpoint_every: 2,
+            segment_bytes: 64,
+            ..DurabilityConfig::new(&dir)
+        };
+        let open_cfg = |cfg: DurabilityConfig| {
+            DurableEngine::open(
+                cfg,
+                meta(),
+                DegradationPolicy::Strict,
+                OnlineConfig::default(),
+                AdvisorConfig::loads_only(12),
+                Algorithm::Base,
+            )
+            .unwrap()
+        };
+        let (mut e, _) = open_cfg(cfg.clone());
+        for i in 0..9u64 {
+            e.ingest(vec![alloc(i as f64, i + 1, (i % 2) as u32, 4096, 0x1000 + i * 0x1000)])
+                .unwrap();
+        }
+        e.tick(9.0).unwrap();
+        let snapshot = e.ingestor().snapshot(10.0);
+        let revisions = e.revisions().to_vec();
+        drop(e); // crash after several checkpoints + journal prunes
+
+        // Corrupt the newest checkpoint's payload: recovery must degrade
+        // to the previous checkpoint and replay the longer journal suffix.
+        let mut ckpts: Vec<_> = fs::read_dir(dir.join("ckpt"))
+            .unwrap()
+            .map(|f| f.unwrap().path())
+            .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("ck"))
+            .collect();
+        ckpts.sort();
+        assert!(ckpts.len() >= 2, "two checkpoints retained, got {}", ckpts.len());
+        let newest = ckpts.last().unwrap();
+        let mut data = fs::read(newest).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        fs::write(newest, &data).unwrap();
+
+        let (e2, r2) = open_cfg(cfg);
+        assert_eq!(r2.corrupt_checkpoints, 1);
+        assert_eq!(e2.ingestor().snapshot(10.0), snapshot);
         assert_eq!(e2.revisions(), &revisions[..]);
         fs::remove_dir_all(&dir).unwrap();
     }

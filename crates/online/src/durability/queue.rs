@@ -220,6 +220,10 @@ impl<T> Receiver<T> {
 }
 
 impl<T> Drop for Receiver<T> {
+    /// Disconnects the queue and discards anything still queued. Items
+    /// already admitted are *lost* here — a consumer that must account
+    /// for them (the supervisor's shed bookkeeping on terminal exit)
+    /// has to drain via [`Receiver::try_recv`] before dropping.
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock().expect("queue lock");
         inner.rx_alive = false;

@@ -336,6 +336,39 @@ impl Supervisor {
     }
 }
 
+/// Marks the worker as gone: `placement()` serves the last view as
+/// stale from now on.
+fn mark_down(shared: &Mutex<Shared>) {
+    let mut s = shared.lock().expect("supervisor state");
+    s.worker_down = true;
+    if let Some(v) = &mut s.view {
+        v.stale = true;
+    }
+}
+
+/// Terminal worker exit: envelopes still queued — admitted, but never
+/// ingested — would otherwise vanish when the receiver drops. Fold them
+/// into the shed accounting so the "overload is explicit, never silent"
+/// contract holds even past the restart budget. Windows piggybacked for
+/// journaling are skipped: their events were already counted at the
+/// original shed decision.
+fn drain_to_shed(rx: &Receiver<Envelope>, shared: &Mutex<Shared>) {
+    let mut w = DroppedWindow::default();
+    while let Some(env) = rx.try_recv() {
+        if let Envelope::Ingest { events, .. } = env {
+            for e in &events {
+                w.note(e.time());
+            }
+        }
+    }
+    if w.count > 0 {
+        let mut s = shared.lock().expect("supervisor state");
+        s.shed_events += w.count;
+        s.shed_window.merge(&w);
+        ecohmem_obs::count("online.shed_events", w.count);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_main(
     rx: Receiver<Envelope>,
@@ -351,14 +384,24 @@ fn worker_main(
 ) -> Result<Option<Vec<PlacementRevision>>, TraceError> {
     let mut attempt: u32 = 0;
     loop {
-        let (engine, report) = DurableEngine::open(
+        let (engine, report) = match DurableEngine::open(
             durability.clone(),
             meta.clone(),
             policy,
             online_cfg,
             advisor_cfg.clone(),
             algorithm,
-        )?;
+        ) {
+            Ok(opened) => opened,
+            Err(e) => {
+                // The worker is gone for good: mark the last view stale
+                // (BestEffort keeps serving it) and account what was
+                // queued, exactly as on the panic paths.
+                mark_down(&shared);
+                drain_to_shed(&rx, &shared);
+                return Err(e);
+            }
+        };
         on_recovery(&report);
         {
             let mut s = shared.lock().expect("supervisor state");
@@ -371,17 +414,18 @@ fn worker_main(
 
         let run = catch_unwind(AssertUnwindSafe(|| run_loop(&rx, engine, &shared)));
         match run {
-            Ok(done) => return done.map(Some),
-            Err(_panic) => {
-                {
-                    let mut s = shared.lock().expect("supervisor state");
-                    s.worker_down = true;
-                    if let Some(v) = &mut s.view {
-                        v.stale = true;
-                    }
+            Ok(done) => {
+                if done.is_err() {
+                    mark_down(&shared);
+                    drain_to_shed(&rx, &shared);
                 }
+                return done.map(Some);
+            }
+            Err(_panic) => {
+                mark_down(&shared);
                 attempt += 1;
                 if attempt > sup.restart_budget {
+                    drain_to_shed(&rx, &shared);
                     return match policy {
                         DegradationPolicy::Strict => Err(TraceError::Malformed(format!(
                             "online worker exhausted its restart budget ({} restarts)",
@@ -608,6 +652,47 @@ mod tests {
         }
         assert!(gone, "producer observes the dead consumer instead of hanging");
         assert!(s.finish().is_err(), "Strict fails fast past the budget");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queued_envelopes_are_shed_accounted_when_the_worker_dies_for_good() {
+        let dir = tmpdir("terminal-drain");
+        let sup = SupervisorConfig { restart_budget: 0, backoff_base_ms: 1, ..patient() };
+        let s = spawn(&dir, DegradationPolicy::BestEffort, sup);
+        // The stall parks the worker so everything below queues up behind
+        // it: a fatal panic, then two admitted-but-never-ingested batches.
+        s.inject_stall(Duration::from_millis(300)).unwrap();
+        s.inject_panic("fatal").unwrap();
+        s.offer(vec![alloc(1.0, 1, 0, 4096, 0x1000)]).unwrap();
+        s.offer(vec![alloc(2.0, 2, 0, 4096, 0x2000), alloc(2.5, 3, 1, 4096, 0x3000)]).unwrap();
+        let out = s.finish().unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.shed_events, 3, "admitted-but-unprocessed events are accounted");
+        assert_eq!(out.shed_window.first_time, Some(1.0));
+        assert_eq!(out.shed_window.last_time, Some(2.5));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_engine_open_marks_the_worker_down() {
+        let dir = tmpdir("open-fail");
+        fs::create_dir_all(&dir).unwrap();
+        // Occupy the durability root with a plain file: DurableEngine::open
+        // cannot create `ckpt/` under it and fails without ever panicking.
+        let occupied = dir.join("not-a-dir");
+        fs::write(&occupied, b"occupied").unwrap();
+        let s = spawn(&occupied, DegradationPolicy::BestEffort, patient());
+        let mut down = false;
+        for _ in 0..400 {
+            if s.shared.lock().unwrap().worker_down {
+                down = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(down, "open failure marks the worker down, not just dead");
+        assert!(s.finish().is_err(), "the open error surfaces at finish");
         fs::remove_dir_all(&dir).unwrap();
     }
 
