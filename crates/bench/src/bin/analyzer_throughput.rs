@@ -73,6 +73,11 @@ fn main() {
     row("combined", combined_base, combined_new);
     println!("{}", t.render());
     println!("combined speedup: {:.2}x (target >= 3x)", combined_base / combined_new);
+    println!(
+        "synthesize throughput: {:.1}M events/s columnar vs {:.1}M events/s baseline",
+        trace.events.len() as f64 / synth_new_s / 1e6,
+        trace.events.len() as f64 / synth_base_s / 1e6,
+    );
 
     runner.report();
 }

@@ -4,10 +4,17 @@
 //! The committed `BENCH_pipeline.json` records per-stage `mean_ns` from
 //! the last blessed run of the `pipeline` bin. This bin replays the same
 //! three-workload pipeline with observability on, then compares the
-//! stages the columnar engine owns — `profiler.synthesize` and
-//! `analyzer.analyze` — against that baseline. A 2× bar is deliberately
-//! loose: CI machines vary widely, but an accidental O(n²) or a lost
-//! fast path shows up as 5–50×, never 2×.
+//! stages the columnar engine owns — `profiler.synthesize`,
+//! `analyzer.analyze` and `pipeline.profile` — against that baseline. A
+//! 2× bar is deliberately loose: CI machines vary widely, but an
+//! accidental O(n²) or a lost fast path shows up as 5–50×, never 2×.
+//!
+//! Wall-time ratios alone can hide a throughput regression when a PR
+//! also shrinks the workload, so the gate additionally freezes
+//! *synthesize throughput*: `profiler.events.emitted` over the
+//! `profiler.synthesize` span time, in events/second. Falling below half
+//! the baseline rate fails the gate even if absolute stage time stayed
+//! under the 2× bar.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_smoke -- --jobs 4
@@ -21,8 +28,11 @@ use ecohmem_obs::Json;
 /// Stages gated by this bin. Only the analyzer/sampler hot path is held
 /// to the bar: engine simulation time scales with model content, which
 /// other PRs legitimately change.
-const GATED_STAGES: [&str; 2] = ["profiler.synthesize", "analyzer.analyze"];
+const GATED_STAGES: [&str; 3] = ["profiler.synthesize", "analyzer.analyze", "pipeline.profile"];
 const MAX_REGRESSION: f64 = 2.0;
+/// Synthesize throughput may not fall below this fraction of the
+/// baseline events/second.
+const MIN_THROUGHPUT_FRACTION: f64 = 0.5;
 
 fn baseline_path() -> String {
     let mut args = std::env::args().skip(1);
@@ -42,6 +52,14 @@ fn baseline_path() -> String {
 /// `mean_ns` of `stage` inside a `RunMetrics` document.
 fn stage_mean_ns(doc: &Json, stage: &str) -> Option<f64> {
     doc.get("stages")?.get(stage)?.get("mean_ns")?.as_f64()
+}
+
+/// Synthesize throughput in events/second: total emitted events over the
+/// total time spent inside the `profiler.synthesize` span.
+fn synthesize_events_per_sec(doc: &Json) -> Option<f64> {
+    let emitted = doc.get("metrics")?.get("counters")?.get("profiler.events.emitted")?.as_f64()?;
+    let total_ns = doc.get("stages")?.get("profiler.synthesize")?.get("total_ns")?.as_f64()?;
+    Some(emitted / (total_ns.max(1.0) / 1e9))
 }
 
 fn main() {
@@ -90,6 +108,20 @@ fn main() {
             format!("{ratio:.2}x"),
             if ok { "ok" } else { "REGRESSED" }.into(),
         ]);
+    }
+    match (synthesize_events_per_sec(baseline), synthesize_events_per_sec(&fresh)) {
+        (Some(base_rate), Some(fresh_rate)) => {
+            let ok = fresh_rate >= base_rate * MIN_THROUGHPUT_FRACTION;
+            failed |= !ok;
+            t.row(vec![
+                "synthesize ev/s".into(),
+                format!("{:.1}M", base_rate / 1e6),
+                format!("{:.1}M", fresh_rate / 1e6),
+                format!("{:.2}x", fresh_rate / base_rate.max(1.0)),
+                if ok { "ok" } else { "REGRESSED" }.into(),
+            ]);
+        }
+        _ => eprintln!("[perf_smoke] baseline lacks synthesize throughput data; skipping it"),
     }
     println!("{}", t.render());
     runner.report();

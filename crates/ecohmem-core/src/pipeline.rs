@@ -7,7 +7,10 @@ use memtrace::{
     FaultSpec, FaultTarget, PlacementReport, StackFormat, TraceError, TraceFile, Warning,
     WarningKind,
 };
-use profiler::{analyze, analyze_lenient, profile_run_cached, ProfileSet, ProfilerConfig};
+use profiler::{
+    analyze, analyze_columnar, analyze_lenient, profile_run_cached, profile_run_cached_columnar,
+    ProfileSet, ProfilerConfig,
+};
 
 // The policy is shared with the streaming ingestor (`ecohmem-online`), so
 // it lives with the warning vocabulary in `memtrace`; re-exported here to
@@ -113,48 +116,77 @@ pub fn run_pipeline(app: &AppModel, cfg: &PipelineConfig) -> Result<PipelineOutc
     // two share a single simulation, and sweeps that vary only the advisor
     // configuration re-profile for free.
     let backing = cfg.machine.largest_tier();
-    let (mut trace, _profiling_run) = {
-        let _span = ecohmem_obs::span("pipeline.profile");
-        profile_run_cached(app, &cfg.machine, ExecMode::MemoryMode, backing, &cfg.profiler)
-    };
-    for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Trace) {
-        warnings.extend(f.apply_to_trace(&mut trace));
-    }
-
-    // 2. Analyze (Paramedir). Strict fails on the first malformed event;
-    // the lenient policies sanitize the trace and analyze the remainder.
-    let _analyze_span = ecohmem_obs::span("pipeline.analyze");
-    let profile = match cfg.policy {
-        DegradationPolicy::Strict => analyze(&trace)?,
-        policy => {
-            let events_before = trace.events.len();
-            let (sanitize_warnings, window) = trace.sanitize_verbose();
-            warnings.extend(sanitize_warnings);
-            // Sanitize warns per damage class; surface the aggregate data
-            // loss too — with the time window it covered — so a lenient run
-            // can't silently discard events and the blind spot is auditable.
-            let dropped = events_before - trace.events.len();
-            if dropped > 0 {
-                warnings.push(Warning::new(
-                    WarningKind::DroppedEvents,
-                    format!(
-                        "sanitization dropped {dropped} of {events_before} trace events{}",
-                        window.describe()
-                    ),
-                ));
-            }
-            if policy == DegradationPolicy::Warn && trace.events.is_empty() && events_before > 0 {
-                return Err(TraceError::Malformed(format!(
-                    "trace unusable after sanitization: all {events_before} events dropped"
-                )));
-            }
-            let (p, w) = analyze_lenient(&trace);
-            warnings.extend(w);
-            p
+    let has_trace_faults = cfg.faults.iter().any(|f| f.kind.target() == FaultTarget::Trace);
+    let (trace, profile) = if cfg.policy == DegradationPolicy::Strict && !has_trace_faults {
+        // Hot path (strict, no injected trace damage): the trace stays
+        // columnar from the profiler straight into the analyzer — no
+        // `Vec<TraceEvent>` between the two stages. The AoS view the
+        // outcome carries is materialized once, after analysis.
+        let (columnar, _profiling_run) = {
+            let _span = ecohmem_obs::span("pipeline.profile");
+            profile_run_cached_columnar(
+                app,
+                &cfg.machine,
+                ExecMode::MemoryMode,
+                backing,
+                &cfg.profiler,
+            )
+        };
+        let profile = {
+            let _span = ecohmem_obs::span("pipeline.analyze");
+            analyze_columnar(&columnar)?
+        };
+        let trace = {
+            let _span = ecohmem_obs::span("pipeline.materialize");
+            columnar.into_trace_file()
+        };
+        (trace, profile)
+    } else {
+        let (mut trace, _profiling_run) = {
+            let _span = ecohmem_obs::span("pipeline.profile");
+            profile_run_cached(app, &cfg.machine, ExecMode::MemoryMode, backing, &cfg.profiler)
+        };
+        for f in cfg.faults.iter().filter(|f| f.kind.target() == FaultTarget::Trace) {
+            warnings.extend(f.apply_to_trace(&mut trace));
         }
-    };
 
-    drop(_analyze_span);
+        // 2. Analyze (Paramedir). Strict fails on the first malformed
+        // event; the lenient policies sanitize the trace and analyze the
+        // remainder.
+        let _analyze_span = ecohmem_obs::span("pipeline.analyze");
+        let profile = match cfg.policy {
+            DegradationPolicy::Strict => analyze(&trace)?,
+            policy => {
+                let events_before = trace.events.len();
+                let (sanitize_warnings, window) = trace.sanitize_verbose();
+                warnings.extend(sanitize_warnings);
+                // Sanitize warns per damage class; surface the aggregate
+                // data loss too — with the time window it covered — so a
+                // lenient run can't silently discard events and the blind
+                // spot is auditable.
+                let dropped = events_before - trace.events.len();
+                if dropped > 0 {
+                    warnings.push(Warning::new(
+                        WarningKind::DroppedEvents,
+                        format!(
+                            "sanitization dropped {dropped} of {events_before} trace events{}",
+                            window.describe()
+                        ),
+                    ));
+                }
+                if policy == DegradationPolicy::Warn && trace.events.is_empty() && events_before > 0
+                {
+                    return Err(TraceError::Malformed(format!(
+                        "trace unusable after sanitization: all {events_before} events dropped"
+                    )));
+                }
+                let (p, w) = analyze_lenient(&trace);
+                warnings.extend(w);
+                p
+            }
+        };
+        (trace, profile)
+    };
 
     // 3. Advise.
     let _advise_span = ecohmem_obs::span("pipeline.advise");

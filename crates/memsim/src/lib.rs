@@ -32,6 +32,7 @@ pub mod mlc;
 pub mod model;
 pub mod policy;
 pub mod runner;
+pub mod stablehash;
 pub mod tier;
 
 pub use cache::{CacheModelCfg, CacheSplit};

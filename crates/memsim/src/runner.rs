@@ -47,32 +47,7 @@ const _: () = {
     assert_send_sync::<RunCache>();
 };
 
-/// FNV-1a 64-bit over a byte slice. FNV is tiny, stable across runs and
-/// platforms, and plenty for an in-process cache (collisions only cost a
-/// wrong table cell, and 64 bits over dozens of keys makes that
-/// vanishingly unlikely).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET_BASIS;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// Stable content hash of a value, used to derive cache keys.
-///
-/// The byte form is the derived `Debug` rendering: fields print in
-/// declaration order with deterministic float formatting (shortest
-/// round-trip), giving a canonical, platform-independent representation of
-/// the plain-data model structs without pulling a serializer into the hot
-/// path. `std::hash::Hash` is not an option here — the models carry `f64`
-/// fields — and any change to a field's value changes its rendering.
-pub fn stable_hash<T: std::fmt::Debug>(value: &T) -> u64 {
-    fnv1a(format!("{value:?}").as_bytes())
-}
+pub use crate::stablehash::stable_hash;
 
 /// Content-addressed identity of one engine run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -96,6 +71,7 @@ impl RunKey {
         mode: ExecMode,
         policy_tag: impl Into<String>,
     ) -> Self {
+        let _span = ecohmem_obs::span("memsim.cache.key");
         RunKey {
             app: stable_hash(app),
             machine: stable_hash(machine),

@@ -1,0 +1,414 @@
+//! Structural content hashing for engine-cache keys.
+//!
+//! [`stable_hash`] drives [`crate::runner::RunKey`]: the cache must re-run
+//! the engine whenever *any* model field changes, so the hash has to cover
+//! the full `AppModel`/`MachineConfig` content. The original
+//! implementation canonicalized through the `Debug` rendering, which is
+//! correct but costs milliseconds per lookup on the large models —
+//! shortest-round-trip float formatting over a multi-megabyte string, paid
+//! on cache *hits* too. [`StableHash`] walks the same structure directly:
+//! every primitive feeds the hash state as machine words (floats as raw
+//! bits, strings as bytes), nothing is ever formatted, and a full
+//! `AppModel` hashes in tens of microseconds.
+//!
+//! Field coverage is enforced mechanically: every struct impl begins with
+//! an exhaustive destructuring pattern, so adding a field to a hashed
+//! model type fails compilation here until the new field joins the hash.
+//! (The two exceptions, [`CallStack`] and [`BinaryMap`], keep their fields
+//! private behind total accessors — `frames()` and `modules()` return the
+//! entire state by construction.)
+
+use crate::cache::CacheModelCfg;
+use crate::curve::LatencyCurve;
+use crate::machine::MachineConfig;
+use crate::model::{AccessPattern, AccessSpec, AllocOp, AppModel, FreeOp, PhaseSpec};
+use crate::tier::{TierKind, TierSpec};
+use memtrace::binmap::{BinaryMap, LineEntry, ModuleInfo};
+use memtrace::{CallStack, Frame, FuncId, ModuleId, SiteId, TierId};
+
+/// Stable content hash of a value, used to derive cache keys.
+///
+/// Deterministic within a process and across runs — everything an
+/// in-process cache needs. Collisions only cost a wrong table cell, and
+/// 64 bits over dozens of keys makes that vanishingly unlikely.
+pub fn stable_hash<T: StableHash + ?Sized>(value: &T) -> u64 {
+    let mut h = Hasher::default();
+    value.hash_into(&mut h);
+    h.finish()
+}
+
+/// Feeds a value's full content into a [`Hasher`]. Implementations must
+/// cover every field — see the module docs for how that is enforced.
+pub trait StableHash {
+    fn hash_into(&self, h: &mut Hasher);
+}
+
+/// Domain tags keep differently-typed values with equal bit patterns from
+/// colliding (e.g. the empty string vs the empty sequence).
+const TAG_UINT: u64 = 1;
+const TAG_FLOAT: u64 = 2;
+const TAG_STR: u64 = 3;
+const TAG_NONE: u64 = 4;
+const TAG_SOME: u64 = 5;
+const TAG_VARIANT: u64 = 6;
+const TAG_SEQ: u64 = 7;
+const TAG_STRUCT: u64 = 8;
+
+/// Multiply-mix word hasher: eight bytes per multiply instead of the
+/// byte-serial FNV it replaces, with a splitmix64 finalizer.
+#[derive(Default)]
+pub struct Hasher {
+    state: u64,
+}
+
+impl Hasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.state = (self.state ^ w).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.state ^= self.state >> 29;
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.word(b.len() as u64);
+        let mut chunks = b.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.word(u64::from_le_bytes(tail));
+        }
+    }
+
+    fn finish(self) -> u64 {
+        // splitmix64 finalizer: avalanche the mixed state so low-entropy
+        // inputs still spread over all 64 output bits.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+macro_rules! hash_as_uint {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn hash_into(&self, h: &mut Hasher) {
+                h.word(TAG_UINT);
+                h.word(*self as u64);
+            }
+        }
+    )*};
+}
+
+hash_as_uint!(u8, u16, u32, u64, usize, bool);
+
+impl StableHash for f64 {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_FLOAT);
+        h.word(self.to_bits());
+    }
+}
+
+impl StableHash for str {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_STR);
+        h.bytes(self.as_bytes());
+    }
+}
+
+impl StableHash for String {
+    fn hash_into(&self, h: &mut Hasher) {
+        self.as_str().hash_into(h);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_SEQ);
+        h.word(self.len() as u64);
+        for item in self {
+            item.hash_into(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn hash_into(&self, h: &mut Hasher) {
+        self.as_slice().hash_into(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn hash_into(&self, h: &mut Hasher) {
+        match self {
+            None => h.word(TAG_NONE),
+            Some(v) => {
+                h.word(TAG_SOME);
+                v.hash_into(h);
+            }
+        }
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_SEQ);
+        h.word(2);
+        self.0.hash_into(h);
+        self.1.hash_into(h);
+    }
+}
+
+macro_rules! hash_id_newtype {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn hash_into(&self, h: &mut Hasher) {
+                self.0.hash_into(h);
+            }
+        }
+    )*};
+}
+
+hash_id_newtype!(SiteId, FuncId, ModuleId, TierId);
+
+/// Hashes a struct: a shape tag, then every field in declaration order.
+/// The field list comes from an exhaustive destructuring at the call site,
+/// which is what makes forgetting a field a compile error.
+macro_rules! hash_fields {
+    ($h:ident, $($f:ident),+) => {{
+        $h.word(TAG_STRUCT);
+        $($f.hash_into($h);)+
+    }};
+}
+
+impl StableHash for AppModel {
+    fn hash_into(&self, h: &mut Hasher) {
+        let AppModel {
+            name,
+            ranks,
+            threads_per_rank,
+            input_desc,
+            sites,
+            binmap,
+            function_names,
+            phases,
+        } = self;
+        hash_fields!(
+            h,
+            name,
+            ranks,
+            threads_per_rank,
+            input_desc,
+            sites,
+            binmap,
+            function_names,
+            phases
+        );
+    }
+}
+
+impl StableHash for PhaseSpec {
+    fn hash_into(&self, h: &mut Hasher) {
+        let PhaseSpec { label, compute_instructions, allocs, frees, accesses } = self;
+        hash_fields!(h, label, compute_instructions, allocs, frees, accesses);
+    }
+}
+
+impl StableHash for AllocOp {
+    fn hash_into(&self, h: &mut Hasher) {
+        let AllocOp { site, size, count } = self;
+        hash_fields!(h, site, size, count);
+    }
+}
+
+impl StableHash for FreeOp {
+    fn hash_into(&self, h: &mut Hasher) {
+        let FreeOp { site, count } = self;
+        hash_fields!(h, site, count);
+    }
+}
+
+impl StableHash for AccessSpec {
+    fn hash_into(&self, h: &mut Hasher) {
+        let AccessSpec {
+            site,
+            function,
+            loads,
+            stores,
+            llc_miss_rate,
+            store_l1d_miss_rate,
+            pattern,
+            instructions,
+            reuse_hint,
+        } = self;
+        hash_fields!(
+            h,
+            site,
+            function,
+            loads,
+            stores,
+            llc_miss_rate,
+            store_l1d_miss_rate,
+            pattern,
+            instructions,
+            reuse_hint
+        );
+    }
+}
+
+impl StableHash for AccessPattern {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_VARIANT);
+        h.word(match self {
+            AccessPattern::Sequential => 0,
+            AccessPattern::Strided => 1,
+            AccessPattern::Random => 2,
+        });
+    }
+}
+
+impl StableHash for MachineConfig {
+    fn hash_into(&self, h: &mut Hasher) {
+        let MachineConfig {
+            name,
+            tiers,
+            cores,
+            freq_ghz,
+            base_ipc,
+            cacheline,
+            mlp_per_core,
+            cache_cfg,
+        } = self;
+        hash_fields!(h, name, tiers, cores, freq_ghz, base_ipc, cacheline, mlp_per_core, cache_cfg);
+    }
+}
+
+impl StableHash for TierSpec {
+    fn hash_into(&self, h: &mut Hasher) {
+        let TierSpec {
+            id,
+            name,
+            kind,
+            capacity,
+            peak_read_bw,
+            peak_write_bw,
+            read_curve,
+            write_curve,
+            amp_strided,
+            amp_random,
+        } = self;
+        hash_fields!(
+            h,
+            id,
+            name,
+            kind,
+            capacity,
+            peak_read_bw,
+            peak_write_bw,
+            read_curve,
+            write_curve,
+            amp_strided,
+            amp_random
+        );
+    }
+}
+
+impl StableHash for TierKind {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_VARIANT);
+        h.word(match self {
+            TierKind::Dram => 0,
+            TierKind::Pmem => 1,
+            TierKind::Hbm => 2,
+            TierKind::Cxl => 3,
+        });
+    }
+}
+
+impl StableHash for LatencyCurve {
+    fn hash_into(&self, h: &mut Hasher) {
+        let LatencyCurve { base_ns, span_ns, alpha } = self;
+        hash_fields!(h, base_ns, span_ns, alpha);
+    }
+}
+
+impl StableHash for CacheModelCfg {
+    fn hash_into(&self, h: &mut Hasher) {
+        let CacheModelCfg { effective_fraction } = self;
+        hash_fields!(h, effective_fraction);
+    }
+}
+
+impl StableHash for Frame {
+    fn hash_into(&self, h: &mut Hasher) {
+        let Frame { module, offset } = self;
+        hash_fields!(h, module, offset);
+    }
+}
+
+impl StableHash for CallStack {
+    fn hash_into(&self, h: &mut Hasher) {
+        // `frames()` is the stack's entire state.
+        self.frames().hash_into(h);
+    }
+}
+
+impl StableHash for BinaryMap {
+    fn hash_into(&self, h: &mut Hasher) {
+        // `modules()` is the map's entire state.
+        self.modules().hash_into(h);
+    }
+}
+
+impl StableHash for ModuleInfo {
+    fn hash_into(&self, h: &mut Hasher) {
+        let ModuleInfo { id, name, text_size, debug_info_size, files, line_table } = self;
+        hash_fields!(h, id, name, text_size, debug_info_size, files, line_table);
+    }
+}
+
+impl StableHash for LineEntry {
+    fn hash_into(&self, h: &mut Hasher) {
+        let LineEntry { start, end, file, line } = self;
+        hash_fields!(h, start, end, file, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_values_and_repeats() {
+        assert_eq!(stable_hash(&42u64), stable_hash(&42u64));
+        assert_ne!(stable_hash(&42u64), stable_hash(&43u64));
+        assert_ne!(stable_hash(&1.0f64), stable_hash(&1u64));
+        assert_ne!(stable_hash(&Some(0u64)), stable_hash(&0u64));
+        assert_ne!(stable_hash(""), stable_hash(&Vec::<u64>::new()));
+    }
+
+    #[test]
+    fn float_bit_patterns_matter() {
+        assert_ne!(stable_hash(&0.0f64), stable_hash(&-0.0f64));
+        assert_ne!(stable_hash(&1.0f64), stable_hash(&1.0000000000000002f64));
+    }
+
+    #[test]
+    fn sequences_hash_by_content_and_shape() {
+        assert_eq!(stable_hash(&vec![1u64, 2]), stable_hash(&vec![1u64, 2]));
+        assert_ne!(stable_hash(&vec![1u64, 2]), stable_hash(&vec![2u64, 1]));
+        assert_ne!(stable_hash(&vec![vec![1u64], vec![]]), stable_hash(&vec![vec![], vec![1u64]]));
+    }
+
+    #[test]
+    fn model_edits_change_the_hash() {
+        let a = MachineConfig::optane_pmem6();
+        let mut b = a.clone();
+        assert_eq!(stable_hash(&a), stable_hash(&b));
+        b.tiers[1].peak_read_bw += 1.0;
+        assert_ne!(stable_hash(&a), stable_hash(&b));
+    }
+}

@@ -9,17 +9,39 @@
 //!
 //! Timestamps are stored as `u64` microseconds, delta-coded against the
 //! previous event — a lossy (µs-granular) but faithful representation of
-//! what a real tracer records. [`read_trace`] rejects wrong magics, wrong
-//! versions, and truncated streams.
+//! what a real tracer records. Delta coding requires time-sorted input:
+//! [`write_trace`] rejects out-of-order events (a silent `saturating_sub`
+//! would decode them *reordered*), and [`write_trace_lenient`] sorts a
+//! copy first. [`read_trace`] rejects wrong magics, wrong versions, and
+//! truncated streams.
+//!
+//! Two on-disk versions share the magic and header encoding:
+//!
+//! * **v1** — one flat event stream, decoded in full by [`read_trace`].
+//! * **v2** — the event stream is split into fixed-size buckets with a
+//!   `(count, byte length, base timestamp)` index section up front; delta
+//!   coding restarts at each bucket's base. [`TraceBuf`] keeps the file
+//!   bytes as one owned buffer (the moral equivalent of an `mmap`) and
+//!   decodes buckets lazily into [`EventBatch`]es — analyze/ingest can
+//!   consume a recorded trace without an upfront parse-and-alloc pass,
+//!   and buckets decode independently (in parallel upstream).
 
+use crate::columns::EventBatch;
+use crate::ctrace::ColumnarTrace;
 use crate::error::TraceError;
 use crate::events::TraceEvent;
 use crate::ids::{FuncId, ObjectId, SiteId};
 use crate::trace::TraceFile;
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ECOHMEM\0";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Events per v2 bucket. Small enough that one bucket decodes in-cache,
+/// large enough that the index section stays negligible.
+pub const V2_BUCKET_EVENTS: usize = 8192;
 
 /// Writes a varint (LEB128). Public so downstream binary formats (the
 /// online engine's journal and checkpoints) share one integer encoding.
@@ -69,11 +91,98 @@ const TAG_STORE_HIT: u8 = 4;
 const TAG_STORE_MISS: u8 = 5;
 const TAG_PHASE: u8 = 6;
 
-/// Serializes a trace to the binary format.
+/// Encodes one event as a tagged record with a pre-computed time delta.
+fn encode_record(out: &mut Vec<u8>, e: &TraceEvent, delta: u64) {
+    match e {
+        TraceEvent::Alloc { object, site, size, address, .. } => {
+            out.push(TAG_ALLOC);
+            put_varint(out, delta);
+            put_varint(out, object.0);
+            put_varint(out, u64::from(site.0));
+            put_varint(out, *size);
+            put_varint(out, *address);
+        }
+        TraceEvent::Free { object, .. } => {
+            out.push(TAG_FREE);
+            put_varint(out, delta);
+            put_varint(out, object.0);
+        }
+        TraceEvent::LoadMissSample { address, latency_cycles, function, .. } => {
+            out.push(TAG_LOAD);
+            put_varint(out, delta);
+            put_varint(out, *address);
+            put_varint(out, latency_cycles.round() as u64);
+            put_varint(out, u64::from(function.0));
+        }
+        TraceEvent::StoreSample { address, l1d_miss, function, .. } => {
+            out.push(if *l1d_miss { TAG_STORE_MISS } else { TAG_STORE_HIT });
+            put_varint(out, delta);
+            put_varint(out, *address);
+            put_varint(out, u64::from(function.0));
+        }
+        TraceEvent::PhaseMarker { phase, .. } => {
+            out.push(TAG_PHASE);
+            put_varint(out, delta);
+            put_varint(out, u64::from(*phase));
+        }
+    }
+}
+
+/// Decodes one tagged record, advancing `pos` and the running timestamp.
+fn decode_record(
+    data: &[u8],
+    pos: &mut usize,
+    last_us: &mut u64,
+) -> Result<TraceEvent, TraceError> {
+    let tag =
+        *data.get(*pos).ok_or_else(|| TraceError::Malformed("truncated event stream".into()))?;
+    *pos += 1;
+    let delta = get_varint(data, pos)?;
+    *last_us += delta;
+    let time = seconds(*last_us);
+    Ok(match tag {
+        TAG_ALLOC => TraceEvent::Alloc {
+            time,
+            object: ObjectId(get_varint(data, pos)?),
+            site: SiteId(get_varint(data, pos)? as u32),
+            size: get_varint(data, pos)?,
+            address: get_varint(data, pos)?,
+        },
+        TAG_FREE => TraceEvent::Free { time, object: ObjectId(get_varint(data, pos)?) },
+        TAG_LOAD => TraceEvent::LoadMissSample {
+            time,
+            address: get_varint(data, pos)?,
+            latency_cycles: get_varint(data, pos)? as f64,
+            function: FuncId(get_varint(data, pos)? as u16),
+        },
+        TAG_STORE_HIT | TAG_STORE_MISS => TraceEvent::StoreSample {
+            time,
+            address: get_varint(data, pos)?,
+            l1d_miss: tag == TAG_STORE_MISS,
+            function: FuncId(get_varint(data, pos)? as u16),
+        },
+        TAG_PHASE => TraceEvent::PhaseMarker { time, phase: get_varint(data, pos)? as u32 },
+        other => return Err(TraceError::Malformed(format!("unknown event tag {other}"))),
+    })
+}
+
+/// The out-of-order rejection both writers share: delta coding against the
+/// previous µs timestamp cannot represent a step backwards, and
+/// `saturating_sub` would silently collapse it to delta 0 — the round trip
+/// would *reorder* events instead of failing.
+fn order_error(i: usize, t: f64) -> TraceError {
+    TraceError::Malformed(format!(
+        "event {i} at t={t} precedes the previous event: delta coding requires time-sorted \
+         input (sort first, or use write_trace_lenient)"
+    ))
+}
+
+/// Serializes a trace to the v1 binary format. Fails on out-of-order
+/// events — see [`write_trace_lenient`] for the sanitizing variant.
 pub fn write_trace<W: Write>(trace: &TraceFile, mut w: W) -> Result<(), TraceError> {
     let mut out = Vec::with_capacity(trace.events.len() * 8 + 4096);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&VERSION_V1.to_le_bytes());
 
     // Header: everything but the events, as length-prefixed JSON (small).
     let header = TraceFile { events: Vec::new(), ..trace.clone() };
@@ -84,61 +193,122 @@ pub fn write_trace<W: Write>(trace: &TraceFile, mut w: W) -> Result<(), TraceErr
     // Events: tagged records with delta-coded µs timestamps.
     put_varint(&mut out, trace.events.len() as u64);
     let mut last_us = 0u64;
-    for e in &trace.events {
+    for (i, e) in trace.events.iter().enumerate() {
         let t_us = micros(e.time());
-        let delta = t_us.saturating_sub(last_us);
-        last_us = t_us;
-        match e {
-            TraceEvent::Alloc { object, site, size, address, .. } => {
-                out.push(TAG_ALLOC);
-                put_varint(&mut out, delta);
-                put_varint(&mut out, object.0);
-                put_varint(&mut out, u64::from(site.0));
-                put_varint(&mut out, *size);
-                put_varint(&mut out, *address);
-            }
-            TraceEvent::Free { object, .. } => {
-                out.push(TAG_FREE);
-                put_varint(&mut out, delta);
-                put_varint(&mut out, object.0);
-            }
-            TraceEvent::LoadMissSample { address, latency_cycles, function, .. } => {
-                out.push(TAG_LOAD);
-                put_varint(&mut out, delta);
-                put_varint(&mut out, *address);
-                put_varint(&mut out, latency_cycles.round() as u64);
-                put_varint(&mut out, u64::from(function.0));
-            }
-            TraceEvent::StoreSample { address, l1d_miss, function, .. } => {
-                out.push(if *l1d_miss { TAG_STORE_MISS } else { TAG_STORE_HIT });
-                put_varint(&mut out, delta);
-                put_varint(&mut out, *address);
-                put_varint(&mut out, u64::from(function.0));
-            }
-            TraceEvent::PhaseMarker { phase, .. } => {
-                out.push(TAG_PHASE);
-                put_varint(&mut out, delta);
-                put_varint(&mut out, u64::from(*phase));
-            }
+        if t_us < last_us {
+            return Err(order_error(i, e.time()));
         }
+        let delta = t_us - last_us;
+        last_us = t_us;
+        encode_record(&mut out, e, delta);
     }
     w.write_all(&out)?;
     Ok(())
 }
 
-/// Deserializes a trace from the binary format.
-pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
-    let mut data = Vec::new();
-    r.read_to_end(&mut data)?;
+/// [`write_trace`] for damaged input: drops non-finite timestamps and
+/// stable-sorts a copy by time (ties keep emission order, like
+/// `TraceFile::sanitize`) before encoding, so the write cannot fail on
+/// ordering and the round trip is order-faithful for what survives.
+pub fn write_trace_lenient<W: Write>(trace: &TraceFile, w: W) -> Result<(), TraceError> {
+    let mut sorted = trace.clone();
+    sorted.events.retain(|e| e.time().is_finite());
+    sorted.events.sort_by(|a, b| a.time().total_cmp(&b.time()));
+    write_trace(&sorted, w)
+}
+
+/// Serializes a trace to the v2 (bucketed) binary format. Same strict
+/// ordering contract as [`write_trace`].
+pub fn write_trace_v2<W: Write>(trace: &TraceFile, w: W) -> Result<(), TraceError> {
+    let header = TraceFile { events: Vec::new(), ..trace.clone() };
+    write_v2(&header.to_json()?, trace.events.len(), trace.events.iter().cloned(), w)
+}
+
+/// Serializes a columnar trace to the v2 binary format without
+/// materializing the event vector.
+pub fn write_columnar_v2<W: Write>(trace: &ColumnarTrace, w: W) -> Result<(), TraceError> {
+    write_v2(&trace.header_file().to_json()?, trace.events.len(), trace.events.iter_events(), w)
+}
+
+fn write_v2<W: Write>(
+    header_json: &str,
+    n_events: usize,
+    events: impl Iterator<Item = TraceEvent>,
+    mut w: W,
+) -> Result<(), TraceError> {
+    // Bucket payloads, encoded first so the index can carry byte lengths.
+    // Delta coding restarts at each bucket's base timestamp, which is what
+    // lets a reader decode any bucket without touching the ones before it.
+    let mut payload = Vec::with_capacity(n_events * 8);
+    let mut metas: Vec<(u64, u64, u64)> = Vec::with_capacity(n_events / V2_BUCKET_EVENTS + 1);
+    let mut bucket_start = 0usize;
+    let mut in_bucket = 0usize;
+    let mut base_us = 0u64;
+    let mut last_us = 0u64;
+    let mut prev_us = 0u64;
+    for (i, e) in events.enumerate() {
+        let t_us = micros(e.time());
+        if t_us < prev_us {
+            return Err(order_error(i, e.time()));
+        }
+        prev_us = t_us;
+        if in_bucket == 0 {
+            base_us = t_us;
+            last_us = t_us;
+            bucket_start = payload.len();
+        }
+        let delta = t_us - last_us;
+        last_us = t_us;
+        encode_record(&mut payload, &e, delta);
+        in_bucket += 1;
+        if in_bucket == V2_BUCKET_EVENTS {
+            metas.push((in_bucket as u64, (payload.len() - bucket_start) as u64, base_us));
+            in_bucket = 0;
+        }
+    }
+    if in_bucket > 0 {
+        metas.push((in_bucket as u64, (payload.len() - bucket_start) as u64, base_us));
+    }
+
+    let mut out = Vec::with_capacity(header_json.len() + metas.len() * 12 + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
+    put_varint(&mut out, header_json.len() as u64);
+    out.extend_from_slice(header_json.as_bytes());
+    put_varint(&mut out, n_events as u64);
+    put_varint(&mut out, metas.len() as u64);
+    for &(count, len, base) in &metas {
+        put_varint(&mut out, count);
+        put_varint(&mut out, len);
+        put_varint(&mut out, base);
+    }
+    w.write_all(&out)?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+fn sniff_version(data: &[u8]) -> Result<u32, TraceError> {
     if data.len() < 12 || &data[..8] != MAGIC {
         return Err(TraceError::Malformed("bad magic".into()));
     }
-    let version = u32::from_le_bytes(data[8..12].try_into().expect("length checked"));
-    if version != VERSION {
-        return Err(TraceError::Malformed(format!("unsupported version {version}")));
+    Ok(u32::from_le_bytes(data[8..12].try_into().expect("length checked")))
+}
+
+/// Deserializes a trace from the binary format, either version: v1 decodes
+/// the flat stream directly, v2 goes through [`TraceBuf`].
+pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    match sniff_version(&data)? {
+        VERSION_V1 => read_trace_v1(&data),
+        VERSION_V2 => TraceBuf::from_bytes(data)?.to_trace_file(),
+        v => Err(TraceError::Malformed(format!("unsupported version {v}"))),
     }
+}
+
+fn read_trace_v1(data: &[u8]) -> Result<TraceFile, TraceError> {
     let mut pos = 12usize;
-    let header_len = get_varint(&data, &mut pos)? as usize;
+    let header_len = get_varint(data, &mut pos)? as usize;
     let header_end = pos
         .checked_add(header_len)
         .filter(|&e| e <= data.len())
@@ -148,46 +318,208 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
     let mut trace = TraceFile::from_json(header_text)?;
     pos = header_end;
 
-    let n_events = get_varint(&data, &mut pos)? as usize;
+    let n_events = get_varint(data, &mut pos)? as usize;
+    // Each event costs ≥ 2 bytes (tag + delta varint); an absurd count
+    // means corruption, not a huge trace.
+    if n_events > data.len().saturating_sub(pos) / 2 {
+        return Err(TraceError::Malformed(format!(
+            "trace claims {n_events} events in a short buffer"
+        )));
+    }
     let mut events = Vec::with_capacity(n_events);
     let mut last_us = 0u64;
     for _ in 0..n_events {
-        let tag =
-            *data.get(pos).ok_or_else(|| TraceError::Malformed("truncated event stream".into()))?;
-        pos += 1;
-        let delta = get_varint(&data, &mut pos)?;
-        last_us += delta;
-        let time = seconds(last_us);
-        let event = match tag {
-            TAG_ALLOC => TraceEvent::Alloc {
-                time,
-                object: ObjectId(get_varint(&data, &mut pos)?),
-                site: SiteId(get_varint(&data, &mut pos)? as u32),
-                size: get_varint(&data, &mut pos)?,
-                address: get_varint(&data, &mut pos)?,
-            },
-            TAG_FREE => TraceEvent::Free { time, object: ObjectId(get_varint(&data, &mut pos)?) },
-            TAG_LOAD => TraceEvent::LoadMissSample {
-                time,
-                address: get_varint(&data, &mut pos)?,
-                latency_cycles: get_varint(&data, &mut pos)? as f64,
-                function: FuncId(get_varint(&data, &mut pos)? as u16),
-            },
-            TAG_STORE_HIT | TAG_STORE_MISS => TraceEvent::StoreSample {
-                time,
-                address: get_varint(&data, &mut pos)?,
-                l1d_miss: tag == TAG_STORE_MISS,
-                function: FuncId(get_varint(&data, &mut pos)? as u16),
-            },
-            TAG_PHASE => {
-                TraceEvent::PhaseMarker { time, phase: get_varint(&data, &mut pos)? as u32 }
-            }
-            other => return Err(TraceError::Malformed(format!("unknown event tag {other}"))),
-        };
-        events.push(event);
+        events.push(decode_record(data, &mut pos, &mut last_us)?);
     }
     trace.events = events;
     Ok(trace)
+}
+
+/// One bucket of a [`TraceBuf`]: where its payload lives and the timestamp
+/// its delta coding restarts from.
+#[derive(Debug, Clone, Copy)]
+struct BucketMeta {
+    count: usize,
+    base_us: u64,
+    off: usize,
+    len: usize,
+}
+
+/// A v2 binary trace held as one owned byte buffer with the header and
+/// bucket index parsed eagerly and the event stream decoded *lazily*, one
+/// time-bucket at a time.
+///
+/// This is the zero-copy read path: [`TraceBuf::open`] reads the file
+/// once (the owned-buffer equivalent of an `mmap`), and no event is
+/// decoded or allocated until a consumer asks for its bucket. Buckets are
+/// mutually independent — delta coding restarts at each bucket's base
+/// timestamp — so callers can decode them in any order or in parallel
+/// (`&TraceBuf` is `Sync`). Construction validates the section layout:
+/// bucket byte ranges must tile the payload exactly and per-bucket event
+/// counts must respect the 2-bytes-per-event floor, so a corrupt index
+/// fails loudly at open time, not mid-decode.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    data: Vec<u8>,
+    header: TraceFile,
+    n_events: usize,
+    buckets: Vec<BucketMeta>,
+}
+
+impl TraceBuf {
+    /// Reads a v2 trace file into memory and parses its header and index.
+    pub fn open(path: impl AsRef<Path>) -> Result<TraceBuf, TraceError> {
+        TraceBuf::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Wraps an in-memory v2 encoding. Rejects v1 files with a pointer to
+    /// the eager reader — the flat v1 stream has no index to seek by.
+    pub fn from_bytes(data: Vec<u8>) -> Result<TraceBuf, TraceError> {
+        match sniff_version(&data)? {
+            VERSION_V2 => {}
+            VERSION_V1 => {
+                return Err(TraceError::Malformed(
+                    "version 1 trace: the flat pre-v2 layout cannot be streamed per bucket; \
+                     read it with read_trace (or re-encode with write_trace_v2)"
+                        .into(),
+                ))
+            }
+            v => return Err(TraceError::Malformed(format!("unsupported version {v}"))),
+        }
+        let mut pos = 12usize;
+        let header_len = get_varint(&data, &mut pos)? as usize;
+        let header_end = pos
+            .checked_add(header_len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| TraceError::Malformed("truncated header".into()))?;
+        let header_text = std::str::from_utf8(&data[pos..header_end])
+            .map_err(|_| TraceError::Malformed("header is not utf-8".into()))?;
+        let header = TraceFile::from_json(header_text)?;
+        pos = header_end;
+
+        let n_events = get_varint(&data, &mut pos)? as usize;
+        let n_buckets = get_varint(&data, &mut pos)? as usize;
+        // Each index entry costs ≥ 3 bytes.
+        if n_buckets > data.len().saturating_sub(pos) / 3 {
+            return Err(TraceError::Malformed(format!(
+                "index claims {n_buckets} buckets in a short buffer"
+            )));
+        }
+        let mut metas = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let count = get_varint(&data, &mut pos)?;
+            let len = get_varint(&data, &mut pos)?;
+            let base_us = get_varint(&data, &mut pos)?;
+            // Each event costs ≥ 2 bytes (tag + delta varint).
+            if count > len / 2 {
+                return Err(TraceError::Malformed(format!(
+                    "bucket claims {count} events in {len} bytes"
+                )));
+            }
+            metas.push((count, len, base_us));
+        }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        let mut off = pos as u64;
+        let mut total = 0u64;
+        for &(count, len, base_us) in &metas {
+            let end = off
+                .checked_add(len)
+                .filter(|&e| e <= data.len() as u64)
+                .ok_or_else(|| TraceError::Malformed("bucket section out of bounds".into()))?;
+            buckets.push(BucketMeta {
+                count: count as usize,
+                base_us,
+                off: off as usize,
+                len: len as usize,
+            });
+            total += count;
+            off = end;
+        }
+        if off != data.len() as u64 {
+            return Err(TraceError::Malformed(format!(
+                "bucket sections end at byte {off}, file has {}",
+                data.len()
+            )));
+        }
+        if total != n_events as u64 {
+            return Err(TraceError::Malformed(format!(
+                "index counts {total} events, header claims {n_events}"
+            )));
+        }
+        Ok(TraceBuf { data, header, n_events, buckets })
+    }
+
+    /// The trace header, as an events-free [`TraceFile`].
+    pub fn header(&self) -> &TraceFile {
+        &self.header
+    }
+
+    /// Total events across all buckets.
+    pub fn event_count(&self) -> usize {
+        self.n_events
+    }
+
+    /// Number of lazily-decodable buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Decodes bucket `i` into a columnar batch. Bounds-checked against
+    /// the index; a payload that decodes short or long is rejected.
+    pub fn bucket(&self, i: usize) -> Result<EventBatch, TraceError> {
+        let m = self.buckets[i];
+        let data = &self.data[m.off..m.off + m.len];
+        let mut pos = 0usize;
+        let mut last_us = m.base_us;
+        let mut batch = EventBatch { ops: Vec::with_capacity(m.count), ..EventBatch::default() };
+        for _ in 0..m.count {
+            let e = decode_record(data, &mut pos, &mut last_us)?;
+            batch.push(&e);
+        }
+        if pos != data.len() {
+            return Err(TraceError::Malformed(format!(
+                "bucket {i} decoded {pos} of {} payload bytes",
+                data.len()
+            )));
+        }
+        Ok(batch)
+    }
+
+    /// Decodes every bucket, in order, into one columnar trace.
+    pub fn to_columnar(&self) -> Result<ColumnarTrace, TraceError> {
+        let mut events =
+            EventBatch { ops: Vec::with_capacity(self.n_events), ..Default::default() };
+        for i in 0..self.buckets.len() {
+            events.append(&self.bucket(i)?);
+        }
+        let h = &self.header;
+        Ok(ColumnarTrace {
+            app_name: h.app_name.clone(),
+            seed: h.seed,
+            ranks: h.ranks,
+            sampling_hz: h.sampling_hz,
+            load_sample_period: h.load_sample_period,
+            store_sample_period: h.store_sample_period,
+            duration: h.duration,
+            stacks: h.stacks.clone(),
+            binmap: h.binmap.clone(),
+            events,
+        })
+    }
+
+    /// Decodes the whole file into the classic AoS trace.
+    pub fn to_trace_file(&self) -> Result<TraceFile, TraceError> {
+        let mut events = Vec::with_capacity(self.n_events);
+        for m in &self.buckets {
+            let data = &self.data[m.off..m.off + m.len];
+            let mut pos = 0usize;
+            let mut last_us = m.base_us;
+            for _ in 0..m.count {
+                events.push(decode_record(data, &mut pos, &mut last_us)?);
+            }
+        }
+        Ok(TraceFile { events, ..self.header.clone() })
+    }
 }
 
 /// CRC-32 (IEEE 802.3, poly 0xEDB88320), the checksum guarding journal
@@ -266,8 +598,11 @@ pub fn write_frame(events: &[TraceEvent], out: &mut Vec<u8>) {
 /// Decodes one frame written by [`write_frame`], advancing `pos` past it.
 pub fn read_frame(data: &[u8], pos: &mut usize) -> Result<Vec<TraceEvent>, TraceError> {
     let n = get_varint(data, pos)? as usize;
-    if n > data.len().saturating_sub(*pos) {
-        // Each event costs ≥ 2 bytes; an absurd count means corruption.
+    // Each event costs ≥ 2 bytes (tag + varint time), so a count above
+    // half the remaining bytes means corruption — checking against the
+    // full remainder would let a hostile count just under the buffer
+    // length drive an oversized `Vec::with_capacity`.
+    if n > data.len().saturating_sub(*pos) / 2 {
         return Err(TraceError::Malformed(format!("frame claims {n} events in a short buffer")));
     }
     let mut events = Vec::with_capacity(n);
@@ -488,5 +823,183 @@ mod tests {
             assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
             assert_eq!(pos, buf.len());
         }
+    }
+
+    #[test]
+    fn strict_write_rejects_unsorted_input() {
+        let mut t = sample_trace();
+        t.events.swap(2, 4); // store@1.5 now precedes load@0.5
+        let err = write_trace(&t, &mut Vec::new()).unwrap_err().to_string();
+        assert!(err.contains("time-sorted"), "unexpected error: {err}");
+        let err = write_trace_v2(&t, &mut Vec::new()).unwrap_err().to_string();
+        assert!(err.contains("time-sorted"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn lenient_write_sorts_and_drops_non_finite() {
+        let mut t = sample_trace();
+        t.events.swap(2, 4);
+        t.events.push(TraceEvent::PhaseMarker { time: f64::NAN, phase: 1 });
+        let mut buf = Vec::new();
+        write_trace_lenient(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.events.len(), sample_trace().events.len());
+        let times: Vec<f64> = back.events.iter().map(|e| e.time()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "not sorted: {times:?}");
+    }
+
+    #[test]
+    fn frames_reject_a_hostile_count_just_under_the_buffer_length() {
+        let events = sample_trace().events;
+        let mut buf = Vec::new();
+        write_frame(&events, &mut buf);
+        // Overwrite the count varint with one claiming nearly as many
+        // events as there are bytes — the 2-bytes-per-event floor must
+        // reject it before any allocation happens.
+        let hostile = buf.len() as u64 - 2;
+        let mut corrupt = Vec::new();
+        put_varint(&mut corrupt, hostile);
+        corrupt.extend_from_slice(&buf[1..]); // original count was 1 byte (6 events)
+        let mut pos = 0;
+        let err = read_frame(&corrupt, &mut pos).unwrap_err().to_string();
+        assert!(err.contains("short buffer"), "unexpected error: {err}");
+    }
+
+    fn big_trace(n: usize) -> TraceFile {
+        let mut t = sample_trace();
+        for i in 0..n as u64 {
+            t.events.push(TraceEvent::LoadMissSample {
+                time: 2.5 + i as f64 * 1e-5,
+                address: (1 << 44) + i * 64,
+                latency_cycles: 250.0 + (i % 7) as f64,
+                function: FuncId((i % 5) as u16),
+            });
+        }
+        t.duration = 2.5 + n as f64 * 1e-5 + 1.0;
+        t
+    }
+
+    #[test]
+    fn v2_round_trips_and_matches_v1() {
+        let t = big_trace(20_000); // > 2 buckets
+        let mut v1 = Vec::new();
+        write_trace(&t, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_trace_v2(&t, &mut v2).unwrap();
+        assert_eq!(read_trace(&v2[..]).unwrap(), read_trace(&v1[..]).unwrap());
+    }
+
+    #[test]
+    fn columnar_v2_writes_the_same_bytes() {
+        let t = big_trace(9_000);
+        let mut from_aos = Vec::new();
+        write_trace_v2(&t, &mut from_aos).unwrap();
+        let mut from_cols = Vec::new();
+        write_columnar_v2(&crate::ColumnarTrace::from_trace_file(&t), &mut from_cols).unwrap();
+        assert_eq!(from_aos, from_cols);
+    }
+
+    #[test]
+    fn trace_buf_decodes_buckets_lazily_and_consistently() {
+        let t = big_trace(20_000);
+        let mut v2 = Vec::new();
+        write_trace_v2(&t, &mut v2).unwrap();
+        let buf = TraceBuf::from_bytes(v2).unwrap();
+        assert_eq!(buf.event_count(), t.events.len());
+        assert!(buf.bucket_count() >= 2, "want multiple buckets");
+        assert_eq!(buf.header().app_name, t.app_name);
+        assert!(buf.header().events.is_empty());
+
+        // Per-bucket decode, concatenated, equals the full decode — and
+        // buckets decode independently, in any order.
+        let mut concat = EventBatch::default();
+        for i in (0..buf.bucket_count()).rev() {
+            buf.bucket(i).unwrap();
+        }
+        for i in 0..buf.bucket_count() {
+            concat.append(&buf.bucket(i).unwrap());
+        }
+        let full = buf.to_trace_file().unwrap();
+        assert_eq!(concat.to_events(), full.events);
+        assert_eq!(buf.to_columnar().unwrap().into_trace_file(), full);
+    }
+
+    #[test]
+    fn trace_buf_rejects_v1_files_with_a_clear_error() {
+        let mut v1 = Vec::new();
+        write_trace(&sample_trace(), &mut v1).unwrap();
+        let err = TraceBuf::from_bytes(v1).unwrap_err().to_string();
+        assert!(err.contains("version 1"), "unexpected error: {err}");
+        assert!(err.contains("read_trace"), "should point at the eager reader: {err}");
+    }
+
+    #[test]
+    fn v2_rejects_truncation_anywhere() {
+        let t = big_trace(10_000);
+        let mut v2 = Vec::new();
+        write_trace_v2(&t, &mut v2).unwrap();
+        for cut in [10, 13, 40, v2.len() / 2, v2.len() - 1] {
+            assert!(TraceBuf::from_bytes(v2[..cut].to_vec()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn v2_rejects_corrupt_section_index() {
+        let t = big_trace(10_000);
+        let mut v2 = Vec::new();
+        write_trace_v2(&t, &mut v2).unwrap();
+        let ok = TraceBuf::from_bytes(v2.clone()).unwrap();
+        assert!(ok.bucket_count() >= 2);
+
+        // Locate the start of the index: magic+version, header, two varints.
+        let mut pos = 12usize;
+        let hlen = get_varint(&v2, &mut pos).unwrap() as usize;
+        pos += hlen;
+        let _n_events = get_varint(&v2, &mut pos).unwrap();
+        let _n_buckets = get_varint(&v2, &mut pos).unwrap();
+        let index_at = pos;
+
+        // Hostile per-bucket event count: more events than half the bucket
+        // bytes can hold.
+        let mut bad = v2.clone();
+        let mut w = Vec::new();
+        put_varint(&mut w, u64::MAX >> 2);
+        bad.splice(index_at..index_at + 1, w); // count varint was 2 bytes (8192)
+        let err = TraceBuf::from_bytes(bad).unwrap_err().to_string();
+        assert!(err.contains("events in"), "unexpected error: {err}");
+
+        // Hostile byte length: sections no longer tile the payload.
+        let mut pos2 = index_at;
+        let _count = get_varint(&v2, &mut pos2).unwrap();
+        let len_at = pos2;
+        let len_end = {
+            let mut p = pos2;
+            get_varint(&v2, &mut p).unwrap();
+            p
+        };
+        let mut bad = v2.clone();
+        let mut w = Vec::new();
+        put_varint(&mut w, u64::MAX >> 1);
+        bad.splice(len_at..len_end, w);
+        assert!(TraceBuf::from_bytes(bad).is_err(), "oversized section accepted");
+
+        // Shrunken length: sections end before the file does.
+        let mut bad = v2.clone();
+        let mut w = Vec::new();
+        put_varint(&mut w, 0);
+        bad.splice(len_at..len_end, w);
+        assert!(TraceBuf::from_bytes(bad).is_err(), "short section accepted");
+    }
+
+    #[test]
+    fn v2_handles_the_empty_trace() {
+        let mut t = sample_trace();
+        t.events.clear();
+        let mut v2 = Vec::new();
+        write_trace_v2(&t, &mut v2).unwrap();
+        let buf = TraceBuf::from_bytes(v2).unwrap();
+        assert_eq!(buf.event_count(), 0);
+        assert_eq!(buf.bucket_count(), 0);
+        assert!(buf.to_trace_file().unwrap().events.is_empty());
     }
 }

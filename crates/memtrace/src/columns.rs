@@ -26,8 +26,9 @@
 //! parallel (see `profiler::analyzer`); everything here is plain data
 //! with no interior mutability, so `&TraceColumns` is freely `Sync`.
 
+use crate::callstack::CallStack;
 use crate::events::TraceEvent;
-use crate::ids::{ObjectId, SiteId};
+use crate::ids::{FuncId, ObjectId, SiteId};
 use crate::trace::TraceFile;
 use std::collections::HashMap;
 
@@ -191,6 +192,88 @@ impl TraceColumns {
         }
         cols
     }
+
+    /// [`Self::build`] for a trace that is already columnar: the sample
+    /// columns are wholesale copies of the batch columns (batch rows are in
+    /// arrival order, exactly like a trace's event order), so only the
+    /// alloc/free replay and site interning walk the op stream. A
+    /// differential test pins this against `build` on the materialized
+    /// events.
+    pub fn from_batch(
+        duration: f64,
+        stacks: &[(SiteId, CallStack)],
+        batch: &EventBatch,
+    ) -> TraceColumns {
+        let mut cols = TraceColumns { duration, ..TraceColumns::default() };
+
+        let mut site_dense: HashMap<SiteId, u32> = HashMap::with_capacity(stacks.len());
+        for (i, (site, _)) in stacks.iter().enumerate() {
+            site_dense.entry(*site).or_insert_with(|| {
+                cols.site_ids.push(*site);
+                cols.site_stacks.push(i);
+                (cols.site_ids.len() - 1) as u32
+            });
+        }
+
+        let mut obj_dense: HashMap<ObjectId, u32> = HashMap::new();
+        for op in &batch.ops {
+            match *op {
+                BatchOp::Alloc(r) => {
+                    let r = r as usize;
+                    let site = batch.alloc_sites[r];
+                    let ds = *site_dense.entry(site).or_insert_with(|| {
+                        cols.site_ids.push(site);
+                        cols.site_stacks.push(usize::MAX);
+                        (cols.site_ids.len() - 1) as u32
+                    });
+                    let object = batch.alloc_objects[r];
+                    let o = &mut cols.objects;
+                    match obj_dense.get(&object) {
+                        Some(&d) => {
+                            let d = d as usize;
+                            o.sites[d] = ds;
+                            o.sizes[d] = batch.alloc_sizes[r];
+                            o.addresses[d] = batch.alloc_addresses[r];
+                            o.alloc_times[d] = batch.alloc_times[r];
+                            o.free_times[d] = duration;
+                        }
+                        None => {
+                            obj_dense.insert(object, o.ids.len() as u32);
+                            o.ids.push(object);
+                            o.sites.push(ds);
+                            o.sizes.push(batch.alloc_sizes[r]);
+                            o.addresses.push(batch.alloc_addresses[r]);
+                            o.alloc_times.push(batch.alloc_times[r]);
+                            o.free_times.push(duration);
+                        }
+                    }
+                }
+                BatchOp::Free(r) => {
+                    if let Some(&d) = obj_dense.get(&batch.free_objects[r as usize]) {
+                        cols.objects.free_times[d as usize] = batch.free_times[r as usize];
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        cols.load_times = batch.load_times.clone();
+        cols.load_addresses = batch.load_addresses.clone();
+        cols.store_times = batch.store_times.clone();
+        cols.store_addresses = batch.store_addresses.clone();
+        cols.store_l1d_miss = batch.store_l1d_miss.clone();
+        cols.phase_times = batch.phase_times.clone();
+
+        cols.site_objects = vec![Vec::new(); cols.site_ids.len()];
+        for (d, &ds) in cols.objects.sites.iter().enumerate() {
+            cols.site_objects[ds as usize].push(d as u32);
+        }
+        let ids = &cols.objects.ids;
+        for objs in &mut cols.site_objects {
+            objs.sort_unstable_by_key(|&d| ids[d as usize]);
+        }
+        cols
+    }
 }
 
 /// One interval of the address index: a heap block with its liveness
@@ -321,6 +404,9 @@ pub enum BatchOp {
 /// chunk of events once with [`EventBatch::from_events`], and the
 /// ingestor replays [`EventBatch::ops`] against the per-kind columns —
 /// consuming plain scalars instead of matching a 48-byte enum per field.
+/// The columns are lossless — [`EventBatch::event_of`] reconstructs every
+/// event exactly — so the batch is also the storage format of a
+/// [`crate::ColumnarTrace`] and of the v2 binary trace's decoded buckets.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventBatch {
     /// Arrival-ordered operation stream.
@@ -343,12 +429,18 @@ pub struct EventBatch {
     pub load_times: Vec<f64>,
     /// Load-miss sample addresses.
     pub load_addresses: Vec<u64>,
+    /// Load-miss sample latencies, cycles.
+    pub load_latencies: Vec<f64>,
+    /// Load-miss sample functions.
+    pub load_functions: Vec<FuncId>,
     /// Store sample timestamps.
     pub store_times: Vec<f64>,
     /// Store sample addresses.
     pub store_addresses: Vec<u64>,
     /// Store sample L1D-miss flags.
     pub store_l1d_miss: Vec<bool>,
+    /// Store sample functions.
+    pub store_functions: Vec<FuncId>,
     /// Phase-marker timestamps.
     pub phase_times: Vec<f64>,
     /// Phase ordinals.
@@ -369,35 +461,206 @@ impl EventBatch {
     pub fn push(&mut self, e: &TraceEvent) {
         match e {
             TraceEvent::Alloc { time, object, site, size, address } => {
-                self.ops.push(BatchOp::Alloc(self.alloc_times.len() as u32));
-                self.alloc_times.push(*time);
-                self.alloc_objects.push(*object);
-                self.alloc_sites.push(*site);
-                self.alloc_sizes.push(*size);
-                self.alloc_addresses.push(*address);
+                self.push_alloc(*time, *object, *site, *size, *address);
             }
-            TraceEvent::Free { time, object } => {
-                self.ops.push(BatchOp::Free(self.free_times.len() as u32));
-                self.free_times.push(*time);
-                self.free_objects.push(*object);
+            TraceEvent::Free { time, object } => self.push_free(*time, *object),
+            TraceEvent::LoadMissSample { time, address, latency_cycles, function } => {
+                self.push_load(*time, *address, *latency_cycles, *function);
             }
-            TraceEvent::LoadMissSample { time, address, .. } => {
-                self.ops.push(BatchOp::Load(self.load_times.len() as u32));
-                self.load_times.push(*time);
-                self.load_addresses.push(*address);
+            TraceEvent::StoreSample { time, address, l1d_miss, function } => {
+                self.push_store(*time, *address, *l1d_miss, *function);
             }
-            TraceEvent::StoreSample { time, address, l1d_miss, .. } => {
-                self.ops.push(BatchOp::Store(self.store_times.len() as u32));
-                self.store_times.push(*time);
-                self.store_addresses.push(*address);
-                self.store_l1d_miss.push(*l1d_miss);
+            TraceEvent::PhaseMarker { time, phase } => self.push_phase(*time, *phase),
+        }
+    }
+
+    /// Appends an allocation without going through the event enum.
+    pub fn push_alloc(&mut self, time: f64, object: ObjectId, site: SiteId, size: u64, addr: u64) {
+        self.ops.push(BatchOp::Alloc(self.alloc_times.len() as u32));
+        self.alloc_times.push(time);
+        self.alloc_objects.push(object);
+        self.alloc_sites.push(site);
+        self.alloc_sizes.push(size);
+        self.alloc_addresses.push(addr);
+    }
+
+    /// Appends a free without going through the event enum.
+    pub fn push_free(&mut self, time: f64, object: ObjectId) {
+        self.ops.push(BatchOp::Free(self.free_times.len() as u32));
+        self.free_times.push(time);
+        self.free_objects.push(object);
+    }
+
+    /// Appends a load-miss sample without going through the event enum.
+    pub fn push_load(&mut self, time: f64, address: u64, latency_cycles: f64, function: FuncId) {
+        self.ops.push(BatchOp::Load(self.load_times.len() as u32));
+        self.load_times.push(time);
+        self.load_addresses.push(address);
+        self.load_latencies.push(latency_cycles);
+        self.load_functions.push(function);
+    }
+
+    /// Appends a store sample without going through the event enum.
+    pub fn push_store(&mut self, time: f64, address: u64, l1d_miss: bool, function: FuncId) {
+        self.ops.push(BatchOp::Store(self.store_times.len() as u32));
+        self.store_times.push(time);
+        self.store_addresses.push(address);
+        self.store_l1d_miss.push(l1d_miss);
+        self.store_functions.push(function);
+    }
+
+    /// Appends a phase marker without going through the event enum.
+    pub fn push_phase(&mut self, time: f64, phase: u32) {
+        self.ops.push(BatchOp::Phase(self.phase_times.len() as u32));
+        self.phase_times.push(time);
+        self.phase_ids.push(phase);
+    }
+
+    /// Timestamp of one op.
+    #[inline]
+    pub fn time_of(&self, op: BatchOp) -> f64 {
+        match op {
+            BatchOp::Alloc(r) => self.alloc_times[r as usize],
+            BatchOp::Free(r) => self.free_times[r as usize],
+            BatchOp::Load(r) => self.load_times[r as usize],
+            BatchOp::Store(r) => self.store_times[r as usize],
+            BatchOp::Phase(r) => self.phase_times[r as usize],
+        }
+    }
+
+    /// Reconstructs one op as a [`TraceEvent`]. The batch columns are
+    /// lossless, so `event_of` inverts [`Self::push`] exactly.
+    pub fn event_of(&self, op: BatchOp) -> TraceEvent {
+        match op {
+            BatchOp::Alloc(r) => {
+                let r = r as usize;
+                TraceEvent::Alloc {
+                    time: self.alloc_times[r],
+                    object: self.alloc_objects[r],
+                    site: self.alloc_sites[r],
+                    size: self.alloc_sizes[r],
+                    address: self.alloc_addresses[r],
+                }
             }
-            TraceEvent::PhaseMarker { time, phase } => {
-                self.ops.push(BatchOp::Phase(self.phase_times.len() as u32));
-                self.phase_times.push(*time);
-                self.phase_ids.push(*phase);
+            BatchOp::Free(r) => TraceEvent::Free {
+                time: self.free_times[r as usize],
+                object: self.free_objects[r as usize],
+            },
+            BatchOp::Load(r) => {
+                let r = r as usize;
+                TraceEvent::LoadMissSample {
+                    time: self.load_times[r],
+                    address: self.load_addresses[r],
+                    latency_cycles: self.load_latencies[r],
+                    function: self.load_functions[r],
+                }
+            }
+            BatchOp::Store(r) => {
+                let r = r as usize;
+                TraceEvent::StoreSample {
+                    time: self.store_times[r],
+                    address: self.store_addresses[r],
+                    l1d_miss: self.store_l1d_miss[r],
+                    function: self.store_functions[r],
+                }
+            }
+            BatchOp::Phase(r) => TraceEvent::PhaseMarker {
+                time: self.phase_times[r as usize],
+                phase: self.phase_ids[r as usize],
+            },
+        }
+    }
+
+    /// Materializes the batch back into the AoS event vector, in order.
+    pub fn to_events(&self) -> Vec<TraceEvent> {
+        self.ops.iter().map(|&op| self.event_of(op)).collect()
+    }
+
+    /// Iterates the batch as [`TraceEvent`]s in arrival order without
+    /// materializing the vector.
+    pub fn iter_events(&self) -> impl ExactSizeIterator<Item = TraceEvent> + '_ {
+        self.ops.iter().map(|&op| self.event_of(op))
+    }
+
+    /// Appends every event of `other`, re-basing its op rows onto this
+    /// batch's columns. Column data moves as bulk extends; only the op
+    /// stream is rewritten.
+    pub fn append(&mut self, other: &EventBatch) {
+        let a0 = self.alloc_times.len() as u32;
+        let f0 = self.free_times.len() as u32;
+        let l0 = self.load_times.len() as u32;
+        let s0 = self.store_times.len() as u32;
+        let p0 = self.phase_times.len() as u32;
+        self.ops.extend(other.ops.iter().map(|&op| match op {
+            BatchOp::Alloc(r) => BatchOp::Alloc(r + a0),
+            BatchOp::Free(r) => BatchOp::Free(r + f0),
+            BatchOp::Load(r) => BatchOp::Load(r + l0),
+            BatchOp::Store(r) => BatchOp::Store(r + s0),
+            BatchOp::Phase(r) => BatchOp::Phase(r + p0),
+        }));
+        self.alloc_times.extend_from_slice(&other.alloc_times);
+        self.alloc_objects.extend_from_slice(&other.alloc_objects);
+        self.alloc_sites.extend_from_slice(&other.alloc_sites);
+        self.alloc_sizes.extend_from_slice(&other.alloc_sizes);
+        self.alloc_addresses.extend_from_slice(&other.alloc_addresses);
+        self.free_times.extend_from_slice(&other.free_times);
+        self.free_objects.extend_from_slice(&other.free_objects);
+        self.load_times.extend_from_slice(&other.load_times);
+        self.load_addresses.extend_from_slice(&other.load_addresses);
+        self.load_latencies.extend_from_slice(&other.load_latencies);
+        self.load_functions.extend_from_slice(&other.load_functions);
+        self.store_times.extend_from_slice(&other.store_times);
+        self.store_addresses.extend_from_slice(&other.store_addresses);
+        self.store_l1d_miss.extend_from_slice(&other.store_l1d_miss);
+        self.store_functions.extend_from_slice(&other.store_functions);
+        self.phase_times.extend_from_slice(&other.phase_times);
+        self.phase_ids.extend_from_slice(&other.phase_ids);
+    }
+
+    /// Copies the events at `ops[range]` into a fresh batch — the chunking
+    /// primitive the streaming producer uses to feed a whole columnar
+    /// trace through a bounded channel without materializing events.
+    pub fn slice_ops(&self, range: std::ops::Range<usize>) -> EventBatch {
+        let mut out = EventBatch { ops: Vec::with_capacity(range.len()), ..EventBatch::default() };
+        for &op in &self.ops[range] {
+            match op {
+                BatchOp::Alloc(r) => {
+                    let r = r as usize;
+                    out.push_alloc(
+                        self.alloc_times[r],
+                        self.alloc_objects[r],
+                        self.alloc_sites[r],
+                        self.alloc_sizes[r],
+                        self.alloc_addresses[r],
+                    );
+                }
+                BatchOp::Free(r) => {
+                    out.push_free(self.free_times[r as usize], self.free_objects[r as usize]);
+                }
+                BatchOp::Load(r) => {
+                    let r = r as usize;
+                    out.push_load(
+                        self.load_times[r],
+                        self.load_addresses[r],
+                        self.load_latencies[r],
+                        self.load_functions[r],
+                    );
+                }
+                BatchOp::Store(r) => {
+                    let r = r as usize;
+                    out.push_store(
+                        self.store_times[r],
+                        self.store_addresses[r],
+                        self.store_l1d_miss[r],
+                        self.store_functions[r],
+                    );
+                }
+                BatchOp::Phase(r) => {
+                    out.push_phase(self.phase_times[r as usize], self.phase_ids[r as usize]);
+                }
             }
         }
+        out
     }
 
     /// Number of events in the batch.

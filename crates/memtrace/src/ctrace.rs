@@ -1,0 +1,294 @@
+//! The columnar-backed trace: a [`TraceFile`]'s header with the event
+//! stream stored as one [`EventBatch`] instead of `Vec<TraceEvent>`.
+//!
+//! The profiler emits this directly (its generation sink is columnar end
+//! to end), the analyzer consumes it without the AoS round-trip, and the
+//! online ingestor streams slices of it over the bounded channel. The
+//! classic [`TraceFile`] stays the interchange format — JSON and binary
+//! codecs, fault injectors and sanitizers all operate on it — and the two
+//! convert losslessly in both directions.
+
+use crate::binmap::BinaryMap;
+use crate::callstack::CallStack;
+use crate::columns::{BatchOp, EventBatch};
+use crate::error::TraceError;
+use crate::ids::SiteId;
+use crate::trace::TraceFile;
+use std::collections::HashSet;
+
+/// A complete profiling trace with columnar event storage. Field-for-field
+/// the same header as [`TraceFile`]; only `events` differs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarTrace {
+    /// Application name, e.g. `lulesh`.
+    pub app_name: String,
+    /// Seed used for the profiled run.
+    pub seed: u64,
+    /// Number of MPI ranks the model represents.
+    pub ranks: u32,
+    /// PEBS sampling rate in Hz that produced the sample events.
+    pub sampling_hz: f64,
+    /// LLC load misses represented by each load-miss sample.
+    pub load_sample_period: f64,
+    /// Stores represented by each store sample.
+    pub store_sample_period: f64,
+    /// Wall-clock duration of the profiled run, seconds.
+    pub duration: f64,
+    /// Call stack of each allocation site, indexed by `SiteId`.
+    pub stacks: Vec<(SiteId, CallStack)>,
+    /// The program image (modules + debug metadata).
+    pub binmap: BinaryMap,
+    /// Events ordered by time (ties broken by emission order).
+    pub events: EventBatch,
+}
+
+impl ColumnarTrace {
+    /// Transposes an AoS trace into columnar storage.
+    pub fn from_trace_file(t: &TraceFile) -> ColumnarTrace {
+        ColumnarTrace {
+            app_name: t.app_name.clone(),
+            seed: t.seed,
+            ranks: t.ranks,
+            sampling_hz: t.sampling_hz,
+            load_sample_period: t.load_sample_period,
+            store_sample_period: t.store_sample_period,
+            duration: t.duration,
+            stacks: t.stacks.clone(),
+            binmap: t.binmap.clone(),
+            events: EventBatch::from_events(&t.events),
+        }
+    }
+
+    /// Materializes the classic AoS trace, cloning the header.
+    pub fn to_trace_file(&self) -> TraceFile {
+        self.clone().into_trace_file()
+    }
+
+    /// The header alone, as an events-free [`TraceFile`] — the form the
+    /// binary and JSON codecs serialize.
+    pub fn header_file(&self) -> TraceFile {
+        TraceFile {
+            app_name: self.app_name.clone(),
+            seed: self.seed,
+            ranks: self.ranks,
+            sampling_hz: self.sampling_hz,
+            load_sample_period: self.load_sample_period,
+            store_sample_period: self.store_sample_period,
+            duration: self.duration,
+            stacks: self.stacks.clone(),
+            binmap: self.binmap.clone(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Materializes the classic AoS trace, consuming the header in place —
+    /// only the event vector is newly built.
+    pub fn into_trace_file(self) -> TraceFile {
+        TraceFile {
+            app_name: self.app_name,
+            seed: self.seed,
+            ranks: self.ranks,
+            sampling_hz: self.sampling_hz,
+            load_sample_period: self.load_sample_period,
+            store_sample_period: self.store_sample_period,
+            duration: self.duration,
+            stacks: self.stacks,
+            binmap: self.binmap,
+            events: self.events.to_events(),
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of sample events.
+    pub fn sample_count(&self) -> usize {
+        self.events.load_times.len() + self.events.store_times.len()
+    }
+
+    /// Number of allocation events.
+    pub fn alloc_count(&self) -> usize {
+        self.events.alloc_times.len()
+    }
+
+    /// Structural validation, rule-for-rule identical to
+    /// [`TraceFile::validate`] (same checks, same error messages) but run
+    /// over the op stream — no event materialization.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let sites: HashSet<SiteId> = self.stacks.iter().map(|(s, _)| *s).collect();
+        let b = &self.events;
+        let mut live = HashSet::new();
+        let mut freed = HashSet::new();
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, &op) in b.ops.iter().enumerate() {
+            let t = b.time_of(op);
+            if !t.is_finite() {
+                return Err(TraceError::Malformed(format!(
+                    "event {i} has non-finite timestamp {t}"
+                )));
+            }
+            if t < last_t {
+                return Err(TraceError::Malformed(format!(
+                    "event {i} at t={t} precedes previous event at t={last_t}"
+                )));
+            }
+            last_t = t;
+            match op {
+                BatchOp::Alloc(r) => {
+                    let r = r as usize;
+                    let object = b.alloc_objects[r];
+                    if !sites.contains(&b.alloc_sites[r]) {
+                        return Err(TraceError::UnknownSite(b.alloc_sites[r]));
+                    }
+                    if b.alloc_sizes[r] == 0 {
+                        return Err(TraceError::Malformed(format!(
+                            "zero-size allocation for {object}"
+                        )));
+                    }
+                    if !live.insert(object) {
+                        return Err(TraceError::Malformed(format!(
+                            "object {object} allocated twice without free"
+                        )));
+                    }
+                }
+                BatchOp::Free(r) => {
+                    let object = b.free_objects[r as usize];
+                    if !live.remove(&object) {
+                        if freed.contains(&object) {
+                            return Err(TraceError::Malformed(format!("double free of {object}")));
+                        }
+                        return Err(TraceError::Malformed(format!(
+                            "free of never-allocated {object}"
+                        )));
+                    }
+                    freed.insert(object);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::Frame;
+    use crate::events::TraceEvent;
+    use crate::ids::{FuncId, ModuleId, ObjectId};
+
+    fn sample_trace() -> TraceFile {
+        TraceFile {
+            app_name: "ct".into(),
+            seed: 3,
+            ranks: 2,
+            sampling_hz: 100.0,
+            load_sample_period: 2.0,
+            store_sample_period: 3.0,
+            duration: 5.0,
+            stacks: vec![(SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)]))],
+            binmap: BinaryMap::default(),
+            events: vec![
+                TraceEvent::PhaseMarker { time: 0.0, phase: 0 },
+                TraceEvent::Alloc {
+                    time: 0.5,
+                    object: ObjectId(1),
+                    site: SiteId(0),
+                    size: 4096,
+                    address: 0x1000,
+                },
+                TraceEvent::LoadMissSample {
+                    time: 1.0,
+                    address: 0x1100,
+                    latency_cycles: 321.5,
+                    function: FuncId(2),
+                },
+                TraceEvent::StoreSample {
+                    time: 1.5,
+                    address: 0x1200,
+                    l1d_miss: true,
+                    function: FuncId(2),
+                },
+                TraceEvent::Free { time: 4.0, object: ObjectId(1) },
+            ],
+        }
+    }
+
+    #[test]
+    fn converts_losslessly_both_ways() {
+        let t = sample_trace();
+        let ct = ColumnarTrace::from_trace_file(&t);
+        assert_eq!(ct.len(), t.events.len());
+        assert_eq!(ct.sample_count(), t.sample_count());
+        assert_eq!(ct.alloc_count(), t.alloc_count());
+        assert_eq!(ct.to_trace_file(), t);
+        assert_eq!(ct.into_trace_file(), t);
+    }
+
+    #[test]
+    fn validate_agrees_with_trace_file_validate() {
+        let mut t = sample_trace();
+        ColumnarTrace::from_trace_file(&t).validate().unwrap();
+
+        // Each corruption must produce the same verdict (and message) as
+        // the AoS validator.
+        t.events.push(TraceEvent::Free { time: 4.5, object: ObjectId(1) });
+        let aos = t.validate().unwrap_err().to_string();
+        let col = ColumnarTrace::from_trace_file(&t).validate().unwrap_err().to_string();
+        assert_eq!(aos, col);
+        t.events.pop();
+
+        t.events.swap(2, 3);
+        let aos = t.validate().unwrap_err().to_string();
+        let col = ColumnarTrace::from_trace_file(&t).validate().unwrap_err().to_string();
+        assert_eq!(aos, col);
+        t.events.swap(2, 3);
+
+        t.stacks.clear();
+        assert!(matches!(
+            ColumnarTrace::from_trace_file(&t).validate(),
+            Err(TraceError::UnknownSite(_))
+        ));
+    }
+
+    #[test]
+    fn batch_event_reconstruction_is_exact() {
+        let t = sample_trace();
+        let b = EventBatch::from_events(&t.events);
+        assert_eq!(b.to_events(), t.events);
+        assert_eq!(b.iter_events().collect::<Vec<_>>(), t.events);
+        // Lossless fields survive (latency + function were dropped by the
+        // pre-v2 batch layout).
+        assert_eq!(b.load_latencies, vec![321.5]);
+        assert_eq!(b.load_functions, vec![FuncId(2)]);
+        assert_eq!(b.store_functions, vec![FuncId(2)]);
+    }
+
+    #[test]
+    fn append_rebases_rows() {
+        let t = sample_trace();
+        let whole = EventBatch::from_events(&t.events);
+        let mut acc = EventBatch::from_events(&t.events[..2]);
+        acc.append(&EventBatch::from_events(&t.events[2..]));
+        assert_eq!(acc, whole);
+    }
+
+    #[test]
+    fn slice_ops_round_trips_in_chunks() {
+        let t = sample_trace();
+        let whole = EventBatch::from_events(&t.events);
+        let mut acc = EventBatch::default();
+        for lo in (0..whole.len()).step_by(2) {
+            let hi = (lo + 2).min(whole.len());
+            acc.append(&whole.slice_ops(lo..hi));
+        }
+        assert_eq!(acc, whole);
+    }
+}

@@ -128,6 +128,27 @@ pub fn stream_profile(
     session.finish(trace.duration)
 }
 
+/// [`stream_profile`] over the profiler's native columnar output: batches
+/// are sliced straight off the trace's [`EventBatch`] — no
+/// `Vec<TraceEvent>` is built on the producer side either.
+pub fn stream_profile_columnar(
+    trace: &memtrace::ColumnarTrace,
+    policy: DegradationPolicy,
+    cfg: OnlineConfig,
+) -> Result<(ProfileSet, Vec<Warning>), TraceError> {
+    let session = StreamSession::spawn(StreamMeta::of_columnar(trace), policy, cfg);
+    let n = trace.len();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + STREAM_BATCH).min(n);
+        if session.send_batch(trace.events.slice_ops(lo..hi)).is_err() {
+            break; // consumer died; finish() reports why
+        }
+        lo = hi;
+    }
+    session.finish(trace.duration)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +227,18 @@ mod tests {
         let (chunked, _) =
             stream_profile(&trace, DegradationPolicy::Strict, OnlineConfig::default()).unwrap();
         assert_eq!(one_by_one, chunked);
+    }
+
+    #[test]
+    fn columnar_streaming_matches_aos_streaming() {
+        let trace = toy_trace(valid_events());
+        let columnar = memtrace::ColumnarTrace::from_trace_file(&trace);
+        let (aos, _) =
+            stream_profile(&trace, DegradationPolicy::Strict, OnlineConfig::default()).unwrap();
+        let (cols, _) =
+            stream_profile_columnar(&columnar, DegradationPolicy::Strict, OnlineConfig::default())
+                .unwrap();
+        assert_eq!(aos, cols);
     }
 
     #[test]

@@ -68,6 +68,18 @@ impl StreamMeta {
             binmap: trace.binmap.clone(),
         }
     }
+
+    /// Extracts the header of a columnar trace.
+    pub fn of_columnar(trace: &memtrace::ColumnarTrace) -> StreamMeta {
+        StreamMeta {
+            app_name: trace.app_name.clone(),
+            sampling_hz: trace.sampling_hz,
+            load_sample_period: trace.load_sample_period,
+            store_sample_period: trace.store_sample_period,
+            stacks: trace.stacks.clone(),
+            binmap: trace.binmap.clone(),
+        }
+    }
 }
 
 /// One object's accumulating record (the streaming twin of the analyzer's

@@ -28,8 +28,9 @@
 //! traces, and on fault-injected traces after sanitization.
 
 use crate::profile::{ObjectLifetime, ProfileSet, SiteProfile};
-use memtrace::columns::{ObjectIndex, TraceColumns};
-use memtrace::{CallStack, ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
+use memtrace::binfmt::TraceBuf;
+use memtrace::columns::{EventBatch, ObjectIndex, TraceColumns};
+use memtrace::{CallStack, ColumnarTrace, ObjectId, SiteId, TraceError, TraceEvent, TraceFile};
 use memtrace::{Warning, WarningKind};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -62,6 +63,83 @@ pub fn analyze(trace: &TraceFile) -> Result<ProfileSet, TraceError> {
 pub fn analyze_with_jobs(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceError> {
     let _span = ecohmem_obs::span("analyzer.analyze");
     columnar_analyze(trace, jobs)
+}
+
+/// [`analyze`] over a [`ColumnarTrace`]: the profiler's native output
+/// feeds the columnar engine directly — no `Vec<TraceEvent>` is ever
+/// built. Produces the identical [`ProfileSet`] as analyzing the
+/// materialized [`TraceFile`] (differential-tested).
+pub fn analyze_columnar(trace: &ColumnarTrace) -> Result<ProfileSet, TraceError> {
+    analyze_columnar_with_jobs(trace, memsim::jobs_from_env())
+}
+
+/// [`analyze_columnar`] with an explicit worker count.
+pub fn analyze_columnar_with_jobs(
+    trace: &ColumnarTrace,
+    jobs: usize,
+) -> Result<ProfileSet, TraceError> {
+    let _span = ecohmem_obs::span("analyzer.analyze");
+    if legacy_fallback() {
+        return scalar_analyze(&trace.to_trace_file());
+    }
+    trace.validate()?;
+    let cols = {
+        let _span = ecohmem_obs::span("analyzer.columns.build");
+        TraceColumns::from_batch(trace.duration, &trace.stacks, &trace.events)
+    };
+    Ok(analyze_cols(
+        &HeaderView {
+            app_name: &trace.app_name,
+            duration: trace.duration,
+            load_sample_period: trace.load_sample_period,
+            store_sample_period: trace.store_sample_period,
+            stacks: &trace.stacks,
+            binmap: &trace.binmap,
+        },
+        &cols,
+        jobs,
+    ))
+}
+
+/// Analyzes a v2 binary trace straight from its [`TraceBuf`]: buckets
+/// decode lazily (in parallel for `jobs > 1`) into one columnar batch,
+/// which then takes the same path as [`analyze_columnar`] — recorded
+/// traces feed the analyzer without an upfront whole-file
+/// parse-into-`Vec<TraceEvent>` pass.
+pub fn analyze_stream(buf: &TraceBuf) -> Result<ProfileSet, TraceError> {
+    analyze_stream_with_jobs(buf, memsim::jobs_from_env())
+}
+
+/// [`analyze_stream`] with an explicit worker count for bucket decoding
+/// and the sharded scans.
+pub fn analyze_stream_with_jobs(buf: &TraceBuf, jobs: usize) -> Result<ProfileSet, TraceError> {
+    let events = {
+        let _span = ecohmem_obs::span("analyzer.stream.decode");
+        let decoded =
+            memsim::parallel_map((0..buf.bucket_count()).collect(), jobs, |i| buf.bucket(i));
+        let mut events =
+            EventBatch { ops: Vec::with_capacity(buf.event_count()), ..Default::default() };
+        for bucket in decoded {
+            events.append(&bucket?);
+        }
+        events
+    };
+    let h = buf.header();
+    analyze_columnar_with_jobs(
+        &ColumnarTrace {
+            app_name: h.app_name.clone(),
+            seed: h.seed,
+            ranks: h.ranks,
+            sampling_hz: h.sampling_hz,
+            load_sample_period: h.load_sample_period,
+            store_sample_period: h.store_sample_period,
+            duration: h.duration,
+            stacks: h.stacks.clone(),
+            binmap: h.binmap.clone(),
+            events,
+        },
+        jobs,
+    )
 }
 
 /// The scalar reference analyzer: event-at-a-time over the AoS event
@@ -256,13 +334,41 @@ fn scan_shard(cols: &TraceColumns, index: &ObjectIndex, bins: &[f64], task: Shar
     acc
 }
 
+/// The trace-header fields the columnar core needs, borrowed from either
+/// container ([`TraceFile`] or [`ColumnarTrace`]) so one implementation
+/// serves both entry points.
+struct HeaderView<'a> {
+    app_name: &'a str,
+    duration: f64,
+    load_sample_period: f64,
+    store_sample_period: f64,
+    stacks: &'a [(SiteId, CallStack)],
+    binmap: &'a memtrace::BinaryMap,
+}
+
 fn columnar_analyze(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceError> {
     trace.validate()?;
-
     let cols = {
         let _span = ecohmem_obs::span("analyzer.columns.build");
         TraceColumns::build(trace)
     };
+    Ok(analyze_cols(
+        &HeaderView {
+            app_name: &trace.app_name,
+            duration: trace.duration,
+            load_sample_period: trace.load_sample_period,
+            store_sample_period: trace.store_sample_period,
+            stacks: &trace.stacks,
+            binmap: &trace.binmap,
+        },
+        &cols,
+        jobs,
+    ))
+}
+
+/// The columnar analysis core, shared by the AoS and columnar entry
+/// points. The trace is already validated and transposed.
+fn analyze_cols(trace: &HeaderView, cols: &TraceColumns, jobs: usize) -> ProfileSet {
     ecohmem_obs::count("analyzer.columns.objects", cols.objects.len() as u64);
     ecohmem_obs::count("analyzer.columns.load_samples", cols.load_times.len() as u64);
     ecohmem_obs::count("analyzer.columns.store_samples", cols.store_times.len() as u64);
@@ -276,7 +382,7 @@ fn columnar_analyze(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceE
     ecohmem_obs::count("analyzer.columns.shards", tasks.len() as u64);
     let total = {
         let _span = ecohmem_obs::span("analyzer.columns.scan");
-        let (cols_ref, index_ref, bins_ref) = (&cols, &index, &bins[..]);
+        let (cols_ref, index_ref, bins_ref) = (cols, &index, &bins[..]);
         let accs = memsim::parallel_map(tasks, jobs, move |task| {
             scan_shard(cols_ref, index_ref, bins_ref, task)
         });
@@ -338,14 +444,14 @@ fn columnar_analyze(trace: &TraceFile, jobs: usize) -> Result<ProfileSet, TraceE
     sites.sort_by_key(|s| s.site);
     ecohmem_obs::count("analyzer.sites.aggregated", sites.len() as u64);
 
-    Ok(ProfileSet {
-        app_name: trace.app_name.clone(),
+    ProfileSet {
+        app_name: trace.app_name.to_string(),
         duration: trace.duration,
         sites,
         bw_series,
         peak_bw,
         binmap: trace.binmap.clone(),
-    })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +792,42 @@ mod tests {
         let sharded = analyze_with_jobs(&trace, 4).unwrap();
         assert_eq!(scalar, serial);
         assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn columnar_and_stream_entry_points_agree_with_aos() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let cfg = ProfilerConfig::default();
+        let result = memsim::run(
+            &app,
+            &mach,
+            ExecMode::MemoryMode,
+            &mut FixedTier::new(memtrace::TierId::PMEM),
+        );
+        let columnar = crate::sampler::synthesize_columns_with_jobs(&app, &result, &cfg, 2);
+        let aos = columnar.to_trace_file();
+
+        let from_aos = analyze_with_jobs(&aos, 2).unwrap();
+        let from_cols = analyze_columnar_with_jobs(&columnar, 2).unwrap();
+        assert_eq!(from_aos, from_cols);
+
+        let mut bin = Vec::new();
+        memtrace::binfmt::write_columnar_v2(&columnar, &mut bin).unwrap();
+        let buf = TraceBuf::from_bytes(bin).unwrap();
+        let from_stream = analyze_stream_with_jobs(&buf, 2).unwrap();
+        // µs quantization makes the stream path *nearly* identical; pin
+        // the structure exactly and the estimates byte-for-byte (counts
+        // are integers scaled by the shared periods).
+        assert_eq!(from_aos.sites.len(), from_stream.sites.len());
+        for (a, s) in from_aos.sites.iter().zip(&from_stream.sites) {
+            assert_eq!(a.site, s.site);
+            assert_eq!(a.alloc_count, s.alloc_count);
+            assert_eq!(a.total_bytes, s.total_bytes);
+        }
+        // And the quantized AoS read agrees exactly with the stream path.
+        let quantized = buf.to_trace_file().unwrap();
+        assert_eq!(analyze_with_jobs(&quantized, 2).unwrap(), from_stream);
     }
 
     #[test]

@@ -25,9 +25,13 @@ pub mod profile;
 pub mod sampler;
 pub mod timeline;
 
-pub use analyzer::{analyze, analyze_legacy, analyze_lenient, analyze_with_jobs, bandwidth_series};
+pub use analyzer::{
+    analyze, analyze_columnar, analyze_columnar_with_jobs, analyze_legacy, analyze_lenient,
+    analyze_stream, analyze_stream_with_jobs, analyze_with_jobs, bandwidth_series,
+};
 pub use profile::{ObjectLifetime, ProfileSet, SiteProfile};
 pub use sampler::{
-    profile_run, profile_run_cached, synthesize_trace, synthesize_trace_with_jobs, ProfilerConfig,
+    profile_run, profile_run_cached, profile_run_cached_columnar, synthesize_columns,
+    synthesize_columns_with_jobs, synthesize_trace, synthesize_trace_with_jobs, ProfilerConfig,
 };
 pub use timeline::{timeline, to_csv, TimelineRow};

@@ -7,24 +7,32 @@
 //! samples of each kind, distributed across objects in proportion to their
 //! true miss/store counts, with seeded randomized rounding (so reruns with
 //! the same seed give identical traces, and different seeds model run-to-run
-//! sampling noise). Sample timestamps land inside the phases where the
-//! accesses actually happened (PEBS fires while the code runs), which is
-//! what makes allocation-time bandwidth recoverable; sampled addresses are
-//! uniform within the object, exercising the analyzer's address-interval
-//! matching.
+//! sampling noise). Sample timestamps land inside the intersection of the
+//! phase window and the object's lifetime (PEBS fires while the code runs,
+//! on an object that exists), which is what makes allocation-time bandwidth
+//! recoverable; sampled addresses are uniform within the object, exercising
+//! the analyzer's address-interval matching.
 //!
 //! Synthesis is batched per object: every object draws from its own
 //! splitmix64 stream seeded from `(cfg.seed, ObjectId)`, so the event
 //! stream for an object is a pure function of the configuration — chunks
 //! of objects can be generated on any number of workers (via
 //! [`memsim::parallel_map`]) and concatenated in submission order without
-//! changing a single byte of the trace. The final time-sort uses a
-//! `(time, emission index)` key vector, which is equivalent to the stable
-//! sort of the event records themselves but never compares 48-byte enums.
+//! changing a single byte of the trace. Events are emitted *straight into*
+//! columnar storage ([`memtrace::EventBatch`]): the generation sink keys a
+//! per-time-bucket `(time_bits, rank, kind|row)` index over one shared
+//! column arena, so finalizing the trace costs one in-cache key sort per
+//! bucket plus a 4-byte-per-event `ops` fill — the column data never
+//! moves and no `Vec<TraceEvent>` is ever built on the hot path.
+//! [`reference`] keeps the pre-columnar AoS generator as the
+//! differential-testing oracle.
 
 use memsim::RunResult;
 use memsim::{AppModel, ExecMode, MachineConfig, ObjectRecord, PhaseStats, PlacementPolicy};
-use memtrace::{FuncId, SiteId, TierId, TraceEvent, TraceFile};
+use memtrace::columns::BatchOp;
+use memtrace::{
+    ColumnarTrace, EventBatch, FuncId, ObjectId, SiteId, TierId, TraceEvent, TraceFile,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -73,6 +81,21 @@ pub fn profile_run_cached(
 ) -> (TraceFile, Arc<RunResult>) {
     let result = memsim::global_cache().run_fixed(app, machine, mode, tier, None);
     let trace = synthesize_trace(app, &result, cfg);
+    (trace, result)
+}
+
+/// [`profile_run_cached`] that stays columnar: the trace never passes
+/// through `Vec<TraceEvent>`. This is the pipeline's profiling stage —
+/// the analyzer consumes the [`ColumnarTrace`] directly.
+pub fn profile_run_cached_columnar(
+    app: &AppModel,
+    machine: &MachineConfig,
+    mode: ExecMode,
+    tier: TierId,
+    cfg: &ProfilerConfig,
+) -> (ColumnarTrace, Arc<RunResult>) {
+    let result = memsim::global_cache().run_fixed(app, machine, mode, tier, None);
+    let trace = synthesize_columns(app, &result, cfg);
     (trace, result)
 }
 
@@ -150,99 +173,228 @@ fn time_bits(t: f64) -> u64 {
     }
 }
 
-/// Time-bucketed event sink: events are generated *straight into*
-/// value-distribution buckets along `[0, duration]`, keyed by
-/// `(time_bits, emission rank)`. Finalizing the trace then costs one
-/// in-cache sort per small bucket plus one concatenation — the full
-/// trace is never materialized in emission order, never globally
-/// sorted, and never gathered through random 48-byte reads.
+/// Destination of the emission loop. Both sinks receive the *same* call
+/// sequence from [`emit_objects`] (and therefore the same RNG draw
+/// order), which is what lets the differential suite pin the columnar
+/// sink against the AoS reference byte for byte.
+trait EventSink {
+    fn push_alloc(&mut self, rank: u64, t: f64, object: ObjectId, site: SiteId, size: u64, a: u64);
+    fn push_free(&mut self, rank: u64, t: f64, object: ObjectId);
+    fn push_load(&mut self, rank: u64, t: f64, address: u64, latency_cycles: f64, func: FuncId);
+    fn push_store(&mut self, rank: u64, t: f64, address: u64, l1d_miss: bool, func: FuncId);
+    fn push_phase(&mut self, rank: u64, t: f64, phase: u32);
+}
+
+/// Event-kind tag packed into the top 3 bits of the key's `u32` row
+/// field; the low 29 bits index the kind's column arrays. 2²⁹ events of
+/// one kind per sink is ~500M — far above any synthesized trace.
+const KIND_SHIFT: u32 = 29;
+const ROW_MASK: u32 = (1 << KIND_SHIFT) - 1;
+const K_ALLOC: u32 = 0;
+const K_FREE: u32 = 1;
+const K_LOAD: u32 = 2;
+const K_STORE: u32 = 3;
+const K_PHASE: u32 = 4;
+
+/// Decodes a packed `kind|row` key field into the corresponding op. The
+/// row already points into the shared column arena, so "materializing" a
+/// sorted event costs one 4-byte op — no column data moves.
+#[inline]
+fn op_of(kr: u32) -> BatchOp {
+    let r = kr & ROW_MASK;
+    match kr >> KIND_SHIFT {
+        K_ALLOC => BatchOp::Alloc(r),
+        K_FREE => BatchOp::Free(r),
+        K_LOAD => BatchOp::Load(r),
+        K_STORE => BatchOp::Store(r),
+        _ => BatchOp::Phase(r),
+    }
+}
+
+/// Time-bucketed *columnar* event sink: events are pushed straight into
+/// SoA columns (one shared [`EventBatch`] arena), while a parallel
+/// per-bucket key index of `(time_bits, emission rank, kind|row)` tuples
+/// records where along `[0, duration]` each event belongs. Finalizing
+/// the trace then costs one in-cache 20-byte-key sort per small bucket
+/// plus an `ops` fill over the untouched arena — the trace is never
+/// materialized in emission order, never globally sorted, and no 48-byte
+/// `TraceEvent` ever exists on this path.
 ///
 /// The bucket map is monotone in time and ranks are globally unique and
 /// monotone in emission order, so the result is the *identical*
 /// permutation a stable sort by timestamp over the emission stream
 /// would produce — independent of how emission was chunked.
-struct TimeSink {
+struct ColumnSink {
     scale: f64,
-    parts: Vec<Vec<(u64, u64, TraceEvent)>>,
+    keys: Vec<Vec<(u64, u64, u32)>>,
+    cols: EventBatch,
 }
 
-impl TimeSink {
+impl ColumnSink {
     /// `expected` fixes the bucket geometry (all sinks that will be
     /// folded together must share it); `fill` is the share of `expected`
     /// this particular sink will receive, used only to pre-size buckets.
-    fn new(expected: usize, fill: usize, duration: f64) -> TimeSink {
+    fn new(expected: usize, fill: usize, duration: f64) -> ColumnSink {
         let buckets = (expected / 64).next_power_of_two().clamp(1, 1 << 14);
         // An extra 1/4 headroom absorbs bucket-to-bucket imbalance so the
         // common case never reallocates mid-push.
         let cap = fill / buckets + fill / buckets / 4 + 4;
-        TimeSink {
+        // Loads and stores dominate synthesized traces (alloc/free/phase
+        // are one-per-object or one-per-phase); splitting the fill hint
+        // between the two sample kinds keeps the arena from doubling
+        // mid-emission without over-reserving the rare columns.
+        let sample = fill / 2 + fill / 8;
+        let meta = fill / 16;
+        let mut cols = EventBatch::default();
+        cols.load_times.reserve(sample);
+        cols.load_addresses.reserve(sample);
+        cols.load_latencies.reserve(sample);
+        cols.load_functions.reserve(sample);
+        cols.store_times.reserve(sample);
+        cols.store_addresses.reserve(sample);
+        cols.store_l1d_miss.reserve(sample);
+        cols.store_functions.reserve(sample);
+        cols.alloc_times.reserve(meta);
+        cols.alloc_objects.reserve(meta);
+        cols.alloc_sites.reserve(meta);
+        cols.alloc_sizes.reserve(meta);
+        cols.alloc_addresses.reserve(meta);
+        cols.free_times.reserve(meta);
+        cols.free_objects.reserve(meta);
+        ColumnSink {
             scale: buckets as f64 / duration.max(f64::MIN_POSITIVE),
-            parts: (0..buckets).map(|_| Vec::with_capacity(cap)).collect(),
+            keys: (0..buckets).map(|_| Vec::with_capacity(cap)).collect(),
+            cols,
         }
     }
 
     #[inline]
-    fn push(&mut self, rank: u64, e: TraceEvent) {
-        // Samples can trail slightly past `duration` (a phase window
-        // clipped by a late allocation); out-of-range times clamp to
-        // the edge buckets, which only makes those buckets larger.
-        let b = ((e.time() * self.scale) as usize).min(self.parts.len() - 1);
-        self.parts[b].push((time_bits(e.time()), rank, e));
+    fn key(&mut self, t: f64, rank: u64, kind: u32, row: usize) {
+        debug_assert!(row < ROW_MASK as usize, "per-kind event count exceeds row field");
+        let b = ((t * self.scale) as usize).min(self.keys.len() - 1);
+        self.keys[b].push((time_bits(t), rank, (kind << KIND_SHIFT) | row as u32));
     }
 
-    /// Folds a sink of identical geometry into this one. Relative order
-    /// within a bucket is irrelevant: `(time_bits, rank)` keys are
-    /// unique, so the per-bucket sort fixes a single total order.
-    fn absorb(&mut self, other: TimeSink) {
-        for (dst, src) in self.parts.iter_mut().zip(other.parts) {
-            dst.extend(src);
+    /// Folds a sink of identical geometry into this one: rows are
+    /// rebased past this sink's column lengths, then the arenas
+    /// concatenate. Relative order within a bucket is irrelevant:
+    /// `(time_bits, rank)` keys are unique, so the per-bucket sort fixes
+    /// a single total order.
+    fn absorb(&mut self, other: ColumnSink) {
+        let base = [
+            self.cols.alloc_times.len() as u32,
+            self.cols.free_times.len() as u32,
+            self.cols.load_times.len() as u32,
+            self.cols.store_times.len() as u32,
+            self.cols.phase_times.len() as u32,
+        ];
+        for (dst, src) in self.keys.iter_mut().zip(other.keys) {
+            // Row + base stays below 2²⁹, so adding it never carries into
+            // the kind bits.
+            dst.extend(
+                src.into_iter().map(|(tb, r, kr)| (tb, r, kr + base[(kr >> KIND_SHIFT) as usize])),
+            );
         }
+        self.cols.append(&other.cols);
     }
 
-    /// Sorts every bucket and concatenates, in bucket order. Buckets are
-    /// mutually independent, so with `jobs > 1` contiguous bucket groups
-    /// sort in parallel; group order is restored before concatenation,
-    /// keeping the output independent of `jobs`.
-    fn into_sorted(self, size_hint: usize, jobs: usize) -> Vec<TraceEvent> {
-        let n_buckets = self.parts.len();
-        let mut out = Vec::with_capacity(size_hint);
+    /// Sorts every bucket's keys and lays down the sorted `ops` stream
+    /// over the column arena, in bucket order. The arena itself never
+    /// moves: a sorted event is four bytes of op pointing at the row the
+    /// emission loop already wrote, so finalize is a key sort plus one
+    /// `Vec<BatchOp>` fill instead of a second copy of every column.
+    /// Buckets are mutually independent, so with `jobs > 1` contiguous
+    /// bucket groups sort-and-encode in parallel; group order is restored
+    /// before concatenation, keeping the output independent of `jobs`.
+    fn into_sorted(mut self, size_hint: usize, jobs: usize) -> EventBatch {
+        let n_buckets = self.keys.len();
+        let mut ops = Vec::with_capacity(size_hint);
         if jobs <= 1 || n_buckets < 64 {
-            // Sort 24-byte keys and gather within the bucket (which fits
-            // in cache) instead of shuffling 64-byte tuples through the
-            // sort network.
-            let mut idx: Vec<(u64, u64, u32)> = Vec::new();
-            for part in self.parts {
-                idx.clear();
-                idx.extend(part.iter().enumerate().map(|(i, t)| (t.0, t.1, i as u32)));
-                idx.sort_unstable();
-                out.extend(idx.iter().map(|&(_, _, i)| part[i as usize].2.clone()));
+            for part in &mut self.keys {
+                part.sort_unstable();
+                ops.extend(part.iter().map(|&(_, _, kr)| op_of(kr)));
             }
-            return out;
+            self.cols.ops = ops;
+            return self.cols;
         }
         let group = n_buckets.div_ceil(jobs * 4);
-        let groups: Vec<Vec<Vec<(u64, u64, TraceEvent)>>> = {
-            let mut parts = self.parts;
+        let groups: Vec<Vec<Vec<(u64, u64, u32)>>> = {
+            let mut keys = self.keys;
             let mut gs = Vec::with_capacity(n_buckets.div_ceil(group));
-            while !parts.is_empty() {
-                let rest = parts.split_off(parts.len().min(group));
-                gs.push(std::mem::replace(&mut parts, rest));
+            while !keys.is_empty() {
+                let rest = keys.split_off(keys.len().min(group));
+                gs.push(std::mem::replace(&mut keys, rest));
             }
             gs
         };
-        for chunk in memsim::parallel_map(groups, jobs, |g| {
-            let mut run = Vec::with_capacity(g.iter().map(Vec::len).sum());
-            let mut idx: Vec<(u64, u64, u32)> = Vec::new();
-            for part in g {
-                idx.clear();
-                idx.extend(part.iter().enumerate().map(|(i, t)| (t.0, t.1, i as u32)));
-                idx.sort_unstable();
-                run.extend(idx.iter().map(|&(_, _, i)| part[i as usize].2.clone()));
+        // Rows address the one shared arena, so the per-group op runs
+        // concatenate without any rebasing.
+        let parts = memsim::parallel_map(groups, jobs, |g| {
+            let mut run: Vec<BatchOp> = Vec::with_capacity(g.iter().map(Vec::len).sum());
+            for mut part in g {
+                part.sort_unstable();
+                run.extend(part.iter().map(|&(_, _, kr)| op_of(kr)));
             }
             run
-        }) {
-            out.extend(chunk);
+        });
+        for p in &parts {
+            ops.extend_from_slice(p);
         }
-        out
+        self.cols.ops = ops;
+        self.cols
+    }
+}
+
+// Column pushes go straight to the arena fields rather than through
+// `EventBatch::push_*`: the emission-order `ops` stream those helpers
+// maintain would be discarded by `into_sorted` (which lays down its own
+// sorted stream), so building it here would be pure waste.
+impl EventSink for ColumnSink {
+    #[inline]
+    fn push_alloc(&mut self, rank: u64, t: f64, object: ObjectId, site: SiteId, size: u64, a: u64) {
+        let row = self.cols.alloc_times.len();
+        self.cols.alloc_times.push(t);
+        self.cols.alloc_objects.push(object);
+        self.cols.alloc_sites.push(site);
+        self.cols.alloc_sizes.push(size);
+        self.cols.alloc_addresses.push(a);
+        self.key(t, rank, K_ALLOC, row);
+    }
+
+    #[inline]
+    fn push_free(&mut self, rank: u64, t: f64, object: ObjectId) {
+        let row = self.cols.free_times.len();
+        self.cols.free_times.push(t);
+        self.cols.free_objects.push(object);
+        self.key(t, rank, K_FREE, row);
+    }
+
+    #[inline]
+    fn push_load(&mut self, rank: u64, t: f64, address: u64, latency_cycles: f64, func: FuncId) {
+        let row = self.cols.load_times.len();
+        self.cols.load_times.push(t);
+        self.cols.load_addresses.push(address);
+        self.cols.load_latencies.push(latency_cycles);
+        self.cols.load_functions.push(func);
+        self.key(t, rank, K_LOAD, row);
+    }
+
+    #[inline]
+    fn push_store(&mut self, rank: u64, t: f64, address: u64, l1d_miss: bool, func: FuncId) {
+        let row = self.cols.store_times.len();
+        self.cols.store_times.push(t);
+        self.cols.store_addresses.push(address);
+        self.cols.store_l1d_miss.push(l1d_miss);
+        self.cols.store_functions.push(func);
+        self.key(t, rank, K_STORE, row);
+    }
+
+    #[inline]
+    fn push_phase(&mut self, rank: u64, t: f64, phase: u32) {
+        let row = self.cols.phase_times.len();
+        self.cols.phase_times.push(t);
+        self.cols.phase_ids.push(phase);
+        self.key(t, rank, K_PHASE, row);
     }
 }
 
@@ -275,29 +427,20 @@ struct EmitCtx<'a> {
 /// any chunking interleave into the same total order; rank 0..2³² is
 /// reserved for phase markers, which precede all object events in
 /// emission order.
-fn emit_objects(
+fn emit_objects<S: EventSink>(
     objs: &[ObjectRecord],
     first: u64,
     ctx: &EmitCtx,
-    sink: &mut TimeSink,
+    sink: &mut S,
 ) -> (u64, u64) {
     let mut n_loads = 0u64;
     let mut n_stores = 0u64;
     for (k, o) in objs.iter().enumerate() {
         let base = (first + k as u64 + 1) << 32;
         let mut rank = base;
-        sink.push(
-            rank,
-            TraceEvent::Alloc {
-                time: o.alloc_time,
-                object: o.object,
-                site: o.site,
-                size: o.size,
-                address: o.address,
-            },
-        );
+        sink.push_alloc(rank, o.alloc_time, o.object, o.site, o.size, o.address);
         rank += 1;
-        sink.push(rank, TraceEvent::Free { time: o.free_time, object: o.object });
+        sink.push_free(rank, o.free_time, o.object);
         rank += 1;
 
         let func = ctx.funcs.get(&o.site).copied().unwrap_or(FuncId(u16::MAX));
@@ -311,20 +454,27 @@ fn emit_objects(
         // allocation time" (§VII) recoverable from the trace.
         for &(phase, load_misses, store_misses, stores) in &o.phase_activity {
             let p = &ctx.phases[phase as usize];
-            let (start, dur) = (p.start.max(o.alloc_time), p.duration);
+            // The sampling window is the intersection of the phase and the
+            // object's lifetime: a sample cannot fire before the object is
+            // allocated, after it is freed (the address may already be
+            // reused), or after the phase — and therefore the run — ends.
+            // Randomized rounding of the count stays unbiased; only where
+            // the timestamps land changes.
+            let w0 = p.start.max(o.alloc_time);
+            let w1 = (p.start + p.duration).min(o.free_time);
+            let lo = w0.min(w1);
+            let width = (w1 - w0).max(0.0);
 
             // Load-miss samples: expectation = misses / period, randomized
             // rounding keeps the total unbiased.
             let n_load = randomized_count(load_misses / ctx.load_period, &mut rng);
             for _ in 0..n_load {
-                sink.push(
+                sink.push_load(
                     rank,
-                    TraceEvent::LoadMissSample {
-                        time: start + rng.next_f64() * dur,
-                        address: o.address + rng.below(span) / 64 * 64,
-                        latency_cycles: tier_lat_cycles * (0.8 + 0.4 * rng.next_f64()),
-                        function: func,
-                    },
+                    lo + rng.next_f64() * width,
+                    o.address + rng.below(span) / 64 * 64,
+                    tier_lat_cycles * (0.8 + 0.4 * rng.next_f64()),
+                    func,
                 );
                 rank += 1;
             }
@@ -335,14 +485,12 @@ fn emit_objects(
             let n_store = randomized_count(stores / ctx.store_period, &mut rng);
             let miss_prob = if stores > 0.0 { store_misses / stores } else { 0.0 };
             for _ in 0..n_store {
-                sink.push(
+                sink.push_store(
                     rank,
-                    TraceEvent::StoreSample {
-                        time: start + rng.next_f64() * dur,
-                        address: o.address + rng.below(span) / 64 * 64,
-                        l1d_miss: rng.next_f64() < miss_prob,
-                        function: func,
-                    },
+                    lo + rng.next_f64() * width,
+                    o.address + rng.below(span) / 64 * 64,
+                    rng.next_f64() < miss_prob,
+                    func,
                 );
                 rank += 1;
             }
@@ -353,47 +501,65 @@ fn emit_objects(
     (n_loads, n_stores)
 }
 
-/// Builds the trace from an engine result.
-pub fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
-    synthesize_trace_with_jobs(app, result, cfg, memsim::jobs_from_env())
+/// Sampling-period and event-volume inputs shared by every generator.
+struct Budget {
+    load_period: f64,
+    store_period: f64,
+    expected: usize,
 }
 
-/// [`synthesize_trace`] with an explicit worker count. The trace does not
-/// depend on `jobs` (unit-tested); only wall-clock does.
-pub fn synthesize_trace_with_jobs(
+fn budget(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> Budget {
+    let total_load_misses: f64 = result.objects.iter().map(|o| o.load_misses).sum();
+    let total_stores: f64 = result.objects.iter().map(|o| o.stores).sum();
+    let sample_budget = (cfg.sampling_hz * app.ranks as f64 * result.total_time).max(1.0);
+    Budget {
+        load_period: (total_load_misses / sample_budget).max(1.0),
+        store_period: (total_stores / sample_budget).max(1.0),
+        expected: result.phases.len() + result.objects.len() * 2 + (2.2 * sample_budget) as usize,
+    }
+}
+
+/// Builds the columnar trace from an engine result.
+pub fn synthesize_columns(
+    app: &AppModel,
+    result: &RunResult,
+    cfg: &ProfilerConfig,
+) -> ColumnarTrace {
+    synthesize_columns_with_jobs(app, result, cfg, memsim::jobs_from_env())
+}
+
+/// [`synthesize_columns`] with an explicit worker count. The trace does
+/// not depend on `jobs` (unit-tested); only wall-clock does.
+pub fn synthesize_columns_with_jobs(
     app: &AppModel,
     result: &RunResult,
     cfg: &ProfilerConfig,
     jobs: usize,
-) -> TraceFile {
+) -> ColumnarTrace {
     let _span = ecohmem_obs::span("profiler.synthesize");
     // The chunked path pays a fold pass that only parallelism repays; with
     // fewer cores than requested jobs it is strictly overhead, and the
     // trace is jobs-invariant, so clamp to what the machine can run.
     let jobs = jobs.min(std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
     let funcs = site_functions(app);
+    let b = budget(app, result, cfg);
 
-    let total_load_misses: f64 = result.objects.iter().map(|o| o.load_misses).sum();
-    let total_stores: f64 = result.objects.iter().map(|o| o.stores).sum();
-    let sample_budget = (cfg.sampling_hz * app.ranks as f64 * result.total_time).max(1.0);
-    let load_period = (total_load_misses / sample_budget).max(1.0);
-    let store_period = (total_stores / sample_budget).max(1.0);
-
-    let expected = result.phases.len() + result.objects.len() * 2 + (2.2 * sample_budget) as usize;
     assert!(result.objects.len() < u32::MAX as usize, "object count exceeds rank field");
-    let mut sink = TimeSink::new(expected, if jobs <= 1 { expected } else { 0 }, result.total_time);
+    let mut sink =
+        ColumnSink::new(b.expected, if jobs <= 1 { b.expected } else { 0 }, result.total_time);
 
     for (i, phase) in result.phases.iter().enumerate() {
-        sink.push(i as u64, TraceEvent::PhaseMarker { time: phase.start, phase: i as u32 });
+        sink.push_phase(i as u64, phase.start, i as u32);
     }
 
     let ctx = EmitCtx {
         seed: cfg.seed,
-        load_period,
-        store_period,
+        load_period: b.load_period,
+        store_period: b.store_period,
         funcs: &funcs,
         phases: &result.phases,
     };
+    let emit_span = ecohmem_obs::span("profiler.synthesize.emit");
     let (n_loads, n_stores) = if jobs <= 1 || result.objects.len() <= OBJ_CHUNK {
         emit_objects(&result.objects, 0, &ctx, &mut sink)
     } else {
@@ -407,7 +573,7 @@ pub fn synthesize_trace_with_jobs(
         let chunks: Vec<(usize, &[ObjectRecord])> =
             result.objects.chunks(chunk).enumerate().collect();
         let parts = memsim::parallel_map(chunks, jobs, |(ci, objs)| {
-            let mut shard = TimeSink::new(expected, expected / n_chunks, result.total_time);
+            let mut shard = ColumnSink::new(b.expected, b.expected / n_chunks, result.total_time);
             let counts = emit_objects(objs, (ci * chunk) as u64, &ctx, &mut shard);
             (shard, counts)
         });
@@ -420,24 +586,162 @@ pub fn synthesize_trace_with_jobs(
         (loads, stores)
     };
 
-    let events = sink.into_sorted(expected, jobs);
+    drop(emit_span);
+    let events = {
+        let _span = ecohmem_obs::span("profiler.synthesize.finalize");
+        sink.into_sorted(b.expected, jobs)
+    };
 
     ecohmem_obs::count("profiler.events.emitted", events.len() as u64);
     ecohmem_obs::count("profiler.samples.load_miss", n_loads);
     ecohmem_obs::count("profiler.samples.store", n_stores);
     ecohmem_obs::count("profiler.allocs.recorded", result.objects.len() as u64);
 
-    TraceFile {
+    ColumnarTrace {
         app_name: app.name.clone(),
         seed: cfg.seed,
         ranks: app.ranks,
         sampling_hz: cfg.sampling_hz,
-        load_sample_period: load_period,
-        store_sample_period: store_period,
+        load_sample_period: b.load_period,
+        store_sample_period: b.store_period,
         duration: result.total_time,
         stacks: app.sites.clone(),
         binmap: app.binmap.clone(),
         events,
+    }
+}
+
+/// Builds the trace from an engine result.
+pub fn synthesize_trace(app: &AppModel, result: &RunResult, cfg: &ProfilerConfig) -> TraceFile {
+    synthesize_trace_with_jobs(app, result, cfg, memsim::jobs_from_env())
+}
+
+/// [`synthesize_trace`] with an explicit worker count: the columnar
+/// generator plus an AoS materialization pass. Callers that can consume
+/// [`ColumnarTrace`] directly (the pipeline, the analyzer, the streaming
+/// ingestor) should use [`synthesize_columns_with_jobs`] and skip the
+/// materialization.
+pub fn synthesize_trace_with_jobs(
+    app: &AppModel,
+    result: &RunResult,
+    cfg: &ProfilerConfig,
+    jobs: usize,
+) -> TraceFile {
+    let columns = synthesize_columns_with_jobs(app, result, cfg, jobs);
+    let _span = ecohmem_obs::span("profiler.materialize");
+    columns.into_trace_file()
+}
+
+/// The pre-columnar AoS generator, kept as the differential-testing
+/// oracle for the columnar sink: same [`EmitCtx`], same emission body
+/// (and therefore the same RNG draw sequence), but events materialize as
+/// `Vec<TraceEvent>` and sort through the original keyed-tuple path.
+/// Not part of the public API.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// The original AoS time-bucketed sink (see [`ColumnSink`] for the
+    /// shared geometry/ordering argument).
+    struct TimeSink {
+        scale: f64,
+        parts: Vec<Vec<(u64, u64, TraceEvent)>>,
+    }
+
+    impl TimeSink {
+        fn new(expected: usize, fill: usize, duration: f64) -> TimeSink {
+            let buckets = (expected / 64).next_power_of_two().clamp(1, 1 << 14);
+            let cap = fill / buckets + fill / buckets / 4 + 4;
+            TimeSink {
+                scale: buckets as f64 / duration.max(f64::MIN_POSITIVE),
+                parts: (0..buckets).map(|_| Vec::with_capacity(cap)).collect(),
+            }
+        }
+
+        #[inline]
+        fn push(&mut self, rank: u64, e: TraceEvent) {
+            let b = ((e.time() * self.scale) as usize).min(self.parts.len() - 1);
+            self.parts[b].push((time_bits(e.time()), rank, e));
+        }
+
+        fn into_sorted(self, size_hint: usize) -> Vec<TraceEvent> {
+            let mut out = Vec::with_capacity(size_hint);
+            let mut idx: Vec<(u64, u64, u32)> = Vec::new();
+            for part in self.parts {
+                idx.clear();
+                idx.extend(part.iter().enumerate().map(|(i, t)| (t.0, t.1, i as u32)));
+                idx.sort_unstable();
+                out.extend(idx.iter().map(|&(_, _, i)| part[i as usize].2.clone()));
+            }
+            out
+        }
+    }
+
+    impl EventSink for TimeSink {
+        fn push_alloc(
+            &mut self,
+            rank: u64,
+            t: f64,
+            object: ObjectId,
+            site: SiteId,
+            size: u64,
+            a: u64,
+        ) {
+            self.push(rank, TraceEvent::Alloc { time: t, object, site, size, address: a });
+        }
+
+        fn push_free(&mut self, rank: u64, t: f64, object: ObjectId) {
+            self.push(rank, TraceEvent::Free { time: t, object });
+        }
+
+        fn push_load(&mut self, rank: u64, t: f64, address: u64, latency_cycles: f64, f: FuncId) {
+            self.push(
+                rank,
+                TraceEvent::LoadMissSample { time: t, address, latency_cycles, function: f },
+            );
+        }
+
+        fn push_store(&mut self, rank: u64, t: f64, address: u64, l1d_miss: bool, f: FuncId) {
+            self.push(rank, TraceEvent::StoreSample { time: t, address, l1d_miss, function: f });
+        }
+
+        fn push_phase(&mut self, rank: u64, t: f64, phase: u32) {
+            self.push(rank, TraceEvent::PhaseMarker { time: t, phase });
+        }
+    }
+
+    /// Serial AoS synthesis with the original `Vec<TraceEvent>` pipeline.
+    pub fn synthesize_trace_reference(
+        app: &AppModel,
+        result: &RunResult,
+        cfg: &ProfilerConfig,
+    ) -> TraceFile {
+        let funcs = site_functions(app);
+        let b = budget(app, result, cfg);
+        let mut sink = TimeSink::new(b.expected, b.expected, result.total_time);
+        for (i, phase) in result.phases.iter().enumerate() {
+            sink.push_phase(i as u64, phase.start, i as u32);
+        }
+        let ctx = EmitCtx {
+            seed: cfg.seed,
+            load_period: b.load_period,
+            store_period: b.store_period,
+            funcs: &funcs,
+            phases: &result.phases,
+        };
+        emit_objects(&result.objects, 0, &ctx, &mut sink);
+        TraceFile {
+            app_name: app.name.clone(),
+            seed: cfg.seed,
+            ranks: app.ranks,
+            sampling_hz: cfg.sampling_hz,
+            load_sample_period: b.load_period,
+            store_sample_period: b.store_period,
+            duration: result.total_time,
+            stacks: app.sites.clone(),
+            binmap: app.binmap.clone(),
+            events: sink.into_sorted(b.expected),
+        }
     }
 }
 
@@ -490,6 +794,21 @@ mod tests {
         let serial = synthesize_trace_with_jobs(&app, &result, &cfg, 1);
         let sharded = synthesize_trace_with_jobs(&app, &result, &cfg, 4);
         assert_eq!(serial, sharded);
+        // And the columnar batches themselves agree, not just the AoS view.
+        let serial_c = synthesize_columns_with_jobs(&app, &result, &cfg, 1);
+        let sharded_c = synthesize_columns_with_jobs(&app, &result, &cfg, 4);
+        assert_eq!(serial_c, sharded_c);
+    }
+
+    #[test]
+    fn columnar_matches_the_aos_reference() {
+        let app = workloads::minife::model();
+        let mach = MachineConfig::optane_pmem6();
+        let cfg = ProfilerConfig { sampling_hz: 100.0, seed: 5 };
+        let result =
+            memsim::run(&app, &mach, ExecMode::MemoryMode, &mut FixedTier::new(TierId::PMEM));
+        let reference = reference::synthesize_trace_reference(&app, &result, &cfg);
+        assert_eq!(synthesize_trace_with_jobs(&app, &result, &cfg, 4), reference);
     }
 
     #[test]
@@ -536,5 +855,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn samples_stay_inside_lifetime_and_phase_windows() {
+        let t = trace_for(9);
+        // Reconstruct each object's lifetime from its alloc/free events.
+        let mut life: HashMap<u64, (f64, f64)> = HashMap::new();
+        for e in &t.events {
+            match e {
+                TraceEvent::Alloc { time, object, .. } => {
+                    life.entry(object.0).or_insert((*time, f64::INFINITY)).0 = *time;
+                }
+                TraceEvent::Free { time, object } => {
+                    life.entry(object.0).or_insert((0.0, *time)).1 = *time;
+                }
+                _ => {}
+            }
+        }
+        // Map each sample back to the (unique, non-overlapping) object
+        // whose address interval contains it.
+        let mut ranges: Vec<(u64, u64, u64)> = Vec::new();
+        for e in &t.events {
+            if let TraceEvent::Alloc { address, size, object, .. } = e {
+                ranges.push((*address, *address + *size, object.0));
+            }
+        }
+        let mut checked = 0usize;
+        for e in &t.events {
+            let (time, address) = match e {
+                TraceEvent::LoadMissSample { time, address, .. } => (*time, *address),
+                TraceEvent::StoreSample { time, address, .. } => (*time, *address),
+                _ => continue,
+            };
+            assert!(time <= t.duration, "sample at {time} past run end {}", t.duration);
+            let (lo, hi) = ranges
+                .iter()
+                .find(|&&(lo, hi, _)| address >= lo && address < hi)
+                .map(|&(_, _, obj)| life[&obj])
+                .expect("sample address inside some object");
+            assert!(
+                time >= lo && time <= hi,
+                "sample at {time} outside its object's lifetime [{lo}, {hi}]"
+            );
+            checked += 1;
+        }
+        assert!(checked > 100, "want a meaningful sample population, got {checked}");
     }
 }
