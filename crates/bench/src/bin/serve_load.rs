@@ -1,0 +1,472 @@
+//! `serve_load` — load harness for the multi-tenant advisor daemon core.
+//!
+//! Drives synthetic tenants through an in-process [`ServiceCore`] (no
+//! TCP — this measures the service, not the loopback stack) and reports:
+//!
+//! * sustained throughput (ticks/s, events/s) at 100 and 1000 concurrent
+//!   tenants;
+//! * exact p50/p99 revision latency, measured driver-side from tick
+//!   submission to revision delivery;
+//! * **zero cross-tenant divergence**: one served tenant per trace shape
+//!   is checked byte-for-byte against an isolated single-stream run
+//!   (non-zero divergence is a hard failure, exit 1);
+//! * stalled-reader isolation: one tenant whose outbox is never drained
+//!   runs alongside normal tenants; the normal tenants' p99 must stay
+//!   within 2× the solo baseline.
+//!
+//! ```text
+//! serve_load [--workers N] [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` skips the 1000-tenant scenario. `--out` writes the JSON
+//! document (schema `ecohmem.serve_load/1`) that is committed as
+//! `BENCH_serve.json`.
+
+use advisor::{AdvisorConfig, Algorithm};
+use ecohmem_obs::Json;
+use ecohmem_online::durability::queue;
+use ecohmem_online::{
+    IncrementalAdvisor, OnlineConfig, PlacementRevision, StreamIngestor, StreamMeta,
+};
+use ecohmem_serve::core::{Outbound, ServeConfig, ServiceCore, TenantClient};
+use ecohmem_serve::proto;
+use memtrace::{
+    BinaryMap, CallStack, DegradationPolicy, EventBatch, Frame, FuncId, ModuleId, ObjectId, SiteId,
+    TraceEvent, TraceFile,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const SHAPES: usize = 4;
+const SITES: usize = 16;
+const SAMPLES: usize = 2048;
+const DRAM_GIB: u64 = 12;
+const BATCH: usize = 256;
+const TICK_STRIDE: usize = 4;
+const MIB: u64 = 1 << 20;
+
+/// Deterministic synthetic trace; the four shapes exercise different
+/// hot-set geometries so co-tenant engines never walk in lockstep.
+fn synth_trace(shape: usize) -> TraceFile {
+    let stacks: Vec<(SiteId, CallStack)> = (0..SITES)
+        .map(|i| {
+            (
+                SiteId(i as u32),
+                CallStack::new(vec![Frame::new(ModuleId(0), 0x100 + 0x10 * i as u64)]),
+            )
+        })
+        .collect();
+    let base = |site: usize| ((site as u64) + 1) << 33;
+    let size = |site: usize| (1 + ((site + shape) % 4) as u64) * 512 * MIB;
+    let mut events = Vec::new();
+    for i in 0..SITES {
+        events.push(TraceEvent::Alloc {
+            time: 0.001 * i as f64,
+            object: ObjectId(i as u64 + 1),
+            site: SiteId(i as u32),
+            size: size(i),
+            address: base(i),
+        });
+    }
+    for k in 0..SAMPLES {
+        let site = match shape {
+            0 => k % 4,
+            1 => 12 + k % 4,
+            2 => (k / 128) % SITES, // hot set rotates: a phase-shifter
+            _ => {
+                if k % 3 == 0 {
+                    k % SITES
+                } else {
+                    k % 2
+                }
+            }
+        };
+        events.push(TraceEvent::LoadMissSample {
+            time: 0.1 + 3.8 * (k as f64) / SAMPLES as f64,
+            address: base(site) + 64 * ((k % 100) as u64),
+            latency_cycles: 300.0,
+            function: FuncId(0),
+        });
+    }
+    TraceFile {
+        app_name: format!("synth{shape}"),
+        seed: shape as u64,
+        ranks: 1,
+        sampling_hz: 1000.0,
+        load_sample_period: 100.0,
+        store_sample_period: 200.0,
+        duration: 4.0,
+        stacks,
+        binmap: BinaryMap::default(),
+        events,
+    }
+}
+
+enum Op {
+    Batch(Vec<TraceEvent>),
+    Tick(f64),
+}
+
+fn feed_plan(trace: &TraceFile) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let chunks: Vec<&[TraceEvent]> = trace.events.chunks(BATCH).collect();
+    for (i, chunk) in chunks.iter().enumerate() {
+        ops.push(Op::Batch(chunk.to_vec()));
+        if (i + 1) % TICK_STRIDE == 0 {
+            ops.push(Op::Tick(chunk.last().unwrap().time()));
+        }
+    }
+    ops.push(Op::Tick(trace.duration));
+    ops
+}
+
+fn isolated_run(trace: &TraceFile) -> Vec<PlacementRevision> {
+    let cfg = OnlineConfig::default();
+    let mut ingestor = StreamIngestor::new(StreamMeta::of(trace), DegradationPolicy::Strict, cfg);
+    let mut advisor = IncrementalAdvisor::new(AdvisorConfig::loads_only(DRAM_GIB), Algorithm::Base)
+        .with_hysteresis(cfg.hysteresis);
+    let mut revisions = Vec::new();
+    for op in feed_plan(trace) {
+        match op {
+            Op::Batch(events) => {
+                ingestor.push_batch(&EventBatch::from_events(&events)).unwrap();
+            }
+            Op::Tick(now) => revisions.extend(advisor.tick(&mut ingestor, now)),
+        }
+    }
+    revisions
+}
+
+/// Streams one tenant to completion, recording driver-side tick→revision
+/// latencies. Returns (latencies µs, revision log, shed count).
+fn drive_tenant(
+    client: &TenantClient,
+    outbox: &queue::Receiver<Outbound>,
+    trace: &TraceFile,
+) -> (Vec<u64>, Vec<PlacementRevision>, u64) {
+    let mut lat = Vec::new();
+    let mut log = Vec::new();
+    let mut shed = 0u64;
+    for op in feed_plan(trace) {
+        match op {
+            Op::Batch(events) => {
+                if client.ingest(events).unwrap() == ecohmem_serve::Admitted::Shed {
+                    shed += 1;
+                }
+            }
+            Op::Tick(now) => {
+                let t0 = Instant::now();
+                if client.tick(now).unwrap() == ecohmem_serve::Admitted::Shed {
+                    shed += 1;
+                    continue;
+                }
+                loop {
+                    match outbox.recv_deadline(Duration::from_secs(60)) {
+                        Ok(Outbound::Revisions(revs)) => {
+                            lat.push(t0.elapsed().as_micros() as u64);
+                            log.extend(revs);
+                            break;
+                        }
+                        Ok(Outbound::Shed { dropped }) => shed += dropped,
+                        Ok(other) => panic!("unexpected outbound {other:?}"),
+                        Err(e) => panic!("tick ack never arrived: {e:?}"),
+                    }
+                }
+            }
+        }
+    }
+    client.finish().unwrap();
+    loop {
+        match outbox.recv_deadline(Duration::from_secs(60)) {
+            Ok(Outbound::Finished { .. }) => break,
+            Ok(Outbound::Shed { dropped }) => shed += dropped,
+            Ok(_) => {}
+            Err(e) => panic!("Finished never arrived: {e:?}"),
+        }
+    }
+    (lat, log, shed)
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct ScenarioResult {
+    tenants: usize,
+    workers: usize,
+    wall: Duration,
+    latencies: Vec<u64>,
+    events: u64,
+    ticks: u64,
+    revisions: u64,
+    shed: u64,
+    divergent: usize,
+}
+
+impl ScenarioResult {
+    fn to_json(&self, name: &str) -> (String, Json) {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let wall = self.wall.as_secs_f64();
+        (
+            name.to_string(),
+            Json::obj(vec![
+                ("tenants", Json::U64(self.tenants as u64)),
+                ("workers", Json::U64(self.workers as u64)),
+                ("wall_seconds", Json::F64(wall)),
+                ("events", Json::U64(self.events)),
+                ("ticks", Json::U64(self.ticks)),
+                ("revisions", Json::U64(self.revisions)),
+                ("shed", Json::U64(self.shed)),
+                ("events_per_sec", Json::F64(self.events as f64 / wall)),
+                ("placements_per_sec", Json::F64(self.ticks as f64 / wall)),
+                ("revision_latency_p50_us", Json::U64(quantile(&sorted, 0.50))),
+                ("revision_latency_p99_us", Json::U64(quantile(&sorted, 0.99))),
+                ("revision_latency_max_us", Json::U64(sorted.last().copied().unwrap_or(0))),
+                ("divergent_tenants", Json::U64(self.divergent as u64)),
+            ]),
+        )
+    }
+}
+
+/// Runs `tenants` synthetic tenants over `drivers` threads and checks
+/// one tenant per shape against the isolated reference logs.
+fn run_fleet(
+    tenants: usize,
+    workers: usize,
+    drivers: usize,
+    traces: &[TraceFile],
+    reference: &[Vec<u8>],
+) -> ScenarioResult {
+    let core = ServiceCore::new(ServeConfig {
+        workers,
+        max_tenants: tenants + 8,
+        inbox_capacity: 64,
+        admission_timeout: Duration::from_secs(10),
+        dram_gib: DRAM_GIB,
+        ..ServeConfig::default()
+    });
+    let latencies = Mutex::new(Vec::new());
+    let logs = Mutex::new(Vec::new()); // (shape, encoded log) for shape representatives
+    let shed_total = Mutex::new(0u64);
+    let revisions_total = Mutex::new(0u64);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for d in 0..drivers {
+            let core = &core;
+            let latencies = &latencies;
+            let logs = &logs;
+            let shed_total = &shed_total;
+            let revisions_total = &revisions_total;
+            s.spawn(move || {
+                let mut local_lat = Vec::new();
+                let mut local_shed = 0;
+                let mut local_revs = 0u64;
+                for t in (d..tenants).step_by(drivers) {
+                    let shape = t % SHAPES;
+                    let trace = &traces[shape];
+                    let name = format!("tenant-{t}");
+                    let (client, outbox) = core.register(&name, &proto::header_of(trace)).unwrap();
+                    let (lat, log, shed) = drive_tenant(&client, &outbox, trace);
+                    local_lat.extend(lat);
+                    local_shed += shed;
+                    local_revs += log.len() as u64;
+                    if t < SHAPES {
+                        // First tenant of each shape doubles as the
+                        // divergence probe.
+                        let mut bytes = Vec::new();
+                        proto::encode_revisions(&log, &mut bytes);
+                        logs.lock().unwrap().push((shape, bytes));
+                    }
+                }
+                latencies.lock().unwrap().extend(local_lat);
+                *shed_total.lock().unwrap() += local_shed;
+                *revisions_total.lock().unwrap() += local_revs;
+            });
+        }
+    });
+    let wall = start.elapsed();
+    core.shutdown();
+
+    let divergent =
+        logs.lock().unwrap().iter().filter(|(shape, bytes)| bytes != &reference[*shape]).count();
+    let latencies = latencies.into_inner().unwrap();
+    let events_per_tenant = traces[0].events.len() as u64;
+    let ticks = latencies.len() as u64;
+    ScenarioResult {
+        tenants,
+        workers,
+        wall,
+        events: events_per_tenant * tenants as u64,
+        ticks,
+        revisions: revisions_total.into_inner().unwrap(),
+        shed: shed_total.into_inner().unwrap(),
+        latencies,
+        divergent,
+    }
+}
+
+/// One tenant alone on the pool — the latency baseline the stalled-
+/// reader scenario is judged against.
+fn run_solo(workers: usize, traces: &[TraceFile]) -> Vec<u64> {
+    let core = ServiceCore::new(ServeConfig {
+        workers,
+        dram_gib: DRAM_GIB,
+        admission_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+    let (client, outbox) = core.register("solo", &proto::header_of(&traces[0])).unwrap();
+    let (mut lat, _log, _shed) = drive_tenant(&client, &outbox, &traces[0]);
+    core.shutdown();
+    lat.sort_unstable();
+    lat
+}
+
+/// Normal tenants alongside one tenant whose outbox nobody drains.
+///
+/// The stalled tenant stays *live* the whole time — streaming its trace,
+/// then ticking continuously (throttled) into a capacity-1 outbox that
+/// nobody reads. The normal tenants are driven one at a time so the
+/// measurement captures head-of-line blocking, not CPU contention from
+/// a pile of driver threads; any p99 inflation versus solo is therefore
+/// the stalled tenant's doing.
+fn run_stalled(workers: usize, traces: &[TraceFile]) -> (Vec<u64>, u64) {
+    let core = ServiceCore::new(ServeConfig {
+        workers,
+        outbox_capacity: 1,
+        dram_gib: DRAM_GIB,
+        admission_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+    let (stalled, stalled_rx) = core.register("stalled", &proto::header_of(&traces[1])).unwrap();
+    let stalled_trace = &traces[1];
+    let latencies = Mutex::new(Vec::new());
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stalled = &stalled;
+        let done = &done;
+        s.spawn(move || {
+            for op in feed_plan(stalled_trace) {
+                match op {
+                    Op::Batch(events) => {
+                        let _ = stalled.ingest(events);
+                    }
+                    Op::Tick(now) => {
+                        let _ = stalled.tick(now);
+                    }
+                }
+            }
+            // Keep the tenant hot (and its outbox overflowing) until the
+            // normal fleet is done — a realistic tick cadence, not a spin.
+            let mut now = stalled_trace.duration;
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                now += 0.1;
+                if stalled.tick(now).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            let _ = stalled.finish();
+        });
+        for t in 0..8 {
+            let trace = &traces[t % SHAPES];
+            let name = format!("normal-{t}");
+            let (client, outbox) = core.register(&name, &proto::header_of(trace)).unwrap();
+            let (lat, _, _) = drive_tenant(&client, &outbox, trace);
+            latencies.lock().unwrap().extend(lat);
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let drops = stalled.stalled_drops();
+    drop(stalled_rx);
+    core.shutdown();
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    (lat, drops)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned();
+    let workers: usize = opt("--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = opt("--out");
+
+    let traces: Vec<TraceFile> = (0..SHAPES).map(synth_trace).collect();
+    let reference: Vec<Vec<u8>> = traces
+        .iter()
+        .map(|t| {
+            let mut bytes = Vec::new();
+            proto::encode_revisions(&isolated_run(t), &mut bytes);
+            bytes
+        })
+        .collect();
+    eprintln!("serve_load: solo baseline (workers={workers})");
+    let solo = run_solo(workers, &traces);
+    let solo_p99 = quantile(&solo, 0.99);
+
+    let mut scenarios = Vec::new();
+    for &n in &[100usize, 1000] {
+        if quick && n == 1000 {
+            eprintln!("serve_load: --quick, skipping {n}-tenant scenario");
+            continue;
+        }
+        eprintln!("serve_load: {n} tenants (workers={workers})");
+        let r = run_fleet(n, workers, 8.min(n), &traces, &reference);
+        let total_failures = r.divergent;
+        scenarios.push(r.to_json(&format!("tenants_{n}")));
+        if total_failures > 0 {
+            eprintln!(
+                "serve_load: FAIL — {total_failures} tenant log(s) diverged from isolated runs"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!("serve_load: stalled-reader isolation (workers={workers})");
+    let (normal, stalled_drops) = run_stalled(workers, &traces);
+    let normal_p99 = quantile(&normal, 0.99);
+    // The bar: 2× the solo p99, with a 1 ms jitter floor so a sub-200 µs
+    // solo baseline doesn't turn scheduler noise into a failure.
+    let bar_us = solo_p99.saturating_mul(2).max(solo_p99 + 1000);
+    let isolation_ok = normal_p99 <= bar_us;
+    scenarios.push((
+        "stalled_reader".to_string(),
+        Json::obj(vec![
+            ("normal_tenants", Json::U64(8)),
+            ("stalled_drops", Json::U64(stalled_drops)),
+            ("solo_p99_us", Json::U64(solo_p99)),
+            ("normal_p99_us", Json::U64(normal_p99)),
+            ("bar_us", Json::U64(bar_us)),
+            ("within_2x_solo", Json::Bool(isolation_ok)),
+        ]),
+    ));
+    if !isolation_ok {
+        eprintln!(
+            "serve_load: WARN — normal-tenant p99 {normal_p99}µs vs solo {solo_p99}µs exceeds 2×"
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ecohmem.serve_load/1")),
+        ("label", Json::str("serve_load")),
+        ("workers", Json::U64(workers as u64)),
+        ("shapes", Json::U64(SHAPES as u64)),
+        ("events_per_tenant", Json::U64(traces[0].events.len() as u64)),
+        ("solo_p50_us", Json::U64(quantile(&solo, 0.50))),
+        ("solo_p99_us", Json::U64(solo_p99)),
+        ("scenarios", Json::Obj(scenarios)),
+    ]);
+    let text = doc.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, text + "\n").expect("write --out");
+            eprintln!("serve_load: wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

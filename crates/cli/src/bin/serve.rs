@@ -1,0 +1,60 @@
+//! `ecohmem-serve` — the placement-as-a-service daemon.
+//!
+//! ```text
+//! ecohmem-serve [--listen ADDR] [--workers N] [--max-tenants N]
+//!               [--journal-dir DIR] [--dram-gib N] [--bw-aware]
+//!               [--once N] [--metrics-out FILE]
+//! ```
+//!
+//! Hosts N independent tenant sessions over the framed TCP protocol
+//! (see `ecohmem-serve` crate docs): each tenant streams event batches
+//! and ticks, and receives placement revisions back. `--journal-dir`
+//! threads the crash-safe durability engine under every tenant — each
+//! gets its own write-ahead log and checkpoints under
+//! `<DIR>/<tenant>/`. `--once N` exits after N sessions complete
+//! (for CI and scripted runs); without it the daemon serves forever.
+
+use cli::{ok_or_die, Args, MetricsOut};
+use ecohmem_serve::{ServeConfig, Server, ServerConfig};
+
+const USAGE: &str = "ecohmem-serve [--listen ADDR] [--workers N] [--max-tenants N] \
+                     [--journal-dir DIR] [--dram-gib N] [--bw-aware] [--once N] \
+                     [--metrics-out FILE]";
+
+fn main() {
+    let args = Args::from_env();
+    let metrics = MetricsOut::from_args("ecohmem-serve", &args);
+    if args.positional.first().is_some() {
+        cli::usage_error("ecohmem-serve", "unexpected positional argument", USAGE);
+    }
+
+    let mut serve = ServeConfig {
+        workers: args.opt_or("workers", 2usize),
+        max_tenants: args.opt_or("max-tenants", 1024usize),
+        dram_gib: args.opt_or("dram-gib", 12u64),
+        journal_dir: args.opt("journal-dir").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    if args.has("bw-aware") {
+        serve.algorithm = advisor::Algorithm::BandwidthAware;
+    }
+
+    let cfg = ServerConfig {
+        listen: args.opt("listen").unwrap_or("127.0.0.1:7878").to_string(),
+        once: args.opt("once").and_then(|v| v.parse().ok()),
+        serve,
+    };
+    let once = cfg.once;
+    let server = ok_or_die("ecohmem-serve", Server::bind(cfg));
+    let addr = ok_or_die("ecohmem-serve", server.local_addr());
+    eprintln!(
+        "ecohmem-serve: listening on {addr} (workers={n})",
+        n = args.opt_or("workers", 2usize)
+    );
+    if let Some(n) = once {
+        eprintln!("ecohmem-serve: will exit after {n} session(s)");
+    }
+    let stats = ok_or_die("ecohmem-serve", server.run());
+    eprintln!("ecohmem-serve: done — {} session(s), {} frame(s)", stats.sessions, stats.frames);
+    metrics.finish();
+}

@@ -43,6 +43,20 @@ const VERSION_V2: u32 = 2;
 /// large enough that the index section stays negligible.
 pub const V2_BUCKET_EVENTS: usize = 8192;
 
+/// Hard ceiling on the event count any single [`read_frame`] frame may
+/// declare. Frames travel over sockets (the serve daemon's wire protocol,
+/// the durability journal), where a poisoned length prefix must be
+/// rejected *before* `Vec::with_capacity` — the relative
+/// bytes-remaining check alone scales with whatever buffer the attacker
+/// managed to send.
+pub const MAX_FRAME_EVENTS: usize = 1 << 22;
+
+/// Hard ceiling on the declared byte length of the JSON header section.
+pub const MAX_HEADER_BYTES: usize = 1 << 26;
+
+/// Hard ceiling on the total event count a trace file may declare.
+pub const MAX_DECLARED_EVENTS: usize = 1 << 30;
+
 /// Writes a varint (LEB128). Public so downstream binary formats (the
 /// online engine's journal and checkpoints) share one integer encoding.
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -309,6 +323,11 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<TraceFile, TraceError> {
 fn read_trace_v1(data: &[u8]) -> Result<TraceFile, TraceError> {
     let mut pos = 12usize;
     let header_len = get_varint(data, &mut pos)? as usize;
+    if header_len > MAX_HEADER_BYTES {
+        return Err(TraceError::Malformed(format!(
+            "header declares {header_len} bytes, cap is {MAX_HEADER_BYTES}"
+        )));
+    }
     let header_end = pos
         .checked_add(header_len)
         .filter(|&e| e <= data.len())
@@ -319,6 +338,11 @@ fn read_trace_v1(data: &[u8]) -> Result<TraceFile, TraceError> {
     pos = header_end;
 
     let n_events = get_varint(data, &mut pos)? as usize;
+    if n_events > MAX_DECLARED_EVENTS {
+        return Err(TraceError::Malformed(format!(
+            "trace declares {n_events} events, cap is {MAX_DECLARED_EVENTS}"
+        )));
+    }
     // Each event costs ≥ 2 bytes (tag + delta varint); an absurd count
     // means corruption, not a huge trace.
     if n_events > data.len().saturating_sub(pos) / 2 {
@@ -388,6 +412,11 @@ impl TraceBuf {
         }
         let mut pos = 12usize;
         let header_len = get_varint(&data, &mut pos)? as usize;
+        if header_len > MAX_HEADER_BYTES {
+            return Err(TraceError::Malformed(format!(
+                "header declares {header_len} bytes, cap is {MAX_HEADER_BYTES}"
+            )));
+        }
         let header_end = pos
             .checked_add(header_len)
             .filter(|&e| e <= data.len())
@@ -398,6 +427,11 @@ impl TraceBuf {
         pos = header_end;
 
         let n_events = get_varint(&data, &mut pos)? as usize;
+        if n_events > MAX_DECLARED_EVENTS {
+            return Err(TraceError::Malformed(format!(
+                "trace declares {n_events} events, cap is {MAX_DECLARED_EVENTS}"
+            )));
+        }
         let n_buckets = get_varint(&data, &mut pos)? as usize;
         // Each index entry costs ≥ 3 bytes.
         if n_buckets > data.len().saturating_sub(pos) / 3 {
@@ -598,6 +632,15 @@ pub fn write_frame(events: &[TraceEvent], out: &mut Vec<u8>) {
 /// Decodes one frame written by [`write_frame`], advancing `pos` past it.
 pub fn read_frame(data: &[u8], pos: &mut usize) -> Result<Vec<TraceEvent>, TraceError> {
     let n = get_varint(data, pos)? as usize;
+    // Checked before the relative guard (and before any allocation): the
+    // relative guard scales with however many bytes a peer managed to
+    // send, so on its own a hostile socket could still drive a large
+    // `Vec::with_capacity` by padding the frame.
+    if n > MAX_FRAME_EVENTS {
+        return Err(TraceError::Malformed(format!(
+            "frame declares {n} events, cap is {MAX_FRAME_EVENTS}"
+        )));
+    }
     // Each event costs ≥ 2 bytes (tag + varint time), so a count above
     // half the remaining bytes means corruption — checking against the
     // full remainder would let a hostile count just under the buffer
@@ -863,6 +906,53 @@ mod tests {
         let mut pos = 0;
         let err = read_frame(&corrupt, &mut pos).unwrap_err().to_string();
         assert!(err.contains("short buffer"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn frames_reject_a_poisoned_count_before_allocating() {
+        // A length prefix straight off a socket: the declared count is
+        // absurd regardless of how many payload bytes follow, so the
+        // absolute cap must fire first — no allocation, no dependence on
+        // the buffer the peer chose to send.
+        let mut poisoned = Vec::new();
+        put_varint(&mut poisoned, 1u64 << 40);
+        let mut pos = 0;
+        let err = read_frame(&poisoned, &mut pos).unwrap_err().to_string();
+        assert!(err.contains("cap is"), "unexpected error: {err}");
+
+        // Exactly at the cap the absolute guard stays quiet and the
+        // relative bytes-remaining guard takes over.
+        let mut at_cap = Vec::new();
+        put_varint(&mut at_cap, MAX_FRAME_EVENTS as u64);
+        let mut pos = 0;
+        let err = read_frame(&at_cap, &mut pos).unwrap_err().to_string();
+        assert!(err.contains("short buffer"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn poisoned_header_lengths_are_rejected_in_both_versions() {
+        let t = sample_trace();
+        let writers: [fn(&TraceFile, &mut Vec<u8>) -> Result<(), TraceError>; 2] =
+            [|t, out| write_trace(t, out), |t, out| write_trace_v2(t, out)];
+        for write in writers {
+            let mut buf = Vec::new();
+            write(&t, &mut buf).unwrap();
+            // Rewrite the header-length varint to a multi-GB claim; the
+            // reader must reject it on the declared value alone.
+            let mut corrupt = buf[..12].to_vec();
+            put_varint(&mut corrupt, (MAX_HEADER_BYTES as u64) + 1);
+            let mut pos = 12;
+            let orig_len = get_varint(&buf, &mut pos).unwrap();
+            corrupt.extend_from_slice(&buf[12 + varint_len(orig_len)..]);
+            let err = read_trace(&corrupt[..]).unwrap_err().to_string();
+            assert!(err.contains("cap is"), "unexpected error: {err}");
+        }
+    }
+
+    fn varint_len(v: u64) -> usize {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        buf.len()
     }
 
     fn big_trace(n: usize) -> TraceFile {

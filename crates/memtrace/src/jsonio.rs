@@ -96,7 +96,11 @@ fn human_from_json(v: &Json) -> Result<HumanStack, JsonError> {
     Ok(HumanStack::new(locations))
 }
 
-pub(crate) fn event_to_json(e: &TraceEvent) -> Json {
+/// Encodes one event in the trace schema's externally-tagged layout.
+/// Public (re-exported as [`crate::event_to_json`]) so wire protocols
+/// layered on the trace schema — the serve daemon's JSONL mode — emit
+/// byte-identical event objects.
+pub fn event_to_json(e: &TraceEvent) -> Json {
     let (tag, body) = match e {
         TraceEvent::Alloc { time, object, site, size, address } => (
             "Alloc",
@@ -136,7 +140,8 @@ pub(crate) fn event_to_json(e: &TraceEvent) -> Json {
     Json::obj(vec![(tag, Json::obj(body))])
 }
 
-pub(crate) fn event_from_json(v: &Json) -> Result<TraceEvent, JsonError> {
+/// Decodes one event written by [`event_to_json`].
+pub fn event_from_json(v: &Json) -> Result<TraceEvent, JsonError> {
     let Json::Obj(pairs) = v else {
         return Err(schema("event is not an object"));
     };

@@ -23,7 +23,7 @@ pub mod error;
 pub mod events;
 pub mod fault;
 pub mod ids;
-mod jsonio;
+pub mod jsonio;
 pub mod report;
 pub mod textfmt;
 pub mod trace;
@@ -40,6 +40,7 @@ pub use error::TraceError;
 pub use events::TraceEvent;
 pub use fault::{FaultKind, FaultSpec, FaultTarget, ProcessFaultKind};
 pub use ids::{FuncId, ModuleId, ObjectId, SiteId, TierId};
+pub use jsonio::{event_from_json, event_to_json};
 pub use report::{PlacementReport, ReportEntry, ReportStack};
 pub use textfmt::parse_report;
 pub use trace::TraceFile;

@@ -287,7 +287,10 @@ fn write_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // DEL is legal unescaped JSON, but these strings end up in
+            // JSONL sinks read by terminals and line-oriented tools —
+            // escape the whole control range, C0 and DEL alike.
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),

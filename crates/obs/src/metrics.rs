@@ -255,6 +255,29 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the power-of-two
+    /// buckets: the upper bound of the bucket holding the ranked
+    /// observation, clamped to the recorded maximum. Resolution is a
+    /// factor of two — good enough for the p50/p99 latency surfaces the
+    /// serve daemon exports, without storing raw samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let hi = if bucket >= 63 { u64::MAX } else { (1u64 << (bucket + 1)) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// A point-in-time copy of a registry, name-sorted for stable output.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -331,6 +354,29 @@ pub fn registry() -> &'static MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantiles_come_from_the_right_bucket() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            h.observe(v);
+        }
+        let snap = HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            mean: h.mean(),
+            buckets: h.nonzero_buckets(),
+        };
+        // p50 lands in the 100s bucket [64, 127]; p99 in the 5000s
+        // bucket, clamped to the observed max.
+        let p50 = snap.quantile(0.5);
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        assert_eq!(snap.quantile(0.99), 5000);
+        assert_eq!(snap.quantile(0.0), 1);
+        let empty = HistogramSnapshot { count: 0, sum: 0, max: 0, mean: 0.0, buckets: Vec::new() };
+        assert_eq!(empty.quantile(0.99), 0);
+    }
 
     #[test]
     fn counters_accumulate_and_snapshot() {

@@ -1,0 +1,62 @@
+//! String-escaping contract of the hand-rolled JSON layer.
+//!
+//! Serve-daemon tenant names and error strings flow through
+//! [`Json::Str`] into JSONL sinks, so the writer must produce a valid,
+//! single-line encoding for *any* Rust string — control characters,
+//! quotes, backslashes, astral-plane scalars — and the parser must read
+//! back exactly the original. The proptests below pin that contract.
+
+use ecohmem_obs::Json;
+use proptest::prelude::*;
+
+/// Maps raw u32s onto chars with the control range over-represented:
+/// roughly a third of generated scalars land in C0/DEL, the rest range
+/// over the whole scalar-value space (surrogates folded away).
+fn char_from(raw: u32) -> char {
+    match raw % 3 {
+        0 => char::from_u32(raw % 0x20).unwrap(),
+        1 => ['"', '\\', '\n', '\r', '\t', '\u{7f}', '\u{1b}'][(raw % 7) as usize],
+        _ => char::from_u32(raw % 0x11_0000).unwrap_or('\u{fffd}'),
+    }
+}
+
+fn string_from(raws: Vec<u32>) -> String {
+    raws.into_iter().map(char_from).collect()
+}
+
+proptest! {
+    /// Any string survives a print → parse round trip bit-for-bit.
+    #[test]
+    fn arbitrary_strings_round_trip(
+        raws in prop::collection::vec(0u32..u32::MAX, 0..64),
+    ) {
+        let s = string_from(raws);
+        let printed = Json::str(s.clone()).to_string_compact();
+        let parsed = Json::parse(&printed).expect("writer output parses");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// The compact encoding of any string is a single line with no raw
+    /// control bytes — the invariant JSONL sinks depend on.
+    #[test]
+    fn compact_output_is_always_one_clean_line(
+        raws in prop::collection::vec(0u32..u32::MAX, 0..64),
+    ) {
+        let printed = Json::str(string_from(raws)).to_string_compact();
+        prop_assert!(
+            !printed.bytes().any(|b| b < 0x20 || b == 0x7f),
+            "raw control byte in {:?}", printed
+        );
+    }
+}
+
+#[test]
+fn tenant_names_with_control_characters_stay_on_one_jsonl_line() {
+    let name = "tenant\nwith\tcontrol\r\u{1b}[31mchars\u{7f}";
+    let line =
+        Json::obj(vec![("tenant", Json::str(name)), ("ok", Json::Bool(true))]).to_string_compact();
+    assert_eq!(line.lines().count(), 1, "JSONL line split by raw control char: {line:?}");
+    assert!(!line.contains('\u{1b}'), "raw escape byte leaked into {line:?}");
+    let parsed = Json::parse(&line).unwrap();
+    assert_eq!(parsed.get("tenant").and_then(Json::as_str), Some(name));
+}

@@ -229,8 +229,8 @@ pub fn encode_ingestor(ing: &StreamIngestor, out: &mut Vec<u8>) {
         load_sample_period: ing.meta.load_sample_period,
         store_sample_period: ing.meta.store_sample_period,
         duration: 0.0,
-        stacks: ing.meta.stacks.clone(),
-        binmap: ing.meta.binmap.clone(),
+        stacks: (*ing.meta.stacks).clone(),
+        binmap: (*ing.meta.binmap).clone(),
         events: Vec::new(),
     };
     put_str(out, &header.to_json().expect("stream header serializes"));
@@ -346,8 +346,8 @@ pub fn decode_ingestor(data: &[u8], pos: &mut usize) -> Result<StreamIngestor, T
         sampling_hz: get_f64(data, pos)?,
         load_sample_period: get_f64(data, pos)?,
         store_sample_period: get_f64(data, pos)?,
-        stacks: header.stacks,
-        binmap: header.binmap,
+        stacks: std::sync::Arc::new(header.stacks),
+        binmap: std::sync::Arc::new(header.binmap),
     };
     let cfg = get_online_cfg(data, pos)?;
     let policy = get_policy(data, pos)?;
@@ -679,11 +679,11 @@ mod tests {
             sampling_hz: 1000.0,
             load_sample_period: 7.0,
             store_sample_period: 3.0,
-            stacks: vec![
+            stacks: std::sync::Arc::new(vec![
                 (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)])),
                 (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x20)])),
-            ],
-            binmap: memtrace::BinaryMap::default(),
+            ]),
+            binmap: std::sync::Arc::new(memtrace::BinaryMap::default()),
         }
     }
 
@@ -793,7 +793,7 @@ mod tests {
             restored.assignment().map(|a| a.tiers.len()),
             adv.assignment().map(|a| a.tiers.len())
         );
-        for (s, _) in &meta().stacks {
+        for (s, _) in meta().stacks.iter() {
             assert_eq!(restored.tier_of(*s), adv.tier_of(*s));
         }
         // Revisions codec.

@@ -347,11 +347,11 @@ mod tests {
             sampling_hz: 100.0,
             load_sample_period: 10.0,
             store_sample_period: 5.0,
-            stacks: vec![
+            stacks: std::sync::Arc::new(vec![
                 (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)])),
                 (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x20)])),
-            ],
-            binmap: BinaryMap::default(),
+            ]),
+            binmap: std::sync::Arc::new(BinaryMap::default()),
         }
     }
 

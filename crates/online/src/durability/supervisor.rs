@@ -131,6 +131,11 @@ enum Envelope {
     /// Deterministic fault injection: the worker stalls on receipt,
     /// letting tests engage the admission deadline reproducibly.
     InjectStall(Duration),
+    /// Graceful shutdown: flush the journal, emit a final checkpoint,
+    /// and exit the loop — the explicit end-of-stream control message a
+    /// serving layer needs (channel hangup only works when the producer
+    /// is being torn down too).
+    Shutdown,
 }
 
 #[derive(Debug, Default)]
@@ -279,6 +284,17 @@ impl Supervisor {
         let tx = self.sender()?;
         let env = Envelope::Tick { now, shed: self.take_pending_shed() };
         tx.send(env).map_err(|_| IngestError::ConsumerGone)
+    }
+
+    /// Requests a graceful shutdown: the worker finishes everything
+    /// admitted before this call, flushes the journal, writes a final
+    /// checkpoint, and exits. Blocks only for queue admission; join the
+    /// worker (and collect the revision log) with [`Supervisor::finish`].
+    /// A restart of the same durability directory after a clean shutdown
+    /// replays zero journal records.
+    pub fn shutdown(&self) -> Result<(), IngestError> {
+        let tx = self.sender()?;
+        tx.send(Envelope::Shutdown).map_err(|_| IngestError::ConsumerGone)
     }
 
     /// Injects a worker panic (deterministic chaos fault).
@@ -496,6 +512,10 @@ fn run_loop(
             Envelope::InjectStall(dur) => {
                 std::thread::sleep(dur);
             }
+            // Graceful end of stream: close() flushes the journal and
+            // writes a final checkpoint, so the next open of this
+            // directory restores without replaying a single WAL record.
+            Envelope::Shutdown => return engine.close(),
         }
     }
     engine.close()
@@ -524,11 +544,11 @@ mod tests {
             sampling_hz: 100.0,
             load_sample_period: 10.0,
             store_sample_period: 5.0,
-            stacks: vec![
+            stacks: Arc::new(vec![
                 (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)])),
                 (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x20)])),
-            ],
-            binmap: BinaryMap::default(),
+            ]),
+            binmap: Arc::new(BinaryMap::default()),
         }
     }
 
@@ -578,6 +598,57 @@ mod tests {
         assert!(!out.degraded);
         assert_eq!(out.shed_events, 0);
         assert!(!out.revisions.is_empty(), "the hot site got placed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoints_so_restart_replays_zero_wal_records() {
+        let dir = tmpdir("clean-shutdown");
+        let s = spawn(&dir, DegradationPolicy::Strict, patient());
+        let mut events = vec![alloc(0.0, 1, 0, 1 << 30, 0x1000)];
+        for i in 0..32 {
+            events.push(TraceEvent::LoadMissSample {
+                time: 0.1 + i as f64 * 0.01,
+                address: 0x1000 + i * 64,
+                latency_cycles: 300.0,
+                function: memtrace::FuncId(0),
+            });
+        }
+        s.offer(events).unwrap();
+        s.tick(1.0).unwrap();
+        s.offer(vec![alloc(1.5, 2, 1, 1 << 20, 0x9000)]).unwrap();
+        s.shutdown().unwrap();
+        let out = s.finish().unwrap();
+        assert!(!out.degraded);
+        assert!(!out.revisions.is_empty());
+
+        // Restart over the same directory: the final checkpoint covers
+        // everything, so recovery resumes without replaying any journal
+        // suffix — and none of the pre-shutdown state is lost.
+        let reports: Arc<Mutex<Vec<RecoveryReport>>> = Arc::default();
+        let sink = Arc::clone(&reports);
+        let s2 = Supervisor::spawn(
+            DurabilityConfig::new(&dir),
+            meta(),
+            DegradationPolicy::Strict,
+            OnlineConfig::default(),
+            AdvisorConfig::loads_only(12),
+            Algorithm::Base,
+            patient(),
+            move |r| sink.lock().unwrap().push(r.clone()),
+        );
+        s2.tick(2.0).unwrap();
+        let out2 = s2.finish().unwrap();
+        let reports = reports.lock().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].resumed, "restart resumed from the final checkpoint");
+        assert_eq!(reports[0].replayed_records, 0, "clean shutdown left no WAL suffix");
+        assert_eq!(reports[0].events_seen, 34, "pre-shutdown stream state survived");
+        assert_eq!(
+            out2.revisions[..out.revisions.len()],
+            out.revisions[..],
+            "the restored log extends the pre-shutdown log"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

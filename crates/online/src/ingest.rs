@@ -36,10 +36,16 @@ use memtrace::{
 };
 use profiler::{ObjectLifetime, ProfileSet, SiteProfile};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Trace metadata the ingestor needs up front — everything in a
 /// [`TraceFile`] except the event stream itself (a real streaming profiler
 /// emits exactly this as its header).
+///
+/// The site table and binary map are behind `Arc`s: they are read-mostly
+/// reference data, and a multi-tenant server hosting many ingestors of
+/// the same application shares one interned copy instead of cloning
+/// per tenant — memory stays flat as tenant count grows.
 #[derive(Debug, Clone)]
 pub struct StreamMeta {
     /// Application name.
@@ -50,10 +56,10 @@ pub struct StreamMeta {
     pub load_sample_period: f64,
     /// Stores represented by each store sample.
     pub store_sample_period: f64,
-    /// Call stack of each allocation site.
-    pub stacks: Vec<(SiteId, CallStack)>,
-    /// The program image.
-    pub binmap: BinaryMap,
+    /// Call stack of each allocation site (shared, read-only).
+    pub stacks: Arc<Vec<(SiteId, CallStack)>>,
+    /// The program image (shared, read-only).
+    pub binmap: Arc<BinaryMap>,
 }
 
 impl StreamMeta {
@@ -64,8 +70,8 @@ impl StreamMeta {
             sampling_hz: trace.sampling_hz,
             load_sample_period: trace.load_sample_period,
             store_sample_period: trace.store_sample_period,
-            stacks: trace.stacks.clone(),
-            binmap: trace.binmap.clone(),
+            stacks: Arc::new(trace.stacks.clone()),
+            binmap: Arc::new(trace.binmap.clone()),
         }
     }
 
@@ -76,8 +82,8 @@ impl StreamMeta {
             sampling_hz: trace.sampling_hz,
             load_sample_period: trace.load_sample_period,
             store_sample_period: trace.store_sample_period,
-            stacks: trace.stacks.clone(),
-            binmap: trace.binmap.clone(),
+            stacks: Arc::new(trace.stacks.clone()),
+            binmap: Arc::new(trace.binmap.clone()),
         }
     }
 }
@@ -690,7 +696,7 @@ impl StreamIngestor {
     pub fn snapshot(&self, duration: f64) -> ProfileSet {
         let bw = self.bw_context(duration);
         let mut sites = Vec::new();
-        for (site, stack) in &self.meta.stacks {
+        for (site, stack) in self.meta.stacks.iter() {
             if let Some(p) = self.build_site(*site, stack.clone(), duration, &bw) {
                 sites.push(p);
             }
@@ -702,7 +708,7 @@ impl StreamIngestor {
             sites,
             bw_series: bw.series,
             peak_bw: bw.peak,
-            binmap: self.meta.binmap.clone(),
+            binmap: (*self.meta.binmap).clone(),
         }
     }
 
@@ -783,11 +789,11 @@ mod tests {
             sampling_hz: 100.0,
             load_sample_period: 10.0,
             store_sample_period: 5.0,
-            stacks: vec![
+            stacks: Arc::new(vec![
                 (SiteId(0), CallStack::new(vec![Frame::new(ModuleId(0), 0x10)])),
                 (SiteId(1), CallStack::new(vec![Frame::new(ModuleId(0), 0x20)])),
-            ],
-            binmap: BinaryMap::default(),
+            ]),
+            binmap: Arc::new(BinaryMap::default()),
         }
     }
 

@@ -1,0 +1,145 @@
+//! The `stream` side: replay a trace against a running daemon.
+//!
+//! [`StreamClient::connect`] performs the handshake synchronously, then
+//! moves frame *reading* onto a background thread so revision pushes are
+//! drained while the caller keeps streaming — without that, a server
+//! writing revisions into a full socket buffer and a client writing
+//! events into a full socket buffer would deadlock on large traces.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::proto::{self, Frame, Mode, PROTO_VERSION};
+use crate::ServeError;
+use ecohmem_online::PlacementRevision;
+use memtrace::{TraceEvent, TraceFile};
+
+/// Everything the server sent back over one session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientOutcome {
+    /// The revision log, in tick order.
+    pub revisions: Vec<PlacementRevision>,
+    /// Revision frames received (one per acked tick, counting empties).
+    pub revision_frames: u64,
+    /// Total items the server reported shed for this tenant.
+    pub shed: u64,
+    /// The lifetime revision count from the Bye frame, when one arrived.
+    pub bye_revisions: Option<u64>,
+    /// A server Error frame, when one arrived.
+    pub error: Option<String>,
+}
+
+/// A connected tenant session.
+pub struct StreamClient {
+    sock: TcpStream,
+    mode: Mode,
+    reader: Option<std::thread::JoinHandle<ClientOutcome>>,
+}
+
+impl StreamClient {
+    /// Connects, handshakes, and starts the background reader.
+    /// `header_trace` may carry events; only its header travels.
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        mode: Mode,
+        header_trace: &TraceFile,
+    ) -> Result<StreamClient, ServeError> {
+        let mut sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        let header = proto::encode_header(&proto::header_of(header_trace))?;
+        proto::write_frame_to(
+            &mut sock,
+            &Frame::Hello { version: PROTO_VERSION, tenant: tenant.to_string(), mode, header },
+        )?;
+        match proto::read_frame_from(&mut sock)? {
+            Some(Frame::HelloAck { .. }) => {}
+            Some(Frame::Error { message }) => return Err(ServeError::Refused(message)),
+            Some(other) => {
+                return Err(ServeError::Protocol(format!("expected HelloAck, got {other:?}")))
+            }
+            None => return Err(ServeError::Protocol("server closed during handshake".into())),
+        }
+        let reader_sock = sock.try_clone()?;
+        let reader = std::thread::Builder::new()
+            .name(format!("stream-read-{tenant}"))
+            .spawn(move || collect_loop(reader_sock))
+            .expect("spawn stream reader");
+        Ok(StreamClient { sock, mode, reader: Some(reader) })
+    }
+
+    /// [`connect`](Self::connect), retrying refused connections until
+    /// `deadline` — for racing a daemon that is still booting.
+    pub fn connect_retry(
+        addr: &str,
+        tenant: &str,
+        mode: Mode,
+        header_trace: &TraceFile,
+        deadline: Duration,
+    ) -> Result<StreamClient, ServeError> {
+        let start = Instant::now();
+        loop {
+            match Self::connect(addr, tenant, mode, header_trace) {
+                Ok(c) => return Ok(c),
+                Err(ServeError::Io(_)) if start.elapsed() < deadline => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Streams one event batch.
+    pub fn send_events(&mut self, events: &[TraceEvent]) -> Result<(), ServeError> {
+        use std::io::Write;
+        self.sock.write_all(&proto::encode_events_frame(events, self.mode)).map_err(ServeError::Io)
+    }
+
+    /// Requests an advisor tick at stream time `now`.
+    pub fn tick(&mut self, now: f64) -> Result<(), ServeError> {
+        proto::write_frame_to(&mut self.sock, &Frame::Tick { now })
+    }
+
+    /// Sends Shutdown and waits for the Bye, returning everything the
+    /// server pushed over the session.
+    pub fn finish(mut self) -> Result<ClientOutcome, ServeError> {
+        proto::write_frame_to(&mut self.sock, &Frame::Shutdown)?;
+        let reader = self.reader.take().expect("reader present until finish");
+        let outcome = reader.join().map_err(|_| ServeError::Protocol("reader panicked".into()))?;
+        if let Some(msg) = &outcome.error {
+            return Err(ServeError::Refused(msg.clone()));
+        }
+        Ok(outcome)
+    }
+}
+
+impl Drop for StreamClient {
+    fn drop(&mut self) {
+        if let Some(reader) = self.reader.take() {
+            let _ = self.sock.shutdown(std::net::Shutdown::Both);
+            let _ = reader.join();
+        }
+    }
+}
+
+fn collect_loop(mut sock: TcpStream) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    loop {
+        match proto::read_frame_from(&mut sock) {
+            Ok(Some(Frame::Revisions(revs))) => {
+                out.revision_frames += 1;
+                out.revisions.extend(revs);
+            }
+            Ok(Some(Frame::Shed { dropped })) => out.shed += dropped,
+            Ok(Some(Frame::Bye { revisions })) => {
+                out.bye_revisions = Some(revisions);
+                return out;
+            }
+            Ok(Some(Frame::Error { message })) => {
+                out.error = Some(message);
+                return out;
+            }
+            Ok(Some(_)) | Ok(None) | Err(_) => return out,
+        }
+    }
+}
