@@ -1,0 +1,126 @@
+//! Fleet sweep: the default 16-node × 4-tenant mixed colocation under all
+//! three schedulers, run as one memoized parallel experiment.
+//!
+//! Every (app, grant, share) cell goes through `parallel_map` +
+//! `global_cache`, so identical cells across nodes, epochs and policies
+//! simulate once. The committed `BENCH_fleet.json` snapshot records
+//! per-policy scheduler decisions, storms and makespans (deterministic —
+//! the perf_smoke gate asserts exact equality at the default seed) plus
+//! cache hit/miss counts and simulation-event throughput for the loose
+//! perf bar.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fleet_sweep -- --jobs 4
+//! cargo run --release -p bench --bin fleet_sweep -- --out BENCH_fleet.json
+//! ECOHMEM_FLEET_SEED=7 cargo run --release -p bench --bin fleet_sweep
+//! ```
+
+use bench::{fleet_scenario, Runner, Table};
+use ecohmem_obs::Json;
+use memsim::fleet::{self, FleetResult, SchedulerPolicy};
+
+fn out_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix("--out=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Total simulation events of one result: grant decisions + epochs +
+/// storms — the unit the events/s throughput figure counts.
+pub fn sim_events(r: &FleetResult) -> u64 {
+    r.scheduler_decisions() + r.total_epochs() + r.total_storms()
+}
+
+fn main() {
+    let runner = Runner::from_env("fleet_sweep");
+    let seed = fleet_scenario::seed_from_env();
+    let mut t = Table::new(&[
+        "scheduler",
+        "makespan_s",
+        "epochs",
+        "decisions",
+        "storms",
+        "storm_gib",
+        "completed",
+        "wall_ms",
+        "events_per_s",
+    ]);
+
+    let mut policies = Vec::new();
+    let mut total_events = 0u64;
+    let started = std::time::Instant::now();
+    for policy in SchedulerPolicy::all() {
+        let (cfg, tenants) = fleet_scenario::default_scenario(policy);
+        let t0 = std::time::Instant::now();
+        let r = fleet::simulate(&cfg, &tenants, runner.jobs())
+            .expect("default fleet scenario simulates");
+        let wall = t0.elapsed().as_secs_f64();
+        let events = sim_events(&r);
+        total_events += events;
+        let rate = events as f64 / wall.max(1e-9);
+        t.row(vec![
+            policy.name().into(),
+            format!("{:.3}", r.makespan()),
+            r.total_epochs().to_string(),
+            r.scheduler_decisions().to_string(),
+            r.total_storms().to_string(),
+            format!("{:.3}", r.total_storm_bytes() as f64 / (1u64 << 30) as f64),
+            r.completed_tenants().to_string(),
+            format!("{:.1}", wall * 1e3),
+            format!("{rate:.1}"),
+        ]);
+        policies.push((
+            policy.name().to_string(),
+            Json::obj(vec![
+                ("makespan_s", Json::f64(r.makespan())),
+                ("epochs", Json::U64(r.total_epochs())),
+                ("decisions", Json::U64(r.scheduler_decisions())),
+                ("storms", Json::U64(r.total_storms())),
+                ("storm_bytes", Json::U64(r.total_storm_bytes())),
+                ("peak_pressure", Json::f64(r.peak_pressure())),
+                ("completed", Json::U64(r.completed_tenants())),
+                ("wall_s", Json::f64(wall)),
+                ("events_per_sec", Json::f64(rate)),
+            ]),
+        ));
+    }
+    let total_wall = started.elapsed().as_secs_f64();
+    println!("{}", t.render());
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ecohmem.bench_fleet/1")),
+        (
+            "scenario",
+            Json::obj(vec![
+                ("nodes", Json::U64(fleet_scenario::DEFAULT_NODES as u64)),
+                ("per_node", Json::U64(fleet_scenario::DEFAULT_PER_NODE as u64)),
+                ("seed", Json::U64(seed)),
+                ("spread_s", Json::f64(fleet_scenario::DEFAULT_SPREAD_S)),
+                ("machine", Json::str("optane-pmem6")),
+            ]),
+        ),
+        ("policies", Json::Obj(policies)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::U64(runner.cache_hits())),
+                ("misses", Json::U64(runner.cache_misses())),
+            ]),
+        ),
+        ("events", Json::U64(total_events)),
+        ("events_per_sec", Json::f64(total_events as f64 / total_wall.max(1e-9))),
+        ("jobs", Json::U64(runner.jobs() as u64)),
+    ]);
+    let path = out_path().unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    std::fs::write(&path, doc.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("[fleet_sweep] wrote {path}");
+    runner.report();
+}

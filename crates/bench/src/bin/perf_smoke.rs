@@ -16,14 +16,23 @@
 //! the baseline rate fails the gate even if absolute stage time stayed
 //! under the 2× bar.
 //!
+//! The gate also freezes the *fleet* sweep against `BENCH_fleet.json`
+//! (when present): the default 16×4 paper-greedy scenario must reproduce
+//! the baseline's scheduler decisions, epochs, storms and completions
+//! *exactly* — the simulation is deterministic, so any drift is a
+//! correctness bug, not noise — and its simulation-event throughput must
+//! stay above 0.3× the baseline rate.
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf_smoke -- --jobs 4
 //! cargo run --release -p bench --bin perf_smoke -- --baseline BENCH_pipeline.json
+//! cargo run --release -p bench --bin perf_smoke -- --fleet-baseline BENCH_fleet.json
 //! ```
 
-use bench::{Runner, Table};
+use bench::{fleet_scenario, Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 use ecohmem_obs::Json;
+use memsim::fleet::{self, SchedulerPolicy};
 
 /// Stages gated by this bin. Only the analyzer/sampler hot path is held
 /// to the bar: engine simulation time scales with model content, which
@@ -33,20 +42,29 @@ const MAX_REGRESSION: f64 = 2.0;
 /// Synthesize throughput may not fall below this fraction of the
 /// baseline events/second.
 const MIN_THROUGHPUT_FRACTION: f64 = 0.5;
+/// Fleet simulation-event throughput may not fall below this fraction of
+/// the baseline rate (loose: fleet walls are sub-second, so scheduling
+/// noise is proportionally larger than on the pipeline stages).
+const MIN_FLEET_THROUGHPUT_FRACTION: f64 = 0.3;
 
-fn baseline_path() -> String {
+fn flag_path(flag: &str, default: &str) -> String {
+    let eq = format!("{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--baseline" {
+        if a == flag {
             if let Some(v) = args.next() {
                 return v;
             }
         }
-        if let Some(v) = a.strip_prefix("--baseline=") {
+        if let Some(v) = a.strip_prefix(&eq) {
             return v.to_string();
         }
     }
-    "BENCH_pipeline.json".to_string()
+    default.to_string()
+}
+
+fn baseline_path() -> String {
+    flag_path("--baseline", "BENCH_pipeline.json")
 }
 
 /// `mean_ns` of `stage` inside a `RunMetrics` document.
@@ -123,10 +141,80 @@ fn main() {
         }
         _ => eprintln!("[perf_smoke] baseline lacks synthesize throughput data; skipping it"),
     }
+    failed |= fleet_gate(&mut t, runner.jobs());
     println!("{}", t.render());
     runner.report();
     if failed {
         eprintln!("[perf_smoke] hot-path stage regressed more than {MAX_REGRESSION}x vs {path}");
         std::process::exit(1);
     }
+}
+
+/// Replays the default paper-greedy fleet scenario against the frozen
+/// `BENCH_fleet.json` baseline. Deterministic figures (decisions, epochs,
+/// storms, completions) must match exactly; throughput is gated loosely.
+/// Returns true on failure; a missing baseline or a non-default seed
+/// skips the gate.
+fn fleet_gate(t: &mut Table, jobs: usize) -> bool {
+    let path = flag_path("--fleet-baseline", "BENCH_fleet.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[perf_smoke] no fleet baseline at {path} ({e}); skipping fleet gate");
+            return false;
+        }
+    };
+    let root = Json::parse(&text).expect("fleet baseline parses as JSON");
+    let seed = fleet_scenario::seed_from_env();
+    if root.get("scenario").and_then(|s| s.get("seed")).and_then(Json::as_u64) != Some(seed) {
+        eprintln!("[perf_smoke] fleet baseline is for another seed; skipping fleet gate");
+        return false;
+    }
+    let Some(base) = root.get("policies").and_then(|p| p.get("paper-greedy")) else {
+        eprintln!("[perf_smoke] fleet baseline has no paper-greedy entry; skipping fleet gate");
+        return false;
+    };
+
+    let (cfg, tenants) = fleet_scenario::default_scenario(SchedulerPolicy::PaperGreedy);
+    let started = std::time::Instant::now();
+    let r = fleet::simulate(&cfg, &tenants, jobs).expect("default fleet scenario simulates");
+    let wall = started.elapsed().as_secs_f64();
+    let events = r.scheduler_decisions() + r.total_epochs() + r.total_storms();
+    let rate = events as f64 / wall.max(1e-9);
+
+    let mut failed = false;
+    let exact: [(&str, u64); 4] = [
+        ("fleet decisions", r.scheduler_decisions()),
+        ("fleet epochs", r.total_epochs()),
+        ("fleet storms", r.total_storms()),
+        ("fleet completed", r.completed_tenants()),
+    ];
+    let keys = ["decisions", "epochs", "storms", "completed"];
+    for ((label, fresh), key) in exact.into_iter().zip(keys) {
+        let Some(want) = base.get(key).and_then(Json::as_u64) else {
+            eprintln!("[perf_smoke] fleet baseline has no {key}; skipping it");
+            continue;
+        };
+        let ok = fresh == want;
+        failed |= !ok;
+        t.row(vec![
+            label.into(),
+            want.to_string(),
+            fresh.to_string(),
+            if ok { "==" } else { "!=" }.into(),
+            if ok { "ok" } else { "DIVERGED" }.into(),
+        ]);
+    }
+    if let Some(base_rate) = base.get("events_per_sec").and_then(Json::as_f64) {
+        let ok = rate >= base_rate * MIN_FLEET_THROUGHPUT_FRACTION;
+        failed |= !ok;
+        t.row(vec![
+            "fleet events/s".into(),
+            format!("{base_rate:.0}"),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / base_rate.max(1.0)),
+            if ok { "ok" } else { "REGRESSED" }.into(),
+        ]);
+    }
+    failed
 }

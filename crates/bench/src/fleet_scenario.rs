@@ -1,0 +1,55 @@
+//! The pinned fleet scenario shared by the `fleet_sweep` bench, the
+//! `perf_smoke` fleet gate, and the golden snapshot test: one definition,
+//! so the frozen `BENCH_fleet.json` baseline and the fresh runs it gates
+//! can never drift apart silently.
+
+use memsim::fleet::{ChurnConfig, FleetConfig, SchedulerPolicy};
+use memsim::{MachineConfig, TenantSpec};
+use workloads::colocations;
+
+/// Nodes in the default sweep scenario.
+pub const DEFAULT_NODES: u32 = 16;
+/// Co-resident tenants per node.
+pub const DEFAULT_PER_NODE: usize = 4;
+/// Churn seed; override with `ECOHMEM_FLEET_SEED` in the seed-matrix CI
+/// job (the baseline equality gate only applies at the default seed).
+pub const DEFAULT_SEED: u64 = 0xEC0;
+/// Arrivals spread over this many seconds of simulated time.
+pub const DEFAULT_SPREAD_S: f64 = 5.0;
+
+/// Churn seed from `ECOHMEM_FLEET_SEED`, defaulting to [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    std::env::var("ECOHMEM_FLEET_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+/// Builds the scenario: `nodes` × `per_node` rotated mixed
+/// minife/lulesh/hpcg/phaseshift colocations on the paper's PMem-6 node,
+/// 1 GiB grant quanta, seeded arrival churn.
+pub fn scenario(
+    nodes: u32,
+    per_node: usize,
+    scheduler: SchedulerPolicy,
+    seed: u64,
+) -> (FleetConfig, Vec<TenantSpec>) {
+    let mut cfg = FleetConfig::new(MachineConfig::optane_pmem6(), nodes, scheduler);
+    cfg.quantum_bytes = 1 << 30;
+    cfg.churn = ChurnConfig { seed, arrival_spread_s: DEFAULT_SPREAD_S };
+    (cfg, colocations::mixed_colocations(nodes, per_node))
+}
+
+/// The default 16-node × 4-tenant sweep cell for `scheduler`.
+pub fn default_scenario(scheduler: SchedulerPolicy) -> (FleetConfig, Vec<TenantSpec>) {
+    scenario(DEFAULT_NODES, DEFAULT_PER_NODE, scheduler, seed_from_env())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_validates() {
+        let (cfg, tenants) = default_scenario(SchedulerPolicy::PaperGreedy);
+        cfg.validate().unwrap();
+        assert_eq!(tenants.len(), DEFAULT_NODES as usize * DEFAULT_PER_NODE);
+    }
+}

@@ -3,6 +3,7 @@
 //! One binary per paper table/figure (see `src/bin/`), plus shared table
 //! formatting helpers and the parallel memoizing experiment runner here.
 
+pub mod fleet_scenario;
 pub mod runner;
 pub mod table;
 

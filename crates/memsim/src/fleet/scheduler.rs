@@ -1,0 +1,230 @@
+//! Fleet schedulers: who gets fast-tier bytes when everyone wants them.
+//!
+//! All three policies work in integer *quanta* (`quantum_bytes`-sized
+//! units) so grant arithmetic is exact and deterministic — no f64
+//! apportioning that could round differently across platforms. Every
+//! resident is guaranteed one quantum (a zero-capacity fast tier would not
+//! validate as a machine), demands are capped at the tenant's high-water
+//! mark, and leftovers stay unassigned — headroom for future arrivals.
+
+use crate::stablehash::{Hasher, StableHash};
+
+/// How the fleet scheduler trades fast-tier capacity across co-resident
+/// tenants on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerPolicy {
+    /// Strict priority: highest priority first takes its full demand.
+    Priority,
+    /// Weighted proportional share (weight = priority + 1), integer
+    /// largest-remainder apportioning with demand caps.
+    ProportionalShare,
+    /// The paper's greedy spirit at fleet scope: rank tenants by static
+    /// miss density per byte (total LLC/L1D misses ÷ high-water mark) and
+    /// satisfy the densest first — DRAM goes where it saves the most
+    /// stalls per byte, mirroring the object-level knapsack.
+    PaperGreedy,
+}
+
+impl SchedulerPolicy {
+    /// Stable lowercase name used in tags, tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Priority => "priority",
+            SchedulerPolicy::ProportionalShare => "proportional-share",
+            SchedulerPolicy::PaperGreedy => "paper-greedy",
+        }
+    }
+
+    /// Parses a CLI spelling of a policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "priority" => Some(SchedulerPolicy::Priority),
+            "proportional-share" | "proportional" | "share" => {
+                Some(SchedulerPolicy::ProportionalShare)
+            }
+            "paper-greedy" | "greedy" | "paper" => Some(SchedulerPolicy::PaperGreedy),
+            _ => None,
+        }
+    }
+
+    /// All policies, in a fixed report order.
+    pub fn all() -> [SchedulerPolicy; 3] {
+        [
+            SchedulerPolicy::Priority,
+            SchedulerPolicy::ProportionalShare,
+            SchedulerPolicy::PaperGreedy,
+        ]
+    }
+}
+
+impl StableHash for SchedulerPolicy {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.tag_variant(match self {
+            SchedulerPolicy::Priority => 0,
+            SchedulerPolicy::ProportionalShare => 1,
+            SchedulerPolicy::PaperGreedy => 2,
+        });
+    }
+}
+
+/// One resident tenant's demand, in canonical (name-sorted) node order.
+#[derive(Debug, Clone, Copy)]
+pub struct Demand {
+    /// Fast-tier quanta the tenant can use (⌈high-water mark / quantum⌉,
+    /// at least 1).
+    pub quanta: u64,
+    /// Scheduling weight: `priority + 1` so priority 0 still gets share.
+    pub weight: u64,
+    /// Static miss density per byte, for [`SchedulerPolicy::PaperGreedy`].
+    pub density: f64,
+}
+
+/// Computes per-resident grants in quanta. `demands` is in canonical node
+/// order; the result is index-aligned with it. Requires
+/// `total_quanta >= demands.len()` (validated by the fleet config) so the
+/// one-quantum floor is always satisfiable.
+pub fn grants(policy: SchedulerPolicy, demands: &[Demand], total_quanta: u64) -> Vec<u64> {
+    let n = demands.len() as u64;
+    assert!(total_quanta >= n, "fast tier too small: {total_quanta} quanta for {n} residents");
+    if demands.is_empty() {
+        return Vec::new();
+    }
+    // Everyone starts at the one-quantum floor; policies hand out the rest.
+    let mut out = vec![1u64; demands.len()];
+    let spare = total_quanta - n;
+    match policy {
+        SchedulerPolicy::Priority => fill_in_order(demands, &mut out, spare, |a, b| {
+            demands[b].weight.cmp(&demands[a].weight).then(a.cmp(&b))
+        }),
+        SchedulerPolicy::PaperGreedy => fill_in_order(demands, &mut out, spare, |a, b| {
+            demands[b].density.total_cmp(&demands[a].density).then(a.cmp(&b))
+        }),
+        SchedulerPolicy::ProportionalShare => proportional(demands, &mut out, spare),
+    }
+    out
+}
+
+/// Greedy fill: sort residents by `cmp`, satisfy each one's remaining
+/// demand fully before moving on.
+fn fill_in_order(
+    demands: &[Demand],
+    out: &mut [u64],
+    mut spare: u64,
+    cmp: impl Fn(usize, usize) -> std::cmp::Ordering,
+) {
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|a, b| cmp(*a, *b));
+    for i in order {
+        let want = demands[i].quanta.saturating_sub(out[i]);
+        let take = want.min(spare);
+        out[i] += take;
+        spare -= take;
+        if spare == 0 {
+            break;
+        }
+    }
+}
+
+/// Weighted largest-remainder apportioning with demand caps. Capped
+/// residents release their excess, which is re-apportioned among the
+/// still-uncapped — at most `n` rounds, all in integer arithmetic.
+fn proportional(demands: &[Demand], out: &mut [u64], mut spare: u64) {
+    let mut open: Vec<usize> = (0..demands.len()).filter(|&i| demands[i].quanta > out[i]).collect();
+    while spare > 0 && !open.is_empty() {
+        let total_w: u64 = open.iter().map(|&i| demands[i].weight.max(1)).sum();
+        // floor share + largest remainder, ties to the lower index.
+        let mut floors: Vec<(usize, u64, u64)> = open
+            .iter()
+            .map(|&i| {
+                let w = demands[i].weight.max(1);
+                let exact = spare as u128 * w as u128;
+                ((exact / total_w as u128) as u64, (exact % total_w as u128) as u64, i)
+            })
+            .map(|(f, r, i)| (i, f, r))
+            .collect();
+        let mut leftover = spare - floors.iter().map(|&(_, f, _)| f).sum::<u64>();
+        floors.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        for entry in floors.iter_mut() {
+            if leftover == 0 {
+                break;
+            }
+            entry.1 += 1;
+            leftover -= 1;
+        }
+        spare = 0;
+        for (i, add, _) in floors {
+            let want = demands[i].quanta - out[i];
+            let take = add.min(want);
+            out[i] += take;
+            spare += add - take; // capped excess goes back in the pool
+        }
+        open.retain(|&i| demands[i].quanta > out[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(quanta: u64, weight: u64, density: f64) -> Demand {
+        Demand { quanta, weight, density }
+    }
+
+    #[test]
+    fn everyone_gets_the_floor() {
+        for p in SchedulerPolicy::all() {
+            let g = grants(p, &[d(10, 1, 1.0), d(10, 9, 9.0), d(10, 5, 5.0)], 3);
+            assert_eq!(g, vec![1, 1, 1], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn priority_fills_highest_weight_first() {
+        let g = grants(SchedulerPolicy::Priority, &[d(10, 1, 0.0), d(10, 3, 0.0)], 12);
+        assert_eq!(g, vec![2, 10]);
+    }
+
+    #[test]
+    fn greedy_fills_densest_first() {
+        let g = grants(SchedulerPolicy::PaperGreedy, &[d(10, 3, 0.5), d(10, 1, 2.0)], 12);
+        assert_eq!(g, vec![2, 10]);
+    }
+
+    #[test]
+    fn proportional_respects_weights_and_caps() {
+        // weights 1:3 over 8 spare → 2:6, within caps.
+        let g = grants(SchedulerPolicy::ProportionalShare, &[d(10, 1, 0.0), d(10, 3, 0.0)], 10);
+        assert_eq!(g, vec![3, 7]);
+        // Cap releases excess to the open resident.
+        let g = grants(SchedulerPolicy::ProportionalShare, &[d(2, 2, 0.0), d(20, 0, 0.0)], 12);
+        assert_eq!(g, vec![2, 10]);
+    }
+
+    #[test]
+    fn grants_never_exceed_total_or_demand() {
+        for p in SchedulerPolicy::all() {
+            let demands = [d(3, 1, 0.1), d(7, 4, 0.9), d(2, 2, 0.4), d(9, 0, 0.2)];
+            for total in 4..30 {
+                let g = grants(p, &demands, total);
+                assert!(g.iter().sum::<u64>() <= total, "{p:?} total={total}");
+                for (gi, di) in g.iter().zip(demands.iter()) {
+                    assert!(*gi >= 1 && *gi <= di.quanta.max(1), "{p:?} total={total}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let g = grants(SchedulerPolicy::Priority, &[d(10, 5, 0.0), d(10, 5, 0.0)], 11);
+        assert_eq!(g, vec![10, 1], "equal priority: earlier canonical index first");
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for p in SchedulerPolicy::all() {
+            assert_eq!(SchedulerPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SchedulerPolicy::parse("nope"), None);
+    }
+}

@@ -25,6 +25,7 @@ pub mod cache;
 pub mod counters;
 pub mod curve;
 pub mod engine;
+pub mod fleet;
 pub mod heap;
 pub mod kinds;
 pub mod machine;
@@ -39,6 +40,9 @@ pub use cache::{CacheModelCfg, CacheSplit};
 pub use counters::{FunctionStats, ObjectRecord, PhaseStats, RunResult};
 pub use curve::LatencyCurve;
 pub use engine::{run, run_invocations, ExecMode};
+pub use fleet::{
+    ChurnConfig, FleetConfig, FleetResult, NodeResult, SchedulerPolicy, TenantOutcome, TenantSpec,
+};
 pub use heap::TierHeap;
 pub use kinds::{Kind, KindRegistry};
 pub use machine::MachineConfig;
@@ -49,6 +53,6 @@ pub use policy::{
 };
 pub use runner::{
     arm_kill_point, disarm_kill_point, global_cache, jobs_from_env, kill_point_tick, parallel_map,
-    stable_hash, RunCache, RunKey, KILL_POINT_PAYLOAD,
+    stable_hash, FleetCellKey, RunCache, RunKey, KILL_POINT_PAYLOAD,
 };
 pub use tier::{TierKind, TierSpec};

@@ -49,6 +49,26 @@ const _: () = {
 
 pub use crate::stablehash::stable_hash;
 
+/// Structural identity of the fleet cell a run was simulated inside.
+///
+/// A fleet cell is one tenant's slice of one node under one scheduler: the
+/// same app on the same *sliced* machine can legitimately produce different
+/// results standalone vs inside a colocation (the slice machine differs),
+/// but the cache must also never alias two fleet cells whose colocation
+/// context differs even when the slice happens to coincide. Both hashes are
+/// `stable_hash` values over structural fleet state (see
+/// `fleet::cell_key`), so new fleet-config fields flow into the key via
+/// `StableHash`'s exhaustive-destructure impls — forgetting one is a
+/// compile error there, not a silent cache alias here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetCellKey {
+    /// `stable_hash` of the canonical colocation mix the tenant runs in
+    /// (resident apps, grants and shares, in canonical resident order).
+    pub colocation: u64,
+    /// `stable_hash` of the fleet scheduler configuration.
+    pub scheduler: u64,
+}
+
 /// Content-addressed identity of one engine run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunKey {
@@ -61,10 +81,15 @@ pub struct RunKey {
     /// Caller-chosen tag that fully determines the policy's behaviour
     /// (e.g. `fixed:dram`, `fixed:dram>pmem`).
     pub policy: String,
+    /// Fleet cell context, `None` for standalone single-machine runs.
+    /// Keeps warmed single-node cache entries from ever satisfying a
+    /// fleet lookup (and vice versa), and separates colocation mixes.
+    pub fleet: Option<FleetCellKey>,
 }
 
 impl RunKey {
-    /// Derives the key for a `(app, machine, mode, policy)` combination.
+    /// Derives the key for a standalone `(app, machine, mode, policy)`
+    /// combination.
     pub fn new(
         app: &AppModel,
         machine: &MachineConfig,
@@ -77,7 +102,14 @@ impl RunKey {
             machine: stable_hash(machine),
             mode,
             policy: policy_tag.into(),
+            fleet: None,
         }
+    }
+
+    /// Rekeys this run as belonging to a fleet cell.
+    pub fn with_fleet(mut self, cell: FleetCellKey) -> Self {
+        self.fleet = Some(cell);
+        self
     }
 }
 
@@ -324,14 +356,25 @@ mod tests {
     #[test]
     fn run_keys_separate_modes_and_policies() {
         let m = MachineConfig::optane_pmem6();
-        let mk =
-            |mode, tag: &str| RunKey { app: 1, machine: stable_hash(&m), mode, policy: tag.into() };
+        let mk = |mode, tag: &str| RunKey {
+            app: 1,
+            machine: stable_hash(&m),
+            mode,
+            policy: tag.into(),
+            fleet: None,
+        };
         assert_ne!(mk(ExecMode::AppDirect, "fixed:dram"), mk(ExecMode::MemoryMode, "fixed:dram"));
         assert_ne!(
             mk(ExecMode::AppDirect, "fixed:dram"),
             mk(ExecMode::AppDirect, "fixed:dram>pmem")
         );
         assert_eq!(mk(ExecMode::AppDirect, "fixed:dram"), mk(ExecMode::AppDirect, "fixed:dram"));
+        // Fleet cells never alias the standalone key, nor each other.
+        let base = mk(ExecMode::AppDirect, "fixed:dram");
+        let cell = |c, s| FleetCellKey { colocation: c, scheduler: s };
+        assert_ne!(base.clone().with_fleet(cell(1, 2)), base);
+        assert_ne!(base.clone().with_fleet(cell(1, 2)), base.clone().with_fleet(cell(3, 2)));
+        assert_ne!(base.clone().with_fleet(cell(1, 2)), base.clone().with_fleet(cell(1, 4)));
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl Hasher {
         self.state ^= self.state >> 29;
     }
 
+    /// Feeds the struct shape tag. External `StableHash` impls (e.g. the
+    /// fleet configuration types) call this before hashing their fields so
+    /// they mix exactly like the in-module `hash_fields!` expansions.
+    pub fn tag_struct(&mut self) {
+        self.word(TAG_STRUCT);
+    }
+
+    /// Feeds an enum variant tag with its ordinal.
+    pub fn tag_variant(&mut self, ordinal: u64) {
+        self.word(TAG_VARIANT);
+        self.word(ordinal);
+    }
+
     fn bytes(&mut self, b: &[u8]) {
         self.word(b.len() as u64);
         let mut chunks = b.chunks_exact(8);
@@ -159,6 +172,16 @@ impl<A: StableHash, B: StableHash> StableHash for (A, B) {
         h.word(2);
         self.0.hash_into(h);
         self.1.hash_into(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash> StableHash for (A, B, C) {
+    fn hash_into(&self, h: &mut Hasher) {
+        h.word(TAG_SEQ);
+        h.word(3);
+        self.0.hash_into(h);
+        self.1.hash_into(h);
+        self.2.hash_into(h);
     }
 }
 

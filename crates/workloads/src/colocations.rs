@@ -1,0 +1,97 @@
+//! Colocation builders: mixed multi-tenant workload placements for the
+//! fleet simulator.
+//!
+//! A *mix* is an ordered list of workload names; [`colocate`] stamps the
+//! mix onto every node, and [`mixed_colocations`] rotates the mix by one
+//! slot per node so neighbouring nodes host different tenant orders —
+//! cheap heterogeneity without any randomness. Tenant names are
+//! `{app}@n{node}.{slot}` (fleet-wide unique by construction) and slot
+//! order doubles as priority (slot 0 highest), giving the priority
+//! scheduler something meaningful on every node.
+
+use crate::model_by_name;
+use memsim::TenantSpec;
+
+/// The canonical mixed colocation of ROADMAP item 2: one memory hog
+/// (minife), one bandwidth-bound solver (lulesh), one latency-bound
+/// sparse code (hpcg), and the phase-shifting adversary (phaseshift).
+pub const MIXED: [&str; 4] = ["minife", "lulesh", "hpcg", "phaseshift"];
+
+/// Builds one tenant for `app` in `slot` on `node`. Returns `None` for an
+/// unknown workload name.
+pub fn tenant(app: &str, node: u32, slot: usize) -> Option<TenantSpec> {
+    let model = model_by_name(app)?;
+    let mut t = TenantSpec::new(format!("{app}@n{node}.{slot}"), model, node);
+    // Slot 0 is the node's anchor tenant: highest priority, descending
+    // from there (floor 0 keeps u8 arithmetic safe past 9 slots).
+    t.priority = 9u8.saturating_sub(slot as u8);
+    Some(t)
+}
+
+/// The same `mix`, in order, on every one of `nodes` nodes.
+///
+/// Errors on the first unknown workload name.
+pub fn colocate(nodes: u32, mix: &[&str]) -> Result<Vec<TenantSpec>, String> {
+    let mut out = Vec::with_capacity(nodes as usize * mix.len());
+    for node in 0..nodes {
+        for (slot, app) in mix.iter().enumerate() {
+            out.push(tenant(app, node, slot).ok_or_else(|| format!("unknown workload {app:?}"))?);
+        }
+    }
+    Ok(out)
+}
+
+/// `per_node` tenants per node drawn from [`MIXED`], with the mix rotated
+/// by one position per node (node `n` starts at `MIXED[n % 4]`).
+pub fn mixed_colocations(nodes: u32, per_node: usize) -> Vec<TenantSpec> {
+    let mut out = Vec::with_capacity(nodes as usize * per_node);
+    for node in 0..nodes {
+        for slot in 0..per_node {
+            let app = MIXED[(node as usize + slot) % MIXED.len()];
+            out.push(tenant(app, node, slot).expect("MIXED names are all known"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_names_all_resolve() {
+        for app in MIXED {
+            assert!(model_by_name(app).is_some(), "{app} must be a known workload");
+        }
+    }
+
+    #[test]
+    fn colocate_is_nodes_times_mix() {
+        let t = colocate(3, &["minife", "hpcg"]).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].name, "minife@n0.0");
+        assert_eq!(t[5].name, "hpcg@n2.1");
+        assert!(t[0].priority > t[1].priority);
+        assert!(colocate(1, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn tenant_names_are_fleet_unique() {
+        let t = mixed_colocations(16, 4);
+        assert_eq!(t.len(), 64);
+        let names: std::collections::HashSet<&str> = t.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names.len(), t.len());
+    }
+
+    #[test]
+    fn rotation_varies_the_anchor_tenant() {
+        let t = mixed_colocations(4, 4);
+        let anchors: Vec<&str> =
+            t.iter().filter(|x| x.name.ends_with(".0")).map(|x| x.name.as_str()).collect();
+        assert_eq!(
+            anchors,
+            vec!["minife@n0.0", "lulesh@n1.0", "hpcg@n2.0", "phaseshift@n3.0"],
+            "each node anchors a different workload"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod builder;
 pub mod cloverleaf3d;
+pub mod colocations;
 pub mod granularity;
 pub mod hpcg;
 pub mod lammps;
