@@ -23,13 +23,19 @@
 //! correctness bug, not noise — and its simulation-event throughput must
 //! stay above 0.3× the baseline rate.
 //!
+//! Finally the gate drives the serve daemon over real TCP against
+//! `BENCH_serve.json` (when present): a 1000-tenant blast through the
+//! event-driven reactor must complete every session, reproduce the
+//! isolated revision logs byte-for-byte on the per-shape probes, and
+//! hold event throughput above 0.3× the committed 10k-tenant rate.
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf_smoke -- --jobs 4
 //! cargo run --release -p bench --bin perf_smoke -- --baseline BENCH_pipeline.json
 //! cargo run --release -p bench --bin perf_smoke -- --fleet-baseline BENCH_fleet.json
 //! ```
 
-use bench::{fleet_scenario, Runner, Table};
+use bench::{fleet_scenario, serve_scenario, Runner, Table};
 use ecohmem_core::{run_pipeline, PipelineConfig};
 use ecohmem_obs::Json;
 use memsim::fleet::{self, SchedulerPolicy};
@@ -46,6 +52,14 @@ const MIN_THROUGHPUT_FRACTION: f64 = 0.5;
 /// the baseline rate (loose: fleet walls are sub-second, so scheduling
 /// noise is proportionally larger than on the pipeline stages).
 const MIN_FLEET_THROUGHPUT_FRACTION: f64 = 0.3;
+/// Served event throughput (TCP reactor) may not fall below this
+/// fraction of the committed `BENCH_serve.json` 10k-tenant rate. Loose
+/// for the same reason as the fleet gate — a lost reactor fast path
+/// shows up as 10–100×, never 3×.
+const MIN_SERVE_THROUGHPUT_FRACTION: f64 = 0.3;
+/// Tenants the serve gate drives over TCP — small enough to finish in
+/// well under a second, large enough to exercise the rolling window.
+const SERVE_GATE_TENANTS: usize = 1000;
 
 fn flag_path(flag: &str, default: &str) -> String {
     let eq = format!("{flag}=");
@@ -142,6 +156,7 @@ fn main() {
         _ => eprintln!("[perf_smoke] baseline lacks synthesize throughput data; skipping it"),
     }
     failed |= fleet_gate(&mut t, runner.jobs());
+    failed |= serve_gate(&mut t, runner.jobs());
     println!("{}", t.render());
     runner.report();
     if failed {
@@ -216,5 +231,77 @@ fn fleet_gate(t: &mut Table, jobs: usize) -> bool {
             if ok { "ok" } else { "REGRESSED" }.into(),
         ]);
     }
+    failed
+}
+
+/// Drives [`SERVE_GATE_TENANTS`] scripted sessions over real TCP against
+/// the reactor daemon (the exact `serve_load` workload, scaled down) and
+/// gates on three things: zero failed sessions, zero divergent probe
+/// logs, and event throughput above [`MIN_SERVE_THROUGHPUT_FRACTION`] of
+/// the committed `BENCH_serve.json` 10k-tenant rate. Returns true on
+/// failure; a missing baseline skips the gate.
+fn serve_gate(t: &mut Table, jobs: usize) -> bool {
+    let path = flag_path("--serve-baseline", "BENCH_serve.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[perf_smoke] no serve baseline at {path} ({e}); skipping serve gate");
+            return false;
+        }
+    };
+    let root = Json::parse(&text).expect("serve baseline parses as JSON");
+    let base_rate = root
+        .get("scenarios")
+        .and_then(|s| s.get("tenants_10000"))
+        .and_then(|s| s.get("events_per_sec"))
+        .and_then(Json::as_f64);
+    let Some(base_rate) = base_rate else {
+        eprintln!("[perf_smoke] serve baseline has no tenants_10000 rate; skipping serve gate");
+        return false;
+    };
+
+    let traces = serve_scenario::shape_traces();
+    let reference = serve_scenario::reference_logs(&traces);
+    let r = serve_scenario::run_tcp_fleet(
+        SERVE_GATE_TENANTS,
+        jobs.clamp(1, 4),
+        2,
+        None,
+        &traces,
+        &reference,
+    );
+
+    let mut failed = false;
+    let sessions_ok = r.failed == 0 && r.completed == SERVE_GATE_TENANTS;
+    failed |= !sessions_ok;
+    t.row(vec![
+        "serve sessions".into(),
+        SERVE_GATE_TENANTS.to_string(),
+        format!("{} ok / {} failed", r.completed, r.failed),
+        if sessions_ok { "==" } else { "!=" }.into(),
+        if sessions_ok { "ok" } else { "FAILED" }.into(),
+    ]);
+    if !sessions_ok && !r.errors.is_empty() {
+        eprintln!("[perf_smoke] serve session failures: {:?}", r.errors);
+    }
+    let diverge_ok = r.divergent == 0;
+    failed |= !diverge_ok;
+    t.row(vec![
+        "serve divergence".into(),
+        "0".into(),
+        r.divergent.to_string(),
+        if diverge_ok { "==" } else { "!=" }.into(),
+        if diverge_ok { "ok" } else { "DIVERGED" }.into(),
+    ]);
+    let rate = r.events_per_sec();
+    let rate_ok = rate >= base_rate * MIN_SERVE_THROUGHPUT_FRACTION;
+    failed |= !rate_ok;
+    t.row(vec![
+        "serve events/s".into(),
+        format!("{:.1}M", base_rate / 1e6),
+        format!("{:.1}M", rate / 1e6),
+        format!("{:.2}x", rate / base_rate.max(1.0)),
+        if rate_ok { "ok" } else { "REGRESSED" }.into(),
+    ]);
     failed
 }

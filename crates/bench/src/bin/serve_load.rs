@@ -1,7 +1,7 @@
-//! `serve_load` — load harness for the multi-tenant advisor daemon core.
+//! `serve_load` — load harness for the multi-tenant advisor daemon.
 //!
-//! Drives synthetic tenants through an in-process [`ServiceCore`] (no
-//! TCP — this measures the service, not the loopback stack) and reports:
+//! Drives synthetic tenants through an in-process [`ServiceCore`]
+//! (measuring the service, not the loopback stack) and reports:
 //!
 //! * sustained throughput (ticks/s, events/s) at 100 and 1000 concurrent
 //!   tenants;
@@ -14,128 +14,30 @@
 //!   runs alongside normal tenants; the normal tenants' p99 must stay
 //!   within 2× the solo baseline.
 //!
+//! The headline scenario goes the rest of the way: **10,000 tenants over
+//! real TCP** against the event-driven reactor, driven by the
+//! single-threaded [`ecohmem_serve::blast`] poll loop so the driver
+//! never spawns per-tenant threads either. The daemon runs
+//! `io-threads + workers` threads throughout; zero divergence on the
+//! per-shape probes is a hard failure, exit 1.
+//!
 //! ```text
-//! serve_load [--workers N] [--quick] [--out FILE]
+//! serve_load [--workers N] [--io-threads N] [--window N] [--quick] [--out FILE]
 //! ```
 //!
-//! `--quick` skips the 1000-tenant scenario. `--out` writes the JSON
-//! document (schema `ecohmem.serve_load/1`) that is committed as
-//! `BENCH_serve.json`.
+//! `--quick` skips the 1000- and 10,000-tenant scenarios. `--out` writes
+//! the JSON document (schema `ecohmem.serve_load/1`) that is committed
+//! as `BENCH_serve.json`.
 
-use advisor::{AdvisorConfig, Algorithm};
+use bench::serve_scenario::{self, feed_plan, reference_logs, shape_traces, Op, DRAM_GIB, SHAPES};
 use ecohmem_obs::Json;
 use ecohmem_online::durability::queue;
-use ecohmem_online::{
-    IncrementalAdvisor, OnlineConfig, PlacementRevision, StreamIngestor, StreamMeta,
-};
+use ecohmem_online::PlacementRevision;
 use ecohmem_serve::core::{Outbound, ServeConfig, ServiceCore, TenantClient};
 use ecohmem_serve::proto;
-use memtrace::{
-    BinaryMap, CallStack, DegradationPolicy, EventBatch, Frame, FuncId, ModuleId, ObjectId, SiteId,
-    TraceEvent, TraceFile,
-};
+use memtrace::TraceFile;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-const SHAPES: usize = 4;
-const SITES: usize = 16;
-const SAMPLES: usize = 2048;
-const DRAM_GIB: u64 = 12;
-const BATCH: usize = 256;
-const TICK_STRIDE: usize = 4;
-const MIB: u64 = 1 << 20;
-
-/// Deterministic synthetic trace; the four shapes exercise different
-/// hot-set geometries so co-tenant engines never walk in lockstep.
-fn synth_trace(shape: usize) -> TraceFile {
-    let stacks: Vec<(SiteId, CallStack)> = (0..SITES)
-        .map(|i| {
-            (
-                SiteId(i as u32),
-                CallStack::new(vec![Frame::new(ModuleId(0), 0x100 + 0x10 * i as u64)]),
-            )
-        })
-        .collect();
-    let base = |site: usize| ((site as u64) + 1) << 33;
-    let size = |site: usize| (1 + ((site + shape) % 4) as u64) * 512 * MIB;
-    let mut events = Vec::new();
-    for i in 0..SITES {
-        events.push(TraceEvent::Alloc {
-            time: 0.001 * i as f64,
-            object: ObjectId(i as u64 + 1),
-            site: SiteId(i as u32),
-            size: size(i),
-            address: base(i),
-        });
-    }
-    for k in 0..SAMPLES {
-        let site = match shape {
-            0 => k % 4,
-            1 => 12 + k % 4,
-            2 => (k / 128) % SITES, // hot set rotates: a phase-shifter
-            _ => {
-                if k % 3 == 0 {
-                    k % SITES
-                } else {
-                    k % 2
-                }
-            }
-        };
-        events.push(TraceEvent::LoadMissSample {
-            time: 0.1 + 3.8 * (k as f64) / SAMPLES as f64,
-            address: base(site) + 64 * ((k % 100) as u64),
-            latency_cycles: 300.0,
-            function: FuncId(0),
-        });
-    }
-    TraceFile {
-        app_name: format!("synth{shape}"),
-        seed: shape as u64,
-        ranks: 1,
-        sampling_hz: 1000.0,
-        load_sample_period: 100.0,
-        store_sample_period: 200.0,
-        duration: 4.0,
-        stacks,
-        binmap: BinaryMap::default(),
-        events,
-    }
-}
-
-enum Op {
-    Batch(Vec<TraceEvent>),
-    Tick(f64),
-}
-
-fn feed_plan(trace: &TraceFile) -> Vec<Op> {
-    let mut ops = Vec::new();
-    let chunks: Vec<&[TraceEvent]> = trace.events.chunks(BATCH).collect();
-    for (i, chunk) in chunks.iter().enumerate() {
-        ops.push(Op::Batch(chunk.to_vec()));
-        if (i + 1) % TICK_STRIDE == 0 {
-            ops.push(Op::Tick(chunk.last().unwrap().time()));
-        }
-    }
-    ops.push(Op::Tick(trace.duration));
-    ops
-}
-
-fn isolated_run(trace: &TraceFile) -> Vec<PlacementRevision> {
-    let cfg = OnlineConfig::default();
-    let mut ingestor = StreamIngestor::new(StreamMeta::of(trace), DegradationPolicy::Strict, cfg);
-    let mut advisor = IncrementalAdvisor::new(AdvisorConfig::loads_only(DRAM_GIB), Algorithm::Base)
-        .with_hysteresis(cfg.hysteresis);
-    let mut revisions = Vec::new();
-    for op in feed_plan(trace) {
-        match op {
-            Op::Batch(events) => {
-                ingestor.push_batch(&EventBatch::from_events(&events)).unwrap();
-            }
-            Op::Tick(now) => revisions.extend(advisor.tick(&mut ingestor, now)),
-        }
-    }
-    revisions
-}
 
 /// Streams one tenant to completion, recording driver-side tick→revision
 /// latencies. Returns (latencies µs, revision log, shed count).
@@ -310,6 +212,55 @@ fn run_fleet(
     }
 }
 
+/// The headline scenario: `tenants` sessions over real TCP against the
+/// reactor, all driven from one blast thread as a rolling window sized
+/// to the fd budget. Exits the process on any failed session.
+fn run_tcp_fleet(
+    tenants: usize,
+    workers: usize,
+    io_threads: usize,
+    window_override: Option<usize>,
+    traces: &[TraceFile],
+    reference: &[Vec<u8>],
+) -> (String, Json) {
+    let r = serve_scenario::run_tcp_fleet(
+        tenants,
+        workers,
+        io_threads,
+        window_override,
+        traces,
+        reference,
+    );
+    if r.failed > 0 {
+        eprintln!("serve_load: FAIL — {} session(s) failed: {:?}", r.failed, r.errors);
+        std::process::exit(1);
+    }
+    if r.divergent > 0 {
+        eprintln!(
+            "serve_load: FAIL — {} TCP probe log(s) diverged from isolated runs",
+            r.divergent
+        );
+        std::process::exit(1);
+    }
+    let wall = r.elapsed.as_secs_f64();
+    (
+        format!("tenants_{tenants}"),
+        Json::obj(vec![
+            ("tenants", Json::U64(tenants as u64)),
+            ("workers", Json::U64(workers as u64)),
+            ("io_threads", Json::U64(io_threads as u64)),
+            ("transport", Json::str("tcp")),
+            ("concurrency_window", Json::U64(r.window as u64)),
+            ("wall_seconds", Json::F64(wall)),
+            ("events", Json::U64(r.events)),
+            ("revision_frames", Json::U64(r.revision_frames)),
+            ("shed", Json::U64(r.shed)),
+            ("events_per_sec", Json::F64(r.events_per_sec())),
+            ("divergent_tenants", Json::U64(r.divergent as u64)),
+        ]),
+    )
+}
+
 /// One tenant alone on the pool — the latency baseline the stalled-
 /// reader scenario is judged against.
 fn run_solo(workers: usize, traces: &[TraceFile]) -> Vec<u64> {
@@ -393,18 +344,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opt = |key: &str| args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned();
     let workers: usize = opt("--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let io_threads: usize = opt("--io-threads").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let window: Option<usize> = opt("--window").and_then(|v| v.parse().ok());
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = opt("--out");
 
-    let traces: Vec<TraceFile> = (0..SHAPES).map(synth_trace).collect();
-    let reference: Vec<Vec<u8>> = traces
-        .iter()
-        .map(|t| {
-            let mut bytes = Vec::new();
-            proto::encode_revisions(&isolated_run(t), &mut bytes);
-            bytes
-        })
-        .collect();
+    let traces: Vec<TraceFile> = shape_traces();
+    let reference: Vec<Vec<u8>> = reference_logs(&traces);
     eprintln!("serve_load: solo baseline (workers={workers})");
     let solo = run_solo(workers, &traces);
     let solo_p99 = quantile(&solo, 0.99);
@@ -425,6 +371,15 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    if quick {
+        eprintln!("serve_load: --quick, skipping 10000-tenant TCP scenario");
+    } else {
+        eprintln!(
+            "serve_load: 10000 tenants over TCP (io-threads={io_threads}, workers={workers})"
+        );
+        scenarios.push(run_tcp_fleet(10_000, workers, io_threads, window, &traces, &reference));
     }
 
     eprintln!("serve_load: stalled-reader isolation (workers={workers})");

@@ -5,6 +5,7 @@
 
 pub mod fleet_scenario;
 pub mod runner;
+pub mod serve_scenario;
 pub mod table;
 
 pub use runner::Runner;

@@ -1,9 +1,10 @@
 //! `ecohmem-serve` — the placement-as-a-service daemon.
 //!
 //! ```text
-//! ecohmem-serve [--listen ADDR] [--workers N] [--max-tenants N]
-//!               [--journal-dir DIR] [--dram-gib N] [--bw-aware]
-//!               [--once N] [--metrics-out FILE]
+//! ecohmem-serve [--listen ADDR] [--io-threads N] [--workers N]
+//!               [--max-tenants N] [--journal-dir DIR] [--dram-gib N]
+//!               [--bw-aware] [--once N] [--idle-timeout-secs N]
+//!               [--metrics-out FILE]
 //! ```
 //!
 //! Hosts N independent tenant sessions over the framed TCP protocol
@@ -13,13 +14,19 @@
 //! gets its own write-ahead log and checkpoints under
 //! `<DIR>/<tenant>/`. `--once N` exits after N sessions complete
 //! (for CI and scripted runs); without it the daemon serves forever.
+//!
+//! Connections are multiplexed across `--io-threads` event-driven
+//! reactor shards (default: one per core), so the daemon runs exactly
+//! `io-threads + workers` threads no matter how many tenants connect.
+//! `--idle-timeout-secs` bounds how long a silent connection may hold
+//! its slot (default 120).
 
 use cli::{ok_or_die, Args, MetricsOut};
 use ecohmem_serve::{ServeConfig, Server, ServerConfig};
 
-const USAGE: &str = "ecohmem-serve [--listen ADDR] [--workers N] [--max-tenants N] \
-                     [--journal-dir DIR] [--dram-gib N] [--bw-aware] [--once N] \
-                     [--metrics-out FILE]";
+const USAGE: &str = "ecohmem-serve [--listen ADDR] [--io-threads N] [--workers N] \
+                     [--max-tenants N] [--journal-dir DIR] [--dram-gib N] [--bw-aware] \
+                     [--once N] [--idle-timeout-secs N] [--metrics-out FILE]";
 
 fn main() {
     let args = Args::from_env();
@@ -42,13 +49,16 @@ fn main() {
     let cfg = ServerConfig {
         listen: args.opt("listen").unwrap_or("127.0.0.1:7878").to_string(),
         once: args.opt("once").and_then(|v| v.parse().ok()),
+        io_threads: args.opt_or("io-threads", 0usize),
+        idle_timeout: std::time::Duration::from_secs(args.opt_or("idle-timeout-secs", 120u64)),
         serve,
     };
     let once = cfg.once;
+    let io_threads = cfg.resolved_io_threads();
     let server = ok_or_die("ecohmem-serve", Server::bind(cfg));
     let addr = ok_or_die("ecohmem-serve", server.local_addr());
     eprintln!(
-        "ecohmem-serve: listening on {addr} (workers={n})",
+        "ecohmem-serve: listening on {addr} (io-threads={io_threads}, workers={n})",
         n = args.opt_or("workers", 2usize)
     );
     if let Some(n) = once {

@@ -5,14 +5,97 @@
 //! drained while the caller keeps streaming — without that, a server
 //! writing revisions into a full socket buffer and a client writing
 //! events into a full socket buffer would deadlock on large traces.
+//!
+//! Two sharp edges are rounded off here:
+//!
+//! * **Reconnects back off.** [`StreamClient::connect_retry`] used to
+//!   sleep a flat 100 ms between attempts — a thundering herd when a
+//!   fleet of tenants races one booting daemon. It now follows a
+//!   [`RetryPolicy`]: seeded exponential backoff with jitter and a hard
+//!   retry *budget*, so a dead daemon fails fast and deterministically
+//!   instead of spinning until the wall-clock deadline.
+//! * **Finish cannot hang.** The reader thread parks in a blocking read;
+//!   if the server never sends Bye and never closes the socket, joining
+//!   that thread blocked forever. [`StreamClient::finish`] now waits on
+//!   a channel with a deadline, and on expiry shuts the socket down
+//!   (which unblocks the read) and surfaces [`ServeError::Deadline`]
+//!   instead of hanging the caller.
 
 use std::net::TcpStream;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crate::proto::{self, Frame, Mode, PROTO_VERSION};
 use crate::ServeError;
 use ecohmem_online::PlacementRevision;
 use memtrace::{TraceEvent, TraceFile};
+
+/// How long [`StreamClient::finish`] waits for the server's Bye before
+/// force-closing the socket and reporting a deadline error.
+const FINISH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Seeded exponential backoff with a retry budget.
+///
+/// Deterministic for a given seed: the jitter comes from a xorshift
+/// stream, not the clock, so a test (or a fleet of tenants seeded by
+/// name) gets reproducible schedules that still decorrelate.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First-retry delay; doubles each attempt.
+    pub initial: Duration,
+    /// Per-attempt delay ceiling.
+    pub max_delay: Duration,
+    /// Attempt budget: give up (structured error, no hang) after this
+    /// many failed connects.
+    pub retries: u32,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Default shape: 10 ms → 1 s over a budget of 12 attempts.
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            initial: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            retries: 12,
+            seed,
+        }
+    }
+
+    /// Derives a per-tenant seed so co-starting tenants spread out.
+    pub fn for_tenant(tenant: &str) -> RetryPolicy {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in tenant.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        RetryPolicy::new(h)
+    }
+
+    /// Delay before retry `attempt` (0-based): exponential with 50–100 %
+    /// jitter, capped at `max_delay`.
+    pub fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .initial
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let nanos = exp.as_nanos() as u64;
+        let jittered = nanos / 2 + xorshift(rng) % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    // Never let the stream collapse to zero.
+    if *s == 0 {
+        *s = 0x9e3779b97f4a7c15;
+    }
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
 
 /// Everything the server sent back over one session.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,7 +116,8 @@ pub struct ClientOutcome {
 pub struct StreamClient {
     sock: TcpStream,
     mode: Mode,
-    reader: Option<std::thread::JoinHandle<ClientOutcome>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    outcome_rx: Option<mpsc::Receiver<ClientOutcome>>,
 }
 
 impl StreamClient {
@@ -61,15 +145,20 @@ impl StreamClient {
             None => return Err(ServeError::Protocol("server closed during handshake".into())),
         }
         let reader_sock = sock.try_clone()?;
+        let (tx, rx) = mpsc::channel();
         let reader = std::thread::Builder::new()
             .name(format!("stream-read-{tenant}"))
-            .spawn(move || collect_loop(reader_sock))
+            .spawn(move || {
+                let _ = tx.send(collect_loop(reader_sock));
+            })
             .expect("spawn stream reader");
-        Ok(StreamClient { sock, mode, reader: Some(reader) })
+        Ok(StreamClient { sock, mode, reader: Some(reader), outcome_rx: Some(rx) })
     }
 
-    /// [`connect`](Self::connect), retrying refused connections until
-    /// `deadline` — for racing a daemon that is still booting.
+    /// [`connect`](Self::connect) with backoff — for racing a daemon
+    /// that is still booting. Retries I/O failures under a per-tenant
+    /// seeded [`RetryPolicy`] until the policy's budget *or* `deadline`
+    /// runs out, whichever is first.
     pub fn connect_retry(
         addr: &str,
         tenant: &str,
@@ -77,12 +166,46 @@ impl StreamClient {
         header_trace: &TraceFile,
         deadline: Duration,
     ) -> Result<StreamClient, ServeError> {
+        Self::connect_retry_with(
+            addr,
+            tenant,
+            mode,
+            header_trace,
+            deadline,
+            RetryPolicy::for_tenant(tenant),
+        )
+    }
+
+    /// [`connect_retry`](Self::connect_retry) with an explicit policy.
+    pub fn connect_retry_with(
+        addr: &str,
+        tenant: &str,
+        mode: Mode,
+        header_trace: &TraceFile,
+        deadline: Duration,
+        policy: RetryPolicy,
+    ) -> Result<StreamClient, ServeError> {
         let start = Instant::now();
+        let mut rng = policy.seed;
+        let mut attempt = 0u32;
         loop {
             match Self::connect(addr, tenant, mode, header_trace) {
                 Ok(c) => return Ok(c),
-                Err(ServeError::Io(_)) if start.elapsed() < deadline => {
-                    std::thread::sleep(Duration::from_millis(100));
+                Err(ServeError::Io(e)) => {
+                    if attempt >= policy.retries {
+                        return Err(ServeError::Deadline(format!(
+                            "retry budget ({}) exhausted connecting to {addr}: {e}",
+                            policy.retries
+                        )));
+                    }
+                    let wait = policy.delay(attempt, &mut rng);
+                    if start.elapsed() + wait >= deadline {
+                        return Err(ServeError::Deadline(format!(
+                            "gave up connecting to {addr} after {attempt} retries: {e}"
+                        )));
+                    }
+                    std::thread::sleep(wait);
+                    attempt += 1;
                 }
                 Err(e) => return Err(e),
             }
@@ -100,12 +223,37 @@ impl StreamClient {
         proto::write_frame_to(&mut self.sock, &Frame::Tick { now })
     }
 
-    /// Sends Shutdown and waits for the Bye, returning everything the
-    /// server pushed over the session.
-    pub fn finish(mut self) -> Result<ClientOutcome, ServeError> {
+    /// Sends Shutdown and waits (bounded) for the Bye, returning
+    /// everything the server pushed over the session.
+    pub fn finish(self) -> Result<ClientOutcome, ServeError> {
+        self.finish_deadline(FINISH_TIMEOUT)
+    }
+
+    /// [`finish`](Self::finish) with an explicit deadline. If the server
+    /// neither sends Bye nor closes the socket in time, the read half is
+    /// shut down (unblocking the reader thread) and
+    /// [`ServeError::Deadline`] is returned instead of hanging.
+    pub fn finish_deadline(mut self, deadline: Duration) -> Result<ClientOutcome, ServeError> {
         proto::write_frame_to(&mut self.sock, &Frame::Shutdown)?;
+        let rx = self.outcome_rx.take().expect("outcome channel present until finish");
         let reader = self.reader.take().expect("reader present until finish");
-        let outcome = reader.join().map_err(|_| ServeError::Protocol("reader panicked".into()))?;
+        let outcome = match rx.recv_timeout(deadline) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Unblock the parked read, reap the thread, and report
+                // the hang as a structured error.
+                let _ = self.sock.shutdown(std::net::Shutdown::Both);
+                let _ = reader.join();
+                return Err(ServeError::Deadline(format!(
+                    "server sent no Bye within {deadline:?} of Shutdown"
+                )));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = reader.join();
+                return Err(ServeError::Protocol("reader exited without an outcome".into()));
+            }
+        };
+        let _ = reader.join();
         if let Some(msg) = &outcome.error {
             return Err(ServeError::Refused(msg.clone()));
         }
@@ -116,6 +264,8 @@ impl StreamClient {
 impl Drop for StreamClient {
     fn drop(&mut self) {
         if let Some(reader) = self.reader.take() {
+            // Both halves down → the reader's blocking read returns
+            // immediately, so this join is bounded.
             let _ = self.sock.shutdown(std::net::Shutdown::Both);
             let _ = reader.join();
         }
@@ -141,5 +291,42 @@ fn collect_loop(mut sock: TcpStream) -> ClientOutcome {
             }
             Ok(Some(_)) | Ok(None) | Err(_) => return out,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::new(42);
+        let mut a = p.seed;
+        let mut b = p.seed;
+        for attempt in 0..16 {
+            let da = p.delay(attempt, &mut a);
+            let db = p.delay(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same schedule");
+            assert!(da <= p.max_delay, "delay capped at max");
+        }
+        // Different seeds decorrelate at least somewhere in the stream.
+        let q = RetryPolicy::new(7);
+        let mut ra = p.seed;
+        let mut rb = q.seed;
+        let diverges = (0..16).any(|i| p.delay(i, &mut ra) != q.delay(i, &mut rb));
+        assert!(diverges, "distinct seeds should yield distinct jitter");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_before_cap() {
+        let p = RetryPolicy::new(1);
+        let mut rng = p.seed;
+        // Jitter is ≥ 50% of the exponential term, so attempt 6's delay
+        // (nominal 640ms) must exceed attempt 0's ceiling (10ms).
+        let d0 = p.delay(0, &mut rng);
+        let d6 = p.delay(6, &mut rng);
+        assert!(d6 > d0, "backoff must grow: {d0:?} vs {d6:?}");
+        assert!(d0 <= Duration::from_millis(10));
+        assert!(d6 >= Duration::from_millis(320));
     }
 }

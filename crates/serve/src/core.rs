@@ -131,6 +131,11 @@ enum Work {
     Finish,
 }
 
+/// Callback invoked (from worker threads) after every successful outbox
+/// push, so an event-driven transport can wake the shard that owns the
+/// connection instead of parking a thread on `outbox.recv()`.
+pub type OutboxNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// A tenant's private placement engine.
 enum Engine {
     Plain { ingestor: Box<StreamIngestor>, advisor: Box<IncrementalAdvisor>, revisions: u64 },
@@ -184,6 +189,8 @@ struct TenantState {
     shed_pending: AtomicU64,
     /// Outbound items dropped because the reader stalled (lifetime).
     stalled_drops: AtomicU64,
+    /// Transport wake-up hook, fired after each successful outbox push.
+    notify: Mutex<Option<OutboxNotify>>,
 }
 
 impl TenantState {
@@ -193,6 +200,17 @@ impl TenantState {
         if self.outbox_tx.try_send(item).is_err() {
             self.stalled_drops.fetch_add(1, Ordering::Relaxed);
             ecohmem_obs::incr("serve.stalled_drops");
+        } else {
+            self.wake_transport();
+        }
+    }
+
+    /// Fires the transport notify hook, if one is installed. Called with
+    /// no locks held beyond the brief clone of the hook itself.
+    fn wake_transport(&self) {
+        let hook = self.notify.lock().expect("notify lock").clone();
+        if let Some(hook) = hook {
+            hook();
         }
     }
 }
@@ -360,6 +378,7 @@ impl ServiceCore {
             outbox_tx,
             shed_pending: AtomicU64::new(0),
             stalled_drops: AtomicU64::new(0),
+            notify: Mutex::new(None),
         });
         let n = {
             let mut tenants = inner.tenants.lock().expect("tenants lock");
@@ -520,6 +539,8 @@ impl CoreInner {
                     .is_err()
                 {
                     st.stalled_drops.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    st.wake_transport();
                 }
             }
         }
@@ -542,6 +563,15 @@ impl TenantClient {
         self.state.stalled_drops.load(Ordering::Relaxed)
     }
 
+    /// Installs the transport wake-up hook: fired (from a worker thread)
+    /// after every successful outbox push. An event-driven transport
+    /// registers a hook that nudges the owning reactor shard; items
+    /// pushed *before* installation are not signalled, so the installer
+    /// must drain the outbox once afterwards.
+    pub fn set_notify(&self, hook: OutboxNotify) {
+        *self.state.notify.lock().expect("notify lock") = Some(hook);
+    }
+
     fn schedule(&self) {
         if !self.state.queued.swap(true, Ordering::AcqRel) && !self.inner.send_ready(self.state.id)
         {
@@ -560,6 +590,7 @@ impl TenantClient {
                 let pending = self.state.shed_pending.fetch_add(1, Ordering::Relaxed) + 1;
                 if self.state.outbox_tx.try_send(Outbound::Shed { dropped: pending }).is_ok() {
                     self.state.shed_pending.fetch_sub(pending, Ordering::Relaxed);
+                    self.state.wake_transport();
                 }
                 Ok(Admitted::Shed)
             }

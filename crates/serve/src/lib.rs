@@ -16,10 +16,19 @@
 //!   deadline admission (shed, don't stall), bounded outboxes that
 //!   isolate stalled readers, and read-mostly interned site tables
 //!   shared across tenants.
-//! * [`server`] — the TCP front end: accept loop, per-connection reader
-//!   and writer threads, all socket writes on the writer thread.
+//! * [`sys`] — hand-rolled `poll(2)`/`epoll(2)` readiness wrapper
+//!   (direct `extern "C"` against the libc std already links; scalar
+//!   `poll` fallback for portability).
+//! * [`reactor`] — the sharded event loop: `--io-threads N` shards own
+//!   nonblocking sockets, decode frames incrementally, and batch outbox
+//!   drains into coalesced writes. Thread count is fixed at
+//!   `io_threads + workers`, independent of tenant count.
+//! * [`server`] — the TCP front end: binds, boots the core, and hands
+//!   both to the reactor.
 //! * [`client`] — the `stream` side: replay a trace against a daemon and
 //!   collect the revision log.
+//! * [`blast`] — a poll-driven load driver that holds thousands of
+//!   concurrent sessions open from one thread (bench + storm tests).
 //!
 //! The load-bearing guarantee, pinned by `tests/serve.rs` at the
 //! workspace root: a tenant's revision log is **byte-identical** to an
@@ -28,15 +37,18 @@
 //! scheduling (one worker owns a tenant at a time) plus fully private
 //! engine state is what makes that hold.
 
+pub mod blast;
 pub mod client;
 pub mod core;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
+pub mod sys;
 
-pub use client::{ClientOutcome, StreamClient};
-pub use core::{Admitted, Outbound, ServeConfig, ServiceCore, TenantClient};
-pub use proto::{Frame, Mode, MAX_FRAME_BYTES, PROTO_VERSION};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use client::{ClientOutcome, RetryPolicy, StreamClient};
+pub use core::{Admitted, Outbound, OutboxNotify, ServeConfig, ServiceCore, TenantClient};
+pub use proto::{Frame, FrameReader, Mode, MAX_FRAME_BYTES, PROTO_VERSION};
+pub use server::{Server, ServerConfig, ServerStats, DEFAULT_IDLE_TIMEOUT};
 
 use memtrace::TraceError;
 
@@ -54,6 +66,9 @@ pub enum ServeError {
     Refused(String),
     /// The tenant's engine is gone (shut down or failed).
     TenantGone,
+    /// A bounded wait expired (reader-thread join, retry budget);
+    /// carries what was being waited for.
+    Deadline(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -64,6 +79,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Trace(e) => write!(f, "trace error: {e}"),
             ServeError::Refused(m) => write!(f, "session refused: {m}"),
             ServeError::TenantGone => write!(f, "tenant engine is gone"),
+            ServeError::Deadline(m) => write!(f, "deadline expired: {m}"),
         }
     }
 }

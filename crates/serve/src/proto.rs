@@ -134,15 +134,26 @@ pub enum Frame {
     },
 }
 
-const TAG_HELLO: u8 = 1;
-const TAG_HELLO_ACK: u8 = 2;
-const TAG_EVENTS: u8 = 3;
-const TAG_TICK: u8 = 4;
-const TAG_SHUTDOWN: u8 = 5;
-const TAG_REVISIONS: u8 = 6;
-const TAG_SHED: u8 = 7;
-const TAG_BYE: u8 = 8;
-const TAG_ERROR: u8 = 9;
+/// Wire tag of [`Frame::Hello`]. Public so zero-copy readers
+/// ([`FrameReader::next_frame_raw`]) can route on the tag byte without
+/// paying for a full decode.
+pub const TAG_HELLO: u8 = 1;
+/// Wire tag of [`Frame::HelloAck`].
+pub const TAG_HELLO_ACK: u8 = 2;
+/// Wire tag of [`Frame::Events`].
+pub const TAG_EVENTS: u8 = 3;
+/// Wire tag of [`Frame::Tick`].
+pub const TAG_TICK: u8 = 4;
+/// Wire tag of [`Frame::Shutdown`].
+pub const TAG_SHUTDOWN: u8 = 5;
+/// Wire tag of [`Frame::Revisions`].
+pub const TAG_REVISIONS: u8 = 6;
+/// Wire tag of [`Frame::Shed`].
+pub const TAG_SHED: u8 = 7;
+/// Wire tag of [`Frame::Bye`].
+pub const TAG_BYE: u8 = 8;
+/// Wire tag of [`Frame::Error`].
+pub const TAG_ERROR: u8 = 9;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
@@ -290,53 +301,61 @@ fn decode_events(body: &[u8]) -> Result<Vec<TraceEvent>, ServeError> {
     }
 }
 
-/// Serializes one frame (length prefix included).
-pub fn encode(frame: &Frame) -> Vec<u8> {
-    let mut body = Vec::new();
-    let tag = match frame {
+/// Serializes one frame (length prefix included) straight into `out` —
+/// the reactor's write side appends to per-connection buffers without an
+/// intermediate allocation per frame. The length prefix is backpatched
+/// once the body size is known.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    match frame {
         Frame::Hello { version, tenant, mode, header } => {
-            put_varint(&mut body, *version as u64);
-            put_str(&mut body, tenant);
-            body.push(mode.to_byte());
-            put_varint(&mut body, header.len() as u64);
-            body.extend_from_slice(header);
-            TAG_HELLO
+            out.push(TAG_HELLO);
+            put_varint(out, *version as u64);
+            put_str(out, tenant);
+            out.push(mode.to_byte());
+            put_varint(out, header.len() as u64);
+            out.extend_from_slice(header);
         }
         Frame::HelloAck { tenant_id } => {
-            put_varint(&mut body, *tenant_id);
-            TAG_HELLO_ACK
+            out.push(TAG_HELLO_ACK);
+            put_varint(out, *tenant_id);
         }
         Frame::Events(events) => {
             // Mode travels inside the body so both encodings share a tag.
-            encode_events(events, Mode::Bin, &mut body);
-            TAG_EVENTS
+            out.push(TAG_EVENTS);
+            encode_events(events, Mode::Bin, out);
         }
         Frame::Tick { now } => {
-            put_varint(&mut body, now.to_bits());
-            TAG_TICK
+            out.push(TAG_TICK);
+            put_varint(out, now.to_bits());
         }
-        Frame::Shutdown => TAG_SHUTDOWN,
+        Frame::Shutdown => out.push(TAG_SHUTDOWN),
         Frame::Revisions(revs) => {
-            encode_revisions(revs, &mut body);
-            TAG_REVISIONS
+            out.push(TAG_REVISIONS);
+            encode_revisions(revs, out);
         }
         Frame::Shed { dropped } => {
-            put_varint(&mut body, *dropped);
-            TAG_SHED
+            out.push(TAG_SHED);
+            put_varint(out, *dropped);
         }
         Frame::Bye { revisions } => {
-            put_varint(&mut body, *revisions);
-            TAG_BYE
+            out.push(TAG_BYE);
+            put_varint(out, *revisions);
         }
         Frame::Error { message } => {
-            put_str(&mut body, message);
-            TAG_ERROR
+            out.push(TAG_ERROR);
+            put_str(out, message);
         }
-    };
-    let mut out = Vec::with_capacity(5 + body.len());
-    out.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
-    out.push(tag);
-    out.extend_from_slice(&body);
+    }
+    let len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Serializes one frame (length prefix included).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(frame, &mut out);
     out
 }
 
@@ -428,6 +447,145 @@ pub fn read_frame_from<R: Read>(r: &mut R) -> Result<Option<Frame>, ServeError> 
         }
     })?;
     decode(&data).map(Some)
+}
+
+/// What one [`FrameReader::fill_from`] call observed on the byte source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// `n` fresh bytes were appended to the buffer.
+    Read(usize),
+    /// The source would block; try again on the next readiness event.
+    WouldBlock,
+    /// The peer closed the stream.
+    Eof,
+}
+
+/// A resumable, allocation-reusing frame decoder — the reactor's read
+/// side.
+///
+/// The blocking [`read_frame_from`] allocates a fresh body buffer per
+/// frame and cannot survive a partial read. `FrameReader` instead owns
+/// one growable buffer per connection: [`fill_from`](Self::fill_from)
+/// appends whatever bytes are available right now (returning
+/// [`Fill::WouldBlock`] instead of stalling on a nonblocking socket), and
+/// [`next_frame`](Self::next_frame) peels off complete frames, leaving a
+/// trailing partial frame buffered for the next readiness event. The
+/// length prefix is still validated against [`MAX_FRAME_BYTES`] *before*
+/// the body is buffered, so a hostile prefix can never command a large
+/// allocation.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Grows on demand, never shrinks, and is zero-initialized only when
+    /// it grows — steady-state fills write over old bytes instead of
+    /// paying a memset per read.
+    buf: Vec<u8>,
+    /// Bytes `[..start]` are already consumed; compacted on refill.
+    start: usize,
+    /// Bytes `[start..end]` are buffered and unconsumed.
+    end: usize,
+}
+
+/// How many bytes one `fill_from` reads at most — pairs with the
+/// reactor's per-connection fairness budget.
+const READ_CHUNK: usize = 64 * 1024;
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Empties the reader but keeps its buffer allocation — connection
+    /// pools recycle readers so a churn of short sessions doesn't pay a
+    /// fresh (zeroed) [`READ_CHUNK`] allocation per connection.
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.end = 0;
+    }
+
+    /// Bytes buffered but not yet consumed by [`next_frame`](Self::next_frame).
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when a frame prefix or body is sitting incomplete in the
+    /// buffer — the "partial read" the reactor counts.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        self.buf.copy_within(self.start..self.end, 0);
+        self.end -= self.start;
+        self.start = 0;
+    }
+
+    /// Appends up to [`READ_CHUNK`] bytes from `r`. A nonblocking source
+    /// reports [`Fill::WouldBlock`]; EINTR is retried internally.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> Result<Fill, ServeError> {
+        self.compact();
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        loop {
+            match r.read(&mut self.buf[self.end..self.end + READ_CHUNK]) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => {
+                    self.end += n;
+                    return Ok(Fill::Read(n));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(Fill::WouldBlock)
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+
+    /// Decodes the next complete frame, or `None` when only a partial
+    /// frame (or nothing) is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ServeError> {
+        match self.next_frame_raw()? {
+            Some(payload) => {
+                // Reborrow the advanced-over region; the slice is still
+                // in the buffer, `start` has just moved past it.
+                let frame = decode(payload)?;
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Like [`next_frame`](Self::next_frame) but returns the raw payload
+    /// (`[tag][body]`, length prefix stripped) without decoding — for
+    /// readers that route on [`TAG_REVISIONS`]-style constants and only
+    /// decode the frames they keep. The payload stays valid until the
+    /// next `fill_from` compacts the buffer.
+    pub fn next_frame_raw(&mut self) -> Result<Option<&[u8]>, ServeError> {
+        let avail = &self.buf[self.start..self.end];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len == 0 {
+            return Err(ServeError::Protocol("zero-length frame".into()));
+        }
+        if len > MAX_FRAME_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "frame declares {len} bytes, cap is {MAX_FRAME_BYTES}"
+            )));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start += 4 + len;
+        Ok(Some(&self.buf[at..at + len]))
+    }
 }
 
 #[cfg(test)]
@@ -533,6 +691,88 @@ mod tests {
         let bytes = encode_header(&t).unwrap();
         let err = decode_header(&bytes).unwrap_err();
         assert!(err.to_string().contains("events travel in Events frames"), "{err}");
+    }
+
+    #[test]
+    fn frame_reader_decodes_byte_dribble_identically_to_whole_frames() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTO_VERSION,
+                tenant: "dribble".into(),
+                mode: Mode::Bin,
+                header: encode_header(&header()).unwrap(),
+            },
+            Frame::Events(events()),
+            Frame::Tick { now: 1.5 },
+            Frame::Shed { dropped: 3 },
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode(f));
+        }
+        // Deliver 1 byte at a time through a reader that reports
+        // WouldBlock between bytes — the reactor's worst case.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            let mut cur = std::io::Cursor::new(vec![b]);
+            assert_eq!(reader.fill_from(&mut cur).unwrap(), Fill::Read(1));
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames, "1-byte dribble must decode identically to whole frames");
+        assert!(!reader.has_partial(), "nothing may linger after the last frame");
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefix_before_buffering() {
+        let mut reader = FrameReader::new();
+        let bytes = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let mut cur = std::io::Cursor::new(bytes.to_vec());
+        reader.fill_from(&mut cur).unwrap();
+        let err = reader.next_frame().unwrap_err();
+        assert!(err.to_string().contains("cap is"), "{err}");
+    }
+
+    #[test]
+    fn frame_reader_chunked_random_splits_round_trip() {
+        let frames: Vec<Frame> =
+            (0..64)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Frame::Tick { now: i as f64 }
+                    } else {
+                        Frame::Events(events())
+                    }
+                })
+                .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode(f));
+        }
+        // Deterministic pseudo-random split sizes.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = |max: usize| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as usize % max) + 1
+        };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < wire.len() {
+            let n = next(97).min(wire.len() - pos);
+            let mut cur = std::io::Cursor::new(wire[pos..pos + n].to_vec());
+            reader.fill_from(&mut cur).unwrap();
+            pos += n;
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
     }
 
     #[test]

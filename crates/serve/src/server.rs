@@ -1,34 +1,36 @@
 //! The TCP front end of the advisor daemon.
 //!
-//! One thread accepts connections (non-blocking poll so a `--once N`
-//! server can notice completion and exit cleanly). Each connection gets:
+//! Since the reactor rework this file is the *configuration* surface:
+//! [`Server::bind`] sets up the listener and the [`ServiceCore`], then
+//! [`Server::run`] hands both to [`crate::reactor`], which multiplexes
+//! every connection across `io_threads` event-driven shards. The daemon
+//! runs exactly `io_threads + workers` threads no matter how many
+//! tenants connect — there are no per-connection threads anywhere.
 //!
-//! * a **reader** (the accept-spawned thread itself): parses frames,
-//!   performs the handshake, and feeds the tenant's inbox — admission
-//!   shedding happens here, on the core's deadline, never by blocking
-//!   the socket;
-//! * a **writer** thread: drains the tenant's outbox to the socket. All
-//!   post-handshake socket writes happen on this one thread, so frame
-//!   boundaries can never interleave.
+//! Semantics preserved from the thread-per-connection transport:
 //!
-//! A torn connection (EOF or read error mid-stream) still runs the
-//! tenant's `finish` path, so durable tenants flush their journal and a
-//! final checkpoint even when the client vanishes.
+//! * the handshake (one Hello, answered before any other traffic), the
+//!   framed protocol, and every refusal message;
+//! * admission shedding on the core's deadline — the socket is never
+//!   blocked to apply backpressure;
+//! * stalled readers lose revisions by outbox drops (with accounting),
+//!   never by stalling a shard;
+//! * a torn connection (EOF or read error mid-stream) still runs the
+//!   tenant's `finish` path, so durable tenants flush their journal and
+//!   a final checkpoint even when the client vanishes;
+//! * an idle connection (`idle_timeout`, default 120 s) is torn down
+//!   the same way, now with a `serve.idle_closed` counter.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
 
-use crate::core::{Outbound, ServeConfig, ServiceCore, TenantClient};
-use crate::proto::{self, Frame, PROTO_VERSION};
+use crate::core::{ServeConfig, ServiceCore};
+use crate::reactor::{self, ReactorConfig};
 use crate::ServeError;
-use ecohmem_online::durability::queue;
 
-/// Idle guard: a connection silent for this long is torn down (its
-/// tenant still gets a clean finish).
-const READ_IDLE_TIMEOUT: Duration = Duration::from_secs(120);
+/// Idle guard default: a connection silent for this long is torn down
+/// (its tenant still gets a clean finish).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// How the daemon listens.
 #[derive(Debug, Clone)]
@@ -38,8 +40,36 @@ pub struct ServerConfig {
     /// Exit after this many sessions complete (CI and tests); `None`
     /// serves forever.
     pub once: Option<usize>,
+    /// Reactor shards multiplexing the sockets. `0` means one per
+    /// available core.
+    pub io_threads: usize,
+    /// Tear down connections silent for this long.
+    pub idle_timeout: Duration,
     /// Core tuning.
     pub serve: ServeConfig,
+}
+
+impl ServerConfig {
+    /// A config with reactor defaults (`io_threads: 0` → per-core,
+    /// 120 s idle guard).
+    pub fn new(listen: impl Into<String>, once: Option<usize>, serve: ServeConfig) -> ServerConfig {
+        ServerConfig {
+            listen: listen.into(),
+            once,
+            io_threads: 0,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            serve,
+        }
+    }
+
+    /// Resolves `io_threads: 0` to the machine's core count.
+    pub fn resolved_io_threads(&self) -> usize {
+        if self.io_threads > 0 {
+            self.io_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
 }
 
 /// What a bounded (`once`) run observed.
@@ -78,158 +108,13 @@ impl Server {
 
     /// Serves until `once` sessions complete (forever when `None`).
     pub fn run(self) -> Result<ServerStats, ServeError> {
-        self.listener.set_nonblocking(true)?;
-        let completed = Arc::new(AtomicUsize::new(0));
-        let frames = Arc::new(AtomicU64::new(0));
-        let mut handles = Vec::new();
-        let mut accepted = 0usize;
-        loop {
-            if self.cfg.once == Some(accepted) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((sock, _peer)) => {
-                    accepted += 1;
-                    let core = self.core.clone();
-                    let done = Arc::clone(&completed);
-                    let frames = Arc::clone(&frames);
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name(format!("serve-conn-{accepted}"))
-                            .spawn(move || {
-                                let _ = handle_connection(core, sock, &frames);
-                                done.fetch_add(1, Ordering::Relaxed);
-                            })
-                            .expect("spawn connection thread"),
-                    );
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(ServeError::Io(e)),
-            }
-        }
-        for h in handles {
-            let _ = h.join();
-        }
+        let reactor_cfg = ReactorConfig {
+            io_threads: self.cfg.resolved_io_threads(),
+            idle_timeout: self.cfg.idle_timeout,
+            once: self.cfg.once,
+        };
+        let stats = reactor::run_reactor(self.listener, self.core.clone(), reactor_cfg)?;
         self.core.shutdown();
-        Ok(ServerStats {
-            sessions: completed.load(Ordering::Relaxed),
-            frames: frames.load(Ordering::Relaxed),
-        })
+        Ok(stats)
     }
-}
-
-fn refuse(mut sock: TcpStream, message: String) {
-    let _ = proto::write_frame_to(&mut sock, &Frame::Error { message });
-    let _ = sock.flush();
-}
-
-fn handle_connection(
-    core: ServiceCore,
-    mut sock: TcpStream,
-    frames: &AtomicU64,
-) -> Result<(), ServeError> {
-    sock.set_nodelay(true)?;
-    sock.set_read_timeout(Some(READ_IDLE_TIMEOUT))?;
-
-    // Handshake: exactly one Hello, answered before any other traffic.
-    let hello = match proto::read_frame_from(&mut sock) {
-        Ok(Some(f)) => f,
-        Ok(None) => return Ok(()), // probe connection (health check)
-        Err(e) => {
-            refuse(sock, format!("bad first frame: {e}"));
-            return Err(e);
-        }
-    };
-    frames.fetch_add(1, Ordering::Relaxed);
-    ecohmem_obs::incr("serve.frames");
-    let Frame::Hello { version, tenant, mode: _mode, header } = hello else {
-        refuse(sock, "first frame must be Hello".into());
-        return Err(ServeError::Protocol("first frame was not Hello".into()));
-    };
-    if version != PROTO_VERSION {
-        refuse(
-            sock,
-            format!("protocol version {version} unsupported, server speaks {PROTO_VERSION}"),
-        );
-        return Err(ServeError::Protocol(format!("version mismatch: {version}")));
-    }
-    let header = match proto::decode_header(&header) {
-        Ok(h) => h,
-        Err(e) => {
-            refuse(sock, format!("bad header: {e}"));
-            return Err(e);
-        }
-    };
-    let (client, outbox) = match core.register(&tenant, &header) {
-        Ok(pair) => pair,
-        Err(e) => {
-            refuse(sock, e.to_string());
-            return Err(e);
-        }
-    };
-    proto::write_frame_to(&mut sock, &Frame::HelloAck { tenant_id: client.id() })?;
-
-    // From here on the writer thread owns all socket writes.
-    let writer_sock = sock.try_clone()?;
-    let writer = std::thread::Builder::new()
-        .name(format!("serve-write-{tenant}"))
-        .spawn(move || writer_loop(writer_sock, outbox))
-        .expect("spawn writer thread");
-
-    let result = reader_loop(&mut sock, &client, frames);
-    // Whatever ended the stream — clean Shutdown, EOF, or a torn read —
-    // the tenant gets its final flush so durable state is consistent.
-    let _ = client.finish();
-    let _ = writer.join();
-    result
-}
-
-fn reader_loop(
-    sock: &mut TcpStream,
-    client: &TenantClient,
-    frames: &AtomicU64,
-) -> Result<(), ServeError> {
-    loop {
-        let frame = match proto::read_frame_from(sock) {
-            Ok(Some(f)) => f,
-            Ok(None) => return Ok(()), // EOF at a frame boundary
-            Err(e) => return Err(e),
-        };
-        frames.fetch_add(1, Ordering::Relaxed);
-        ecohmem_obs::incr("serve.frames");
-        match frame {
-            Frame::Events(events) => {
-                // Admission shedding is the core's job; Shed notices ride
-                // the outbox so this thread never writes the socket.
-                client.ingest(events)?;
-            }
-            Frame::Tick { now } => {
-                client.tick(now)?;
-            }
-            Frame::Shutdown => return Ok(()),
-            other => {
-                return Err(ServeError::Protocol(format!(
-                    "unexpected frame after handshake: {other:?}"
-                )))
-            }
-        }
-    }
-}
-
-fn writer_loop(mut sock: TcpStream, outbox: queue::Receiver<Outbound>) {
-    while let Some(item) = outbox.recv() {
-        let done = matches!(item, Outbound::Finished { .. } | Outbound::Error(_));
-        let frame = match item {
-            Outbound::Revisions(revs) => Frame::Revisions(revs),
-            Outbound::Shed { dropped } => Frame::Shed { dropped },
-            Outbound::Finished { revisions } => Frame::Bye { revisions },
-            Outbound::Error(message) => Frame::Error { message },
-        };
-        if proto::write_frame_to(&mut sock, &frame).is_err() || done {
-            break;
-        }
-    }
-    let _ = sock.flush();
 }

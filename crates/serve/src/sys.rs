@@ -1,0 +1,446 @@
+//! Readiness multiplexing without a crate: direct `extern "C"`
+//! declarations against the libc the standard library already links.
+//!
+//! The reactor needs exactly three things from the OS that `std` does
+//! not expose: *wait on many fds at once* (`poll(2)` everywhere,
+//! `epoll(7)` as the Linux fast path), *wake a waiting shard from
+//! another thread* (a nonblocking [`std::os::unix::net::UnixStream`]
+//! pair — no raw `pipe(2)` needed), and *how many fds this process may
+//! hold* (`getrlimit(2)`, so load drivers can size their connection
+//! fan-out). Everything is level-triggered: a readable socket keeps
+//! reporting readable until drained, so a shard that stops mid-drain for
+//! fairness simply sees the fd again on the next wait.
+//!
+//! The scalar `poll(2)` backend is the portable floor (every Unix has
+//! it); Linux builds upgrade to `epoll` unless `ECOHMEM_REACTOR=poll`
+//! forces the fallback — CI runs the determinism suite under both.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readiness interest / result for one registered fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ready {
+    /// Interested in / observed readability (incl. peer hangup).
+    pub readable: bool,
+    /// Interested in / observed writability.
+    pub writable: bool,
+}
+
+impl Ready {
+    /// Read-only interest.
+    pub const READ: Ready = Ready { readable: true, writable: false };
+    /// Read + write interest.
+    pub const BOTH: Ready = Ready { readable: true, writable: true };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// Readable now (or peer hung up / errored — reads will resolve it).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+    /// Error/hangup condition (`POLLERR`/`POLLHUP`/`POLLNVAL`).
+    pub hangup: bool,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: libc_nfds, timeout: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+#[allow(non_camel_case_types)]
+type libc_nfds = u64;
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: i32 = 7;
+#[cfg(target_os = "macos")]
+const RLIMIT_NOFILE: i32 = 8;
+#[cfg(not(any(target_os = "linux", target_os = "macos")))]
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Widens an already-listening socket's accept backlog (`std` hardcodes
+/// 128, which makes connect storms hit SYN-retransmit stalls). Calling
+/// `listen(2)` again on a listening socket just updates the backlog;
+/// the kernel clamps to `somaxconn`. Errors are reported, not fatal —
+/// the socket keeps its old backlog.
+pub fn set_listen_backlog(fd: i32, backlog: i32) -> std::io::Result<()> {
+    // SAFETY: plain syscall on a caller-owned listening fd; no memory
+    // is passed.
+    if unsafe { listen(fd, backlog) } == 0 {
+        Ok(())
+    } else {
+        Err(std::io::Error::last_os_error())
+    }
+}
+
+/// The soft limit on open fds for this process (1024 when the syscall
+/// fails). Load drivers use this to bound concurrent connections.
+pub fn nofile_limit() -> usize {
+    let mut lim = RLimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: getrlimit writes the two-u64 struct we hand it and nothing
+    // else; RLIMIT_NOFILE is a valid resource id on every target above.
+    let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+    if rc != 0 || lim.rlim_cur == 0 {
+        return 1024;
+    }
+    usize::try_from(lim.rlim_cur).unwrap_or(usize::MAX)
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Ready};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+
+    // x86-64 is the one ABI where the kernel struct is packed; other
+    // architectures use natural alignment. Mirror glibc exactly.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub struct Epoll {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; 256] })
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, interest: Ready, token: usize) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: if interest.readable { EPOLLIN } else { 0 }
+                    | if interest.writable { EPOLLOUT } else { 0 },
+                data: token as u64,
+            };
+            // SAFETY: `ev` is a valid epoll_event for the duration of the
+            // call; the kernel copies it before returning.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Ready) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: usize, interest: Ready) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, Ready::READ, 0)
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            // SAFETY: the buffer outlives the call and maxevents matches
+            // its length.
+            let n = unsafe {
+                epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, timeout_ms)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for i in 0..n as usize {
+                let ev = self.buf[i];
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            if n as usize == self.buf.len() {
+                // Saturated: grow so a busy shard drains more per wakeup.
+                self.buf.resize(self.buf.len() * 2, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd we created; double-close impossible
+            // because Drop runs once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+/// Scalar `poll(2)` backend: a flat pollfd array plus a parallel token
+/// array, O(n) per wait — the portable floor.
+struct PollSet {
+    fds: Vec<PollFd>,
+    tokens: Vec<usize>,
+}
+
+impl PollSet {
+    fn position(&self, fd: RawFd) -> Option<usize> {
+        self.fds.iter().position(|p| p.fd == fd)
+    }
+
+    fn register(&mut self, fd: RawFd, token: usize, interest: Ready) {
+        let events = if interest.readable { POLLIN } else { 0 }
+            | if interest.writable { POLLOUT } else { 0 };
+        self.fds.push(PollFd { fd, events, revents: 0 });
+        self.tokens.push(token);
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: usize, interest: Ready) {
+        if let Some(i) = self.position(fd) {
+            self.fds[i].events = if interest.readable { POLLIN } else { 0 }
+                | if interest.writable { POLLOUT } else { 0 };
+            self.tokens[i] = token;
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd) {
+        if let Some(i) = self.position(fd) {
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+        }
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        if self.fds.is_empty() {
+            if timeout_ms > 0 {
+                std::thread::sleep(Duration::from_millis(timeout_ms as u64));
+            }
+            return Ok(());
+        }
+        // SAFETY: the array is valid for nfds entries and the kernel only
+        // writes `revents` within it.
+        let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as libc_nfds, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (p, &token) in self.fds.iter().zip(&self.tokens) {
+            let re = p.revents;
+            if re == 0 {
+                continue;
+            }
+            out.push(Event {
+                token,
+                readable: re & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                writable: re & POLLOUT != 0,
+                hangup: re & (POLLERR | POLLHUP | POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(PollSet),
+}
+
+/// Level-triggered readiness over many fds. Linux uses `epoll` unless
+/// `ECOHMEM_REACTOR=poll`; everything else uses `poll(2)`.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Opens the best available backend.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            let force_poll = std::env::var("ECOHMEM_REACTOR").is_ok_and(|v| v == "poll");
+            if !force_poll {
+                if let Ok(ep) = epoll::Epoll::new() {
+                    return Ok(Poller { backend: Backend::Epoll(ep) });
+                }
+            }
+        }
+        Ok(Poller { backend: Backend::Poll(PollSet { fds: Vec::new(), tokens: Vec::new() }) })
+    }
+
+    /// The backend's name, for logs and metrics labels.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    /// Starts watching `fd` under `token` with the given interest.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Ready) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => ep.register(fd, token, interest),
+            Backend::Poll(ps) => {
+                ps.register(fd, token, interest);
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates interest for an already-registered fd.
+    pub fn reregister(&mut self, fd: RawFd, token: usize, interest: Ready) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => ep.reregister(fd, token, interest),
+            Backend::Poll(ps) => {
+                ps.reregister(fd, token, interest);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Must run *before* the fd is closed.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => ep.deregister(fd),
+            Backend::Poll(ps) => {
+                ps.deregister(fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Waits for readiness, appending into `out`. `None` blocks forever;
+    /// `Duration::ZERO` polls. Spurious empty returns are allowed (EINTR,
+    /// timeout) — callers must loop.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            None => -1i32,
+            // Round up so a 0.4 ms deadline does not spin at timeout 0.
+            Some(d) => i32::try_from(d.as_millis().min(i32::MAX as u128))
+                .unwrap_or(i32::MAX)
+                .max(if d.is_zero() { 0 } else { 1 }),
+        };
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => ep.wait(out, timeout_ms),
+            Backend::Poll(ps) => ps.wait(out, timeout_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn check_backend(poller: &mut Poller) {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 7, Ready::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty(), "no readiness before any write");
+
+        a.write_all(b"x").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while events.is_empty() && std::time::Instant::now() < deadline {
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        }
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+
+        // Level-triggered: still readable until drained.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "level-triggered re-report");
+        let mut buf = [0u8; 8];
+        let n = (&b).read(&mut buf).unwrap();
+        assert_eq!(n, 1);
+
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty(), "drained fd is quiet");
+
+        poller.deregister(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn default_backend_reports_level_triggered_readiness() {
+        let mut p = Poller::new().unwrap();
+        check_backend(&mut p);
+    }
+
+    #[test]
+    fn scalar_poll_backend_reports_level_triggered_readiness() {
+        // Construct the fallback directly so the test does not depend on
+        // the environment variable.
+        let mut p =
+            Poller { backend: Backend::Poll(PollSet { fds: Vec::new(), tokens: Vec::new() }) };
+        assert_eq!(p.backend_name(), "poll");
+        check_backend(&mut p);
+    }
+
+    #[test]
+    fn nofile_limit_is_sane() {
+        let n = nofile_limit();
+        assert!(n >= 64, "limit {n} suspiciously low");
+    }
+}

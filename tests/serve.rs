@@ -174,12 +174,8 @@ fn tcp_session_round_trips_the_golden_trace() {
     let trace = golden_trace("minife");
     let isolated = isolated_run(&trace);
 
-    let server = Server::bind(ServerConfig {
-        listen: "127.0.0.1:0".into(),
-        once: Some(1),
-        serve: no_shed_config(2),
-    })
-    .unwrap();
+    let server =
+        Server::bind(ServerConfig::new("127.0.0.1:0", Some(1), no_shed_config(2))).unwrap();
     let addr = server.local_addr().unwrap().to_string();
     let daemon = std::thread::spawn(move || server.run().unwrap());
 
